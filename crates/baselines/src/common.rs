@@ -1,0 +1,213 @@
+//! Shared machinery for the baseline implementations: the verification
+//! loop (top-k + dedup + budget) and a small fast hasher for bucket keys.
+
+use dblsh_data::dataset::sq_dist;
+use dblsh_data::{Dataset, Neighbor, QueryStats};
+
+/// Per-query visited bitset over dataset row ids.
+pub struct Visited {
+    words: Vec<u64>,
+}
+
+impl Visited {
+    pub fn new(n: usize) -> Self {
+        Visited {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// Mark `id`; true if it was unmarked.
+    #[inline]
+    pub fn insert(&mut self, id: u32) -> bool {
+        let w = (id / 64) as usize;
+        let bit = 1u64 << (id % 64);
+        let fresh = self.words[w] & bit == 0;
+        self.words[w] |= bit;
+        fresh
+    }
+
+    /// Whether `id` is already marked.
+    #[inline]
+    pub fn contains(&self, id: u32) -> bool {
+        self.words[(id / 64) as usize] & (1u64 << (id % 64)) != 0
+    }
+}
+
+/// The exact-distance verification stage every LSH method funnels
+/// candidates through: deduplicates, verifies against the original
+/// vectors, maintains the ascending top-k and the work counters.
+pub struct Verifier<'d> {
+    data: &'d Dataset,
+    query: &'d [f32],
+    k: usize,
+    budget: usize,
+    visited: Visited,
+    pub top: Vec<Neighbor>,
+    pub stats: QueryStats,
+    verified: usize,
+}
+
+impl<'d> Verifier<'d> {
+    pub fn new(data: &'d Dataset, query: &'d [f32], k: usize, budget: usize) -> Self {
+        assert_eq!(data.dim(), query.len(), "query dimensionality mismatch");
+        assert!(k >= 1, "k must be at least 1");
+        Verifier {
+            data,
+            query,
+            k,
+            budget,
+            visited: Visited::new(data.len()),
+            top: Vec::with_capacity(k + 1),
+            stats: QueryStats::default(),
+            verified: 0,
+        }
+    }
+
+    /// Feed one candidate id. Returns `false` once the budget is
+    /// exhausted (caller should stop generating candidates).
+    pub fn offer(&mut self, id: u32) -> bool {
+        self.stats.index_probes += 1;
+        if !self.visited.insert(id) {
+            return self.verified < self.budget;
+        }
+        self.verified += 1;
+        self.stats.candidates += 1;
+        let d = (sq_dist(self.query, self.data.point(id as usize)) as f64).sqrt() as f32;
+        let pos = self.top.partition_point(|n| n.dist <= d);
+        if pos < self.k {
+            self.top.insert(pos, Neighbor { id, dist: d });
+            self.top.truncate(self.k);
+        }
+        self.verified < self.budget
+    }
+
+    /// Number of unique candidates verified so far.
+    pub fn verified(&self) -> usize {
+        self.verified
+    }
+
+    /// True once `k` results are present and the k-th is within `bound`.
+    pub fn kth_within(&self, bound: f64) -> bool {
+        self.top.len() == self.k && (self.top[self.k - 1].dist as f64) <= bound
+    }
+
+    /// Current k-th distance (infinite until `k` results are present).
+    pub fn kth_dist(&self) -> f64 {
+        if self.top.len() == self.k {
+            self.top[self.k - 1].dist as f64
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// True when every dataset point has been verified.
+    pub fn saturated(&self) -> bool {
+        self.verified >= self.data.len()
+    }
+
+    pub fn budget_left(&self) -> bool {
+        self.verified < self.budget
+    }
+}
+
+/// FxHash-style mixing for bucket keys (we implement it inline rather than
+/// pulling in `rustc-hash`; the allowed dependency set is fixed).
+#[inline]
+pub fn fx_mix(mut acc: u64, word: u64) -> u64 {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+    acc = (acc.rotate_left(5) ^ word).wrapping_mul(SEED);
+    acc
+}
+
+/// Hash a slice of bucket cell indices into a single u64 table key.
+#[inline]
+pub fn bucket_key(cells: &[i64]) -> u64 {
+    let mut acc = 0xcbf2_9ce4_8422_2325;
+    for &c in cells {
+        acc = fx_mix(acc, c as u64);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Dataset {
+        Dataset::from_rows(&[
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![2.0, 0.0],
+            vec![3.0, 0.0],
+            vec![10.0, 0.0],
+        ])
+    }
+
+    #[test]
+    fn verifier_tracks_topk() {
+        let d = data();
+        let q = [0.1f32, 0.0];
+        let mut v = Verifier::new(&d, &q, 2, 100);
+        for id in [4u32, 3, 2, 1, 0] {
+            v.offer(id);
+        }
+        assert_eq!(v.top.len(), 2);
+        assert_eq!(v.top[0].id, 0);
+        assert_eq!(v.top[1].id, 1);
+        assert_eq!(v.verified(), 5);
+        assert_eq!(v.stats.candidates, 5);
+    }
+
+    #[test]
+    fn verifier_dedupes() {
+        let d = data();
+        let q = [0.0f32, 0.0];
+        let mut v = Verifier::new(&d, &q, 3, 100);
+        for _ in 0..10 {
+            v.offer(2);
+        }
+        assert_eq!(v.verified(), 1);
+        assert_eq!(v.stats.index_probes, 10);
+    }
+
+    #[test]
+    fn verifier_budget_stops() {
+        let d = data();
+        let q = [0.0f32, 0.0];
+        let mut v = Verifier::new(&d, &q, 1, 2);
+        assert!(v.offer(0));
+        assert!(!v.offer(1)); // budget hit
+        assert!(!v.budget_left());
+    }
+
+    #[test]
+    fn kth_within_semantics() {
+        let d = data();
+        let q = [0.0f32, 0.0];
+        let mut v = Verifier::new(&d, &q, 2, 100);
+        v.offer(0);
+        assert!(!v.kth_within(100.0)); // only 1 of 2 results yet
+        v.offer(4);
+        assert!(v.kth_within(10.5));
+        assert!(!v.kth_within(9.0));
+        assert_eq!(v.kth_dist(), 10.0);
+    }
+
+    #[test]
+    fn visited_bitset() {
+        let mut v = Visited::new(130);
+        assert!(v.insert(0));
+        assert!(v.insert(64));
+        assert!(v.insert(129));
+        assert!(!v.insert(64));
+        assert!(v.contains(129));
+        assert!(!v.contains(1));
+    }
+
+    #[test]
+    fn bucket_key_distinguishes_cells() {
+        assert_ne!(bucket_key(&[0, 1]), bucket_key(&[1, 0]));
+        assert_ne!(bucket_key(&[5]), bucket_key(&[-5]));
+        assert_eq!(bucket_key(&[3, 4, 5]), bucket_key(&[3, 4, 5]));
+    }
+}

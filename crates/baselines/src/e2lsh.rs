@@ -1,0 +1,282 @@
+//! E2LSH — the classic static `(K, L)`-index of Datar et al. (2004),
+//! using the floor-quantized hash family of paper Eq. 1:
+//! `h(o) = floor((a.o + b) / w)`, `b ~ U[0, w)`.
+//!
+//! To answer c-ANN, E2LSH needs a `(K, L)`-index *per radius* ("E2LSH
+//! needs to prepare a (K,L)-index for each (r,c)-NN", Section I) — the
+//! `M` factor in its Table I index size. This implementation builds one
+//! independent table set per ladder radius, each with freshly drawn hash
+//! functions and offsets, which is exactly the memory-hungry construction
+//! DB-LSH eliminates.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dblsh_data::{AnnIndex, Dataset, SearchResult};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::common::{bucket_key, Verifier};
+
+/// E2LSH parameters.
+#[derive(Debug, Clone)]
+pub struct E2LshParams {
+    /// Approximation ratio (ladder step).
+    pub c: f64,
+    /// Hash functions per table.
+    pub k: usize,
+    /// Tables per radius.
+    pub l: usize,
+    /// Quantization width at radius 1 (scaled by `r` per level).
+    pub w0: f64,
+    /// Radius ladder start.
+    pub r_min: f64,
+    /// Number of radii to prepare (the `M` of Table I).
+    pub radii: usize,
+    /// Verification budget per query: `2 t L + k` like the DB-LSH
+    /// accounting, so the comparison is apples-to-apples.
+    pub t: usize,
+    pub seed: u64,
+}
+
+impl E2LshParams {
+    /// Defaults mirroring the DB-LSH experimental configuration.
+    pub fn paper_like(n: usize) -> Self {
+        let c = 1.5;
+        E2LshParams {
+            c,
+            k: if n > 1_000_000 { 12 } else { 10 },
+            l: 5,
+            w0: 4.0 * c * c,
+            r_min: 1.0,
+            radii: 12,
+            t: 64,
+            seed: 0xE215_4,
+        }
+    }
+
+    pub fn with_r_min(mut self, r_min: f64) -> Self {
+        assert!(r_min > 0.0 && r_min.is_finite());
+        self.r_min = r_min;
+        self
+    }
+}
+
+struct RadiusIndex {
+    /// `[l][k][dim]` projection coefficients.
+    a: Vec<f64>,
+    /// `[l][k]` offsets.
+    b: Vec<f64>,
+    /// quantization width at this radius.
+    w: f64,
+    tables: Vec<HashMap<u64, Vec<u32>>>,
+}
+
+/// A built E2LSH multi-radius index.
+pub struct E2Lsh {
+    params: E2LshParams,
+    per_radius: Vec<RadiusIndex>,
+    data: Arc<Dataset>,
+}
+
+impl E2Lsh {
+    pub fn build(data: Arc<Dataset>, params: &E2LshParams) -> Self {
+        assert!(!data.is_empty(), "cannot index an empty dataset");
+        assert!(params.k >= 1 && params.l >= 1 && params.radii >= 1);
+        let dim = data.dim();
+        let n = data.len();
+        let mut rng = StdRng::seed_from_u64(params.seed);
+
+        let mut per_radius = Vec::with_capacity(params.radii);
+        let mut r = params.r_min;
+        for _ in 0..params.radii {
+            let w = params.w0 * r;
+            let a: Vec<f64> = (0..params.l * params.k * dim)
+                .map(|_| normal(&mut rng))
+                .collect();
+            let b: Vec<f64> = (0..params.l * params.k)
+                .map(|_| rng.gen_range(0.0..w))
+                .collect();
+            let mut tables = Vec::with_capacity(params.l);
+            let mut cells = vec![0i64; params.k];
+            let mut largest = 0usize;
+            for table_i in 0..params.l {
+                let mut table: HashMap<u64, Vec<u32>> = HashMap::with_capacity(n / 4);
+                for row in 0..n {
+                    hash_point(
+                        data.point(row),
+                        &a,
+                        &b,
+                        table_i,
+                        params.k,
+                        dim,
+                        w,
+                        &mut cells,
+                    );
+                    let bucket = table.entry(bucket_key(&cells)).or_default();
+                    bucket.push(row as u32);
+                    largest = largest.max(bucket.len());
+                }
+                tables.push(table);
+            }
+            per_radius.push(RadiusIndex { a, b, w, tables });
+            if largest * 2 >= n {
+                break; // coarser radii have no discriminative power left
+            }
+            r *= params.c;
+        }
+
+        E2Lsh {
+            params: params.clone(),
+            per_radius,
+            data,
+        }
+    }
+
+    pub fn params(&self) -> &E2LshParams {
+        &self.params
+    }
+
+    /// Number of radius levels actually materialized.
+    pub fn num_radii(&self) -> usize {
+        self.per_radius.len()
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn hash_point(
+    point: &[f32],
+    a: &[f64],
+    b: &[f64],
+    table: usize,
+    k: usize,
+    dim: usize,
+    w: f64,
+    cells: &mut [i64],
+) {
+    let base = table * k * dim;
+    for (j, cell) in cells.iter_mut().enumerate() {
+        let row = &a[base + j * dim..base + (j + 1) * dim];
+        let dot: f64 = row.iter().zip(point).map(|(&p, &v)| p * v as f64).sum();
+        *cell = ((dot + b[table * k + j]) / w).floor() as i64;
+    }
+}
+
+impl AnnIndex for E2Lsh {
+    fn name(&self) -> &'static str {
+        "E2LSH"
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> SearchResult {
+        let p = &self.params;
+        let dim = self.data.dim();
+        let budget = 2 * p.t * p.l + k;
+        let mut verifier = Verifier::new(&self.data, query, k, budget);
+        let mut cells = vec![0i64; p.k];
+
+        let mut r = p.r_min;
+        'ladder: for ri in &self.per_radius {
+            verifier.stats.rounds += 1;
+            let cr = p.c * r;
+            if verifier.kth_within(cr) {
+                break;
+            }
+            for table_i in 0..p.l {
+                hash_point(query, &ri.a, &ri.b, table_i, p.k, dim, ri.w, &mut cells);
+                if let Some(bucket) = ri.tables[table_i].get(&bucket_key(&cells)) {
+                    for &id in bucket {
+                        if !verifier.offer(id) {
+                            break 'ladder;
+                        }
+                        if verifier.kth_within(cr) {
+                            break 'ladder;
+                        }
+                    }
+                }
+            }
+            if verifier.saturated() {
+                break;
+            }
+            r *= p.c;
+        }
+
+        SearchResult {
+            neighbors: verifier.top,
+            stats: verifier.stats,
+        }
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        self.per_radius
+            .iter()
+            .map(|ri| {
+                ri.a.len() * 8
+                    + ri.b.len() * 8
+                    + ri.tables
+                        .iter()
+                        .map(|t| {
+                            t.len() * (8 + std::mem::size_of::<Vec<u32>>())
+                                + t.values().map(|v| v.capacity() * 4).sum::<usize>()
+                        })
+                        .sum::<usize>()
+            })
+            .sum()
+    }
+}
+
+fn normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dblsh_data::ground_truth::exact_knn_single;
+    use dblsh_data::metrics;
+    use dblsh_data::synthetic::{gaussian_mixture, split_queries, MixtureConfig};
+
+    #[test]
+    fn recall_on_clustered_data() {
+        let mut data = gaussian_mixture(&MixtureConfig {
+            n: 3000,
+            dim: 20,
+            clusters: 25,
+            cluster_std: 1.0,
+            spread: 60.0,
+            noise_frac: 0.02,
+            seed: 55,
+        });
+        let queries = split_queries(&mut data, 12, 5);
+        let data = Arc::new(data);
+        let params = E2LshParams::paper_like(data.len()).with_r_min(0.5);
+        let idx = E2Lsh::build(Arc::clone(&data), &params);
+        let mut recalls = Vec::new();
+        for qi in 0..queries.len() {
+            let q = queries.point(qi);
+            let truth = exact_knn_single(&data, q, 10);
+            let got = idx.search(q, 10);
+            assert!(got.neighbors.windows(2).all(|w| w[0].dist <= w[1].dist));
+            recalls.push(metrics::recall(&got.neighbors, &truth));
+        }
+        let mean = metrics::mean(&recalls);
+        assert!(mean > 0.4, "mean recall too low: {mean}");
+    }
+
+    #[test]
+    fn index_is_larger_than_fb_lsh_style_sharing() {
+        // E2LSH rebuilds hash functions per radius: memory grows with the
+        // number of materialized radii.
+        let data = Arc::new(gaussian_mixture(&MixtureConfig {
+            n: 1000,
+            dim: 16,
+            ..Default::default()
+        }));
+        let params = E2LshParams::paper_like(data.len()).with_r_min(0.5);
+        let idx = E2Lsh::build(Arc::clone(&data), &params);
+        assert!(idx.num_radii() >= 2);
+        assert!(idx.index_size_bytes() > idx.num_radii() * 1000);
+    }
+}

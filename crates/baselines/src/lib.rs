@@ -1,0 +1,40 @@
+//! Every comparison algorithm from the DB-LSH evaluation (Table I /
+//! Table IV), implemented from scratch on the substrates of this
+//! workspace. All of them implement [`dblsh_data::AnnIndex`] so the
+//! benchmark harness drives them interchangeably with DB-LSH itself.
+//!
+//! | Module | Algorithm | Family | Paper |
+//! |--------|-----------|--------|-------|
+//! | [`linear`] | exhaustive scan | exact | — |
+//! | [`fb_lsh`] | FB-LSH | static (K,L)-index, fixed buckets | the DB-LSH paper's own ablation |
+//! | [`e2lsh`] | E2LSH | static (K,L)-index | Datar et al. 2004 |
+//! | [`qalsh`] | QALSH | collision counting (C2) | Huang et al. 2015 |
+//! | [`vhp`] | VHP | C2 + virtual hypersphere | Lu et al. 2020 |
+//! | [`r2lsh`] | R2LSH | C2 over 2-d planes | Lu & Kudo 2020 |
+//! | [`pm_lsh`] | PM-LSH | dynamic metric query (MQ) | Zheng et al. 2020 |
+//! | [`lsb`] | LSB-Forest | static (K,L), Z-order trees | Tao et al. 2009 |
+//! | [`lccs`] | LCCS-LSH | circular co-substring search | Lei et al. 2020 |
+//!
+//! Fidelity notes and intentional simplifications for each baseline are
+//! documented in the module docs and in `DESIGN.md` §4.
+
+pub mod common;
+pub mod e2lsh;
+pub mod fb_lsh;
+pub mod lccs;
+pub mod linear;
+pub mod lsb;
+pub mod pm_lsh;
+pub mod qalsh;
+pub mod r2lsh;
+pub mod vhp;
+
+pub use e2lsh::E2Lsh;
+pub use fb_lsh::FbLsh;
+pub use lccs::LccsLsh;
+pub use linear::LinearScan;
+pub use lsb::LsbForest;
+pub use pm_lsh::PmLsh;
+pub use qalsh::Qalsh;
+pub use r2lsh::R2Lsh;
+pub use vhp::Vhp;

@@ -1,0 +1,64 @@
+//! Exhaustive linear scan — the exact baseline and the reference every
+//! approximate method is scored against.
+
+use std::sync::Arc;
+
+use dblsh_data::ground_truth::exact_knn_single;
+use dblsh_data::{AnnIndex, Dataset, QueryStats, SearchResult};
+
+/// Exact k-NN by brute force. `search` is `O(n d)` per query.
+#[derive(Debug)]
+pub struct LinearScan {
+    data: Arc<Dataset>,
+}
+
+impl LinearScan {
+    pub fn build(data: Arc<Dataset>) -> Self {
+        LinearScan { data }
+    }
+
+    pub fn data(&self) -> &Dataset {
+        &self.data
+    }
+}
+
+impl AnnIndex for LinearScan {
+    fn name(&self) -> &'static str {
+        "LinearScan"
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> SearchResult {
+        let neighbors = exact_knn_single(&self.data, query, k);
+        let stats = QueryStats {
+            candidates: self.data.len(),
+            rounds: 1,
+            index_probes: self.data.len(),
+        };
+        SearchResult { neighbors, stats }
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        0 // no index structure beyond the dataset itself
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_results() {
+        let data = Arc::new(Dataset::from_rows(&[
+            vec![0.0, 0.0],
+            vec![3.0, 4.0],
+            vec![1.0, 1.0],
+        ]));
+        let ls = LinearScan::build(Arc::clone(&data));
+        let r = ls.search(&[0.0, 0.0], 2);
+        assert_eq!(r.ids(), vec![0, 2]);
+        assert_eq!(r.neighbors[1].dist, (2.0f32).sqrt());
+        assert_eq!(r.stats.candidates, 3);
+        assert_eq!(ls.index_size_bytes(), 0);
+        assert_eq!(ls.name(), "LinearScan");
+    }
+}

@@ -1,0 +1,286 @@
+//! QALSH — query-aware LSH with collision counting (Huang et al., PVLDB
+//! 2015); the representative of the C2 family in the DB-LSH evaluation
+//! (R2LSH and VHP are its descendants).
+//!
+//! Indexing: `m` one-dimensional Gaussian projections `h_i(o) = a_i . o`;
+//! each projection is a B+-tree over `(h_i(o), id)`.
+//!
+//! Query (virtual rehashing): anchor a bidirectional cursor at `h_i(q)` in
+//! every tree. At round `R = 1, c, c^2, ...` each cursor consumes entries
+//! while `|h_i(o) - h_i(q)| <= w R / 2` (the query-centric 1-d bucket).
+//! Every consumed entry increments the point's collision count; a point
+//! whose count reaches the threshold `l` becomes a candidate and is
+//! verified against the original vectors. Termination (the two QALSH
+//! conditions): at least `k` results within `c R` at the end of a round,
+//! or `beta n + k` candidates verified.
+//!
+//! Parameters follow the QALSH paper's Chernoff-bound derivation:
+//! `p1 = p(1; w)`, `p2 = p(c; w)`, `alpha = (p1 + p2) / 2`, error bound
+//! `delta = 1/e`, false-positive rate `beta = 100/n`, and
+//! `m = ceil(max(ln(1/delta) / (2 (p1-alpha)^2), ln(2/beta) / (2 (alpha-p2)^2)))`,
+//! `l = ceil(alpha m)`.
+
+use std::sync::Arc;
+
+use dblsh_bptree::BPlusTree;
+use dblsh_data::{AnnIndex, Dataset, SearchResult};
+use dblsh_math::p_dynamic;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::common::Verifier;
+
+/// QALSH parameters.
+#[derive(Debug, Clone)]
+pub struct QalshParams {
+    /// Approximation ratio `c > 1`.
+    pub c: f64,
+    /// 1-d bucket width `w` (QALSH default: `sqrt((8 c^2 ln c)/(c^2 - 1))`).
+    pub w: f64,
+    /// Number of projections (derived if built via [`QalshParams::derive`]).
+    pub m: usize,
+    /// Collision threshold.
+    pub l: usize,
+    /// Verification cap fraction: verify at most `beta n + k` candidates.
+    pub beta: f64,
+    /// Radius ladder start.
+    pub r_min: f64,
+    /// Ladder safety cap.
+    pub max_rounds: usize,
+    pub seed: u64,
+}
+
+impl QalshParams {
+    /// Derive `(m, l)` from the Chernoff bounds for a dataset of size `n`.
+    pub fn derive(n: usize, c: f64) -> Self {
+        assert!(c > 1.0, "approximation ratio must exceed 1");
+        assert!(n >= 2);
+        // QALSH's width minimizing m for given c:
+        let w = (8.0 * c * c * (c).ln() / (c * c - 1.0)).sqrt();
+        let p1 = p_dynamic(1.0, w);
+        let p2 = p_dynamic(c, w);
+        let alpha = (p1 + p2) / 2.0;
+        let delta = 1.0 / std::f64::consts::E;
+        let beta = (100.0 / n as f64).min(0.1);
+        let m1 = (1.0 / delta).ln() / (2.0 * (p1 - alpha).powi(2));
+        let m2 = (2.0 / beta).ln() / (2.0 * (alpha - p2).powi(2));
+        let m = m1.max(m2).ceil() as usize;
+        let l = (alpha * m as f64).ceil() as usize;
+        QalshParams {
+            c,
+            w,
+            m: m.max(1),
+            l: l.max(1),
+            beta,
+            r_min: 1.0,
+            max_rounds: 64,
+            seed: 0x9A15_11,
+        }
+    }
+
+    pub fn with_r_min(mut self, r_min: f64) -> Self {
+        assert!(r_min > 0.0 && r_min.is_finite());
+        self.r_min = r_min;
+        self
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A built QALSH index.
+pub struct Qalsh {
+    params: QalshParams,
+    /// `m` projection vectors, laid out `[m][dim]`.
+    proj: Vec<f64>,
+    trees: Vec<BPlusTree>,
+    data: Arc<Dataset>,
+}
+
+impl Qalsh {
+    pub fn build(data: Arc<Dataset>, params: &QalshParams) -> Self {
+        assert!(!data.is_empty(), "cannot index an empty dataset");
+        let dim = data.dim();
+        let n = data.len();
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let proj: Vec<f64> = (0..params.m * dim).map(|_| normal(&mut rng)).collect();
+
+        let mut trees = Vec::with_capacity(params.m);
+        let mut pairs: Vec<(f64, u32)> = Vec::with_capacity(n);
+        for i in 0..params.m {
+            let row = &proj[i * dim..(i + 1) * dim];
+            pairs.clear();
+            for p in 0..n {
+                pairs.push((dot(row, data.point(p)), p as u32));
+            }
+            pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+            trees.push(BPlusTree::bulk_build(&pairs));
+        }
+        Qalsh {
+            params: params.clone(),
+            proj,
+            trees,
+            data,
+        }
+    }
+
+    pub fn params(&self) -> &QalshParams {
+        &self.params
+    }
+
+    fn project_query(&self, q: &[f32]) -> Vec<f64> {
+        let dim = self.data.dim();
+        (0..self.params.m)
+            .map(|i| dot(&self.proj[i * dim..(i + 1) * dim], q))
+            .collect()
+    }
+}
+
+impl AnnIndex for Qalsh {
+    fn name(&self) -> &'static str {
+        "QALSH"
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> SearchResult {
+        let p = &self.params;
+        let n = self.data.len();
+        let budget = (p.beta * n as f64).ceil() as usize + k;
+        let mut verifier = Verifier::new(&self.data, query, k, budget);
+        let anchors = self.project_query(query);
+        let mut cursors: Vec<_> = self
+            .trees
+            .iter()
+            .zip(&anchors)
+            .map(|(t, &a)| t.cursor_at(a))
+            .collect();
+        let mut counts = vec![0u16; n];
+        let threshold = p.l.min(p.m) as u16;
+
+        let mut r = p.r_min;
+        'outer: for _ in 0..p.max_rounds {
+            verifier.stats.rounds += 1;
+            let half_width = p.w * r / 2.0;
+            let cr = p.c * r;
+            for (i, cur) in cursors.iter_mut().enumerate() {
+                let anchor = anchors[i];
+                loop {
+                    // Consume only entries inside the current 1-d bucket;
+                    // out-of-bucket entries stay for larger rounds (the
+                    // cursor advances destructively).
+                    let l_ok = cur
+                        .peek_left()
+                        .is_some_and(|v| (anchor - v).abs() <= half_width);
+                    let r_ok = cur
+                        .peek_right()
+                        .is_some_and(|v| (v - anchor).abs() <= half_width);
+                    let step = match (l_ok, r_ok) {
+                        (false, false) => None,
+                        (true, false) => cur.next_left(),
+                        (false, true) => cur.next_right(),
+                        (true, true) => cur.next_closest(anchor),
+                    };
+                    let Some((_, id)) = step else { break };
+                    let cnt = &mut counts[id as usize];
+                    *cnt += 1;
+                    if *cnt == threshold {
+                        if !verifier.offer(id) {
+                            break 'outer; // beta n + k verified
+                        }
+                    } else {
+                        verifier.stats.index_probes += 1;
+                    }
+                }
+            }
+            // QALSH terminates a round if k results are within c*R
+            if verifier.kth_within(cr) || verifier.saturated() {
+                break;
+            }
+            r *= p.c;
+        }
+
+        SearchResult {
+            neighbors: verifier.top,
+            stats: verifier.stats,
+        }
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        // m B+-trees of n (f64, u32) pairs plus the projection matrix
+        self.params.m * self.data.len() * 12 + self.proj.len() * 8
+    }
+}
+
+#[inline]
+fn dot(a: &[f64], x: &[f32]) -> f64 {
+    a.iter().zip(x).map(|(&p, &v)| p * v as f64).sum()
+}
+
+fn normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dblsh_data::ground_truth::exact_knn_single;
+    use dblsh_data::metrics;
+    use dblsh_data::synthetic::{gaussian_mixture, split_queries, MixtureConfig};
+
+    #[test]
+    fn derived_parameters_are_sane() {
+        let p = QalshParams::derive(100_000, 1.5);
+        assert!(p.m >= 10 && p.m <= 1000, "m = {}", p.m);
+        assert!(p.l <= p.m);
+        assert!(p.w > 0.0);
+        // threshold between the two collision probabilities
+        let p1 = p_dynamic(1.0, p.w);
+        let p2 = p_dynamic(p.c, p.w);
+        let alpha = p.l as f64 / p.m as f64;
+        assert!(alpha < p1 && alpha > p2 * 0.9);
+    }
+
+    #[test]
+    fn recall_on_clustered_data() {
+        let mut data = gaussian_mixture(&MixtureConfig {
+            n: 3000,
+            dim: 20,
+            clusters: 25,
+            cluster_std: 1.0,
+            spread: 60.0,
+            noise_frac: 0.02,
+            seed: 31,
+        });
+        let queries = split_queries(&mut data, 12, 6);
+        let data = Arc::new(data);
+        let params = QalshParams::derive(data.len(), 1.5).with_r_min(0.5);
+        let idx = Qalsh::build(Arc::clone(&data), &params);
+        let mut recalls = Vec::new();
+        for qi in 0..queries.len() {
+            let q = queries.point(qi);
+            let truth = exact_knn_single(&data, q, 10);
+            let got = idx.search(q, 10);
+            assert!(got.neighbors.windows(2).all(|w| w[0].dist <= w[1].dist));
+            recalls.push(metrics::recall(&got.neighbors, &truth));
+        }
+        let mean = metrics::mean(&recalls);
+        assert!(mean > 0.6, "mean recall too low: {mean}");
+    }
+
+    #[test]
+    fn verification_cap_respected() {
+        let data = Arc::new(gaussian_mixture(&MixtureConfig {
+            n: 2000,
+            dim: 16,
+            ..Default::default()
+        }));
+        let params = QalshParams::derive(data.len(), 1.5).with_r_min(0.25);
+        let idx = Qalsh::build(Arc::clone(&data), &params);
+        let res = idx.search(data.point(0), 5);
+        let cap = (params.beta * 2000.0).ceil() as usize + 5;
+        assert!(res.stats.candidates <= cap);
+    }
+}

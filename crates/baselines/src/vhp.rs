@@ -1,0 +1,266 @@
+//! VHP — approximate NN via Virtual Hypersphere Partitioning (Lu, Wang,
+//! Wang, Kudo; PVLDB 2020). A C2-family method: same per-projection
+//! B+-tree expansion as QALSH, but a point is admitted for verification
+//! only if it falls inside a *virtual hypersphere* in the projected
+//! space, which is a strictly tighter region than QALSH's count-only rule
+//! and yields fewer, higher-quality candidates per round.
+//!
+//! Implementation (documented approximation, DESIGN.md §4): points reach
+//! collision threshold `l` exactly as in QALSH; the admission then checks
+//! the *exact projected Euclidean distance* over all `m` projections
+//! against the hypersphere radius `t0 * (w R / 2) * sqrt(m)` (`t0 = 1.4`,
+//! the paper's setting). The hypersphere test costs `O(m)` per admitted
+//! point, which matches VHP's accounting of projected-distance work.
+
+use std::sync::Arc;
+
+use dblsh_bptree::BPlusTree;
+use dblsh_data::{AnnIndex, Dataset, SearchResult};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::common::Verifier;
+use crate::qalsh::QalshParams;
+
+/// VHP parameters: QALSH base plus the hypersphere scale `t0`.
+#[derive(Debug, Clone)]
+pub struct VhpParams {
+    pub base: QalshParams,
+    /// Hypersphere radius scale (paper setting 1.4).
+    pub t0: f64,
+}
+
+impl VhpParams {
+    pub fn derive(n: usize, c: f64) -> Self {
+        VhpParams {
+            base: QalshParams::derive(n, c).with_seed(0x0EEA_7),
+            t0: 1.4,
+        }
+    }
+
+    pub fn with_r_min(mut self, r_min: f64) -> Self {
+        self.base = self.base.with_r_min(r_min);
+        self
+    }
+}
+
+/// A built VHP index.
+pub struct Vhp {
+    params: VhpParams,
+    proj: Vec<f64>,
+    trees: Vec<BPlusTree>,
+    /// Projected coordinates `[n][m]` for the hypersphere admission test.
+    projected: Vec<f64>,
+    data: Arc<Dataset>,
+}
+
+impl Vhp {
+    pub fn build(data: Arc<Dataset>, params: &VhpParams) -> Self {
+        assert!(!data.is_empty(), "cannot index an empty dataset");
+        assert!(params.t0 > 0.0);
+        let dim = data.dim();
+        let n = data.len();
+        let m = params.base.m;
+        let mut rng = StdRng::seed_from_u64(params.base.seed);
+        let proj: Vec<f64> = (0..m * dim).map(|_| normal(&mut rng)).collect();
+
+        let mut projected = vec![0.0f64; n * m];
+        let mut trees = Vec::with_capacity(m);
+        let mut pairs: Vec<(f64, u32)> = Vec::with_capacity(n);
+        for i in 0..m {
+            let row = &proj[i * dim..(i + 1) * dim];
+            pairs.clear();
+            for p in 0..n {
+                let v = dot(row, data.point(p));
+                projected[p * m + i] = v;
+                pairs.push((v, p as u32));
+            }
+            pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+            trees.push(BPlusTree::bulk_build(&pairs));
+        }
+        Vhp {
+            params: params.clone(),
+            proj,
+            trees,
+            projected,
+            data,
+        }
+    }
+
+    pub fn params(&self) -> &VhpParams {
+        &self.params
+    }
+}
+
+impl AnnIndex for Vhp {
+    fn name(&self) -> &'static str {
+        "VHP"
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> SearchResult {
+        let p = &self.params.base;
+        let m = p.m;
+        let dim = self.data.dim();
+        let n = self.data.len();
+        let budget = (p.beta * n as f64).ceil() as usize + k;
+        let mut verifier = Verifier::new(&self.data, query, k, budget);
+        let anchors: Vec<f64> = (0..m)
+            .map(|i| dot(&self.proj[i * dim..(i + 1) * dim], query))
+            .collect();
+        let mut cursors: Vec<_> = self
+            .trees
+            .iter()
+            .zip(&anchors)
+            .map(|(t, &a)| t.cursor_at(a))
+            .collect();
+        let mut counts = vec![0u16; n];
+        let threshold = p.l.min(p.m) as u16;
+
+        let mut r = p.r_min;
+        'outer: for _ in 0..p.max_rounds {
+            verifier.stats.rounds += 1;
+            let half_width = p.w * r / 2.0;
+            let cr = p.c * r;
+            // virtual hypersphere radius in the m-d projected space
+            let sphere2 = {
+                let rad = self.params.t0 * half_width * (m as f64).sqrt();
+                rad * rad
+            };
+            for (i, cur) in cursors.iter_mut().enumerate() {
+                let anchor = anchors[i];
+                loop {
+                    let l_ok = cur
+                        .peek_left()
+                        .is_some_and(|v| (anchor - v).abs() <= half_width);
+                    let r_ok = cur
+                        .peek_right()
+                        .is_some_and(|v| (v - anchor).abs() <= half_width);
+                    let step = match (l_ok, r_ok) {
+                        (false, false) => None,
+                        (true, false) => cur.next_left(),
+                        (false, true) => cur.next_right(),
+                        (true, true) => cur.next_closest(anchor),
+                    };
+                    let Some((_, id)) = step else { break };
+                    let cnt = &mut counts[id as usize];
+                    *cnt += 1;
+                    if *cnt != threshold {
+                        verifier.stats.index_probes += 1;
+                        continue;
+                    }
+                    // hypersphere admission on the exact projected distance
+                    let pd2 = proj_dist2(
+                        &self.projected[id as usize * m..(id as usize + 1) * m],
+                        &anchors,
+                    );
+                    if pd2 > sphere2 {
+                        // rejected now; allow future rounds to re-admit
+                        *cnt = threshold - 1;
+                        verifier.stats.index_probes += 1;
+                        continue;
+                    }
+                    if !verifier.offer(id) {
+                        break 'outer;
+                    }
+                }
+            }
+            if verifier.kth_within(cr) || verifier.saturated() {
+                break;
+            }
+            r *= p.c;
+        }
+
+        SearchResult {
+            neighbors: verifier.top,
+            stats: verifier.stats,
+        }
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        self.params.base.m * self.data.len() * 12
+            + self.projected.len() * 8
+            + self.proj.len() * 8
+    }
+}
+
+#[inline]
+fn proj_dist2(point: &[f64], anchor: &[f64]) -> f64 {
+    point
+        .iter()
+        .zip(anchor)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum()
+}
+
+#[inline]
+fn dot(a: &[f64], x: &[f32]) -> f64 {
+    a.iter().zip(x).map(|(&p, &v)| p * v as f64).sum()
+}
+
+fn normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dblsh_data::ground_truth::exact_knn_single;
+    use dblsh_data::metrics;
+    use dblsh_data::synthetic::{gaussian_mixture, split_queries, MixtureConfig};
+
+    #[test]
+    fn recall_on_clustered_data() {
+        let mut data = gaussian_mixture(&MixtureConfig {
+            n: 3000,
+            dim: 20,
+            clusters: 25,
+            cluster_std: 1.0,
+            spread: 60.0,
+            noise_frac: 0.02,
+            seed: 77,
+        });
+        let queries = split_queries(&mut data, 12, 9);
+        let data = Arc::new(data);
+        let params = VhpParams::derive(data.len(), 1.5).with_r_min(0.5);
+        let idx = Vhp::build(Arc::clone(&data), &params);
+        let mut recalls = Vec::new();
+        for qi in 0..queries.len() {
+            let q = queries.point(qi);
+            let truth = exact_knn_single(&data, q, 10);
+            let got = idx.search(q, 10);
+            recalls.push(metrics::recall(&got.neighbors, &truth));
+        }
+        let mean = metrics::mean(&recalls);
+        assert!(mean > 0.5, "mean recall too low: {mean}");
+    }
+
+    #[test]
+    fn admission_is_tighter_than_qalsh() {
+        // With identical budgets VHP should verify no more candidates than
+        // QALSH on the same query (the hypersphere only rejects).
+        let data = Arc::new(gaussian_mixture(&MixtureConfig {
+            n: 2000,
+            dim: 16,
+            seed: 3,
+            ..Default::default()
+        }));
+        let vp = VhpParams::derive(data.len(), 1.5).with_r_min(0.5);
+        let qp = QalshParams {
+            seed: vp.base.seed,
+            ..QalshParams::derive(data.len(), 1.5).with_r_min(0.5)
+        };
+        let vhp = Vhp::build(Arc::clone(&data), &vp);
+        let qalsh = crate::qalsh::Qalsh::build(Arc::clone(&data), &qp);
+        let q = data.point(0);
+        let a = vhp.search(q, 10);
+        let b = qalsh.search(q, 10);
+        assert!(
+            a.stats.candidates <= b.stats.candidates + 5,
+            "VHP {} vs QALSH {}",
+            a.stats.candidates,
+            b.stats.candidates
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests shared by every baseline: the AnnIndex contract must
+//! hold under arbitrary data and queries.
+
+use std::sync::Arc;
+
+use dblsh_baselines::{
+    lccs::LccsParams, lsb::LsbParams, pm_lsh::PmLshParams, qalsh::QalshParams, FbLsh, LccsLsh,
+    LinearScan, LsbForest, PmLsh, Qalsh,
+};
+use dblsh_core::DbLshParams;
+use dblsh_data::{AnnIndex, Dataset};
+use proptest::prelude::*;
+
+fn rows(max_n: usize, dim: usize) -> impl Strategy<Value = Vec<Vec<f32>>> {
+    prop::collection::vec(
+        prop::collection::vec(-50.0f32..50.0, dim..=dim),
+        5..max_n,
+    )
+}
+
+fn build_all(data: &Arc<Dataset>) -> Vec<Box<dyn AnnIndex>> {
+    let n = data.len();
+    vec![
+        Box::new(LinearScan::build(Arc::clone(data))),
+        Box::new(FbLsh::build(
+            Arc::clone(data),
+            &DbLshParams::paper_defaults(n).with_kl(4, 2).with_r_min(0.5),
+            12,
+        )),
+        Box::new(Qalsh::build(
+            Arc::clone(data),
+            &QalshParams::derive(n, 1.5).with_r_min(0.5),
+        )),
+        Box::new(PmLsh::build(
+            Arc::clone(data),
+            &PmLshParams {
+                m: 6,
+                ..Default::default()
+            },
+        )),
+        Box::new(LsbForest::build(
+            Arc::clone(data),
+            &LsbParams {
+                m: 6,
+                u: 3,
+                trees: 4,
+                ..Default::default()
+            },
+        )),
+        Box::new(LccsLsh::build(Arc::clone(data), &LccsParams::default())),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn ann_contract_for_every_baseline(
+        pts in rows(80, 8),
+        k in 1usize..12,
+        qi in 0usize..80,
+    ) {
+        let data = Arc::new(Dataset::from_rows(&pts));
+        let q = data.point(qi % data.len()).to_vec();
+        for index in build_all(&data) {
+            let res = index.search(&q, k);
+            prop_assert!(res.neighbors.len() <= k, "{}", index.name());
+            prop_assert!(
+                res.neighbors.windows(2).all(|w| w[0].dist <= w[1].dist),
+                "{} unsorted", index.name()
+            );
+            let mut ids = res.ids();
+            ids.sort_unstable();
+            let before = ids.len();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), before, "{} duplicates", index.name());
+            for n in &res.neighbors {
+                prop_assert!((n.id as usize) < data.len(), "{}", index.name());
+                let true_d = dblsh_data::dataset::dist(&q, data.point(n.id as usize));
+                prop_assert!(
+                    (n.dist - true_d).abs() <= 1e-3 * (1.0 + true_d),
+                    "{} reported wrong distance", index.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn linear_scan_is_lower_bound_for_first_neighbor(
+        pts in rows(60, 6),
+        qi in 0usize..60,
+    ) {
+        let data = Arc::new(Dataset::from_rows(&pts));
+        let q = data.point(qi % data.len()).to_vec();
+        let exact = LinearScan::build(Arc::clone(&data)).search(&q, 1);
+        for index in build_all(&data) {
+            let res = index.search(&q, 1);
+            if let Some(first) = res.neighbors.first() {
+                prop_assert!(
+                    first.dist + 1e-6 >= exact.neighbors[0].dist,
+                    "{} beat the exact NN", index.name()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Criterion benchmarks of single (c,k)-ANN queries for every algorithm
+//! on a shared 10k-point clustered dataset — the per-query cost picture
+//! behind Table IV.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dblsh_bench::{Algo, Env};
+use dblsh_data::synthetic::MixtureConfig;
+
+fn bench_queries(c: &mut Criterion) {
+    let mut g = c.benchmark_group("single_query_k10");
+    g.sample_size(20);
+    let env = Env::from_config(
+        "bench-10k".into(),
+        &MixtureConfig {
+            n: 10_000,
+            dim: 64,
+            clusters: 64,
+            cluster_std: 1.0,
+            spread: 50.0,
+            noise_frac: 0.05,
+            seed: 99,
+        },
+    );
+    let query: Vec<f32> = env.queries.point(0).to_vec();
+    for algo in [
+        Algo::DbLsh,
+        Algo::FbLsh,
+        Algo::E2Lsh,
+        Algo::Qalsh,
+        Algo::Vhp,
+        Algo::R2Lsh,
+        Algo::PmLsh,
+        Algo::LsbForest,
+        Algo::LccsLsh,
+        Algo::Linear,
+    ] {
+        let (index, _) = algo.build(&env, 1.5);
+        g.bench_function(algo.name(), |b| {
+            b.iter(|| index.search(black_box(&query), 10));
+        });
+    }
+    g.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("index_build_5k");
+    g.sample_size(10);
+    let env = Env::from_config(
+        "build-5k".into(),
+        &MixtureConfig {
+            n: 5_000,
+            dim: 64,
+            clusters: 32,
+            cluster_std: 1.0,
+            spread: 50.0,
+            noise_frac: 0.05,
+            seed: 7,
+        },
+    );
+    for algo in [Algo::DbLsh, Algo::FbLsh, Algo::PmLsh, Algo::Qalsh] {
+        g.bench_function(algo.name(), |b| {
+            b.iter(|| {
+                let (index, _) = algo.build(black_box(&env), 1.5);
+                black_box(index.index_size_bytes())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_queries, bench_build);
+criterion_main!(benches);

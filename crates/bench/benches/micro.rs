@@ -1,0 +1,117 @@
+//! Criterion micro-benchmarks for the substrates: special functions, hash
+//! projection throughput, R*-tree construction and window queries, and
+//! B+-tree cursor expansion.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dblsh_bptree::BPlusTree;
+use dblsh_core::GaussianHasher;
+use dblsh_data::synthetic::{gaussian_mixture, MixtureConfig};
+use dblsh_index::{RStarTree, Rect};
+use dblsh_math::{normal_cdf, p_dynamic, rho_dynamic};
+
+fn bench_math(c: &mut Criterion) {
+    let mut g = c.benchmark_group("math");
+    g.bench_function("normal_cdf", |b| {
+        b.iter(|| normal_cdf(black_box(1.234)));
+    });
+    g.bench_function("p_dynamic", |b| {
+        b.iter(|| p_dynamic(black_box(1.5), black_box(9.0)));
+    });
+    g.bench_function("rho_dynamic", |b| {
+        b.iter(|| rho_dynamic(black_box(1.5), black_box(9.0)));
+    });
+    g.finish();
+}
+
+fn bench_hashing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hashing");
+    for dim in [128usize, 960] {
+        let hasher = GaussianHasher::new(dim, 10, 5, 1);
+        let point: Vec<f32> = (0..dim).map(|i| i as f32 * 0.01).collect();
+        let mut out = vec![0.0f64; 10];
+        g.bench_with_input(BenchmarkId::new("project_k10", dim), &dim, |b, _| {
+            b.iter(|| hasher.project_into(0, black_box(&point), &mut out));
+        });
+    }
+    g.finish();
+}
+
+fn projected_cloud(n: usize, k: usize) -> (Vec<u32>, Vec<f64>) {
+    let data = gaussian_mixture(&MixtureConfig {
+        n,
+        dim: 32,
+        clusters: 40,
+        seed: 3,
+        ..Default::default()
+    });
+    let hasher = GaussianHasher::new(32, k, 1, 2);
+    let proj = hasher.project_all(0, data.flat());
+    ((0..n as u32).collect(), proj)
+}
+
+fn bench_rtree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rstar_tree");
+    g.sample_size(20);
+    let (ids, proj) = projected_cloud(20_000, 10);
+
+    g.bench_function("bulk_load_20k_k10", |b| {
+        b.iter(|| RStarTree::bulk_load(10, black_box(&ids), black_box(&proj)));
+    });
+
+    let tree = RStarTree::bulk_load(10, &ids, &proj);
+    let center: Vec<f64> = proj[..10].to_vec();
+    for width in [5.0f64, 20.0, 80.0] {
+        let window = Rect::centered_cube(&center, width);
+        g.bench_with_input(
+            BenchmarkId::new("window_query", width as u64),
+            &window,
+            |b, w| {
+                b.iter(|| {
+                    let mut count = 0usize;
+                    for item in tree.window(black_box(w)) {
+                        count += 1;
+                        black_box(item);
+                    }
+                    count
+                });
+            },
+        );
+    }
+    g.bench_function("knn_10", |b| {
+        b.iter(|| tree.k_nearest(black_box(&center), 10));
+    });
+    g.finish();
+}
+
+fn bench_bptree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bptree");
+    g.sample_size(20);
+    let pairs: Vec<(f64, u32)> = (0..100_000)
+        .map(|i| ((i as f64 * 0.37).sin() * 1e4, i as u32))
+        .collect();
+    let mut sorted = pairs.clone();
+    sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+    g.bench_function("bulk_build_100k", |b| {
+        b.iter(|| BPlusTree::bulk_build(black_box(&sorted)));
+    });
+
+    let tree = BPlusTree::bulk_build(&sorted);
+    g.bench_function("cursor_expand_1k", |b| {
+        b.iter(|| {
+            let mut cur = tree.cursor_at(black_box(0.0));
+            let mut acc = 0u64;
+            for _ in 0..1000 {
+                match cur.next_closest(0.0) {
+                    Some((_, v)) => acc += v as u64,
+                    None => break,
+                }
+            }
+            acc
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_math, bench_hashing, bench_rtree, bench_bptree);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Extension experiment (the paper's future work: "more efficient search
+//! strategies and early termination conditions"): the discrete radius
+//! ladder of Algorithm 2 vs incremental best-first browsing with an
+//! estimator-based early stop (I-LSH/EI-LSH style), on the same index.
+//!
+//! Run: `cargo run -p dblsh-bench --release --bin ablation_incremental`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use dblsh_bench::Env;
+use dblsh_core::{DbLsh, DbLshParams};
+use dblsh_data::registry::PaperDataset;
+use dblsh_data::{metrics, Neighbor};
+
+fn main() {
+    let k = 50;
+    println!("== Extension: radius ladder vs incremental browsing ==");
+    for dataset in [PaperDataset::Audio, PaperDataset::Deep1M, PaperDataset::Gist] {
+        let mut env = Env::paper(dataset);
+        let params = DbLshParams::paper_defaults(env.data.len()).with_r_min(env.r_hint);
+        let index = DbLsh::build(Arc::clone(&env.data), &params);
+        let truth = env.truth(k).clone();
+        println!(
+            "\n-- {} (n = {}, d = {}) --",
+            env.label,
+            env.data.len(),
+            env.data.dim()
+        );
+        println!(
+            "{:<14} {:>12} {:>9} {:>9} {:>11}",
+            "Mode", "Query(ms)", "Recall", "Ratio", "Candidates"
+        );
+        for mode in ["ladder", "incremental"] {
+            let start = Instant::now();
+            let results: Vec<_> = (0..env.queries.len())
+                .map(|qi| {
+                    let q = env.queries.point(qi);
+                    if mode == "ladder" {
+                        index.k_ann(q, k)
+                    } else {
+                        index.k_ann_incremental(q, k)
+                    }
+                })
+                .collect();
+            let ms = start.elapsed().as_secs_f64() * 1e3 / env.queries.len() as f64;
+            let score = |f: &dyn Fn(&[Neighbor], &[Neighbor]) -> f64| {
+                let v: Vec<f64> = results
+                    .iter()
+                    .zip(&truth)
+                    .map(|(r, t)| f(&r.neighbors, t))
+                    .filter(|v| v.is_finite())
+                    .collect();
+                metrics::mean(&v)
+            };
+            let cand = metrics::mean(
+                &results
+                    .iter()
+                    .map(|r| r.stats.candidates as f64)
+                    .collect::<Vec<_>>(),
+            );
+            println!(
+                "{:<14} {:>12.3} {:>9.4} {:>9.4} {:>11.0}",
+                mode,
+                ms,
+                score(&|r, t| metrics::recall(r, t)),
+                score(&|r, t| metrics::overall_ratio(r, t)),
+                cand
+            );
+        }
+    }
+    println!(
+        "\nShape to verify: comparable accuracy; incremental mode needs no\n\
+         r_min tuning and fewer wasted probes on re-scanned inner windows,\n\
+         at the price of heap maintenance per candidate."
+    );
+}

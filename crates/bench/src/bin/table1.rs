@@ -1,0 +1,102 @@
+//! Table I: comparison of typical LSH methods — index size and query cost
+//! expressions, with the paper's exponents evaluated numerically.
+//!
+//! Run: `cargo run -p dblsh-bench --release --bin table1`
+
+use dblsh_math::{alpha_exponent, rho_dynamic, rho_static};
+
+fn main() {
+    println!("== Table I: Comparison of Typical LSH Methods ==\n");
+    println!(
+        "{:<12} {:<9} {:<14} {:<26} {:<22} {}",
+        "Algorithm", "Indexing", "Query", "Index Size", "Query Cost", "Comment"
+    );
+    let rows = [
+        (
+            "DB-LSH",
+            "Dynamic",
+            "Query-centric",
+            "O(n^(1+rho*) d log n)",
+            "O(n^rho* d log n)",
+            "rho* <= 1/c^alpha",
+        ),
+        (
+            "E2LSH",
+            "Static",
+            "Query-oblivious",
+            "O(M n^(1+rho) d log n)",
+            "O(n^rho d log n)",
+            "rho <= 1/c",
+        ),
+        (
+            "LSB-Forest",
+            "Static",
+            "Query-oblivious",
+            "O(n^(1+rho) d log n)",
+            "O(n^rho d log n)",
+            "rho <= 1/c, c >= 2",
+        ),
+        (
+            "QALSH",
+            "Dynamic",
+            "Query-centric",
+            "O(n K)",
+            "O(n K + d)",
+            "K = O(log n)",
+        ),
+        (
+            "VHP",
+            "Dynamic",
+            "Query-centric",
+            "O(n K)",
+            "O(n (K + d))",
+            "K = O(1)",
+        ),
+        (
+            "R2LSH",
+            "Dynamic",
+            "Query-centric",
+            "O(n K)",
+            "O(n (K + d))",
+            "K = O(1)",
+        ),
+        (
+            "SRS",
+            "Dynamic",
+            "Query-centric",
+            "O(n)",
+            "O(beta n (log n + d))",
+            "beta << 1",
+        ),
+        (
+            "PM-LSH",
+            "Dynamic",
+            "Query-centric",
+            "O(n)",
+            "O(beta n d)",
+            "beta << 1",
+        ),
+    ];
+    for (algo, indexing, query, size, cost, comment) in rows {
+        println!("{algo:<12} {indexing:<9} {query:<14} {size:<26} {cost:<22} {comment}");
+    }
+
+    println!("\n-- exponents evaluated at the paper's settings --");
+    println!(
+        "{:<8} {:>10} {:>12} {:>10} {:>12}",
+        "c", "rho*", "1/c^alpha", "rho", "1/c"
+    );
+    let alpha = alpha_exponent(2.0);
+    println!("(w0 = 4c^2, gamma = 2, alpha = {alpha:.3})");
+    for c in [1.2, 1.5, 2.0, 3.0, 4.0] {
+        let w = 4.0 * c * c;
+        println!(
+            "{:<8.1} {:>10.5} {:>12.5} {:>10.5} {:>12.5}",
+            c,
+            rho_dynamic(c, w),
+            c.powf(-alpha),
+            rho_static(c, w),
+            1.0 / c
+        );
+    }
+}

@@ -1,0 +1,254 @@
+//! Bidirectional cursor over the doubly linked leaf chain.
+
+use crate::tree::{BPlusTree, Node};
+
+/// A two-headed cursor anchored at a key position.
+///
+/// `next_right` yields entries with key >= the anchor in ascending order;
+/// `next_left` yields entries with key < the anchor in descending order.
+/// The two heads are independent — exactly the access pattern of
+/// query-aware LSH bucket expansion, which repeatedly consumes the head
+/// whose key is currently closer to the query projection.
+pub struct Cursor<'t> {
+    tree: &'t BPlusTree,
+    /// (leaf, slot) of the next entry to the left (consumed moving left).
+    left: Option<(usize, usize)>,
+    /// (leaf, slot) of the next entry to the right (consumed moving right).
+    right: Option<(usize, usize)>,
+}
+
+impl BPlusTree {
+    /// Anchor a [`Cursor`] at `key`: the right head starts at the first
+    /// entry with key >= `key`, the left head at the last entry with
+    /// key < `key`.
+    pub fn cursor_at(&self, key: f64) -> Cursor<'_> {
+        assert!(!key.is_nan(), "NaN key rejected");
+        let leaf = self.descend_to_leaf(key);
+        let (keys_len, slot) = match &self.nodes[leaf] {
+            Node::Leaf { keys, .. } => (keys.len(), keys.partition_point(|&k| k < key)),
+            Node::Inner { .. } => unreachable!("descend_to_leaf returned inner node"),
+        };
+        let right = if slot < keys_len {
+            Some((leaf, slot))
+        } else {
+            self.first_slot_of_next(leaf)
+        };
+        let left = if slot > 0 {
+            Some((leaf, slot - 1))
+        } else {
+            self.last_slot_of_prev(leaf)
+        };
+        Cursor {
+            tree: self,
+            left,
+            right,
+        }
+    }
+
+    /// First non-empty position at or after the leaf following `leaf`.
+    fn first_slot_of_next(&self, mut leaf: usize) -> Option<(usize, usize)> {
+        loop {
+            leaf = match &self.nodes[leaf] {
+                Node::Leaf { next, .. } => (*next)?,
+                Node::Inner { .. } => unreachable!(),
+            };
+            if let Node::Leaf { keys, .. } = &self.nodes[leaf] {
+                if !keys.is_empty() {
+                    return Some((leaf, 0));
+                }
+            }
+        }
+    }
+
+    /// Last non-empty position at or before the leaf preceding `leaf`.
+    fn last_slot_of_prev(&self, mut leaf: usize) -> Option<(usize, usize)> {
+        loop {
+            leaf = match &self.nodes[leaf] {
+                Node::Leaf { prev, .. } => (*prev)?,
+                Node::Inner { .. } => unreachable!(),
+            };
+            if let Node::Leaf { keys, .. } = &self.nodes[leaf] {
+                if !keys.is_empty() {
+                    return Some((leaf, keys.len() - 1));
+                }
+            }
+        }
+    }
+
+    fn entry_at(&self, pos: (usize, usize)) -> (f64, u32) {
+        match &self.nodes[pos.0] {
+            Node::Leaf { keys, vals, .. } => (keys[pos.1], vals[pos.1]),
+            Node::Inner { .. } => unreachable!(),
+        }
+    }
+}
+
+impl Cursor<'_> {
+    /// Key of the next entry to the right without consuming it.
+    pub fn peek_right(&self) -> Option<f64> {
+        self.right.map(|p| self.tree.entry_at(p).0)
+    }
+
+    /// Key of the next entry to the left without consuming it.
+    pub fn peek_left(&self) -> Option<f64> {
+        self.left.map(|p| self.tree.entry_at(p).0)
+    }
+
+    /// Consume and return the next entry to the right (ascending keys).
+    pub fn next_right(&mut self) -> Option<(f64, u32)> {
+        let pos = self.right?;
+        let entry = self.tree.entry_at(pos);
+        let (leaf, slot) = pos;
+        let leaf_len = match &self.tree.nodes[leaf] {
+            Node::Leaf { keys, .. } => keys.len(),
+            Node::Inner { .. } => unreachable!(),
+        };
+        self.right = if slot + 1 < leaf_len {
+            Some((leaf, slot + 1))
+        } else {
+            self.tree.first_slot_of_next(leaf)
+        };
+        Some(entry)
+    }
+
+    /// Consume and return the next entry to the left (descending keys).
+    pub fn next_left(&mut self) -> Option<(f64, u32)> {
+        let pos = self.left?;
+        let entry = self.tree.entry_at(pos);
+        let (leaf, slot) = pos;
+        self.left = if slot > 0 {
+            Some((leaf, slot - 1))
+        } else {
+            self.tree.last_slot_of_prev(leaf)
+        };
+        Some(entry)
+    }
+
+    /// Consume the side whose key is closer to `anchor`; `None` when both
+    /// sides are exhausted. This is the QALSH expansion step.
+    pub fn next_closest(&mut self, anchor: f64) -> Option<(f64, u32)> {
+        match (self.peek_left(), self.peek_right()) {
+            (None, None) => None,
+            (Some(_), None) => self.next_left(),
+            (None, Some(_)) => self.next_right(),
+            (Some(l), Some(r)) => {
+                if (anchor - l).abs() <= (r - anchor).abs() {
+                    self.next_left()
+                } else {
+                    self.next_right()
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree() -> BPlusTree {
+        let pairs: Vec<(f64, u32)> = (0..100).map(|i| (i as f64, i as u32)).collect();
+        BPlusTree::bulk_build_with_order(&pairs, 8)
+    }
+
+    #[test]
+    fn cursor_at_exact_key() {
+        let t = tree();
+        let mut c = t.cursor_at(50.0);
+        assert_eq!(c.peek_right(), Some(50.0));
+        assert_eq!(c.peek_left(), Some(49.0));
+        assert_eq!(c.next_right(), Some((50.0, 50)));
+        assert_eq!(c.next_right(), Some((51.0, 51)));
+        assert_eq!(c.next_left(), Some((49.0, 49)));
+        assert_eq!(c.next_left(), Some((48.0, 48)));
+    }
+
+    #[test]
+    fn cursor_between_keys() {
+        let t = tree();
+        let mut c = t.cursor_at(49.5);
+        assert_eq!(c.next_right(), Some((50.0, 50)));
+        assert_eq!(c.next_left(), Some((49.0, 49)));
+    }
+
+    #[test]
+    fn cursor_before_all_keys() {
+        let t = tree();
+        let mut c = t.cursor_at(-10.0);
+        assert_eq!(c.peek_left(), None);
+        assert_eq!(c.next_right(), Some((0.0, 0)));
+    }
+
+    #[test]
+    fn cursor_after_all_keys() {
+        let t = tree();
+        let mut c = t.cursor_at(1e9);
+        assert_eq!(c.peek_right(), None);
+        assert_eq!(c.next_left(), Some((99.0, 99)));
+    }
+
+    #[test]
+    fn full_sweep_right_covers_everything() {
+        let t = tree();
+        let mut c = t.cursor_at(f64::NEG_INFINITY);
+        let mut got = Vec::new();
+        while let Some((k, _)) = c.next_right() {
+            got.push(k);
+        }
+        let want: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn full_sweep_left_covers_everything() {
+        let t = tree();
+        let mut c = t.cursor_at(f64::INFINITY);
+        let mut got = Vec::new();
+        while let Some((k, _)) = c.next_left() {
+            got.push(k);
+        }
+        let want: Vec<f64> = (0..100).rev().map(|i| i as f64).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn next_closest_expands_outward_by_distance() {
+        let t = tree();
+        let anchor = 50.2;
+        let mut c = t.cursor_at(anchor);
+        let mut last_dist = 0.0;
+        let mut seen = 0;
+        while let Some((k, _)) = c.next_closest(anchor) {
+            let d = (k - anchor).abs();
+            assert!(
+                d + 1e-12 >= last_dist,
+                "expansion not monotone: {d} after {last_dist}"
+            );
+            last_dist = d;
+            seen += 1;
+        }
+        assert_eq!(seen, 100);
+    }
+
+    #[test]
+    fn cursor_on_empty_tree() {
+        let t = BPlusTree::new();
+        let mut c = t.cursor_at(0.0);
+        assert_eq!(c.next_left(), None);
+        assert_eq!(c.next_right(), None);
+        assert_eq!(c.next_closest(0.0), None);
+    }
+
+    #[test]
+    fn cursor_skips_emptied_leaves() {
+        // lazy deletion can empty a whole leaf; cursors must hop over it
+        let pairs: Vec<(f64, u32)> = (0..32).map(|i| (i as f64, i as u32)).collect();
+        let mut t = BPlusTree::bulk_build_with_order(&pairs, 4);
+        for i in 8..16 {
+            assert!(t.remove(i as f64, i as u32));
+        }
+        let mut c = t.cursor_at(7.5);
+        assert_eq!(c.next_right(), Some((16.0, 16)));
+        assert_eq!(c.next_left(), Some((7.0, 7)));
+    }
+}

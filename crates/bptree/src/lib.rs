@@ -1,0 +1,25 @@
+//! A B+-tree over `f64` keys with `u32` payloads and **bidirectional
+//! cursors**, built as the substrate for the collision-counting (C2) LSH
+//! baselines of the DB-LSH evaluation.
+//!
+//! QALSH-style methods keep one B+-tree per 1-d projection and, at query
+//! time, place a cursor at the query's projected value and expand
+//! *outwards in both directions*, consuming whichever side is currently
+//! closer (query-aware bucketing / virtual rehashing). That access pattern
+//! dictates the design here:
+//!
+//! * leaves are doubly linked, so a [`Cursor`] walks left and right in
+//!   O(1) amortized per step;
+//! * [`BPlusTree::bulk_build`] packs sorted runs directly into leaves
+//!   (datasets are hashed once, sorted once, then queried many times);
+//! * duplicate keys are fully supported (projections do collide);
+//! * [`BPlusTree::insert`] implements standard split propagation;
+//!   [`BPlusTree::remove`] removes from the leaf without rebalancing
+//!   (lazy deletion — underfull leaves are permitted and documented,
+//!   matching the read-heavy usage of the baselines).
+
+mod cursor;
+mod tree;
+
+pub use cursor::Cursor;
+pub use tree::BPlusTree;

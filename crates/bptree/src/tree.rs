@@ -1,0 +1,492 @@
+//! B+-tree storage and mutation.
+
+/// Maximum number of keys per node.
+pub(crate) const DEFAULT_ORDER: usize = 64;
+
+#[derive(Debug)]
+pub(crate) enum Node {
+    Leaf {
+        keys: Vec<f64>,
+        vals: Vec<u32>,
+        prev: Option<usize>,
+        next: Option<usize>,
+    },
+    Inner {
+        /// `keys.len() + 1 == children.len()`; `keys[i]` separates
+        /// `children[i]` (strictly smaller... or equal duplicates that
+        /// spilled left) from `children[i+1]`.
+        keys: Vec<f64>,
+        children: Vec<usize>,
+    },
+}
+
+/// B+-tree multimap from `f64` keys to `u32` values.
+#[derive(Debug)]
+pub struct BPlusTree {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) root: usize,
+    order: usize,
+    len: usize,
+}
+
+impl Default for BPlusTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BPlusTree {
+    /// Empty tree with the default node order.
+    pub fn new() -> Self {
+        Self::with_order(DEFAULT_ORDER)
+    }
+
+    /// Empty tree; `order` is the maximum keys per node (>= 4).
+    pub fn with_order(order: usize) -> Self {
+        assert!(order >= 4, "order must be at least 4");
+        BPlusTree {
+            nodes: vec![Node::Leaf {
+                keys: Vec::new(),
+                vals: Vec::new(),
+                prev: None,
+                next: None,
+            }],
+            root: 0,
+            order,
+            len: 0,
+        }
+    }
+
+    /// Number of stored key/value pairs.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Build from `(key, value)` pairs sorted ascending by key.
+    /// Panics if the keys are not sorted or contain NaN.
+    pub fn bulk_build(pairs: &[(f64, u32)]) -> Self {
+        Self::bulk_build_with_order(pairs, DEFAULT_ORDER)
+    }
+
+    /// [`BPlusTree::bulk_build`] with a custom node order.
+    pub fn bulk_build_with_order(pairs: &[(f64, u32)], order: usize) -> Self {
+        assert!(order >= 4, "order must be at least 4");
+        for w in pairs.windows(2) {
+            assert!(w[0].0 <= w[1].0, "bulk_build requires sorted keys");
+        }
+        assert!(
+            pairs.iter().all(|(k, _)| !k.is_nan()),
+            "NaN key rejected"
+        );
+        let mut tree = BPlusTree::with_order(order);
+        if pairs.is_empty() {
+            return tree;
+        }
+        tree.nodes.clear();
+
+        // Pack leaves at ~100% fill (read-only workloads dominate).
+        let mut leaf_ids = Vec::new();
+        let mut leaf_min_keys = Vec::new();
+        for chunk in pairs.chunks(order) {
+            let id = tree.nodes.len();
+            tree.nodes.push(Node::Leaf {
+                keys: chunk.iter().map(|&(k, _)| k).collect(),
+                vals: chunk.iter().map(|&(_, v)| v).collect(),
+                prev: if id == 0 { None } else { Some(id - 1) },
+                next: None, // patched below
+            });
+            leaf_ids.push(id);
+            leaf_min_keys.push(chunk[0].0);
+        }
+        for i in 0..leaf_ids.len() - 1 {
+            if let Node::Leaf { next, .. } = &mut tree.nodes[leaf_ids[i]] {
+                *next = Some(leaf_ids[i + 1]);
+            }
+        }
+
+        // Build inner levels: separator = min key of the right sibling's
+        // subtree.
+        let mut level = leaf_ids;
+        let mut mins = leaf_min_keys;
+        while level.len() > 1 {
+            let mut upper = Vec::new();
+            let mut upper_mins = Vec::new();
+            let fanout = order + 1; // children per inner node
+            let mut i = 0;
+            while i < level.len() {
+                let end = (i + fanout).min(level.len());
+                let children: Vec<usize> = level[i..end].to_vec();
+                let keys: Vec<f64> = mins[i + 1..end].to_vec();
+                upper_mins.push(mins[i]);
+                let id = tree.nodes.len();
+                tree.nodes.push(Node::Inner { keys, children });
+                upper.push(id);
+                i = end;
+            }
+            level = upper;
+            mins = upper_mins;
+        }
+        tree.root = level[0];
+        tree.len = pairs.len();
+        tree
+    }
+
+    /// Locate the leaf that may contain the first entry with key >= `key`.
+    pub(crate) fn descend_to_leaf(&self, key: f64) -> usize {
+        let mut cur = self.root;
+        loop {
+            match &self.nodes[cur] {
+                Node::Leaf { .. } => return cur,
+                Node::Inner { keys, children } => {
+                    let idx = keys.partition_point(|&k| k < key);
+                    cur = children[idx];
+                }
+            }
+        }
+    }
+
+    /// Insert a `(key, value)` pair. Duplicate keys are allowed.
+    pub fn insert(&mut self, key: f64, val: u32) {
+        assert!(!key.is_nan(), "NaN key rejected");
+        if let Some((sep, right)) = self.insert_rec(self.root, key, val) {
+            let new_root = Node::Inner {
+                keys: vec![sep],
+                children: vec![self.root, right],
+            };
+            self.nodes.push(new_root);
+            self.root = self.nodes.len() - 1;
+        }
+        self.len += 1;
+    }
+
+    /// Returns `Some((separator, new_right_node))` when `node` split.
+    fn insert_rec(&mut self, node: usize, key: f64, val: u32) -> Option<(f64, usize)> {
+        let split = match &mut self.nodes[node] {
+            Node::Leaf { keys, vals, .. } => {
+                let pos = keys.partition_point(|&k| k <= key);
+                keys.insert(pos, key);
+                vals.insert(pos, val);
+                keys.len() > self.order
+            }
+            Node::Inner { keys, children } => {
+                let idx = keys.partition_point(|&k| k < key);
+                let child = children[idx];
+                if let Some((sep, right)) = self.insert_rec(child, key, val) {
+                    match &mut self.nodes[node] {
+                        Node::Inner { keys, children } => {
+                            keys.insert(idx, sep);
+                            children.insert(idx + 1, right);
+                            keys.len() > self.order
+                        }
+                        Node::Leaf { .. } => unreachable!(),
+                    }
+                } else {
+                    false
+                }
+            }
+        };
+        if !split {
+            return None;
+        }
+        Some(self.split_node(node))
+    }
+
+    fn split_node(&mut self, node: usize) -> (f64, usize) {
+        let new_id = self.nodes.len();
+        match &mut self.nodes[node] {
+            Node::Leaf {
+                keys,
+                vals,
+                next,
+                ..
+            } => {
+                let mid = keys.len() / 2;
+                let right_keys = keys.split_off(mid);
+                let right_vals = vals.split_off(mid);
+                let sep = right_keys[0];
+                let old_next = *next;
+                *next = Some(new_id);
+                self.nodes.push(Node::Leaf {
+                    keys: right_keys,
+                    vals: right_vals,
+                    prev: Some(node),
+                    next: old_next,
+                });
+                if let Some(n) = old_next {
+                    if let Node::Leaf { prev, .. } = &mut self.nodes[n] {
+                        *prev = Some(new_id);
+                    }
+                }
+                (sep, new_id)
+            }
+            Node::Inner { keys, children } => {
+                let mid = keys.len() / 2;
+                // keys[mid] moves up; right gets keys[mid+1..].
+                let right_keys = keys.split_off(mid + 1);
+                let sep = keys.pop().expect("mid key");
+                let right_children = children.split_off(mid + 1);
+                self.nodes.push(Node::Inner {
+                    keys: right_keys,
+                    children: right_children,
+                });
+                (sep, new_id)
+            }
+        }
+    }
+
+    /// Remove one `(key, value)` pair; returns `true` if found.
+    ///
+    /// Lazy deletion: the pair is removed from its leaf but nodes are not
+    /// rebalanced, so leaves may become underfull (or empty) after heavy
+    /// deletion. Lookups and cursors remain correct; space is reclaimed by
+    /// rebuilding via [`BPlusTree::bulk_build`] if required.
+    pub fn remove(&mut self, key: f64, val: u32) -> bool {
+        assert!(!key.is_nan(), "NaN key rejected");
+        let mut leaf = self.descend_to_leaf(key);
+        loop {
+            let next_leaf = match &mut self.nodes[leaf] {
+                Node::Leaf {
+                    keys, vals, next, ..
+                } => {
+                    let start = keys.partition_point(|&k| k < key);
+                    let mut found = None;
+                    for i in start..keys.len() {
+                        if keys[i] > key {
+                            return false;
+                        }
+                        if vals[i] == val {
+                            found = Some(i);
+                            break;
+                        }
+                    }
+                    if let Some(i) = found {
+                        keys.remove(i);
+                        vals.remove(i);
+                        self.len -= 1;
+                        return true;
+                    }
+                    // all remaining entries in this leaf equal `key` with
+                    // other payloads, or the leaf ended: try the next leaf
+                    *next
+                }
+                Node::Inner { .. } => unreachable!(),
+            };
+            match next_leaf {
+                Some(n) => leaf = n,
+                None => return false,
+            }
+        }
+    }
+
+    /// All values stored under exactly `key`.
+    pub fn get(&self, key: f64) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut cur = self.cursor_at(key);
+        while let Some((k, v)) = cur.next_right() {
+            if k > key {
+                break;
+            }
+            out.push(v);
+        }
+        out
+    }
+
+    /// `(key, value)` pairs with `lo <= key <= hi`, ascending.
+    pub fn range(&self, lo: f64, hi: f64) -> Vec<(f64, u32)> {
+        let mut out = Vec::new();
+        let mut cur = self.cursor_at(lo);
+        while let Some((k, v)) = cur.next_right() {
+            if k > hi {
+                break;
+            }
+            out.push((k, v));
+        }
+        out
+    }
+
+    /// Verify structural invariants (sortedness, separator correctness,
+    /// leaf chain consistency, length). Panics on violation.
+    pub fn check_invariants(&self) {
+        let mut count = 0usize;
+        let mut leftmost = self.root;
+        self.check_node(self.root, f64::NEG_INFINITY, f64::INFINITY, &mut count);
+        assert_eq!(count, self.len, "len mismatch");
+        // leaf chain covers all pairs in ascending order
+        while let Node::Inner { children, .. } = &self.nodes[leftmost] {
+            leftmost = children[0];
+        }
+        let mut chained = 0usize;
+        let mut last = f64::NEG_INFINITY;
+        let mut cur = Some(leftmost);
+        let mut prev_leaf: Option<usize> = None;
+        while let Some(id) = cur {
+            match &self.nodes[id] {
+                Node::Leaf {
+                    keys, prev, next, ..
+                } => {
+                    assert_eq!(*prev, prev_leaf, "broken prev link at leaf {id}");
+                    for &k in keys {
+                        assert!(k >= last, "leaf chain out of order");
+                        last = k;
+                        chained += 1;
+                    }
+                    prev_leaf = Some(id);
+                    cur = *next;
+                }
+                Node::Inner { .. } => panic!("inner node in leaf chain"),
+            }
+        }
+        assert_eq!(chained, self.len, "leaf chain misses entries");
+    }
+
+    fn check_node(&self, node: usize, lo: f64, hi: f64, count: &mut usize) {
+        match &self.nodes[node] {
+            Node::Leaf { keys, vals, .. } => {
+                assert_eq!(keys.len(), vals.len());
+                for w in keys.windows(2) {
+                    assert!(w[0] <= w[1], "unsorted leaf");
+                }
+                for &k in keys {
+                    assert!(k >= lo && k <= hi, "leaf key {k} outside [{lo}, {hi}]");
+                }
+                *count += keys.len();
+            }
+            Node::Inner { keys, children } => {
+                assert_eq!(children.len(), keys.len() + 1, "arity mismatch");
+                assert!(
+                    keys.len() <= self.order,
+                    "inner node overflow: {}",
+                    keys.len()
+                );
+                for w in keys.windows(2) {
+                    assert!(w[0] <= w[1], "unsorted inner node");
+                }
+                for (i, &c) in children.iter().enumerate() {
+                    let clo = if i == 0 { lo } else { keys[i - 1] };
+                    let chi = if i == keys.len() { hi } else { keys[i] };
+                    self.check_node(c, clo, chi, count);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs(n: usize) -> Vec<(f64, u32)> {
+        (0..n).map(|i| (i as f64 * 0.5, i as u32)).collect()
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = BPlusTree::new();
+        assert!(t.is_empty());
+        assert!(t.get(1.0).is_empty());
+        assert!(t.range(0.0, 10.0).is_empty());
+        t.check_invariants();
+    }
+
+    #[test]
+    fn bulk_build_and_get() {
+        let p = pairs(1000);
+        let t = BPlusTree::bulk_build(&p);
+        t.check_invariants();
+        assert_eq!(t.len(), 1000);
+        assert_eq!(t.get(250.0), vec![500]);
+        assert_eq!(t.get(250.25), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn bulk_build_duplicates_across_leaf_boundary() {
+        // 200 copies of the same key will span multiple leaves.
+        let p: Vec<(f64, u32)> = (0..200).map(|i| (5.0, i)).collect();
+        let t = BPlusTree::bulk_build_with_order(&p, 8);
+        t.check_invariants();
+        let mut got = t.get(5.0);
+        got.sort_unstable();
+        assert_eq!(got, (0..200).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn insert_random_order_then_query() {
+        let mut t = BPlusTree::with_order(8);
+        let mut keys: Vec<u32> = (0..500).collect();
+        // deterministic shuffle
+        let mut s = 12345u64;
+        for i in (1..keys.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            keys.swap(i, (s >> 33) as usize % (i + 1));
+        }
+        for &k in &keys {
+            t.insert(k as f64, k);
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), 500);
+        assert_eq!(t.get(321.0), vec![321]);
+        let r = t.range(100.0, 110.0);
+        assert_eq!(r.len(), 11);
+        assert!(r.iter().all(|&(k, v)| k == v as f64));
+    }
+
+    #[test]
+    fn mixed_bulk_and_insert() {
+        let p = pairs(100);
+        let mut t = BPlusTree::bulk_build_with_order(&p, 8);
+        for i in 0..50 {
+            t.insert(i as f64 * 0.5 + 0.25, 1000 + i);
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), 150);
+        assert_eq!(t.get(0.25), vec![1000]);
+    }
+
+    #[test]
+    fn remove_semantics() {
+        let mut t = BPlusTree::bulk_build(&[(1.0, 1), (1.0, 2), (2.0, 3)]);
+        assert!(t.remove(1.0, 2));
+        assert!(!t.remove(1.0, 2)); // already gone
+        assert!(!t.remove(3.0, 1)); // never existed
+        assert_eq!(t.get(1.0), vec![1]);
+        assert_eq!(t.len(), 2);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn remove_duplicates_across_leaves() {
+        let p: Vec<(f64, u32)> = (0..100).map(|i| (7.0, i)).collect();
+        let mut t = BPlusTree::bulk_build_with_order(&p, 8);
+        // payload 93 lives deep in the run of duplicates
+        assert!(t.remove(7.0, 93));
+        assert_eq!(t.get(7.0).len(), 99);
+    }
+
+    #[test]
+    fn range_boundaries_inclusive() {
+        let t = BPlusTree::bulk_build(&pairs(20));
+        let r = t.range(1.0, 2.0);
+        assert_eq!(
+            r,
+            vec![(1.0, 2), (1.5, 3), (2.0, 4)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_bulk_build_panics() {
+        BPlusTree::bulk_build(&[(2.0, 0), (1.0, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_insert_panics() {
+        BPlusTree::new().insert(f64::NAN, 0);
+    }
+}

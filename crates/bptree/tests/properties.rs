@@ -1,0 +1,137 @@
+//! Property tests: B+-tree behaviour must match a sorted-vector reference
+//! implementation for every operation mix.
+
+use dblsh_bptree::BPlusTree;
+use proptest::prelude::*;
+
+/// Reference multimap: sorted vector of (key, value).
+#[derive(Default)]
+struct Reference {
+    pairs: Vec<(f64, u32)>,
+}
+
+impl Reference {
+    fn insert(&mut self, k: f64, v: u32) {
+        let pos = self.pairs.partition_point(|&(pk, _)| pk <= k);
+        self.pairs.insert(pos, (k, v));
+    }
+    fn remove(&mut self, k: f64, v: u32) -> bool {
+        if let Some(i) = self.pairs.iter().position(|&(pk, pv)| pk == k && pv == v) {
+            self.pairs.remove(i);
+            true
+        } else {
+            false
+        }
+    }
+    fn get(&self, k: f64) -> Vec<u32> {
+        self.pairs
+            .iter()
+            .filter(|&&(pk, _)| pk == k)
+            .map(|&(_, v)| v)
+            .collect()
+    }
+    fn range(&self, lo: f64, hi: f64) -> Vec<(f64, u32)> {
+        self.pairs
+            .iter()
+            .filter(|&&(k, _)| k >= lo && k <= hi)
+            .copied()
+            .collect()
+    }
+}
+
+fn key_strategy() -> impl Strategy<Value = f64> {
+    // A small key universe forces heavy duplication.
+    prop_oneof![(-20i32..20).prop_map(|v| v as f64 * 0.5), -100.0f64..100.0]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn insert_get_range_match_reference(
+        keys in prop::collection::vec(key_strategy(), 1..300),
+        lo in -30.0f64..30.0,
+        span in 0.0f64..40.0,
+        probe in key_strategy(),
+    ) {
+        let mut t = BPlusTree::with_order(8);
+        let mut r = Reference::default();
+        for (i, &k) in keys.iter().enumerate() {
+            t.insert(k, i as u32);
+            r.insert(k, i as u32);
+        }
+        t.check_invariants();
+        prop_assert_eq!(t.len(), keys.len());
+
+        let mut got = t.get(probe);
+        got.sort_unstable();
+        let mut want = r.get(probe);
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+
+        let got_range = t.range(lo, lo + span);
+        let want_range = r.range(lo, lo + span);
+        prop_assert_eq!(got_range.len(), want_range.len());
+        for (g, w) in got_range.iter().zip(&want_range) {
+            prop_assert_eq!(g.0, w.0);
+        }
+    }
+
+    #[test]
+    fn bulk_build_equals_insert_build(
+        mut keys in prop::collection::vec(key_strategy(), 1..300),
+    ) {
+        keys.sort_by(f64::total_cmp);
+        let pairs: Vec<(f64, u32)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u32)).collect();
+        let bulk = BPlusTree::bulk_build_with_order(&pairs, 8);
+        bulk.check_invariants();
+        let mut inc = BPlusTree::with_order(8);
+        for &(k, v) in &pairs {
+            inc.insert(k, v);
+        }
+        let mut a = bulk.range(f64::NEG_INFINITY, f64::INFINITY);
+        let mut b = inc.range(f64::NEG_INFINITY, f64::INFINITY);
+        a.sort_by(|x, y| x.0.total_cmp(&y.0).then(x.1.cmp(&y.1)));
+        b.sort_by(|x, y| x.0.total_cmp(&y.0).then(x.1.cmp(&y.1)));
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn remove_matches_reference(
+        keys in prop::collection::vec(key_strategy(), 1..200),
+        removals in prop::collection::vec((key_strategy(), 0u32..200), 0..100),
+    ) {
+        let mut t = BPlusTree::with_order(8);
+        let mut r = Reference::default();
+        for (i, &k) in keys.iter().enumerate() {
+            t.insert(k, i as u32);
+            r.insert(k, i as u32);
+        }
+        for &(k, v) in &removals {
+            prop_assert_eq!(t.remove(k, v), r.remove(k, v), "remove({}, {})", k, v);
+        }
+        prop_assert_eq!(t.len(), r.pairs.len());
+        let got = t.range(f64::NEG_INFINITY, f64::INFINITY);
+        prop_assert_eq!(got.len(), r.pairs.len());
+    }
+
+    #[test]
+    fn cursor_expansion_is_distance_sorted(
+        keys in prop::collection::vec(-100.0f64..100.0, 1..200),
+        anchor in -120.0f64..120.0,
+    ) {
+        let mut pairs: Vec<(f64, u32)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u32)).collect();
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let t = BPlusTree::bulk_build_with_order(&pairs, 8);
+        let mut c = t.cursor_at(anchor);
+        let mut last = 0.0f64;
+        let mut n = 0;
+        while let Some((k, _)) = c.next_closest(anchor) {
+            let d = (k - anchor).abs();
+            prop_assert!(d + 1e-9 >= last);
+            last = d;
+            n += 1;
+        }
+        prop_assert_eq!(n, keys.len());
+    }
+}

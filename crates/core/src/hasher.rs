@@ -1,0 +1,207 @@
+//! The `L x K` Gaussian projection family (paper Eq. 3, 6, 7).
+//!
+//! The dynamic family is `h(o) = a . o` with `a ~ N(0, I_d)` — no floor
+//! quantization and no offset `b`; bucketing is deferred to query time.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// `L` compound hashes `G_i(o) = (h_{i1}(o), ..., h_{iK}(o))`, i.e.
+/// `L * K` independent Gaussian projection vectors of dimension `d`.
+#[derive(Debug, Clone)]
+pub struct GaussianHasher {
+    dim: usize,
+    k: usize,
+    l: usize,
+    /// Projection matrix, laid out `[l][k][dim]`.
+    a: Vec<f64>,
+}
+
+impl GaussianHasher {
+    /// Sample a new family. Deterministic in `seed`.
+    pub fn new(dim: usize, k: usize, l: usize, seed: u64) -> Self {
+        assert!(dim >= 1 && k >= 1 && l >= 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = (0..l * k * dim)
+            .map(|_| standard_normal(&mut rng))
+            .collect();
+        GaussianHasher { dim, k, l, a }
+    }
+
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    #[inline]
+    pub fn l(&self) -> usize {
+        self.l
+    }
+
+    /// `G_i(o)`: project `point` into the `i`-th K-dimensional space,
+    /// writing into `out` (length `K`).
+    pub fn project_into(&self, i: usize, point: &[f32], out: &mut [f64]) {
+        assert!(i < self.l, "projection index out of range");
+        assert_eq!(point.len(), self.dim, "point dimensionality mismatch");
+        assert_eq!(out.len(), self.k, "output length must be K");
+        let base = i * self.k * self.dim;
+        for (j, slot) in out.iter_mut().enumerate() {
+            let row = &self.a[base + j * self.dim..base + (j + 1) * self.dim];
+            *slot = dot(row, point);
+        }
+    }
+
+    /// `G_i(o)` as a fresh vector.
+    pub fn project(&self, i: usize, point: &[f32]) -> Vec<f64> {
+        let mut out = vec![0.0; self.k];
+        self.project_into(i, point, &mut out);
+        out
+    }
+
+    /// Project an entire dataset (flat `f32` row-major, `n x dim`) into the
+    /// `i`-th space, returning a flat `n x K` matrix.
+    pub fn project_all(&self, i: usize, data: &[f32]) -> Vec<f64> {
+        assert_eq!(data.len() % self.dim, 0, "flat data length mismatch");
+        let n = data.len() / self.dim;
+        let mut out = vec![0.0f64; n * self.k];
+        for (row, chunk) in out.chunks_exact_mut(self.k).enumerate() {
+            self.project_into(i, &data[row * self.dim..(row + 1) * self.dim], chunk);
+        }
+        out
+    }
+}
+
+/// Dot product of an f64 projection row with an f32 point, accumulated in
+/// f64 with 4-way unrolling (hot in both indexing and per-query hashing).
+#[inline]
+fn dot(a: &[f64], x: &[f32]) -> f64 {
+    debug_assert_eq!(a.len(), x.len());
+    let chunks = a.len() / 4;
+    let (a4, ar) = a.split_at(chunks * 4);
+    let (x4, xr) = x.split_at(chunks * 4);
+    let mut s0 = 0.0;
+    let mut s1 = 0.0;
+    let mut s2 = 0.0;
+    let mut s3 = 0.0;
+    for (ca, cx) in a4.chunks_exact(4).zip(x4.chunks_exact(4)) {
+        s0 += ca[0] * cx[0] as f64;
+        s1 += ca[1] * cx[1] as f64;
+        s2 += ca[2] * cx[2] as f64;
+        s3 += ca[3] * cx[3] as f64;
+    }
+    for (va, vx) in ar.iter().zip(xr) {
+        s0 += va * *vx as f64;
+    }
+    (s0 + s1) + (s2 + s3)
+}
+
+/// Box–Muller standard normal sample.
+fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = GaussianHasher::new(16, 4, 3, 9);
+        let b = GaussianHasher::new(16, 4, 3, 9);
+        let p: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        assert_eq!(a.project(1, &p), b.project(1, &p));
+        let c = GaussianHasher::new(16, 4, 3, 10);
+        assert_ne!(a.project(1, &p), c.project(1, &p));
+    }
+
+    #[test]
+    fn projection_is_linear() {
+        let h = GaussianHasher::new(8, 5, 2, 3);
+        let x: Vec<f32> = (0..8).map(|i| i as f32 * 0.5).collect();
+        let y: Vec<f32> = (0..8).map(|i| (8 - i) as f32).collect();
+        let sum: Vec<f32> = x.iter().zip(&y).map(|(a, b)| a + b).collect();
+        let hx = h.project(0, &x);
+        let hy = h.project(0, &y);
+        let hsum = h.project(0, &sum);
+        for j in 0..5 {
+            assert!((hsum[j] - (hx[j] + hy[j])).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn projections_differ_across_tables() {
+        let h = GaussianHasher::new(8, 3, 4, 1);
+        let p = vec![1.0f32; 8];
+        let g0 = h.project(0, &p);
+        let g1 = h.project(1, &p);
+        assert_ne!(g0, g1);
+    }
+
+    #[test]
+    fn project_all_matches_single() {
+        let h = GaussianHasher::new(6, 4, 2, 5);
+        let data: Vec<f32> = (0..30).map(|i| i as f32 * 0.1).collect(); // 5 points
+        let all = h.project_all(1, &data);
+        assert_eq!(all.len(), 5 * 4);
+        for row in 0..5 {
+            let single = h.project(1, &data[row * 6..(row + 1) * 6]);
+            assert_eq!(&all[row * 4..(row + 1) * 4], &single[..]);
+        }
+    }
+
+    #[test]
+    fn gaussian_moments_are_plausible() {
+        // mean ~ 0, variance ~ 1 over many coefficients
+        let h = GaussianHasher::new(100, 10, 10, 77);
+        let coeffs = &h.a;
+        let n = coeffs.len() as f64;
+        let mean: f64 = coeffs.iter().sum::<f64>() / n;
+        let var: f64 = coeffs.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        assert!(mean.abs() < 0.05, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var = {var}");
+    }
+
+    #[test]
+    fn projected_distance_concentrates() {
+        // E[ (h(o1) - h(o2))^2 ] = ||o1 - o2||^2: check the average over
+        // many hash functions is close.
+        let dim = 64;
+        let h = GaussianHasher::new(dim, 32, 8, 13);
+        let o1: Vec<f32> = (0..dim).map(|i| (i % 7) as f32).collect();
+        let o2: Vec<f32> = (0..dim).map(|i| (i % 5) as f32 + 1.0).collect();
+        let true_d2: f64 = o1
+            .iter()
+            .zip(&o2)
+            .map(|(a, b)| ((a - b) as f64).powi(2))
+            .sum();
+        let mut acc = 0.0;
+        let mut cnt = 0;
+        for i in 0..8 {
+            let g1 = h.project(i, &o1);
+            let g2 = h.project(i, &o2);
+            for j in 0..32 {
+                acc += (g1[j] - g2[j]).powi(2);
+                cnt += 1;
+            }
+        }
+        let est = acc / cnt as f64;
+        assert!(
+            (est - true_d2).abs() / true_d2 < 0.25,
+            "estimate {est} vs true {true_d2}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_table_index_panics() {
+        let h = GaussianHasher::new(4, 2, 2, 0);
+        h.project(2, &[0.0; 4]);
+    }
+}

@@ -1,0 +1,44 @@
+//! # DB-LSH — Locality-Sensitive Hashing with Query-based Dynamic Bucketing
+//!
+//! Rust implementation of Tian, Zhao, Zhou, *"DB-LSH: Locality-Sensitive
+//! Hashing with Query-based Dynamic Bucketing"*, ICDE 2022.
+//!
+//! DB-LSH keeps the classic `(K, L)`-index *hashing* step — `L` compound
+//! hashes, each of `K` Gaussian projections (Eq. 6/7) — but replaces the
+//! fixed-width buckets of E2LSH with **query-centric dynamic buckets**:
+//! every projected K-dimensional point set is stored in an R*-tree, and a
+//! bucket is materialized at query time as the hypercubic window
+//! `W(G_i(q), w0 r)` (Eq. 8), answered by an index window query.
+//!
+//! A `c`-ANN query (Algorithm 2) issues `(r, c)`-NN probes (Algorithm 1)
+//! on the radius ladder `r = r_min, c r_min, c^2 r_min, ...`, enlarging the
+//! window width as `w = w0 r`, and stops as soon as either a point within
+//! `c r` is verified or `2tL + 1` candidates have been checked. With
+//! `K = log_{1/p2}(n/t)` and `L = (n/t)^{rho*}` this answers a `c^2`-ANN
+//! query with probability at least `1/2 - 1/e` in `O(n^{rho*} d log n)`
+//! time (Theorems 1 and 2), where `rho* <= 1/c^alpha` (Lemma 3).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dblsh_core::{DbLsh, DbLshParams};
+//! use dblsh_data::synthetic::{gaussian_mixture, MixtureConfig};
+//! use std::sync::Arc;
+//!
+//! let data = Arc::new(gaussian_mixture(&MixtureConfig {
+//!     n: 2000, dim: 24, clusters: 20, ..Default::default()
+//! }));
+//! let params = DbLshParams::paper_defaults(data.len());
+//! let index = DbLsh::build(Arc::clone(&data), &params);
+//! let result = index.k_ann(data.point(0), 10);
+//! assert!(!result.neighbors.is_empty());
+//! ```
+
+mod hasher;
+mod index;
+mod params;
+mod query;
+
+pub use hasher::GaussianHasher;
+pub use index::DbLsh;
+pub use params::DbLshParams;

@@ -1,0 +1,193 @@
+//! DB-LSH parameters: the paper's practical defaults plus the
+//! theory-derived alternative of Lemma 1.
+
+use dblsh_math::theory::derive_kl;
+
+/// Parameters of a [`crate::DbLsh`] index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DbLshParams {
+    /// Approximation ratio `c > 1` (paper default 1.5).
+    pub c: f64,
+    /// Base bucket width `w0` (paper default `4 c^2`, i.e. `gamma = 2`).
+    pub w0: f64,
+    /// Number of hash functions per compound hash (projected dim).
+    pub k: usize,
+    /// Number of compound hashes / R*-trees.
+    pub l: usize,
+    /// Candidate-budget constant of Remark 2: an (r,c)-NN probe verifies at
+    /// most `2tL + 1` points (`2tL + k` for (c,k)-ANN).
+    pub t: usize,
+    /// Radius ladder start (the paper assumes `r = 1` w.l.o.g.; real data
+    /// has arbitrary scale, see [`DbLshParams::with_r_min`]).
+    pub r_min: f64,
+    /// Safety cap on ladder rounds, in case of degenerate data.
+    pub max_rounds: usize,
+    /// R*-tree node capacity.
+    pub node_capacity: usize,
+    /// Seed for the Gaussian projections.
+    pub seed: u64,
+}
+
+impl DbLshParams {
+    /// The experimental settings of Section VI-A: `c = 1.5`, `w0 = 4 c^2`,
+    /// `L = 5`, `K = 12` for datasets over one million points, else
+    /// `K = 10`.
+    pub fn paper_defaults(n: usize) -> Self {
+        let c = 1.5f64;
+        DbLshParams {
+            c,
+            w0: 4.0 * c * c,
+            k: if n > 1_000_000 { 12 } else { 10 },
+            l: 5,
+            t: 64,
+            r_min: 1.0,
+            max_rounds: 64,
+            node_capacity: 32,
+            seed: 0x5EED_D81,
+        }
+    }
+
+    /// Fully theory-driven parameters per Lemma 1 / Remark 2:
+    /// `K = ceil(log_{1/p2}(n/t))`, `L = ceil((n/t)^{rho*})`.
+    ///
+    /// Note that at `w0 = 4c^2` the theoretical `K` is enormous (p2 is
+    /// close to 1); this constructor is most useful at moderate widths
+    /// (`w0` around `2c`), and for studying the theory itself.
+    pub fn theory_driven(n: usize, t: usize, c: f64, w0: f64) -> Self {
+        let derived = derive_kl(n, t, c, w0);
+        DbLshParams {
+            c,
+            w0,
+            k: derived.k,
+            l: derived.l,
+            t,
+            r_min: 1.0,
+            max_rounds: 64,
+            node_capacity: 32,
+            seed: 0x5EED_D81,
+        }
+    }
+
+    /// Override the approximation ratio, keeping `w0 = 4 c^2` coupled.
+    pub fn with_c(mut self, c: f64) -> Self {
+        assert!(c > 1.0, "approximation ratio must exceed 1");
+        self.c = c;
+        self.w0 = 4.0 * c * c;
+        self
+    }
+
+    /// Override the bucket width `w0`.
+    pub fn with_w0(mut self, w0: f64) -> Self {
+        assert!(w0 > 0.0, "bucket width must be positive");
+        self.w0 = w0;
+        self
+    }
+
+    /// Override `K` and `L`.
+    pub fn with_kl(mut self, k: usize, l: usize) -> Self {
+        assert!(k >= 1 && l >= 1, "K and L must be at least 1");
+        self.k = k;
+        self.l = l;
+        self
+    }
+
+    /// Override the candidate-budget constant `t`.
+    pub fn with_t(mut self, t: usize) -> Self {
+        assert!(t >= 1, "t must be at least 1");
+        self.t = t;
+        self
+    }
+
+    /// Override the radius-ladder start. The ladder `r_min * c^j` should
+    /// start at or below the typical NN distance; too small only costs a
+    /// few empty probe rounds (each `O(L log n)`), too large costs
+    /// accuracy.
+    pub fn with_r_min(mut self, r_min: f64) -> Self {
+        assert!(r_min > 0.0 && r_min.is_finite(), "invalid r_min");
+        self.r_min = r_min;
+        self
+    }
+
+    /// Override the projection seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Candidate budget of one (r,c)-NN probe (`2tL + 1`, Algorithm 1).
+    pub fn rcnn_budget(&self) -> usize {
+        2 * self.t * self.l + 1
+    }
+
+    /// Candidate budget of a (c,k)-ANN query (`2tL + k`, Section IV-C).
+    pub fn kann_budget(&self, k: usize) -> usize {
+        2 * self.t * self.l + k
+    }
+
+    /// Validate internal consistency; called by the builder.
+    pub fn validate(&self) {
+        assert!(self.c > 1.0, "approximation ratio must exceed 1");
+        assert!(self.w0 > 0.0 && self.w0.is_finite(), "invalid w0");
+        assert!(self.k >= 1, "K must be at least 1");
+        assert!(self.l >= 1, "L must be at least 1");
+        assert!(self.t >= 1, "t must be at least 1");
+        assert!(self.r_min > 0.0 && self.r_min.is_finite(), "invalid r_min");
+        assert!(self.max_rounds >= 1, "max_rounds must be at least 1");
+        assert!(self.node_capacity >= 4, "node capacity must be at least 4");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_vi() {
+        let small = DbLshParams::paper_defaults(60_000);
+        assert_eq!(small.c, 1.5);
+        assert_eq!(small.w0, 9.0);
+        assert_eq!(small.k, 10);
+        assert_eq!(small.l, 5);
+        let big = DbLshParams::paper_defaults(10_000_000);
+        assert_eq!(big.k, 12);
+    }
+
+    #[test]
+    fn budgets_match_paper_formulas() {
+        let p = DbLshParams::paper_defaults(60_000);
+        assert_eq!(p.rcnn_budget(), 2 * 64 * 5 + 1);
+        assert_eq!(p.kann_budget(50), 2 * 64 * 5 + 50);
+    }
+
+    #[test]
+    fn theory_driven_is_consistent() {
+        let p = DbLshParams::theory_driven(100_000, 32, 2.0, 4.0);
+        p.validate();
+        assert!(p.k >= 1);
+        assert!(p.l >= 1);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let p = DbLshParams::paper_defaults(1000)
+            .with_c(2.0)
+            .with_kl(8, 3)
+            .with_t(16)
+            .with_r_min(0.5)
+            .with_seed(7);
+        assert_eq!(p.c, 2.0);
+        assert_eq!(p.w0, 16.0);
+        assert_eq!(p.k, 8);
+        assert_eq!(p.l, 3);
+        assert_eq!(p.t, 16);
+        assert_eq!(p.r_min, 0.5);
+        assert_eq!(p.seed, 7);
+        p.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed 1")]
+    fn c_of_one_rejected() {
+        DbLshParams::paper_defaults(1000).with_c(1.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests of the DB-LSH query pipeline: structural
+//! contracts that must hold for every dataset, parameterization and query.
+
+use std::sync::Arc;
+
+use dblsh_core::{DbLsh, DbLshParams};
+use dblsh_data::Dataset;
+use proptest::prelude::*;
+
+fn dataset(n: usize, dim: usize) -> impl Strategy<Value = Vec<Vec<f32>>> {
+    prop::collection::vec(
+        prop::collection::vec(-100.0f32..100.0, dim..=dim),
+        2..n,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn results_are_valid_ids_sorted_unique(
+        rows in dataset(120, 8),
+        k in 1usize..15,
+        qi in 0usize..50,
+    ) {
+        let data = Arc::new(Dataset::from_rows(&rows));
+        let params = DbLshParams::paper_defaults(data.len())
+            .with_kl(4, 2)
+            .with_r_min(0.5);
+        let index = DbLsh::build(Arc::clone(&data), &params);
+        let q = data.point(qi % data.len()).to_vec();
+        let res = index.k_ann(&q, k);
+
+        prop_assert!(res.neighbors.len() <= k);
+        prop_assert!(res.neighbors.windows(2).all(|w| w[0].dist <= w[1].dist));
+        let mut ids = res.ids();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), before, "duplicate ids returned");
+        prop_assert!(ids.iter().all(|&id| (id as usize) < data.len()));
+        // distances must be genuine
+        for n in &res.neighbors {
+            let true_d = dblsh_data::dataset::dist(&q, data.point(n.id as usize));
+            prop_assert!((n.dist - true_d).abs() <= 1e-3 * (1.0 + true_d));
+        }
+        // budget contract
+        prop_assert!(res.stats.candidates <= params.kann_budget(k).max(data.len()));
+    }
+
+    #[test]
+    fn rcnn_respects_definition_2(
+        rows in dataset(100, 6),
+        r in 0.1f64..200.0,
+    ) {
+        let data = Arc::new(Dataset::from_rows(&rows));
+        let params = DbLshParams::paper_defaults(data.len())
+            .with_kl(4, 2);
+        let index = DbLsh::build(Arc::clone(&data), &params);
+        let q = data.point(0).to_vec();
+        let (hit, stats) = index.r_c_nn(&q, r);
+        prop_assert_eq!(stats.rounds, 1);
+        if let Some(h) = hit {
+            // any returned point must be a real dataset point at its real
+            // distance; within c*r unless the budget fired (budget >= n
+            // here, so it cannot fire before saturation)
+            let true_d = dblsh_data::dataset::dist(&q, data.point(h.id as usize));
+            prop_assert!((h.dist - true_d).abs() <= 1e-3 * (1.0 + true_d));
+            if (stats.candidates) < params.rcnn_budget() {
+                prop_assert!(h.dist as f64 <= params.c * r + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn larger_budget_never_hurts_recall(
+        rows in dataset(150, 8),
+    ) {
+        let data = Arc::new(Dataset::from_rows(&rows));
+        let k = 5usize.min(data.len());
+        let q = data.point(0).to_vec();
+        let small = DbLshParams::paper_defaults(data.len())
+            .with_kl(4, 2).with_t(2).with_r_min(0.5);
+        let large = small.clone().with_t(512);
+        let idx_small = DbLsh::build(Arc::clone(&data), &small);
+        let idx_large = DbLsh::build(Arc::clone(&data), &large);
+        let rs = idx_small.k_ann(&q, k);
+        let rl = idx_large.k_ann(&q, k);
+        // the large-budget kth distance can only be at least as good when
+        // both return k results (same projections, same ladder)
+        if rs.neighbors.len() == k && rl.neighbors.len() == k {
+            prop_assert!(
+                rl.neighbors[k - 1].dist <= rs.neighbors[k - 1].dist + 1e-5,
+                "bigger budget produced worse kth distance"
+            );
+        }
+    }
+}

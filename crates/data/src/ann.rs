@@ -1,0 +1,118 @@
+//! The common interface every ANN algorithm in this workspace implements,
+//! so the benchmark harness, examples and integration tests can drive
+//! DB-LSH and all baselines uniformly.
+
+/// One returned neighbor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Row index into the dataset the index was built over.
+    pub id: u32,
+    /// Euclidean distance to the query (not squared).
+    pub dist: f32,
+}
+
+/// Per-query work counters, used by the ablation experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Candidates whose exact d-dimensional distance was computed.
+    pub candidates: usize,
+    /// (r,c)-NN rounds / virtual-rehashing levels executed.
+    pub rounds: usize,
+    /// Index entries touched while generating candidates (window-query
+    /// results, cursor steps, bucket hits — whatever the method counts).
+    pub index_probes: usize,
+}
+
+/// Result of one (c,k)-ANN query.
+#[derive(Debug, Clone, Default)]
+pub struct SearchResult {
+    /// Up to `k` neighbors, ascending by distance.
+    pub neighbors: Vec<Neighbor>,
+    pub stats: QueryStats,
+}
+
+impl SearchResult {
+    /// Ids of the returned neighbors in order.
+    pub fn ids(&self) -> Vec<u32> {
+        self.neighbors.iter().map(|n| n.id).collect()
+    }
+
+    /// Distances of the returned neighbors in order.
+    pub fn dists(&self) -> Vec<f32> {
+        self.neighbors.iter().map(|n| n.dist).collect()
+    }
+}
+
+/// A built index answering (c,k)-ANN queries.
+///
+/// Implementations must return neighbors in ascending distance order and
+/// must never return more than `k` results; returning fewer is allowed
+/// (an LSH miss) and is scored as such by the metrics.
+pub trait AnnIndex {
+    /// Human-readable algorithm name as used in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Answer a (c,k)-ANN query.
+    fn search(&self, query: &[f32], k: usize) -> SearchResult;
+
+    /// Bytes of index structure, excluding the dataset itself (the paper
+    /// compares index sizes as `n x #hash_functions`).
+    fn index_size_bytes(&self) -> usize;
+}
+
+/// Sorted insertion of `cand` into `heap` keeping at most `k` items —
+/// shared helper for the verification loops of every algorithm.
+/// `heap` is maintained ascending by distance.
+pub fn push_candidate(heap: &mut Vec<Neighbor>, cand: Neighbor, k: usize) {
+    let pos = heap.partition_point(|n| n.dist <= cand.dist);
+    if pos >= k {
+        return;
+    }
+    if heap.iter().any(|n| n.id == cand.id) {
+        return; // already verified via another projection
+    }
+    heap.insert(pos, cand);
+    heap.truncate(k);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_candidate_keeps_sorted_topk() {
+        let mut h = Vec::new();
+        for (id, d) in [(1u32, 5.0f32), (2, 1.0), (3, 3.0), (4, 0.5), (5, 9.0)] {
+            push_candidate(&mut h, Neighbor { id, dist: d }, 3);
+        }
+        let ids: Vec<u32> = h.iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![4, 2, 3]);
+        assert!(h.windows(2).all(|w| w[0].dist <= w[1].dist));
+    }
+
+    #[test]
+    fn push_candidate_deduplicates_ids() {
+        let mut h = Vec::new();
+        push_candidate(&mut h, Neighbor { id: 7, dist: 2.0 }, 3);
+        push_candidate(&mut h, Neighbor { id: 7, dist: 2.0 }, 3);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn push_candidate_rejects_beyond_k() {
+        let mut h = Vec::new();
+        for i in 0..5u32 {
+            push_candidate(
+                &mut h,
+                Neighbor {
+                    id: i,
+                    dist: i as f32,
+                },
+                2,
+            );
+        }
+        assert_eq!(h.len(), 2);
+        assert_eq!(h[0].id, 0);
+        assert_eq!(h[1].id, 1);
+    }
+}

@@ -1,0 +1,142 @@
+//! Exact k-nearest-neighbor ground truth by parallel linear scan.
+
+use crate::dataset::{sq_dist, Dataset};
+use crate::Neighbor;
+
+/// Exact k-NN of every query against `data`, parallelized over queries
+/// with scoped threads. Returns, per query, the `k` nearest neighbors in
+/// ascending distance order (fewer if the dataset is smaller than `k`).
+pub fn exact_knn(data: &Dataset, queries: &Dataset, k: usize) -> Vec<Vec<Neighbor>> {
+    assert_eq!(data.dim(), queries.dim(), "dimensionality mismatch");
+    let nq = queries.len();
+    if nq == 0 {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1)
+        .min(nq);
+    let mut results: Vec<Vec<Neighbor>> = vec![Vec::new(); nq];
+    let chunk = nq.div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (tid, out) in results.chunks_mut(chunk).enumerate() {
+            let start = tid * chunk;
+            scope.spawn(move |_| {
+                for (offset, slot) in out.iter_mut().enumerate() {
+                    *slot = exact_knn_single(data, queries.point(start + offset), k);
+                }
+            });
+        }
+    })
+    .expect("ground-truth worker panicked");
+    results
+}
+
+/// Exact k-NN for a single query (single-threaded linear scan with a
+/// bounded insertion buffer).
+pub fn exact_knn_single(data: &Dataset, query: &[f32], k: usize) -> Vec<Neighbor> {
+    assert_eq!(data.dim(), query.len(), "dimensionality mismatch");
+    let k = k.min(data.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    // Maintain the current top-k ascending by squared distance.
+    let mut top: Vec<(f32, u32)> = Vec::with_capacity(k + 1);
+    let mut worst = f32::INFINITY;
+    for i in 0..data.len() {
+        let d2 = sq_dist(query, data.point(i));
+        if top.len() < k || d2 < worst {
+            let pos = top.partition_point(|&(d, _)| d <= d2);
+            top.insert(pos, (d2, i as u32));
+            if top.len() > k {
+                top.pop();
+            }
+            worst = top.last().expect("non-empty").0;
+        }
+    }
+    top.into_iter()
+        .map(|(d2, id)| Neighbor {
+            id,
+            dist: d2.sqrt(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{gaussian_mixture, MixtureConfig};
+
+    fn small() -> Dataset {
+        Dataset::from_rows(&[
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 2.0],
+            vec![5.0, 5.0],
+            vec![-1.0, -1.0],
+        ])
+    }
+
+    #[test]
+    fn single_query_exact() {
+        let d = small();
+        let nn = exact_knn_single(&d, &[0.1, 0.1], 3);
+        assert_eq!(nn.len(), 3);
+        assert_eq!(nn[0].id, 0);
+        assert_eq!(nn[1].id, 1);
+        assert!((nn[0].dist - (0.02f32).sqrt()).abs() < 1e-6);
+        assert!(nn.windows(2).all(|w| w[0].dist <= w[1].dist));
+    }
+
+    #[test]
+    fn k_capped_by_dataset_size() {
+        let d = small();
+        assert_eq!(exact_knn_single(&d, &[0.0, 0.0], 50).len(), 5);
+    }
+
+    #[test]
+    fn parallel_matches_single() {
+        let cfg = MixtureConfig {
+            n: 1500,
+            dim: 12,
+            clusters: 10,
+            ..Default::default()
+        };
+        let d = gaussian_mixture(&cfg);
+        let q = gaussian_mixture(&MixtureConfig {
+            n: 37,
+            seed: 1234,
+            ..cfg
+        });
+        let par = exact_knn(&d, &q, 10);
+        assert_eq!(par.len(), 37);
+        for (i, got) in par.iter().enumerate() {
+            let want = exact_knn_single(&d, q.point(i), 10);
+            let gi: Vec<u32> = got.iter().map(|n| n.id).collect();
+            let wi: Vec<u32> = want.iter().map(|n| n.id).collect();
+            assert_eq!(gi, wi, "query {i}");
+        }
+    }
+
+    #[test]
+    fn empty_queries() {
+        let d = small();
+        assert!(exact_knn(&d, &Dataset::empty(2), 5).is_empty());
+    }
+
+    #[test]
+    fn k_zero_gives_empty() {
+        let d = small();
+        assert!(exact_knn_single(&d, &[0.0, 0.0], 0).is_empty());
+    }
+
+    #[test]
+    fn ties_are_stable_by_distance() {
+        // two points at identical distance: both must appear before the
+        // farther one
+        let d = Dataset::from_rows(&[vec![1.0, 0.0], vec![-1.0, 0.0], vec![3.0, 0.0]]);
+        let nn = exact_knn_single(&d, &[0.0, 0.0], 3);
+        assert_eq!(nn[2].id, 2);
+        assert_eq!(nn[0].dist, nn[1].dist);
+    }
+}

@@ -1,0 +1,171 @@
+//! fvecs / ivecs readers and writers (the TEXMEX corpus format used by
+//! SIFT/GIST and by the paper's datasets).
+//!
+//! Layout per vector: a little-endian `i32` dimension header followed by
+//! `dim` little-endian payload values (`f32` for fvecs, `i32` for ivecs).
+
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::dataset::Dataset;
+
+/// Read an entire fvecs stream into a [`Dataset`].
+pub fn read_fvecs<R: Read>(reader: R) -> io::Result<Dataset> {
+    let mut r = BufReader::new(reader);
+    let mut dim: Option<usize> = None;
+    let mut data: Vec<f32> = Vec::new();
+    let mut header = [0u8; 4];
+    loop {
+        match r.read_exact(&mut header) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e),
+        }
+        let d = i32::from_le_bytes(header);
+        if d <= 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("non-positive vector dimension {d}"),
+            ));
+        }
+        let d = d as usize;
+        match dim {
+            None => dim = Some(d),
+            Some(existing) if existing != d => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("inconsistent dimensions: {existing} then {d}"),
+                ));
+            }
+            _ => {}
+        }
+        let mut buf = vec![0u8; d * 4];
+        r.read_exact(&mut buf)?;
+        data.extend(
+            buf.chunks_exact(4)
+                .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]])),
+        );
+    }
+    let dim = dim.unwrap_or(1);
+    if data.iter().any(|v| !v.is_finite()) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "non-finite value in fvecs stream",
+        ));
+    }
+    Ok(Dataset::from_flat(dim, data))
+}
+
+/// Write a [`Dataset`] as fvecs.
+pub fn write_fvecs<W: Write>(writer: W, data: &Dataset) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    let dim = data.dim() as i32;
+    for i in 0..data.len() {
+        w.write_all(&dim.to_le_bytes())?;
+        for &v in data.point(i) {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    w.flush()
+}
+
+/// Read an ivecs stream (e.g. ground-truth neighbor id lists).
+pub fn read_ivecs<R: Read>(reader: R) -> io::Result<Vec<Vec<i32>>> {
+    let mut r = BufReader::new(reader);
+    let mut out = Vec::new();
+    let mut header = [0u8; 4];
+    loop {
+        match r.read_exact(&mut header) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e),
+        }
+        let d = i32::from_le_bytes(header);
+        if d < 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("negative vector dimension {d}"),
+            ));
+        }
+        let mut buf = vec![0u8; d as usize * 4];
+        r.read_exact(&mut buf)?;
+        out.push(
+            buf.chunks_exact(4)
+                .map(|b| i32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+                .collect(),
+        );
+    }
+    Ok(out)
+}
+
+/// Write id lists as ivecs.
+pub fn write_ivecs<W: Write>(writer: W, rows: &[Vec<i32>]) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    for row in rows {
+        w.write_all(&(row.len() as i32).to_le_bytes())?;
+        for &v in row {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    w.flush()
+}
+
+/// Convenience: load an fvecs file from disk.
+pub fn load_fvecs_file<P: AsRef<Path>>(path: P) -> io::Result<Dataset> {
+    read_fvecs(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fvecs_roundtrip() {
+        let d = Dataset::from_rows(&[vec![1.0, 2.5, -3.0], vec![0.0, 9.0, 1e-5]]);
+        let mut buf = Vec::new();
+        write_fvecs(&mut buf, &d).unwrap();
+        assert_eq!(buf.len(), 2 * (4 + 3 * 4));
+        let back = read_fvecs(&buf[..]).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn ivecs_roundtrip() {
+        let rows = vec![vec![1, 2, 3], vec![], vec![-7]];
+        let mut buf = Vec::new();
+        write_ivecs(&mut buf, &rows).unwrap();
+        let back = read_ivecs(&buf[..]).unwrap();
+        assert_eq!(back, rows);
+    }
+
+    #[test]
+    fn empty_stream_is_empty_dataset() {
+        let d = read_fvecs(&[][..]).unwrap();
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn inconsistent_dims_rejected() {
+        let mut buf = Vec::new();
+        buf.extend(2i32.to_le_bytes());
+        buf.extend(1.0f32.to_le_bytes());
+        buf.extend(2.0f32.to_le_bytes());
+        buf.extend(3i32.to_le_bytes());
+        buf.extend([0u8; 12]);
+        assert!(read_fvecs(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let mut buf = Vec::new();
+        buf.extend(4i32.to_le_bytes());
+        buf.extend(1.0f32.to_le_bytes()); // only 1 of 4 values
+        assert!(read_fvecs(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn negative_dim_rejected() {
+        let buf = (-3i32).to_le_bytes();
+        assert!(read_fvecs(&buf[..]).is_err());
+    }
+}

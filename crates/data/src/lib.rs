@@ -1,0 +1,34 @@
+//! Dataset substrate for the DB-LSH reproduction.
+//!
+//! The paper evaluates on ten real datasets (Table III: Audio, MNIST,
+//! Cifar, Trevi, NUS, Deep1M, Gist, SIFT10M, TinyImages80M, SIFT100M).
+//! Those corpora are not redistributable inside this repository, so this
+//! crate provides:
+//!
+//! * [`Dataset`] — a flat row-major `f32` matrix with distance helpers;
+//! * [`synthetic`] — seeded generators (Gaussian mixtures with planted
+//!   clusters plus background noise) whose *relative contrast* structure
+//!   reproduces the recall/ratio regimes LSH methods see on the real data;
+//! * [`registry`] — a catalogue of the paper's datasets mapping each to a
+//!   synthetic clone of the same cardinality/dimensionality (scalable down
+//!   for laptop runs);
+//! * [`io`] — fvecs/ivecs readers and writers so users with the real files
+//!   can drop them in;
+//! * [`ground_truth`] — exact multi-threaded k-NN;
+//! * [`metrics`] — the paper's quality measures (overall ratio, Eq. 11;
+//!   recall, Eq. 12);
+//! * [`AnnIndex`] — the trait every algorithm (DB-LSH and all baselines)
+//!   implements so the benchmark harness can drive them uniformly.
+
+pub mod ann;
+pub mod dataset;
+pub mod ground_truth;
+pub mod io;
+pub mod metrics;
+pub mod registry;
+pub mod synthetic;
+
+pub use ann::{AnnIndex, Neighbor, QueryStats, SearchResult};
+pub use dataset::Dataset;
+pub use ground_truth::exact_knn;
+pub use metrics::{overall_ratio, recall};

@@ -1,0 +1,134 @@
+//! The paper's quality metrics (Section VI-A, Eq. 11 and Eq. 12).
+
+use crate::Neighbor;
+
+/// Overall ratio (Eq. 11): `1/k * sum_i ||q, o_i|| / ||q, o*_i||` where
+/// `o_i` is the i-th returned point and `o*_i` the true i-th NN. A perfect
+/// answer scores 1.0; larger is worse.
+///
+/// Conventions for edge cases (shared by published LSH evaluation code):
+/// * if the method returned fewer than `k = truth.len()` points, each
+///   missing slot contributes the worst observed ratio of that query
+///   (so empty results are penalized, not rewarded);
+/// * a zero true distance with zero returned distance contributes 1.0;
+/// * a zero true distance with a positive returned distance is skipped
+///   (the ratio is unbounded and would drown the average).
+pub fn overall_ratio(returned: &[Neighbor], truth: &[Neighbor]) -> f64 {
+    assert!(!truth.is_empty(), "ground truth must not be empty");
+    let k = truth.len();
+    let mut acc = 0.0f64;
+    let mut counted = 0usize;
+    let mut worst = 1.0f64;
+    for i in 0..returned.len().min(k) {
+        let t = truth[i].dist as f64;
+        let r = returned[i].dist as f64;
+        let ratio = if t == 0.0 {
+            if r == 0.0 {
+                1.0
+            } else {
+                continue;
+            }
+        } else {
+            r / t
+        };
+        worst = worst.max(ratio);
+        acc += ratio;
+        counted += 1;
+    }
+    if counted == 0 {
+        return f64::INFINITY;
+    }
+    // penalize missing slots with the worst observed ratio
+    acc += worst * (k - counted) as f64;
+    acc / k as f64
+}
+
+/// Recall (Eq. 12): `|R ∩ R*| / k`. Ids are matched exactly; with
+/// continuous synthetic data, distance ties are measure-zero so id
+/// matching equals the distance-based variant.
+pub fn recall(returned: &[Neighbor], truth: &[Neighbor]) -> f64 {
+    assert!(!truth.is_empty(), "ground truth must not be empty");
+    let truth_ids: std::collections::HashSet<u32> = truth.iter().map(|n| n.id).collect();
+    let hit = returned
+        .iter()
+        .take(truth.len())
+        .filter(|n| truth_ids.contains(&n.id))
+        .count();
+    hit as f64 / truth.len() as f64
+}
+
+/// Mean of a slice, NaN on empty input.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        f64::NAN
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(id: u32, dist: f32) -> Neighbor {
+        Neighbor { id, dist }
+    }
+
+    #[test]
+    fn perfect_answer_scores_one() {
+        let truth = vec![n(1, 1.0), n(2, 2.0), n(3, 3.0)];
+        assert_eq!(overall_ratio(&truth, &truth), 1.0);
+        assert_eq!(recall(&truth, &truth), 1.0);
+    }
+
+    #[test]
+    fn ratio_averages_per_rank() {
+        let truth = vec![n(1, 1.0), n(2, 2.0)];
+        let got = vec![n(5, 1.5), n(6, 2.0)];
+        // (1.5/1 + 2/2) / 2 = 1.25
+        assert!((overall_ratio(&got, &truth) - 1.25).abs() < 1e-9);
+        assert_eq!(recall(&got, &truth), 0.0);
+    }
+
+    #[test]
+    fn partial_recall() {
+        let truth = vec![n(1, 1.0), n(2, 2.0), n(3, 3.0), n(4, 4.0)];
+        let got = vec![n(1, 1.0), n(9, 2.5), n(4, 4.0)];
+        assert_eq!(recall(&got, &truth), 0.5);
+    }
+
+    #[test]
+    fn missing_results_are_penalized() {
+        let truth = vec![n(1, 1.0), n(2, 2.0), n(3, 3.0)];
+        let got = vec![n(1, 2.0)]; // ratio 2.0, two missing slots
+        // (2 + 2 + 2) / 3 = 2
+        assert!((overall_ratio(&got, &truth) - 2.0).abs() < 1e-9);
+        let empty: Vec<Neighbor> = Vec::new();
+        assert!(overall_ratio(&empty, &truth).is_infinite());
+    }
+
+    #[test]
+    fn zero_distance_handling() {
+        let truth = vec![n(1, 0.0), n(2, 1.0)];
+        let exact = vec![n(1, 0.0), n(2, 1.0)];
+        assert_eq!(overall_ratio(&exact, &truth), 1.0);
+        // zero truth with positive returned: slot is skipped, not infinite
+        let off = vec![n(9, 0.5), n(2, 1.0)];
+        let v = overall_ratio(&off, &truth);
+        assert!(v.is_finite());
+    }
+
+    #[test]
+    fn extra_results_beyond_k_ignored() {
+        let truth = vec![n(1, 1.0)];
+        let got = vec![n(1, 1.0), n(2, 1.0), n(3, 1.0)];
+        assert_eq!(recall(&got, &truth), 1.0);
+        assert_eq!(overall_ratio(&got, &truth), 1.0);
+    }
+
+    #[test]
+    fn mean_edge_cases() {
+        assert!(mean(&[]).is_nan());
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+}

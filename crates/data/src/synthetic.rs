@@ -1,0 +1,221 @@
+//! Seeded synthetic dataset generators.
+//!
+//! The workhorse is [`gaussian_mixture`]: `n` points spread over planted
+//! Gaussian clusters plus a fraction of uniform background noise. This is
+//! the standard stand-in for real ANN corpora: nearest neighbors come from
+//! the query's own cluster (low relative contrast inside, high outside),
+//! which is the regime where LSH quality differences are visible.
+
+use crate::dataset::Dataset;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rand_distr_normal::NormalSampler;
+
+/// Minimal Box–Muller normal sampler so we only depend on `rand` itself.
+mod rand_distr_normal {
+    use rand::Rng;
+
+    pub struct NormalSampler {
+        spare: Option<f64>,
+    }
+
+    impl NormalSampler {
+        pub fn new() -> Self {
+            NormalSampler { spare: None }
+        }
+
+        /// Standard normal variate.
+        pub fn sample<R: Rng>(&mut self, rng: &mut R) -> f64 {
+            if let Some(v) = self.spare.take() {
+                return v;
+            }
+            // Box–Muller; u1 in (0, 1] avoids ln(0).
+            let u1: f64 = 1.0 - rng.gen::<f64>();
+            let u2: f64 = rng.gen();
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f64::consts::PI * u2;
+            self.spare = Some(r * theta.sin());
+            r * theta.cos()
+        }
+    }
+}
+
+/// Configuration for [`gaussian_mixture`].
+#[derive(Debug, Clone)]
+pub struct MixtureConfig {
+    /// Total number of points.
+    pub n: usize,
+    /// Dimensionality.
+    pub dim: usize,
+    /// Number of planted clusters.
+    pub clusters: usize,
+    /// Standard deviation of points around their cluster center.
+    pub cluster_std: f64,
+    /// Cluster centers are uniform in `[-spread, spread]^dim`.
+    pub spread: f64,
+    /// Fraction of points drawn uniformly from the bounding box instead of
+    /// from a cluster (background noise).
+    pub noise_frac: f64,
+    /// RNG seed — identical seeds give identical datasets.
+    pub seed: u64,
+}
+
+impl Default for MixtureConfig {
+    fn default() -> Self {
+        MixtureConfig {
+            n: 10_000,
+            dim: 32,
+            clusters: 100,
+            cluster_std: 1.0,
+            spread: 50.0,
+            noise_frac: 0.05,
+            seed: 42,
+        }
+    }
+}
+
+/// Generate a clustered dataset per `cfg`. Deterministic in `cfg.seed`.
+pub fn gaussian_mixture(cfg: &MixtureConfig) -> Dataset {
+    assert!(cfg.dim >= 1 && cfg.clusters >= 1);
+    assert!((0.0..=1.0).contains(&cfg.noise_frac), "noise_frac in [0,1]");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut normal = NormalSampler::new();
+
+    let centers: Vec<f64> = (0..cfg.clusters * cfg.dim)
+        .map(|_| rng.gen_range(-cfg.spread..=cfg.spread))
+        .collect();
+
+    let mut data = Vec::with_capacity(cfg.n * cfg.dim);
+    for _ in 0..cfg.n {
+        if rng.gen::<f64>() < cfg.noise_frac {
+            for _ in 0..cfg.dim {
+                data.push(rng.gen_range(-cfg.spread..=cfg.spread) as f32);
+            }
+        } else {
+            let c = rng.gen_range(0..cfg.clusters);
+            let center = &centers[c * cfg.dim..(c + 1) * cfg.dim];
+            for &m in center {
+                data.push((m + cfg.cluster_std * normal.sample(&mut rng)) as f32);
+            }
+        }
+    }
+    Dataset::from_flat(cfg.dim, data)
+}
+
+/// `n` points uniform in `[lo, hi]^dim`. Deterministic in `seed`.
+pub fn uniform(n: usize, dim: usize, lo: f32, hi: f32, seed: u64) -> Dataset {
+    assert!(lo < hi, "empty range");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data: Vec<f32> = (0..n * dim).map(|_| rng.gen_range(lo..=hi)).collect();
+    Dataset::from_flat(dim, data)
+}
+
+/// Carve `count` query points out of `data` uniformly at random (they are
+/// removed from the dataset, as in the paper's protocol). Deterministic in
+/// `seed`.
+pub fn split_queries(data: &mut Dataset, count: usize, seed: u64) -> Dataset {
+    assert!(count <= data.len(), "cannot extract more queries than points");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows: Vec<usize> = (0..data.len()).collect();
+    rows.shuffle(&mut rng);
+    let mut chosen: Vec<usize> = rows[..count].to_vec();
+    chosen.sort_unstable();
+    data.extract_rows(&chosen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::dist;
+
+    #[test]
+    fn mixture_is_deterministic() {
+        let cfg = MixtureConfig {
+            n: 500,
+            dim: 8,
+            ..Default::default()
+        };
+        let a = gaussian_mixture(&cfg);
+        let b = gaussian_mixture(&cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 500);
+        assert_eq!(a.dim(), 8);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let base = MixtureConfig {
+            n: 100,
+            dim: 4,
+            ..Default::default()
+        };
+        let a = gaussian_mixture(&base);
+        let b = gaussian_mixture(&MixtureConfig { seed: 43, ..base });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn clusters_create_near_neighbors() {
+        // With tight clusters, a point's NN should be far closer than a
+        // random pair — the relative-contrast structure LSH needs.
+        let cfg = MixtureConfig {
+            n: 2000,
+            dim: 16,
+            clusters: 20,
+            cluster_std: 0.5,
+            spread: 100.0,
+            noise_frac: 0.0,
+            seed: 7,
+        };
+        let d = gaussian_mixture(&cfg);
+        let q = d.point(0);
+        let mut nn = f32::INFINITY;
+        let mut mean = 0.0f64;
+        for i in 1..d.len() {
+            let dd = dist(q, d.point(i));
+            nn = nn.min(dd);
+            mean += dd as f64;
+        }
+        mean /= (d.len() - 1) as f64;
+        assert!(
+            (nn as f64) < mean / 5.0,
+            "no contrast: nn={nn}, mean={mean}"
+        );
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let d = uniform(300, 5, -2.0, 3.0, 11);
+        assert_eq!(d.len(), 300);
+        assert!(d.flat().iter().all(|&v| (-2.0..=3.0).contains(&v)));
+    }
+
+    #[test]
+    fn split_queries_removes_rows() {
+        let mut d = uniform(100, 3, 0.0, 1.0, 5);
+        let before = d.len();
+        let q = split_queries(&mut d, 10, 99);
+        assert_eq!(q.len(), 10);
+        assert_eq!(d.len(), before - 10);
+        assert_eq!(q.dim(), 3);
+    }
+
+    #[test]
+    fn split_queries_deterministic() {
+        let mut d1 = uniform(100, 3, 0.0, 1.0, 5);
+        let mut d2 = uniform(100, 3, 0.0, 1.0, 5);
+        let q1 = split_queries(&mut d1, 10, 99);
+        let q2 = split_queries(&mut d2, 10, 99);
+        assert_eq!(q1, q2);
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    #[should_panic(expected = "noise_frac")]
+    fn bad_noise_frac_panics() {
+        gaussian_mixture(&MixtureConfig {
+            noise_frac: 1.5,
+            ..Default::default()
+        });
+    }
+}

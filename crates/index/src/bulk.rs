@@ -1,0 +1,231 @@
+//! Sort-Tile-Recursive (STR) bulk loading (Leutenegger et al., ICDE 1997).
+//!
+//! The paper constructs its L R*-trees with bulk loading ("DB-LSH adopts
+//! the bulk-loading strategy to construct R*-Trees, which is a more
+//! efficient strategy than conventional insertion strategies" —
+//! Section VI-B.2). STR packs points into fully-filled leaves by recursive
+//! slab partitioning, then packs each level into the one above it.
+
+use crate::tree::{Entry, Node, RStarTree};
+
+impl RStarTree {
+    /// Bulk-load a tree from `n` points stored row-major in `coords`
+    /// (`coords.len() == ids.len() * dim`). Roughly an order of magnitude
+    /// faster than repeated insertion and yields better-packed nodes.
+    pub fn bulk_load(dim: usize, ids: &[u32], coords: &[f64]) -> Self {
+        Self::bulk_load_with_capacity(dim, ids, coords, crate::tree::DEFAULT_MAX_ENTRIES)
+    }
+
+    /// [`RStarTree::bulk_load`] with a custom node fan-out.
+    pub fn bulk_load_with_capacity(
+        dim: usize,
+        ids: &[u32],
+        coords: &[f64],
+        max_entries: usize,
+    ) -> Self {
+        assert_eq!(
+            coords.len(),
+            ids.len() * dim,
+            "coords length must be ids.len() * dim"
+        );
+        assert!(
+            coords.iter().all(|v| v.is_finite()),
+            "non-finite coordinate rejected"
+        );
+        let mut tree = RStarTree::with_node_capacity(dim, max_entries);
+        let n = ids.len();
+        if n == 0 {
+            return tree;
+        }
+
+        // Partition point indices into leaf groups.
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        let mut groups: Vec<std::ops::Range<usize>> = Vec::with_capacity(n / max_entries + 1);
+        str_partition(&mut order, 0, coords, dim, max_entries, &mut groups, 0);
+
+        // Build leaves.
+        let mut level_nodes: Vec<usize> = Vec::with_capacity(groups.len());
+        // The freshly constructed tree owns one empty root (index 0); we
+        // overwrite it at the end.
+        for g in &groups {
+            let entries: Vec<Entry> = order[g.clone()]
+                .iter()
+                .map(|&row| {
+                    let r = row as usize;
+                    Entry::Point {
+                        id: ids[r],
+                        coords: coords[r * dim..(r + 1) * dim].into(),
+                    }
+                })
+                .collect();
+            level_nodes.push(tree.alloc(Node { level: 0, entries }));
+        }
+
+        // Pack each level into the next until a single root remains.
+        let mut level = 0u32;
+        while level_nodes.len() > 1 {
+            level += 1;
+            let mut upper: Vec<usize> = Vec::with_capacity(level_nodes.len() / max_entries + 1);
+            for chunk in level_nodes.chunks(max_entries) {
+                let entries: Vec<Entry> = chunk
+                    .iter()
+                    .map(|&c| Entry::Child {
+                        node: c,
+                        rect: tree.node_mbr(c),
+                    })
+                    .collect();
+                upper.push(tree.alloc(Node { level, entries }));
+            }
+            level_nodes = upper;
+        }
+
+        tree.root = level_nodes[0];
+        tree.len = n;
+        tree
+    }
+}
+
+/// Recursively sort-and-tile `order` (point row indices) into contiguous
+/// leaf-sized ranges appended to `groups`. `base` is the offset of `order`
+/// within the full ordering array.
+fn str_partition(
+    order: &mut [u32],
+    axis: usize,
+    coords: &[f64],
+    dim: usize,
+    cap: usize,
+    groups: &mut Vec<std::ops::Range<usize>>,
+    base: usize,
+) {
+    let n = order.len();
+    if n <= cap {
+        groups.push(base..base + n);
+        return;
+    }
+    order.sort_unstable_by(|&a, &b| {
+        coords[a as usize * dim + axis].total_cmp(&coords[b as usize * dim + axis])
+    });
+    if axis + 1 == dim {
+        // Last axis: emit consecutive leaf-sized runs.
+        let mut start = 0;
+        while start < n {
+            let end = (start + cap).min(n);
+            groups.push(base + start..base + end);
+            start = end;
+        }
+        return;
+    }
+    // Number of leaves below this subarray and slab count for this axis:
+    // S = ceil(P^(1/remaining_axes)).
+    let leaves = n.div_ceil(cap);
+    let remaining = (dim - axis) as f64;
+    let slabs = (leaves as f64).powf(1.0 / remaining).ceil() as usize;
+    let slab_size = n.div_ceil(slabs.max(1));
+    let mut start = 0;
+    while start < n {
+        let end = (start + slab_size).min(n);
+        str_partition(
+            &mut order[start..end],
+            axis + 1,
+            coords,
+            dim,
+            cap,
+            groups,
+            base + start,
+        );
+        start = end;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rect::Rect;
+
+    fn random_coords(n: usize, dim: usize, seed: u64) -> Vec<f64> {
+        // xorshift-based deterministic pseudo-random coordinates
+        let mut s = seed.max(1);
+        let mut out = Vec::with_capacity(n * dim);
+        for _ in 0..n * dim {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            out.push((s >> 11) as f64 / (1u64 << 53) as f64 * 100.0);
+        }
+        out
+    }
+
+    #[test]
+    fn bulk_load_empty() {
+        let t = RStarTree::bulk_load(4, &[], &[]);
+        assert!(t.is_empty());
+        t.check_invariants();
+    }
+
+    #[test]
+    fn bulk_load_single_point() {
+        let t = RStarTree::bulk_load(3, &[7], &[1.0, 2.0, 3.0]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.height(), 1);
+        t.check_invariants();
+        assert_eq!(t.k_nearest(&[0.0, 0.0, 0.0], 1), vec![(7, 14.0)]);
+    }
+
+    #[test]
+    fn bulk_load_matches_incremental_contents() {
+        let n = 3000;
+        let dim = 3;
+        let coords = random_coords(n, dim, 42);
+        let ids: Vec<u32> = (0..n as u32).collect();
+        let bulk = RStarTree::bulk_load(dim, &ids, &coords);
+        bulk.check_invariants();
+        assert_eq!(bulk.len(), n);
+
+        let mut inc = RStarTree::new(dim);
+        for i in 0..n {
+            inc.insert(i as u32, &coords[i * dim..(i + 1) * dim]);
+        }
+        inc.check_invariants();
+
+        let w = Rect::new(&[10.0, 10.0, 10.0], &[60.0, 55.0, 70.0]);
+        let mut a = bulk.window_all(&w);
+        let mut b = inc.window_all(&w);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert!(!a.is_empty(), "window should catch some points");
+    }
+
+    #[test]
+    fn bulk_load_is_shallower_than_incremental() {
+        let n = 5000;
+        let coords = random_coords(n, 2, 7);
+        let ids: Vec<u32> = (0..n as u32).collect();
+        let bulk = RStarTree::bulk_load(2, &ids, &coords);
+        // ceil(log_32(5000/32)) + 1 = 3 levels at fan-out 32
+        assert!(bulk.height() <= 3, "height = {}", bulk.height());
+    }
+
+    #[test]
+    fn bulk_load_then_mutate() {
+        let n = 500;
+        let dim = 2;
+        let coords = random_coords(n, dim, 99);
+        let ids: Vec<u32> = (0..n as u32).collect();
+        let mut t = RStarTree::bulk_load(dim, &ids, &coords);
+        for i in 0..100usize {
+            assert!(t.remove(i as u32, &coords[i * dim..(i + 1) * dim]));
+        }
+        for i in 0..50u32 {
+            t.insert(10_000 + i, &[i as f64, -5.0]);
+        }
+        assert_eq!(t.len(), n - 100 + 50);
+        t.check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "coords length")]
+    fn mismatched_lengths_panic() {
+        RStarTree::bulk_load(2, &[0, 1], &[1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,32 @@
+//! An R*-tree multi-dimensional index, built from scratch for the DB-LSH
+//! reproduction.
+//!
+//! The paper indexes every K-dimensional projected space with an R*-tree
+//! ("we simply choose the R*-Tree as our index due to an ocean of
+//! optimizations... DB-LSH adopts the bulk-loading strategy"). This crate
+//! provides exactly the operations the paper's algorithms need:
+//!
+//! * **STR bulk loading** ([`RStarTree::bulk_load`]) — used in the indexing
+//!   phase (Section IV-B);
+//! * **window queries** as *pausable cursors* ([`RStarTree::window`]) — the
+//!   query phase issues `W(G_i(q), w0 r)` and must be able to stop after
+//!   `2tL + 1` verified points (Algorithm 1), so enumeration is lazy;
+//! * **incremental insertion and deletion** with the R\* heuristics
+//!   (forced reinsertion, margin-driven split) for dynamic workloads;
+//! * **best-first incremental nearest-neighbor search**
+//!   ([`RStarTree::nearest_iter`], Hjaltason–Samet) — the substrate for the
+//!   PM-LSH baseline, which retrieves candidates in ascending projected
+//!   distance.
+//!
+//! Coordinates are `f64` and the dimension is a runtime parameter (the
+//! projected dimensionality `K` is chosen per dataset). NaN coordinates are
+//! rejected at the API boundary.
+
+mod bulk;
+mod query;
+mod rect;
+mod tree;
+
+pub use query::{NearestIter, WindowCursor};
+pub use rect::Rect;
+pub use tree::RStarTree;

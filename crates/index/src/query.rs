@@ -1,0 +1,307 @@
+//! Query operations: pausable window cursors, best-first incremental
+//! nearest-neighbor iteration (Hjaltason–Samet distance browsing), and
+//! convenience wrappers.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::rect::Rect;
+use crate::tree::{Entry, RStarTree};
+
+impl RStarTree {
+    /// Lazy window query: yields `(id, coords)` of every point inside
+    /// `window`, in index order. The cursor borrows the tree; it can be
+    /// dropped at any time, which is how Algorithm 1 of the paper stops
+    /// after `2tL + 1` verified candidates.
+    pub fn window<'t>(&'t self, window: &Rect) -> WindowCursor<'t> {
+        assert_eq!(window.dim(), self.dim(), "window dimensionality mismatch");
+        WindowCursor {
+            tree: self,
+            window: window.clone(),
+            stack: vec![(self.root, 0)],
+        }
+    }
+
+    /// Eager window query, mainly for tests.
+    pub fn window_all(&self, window: &Rect) -> Vec<u32> {
+        self.window(window).map(|(id, _)| id).collect()
+    }
+
+    /// Best-first incremental nearest-neighbor iterator from `q`; yields
+    /// `(id, squared_distance)` in ascending distance order.
+    pub fn nearest_iter<'t>(&'t self, q: &[f64]) -> NearestIter<'t> {
+        assert_eq!(q.len(), self.dim(), "query dimensionality mismatch");
+        assert!(q.iter().all(|v| v.is_finite()), "non-finite query rejected");
+        let mut heap = BinaryHeap::new();
+        if !self.is_empty() {
+            heap.push(Reverse(HeapItem {
+                dist2: 0.0,
+                kind: ItemKind::Node(self.root),
+            }));
+        }
+        NearestIter {
+            tree: self,
+            q: q.into(),
+            heap,
+        }
+    }
+
+    /// The `k` nearest points to `q` as `(id, squared_distance)`.
+    pub fn k_nearest(&self, q: &[f64], k: usize) -> Vec<(u32, f64)> {
+        self.nearest_iter(q).take(k).collect()
+    }
+
+    /// Iterate over every stored point (depth-first order).
+    pub fn iter_points(&self) -> impl Iterator<Item = (u32, &[f64])> + '_ {
+        let mut stack = vec![(self.root, 0usize)];
+        std::iter::from_fn(move || loop {
+            let &(node, pos) = stack.last()?;
+            let n = &self.nodes[node];
+            if pos >= n.entries.len() {
+                stack.pop();
+                continue;
+            }
+            stack.last_mut().expect("non-empty").1 += 1;
+            match &n.entries[pos] {
+                Entry::Point { id, coords } => return Some((*id, &coords[..])),
+                Entry::Child { node: c, .. } => stack.push((*c, 0)),
+            }
+        })
+    }
+}
+
+/// Lazy depth-first window-query cursor. See [`RStarTree::window`].
+pub struct WindowCursor<'t> {
+    tree: &'t RStarTree,
+    window: Rect,
+    /// (node index, next entry position) — explicit DFS stack so the
+    /// enumeration can pause between items.
+    stack: Vec<(usize, usize)>,
+}
+
+impl<'t> Iterator for WindowCursor<'t> {
+    type Item = (u32, &'t [f64]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let &(node, pos) = self.stack.last()?;
+            let n = &self.tree.nodes[node];
+            if pos >= n.entries.len() {
+                self.stack.pop();
+                continue;
+            }
+            self.stack.last_mut().expect("non-empty").1 += 1;
+            match &n.entries[pos] {
+                Entry::Point { id, coords } => {
+                    if self.window.contains_point(coords) {
+                        return Some((*id, coords));
+                    }
+                }
+                Entry::Child { node: c, rect } => {
+                    if self.window.intersects(rect) {
+                        self.stack.push((*c, 0));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ItemKind {
+    Node(usize),
+    Point(u32),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct HeapItem {
+    dist2: f64,
+    kind: ItemKind,
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist2 == other.dist2 && self.kind == other.kind
+    }
+}
+impl Eq for HeapItem {}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap via Reverse; points before nodes at equal distance so a
+        // point at distance exactly MINDIST of an unopened node is emitted
+        // without opening the node.
+        self.dist2.total_cmp(&other.dist2).then_with(|| {
+            let rank = |k: &ItemKind| match k {
+                ItemKind::Point(_) => 0,
+                ItemKind::Node(_) => 1,
+            };
+            rank(&self.kind).cmp(&rank(&other.kind))
+        })
+    }
+}
+
+/// Best-first incremental NN iterator. See [`RStarTree::nearest_iter`].
+pub struct NearestIter<'t> {
+    tree: &'t RStarTree,
+    q: Box<[f64]>,
+    heap: BinaryHeap<Reverse<HeapItem>>,
+}
+
+impl Iterator for NearestIter<'_> {
+    type Item = (u32, f64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while let Some(Reverse(item)) = self.heap.pop() {
+            match item.kind {
+                ItemKind::Point(id) => return Some((id, item.dist2)),
+                ItemKind::Node(idx) => {
+                    for e in &self.tree.nodes[idx].entries {
+                        let hi = match e {
+                            Entry::Point { id, coords } => HeapItem {
+                                dist2: sq_dist(&self.q, coords),
+                                kind: ItemKind::Point(*id),
+                            },
+                            Entry::Child { node, rect } => HeapItem {
+                                dist2: rect.min_dist2(&self.q),
+                                kind: ItemKind::Node(*node),
+                            },
+                        };
+                        self.heap.push(Reverse(hi));
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[inline]
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build_grid(side: usize) -> RStarTree {
+        let mut t = RStarTree::new(2);
+        for x in 0..side {
+            for y in 0..side {
+                t.insert((x * side + y) as u32, &[x as f64, y as f64]);
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn window_matches_brute_force() {
+        let t = build_grid(15);
+        let w = Rect::new(&[2.5, 3.0], &[7.0, 9.5]);
+        let mut got = t.window_all(&w);
+        got.sort_unstable();
+        let mut want = Vec::new();
+        for x in 0..15u32 {
+            for y in 0..15u32 {
+                if (2.5..=7.0).contains(&(x as f64)) && (3.0..=9.5).contains(&(y as f64)) {
+                    want.push(x * 15 + y);
+                }
+            }
+        }
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn window_cursor_is_lazy_and_resumable() {
+        let t = build_grid(10);
+        let w = Rect::new(&[0.0, 0.0], &[9.0, 9.0]);
+        let mut cursor = t.window(&w);
+        let first: Vec<u32> = cursor.by_ref().take(5).map(|(id, _)| id).collect();
+        assert_eq!(first.len(), 5);
+        let rest: Vec<u32> = cursor.map(|(id, _)| id).collect();
+        assert_eq!(first.len() + rest.len(), 100);
+        // no overlap between the two batches
+        for id in &first {
+            assert!(!rest.contains(id));
+        }
+    }
+
+    #[test]
+    fn empty_window_yields_nothing() {
+        let t = build_grid(5);
+        let w = Rect::new(&[100.0, 100.0], &[101.0, 101.0]);
+        assert!(t.window_all(&w).is_empty());
+    }
+
+    #[test]
+    fn window_on_empty_tree() {
+        let t = RStarTree::new(2);
+        let w = Rect::new(&[0.0, 0.0], &[1.0, 1.0]);
+        assert!(t.window_all(&w).is_empty());
+    }
+
+    #[test]
+    fn nearest_iter_ascending_and_complete() {
+        let t = build_grid(12);
+        let q = [4.3, 7.8];
+        let got: Vec<(u32, f64)> = t.nearest_iter(&q).collect();
+        assert_eq!(got.len(), 144);
+        for pair in got.windows(2) {
+            assert!(pair[0].1 <= pair[1].1, "distances not ascending");
+        }
+        // first returned is the true NN
+        let (id, d2) = got[0];
+        assert_eq!(id, 4 * 12 + 8);
+        assert!((d2 - (0.3f64 * 0.3 + 0.2 * 0.2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_nearest_matches_brute_force() {
+        let t = build_grid(9);
+        let q = [3.1, 3.1];
+        let got = t.k_nearest(&q, 7);
+        let mut brute: Vec<(u32, f64)> = (0..81u32)
+            .map(|id| {
+                let x = (id / 9) as f64;
+                let y = (id % 9) as f64;
+                (id, (x - q[0]).powi(2) + (y - q[1]).powi(2))
+            })
+            .collect();
+        brute.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let got_d: Vec<f64> = got.iter().map(|&(_, d)| d).collect();
+        let want_d: Vec<f64> = brute[..7].iter().map(|&(_, d)| d).collect();
+        for (g, w) in got_d.iter().zip(want_d.iter()) {
+            assert!((g - w).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn iter_points_covers_everything() {
+        let t = build_grid(8);
+        let mut ids: Vec<u32> = t.iter_points().map(|(id, _)| id).collect();
+        ids.sort_unstable();
+        let want: Vec<u32> = (0..64).collect();
+        assert_eq!(ids, want);
+    }
+
+    #[test]
+    fn k_larger_than_len_returns_all() {
+        let t = build_grid(3);
+        assert_eq!(t.k_nearest(&[0.0, 0.0], 100).len(), 9);
+    }
+}

@@ -1,0 +1,273 @@
+//! Axis-aligned bounding rectangles with runtime dimensionality.
+
+/// An axis-aligned hyper-rectangle `[lo_0, hi_0] x ... x [lo_{d-1}, hi_{d-1}]`.
+///
+/// Degenerate rectangles (points, `lo == hi`) are valid and are how leaf
+/// entries are represented.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rect {
+    lo: Box<[f64]>,
+    hi: Box<[f64]>,
+}
+
+impl Rect {
+    /// Rectangle from corner slices. Panics on dimension mismatch, empty
+    /// dimensions, NaN, or `lo > hi` in any dimension.
+    pub fn new(lo: &[f64], hi: &[f64]) -> Self {
+        assert_eq!(lo.len(), hi.len(), "corner dimensionality mismatch");
+        assert!(!lo.is_empty(), "zero-dimensional rectangle");
+        for i in 0..lo.len() {
+            assert!(
+                lo[i] <= hi[i],
+                "inverted rectangle in dim {i}: {} > {}",
+                lo[i],
+                hi[i]
+            );
+        }
+        Rect {
+            lo: lo.into(),
+            hi: hi.into(),
+        }
+    }
+
+    /// Degenerate rectangle covering a single point.
+    pub fn point(coords: &[f64]) -> Self {
+        assert!(!coords.is_empty(), "zero-dimensional point");
+        assert!(
+            coords.iter().all(|v| !v.is_nan()),
+            "NaN coordinate rejected"
+        );
+        Rect {
+            lo: coords.into(),
+            hi: coords.into(),
+        }
+    }
+
+    /// Hypercube of side `w` centered at `center` — the paper's
+    /// query-centric bucket `W(G_i(q), w)` (Eq. 8).
+    pub fn centered_cube(center: &[f64], w: f64) -> Self {
+        assert!(w >= 0.0 && !w.is_nan(), "invalid width {w}");
+        let half = w / 2.0;
+        let lo: Vec<f64> = center.iter().map(|&c| c - half).collect();
+        let hi: Vec<f64> = center.iter().map(|&c| c + half).collect();
+        Rect::new(&lo, &hi)
+    }
+
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.lo.len()
+    }
+
+    #[inline]
+    pub fn lo(&self) -> &[f64] {
+        &self.lo
+    }
+
+    #[inline]
+    pub fn hi(&self) -> &[f64] {
+        &self.hi
+    }
+
+    /// True iff the two rectangles share at least one point.
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        debug_assert_eq!(self.dim(), other.dim());
+        self.lo
+            .iter()
+            .zip(other.hi.iter())
+            .all(|(&a, &b)| a <= b)
+            && other
+                .lo
+                .iter()
+                .zip(self.hi.iter())
+                .all(|(&a, &b)| a <= b)
+    }
+
+    /// True iff `p` lies inside the rectangle (boundary inclusive).
+    #[inline]
+    pub fn contains_point(&self, p: &[f64]) -> bool {
+        debug_assert_eq!(self.dim(), p.len());
+        p.iter()
+            .enumerate()
+            .all(|(i, &v)| self.lo[i] <= v && v <= self.hi[i])
+    }
+
+    /// True iff `other` is fully inside `self` (boundary inclusive).
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        self.lo
+            .iter()
+            .zip(other.lo.iter())
+            .all(|(&a, &b)| a <= b)
+            && self
+                .hi
+                .iter()
+                .zip(other.hi.iter())
+                .all(|(&a, &b)| b <= a)
+    }
+
+    /// Hyper-volume (product of side lengths).
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.lo
+            .iter()
+            .zip(self.hi.iter())
+            .map(|(&l, &h)| h - l)
+            .product()
+    }
+
+    /// Margin: sum of side lengths (the R\* split heuristic score).
+    #[inline]
+    pub fn margin(&self) -> f64 {
+        self.lo
+            .iter()
+            .zip(self.hi.iter())
+            .map(|(&l, &h)| h - l)
+            .sum()
+    }
+
+    /// Volume of the intersection with `other` (0 when disjoint).
+    pub fn overlap_area(&self, other: &Rect) -> f64 {
+        let mut v = 1.0;
+        for i in 0..self.dim() {
+            let lo = self.lo[i].max(other.lo[i]);
+            let hi = self.hi[i].min(other.hi[i]);
+            if lo >= hi {
+                return 0.0;
+            }
+            v *= hi - lo;
+        }
+        v
+    }
+
+    /// Grow to the smallest rectangle covering both `self` and `other`.
+    pub fn enlarge(&mut self, other: &Rect) {
+        for i in 0..self.lo.len() {
+            if other.lo[i] < self.lo[i] {
+                self.lo[i] = other.lo[i];
+            }
+            if other.hi[i] > self.hi[i] {
+                self.hi[i] = other.hi[i];
+            }
+        }
+    }
+
+    /// Smallest rectangle covering both inputs.
+    pub fn union(&self, other: &Rect) -> Rect {
+        let mut r = self.clone();
+        r.enlarge(other);
+        r
+    }
+
+    /// Extra volume needed to cover `other`.
+    pub fn enlargement(&self, other: &Rect) -> f64 {
+        self.union(other).area() - self.area()
+    }
+
+    /// Center coordinate in dimension `i`.
+    #[inline]
+    pub fn center(&self, i: usize) -> f64 {
+        0.5 * (self.lo[i] + self.hi[i])
+    }
+
+    /// Squared Euclidean distance between the centers of two rectangles.
+    pub fn center_dist2(&self, other: &Rect) -> f64 {
+        (0..self.dim())
+            .map(|i| {
+                let d = self.center(i) - other.center(i);
+                d * d
+            })
+            .sum()
+    }
+
+    /// MINDIST: squared Euclidean distance from point `p` to the nearest
+    /// point of the rectangle (0 if `p` is inside). Drives best-first NN.
+    pub fn min_dist2(&self, p: &[f64]) -> f64 {
+        debug_assert_eq!(self.dim(), p.len());
+        let mut acc = 0.0;
+        for i in 0..p.len() {
+            let v = p[i];
+            let d = if v < self.lo[i] {
+                self.lo[i] - v
+            } else if v > self.hi[i] {
+                v - self.hi[i]
+            } else {
+                0.0
+            };
+            acc += d * d;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_rect_roundtrip() {
+        let r = Rect::point(&[1.0, -2.0, 3.5]);
+        assert_eq!(r.lo(), &[1.0, -2.0, 3.5]);
+        assert_eq!(r.hi(), &[1.0, -2.0, 3.5]);
+        assert_eq!(r.area(), 0.0);
+        assert!(r.contains_point(&[1.0, -2.0, 3.5]));
+    }
+
+    #[test]
+    fn centered_cube_is_the_paper_window() {
+        // W(G(q), w) = [g_j - w/2, g_j + w/2] per dimension (Eq. 8).
+        let r = Rect::centered_cube(&[0.0, 10.0], 4.0);
+        assert_eq!(r.lo(), &[-2.0, 8.0]);
+        assert_eq!(r.hi(), &[2.0, 12.0]);
+        assert!(r.contains_point(&[-2.0, 12.0])); // boundary inclusive
+        assert!(!r.contains_point(&[-2.1, 10.0]));
+    }
+
+    #[test]
+    fn intersection_and_containment() {
+        let a = Rect::new(&[0.0, 0.0], &[2.0, 2.0]);
+        let b = Rect::new(&[1.0, 1.0], &[3.0, 3.0]);
+        let c = Rect::new(&[2.5, 2.5], &[4.0, 4.0]);
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&c));
+        assert!(b.intersects(&c));
+        assert!(a.contains_rect(&Rect::new(&[0.5, 0.5], &[1.5, 1.5])));
+        assert!(!a.contains_rect(&b));
+        // touching edges count as intersecting
+        assert!(a.intersects(&Rect::new(&[2.0, 0.0], &[3.0, 1.0])));
+    }
+
+    #[test]
+    fn areas_margins_overlap() {
+        let a = Rect::new(&[0.0, 0.0], &[2.0, 3.0]);
+        let b = Rect::new(&[1.0, 1.0], &[3.0, 5.0]);
+        assert_eq!(a.area(), 6.0);
+        assert_eq!(a.margin(), 5.0);
+        assert_eq!(a.overlap_area(&b), 1.0 * 2.0);
+        assert_eq!(a.union(&b).area(), 3.0 * 5.0);
+        assert_eq!(a.enlargement(&b), 15.0 - 6.0);
+        let far = Rect::new(&[10.0, 10.0], &[11.0, 11.0]);
+        assert_eq!(a.overlap_area(&far), 0.0);
+    }
+
+    #[test]
+    fn min_dist2_cases() {
+        let r = Rect::new(&[0.0, 0.0], &[2.0, 2.0]);
+        assert_eq!(r.min_dist2(&[1.0, 1.0]), 0.0); // inside
+        assert_eq!(r.min_dist2(&[3.0, 1.0]), 1.0); // right face
+        assert_eq!(r.min_dist2(&[3.0, 3.0]), 2.0); // corner
+        assert_eq!(r.min_dist2(&[-2.0, 1.0]), 4.0); // left face
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted rectangle")]
+    fn inverted_rect_panics() {
+        Rect::new(&[1.0], &[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_point_panics() {
+        Rect::point(&[f64::NAN]);
+    }
+}

@@ -1,0 +1,718 @@
+//! The R*-tree proper: arena storage, R\* insertion (ChooseSubtree, forced
+//! reinsertion, margin-driven split) and deletion with tree condensing.
+//! Beckmann, Kriegel, Schneider, Seeger: "The R*-tree: an efficient and
+//! robust access method for points and rectangles" (SIGMOD 1990).
+
+use crate::rect::Rect;
+
+/// Default maximum entries per node.
+pub(crate) const DEFAULT_MAX_ENTRIES: usize = 32;
+
+/// One entry of a node: a data point (in leaves) or a child subtree.
+#[derive(Debug, Clone)]
+pub(crate) enum Entry {
+    Point { id: u32, coords: Box<[f64]> },
+    Child { node: usize, rect: Rect },
+}
+
+impl Entry {
+    #[inline]
+    pub(crate) fn lo(&self, axis: usize) -> f64 {
+        match self {
+            Entry::Point { coords, .. } => coords[axis],
+            Entry::Child { rect, .. } => rect.lo()[axis],
+        }
+    }
+
+    #[inline]
+    pub(crate) fn hi(&self, axis: usize) -> f64 {
+        match self {
+            Entry::Point { coords, .. } => coords[axis],
+            Entry::Child { rect, .. } => rect.hi()[axis],
+        }
+    }
+
+    pub(crate) fn to_rect(&self) -> Rect {
+        match self {
+            Entry::Point { coords, .. } => Rect::point(coords),
+            Entry::Child { rect, .. } => rect.clone(),
+        }
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct Node {
+    /// 0 for leaves; parents of leaves are level 1, etc.
+    pub(crate) level: u32,
+    pub(crate) entries: Vec<Entry>,
+}
+
+/// An in-memory R*-tree over points with runtime dimensionality.
+///
+/// Point payloads are `u32` identifiers (row index into the owning
+/// dataset / projection matrix). Duplicate coordinates and duplicate ids
+/// are allowed; `remove` matches on `(id, coords)` pairs.
+#[derive(Debug)]
+pub struct RStarTree {
+    dim: usize,
+    max_entries: usize,
+    min_entries: usize,
+    /// Number of entries evicted by forced reinsertion (R\* uses 30% of M).
+    reinsert_count: usize,
+    pub(crate) nodes: Vec<Node>,
+    free: Vec<usize>,
+    pub(crate) root: usize,
+    pub(crate) len: usize,
+}
+
+impl RStarTree {
+    /// Empty tree with the default node capacity.
+    pub fn new(dim: usize) -> Self {
+        Self::with_node_capacity(dim, DEFAULT_MAX_ENTRIES)
+    }
+
+    /// Empty tree with a custom maximum node fan-out `max_entries >= 4`.
+    pub fn with_node_capacity(dim: usize, max_entries: usize) -> Self {
+        assert!(dim >= 1, "dimension must be at least 1");
+        assert!(max_entries >= 4, "node capacity must be at least 4");
+        let min_entries = (max_entries as f64 * 0.4).ceil() as usize;
+        let reinsert_count = (max_entries as f64 * 0.3).ceil() as usize;
+        RStarTree {
+            dim,
+            max_entries,
+            min_entries,
+            reinsert_count,
+            nodes: vec![Node {
+                level: 0,
+                entries: Vec::new(),
+            }],
+            free: Vec::new(),
+            root: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of points in the tree.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Coordinate dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Height of the tree: 1 for a single leaf node.
+    pub fn height(&self) -> usize {
+        self.nodes[self.root].level as usize + 1
+    }
+
+    /// Exact minimum bounding rectangle of the whole tree, `None` if empty.
+    pub fn mbr(&self) -> Option<Rect> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.node_mbr(self.root))
+        }
+    }
+
+    pub(crate) fn alloc(&mut self, node: Node) -> usize {
+        if let Some(idx) = self.free.pop() {
+            self.nodes[idx] = node;
+            idx
+        } else {
+            self.nodes.push(node);
+            self.nodes.len() - 1
+        }
+    }
+
+    fn dealloc(&mut self, idx: usize) {
+        self.nodes[idx] = Node {
+            level: u32::MAX,
+            entries: Vec::new(),
+        };
+        self.free.push(idx);
+    }
+
+    pub(crate) fn node_mbr(&self, idx: usize) -> Rect {
+        let node = &self.nodes[idx];
+        let mut it = node.entries.iter();
+        let first = it
+            .next()
+            .expect("node_mbr on empty node")
+            .to_rect();
+        it.fold(first, |mut acc, e| {
+            match e {
+                Entry::Point { coords, .. } => acc.enlarge(&Rect::point(coords)),
+                Entry::Child { rect, .. } => acc.enlarge(rect),
+            }
+            acc
+        })
+    }
+
+    fn validate_coords(&self, coords: &[f64]) {
+        assert_eq!(
+            coords.len(),
+            self.dim,
+            "coordinate dimensionality mismatch: got {}, tree is {}-d",
+            coords.len(),
+            self.dim
+        );
+        assert!(
+            coords.iter().all(|v| v.is_finite()),
+            "non-finite coordinate rejected"
+        );
+    }
+
+    /// Insert a point with identifier `id`.
+    pub fn insert(&mut self, id: u32, coords: &[f64]) {
+        self.validate_coords(coords);
+        let mut reinserted = vec![false; self.nodes[self.root].level as usize + 2];
+        self.insert_at_level(
+            Entry::Point {
+                id,
+                coords: coords.into(),
+            },
+            0,
+            &mut reinserted,
+        );
+        self.len += 1;
+    }
+
+    /// Insert `entry` into some node at `target_level`, applying the R\*
+    /// overflow treatment (one forced reinsertion per level per public
+    /// operation, then splits).
+    fn insert_at_level(&mut self, entry: Entry, target_level: u32, reinserted: &mut Vec<bool>) {
+        let entry_rect = entry.to_rect();
+        // Descend, recording the path and enlarging covering rectangles.
+        let mut path: Vec<(usize, usize)> = Vec::new();
+        let mut cur = self.root;
+        while self.nodes[cur].level > target_level {
+            let pos = self.choose_subtree(cur, &entry_rect);
+            let child = match &mut self.nodes[cur].entries[pos] {
+                Entry::Child { node, rect } => {
+                    rect.enlarge(&entry_rect);
+                    *node
+                }
+                Entry::Point { .. } => unreachable!("point entry in inner node"),
+            };
+            path.push((cur, pos));
+            cur = child;
+        }
+        debug_assert_eq!(self.nodes[cur].level, target_level);
+        self.nodes[cur].entries.push(entry);
+
+        // Overflow treatment, bottom-up.
+        let mut node = cur;
+        loop {
+            if self.nodes[node].entries.len() <= self.max_entries {
+                break;
+            }
+            let level = self.nodes[node].level;
+            if node != self.root && !reinserted[level as usize] {
+                reinserted[level as usize] = true;
+                let orphans = self.take_farthest(node);
+                self.recompute_path_rects(&path);
+                for e in orphans {
+                    self.insert_at_level(e, level, reinserted);
+                }
+                break;
+            }
+            let sibling = self.split(node);
+            let sibling_entry = Entry::Child {
+                node: sibling,
+                rect: self.node_mbr(sibling),
+            };
+            if node == self.root {
+                let old_root = Entry::Child {
+                    node: self.root,
+                    rect: self.node_mbr(self.root),
+                };
+                let new_root = self.alloc(Node {
+                    level: level + 1,
+                    entries: vec![old_root, sibling_entry],
+                });
+                self.root = new_root;
+                break;
+            }
+            let (parent, pos) = path.pop().expect("non-root node has a parent on the path");
+            let shrunk = self.node_mbr(node);
+            match &mut self.nodes[parent].entries[pos] {
+                Entry::Child { rect, .. } => *rect = shrunk,
+                Entry::Point { .. } => unreachable!(),
+            }
+            self.nodes[parent].entries.push(sibling_entry);
+            node = parent;
+        }
+    }
+
+    /// R\* ChooseSubtree: minimal overlap enlargement for parents of
+    /// leaves, minimal area enlargement above (ties: smaller area).
+    fn choose_subtree(&self, node: usize, entry_rect: &Rect) -> usize {
+        let n = &self.nodes[node];
+        debug_assert!(n.level >= 1);
+        let entries = &n.entries;
+        if n.level == 1 {
+            // children are leaves: minimize overlap enlargement
+            let mut best = 0;
+            let mut best_key = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+            for (i, e) in entries.iter().enumerate() {
+                let r = match e {
+                    Entry::Child { rect, .. } => rect,
+                    Entry::Point { .. } => unreachable!(),
+                };
+                let enlarged = r.union(entry_rect);
+                let mut overlap_before = 0.0;
+                let mut overlap_after = 0.0;
+                for (j, other) in entries.iter().enumerate() {
+                    if i == j {
+                        continue;
+                    }
+                    let or = match other {
+                        Entry::Child { rect, .. } => rect,
+                        Entry::Point { .. } => unreachable!(),
+                    };
+                    overlap_before += r.overlap_area(or);
+                    overlap_after += enlarged.overlap_area(or);
+                }
+                let key = (
+                    overlap_after - overlap_before,
+                    r.enlargement(entry_rect),
+                    r.area(),
+                );
+                if key < best_key {
+                    best_key = key;
+                    best = i;
+                }
+            }
+            best
+        } else {
+            let mut best = 0;
+            let mut best_key = (f64::INFINITY, f64::INFINITY);
+            for (i, e) in entries.iter().enumerate() {
+                let r = match e {
+                    Entry::Child { rect, .. } => rect,
+                    Entry::Point { .. } => unreachable!(),
+                };
+                let key = (r.enlargement(entry_rect), r.area());
+                if key < best_key {
+                    best_key = key;
+                    best = i;
+                }
+            }
+            best
+        }
+    }
+
+    /// Remove the `reinsert_count` entries whose centers are farthest from
+    /// the node's MBR center; returns them sorted closest-first ("close
+    /// reinsert" of the R\* paper).
+    fn take_farthest(&mut self, node: usize) -> Vec<Entry> {
+        let mbr = self.node_mbr(node);
+        let n = &mut self.nodes[node];
+        let mut dist: Vec<(f64, usize)> = n
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.to_rect().center_dist2(&mbr), i))
+            .collect();
+        dist.sort_by(|a, b| b.0.total_cmp(&a.0));
+        let count = self.reinsert_count.min(n.entries.len().saturating_sub(1));
+        let mut evict: Vec<usize> = dist[..count].iter().map(|&(_, i)| i).collect();
+        evict.sort_unstable_by(|a, b| b.cmp(a)); // remove from the back
+        let mut orphans: Vec<Entry> = evict.into_iter().map(|i| n.entries.remove(i)).collect();
+        orphans.reverse(); // farthest were first; reinsert closest-first
+        orphans
+    }
+
+    /// Recompute exact covering rectangles along a root-to-node path.
+    fn recompute_path_rects(&mut self, path: &[(usize, usize)]) {
+        for &(node, pos) in path.iter().rev() {
+            let child = match &self.nodes[node].entries[pos] {
+                Entry::Child { node: c, .. } => *c,
+                Entry::Point { .. } => unreachable!(),
+            };
+            let exact = self.node_mbr(child);
+            match &mut self.nodes[node].entries[pos] {
+                Entry::Child { rect, .. } => *rect = exact,
+                Entry::Point { .. } => unreachable!(),
+            }
+        }
+    }
+
+    /// R\* topological split. Keeps one group in `node`, allocates a new
+    /// node for the other group, and returns its index.
+    fn split(&mut self, node: usize) -> usize {
+        let level = self.nodes[node].level;
+        let mut entries = std::mem::take(&mut self.nodes[node].entries);
+        let total = entries.len();
+        let m = self.min_entries;
+        debug_assert!(total > self.max_entries);
+
+        // ChooseSplitAxis: minimize total margin over all distributions of
+        // both sortings (by lower then by upper boundary).
+        let mut best_axis = 0;
+        let mut best_axis_margin = f64::INFINITY;
+        for axis in 0..self.dim {
+            let mut margin = 0.0;
+            for by_upper in [false, true] {
+                let mut order: Vec<usize> = (0..total).collect();
+                sort_order(&mut order, &entries, axis, by_upper);
+                let (pre, suf) = prefix_suffix_rects(&order, &entries);
+                for k in m..=(total - m) {
+                    margin += pre[k - 1].margin() + suf[k].margin();
+                }
+            }
+            if margin < best_axis_margin {
+                best_axis_margin = margin;
+                best_axis = axis;
+            }
+        }
+
+        // ChooseSplitIndex on the winning axis: minimize overlap, then area.
+        let mut best: Option<(Vec<usize>, usize)> = None;
+        let mut best_key = (f64::INFINITY, f64::INFINITY);
+        for by_upper in [false, true] {
+            let mut order: Vec<usize> = (0..total).collect();
+            sort_order(&mut order, &entries, best_axis, by_upper);
+            let (pre, suf) = prefix_suffix_rects(&order, &entries);
+            for k in m..=(total - m) {
+                let r1 = &pre[k - 1];
+                let r2 = &suf[k];
+                let key = (r1.overlap_area(r2), r1.area() + r2.area());
+                if key < best_key {
+                    best_key = key;
+                    best = Some((order.clone(), k));
+                }
+            }
+        }
+        let (order, split_at) = best.expect("at least one valid distribution");
+
+        // Materialize the two groups.
+        let in_second: Vec<bool> = {
+            let mut v = vec![false; total];
+            for &i in &order[split_at..] {
+                v[i] = true;
+            }
+            v
+        };
+        let mut first = Vec::with_capacity(split_at);
+        let mut second = Vec::with_capacity(total - split_at);
+        for (i, e) in entries.drain(..).enumerate() {
+            if in_second[i] {
+                second.push(e);
+            } else {
+                first.push(e);
+            }
+        }
+        self.nodes[node].entries = first;
+        self.alloc(Node {
+            level,
+            entries: second,
+        })
+    }
+
+    /// Remove the point `(id, coords)`. Returns `true` if it was present.
+    /// If several identical `(id, coords)` entries exist, one is removed.
+    pub fn remove(&mut self, id: u32, coords: &[f64]) -> bool {
+        self.validate_coords(coords);
+        let Some(path) = self.find_leaf(id, coords) else {
+            return false;
+        };
+        // `path` is the root-to-leaf chain of (node, entry position); the
+        // last element addresses the point entry inside the leaf.
+        let (leaf, entry_pos) = *path.last().expect("non-empty path");
+        self.nodes[leaf].entries.remove(entry_pos);
+        self.len -= 1;
+
+        // Condense: dissolve underfull nodes bottom-up, queueing orphans.
+        let mut orphans: Vec<(u32, Entry)> = Vec::new();
+        for i in (0..path.len() - 1).rev() {
+            let (parent, pos) = path[i];
+            let child = match &self.nodes[parent].entries[pos] {
+                Entry::Child { node, .. } => *node,
+                Entry::Point { .. } => unreachable!(),
+            };
+            if self.nodes[child].entries.len() < self.min_entries {
+                self.nodes[parent].entries.remove(pos);
+                let level = self.nodes[child].level;
+                let stranded = std::mem::take(&mut self.nodes[child].entries);
+                orphans.extend(stranded.into_iter().map(|e| (level, e)));
+                self.dealloc(child);
+            } else {
+                let exact = self.node_mbr(child);
+                match &mut self.nodes[parent].entries[pos] {
+                    Entry::Child { rect, .. } => *rect = exact,
+                    Entry::Point { .. } => unreachable!(),
+                }
+            }
+        }
+
+        // Reinsert orphans, highest level first.
+        orphans.sort_by(|a, b| b.0.cmp(&a.0));
+        for (level, e) in orphans {
+            let mut reinserted = vec![false; self.nodes[self.root].level as usize + 2];
+            self.insert_at_level(e, level, &mut reinserted);
+        }
+
+        // Shrink the root while it is an inner node with a single child.
+        while self.nodes[self.root].level > 0 && self.nodes[self.root].entries.len() == 1 {
+            let child = match &self.nodes[self.root].entries[0] {
+                Entry::Child { node, .. } => *node,
+                Entry::Point { .. } => unreachable!(),
+            };
+            self.dealloc(self.root);
+            self.root = child;
+        }
+        true
+    }
+
+    /// Root-to-leaf path to the entry matching `(id, coords)` exactly.
+    /// The final pair addresses the point entry within its leaf.
+    fn find_leaf(&self, id: u32, coords: &[f64]) -> Option<Vec<(usize, usize)>> {
+        let mut path = Vec::new();
+        if self.find_leaf_rec(self.root, id, coords, &mut path) {
+            Some(path)
+        } else {
+            None
+        }
+    }
+
+    fn find_leaf_rec(
+        &self,
+        node: usize,
+        id: u32,
+        coords: &[f64],
+        path: &mut Vec<(usize, usize)>,
+    ) -> bool {
+        let n = &self.nodes[node];
+        if n.level == 0 {
+            for (pos, e) in n.entries.iter().enumerate() {
+                if let Entry::Point { id: pid, coords: pc } = e {
+                    if *pid == id && pc.iter().zip(coords).all(|(a, b)| a == b) {
+                        path.push((node, pos));
+                        return true;
+                    }
+                }
+            }
+            return false;
+        }
+        for (pos, e) in n.entries.iter().enumerate() {
+            if let Entry::Child { node: c, rect } = e {
+                if rect.contains_point(coords) {
+                    path.push((node, pos));
+                    if self.find_leaf_rec(*c, id, coords, path) {
+                        return true;
+                    }
+                    path.pop();
+                }
+            }
+        }
+        false
+    }
+
+    /// Approximate heap footprint of the tree structure in bytes
+    /// (nodes, entries, coordinate storage). Used for the paper's
+    /// index-size comparisons.
+    pub fn approx_memory(&self) -> usize {
+        let mut total = std::mem::size_of::<Self>();
+        for n in &self.nodes {
+            total += std::mem::size_of::<Node>();
+            total += n.entries.capacity() * std::mem::size_of::<Entry>();
+            for e in &n.entries {
+                total += match e {
+                    Entry::Point { coords, .. } => coords.len() * 8,
+                    Entry::Child { rect, .. } => rect.dim() * 16,
+                };
+            }
+        }
+        total
+    }
+
+    /// Verify structural invariants; panics with a description on violation.
+    /// Exposed for tests and debugging.
+    pub fn check_invariants(&self) {
+        let mut seen = 0usize;
+        self.check_node(self.root, None, &mut seen);
+        assert_eq!(seen, self.len, "len() does not match stored points");
+        let root = &self.nodes[self.root];
+        if root.level > 0 {
+            assert!(
+                root.entries.len() >= 2,
+                "inner root must have at least two children"
+            );
+        }
+    }
+
+    fn check_node(&self, idx: usize, expected_rect: Option<&Rect>, seen: &mut usize) {
+        let node = &self.nodes[idx];
+        assert!(node.level != u32::MAX, "reference to freed node {idx}");
+        assert!(
+            node.entries.len() <= self.max_entries,
+            "node {idx} overflows: {} entries",
+            node.entries.len()
+        );
+        if idx != self.root {
+            assert!(!node.entries.is_empty(), "non-root node {idx} is empty");
+        }
+        if let Some(expect) = expected_rect {
+            let exact = self.node_mbr(idx);
+            assert_eq!(
+                expect, &exact,
+                "stored MBR of node {idx} is not exact (level {})",
+                node.level
+            );
+        }
+        for e in &node.entries {
+            match e {
+                Entry::Point { coords, .. } => {
+                    assert_eq!(node.level, 0, "point entry in inner node {idx}");
+                    assert_eq!(coords.len(), self.dim);
+                    *seen += 1;
+                }
+                Entry::Child { node: c, rect } => {
+                    assert!(node.level > 0, "child entry in leaf {idx}");
+                    assert_eq!(
+                        self.nodes[*c].level + 1,
+                        node.level,
+                        "level mismatch between {idx} and child {c}"
+                    );
+                    self.check_node(*c, Some(rect), seen);
+                }
+            }
+        }
+    }
+}
+
+fn sort_order(order: &mut [usize], entries: &[Entry], axis: usize, by_upper: bool) {
+    if by_upper {
+        order.sort_unstable_by(|&a, &b| entries[a].hi(axis).total_cmp(&entries[b].hi(axis)));
+    } else {
+        order.sort_unstable_by(|&a, &b| entries[a].lo(axis).total_cmp(&entries[b].lo(axis)));
+    }
+}
+
+/// `pre[i]` covers `order[..=i]`; `suf[i]` covers `order[i..]`.
+fn prefix_suffix_rects(order: &[usize], entries: &[Entry]) -> (Vec<Rect>, Vec<Rect>) {
+    let n = order.len();
+    let mut pre = Vec::with_capacity(n);
+    let mut acc = entries[order[0]].to_rect();
+    pre.push(acc.clone());
+    for &i in &order[1..] {
+        acc.enlarge(&entries[i].to_rect());
+        pre.push(acc.clone());
+    }
+    let mut suf = vec![entries[order[n - 1]].to_rect(); n];
+    for j in (0..n - 1).rev() {
+        let mut r = entries[order[j]].to_rect();
+        r.enlarge(&suf[j + 1]);
+        suf[j] = r;
+    }
+    (pre, suf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_points(side: usize) -> Vec<(u32, [f64; 2])> {
+        let mut pts = Vec::new();
+        for x in 0..side {
+            for y in 0..side {
+                pts.push(((x * side + y) as u32, [x as f64, y as f64]));
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn empty_tree_properties() {
+        let t = RStarTree::new(3);
+        assert_eq!(t.len(), 0);
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 1);
+        assert!(t.mbr().is_none());
+        t.check_invariants();
+    }
+
+    #[test]
+    fn insert_points_and_check_invariants() {
+        let mut t = RStarTree::new(2);
+        for (id, p) in grid_points(20) {
+            t.insert(id, &p);
+        }
+        assert_eq!(t.len(), 400);
+        assert!(t.height() >= 2);
+        t.check_invariants();
+        let mbr = t.mbr().unwrap();
+        assert_eq!(mbr.lo(), &[0.0, 0.0]);
+        assert_eq!(mbr.hi(), &[19.0, 19.0]);
+    }
+
+    #[test]
+    fn insert_duplicates_allowed() {
+        let mut t = RStarTree::new(1);
+        for i in 0..100 {
+            t.insert(i, &[1.0]);
+        }
+        assert_eq!(t.len(), 100);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn remove_existing_and_missing() {
+        let mut t = RStarTree::new(2);
+        for (id, p) in grid_points(12) {
+            t.insert(id, &p);
+        }
+        t.check_invariants();
+        assert!(t.remove(0, &[0.0, 0.0]));
+        assert!(!t.remove(0, &[0.0, 0.0]));
+        assert!(!t.remove(999, &[5.0, 5.0])); // wrong id
+        assert_eq!(t.len(), 143);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn remove_everything_in_random_order() {
+        let mut t = RStarTree::new(2);
+        let pts = grid_points(10);
+        for (id, p) in &pts {
+            t.insert(*id, p);
+        }
+        // deterministic shuffle
+        let mut order: Vec<usize> = (0..pts.len()).collect();
+        let mut state = 0x9e3779b9u64;
+        for i in (1..order.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (state >> 33) as usize % (i + 1);
+            order.swap(i, j);
+        }
+        for &i in &order {
+            let (id, p) = pts[i];
+            assert!(t.remove(id, &p), "missing point {id}");
+            t.check_invariants();
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn wrong_dim_insert_panics() {
+        RStarTree::new(2).insert(0, &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn nan_insert_panics() {
+        RStarTree::new(1).insert(0, &[f64::NAN]);
+    }
+}

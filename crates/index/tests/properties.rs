@@ -1,0 +1,133 @@
+//! Property-based tests: the R*-tree must agree with brute force on every
+//! query, for every construction path (incremental, bulk, mixed).
+
+use dblsh_index::{RStarTree, Rect};
+use proptest::prelude::*;
+
+/// Strategy: a small point cloud in [-50, 50]^dim.
+fn points(dim: usize, max_n: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(
+        prop::collection::vec(-50.0f64..50.0, dim..=dim),
+        1..max_n,
+    )
+}
+
+fn brute_window(pts: &[Vec<f64>], lo: &[f64], hi: &[f64]) -> Vec<u32> {
+    let mut out: Vec<u32> = pts
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.iter().enumerate().all(|(i, &v)| lo[i] <= v && v <= hi[i]))
+        .map(|(i, _)| i as u32)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+fn brute_knn(pts: &[Vec<f64>], q: &[f64], k: usize) -> Vec<f64> {
+    let mut d: Vec<f64> = pts
+        .iter()
+        .map(|p| p.iter().zip(q).map(|(a, b)| (a - b) * (a - b)).sum())
+        .collect();
+    d.sort_by(f64::total_cmp);
+    d.truncate(k);
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn window_equals_brute_force_incremental(
+        pts in points(3, 200),
+        corner in prop::collection::vec(-60.0f64..60.0, 3),
+        extent in prop::collection::vec(0.0f64..60.0, 3),
+    ) {
+        let mut t = RStarTree::new(3);
+        for (i, p) in pts.iter().enumerate() {
+            t.insert(i as u32, p);
+        }
+        t.check_invariants();
+        let hi: Vec<f64> = corner.iter().zip(&extent).map(|(c, e)| c + e).collect();
+        let w = Rect::new(&corner, &hi);
+        let mut got = t.window_all(&w);
+        got.sort_unstable();
+        prop_assert_eq!(got, brute_window(&pts, &corner, &hi));
+    }
+
+    #[test]
+    fn window_equals_brute_force_bulk(
+        pts in points(2, 400),
+        corner in prop::collection::vec(-60.0f64..60.0, 2),
+        extent in prop::collection::vec(0.0f64..60.0, 2),
+    ) {
+        let flat: Vec<f64> = pts.iter().flatten().copied().collect();
+        let ids: Vec<u32> = (0..pts.len() as u32).collect();
+        let t = RStarTree::bulk_load(2, &ids, &flat);
+        t.check_invariants();
+        let hi: Vec<f64> = corner.iter().zip(&extent).map(|(c, e)| c + e).collect();
+        let w = Rect::new(&corner, &hi);
+        let mut got = t.window_all(&w);
+        got.sort_unstable();
+        prop_assert_eq!(got, brute_window(&pts, &corner, &hi));
+    }
+
+    #[test]
+    fn knn_distances_equal_brute_force(
+        pts in points(4, 150),
+        q in prop::collection::vec(-60.0f64..60.0, 4),
+        k in 1usize..20,
+    ) {
+        let mut t = RStarTree::new(4);
+        for (i, p) in pts.iter().enumerate() {
+            t.insert(i as u32, p);
+        }
+        let got: Vec<f64> = t.k_nearest(&q, k).into_iter().map(|(_, d)| d).collect();
+        let want = brute_knn(&pts, &q, k);
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert!((g - w).abs() < 1e-9, "{} vs {}", g, w);
+        }
+    }
+
+    #[test]
+    fn removal_keeps_remaining_set_queryable(
+        pts in points(2, 120),
+        keep_mod in 2usize..5,
+    ) {
+        let mut t = RStarTree::new(2);
+        for (i, p) in pts.iter().enumerate() {
+            t.insert(i as u32, p);
+        }
+        for (i, p) in pts.iter().enumerate() {
+            if i % keep_mod != 0 {
+                prop_assert!(t.remove(i as u32, p));
+            }
+        }
+        t.check_invariants();
+        let survivors: Vec<u32> = (0..pts.len())
+            .filter(|i| i % keep_mod == 0)
+            .map(|i| i as u32)
+            .collect();
+        prop_assert_eq!(t.len(), survivors.len());
+        let w = Rect::new(&[-50.0, -50.0], &[50.0, 50.0]);
+        let mut got = t.window_all(&w);
+        got.sort_unstable();
+        prop_assert_eq!(got, survivors);
+    }
+
+    #[test]
+    fn nearest_iter_is_sorted_prefix_closed(
+        pts in points(3, 150),
+        q in prop::collection::vec(-60.0f64..60.0, 3),
+    ) {
+        let mut t = RStarTree::new(3);
+        for (i, p) in pts.iter().enumerate() {
+            t.insert(i as u32, p);
+        }
+        let all: Vec<(u32, f64)> = t.nearest_iter(&q).collect();
+        prop_assert_eq!(all.len(), pts.len());
+        for w in all.windows(2) {
+            prop_assert!(w[0].1 <= w[1].1);
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! LSH collision probabilities.
+//!
+//! Two hash families appear in the paper:
+//!
+//! * the **static** family of Datar et al. (Eq. 1), `h(o) = floor((a.o + b)/w)`,
+//!   with collision probability Eq. 2;
+//! * the **dynamic** query-centric family (Eq. 3), `h(o) = a.o`, where `o1`
+//!   and `o2` collide iff `|h(o1) - h(o2)| <= w/2`, with collision
+//!   probability Eq. 4. DB-LSH and all query-centric baselines use this one.
+//!
+//! For both families the projection difference `a.(o1 - o2)` is distributed
+//! `N(0, tau^2)` where `tau = ||o1 - o2||`, which yields closed forms in
+//! terms of `Phi`; the integral definitions are kept (numerically) for
+//! cross-validation in tests.
+
+use crate::integrate::adaptive_simpson;
+use crate::normal::{normal_cdf, normal_pdf};
+
+/// Collision probability of the *dynamic* family (paper Eq. 4):
+///
+/// `p(tau; w) = Pr[|a.o1 - a.o2| <= w/2] = 2 Phi(w / (2 tau)) - 1`.
+///
+/// `tau` is the distance between the points, `w` the query-centric bucket
+/// width. `tau = 0` collides with probability 1.
+pub fn p_dynamic(tau: f64, w: f64) -> f64 {
+    assert!(tau >= 0.0 && w >= 0.0, "negative arguments: tau={tau} w={w}");
+    if tau == 0.0 {
+        return 1.0;
+    }
+    if w == 0.0 {
+        return 0.0;
+    }
+    2.0 * normal_cdf(w / (2.0 * tau)) - 1.0
+}
+
+/// Collision probability of the *static* family (paper Eq. 2), closed form
+/// from Datar et al. (2004):
+///
+/// `p(tau; w) = 2 Phi(w/tau) - 1 - 2 tau / (sqrt(2 pi) w) (1 - e^{-w^2/(2 tau^2)})`.
+pub fn p_static(tau: f64, w: f64) -> f64 {
+    assert!(tau >= 0.0 && w >= 0.0, "negative arguments: tau={tau} w={w}");
+    if tau == 0.0 {
+        return 1.0;
+    }
+    if w == 0.0 {
+        return 0.0;
+    }
+    let r = w / tau;
+    2.0 * normal_cdf(r) - 1.0
+        - 2.0 / ((2.0 * std::f64::consts::PI).sqrt() * r) * (1.0 - (-(r * r) / 2.0).exp())
+}
+
+/// Eq. 2 evaluated by direct numerical quadrature:
+/// `2 int_0^w (1/tau) f(t/tau) (1 - t/w) dt`. Used to cross-check
+/// [`p_static`]; prefer the closed form in production code.
+pub fn p_static_numeric(tau: f64, w: f64) -> f64 {
+    assert!(tau > 0.0 && w > 0.0);
+    adaptive_simpson(
+        |t| (1.0 / tau) * normal_pdf(t / tau) * (1.0 - t / w),
+        0.0,
+        w,
+        1e-12,
+    ) * 2.0
+}
+
+/// Eq. 4 evaluated by direct numerical quadrature:
+/// `int_{-w/2tau}^{w/2tau} f(t) dt`. Cross-check for [`p_dynamic`].
+pub fn p_dynamic_numeric(tau: f64, w: f64) -> f64 {
+    assert!(tau > 0.0 && w > 0.0);
+    let b = w / (2.0 * tau);
+    adaptive_simpson(normal_pdf, -b.min(40.0), b.min(40.0), 1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dynamic_closed_form_matches_integral() {
+        for tau in [0.25, 0.5, 1.0, 2.0, 5.0] {
+            for w in [0.5, 1.0, 4.0, 9.0, 16.0] {
+                let a = p_dynamic(tau, w);
+                let b = p_dynamic_numeric(tau, w);
+                assert!((a - b).abs() < 1e-9, "tau={tau} w={w}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn static_closed_form_matches_integral() {
+        for tau in [0.25, 0.5, 1.0, 2.0, 5.0] {
+            for w in [0.5, 1.0, 4.0, 9.0, 16.0] {
+                let a = p_static(tau, w);
+                let b = p_static_numeric(tau, w);
+                assert!((a - b).abs() < 1e-9, "tau={tau} w={w}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_monotone_decreasing_in_tau() {
+        let w = 9.0;
+        let mut last = 1.0;
+        for i in 1..200 {
+            let tau = i as f64 * 0.1;
+            let p = p_dynamic(tau, w);
+            assert!(p <= last + 1e-15, "not monotone at tau={tau}");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn dynamic_monotone_increasing_in_w() {
+        let tau = 1.5;
+        let mut last = 0.0;
+        for i in 1..200 {
+            let w = i as f64 * 0.1;
+            let p = p_dynamic(tau, w);
+            assert!(p >= last - 1e-15, "not monotone at w={w}");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn observation_1_scale_invariance() {
+        // Observation 1: p(r; w0 * r) == p(1; w0) for any r > 0.
+        let w0 = 9.0;
+        let base = p_dynamic(1.0, w0);
+        for r in [0.1, 0.5, 2.0, 10.0, 1234.5] {
+            let p = p_dynamic(r, w0 * r);
+            assert!((p - base).abs() < 1e-12, "violated at r={r}");
+        }
+    }
+
+    #[test]
+    fn p1_greater_than_p2() {
+        // Definition 3 requires p1 > p2 for c > 1.
+        for c in [1.1, 1.5, 2.0, 3.0] {
+            for w0 in [1.0, 4.0, 4.0 * c * c] {
+                assert!(p_dynamic(1.0, w0) > p_dynamic(c, w0));
+                assert!(p_static(1.0, w0) > p_static(c, w0));
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_cases() {
+        assert_eq!(p_dynamic(0.0, 3.0), 1.0);
+        assert_eq!(p_dynamic(3.0, 0.0), 0.0);
+        assert_eq!(p_static(0.0, 3.0), 1.0);
+        assert_eq!(p_static(3.0, 0.0), 0.0);
+        assert!(p_dynamic(1e-12, 1.0) > 0.999999);
+        assert!(p_dynamic(1e12, 1.0) < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn negative_tau_panics() {
+        p_dynamic(-1.0, 1.0);
+    }
+}

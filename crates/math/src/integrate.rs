@@ -1,0 +1,87 @@
+//! Adaptive Simpson quadrature, used to validate the closed-form collision
+//! probabilities against the paper's integral definitions (Eq. 2 and Eq. 4).
+
+/// Integrate `f` over `[a, b]` with adaptive Simpson to absolute tolerance
+/// `eps`. Panics if `a > b`.
+pub fn adaptive_simpson<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, eps: f64) -> f64 {
+    assert!(a <= b, "invalid interval [{a}, {b}]");
+    if a == b {
+        return 0.0;
+    }
+    let fa = f(a);
+    let fb = f(b);
+    let m = 0.5 * (a + b);
+    let fm = f(m);
+    let whole = simpson(a, b, fa, fm, fb);
+    rec(&f, a, b, fa, fm, fb, whole, eps, 50)
+}
+
+#[inline]
+fn simpson(a: f64, b: f64, fa: f64, fm: f64, fb: f64) -> f64 {
+    (b - a) / 6.0 * (fa + 4.0 * fm + fb)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rec<F: Fn(f64) -> f64>(
+    f: &F,
+    a: f64,
+    b: f64,
+    fa: f64,
+    fm: f64,
+    fb: f64,
+    whole: f64,
+    eps: f64,
+    depth: u32,
+) -> f64 {
+    let m = 0.5 * (a + b);
+    let lm = 0.5 * (a + m);
+    let rm = 0.5 * (m + b);
+    let flm = f(lm);
+    let frm = f(rm);
+    let left = simpson(a, m, fa, flm, fm);
+    let right = simpson(m, b, fm, frm, fb);
+    let delta = left + right - whole;
+    if depth == 0 || delta.abs() <= 15.0 * eps {
+        left + right + delta / 15.0
+    } else {
+        rec(f, a, m, fa, flm, fm, left, eps / 2.0, depth - 1)
+            + rec(f, m, b, fm, frm, fb, right, eps / 2.0, depth - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn integrates_polynomial_exactly() {
+        // Simpson is exact for cubics.
+        let v = adaptive_simpson(|x| x * x * x - 2.0 * x + 1.0, -1.0, 3.0, 1e-12);
+        let want = |x: f64| x.powi(4) / 4.0 - x * x + x;
+        assert!((v - (want(3.0) - want(-1.0))).abs() < 1e-10);
+    }
+
+    #[test]
+    fn integrates_sine() {
+        let v = adaptive_simpson(f64::sin, 0.0, PI, 1e-12);
+        assert!((v - 2.0).abs() < 1e-10, "got {v}");
+    }
+
+    #[test]
+    fn integrates_gaussian_pdf_to_one_half() {
+        let v = adaptive_simpson(crate::normal::normal_pdf, 0.0, 12.0, 1e-13);
+        assert!((v - 0.5).abs() < 1e-10, "got {v}");
+    }
+
+    #[test]
+    fn empty_interval_is_zero() {
+        assert_eq!(adaptive_simpson(|x| x, 2.0, 2.0, 1e-9), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid interval")]
+    fn reversed_interval_panics() {
+        adaptive_simpson(|x| x, 1.0, 0.0, 1e-9);
+    }
+}

@@ -1,0 +1,25 @@
+//! Numerical substrate for the DB-LSH reproduction.
+//!
+//! This crate implements, from scratch, every piece of analytic machinery
+//! the paper relies on:
+//!
+//! * the standard normal distribution ([`normal`]): `erf`, pdf `f(x)`,
+//!   cdf `Phi(x)` — accurate to ~1e-14 over the ranges used here;
+//! * LSH collision probabilities ([`collision`]): the *static* family of
+//!   Datar et al. (paper Eq. 2) and the *dynamic* query-centric family
+//!   (paper Eq. 4);
+//! * the parameter theory of Section V ([`theory`]): `rho*`, the classic
+//!   `rho`, the exponent `alpha(gamma)` of Lemma 3, and the `(K, L)`
+//!   derivation of Lemma 1 / Observation 1.
+//!
+//! No external numerics crates are used; all special functions are
+//! implemented and unit/property tested in this crate.
+
+pub mod collision;
+pub mod integrate;
+pub mod normal;
+pub mod theory;
+
+pub use collision::{p_dynamic, p_static, p_static_numeric};
+pub use normal::{erf, erfc, normal_cdf, normal_pdf};
+pub use theory::{alpha_exponent, derive_kl, rho_dynamic, rho_static, DerivedParams};

@@ -1,0 +1,217 @@
+//! Parameter theory of the paper (Section III-C and Section V).
+//!
+//! * `rho* = ln(1/p1) / ln(1/p2)` with `p1 = p(1; w0)`, `p2 = p(c; w0)` for
+//!   the dynamic family — governs DB-LSH's query cost `O(n^{rho*} d log n)`;
+//! * `alpha(gamma) = gamma f(gamma) / (1 - Phi(gamma))`, the exponent of
+//!   Lemma 3's bound `rho* <= 1/c^alpha` when `w0 = 2 gamma c^2`;
+//! * `K = ceil(log_{1/p2}(n/t))`, `L = ceil((n/t)^{rho*})` (Lemma 1 with the
+//!   `t` relaxation of Remark 2).
+
+use crate::collision::p_dynamic;
+use crate::normal::{normal_pdf, normal_sf};
+
+/// `ln(1/p(tau; w))` for the dynamic family, computed through the collision
+/// *miss* probability `q = 2(1 - Phi(w/2tau))` and `ln_1p` so that large
+/// bucket widths (where `p` rounds to 1.0 in f64) keep full precision.
+fn neg_ln_p_dynamic(tau: f64, w: f64) -> f64 {
+    let q = 2.0 * normal_sf(w / (2.0 * tau));
+    -(-q).ln_1p()
+}
+
+/// `ln(1/p(tau; w))` for the static family, same precision treatment.
+fn neg_ln_p_static(tau: f64, w: f64) -> f64 {
+    let r = w / tau;
+    let q = 2.0 * normal_sf(r)
+        + 2.0 / ((2.0 * std::f64::consts::PI).sqrt() * r) * (1.0 - (-(r * r) / 2.0).exp());
+    -(-q).ln_1p()
+}
+
+/// `rho*` of the dynamic query-centric family for approximation ratio `c`
+/// and base bucket width `w0` (paper Section III-C).
+pub fn rho_dynamic(c: f64, w0: f64) -> f64 {
+    assert!(c > 1.0, "approximation ratio must exceed 1, got {c}");
+    assert!(w0 > 0.0, "bucket width must be positive, got {w0}");
+    neg_ln_p_dynamic(1.0, w0) / neg_ln_p_dynamic(c, w0)
+}
+
+/// `rho` of the static floor-quantized family (E2LSH / LSB-Forest).
+pub fn rho_static(c: f64, w: f64) -> f64 {
+    assert!(c > 1.0, "approximation ratio must exceed 1, got {c}");
+    assert!(w > 0.0, "bucket width must be positive, got {w}");
+    neg_ln_p_static(1.0, w) / neg_ln_p_static(c, w)
+}
+
+/// Lemma 3 exponent: `alpha(gamma) = gamma f(gamma) / int_gamma^inf f`,
+/// so that `rho* <= 1 / c^alpha` whenever `w0 = 2 gamma c^2`.
+///
+/// The paper highlights `alpha(2) = 4.746` (i.e. `w0 = 4 c^2`).
+pub fn alpha_exponent(gamma: f64) -> f64 {
+    assert!(gamma > 0.0, "gamma must be positive, got {gamma}");
+    gamma * normal_pdf(gamma) / normal_sf(gamma)
+}
+
+/// Parameters derived from Lemma 1 for a dataset of cardinality `n`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DerivedParams {
+    /// Number of hash functions per compound hash (projected dimensionality).
+    pub k: usize,
+    /// Number of compound hashes / projected spaces (R*-trees).
+    pub l: usize,
+    /// Collision probability at distance 1 (`p(1; w0)`).
+    pub p1: f64,
+    /// Collision probability at distance c (`p(c; w0)`).
+    pub p2: f64,
+    /// The exponent `rho* = ln(1/p1)/ln(1/p2)`.
+    pub rho: f64,
+}
+
+/// Derive `(K, L)` per Lemma 1 with the Remark 2 relaxation:
+/// `K = ceil(log_{1/p2}(n/t))`, `L = ceil((n/t)^{rho*})`.
+///
+/// `t >= 1` trades index size for the number of candidates verified per
+/// query (`2tL + 1`).
+pub fn derive_kl(n: usize, t: usize, c: f64, w0: f64) -> DerivedParams {
+    assert!(n >= 2, "need at least two points, got n={n}");
+    assert!(t >= 1, "t must be >= 1, got {t}");
+    assert!(c > 1.0, "approximation ratio must exceed 1, got {c}");
+    let p1 = p_dynamic(1.0, w0);
+    let p2 = p_dynamic(c, w0);
+    let rho = neg_ln_p_dynamic(1.0, w0) / neg_ln_p_dynamic(c, w0);
+    let ratio = (n as f64 / t as f64).max(2.0);
+    let k = (ratio.ln() / neg_ln_p_dynamic(c, w0)).ceil().max(1.0) as usize;
+    let l = ratio.powf(rho).ceil().max(1.0) as usize;
+    DerivedParams { k, l, p1, p2, rho }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_at_gamma_2_is_4_746() {
+        // The headline constant of the paper (abstract, Lemma 3 discussion).
+        let a = alpha_exponent(2.0);
+        assert!((a - 4.746).abs() < 1e-3, "alpha(2) = {a}");
+    }
+
+    #[test]
+    fn alpha_crosses_one_near_0_7518() {
+        // "xi(gamma) > 1 holds when gamma > 0.7518" (Section V-B).
+        assert!(alpha_exponent(0.7518) < 1.0 + 2e-4);
+        assert!(alpha_exponent(0.7519) > 1.0 - 2e-4);
+        assert!(alpha_exponent(0.74) < 1.0);
+        assert!(alpha_exponent(0.76) > 1.0);
+    }
+
+    #[test]
+    fn alpha_monotone_increasing() {
+        let mut last = 0.0;
+        for i in 1..100 {
+            let g = i as f64 * 0.05;
+            let a = alpha_exponent(g);
+            assert!(a > last, "alpha not increasing at gamma={g}");
+            last = a;
+        }
+    }
+
+    #[test]
+    fn rho_star_bounded_by_lemma_3() {
+        // rho* <= 1/c^alpha(gamma) for w0 = 2 gamma c^2 (Lemma 3).
+        for gamma in [0.8, 1.0, 2.0, 3.0] {
+            let alpha = alpha_exponent(gamma);
+            for c in [1.1, 1.5, 2.0, 3.0, 4.0] {
+                let w0 = 2.0 * gamma * c * c;
+                let rho = rho_dynamic(c, w0);
+                let bound = c.powf(-alpha);
+                assert!(
+                    rho <= bound + 1e-12,
+                    "gamma={gamma} c={c}: rho*={rho} > bound={bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rho_star_beats_static_rho_at_w_4c2() {
+        // Fig. 4(b): with w = 4c^2, rho* is far below rho (which is ~1/c).
+        for c in [1.2, 1.5, 2.0, 3.0, 4.0] {
+            let w = 4.0 * c * c;
+            let rs = rho_dynamic(c, w);
+            let r = rho_static(c, w);
+            assert!(rs < r, "c={c}: rho*={rs} >= rho={r}");
+            assert!(r < 1.0 / c + 0.08, "c={c}: static rho={r} far above 1/c");
+        }
+    }
+
+    #[test]
+    fn rho_star_below_one_over_c_even_at_small_w_sometimes() {
+        // Fig. 4(a): with w = 0.4c^2 (gamma = 0.2), alpha < 1 but rho* < rho
+        // still holds.
+        for c in [1.2, 1.5, 2.0, 3.0] {
+            let w = 0.4 * c * c;
+            assert!(rho_dynamic(c, w) < rho_static(c, w), "c={c}");
+        }
+    }
+
+    #[test]
+    fn derive_kl_satisfies_lemma_1_inequalities() {
+        // Lemma 1 requires p2^K <= t/n (so the expected number of far
+        // colliding points per space is <= t). With w0 = 4c^2 and c = 1.5,
+        // p2 = 0.9973 is so close to 1 that the *theoretical* K is in the
+        // thousands — exactly why Remark 2 introduces the practical
+        // overrides (the paper's experiments use K = 10/12, L = 5).
+        let n = 1_000_000usize;
+        let t = 64usize;
+        let p = derive_kl(n, t, 1.5, 9.0);
+        let tn = t as f64 / n as f64;
+        assert!(p.p2.powi(p.k as i32) <= tn * (1.0 + 1e-9), "p2^K > t/n");
+        // K is minimal: one fewer hash function would break the bound.
+        assert!(p.p2.powi(p.k as i32 - 1) > tn, "K not minimal");
+        assert!(p.p1 > p.p2);
+        assert!(p.rho > 0.0 && p.rho < 1.0);
+        // L >= (n/t)^rho ensures Pr[E1] >= 1 - 1/e.
+        let pr_e1_fail = (1.0 - p.p1.powi(p.k as i32)).powi(p.l as i32);
+        assert!(pr_e1_fail <= 1.0 / std::f64::consts::E + 0.02);
+    }
+
+    #[test]
+    fn derive_kl_l_grows_with_n() {
+        let a = derive_kl(10_000, 16, 1.5, 9.0);
+        let b = derive_kl(10_000_000, 16, 1.5, 9.0);
+        assert!(b.k > a.k);
+        assert!(b.l >= a.l);
+    }
+
+    #[test]
+    fn larger_t_means_smaller_index() {
+        let small_t = derive_kl(1_000_000, 1, 1.5, 9.0);
+        let big_t = derive_kl(1_000_000, 256, 1.5, 9.0);
+        assert!(big_t.k <= small_t.k);
+        assert!(big_t.l <= small_t.l);
+    }
+
+    #[test]
+    fn guarantee_probability_constants() {
+        // With K, L from Lemma 1 the success probability is >= 1/2 - 1/e.
+        // Sanity-check the two probability inequalities numerically:
+        // (1 - p1^K)^L <= 1/e and expected far points <= tL.
+        let n = 100_000usize;
+        let t = 32usize;
+        let p = derive_kl(n, t, 1.5, 9.0);
+        let pr_e1_fail = (1.0 - p.p1.powi(p.k as i32)).powi(p.l as i32);
+        assert!(
+            pr_e1_fail <= 1.0 / std::f64::consts::E + 0.02,
+            "Pr[!E1] = {pr_e1_fail}"
+        );
+        // Expected number of far colliding points per space <= t (ceil slack
+        // on K only tightens it).
+        let expected_far = n as f64 * p.p2.powi(p.k as i32);
+        assert!(expected_far <= t as f64 + 1e-9, "E[far] = {expected_far}");
+    }
+
+    #[test]
+    #[should_panic(expected = "approximation ratio")]
+    fn c_at_most_one_panics() {
+        rho_dynamic(1.0, 4.0);
+    }
+}

@@ -1,0 +1,70 @@
+//! Property-based tests of the LSH probability theory.
+
+use dblsh_math::{
+    alpha_exponent, erf, erfc, normal_cdf, p_dynamic, p_static, rho_dynamic, rho_static,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn erf_bounded_and_odd(x in -30.0f64..30.0) {
+        let v = erf(x);
+        prop_assert!((-1.0..=1.0).contains(&v));
+        prop_assert!((erf(-x) + v).abs() < 1e-12);
+        prop_assert!((erfc(x) - (1.0 - v)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn cdf_monotone(a in -8.0f64..8.0, b in -8.0f64..8.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(normal_cdf(lo) <= normal_cdf(hi) + 1e-15);
+    }
+
+    #[test]
+    fn collision_probabilities_are_probabilities(
+        tau in 0.001f64..100.0,
+        w in 0.001f64..100.0,
+    ) {
+        for p in [p_dynamic(tau, w), p_static(tau, w)] {
+            prop_assert!((0.0..=1.0).contains(&p), "p = {p}");
+        }
+        // dynamic family dominates static at equal width (no floor
+        // quantization loss)
+        prop_assert!(p_dynamic(tau, w) >= p_static(tau, w) - 1e-12);
+    }
+
+    #[test]
+    fn locality_sensitivity(
+        tau in 0.01f64..10.0,
+        factor in 1.01f64..10.0,
+        w in 0.1f64..50.0,
+    ) {
+        // farther pairs never collide more often
+        prop_assert!(p_dynamic(tau * factor, w) <= p_dynamic(tau, w) + 1e-12);
+        prop_assert!(p_static(tau * factor, w) <= p_static(tau, w) + 1e-12);
+    }
+
+    #[test]
+    fn observation_1_for_all_radii(r in 0.001f64..1e4, w0 in 0.1f64..50.0) {
+        // p(r; w0 r) == p(1; w0)
+        prop_assert!((p_dynamic(r, w0 * r) - p_dynamic(1.0, w0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rho_exponents_in_unit_interval(c in 1.01f64..5.0, w in 0.5f64..60.0) {
+        let rs = rho_dynamic(c, w);
+        let r = rho_static(c, w);
+        prop_assert!(rs > 0.0 && rs < 1.0, "rho* = {rs}");
+        prop_assert!(r > 0.0 && r < 1.0, "rho = {r}");
+        // the paper's headline: dynamic bucketing has the smaller exponent
+        prop_assert!(rs <= r + 1e-12, "rho* {rs} > rho {r} at c={c} w={w}");
+    }
+
+    #[test]
+    fn lemma_3_bound(gamma in 0.05f64..4.0, c in 1.01f64..4.0) {
+        let w0 = 2.0 * gamma * c * c;
+        prop_assert!(rho_dynamic(c, w0) <= c.powf(-alpha_exponent(gamma)) + 1e-9);
+    }
+}

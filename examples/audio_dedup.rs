@@ -1,0 +1,97 @@
+//! Near-duplicate audio detection with (r,c)-NN queries — the paper's
+//! second query type (Definition 2), used directly rather than through
+//! the c-ANN ladder.
+//!
+//! A fingerprint database contains some tracks twice (re-encoded, so the
+//! fingerprints differ by small noise). For each suspect track we issue a
+//! single (r,c)-NN probe with r set to the re-encoding tolerance: a hit
+//! within c*r flags a duplicate; an empty result certifies (with the LSH
+//! guarantee) that no fingerprint lies within r.
+//!
+//! Run: `cargo run --release --example audio_dedup`
+
+use std::sync::Arc;
+
+use db_lsh::data::synthetic::{gaussian_mixture, MixtureConfig};
+use db_lsh::data::Dataset;
+use db_lsh::{DbLsh, DbLshParams};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+fn main() {
+    let dim = 96;
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // 8000 distinct fingerprints.
+    let base = gaussian_mixture(&MixtureConfig {
+        n: 8000,
+        dim,
+        clusters: 200,
+        cluster_std: 2.0,
+        spread: 80.0,
+        noise_frac: 0.1,
+        seed: 7,
+    });
+
+    // Re-encode 50 of them with small perturbations (the duplicates), and
+    // pick 50 untouched tracks as negative controls.
+    let noise = 0.05f32;
+    let mut library = base.clone();
+    let mut suspects: Vec<(usize, Vec<f32>, bool)> = Vec::new();
+    for i in 0..50 {
+        let src = i * 137 % base.len();
+        let dup: Vec<f32> = base
+            .point(src)
+            .iter()
+            .map(|&v| v + noise * (rng.gen::<f32>() - 0.5))
+            .collect();
+        suspects.push((src, dup, true));
+    }
+    for i in 0..50 {
+        let src = (i * 271 + 99) % base.len();
+        // a genuinely new track: far from everything
+        let fresh: Vec<f32> = (0..dim).map(|_| rng.gen_range(-300.0..300.0)).collect();
+        suspects.push((src, fresh, false));
+    }
+    // The duplicates are *not* inserted; the library is the original set.
+    let library = {
+        let d = std::mem::replace(&mut library, Dataset::empty(dim));
+        Arc::new(d)
+    };
+
+    let params = DbLshParams::paper_defaults(library.len()).with_c(2.0);
+    let index = DbLsh::build(Arc::clone(&library), &params);
+
+    // Tolerance: the max distance a re-encode can move a fingerprint.
+    let r = (noise as f64) * (dim as f64).sqrt();
+    println!(
+        "library: {} fingerprints; probing {} suspects at r = {r:.3}, c = {}",
+        library.len(),
+        suspects.len(),
+        params.c
+    );
+
+    let mut true_pos = 0;
+    let mut false_neg = 0;
+    let mut false_pos = 0;
+    let mut true_neg = 0;
+    for (src, fp, is_dup) in &suspects {
+        let (hit, _) = index.r_c_nn(fp, r);
+        match (hit, is_dup) {
+            (Some(h), true) => {
+                true_pos += 1;
+                debug_assert!(h.dist as f64 <= params.c * r || h.id as usize == *src);
+            }
+            (None, true) => false_neg += 1,
+            (Some(_), false) => false_pos += 1,
+            (None, false) => true_neg += 1,
+        }
+    }
+    println!("duplicates found:  {true_pos}/50 (missed {false_neg})");
+    println!("fresh tracks kept: {true_neg}/50 (false alarms {false_pos})");
+    println!(
+        "\n(the LSH guarantee makes misses rare — each probe succeeds with\n\
+         probability >= 1/2 - 1/e per (r,c)-NN theory, and in practice far\n\
+         more often; re-probing with a second seed drives misses to ~0)"
+    );
+}

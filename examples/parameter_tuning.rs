@@ -1,0 +1,93 @@
+//! Parameter tuning walkthrough: how the theory of Section V maps to the
+//! knobs of [`DbLshParams`], and what each knob does on a real workload.
+//!
+//! Run: `cargo run --release --example parameter_tuning`
+
+use std::sync::Arc;
+
+use db_lsh::data::ground_truth::exact_knn;
+use db_lsh::data::synthetic::{gaussian_mixture, split_queries, MixtureConfig};
+use db_lsh::data::{metrics, Dataset};
+use db_lsh::math::{alpha_exponent, derive_kl, rho_dynamic};
+use db_lsh::{DbLsh, DbLshParams};
+
+fn main() {
+    println!("== 1. The theory: rho* and alpha ==");
+    println!("{:>6} {:>8} {:>9} {:>9}", "gamma", "w0(c=1.5)", "alpha", "rho*");
+    for gamma in [0.5, 1.0, 2.0, 3.0] {
+        let c: f64 = 1.5;
+        let w0 = 2.0 * gamma * c * c;
+        println!(
+            "{gamma:>6.1} {w0:>8.2} {:>9.3} {:>9.4}",
+            alpha_exponent(gamma),
+            rho_dynamic(c, w0)
+        );
+    }
+    println!(
+        "\nLemma 1's K and L at n = 1e6, t = 64 (narrow buckets keep the\n\
+         theoretical K small; the paper's practical choice is K=12, L=5):"
+    );
+    for w0 in [2.0, 3.0, 4.5, 9.0] {
+        let d = derive_kl(1_000_000, 64, 1.5, w0);
+        println!(
+            "  w0 = {w0:>4.1}: K = {:>5}, L = {:>3}, rho* = {:.4}",
+            d.k, d.l, d.rho
+        );
+    }
+
+    println!("\n== 2. Measured effect of t (candidate budget) ==");
+    let mut data = gaussian_mixture(&MixtureConfig {
+        n: 8000,
+        dim: 64,
+        clusters: 80,
+        cluster_std: 1.0,
+        spread: 50.0,
+        noise_frac: 0.05,
+        seed: 17,
+    });
+    let queries = split_queries(&mut data, 30, 3);
+    let data = Arc::new(data);
+    let truth = exact_knn(&data, &queries, 10);
+
+    let base = DbLshParams::paper_defaults(data.len());
+    let r_min = DbLsh::estimate_r_min(&data, &base, 200);
+    println!("{:>5} {:>8} {:>10} {:>8}", "t", "budget", "query(us)", "recall");
+    for t in [4usize, 16, 64, 256] {
+        let params = base.clone().with_t(t).with_r_min(r_min);
+        let index = DbLsh::build(Arc::clone(&data), &params);
+        let (recall, micros) = run(&index, &queries, &truth);
+        println!(
+            "{t:>5} {:>8} {micros:>10.0} {recall:>8.3}",
+            params.kann_budget(10)
+        );
+    }
+
+    println!("\n== 3. Measured effect of L (number of trees) ==");
+    println!("{:>5} {:>10} {:>8}", "L", "query(us)", "recall");
+    for l in [1usize, 3, 5, 8] {
+        let params = base.clone().with_kl(base.k, l).with_r_min(r_min);
+        let index = DbLsh::build(Arc::clone(&data), &params);
+        let (recall, micros) = run(&index, &queries, &truth);
+        println!("{l:>5} {micros:>10.0} {recall:>8.3}");
+    }
+    println!(
+        "\nTakeaway: t controls the accuracy/time trade-off at fixed index\n\
+         size; L buys accuracy with memory; gamma = 2 (w0 = 4c^2) is the\n\
+         paper's sweet spot for the exponent alpha."
+    );
+}
+
+fn run(
+    index: &DbLsh,
+    queries: &Dataset,
+    truth: &[Vec<db_lsh::Neighbor>],
+) -> (f64, f64) {
+    let start = std::time::Instant::now();
+    let mut recalls = Vec::new();
+    for qi in 0..queries.len() {
+        let res = index.k_ann(queries.point(qi), 10);
+        recalls.push(metrics::recall(&res.neighbors, &truth[qi]));
+    }
+    let micros = start.elapsed().as_micros() as f64 / queries.len() as f64;
+    (metrics::mean(&recalls), micros)
+}

@@ -1,0 +1,61 @@
+//! Quickstart: index a synthetic dataset with DB-LSH, answer (c,k)-ANN
+//! queries, and compare against the exact answer.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use std::sync::Arc;
+
+use db_lsh::data::ground_truth::exact_knn_single;
+use db_lsh::data::synthetic::{gaussian_mixture, split_queries, MixtureConfig};
+use db_lsh::data::{metrics, registry::PaperDataset};
+use db_lsh::{DbLsh, DbLshParams};
+
+fn main() {
+    // 1. Get a dataset: a clustered synthetic clone of the paper's Audio
+    //    set (use db_lsh::data::io::load_fvecs_file for real fvecs data).
+    let mut data = gaussian_mixture(&PaperDataset::Audio.config(0.1));
+    println!(
+        "dataset: {} points, {} dimensions",
+        data.len(),
+        data.dim()
+    );
+
+    // 2. Carve out queries, as the paper does.
+    let queries = split_queries(&mut data, 10, 42);
+    let data = Arc::new(data);
+
+    // 3. Build the index with the paper's default parameters
+    //    (c = 1.5, w0 = 4c^2, L = 5, K = 10) and a data-driven radius
+    //    ladder start.
+    let mut params = DbLshParams::paper_defaults(data.len());
+    params.r_min = DbLsh::estimate_r_min(&data, &params, 200);
+    let start = std::time::Instant::now();
+    let index = DbLsh::build(Arc::clone(&data), &params);
+    println!(
+        "indexed in {:.3}s ({} trees of {} points, {:.1} MB)",
+        start.elapsed().as_secs_f64(),
+        params.l,
+        data.len(),
+        index.memory_bytes() as f64 / 1048576.0
+    );
+
+    // 4. Query.
+    let k = 10;
+    let mut recalls = Vec::new();
+    for qi in 0..queries.len() {
+        let q = queries.point(qi);
+        let start = std::time::Instant::now();
+        let res = index.k_ann(q, k);
+        let micros = start.elapsed().as_micros();
+        let truth = exact_knn_single(&data, q, k);
+        let recall = metrics::recall(&res.neighbors, &truth);
+        let ratio = metrics::overall_ratio(&res.neighbors, &truth);
+        println!(
+            "query {qi}: {micros:>6} us, recall {recall:.2}, ratio {ratio:.4}, \
+             {} candidates verified in {} rounds",
+            res.stats.candidates, res.stats.rounds
+        );
+        recalls.push(recall);
+    }
+    println!("mean recall: {:.3}", metrics::mean(&recalls));
+}

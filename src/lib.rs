@@ -1,0 +1,38 @@
+//! # db-lsh — DB-LSH and its full evaluation stack, in Rust
+//!
+//! Facade crate re-exporting the whole workspace: the DB-LSH index
+//! ([`DbLsh`]), every baseline of the paper's evaluation ([`baselines`]),
+//! the substrates (R*-tree, B+-tree, datasets, LSH math) and the common
+//! [`AnnIndex`] trait.
+//!
+//! ```
+//! use db_lsh::{DbLsh, DbLshParams};
+//! use db_lsh::data::synthetic::{gaussian_mixture, MixtureConfig};
+//! use std::sync::Arc;
+//!
+//! let data = Arc::new(gaussian_mixture(&MixtureConfig {
+//!     n: 2000, dim: 32, ..Default::default()
+//! }));
+//! let index = DbLsh::build(Arc::clone(&data), &DbLshParams::paper_defaults(data.len()));
+//! let top10 = index.k_ann(data.point(0), 10);
+//! assert_eq!(top10.neighbors[0].id, 0); // the point itself
+//! ```
+
+pub use dblsh_core::{DbLsh, DbLshParams, GaussianHasher};
+pub use dblsh_data::{AnnIndex, Neighbor, QueryStats, SearchResult};
+
+/// Dataset substrate: synthetic generators, fvecs I/O, ground truth,
+/// metrics, paper-dataset registry.
+pub use dblsh_data as data;
+
+/// The baseline algorithms of the paper's evaluation.
+pub use dblsh_baselines as baselines;
+
+/// R*-tree multi-dimensional index.
+pub use dblsh_index as index;
+
+/// B+-tree with bidirectional cursors.
+pub use dblsh_bptree as bptree;
+
+/// LSH collision probabilities and parameter theory.
+pub use dblsh_math as math;

@@ -1,0 +1,165 @@
+//! Cross-algorithm integration tests: every method in the evaluation must
+//! satisfy the same behavioural contract on a shared workload.
+
+use std::sync::Arc;
+
+use db_lsh::baselines::{
+    e2lsh::E2LshParams, lccs::LccsParams, lsb::LsbParams, pm_lsh::PmLshParams,
+    qalsh::QalshParams, r2lsh::R2LshParams, vhp::VhpParams, E2Lsh, FbLsh, LccsLsh, LinearScan,
+    LsbForest, PmLsh, Qalsh, R2Lsh, Vhp,
+};
+use db_lsh::data::ground_truth::exact_knn;
+use db_lsh::data::synthetic::{gaussian_mixture, split_queries, MixtureConfig};
+use db_lsh::data::{metrics, AnnIndex, Dataset};
+use db_lsh::{DbLsh, DbLshParams};
+
+fn workload() -> (Arc<Dataset>, Dataset) {
+    let mut data = gaussian_mixture(&MixtureConfig {
+        n: 4000,
+        dim: 24,
+        clusters: 30,
+        cluster_std: 1.0,
+        spread: 60.0,
+        noise_frac: 0.02,
+        seed: 777,
+    });
+    let queries = split_queries(&mut data, 15, 9);
+    (Arc::new(data), queries)
+}
+
+fn all_indexes(data: &Arc<Dataset>) -> Vec<Box<dyn AnnIndex>> {
+    let n = data.len();
+    let dbp = DbLshParams::paper_defaults(n).with_r_min(0.5);
+    vec![
+        Box::new(DbLsh::build(Arc::clone(data), &dbp)),
+        Box::new(FbLsh::build(Arc::clone(data), &dbp, 24)),
+        Box::new(E2Lsh::build(
+            Arc::clone(data),
+            &E2LshParams::paper_like(n).with_r_min(0.5),
+        )),
+        Box::new(Qalsh::build(
+            Arc::clone(data),
+            &QalshParams::derive(n, 1.5).with_r_min(0.5),
+        )),
+        Box::new(Vhp::build(
+            Arc::clone(data),
+            &VhpParams::derive(n, 1.5).with_r_min(0.5),
+        )),
+        Box::new(R2Lsh::build(
+            Arc::clone(data),
+            &R2LshParams::derive(n, 1.5).with_r_min(0.5),
+        )),
+        Box::new(PmLsh::build(Arc::clone(data), &PmLshParams::default())),
+        Box::new(LsbForest::build(Arc::clone(data), &LsbParams::default())),
+        Box::new(LccsLsh::build(Arc::clone(data), &LccsParams::default())),
+        Box::new(LinearScan::build(Arc::clone(data))),
+    ]
+}
+
+#[test]
+fn uniform_contract_for_every_algorithm() {
+    let (data, queries) = workload();
+    let indexes = all_indexes(&data);
+    let names: Vec<&str> = indexes.iter().map(|i| i.name()).collect();
+    // distinct display names
+    let mut dedup = names.clone();
+    dedup.sort_unstable();
+    dedup.dedup();
+    assert_eq!(dedup.len(), names.len(), "duplicate algorithm names");
+
+    for index in &indexes {
+        for qi in 0..3 {
+            let res = index.search(queries.point(qi), 10);
+            assert!(
+                res.neighbors.len() <= 10,
+                "{} returned more than k",
+                index.name()
+            );
+            assert!(
+                res.neighbors.windows(2).all(|w| w[0].dist <= w[1].dist),
+                "{} results not sorted",
+                index.name()
+            );
+            let mut ids = res.ids();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(
+                ids.len(),
+                res.neighbors.len(),
+                "{} returned duplicate ids",
+                index.name()
+            );
+            for n in &res.neighbors {
+                assert!((n.id as usize) < data.len(), "{} bad id", index.name());
+                assert!(n.dist.is_finite() && n.dist >= 0.0, "{}", index.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn every_algorithm_beats_random_guessing() {
+    let (data, queries) = workload();
+    let truth = exact_knn(&data, &queries, 10);
+    for index in all_indexes(&data) {
+        let mut recalls = Vec::new();
+        for qi in 0..queries.len() {
+            let res = index.search(queries.point(qi), 10);
+            recalls.push(metrics::recall(&res.neighbors, &truth[qi]));
+        }
+        let recall = metrics::mean(&recalls);
+        // random guessing on 4000 points scores ~10/4000
+        assert!(
+            recall > 0.1,
+            "{} recall {recall} no better than chance",
+            index.name()
+        );
+    }
+}
+
+#[test]
+fn dblsh_is_most_accurate_at_paper_settings() {
+    // The Table IV headline on a fixed seeded workload: DB-LSH's recall
+    // is at least as high as every approximate competitor's.
+    let (data, queries) = workload();
+    let truth = exact_knn(&data, &queries, 10);
+    let mut scores: Vec<(String, f64)> = Vec::new();
+    for index in all_indexes(&data) {
+        if index.name() == "LinearScan" {
+            continue;
+        }
+        let mut recalls = Vec::new();
+        for qi in 0..queries.len() {
+            let res = index.search(queries.point(qi), 10);
+            recalls.push(metrics::recall(&res.neighbors, &truth[qi]));
+        }
+        scores.push((index.name().to_string(), metrics::mean(&recalls)));
+    }
+    let dblsh = scores
+        .iter()
+        .find(|(n, _)| n == "DB-LSH")
+        .expect("DB-LSH present")
+        .1;
+    for (name, score) in &scores {
+        assert!(
+            dblsh + 0.05 >= *score,
+            "{name} ({score}) clearly beats DB-LSH ({dblsh}) at paper settings"
+        );
+    }
+}
+
+#[test]
+fn index_sizes_are_reported() {
+    let (data, _) = workload();
+    for index in all_indexes(&data) {
+        if index.name() == "LinearScan" {
+            assert_eq!(index.index_size_bytes(), 0);
+        } else {
+            assert!(
+                index.index_size_bytes() > 0,
+                "{} reports zero index size",
+                index.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Integration test of the fvecs pipeline: write a dataset to disk in the
+//! TEXMEX format, load it back, index it, query it — the path a user with
+//! the paper's real corpora follows.
+
+use std::sync::Arc;
+
+use db_lsh::data::io::{load_fvecs_file, write_fvecs};
+use db_lsh::data::synthetic::{gaussian_mixture, MixtureConfig};
+use db_lsh::{DbLsh, DbLshParams};
+
+#[test]
+fn fvecs_roundtrip_through_disk_and_index() {
+    let data = gaussian_mixture(&MixtureConfig {
+        n: 1000,
+        dim: 48,
+        clusters: 10,
+        ..Default::default()
+    });
+    let path = std::env::temp_dir().join(format!("dblsh_io_test_{}.fvecs", std::process::id()));
+    write_fvecs(std::fs::File::create(&path).unwrap(), &data).unwrap();
+
+    let loaded = load_fvecs_file(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(loaded, data);
+
+    let loaded = Arc::new(loaded);
+    let mut params = DbLshParams::paper_defaults(loaded.len()).with_kl(6, 3);
+    params.r_min = DbLsh::estimate_r_min(&loaded, &params, 100);
+    let index = DbLsh::build(Arc::clone(&loaded), &params);
+    let res = index.k_ann(loaded.point(0), 5);
+    // the true NN distance is 0 (the point itself); the ladder guarantee
+    // at r* = 0 is c^2 * r_min
+    let bound = params.c * params.c * params.r_min;
+    assert!(!res.neighbors.is_empty());
+    assert!((res.neighbors[0].dist as f64) <= bound);
+}
+
+#[test]
+fn degenerate_datasets_are_handled() {
+    // d = 1
+    let data = Arc::new(db_lsh::data::Dataset::from_rows(&[
+        vec![1.0],
+        vec![2.0],
+        vec![5.0],
+        vec![9.0],
+        vec![2.1],
+    ]));
+    let params = DbLshParams::paper_defaults(5).with_kl(2, 2).with_r_min(0.01);
+    let index = DbLsh::build(Arc::clone(&data), &params);
+    let res = index.k_ann(&[2.05], 2);
+    assert_eq!(res.neighbors.len(), 2);
+    // true NNs are 2.0 and 2.1 at distance 0.05; the c-approximate answer
+    // must stay in that neighborhood
+    assert!(res.neighbors.iter().all(|n| n.dist <= 0.2), "{res:?}");
+
+    // n < k
+    let res = index.k_ann(&[0.0], 50);
+    assert!(res.neighbors.len() <= 5);
+
+    // all-identical dataset
+    let same = Arc::new(db_lsh::data::Dataset::from_rows(&vec![vec![3.0f32; 4]; 20]));
+    let params = DbLshParams::paper_defaults(20).with_kl(2, 2);
+    let index = DbLsh::build(Arc::clone(&same), &params);
+    let res = index.k_ann(&[3.0f32; 4], 5);
+    assert_eq!(res.neighbors.len(), 5);
+    assert!(res.neighbors.iter().all(|n| n.dist == 0.0));
+}
