@@ -2,36 +2,11 @@
 //! loop (top-k + dedup + budget) and a small fast hasher for bucket keys.
 
 use dblsh_data::dataset::sq_dist;
-use dblsh_data::{Dataset, Neighbor, QueryStats};
+use dblsh_data::{push_candidate_unchecked, Dataset, Neighbor, QueryStats};
 
-/// Per-query visited bitset over dataset row ids.
-pub struct Visited {
-    words: Vec<u64>,
-}
-
-impl Visited {
-    pub fn new(n: usize) -> Self {
-        Visited {
-            words: vec![0; n.div_ceil(64)],
-        }
-    }
-
-    /// Mark `id`; true if it was unmarked.
-    #[inline]
-    pub fn insert(&mut self, id: u32) -> bool {
-        let w = (id / 64) as usize;
-        let bit = 1u64 << (id % 64);
-        let fresh = self.words[w] & bit == 0;
-        self.words[w] |= bit;
-        fresh
-    }
-
-    /// Whether `id` is already marked.
-    #[inline]
-    pub fn contains(&self, id: u32) -> bool {
-        self.words[(id / 64) as usize] & (1u64 << (id % 64)) != 0
-    }
-}
+// The per-query visited bitset lives in `dblsh_data` (shared with the
+// DB-LSH core's query scratch); re-exported here for the baselines.
+pub use dblsh_data::Visited;
 
 /// The exact-distance verification stage every LSH method funnels
 /// candidates through: deduplicates, verifies against the original
@@ -73,11 +48,9 @@ impl<'d> Verifier<'d> {
         self.verified += 1;
         self.stats.candidates += 1;
         let d = (sq_dist(self.query, self.data.point(id as usize)) as f64).sqrt() as f32;
-        let pos = self.top.partition_point(|n| n.dist <= d);
-        if pos < self.k {
-            self.top.insert(pos, Neighbor { id, dist: d });
-            self.top.truncate(self.k);
-        }
+        // the visited bitset above guarantees each id is offered once, so
+        // the duplicate-scanning push_candidate is unnecessary here
+        push_candidate_unchecked(&mut self.top, Neighbor { id, dist: d }, self.k);
         self.verified < self.budget
     }
 

@@ -12,7 +12,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use dblsh_data::{AnnIndex, Dataset, SearchResult};
+use dblsh_data::{check_query, AnnIndex, Dataset, DbLshError, SearchResult};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
@@ -51,7 +51,7 @@ impl E2LshParams {
             r_min: 1.0,
             radii: 12,
             t: 64,
-            seed: 0xE215_4,
+            seed: 0x000E_2154,
         }
     }
 
@@ -168,7 +168,8 @@ impl AnnIndex for E2Lsh {
         "E2LSH"
     }
 
-    fn search(&self, query: &[f32], k: usize) -> SearchResult {
+    fn search(&self, query: &[f32], k: usize) -> Result<SearchResult, DbLshError> {
+        check_query(self.data.dim(), query, k)?;
         let p = &self.params;
         let dim = self.data.dim();
         let budget = 2 * p.t * p.l + k;
@@ -201,10 +202,10 @@ impl AnnIndex for E2Lsh {
             r *= p.c;
         }
 
-        SearchResult {
+        Ok(SearchResult {
             neighbors: verifier.top,
             stats: verifier.stats,
-        }
+        })
     }
 
     fn index_size_bytes(&self) -> usize {
@@ -257,7 +258,7 @@ mod tests {
         for qi in 0..queries.len() {
             let q = queries.point(qi);
             let truth = exact_knn_single(&data, q, 10);
-            let got = idx.search(q, 10);
+            let got = idx.search(q, 10).unwrap();
             assert!(got.neighbors.windows(2).all(|w| w[0].dist <= w[1].dist));
             recalls.push(metrics::recall(&got.neighbors, &truth));
         }

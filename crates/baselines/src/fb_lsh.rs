@@ -28,7 +28,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use dblsh_core::{DbLshParams, GaussianHasher};
-use dblsh_data::{AnnIndex, Dataset, SearchResult};
+use dblsh_data::{check_query, AnnIndex, Dataset, DbLshError, SearchResult};
 
 use crate::common::{bucket_key, Verifier};
 
@@ -50,7 +50,7 @@ impl FbLsh {
     /// the precomputed radius ladder (the query falls back to scanning
     /// the coarsest level's bucket beyond it).
     pub fn build(data: Arc<Dataset>, params: &DbLshParams, max_levels: usize) -> Self {
-        params.validate();
+        params.validate().expect("invalid DbLshParams");
         assert!(!data.is_empty(), "cannot index an empty dataset");
         assert!(max_levels >= 1, "need at least one level");
         let hasher = GaussianHasher::new(data.dim(), params.k, params.l, params.seed);
@@ -114,7 +114,8 @@ impl AnnIndex for FbLsh {
         "FB-LSH"
     }
 
-    fn search(&self, query: &[f32], k: usize) -> SearchResult {
+    fn search(&self, query: &[f32], k: usize) -> Result<SearchResult, DbLshError> {
+        check_query(self.data.dim(), query, k)?;
         let params = &self.params;
         let mut verifier = Verifier::new(&self.data, query, k, params.kann_budget(k));
         let qproj: Vec<Vec<f64>> = (0..params.l)
@@ -151,10 +152,10 @@ impl AnnIndex for FbLsh {
             r *= params.c;
         }
 
-        SearchResult {
+        Ok(SearchResult {
             neighbors: verifier.top,
             stats: verifier.stats,
-        }
+        })
     }
 
     fn index_size_bytes(&self) -> usize {
@@ -202,7 +203,7 @@ mod tests {
         for qi in 0..queries.len() {
             let q = queries.point(qi);
             let truth = exact_knn_single(&data, q, 10);
-            let got = idx.search(q, 10);
+            let got = idx.search(q, 10).unwrap();
             recalls.push(metrics::recall(&got.neighbors, &truth));
         }
         let mean = metrics::mean(&recalls);
@@ -220,7 +221,7 @@ mod tests {
     #[test]
     fn results_sorted_and_budget_respected() {
         let (data, _, idx) = setup();
-        let res = idx.search(data.point(0), 10);
+        let res = idx.search(data.point(0), 10).unwrap();
         assert!(res.neighbors.windows(2).all(|w| w[0].dist <= w[1].dist));
         assert!(res.stats.candidates <= idx.params().kann_budget(10));
         assert!(idx.index_size_bytes() > 0);

@@ -15,7 +15,7 @@
 
 use std::sync::Arc;
 
-use dblsh_data::{AnnIndex, Dataset, SearchResult};
+use dblsh_data::{check_query, AnnIndex, Dataset, DbLshError, SearchResult};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
@@ -39,7 +39,7 @@ impl Default for LccsParams {
         LccsParams {
             probes: 512,
             quant_width: 0.25,
-            seed: 0x1CC5_1,
+            seed: 0x0001_CC51,
         }
     }
 }
@@ -150,7 +150,8 @@ impl AnnIndex for LccsLsh {
         "LCCS-LSH"
     }
 
-    fn search(&self, query: &[f32], k: usize) -> SearchResult {
+    fn search(&self, query: &[f32], k: usize) -> Result<SearchResult, DbLshError> {
+        check_query(self.data.dim(), query, k)?;
         let budget = self.params.probes + k;
         let mut verifier = Verifier::new(&self.data, query, k, budget);
         verifier.stats.rounds = 1;
@@ -166,8 +167,7 @@ impl AnnIndex for LccsLsh {
         let mut heads = Vec::with_capacity(2 * M);
         for (r, order) in self.orders.iter().enumerate() {
             let qrot = rotate_code(qcode, r);
-            let pos = order
-                .partition_point(|&id| rotate_code(self.codes[id as usize], r) < qrot)
+            let pos = order.partition_point(|&id| rotate_code(self.codes[id as usize], r) < qrot)
                 as isize;
             heads.push(Head {
                 rot: r,
@@ -205,10 +205,10 @@ impl AnnIndex for LccsLsh {
             }
         }
 
-        SearchResult {
+        Ok(SearchResult {
             neighbors: verifier.top,
             stats: verifier.stats,
-        }
+        })
     }
 
     fn index_size_bytes(&self) -> usize {
@@ -274,7 +274,7 @@ mod tests {
         for qi in 0..queries.len() {
             let q = queries.point(qi);
             let truth = exact_knn_single(&data, q, 10);
-            let got = idx.search(q, 10);
+            let got = idx.search(q, 10).unwrap();
             assert!(got.neighbors.windows(2).all(|w| w[0].dist <= w[1].dist));
             recalls.push(metrics::recall(&got.neighbors, &truth));
         }
@@ -294,7 +294,7 @@ mod tests {
             ..Default::default()
         };
         let idx = LccsLsh::build(Arc::clone(&data), &params);
-        let res = idx.search(data.point(0), 10);
+        let res = idx.search(data.point(0), 10).unwrap();
         assert!(res.stats.candidates <= 60);
     }
 }

@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use dblsh_data::ground_truth::exact_knn_single;
-use dblsh_data::{AnnIndex, Dataset, QueryStats, SearchResult};
+use dblsh_data::{check_query, AnnIndex, Dataset, DbLshError, QueryStats, SearchResult};
 
 /// Exact k-NN by brute force. `search` is `O(n d)` per query.
 #[derive(Debug)]
@@ -27,14 +27,15 @@ impl AnnIndex for LinearScan {
         "LinearScan"
     }
 
-    fn search(&self, query: &[f32], k: usize) -> SearchResult {
+    fn search(&self, query: &[f32], k: usize) -> Result<SearchResult, DbLshError> {
+        check_query(self.data.dim(), query, k)?;
         let neighbors = exact_knn_single(&self.data, query, k);
         let stats = QueryStats {
             candidates: self.data.len(),
             rounds: 1,
             index_probes: self.data.len(),
         };
-        SearchResult { neighbors, stats }
+        Ok(SearchResult { neighbors, stats })
     }
 
     fn index_size_bytes(&self) -> usize {
@@ -54,7 +55,7 @@ mod tests {
             vec![1.0, 1.0],
         ]));
         let ls = LinearScan::build(Arc::clone(&data));
-        let r = ls.search(&[0.0, 0.0], 2);
+        let r = ls.search(&[0.0, 0.0], 2).unwrap();
         assert_eq!(r.ids(), vec![0, 2]);
         assert_eq!(r.neighbors[1].dist, (2.0f32).sqrt());
         assert_eq!(r.stats.candidates, 3);

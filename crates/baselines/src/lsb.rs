@@ -17,7 +17,7 @@
 
 use std::sync::Arc;
 
-use dblsh_data::{AnnIndex, Dataset, SearchResult};
+use dblsh_data::{check_query, AnnIndex, Dataset, DbLshError, SearchResult};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
@@ -48,7 +48,7 @@ impl Default for LsbParams {
             trees: 10,
             c: 2.0,
             beta: 0.05,
-            seed: 0x15B_F0,
+            seed: 0x0001_5BF0,
         }
     }
 }
@@ -91,8 +91,7 @@ impl LsbForest {
             for row in 0..n {
                 let point = data.point(row);
                 for j in 0..params.m {
-                    proj[row * params.m + j] =
-                        dot(&a[j * dim..(j + 1) * dim], point) + b[j];
+                    proj[row * params.m + j] = dot(&a[j * dim..(j + 1) * dim], point) + b[j];
                 }
             }
             let mut lo = vec![f64::INFINITY; params.m];
@@ -174,7 +173,8 @@ impl AnnIndex for LsbForest {
         "LSB-Forest"
     }
 
-    fn search(&self, query: &[f32], k: usize) -> SearchResult {
+    fn search(&self, query: &[f32], k: usize) -> Result<SearchResult, DbLshError> {
+        check_query(self.data.dim(), query, k)?;
         let p = &self.params;
         let n = self.data.len();
         let budget = (p.beta * n as f64).ceil() as usize + k;
@@ -238,10 +238,10 @@ impl AnnIndex for LsbForest {
             }
         }
 
-        SearchResult {
+        Ok(SearchResult {
             neighbors: verifier.top,
             stats: verifier.stats,
-        }
+        })
     }
 
     fn index_size_bytes(&self) -> usize {
@@ -299,7 +299,7 @@ mod tests {
         for qi in 0..queries.len() {
             let q = queries.point(qi);
             let truth = exact_knn_single(&data, q, 10);
-            let got = idx.search(q, 10);
+            let got = idx.search(q, 10).unwrap();
             assert!(got.neighbors.windows(2).all(|w| w[0].dist <= w[1].dist));
             recalls.push(metrics::recall(&got.neighbors, &truth));
         }
@@ -318,7 +318,7 @@ mod tests {
         }));
         let params = LsbParams::default();
         let idx = LsbForest::build(Arc::clone(&data), &params);
-        let res = idx.search(data.point(0), 10);
+        let res = idx.search(data.point(0), 10).unwrap();
         let cap = (params.beta * 2000.0).ceil() as usize + 10;
         assert!(res.stats.candidates <= cap);
     }

@@ -18,7 +18,7 @@
 
 use std::sync::Arc;
 
-use dblsh_data::{AnnIndex, Dataset, SearchResult};
+use dblsh_data::{check_query, AnnIndex, Dataset, DbLshError, SearchResult};
 use dblsh_index::RStarTree;
 use rand::prelude::*;
 use rand::rngs::StdRng;
@@ -43,7 +43,7 @@ impl Default for PmLshParams {
             m: 15,
             c: 1.5,
             beta: 0.02,
-            seed: 0x9313_7,
+            seed: 0x0009_3137,
         }
     }
 }
@@ -70,8 +70,7 @@ impl PmLsh {
         for row in 0..n {
             let point = data.point(row);
             for j in 0..params.m {
-                projected[row * params.m + j] =
-                    dot(&proj[j * dim..(j + 1) * dim], point);
+                projected[row * params.m + j] = dot(&proj[j * dim..(j + 1) * dim], point);
             }
         }
         let ids: Vec<u32> = (0..n as u32).collect();
@@ -102,7 +101,8 @@ impl AnnIndex for PmLsh {
         "PM-LSH"
     }
 
-    fn search(&self, query: &[f32], k: usize) -> SearchResult {
+    fn search(&self, query: &[f32], k: usize) -> Result<SearchResult, DbLshError> {
+        check_query(self.data.dim(), query, k)?;
         let p = &self.params;
         let n = self.data.len();
         let budget = (p.beta * n as f64).ceil() as usize + k;
@@ -122,10 +122,10 @@ impl AnnIndex for PmLsh {
             }
         }
 
-        SearchResult {
+        Ok(SearchResult {
             neighbors: verifier.top,
             stats: verifier.stats,
-        }
+        })
     }
 
     fn index_size_bytes(&self) -> usize {
@@ -169,7 +169,7 @@ mod tests {
         for qi in 0..queries.len() {
             let q = queries.point(qi);
             let truth = exact_knn_single(&data, q, 10);
-            let got = idx.search(q, 10);
+            let got = idx.search(q, 10).unwrap();
             assert!(got.neighbors.windows(2).all(|w| w[0].dist <= w[1].dist));
             recalls.push(metrics::recall(&got.neighbors, &truth));
         }
@@ -186,7 +186,7 @@ mod tests {
         }));
         let params = PmLshParams::default();
         let idx = PmLsh::build(Arc::clone(&data), &params);
-        let res = idx.search(data.point(5), 10);
+        let res = idx.search(data.point(5), 10).unwrap();
         let cap = (params.beta * 2000.0).ceil() as usize + 10;
         assert!(res.stats.candidates <= cap);
         assert!(idx.index_size_bytes() > 0);
@@ -200,7 +200,7 @@ mod tests {
             ..Default::default()
         }));
         let idx = PmLsh::build(Arc::clone(&data), &PmLshParams::default());
-        let res = idx.search(data.point(7), 1);
+        let res = idx.search(data.point(7), 1).unwrap();
         assert_eq!(res.neighbors[0].id, 7);
         assert_eq!(res.neighbors[0].dist, 0.0);
     }

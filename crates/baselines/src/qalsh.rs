@@ -23,7 +23,7 @@
 use std::sync::Arc;
 
 use dblsh_bptree::BPlusTree;
-use dblsh_data::{AnnIndex, Dataset, SearchResult};
+use dblsh_data::{check_query, AnnIndex, Dataset, DbLshError, SearchResult};
 use dblsh_math::p_dynamic;
 use rand::prelude::*;
 use rand::rngs::StdRng;
@@ -74,7 +74,7 @@ impl QalshParams {
             beta,
             r_min: 1.0,
             max_rounds: 64,
-            seed: 0x9A15_11,
+            seed: 0x009A_1511,
         }
     }
 
@@ -143,7 +143,8 @@ impl AnnIndex for Qalsh {
         "QALSH"
     }
 
-    fn search(&self, query: &[f32], k: usize) -> SearchResult {
+    fn search(&self, query: &[f32], k: usize) -> Result<SearchResult, DbLshError> {
+        check_query(self.data.dim(), query, k)?;
         let p = &self.params;
         let n = self.data.len();
         let budget = (p.beta * n as f64).ceil() as usize + k;
@@ -200,10 +201,10 @@ impl AnnIndex for Qalsh {
             r *= p.c;
         }
 
-        SearchResult {
+        Ok(SearchResult {
             neighbors: verifier.top,
             stats: verifier.stats,
-        }
+        })
     }
 
     fn index_size_bytes(&self) -> usize {
@@ -262,7 +263,7 @@ mod tests {
         for qi in 0..queries.len() {
             let q = queries.point(qi);
             let truth = exact_knn_single(&data, q, 10);
-            let got = idx.search(q, 10);
+            let got = idx.search(q, 10).unwrap();
             assert!(got.neighbors.windows(2).all(|w| w[0].dist <= w[1].dist));
             recalls.push(metrics::recall(&got.neighbors, &truth));
         }
@@ -279,7 +280,7 @@ mod tests {
         }));
         let params = QalshParams::derive(data.len(), 1.5).with_r_min(0.25);
         let idx = Qalsh::build(Arc::clone(&data), &params);
-        let res = idx.search(data.point(0), 5);
+        let res = idx.search(data.point(0), 5).unwrap();
         let cap = (params.beta * 2000.0).ceil() as usize + 5;
         assert!(res.stats.candidates <= cap);
     }

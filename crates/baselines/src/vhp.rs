@@ -15,7 +15,7 @@
 use std::sync::Arc;
 
 use dblsh_bptree::BPlusTree;
-use dblsh_data::{AnnIndex, Dataset, SearchResult};
+use dblsh_data::{check_query, AnnIndex, Dataset, DbLshError, SearchResult};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
@@ -33,7 +33,7 @@ pub struct VhpParams {
 impl VhpParams {
     pub fn derive(n: usize, c: f64) -> Self {
         VhpParams {
-            base: QalshParams::derive(n, c).with_seed(0x0EEA_7),
+            base: QalshParams::derive(n, c).with_seed(0x0000_EEA7),
             t0: 1.4,
         }
     }
@@ -97,7 +97,8 @@ impl AnnIndex for Vhp {
         "VHP"
     }
 
-    fn search(&self, query: &[f32], k: usize) -> SearchResult {
+    fn search(&self, query: &[f32], k: usize) -> Result<SearchResult, DbLshError> {
+        check_query(self.data.dim(), query, k)?;
         let p = &self.params.base;
         let m = p.m;
         let dim = self.data.dim();
@@ -170,16 +171,14 @@ impl AnnIndex for Vhp {
             r *= p.c;
         }
 
-        SearchResult {
+        Ok(SearchResult {
             neighbors: verifier.top,
             stats: verifier.stats,
-        }
+        })
     }
 
     fn index_size_bytes(&self) -> usize {
-        self.params.base.m * self.data.len() * 12
-            + self.projected.len() * 8
-            + self.proj.len() * 8
+        self.params.base.m * self.data.len() * 12 + self.projected.len() * 8 + self.proj.len() * 8
     }
 }
 
@@ -229,7 +228,7 @@ mod tests {
         for qi in 0..queries.len() {
             let q = queries.point(qi);
             let truth = exact_knn_single(&data, q, 10);
-            let got = idx.search(q, 10);
+            let got = idx.search(q, 10).unwrap();
             recalls.push(metrics::recall(&got.neighbors, &truth));
         }
         let mean = metrics::mean(&recalls);
@@ -254,8 +253,8 @@ mod tests {
         let vhp = Vhp::build(Arc::clone(&data), &vp);
         let qalsh = crate::qalsh::Qalsh::build(Arc::clone(&data), &qp);
         let q = data.point(0);
-        let a = vhp.search(q, 10);
-        let b = qalsh.search(q, 10);
+        let a = vhp.search(q, 10).unwrap();
+        let b = qalsh.search(q, 10).unwrap();
         assert!(
             a.stats.candidates <= b.stats.candidates + 5,
             "VHP {} vs QALSH {}",

@@ -12,10 +12,7 @@ use dblsh_data::{AnnIndex, Dataset};
 use proptest::prelude::*;
 
 fn rows(max_n: usize, dim: usize) -> impl Strategy<Value = Vec<Vec<f32>>> {
-    prop::collection::vec(
-        prop::collection::vec(-50.0f32..50.0, dim..=dim),
-        5..max_n,
-    )
+    prop::collection::vec(prop::collection::vec(-50.0f32..50.0, dim..=dim), 5..max_n)
 }
 
 fn build_all(data: &Arc<Dataset>) -> Vec<Box<dyn AnnIndex>> {
@@ -63,7 +60,7 @@ proptest! {
         let data = Arc::new(Dataset::from_rows(&pts));
         let q = data.point(qi % data.len()).to_vec();
         for index in build_all(&data) {
-            let res = index.search(&q, k);
+            let res = index.search(&q, k).unwrap();
             prop_assert!(res.neighbors.len() <= k, "{}", index.name());
             prop_assert!(
                 res.neighbors.windows(2).all(|w| w[0].dist <= w[1].dist),
@@ -92,9 +89,9 @@ proptest! {
     ) {
         let data = Arc::new(Dataset::from_rows(&pts));
         let q = data.point(qi % data.len()).to_vec();
-        let exact = LinearScan::build(Arc::clone(&data)).search(&q, 1);
+        let exact = LinearScan::build(Arc::clone(&data)).search(&q, 1).unwrap();
         for index in build_all(&data) {
-            let res = index.search(&q, 1);
+            let res = index.search(&q, 1).unwrap();
             if let Some(first) = res.neighbors.first() {
                 prop_assert!(
                     first.dist + 1e-6 >= exact.neighbors[0].dist,

@@ -113,5 +113,11 @@ fn bench_bptree(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_math, bench_hashing, bench_rtree, bench_bptree);
+criterion_group!(
+    benches,
+    bench_math,
+    bench_hashing,
+    bench_rtree,
+    bench_bptree
+);
 criterion_main!(benches);

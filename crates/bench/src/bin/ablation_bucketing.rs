@@ -23,10 +23,7 @@ fn main() {
             let (index, build_s) = algo.build(&env, c);
             rows.push(evaluate(index.as_ref(), &mut env, k, build_s));
         }
-        print_rows(
-            &format!("{} (n = {})", env.label, env.data.len()),
-            &rows,
-        );
+        print_rows(&format!("{} (n = {})", env.label, env.data.len()), &rows);
     }
     println!(
         "\nPaper shape to verify: \"DB-LSH saves 10-70% of the query time\n\

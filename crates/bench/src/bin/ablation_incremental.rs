@@ -16,10 +16,14 @@ use dblsh_data::{metrics, Neighbor};
 fn main() {
     let k = 50;
     println!("== Extension: radius ladder vs incremental browsing ==");
-    for dataset in [PaperDataset::Audio, PaperDataset::Deep1M, PaperDataset::Gist] {
+    for dataset in [
+        PaperDataset::Audio,
+        PaperDataset::Deep1M,
+        PaperDataset::Gist,
+    ] {
         let mut env = Env::paper(dataset);
         let params = DbLshParams::paper_defaults(env.data.len()).with_r_min(env.r_hint);
-        let index = DbLsh::build(Arc::clone(&env.data), &params);
+        let index = DbLsh::build(Arc::clone(&env.data), &params).expect("DB-LSH build");
         let truth = env.truth(k).clone();
         println!(
             "\n-- {} (n = {}, d = {}) --",
@@ -37,9 +41,9 @@ fn main() {
                 .map(|qi| {
                     let q = env.queries.point(qi);
                     if mode == "ladder" {
-                        index.k_ann(q, k)
+                        index.k_ann(q, k).expect("query")
                     } else {
-                        index.k_ann_incremental(q, k)
+                        index.k_ann_incremental(q, k).expect("query")
                     }
                 })
                 .collect();

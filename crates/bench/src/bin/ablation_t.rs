@@ -32,7 +32,7 @@ fn main() {
             .with_t(t)
             .with_r_min(env.r_hint);
         let start = std::time::Instant::now();
-        let index = DbLsh::build(Arc::clone(&env.data), &params);
+        let index = DbLsh::build(Arc::clone(&env.data), &params).expect("DB-LSH build");
         let build_s = start.elapsed().as_secs_f64();
         let row = evaluate(&index, &mut env, k, build_s);
         println!(

@@ -7,16 +7,22 @@
 
 use std::sync::Arc;
 
-use dblsh_bench::{evaluate, Algo, Env};
 use dblsh_baselines::lccs::LccsParams;
 use dblsh_baselines::LccsLsh;
+use dblsh_bench::{evaluate, Algo, Env};
 use dblsh_data::registry::PaperDataset;
 
 fn main() {
     let k = 50;
     let cs = [1.1, 1.2, 1.3, 1.5, 1.8, 2.0, 2.5, 3.0];
     let probes = [64usize, 128, 256, 512, 1024, 2048];
-    let c_algos = [Algo::DbLsh, Algo::FbLsh, Algo::PmLsh, Algo::R2Lsh, Algo::Vhp];
+    let c_algos = [
+        Algo::DbLsh,
+        Algo::FbLsh,
+        Algo::PmLsh,
+        Algo::R2Lsh,
+        Algo::Vhp,
+    ];
     println!("== Figures 9-10: recall-time / ratio-time curves (k = {k}) ==");
     for dataset in [
         PaperDataset::Trevi,

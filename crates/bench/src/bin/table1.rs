@@ -8,8 +8,8 @@ use dblsh_math::{alpha_exponent, rho_dynamic, rho_static};
 fn main() {
     println!("== Table I: Comparison of Typical LSH Methods ==\n");
     println!(
-        "{:<12} {:<9} {:<14} {:<26} {:<22} {}",
-        "Algorithm", "Indexing", "Query", "Index Size", "Query Cost", "Comment"
+        "{:<12} {:<9} {:<14} {:<26} {:<22} Comment",
+        "Algorithm", "Indexing", "Query", "Index Size", "Query Cost"
     );
     let rows = [
         (

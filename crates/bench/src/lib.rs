@@ -21,9 +21,9 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use dblsh_baselines::{
-    e2lsh::E2LshParams, lccs::LccsParams, lsb::LsbParams, pm_lsh::PmLshParams,
-    qalsh::QalshParams, r2lsh::R2LshParams, vhp::VhpParams, E2Lsh, FbLsh, LccsLsh, LinearScan,
-    LsbForest, PmLsh, Qalsh, R2Lsh, Vhp,
+    e2lsh::E2LshParams, lccs::LccsParams, lsb::LsbParams, pm_lsh::PmLshParams, qalsh::QalshParams,
+    r2lsh::R2LshParams, vhp::VhpParams, E2Lsh, FbLsh, LccsLsh, LinearScan, LsbForest, PmLsh, Qalsh,
+    R2Lsh, Vhp,
 };
 use dblsh_core::{DbLsh, DbLshParams};
 use dblsh_data::registry::PaperDataset;
@@ -114,8 +114,7 @@ impl Env {
     pub fn shrink_to(&self, n: usize) -> Env {
         let n = n.min(self.data.len());
         let dim = self.data.dim();
-        let mut data =
-            Dataset::from_flat(dim, self.data.flat()[..n * dim].to_vec());
+        let mut data = Dataset::from_flat(dim, self.data.flat()[..n * dim].to_vec());
         let n_queries = env_usize("DBLSH_QUERIES", 100).min(data.len() / 2);
         let queries = split_queries(&mut data, n_queries, 0x5EED);
         let mut env = Env {
@@ -138,10 +137,10 @@ impl Env {
         if sample == 0 || self.data.is_empty() {
             return 1.0;
         }
-        let probe =
-            Dataset::from_flat(self.queries.dim(), self.queries.flat()
-                [..sample * self.queries.dim()]
-                .to_vec());
+        let probe = Dataset::from_flat(
+            self.queries.dim(),
+            self.queries.flat()[..sample * self.queries.dim()].to_vec(),
+        );
         let nn = exact_knn(&self.data, &probe, 1);
         let mut dists: Vec<f64> = nn
             .iter()
@@ -217,15 +216,11 @@ impl Algo {
         let start = Instant::now();
         let index: Box<dyn AnnIndex> = match self {
             Algo::DbLsh => {
-                let p = DbLshParams::paper_defaults(n)
-                    .with_c(c)
-                    .with_r_min(r_hint);
-                Box::new(DbLsh::build(data, &p))
+                let p = DbLshParams::paper_defaults(n).with_c(c).with_r_min(r_hint);
+                Box::new(DbLsh::build(data, &p).expect("DB-LSH build"))
             }
             Algo::FbLsh => {
-                let p = DbLshParams::paper_defaults(n)
-                    .with_c(c)
-                    .with_r_min(r_hint);
+                let p = DbLshParams::paper_defaults(n).with_c(c).with_r_min(r_hint);
                 Box::new(FbLsh::build(data, &p, 24))
             }
             Algo::E2Lsh => {
@@ -289,7 +284,11 @@ pub fn evaluate(index: &dyn AnnIndex, env: &mut Env, k: usize, index_s: f64) -> 
     let start = Instant::now();
     let mut results = Vec::with_capacity(nq);
     for qi in 0..nq {
-        results.push(index.search(env.queries.point(qi), k));
+        results.push(
+            index
+                .search(env.queries.point(qi), k)
+                .expect("well-formed query rejected"),
+        );
     }
     let total_ms = start.elapsed().as_secs_f64() * 1e3;
     for (qi, res) in results.iter().enumerate() {
@@ -369,7 +368,7 @@ mod tests {
     #[test]
     fn env_preparation() {
         let mut env = tiny_env();
-        assert!(env.queries.len() > 0);
+        assert!(!env.queries.is_empty());
         assert!(env.r_hint > 0.0);
         let nq = env.queries.len();
         let t = env.truth(5);

@@ -80,10 +80,7 @@ impl BPlusTree {
         for w in pairs.windows(2) {
             assert!(w[0].0 <= w[1].0, "bulk_build requires sorted keys");
         }
-        assert!(
-            pairs.iter().all(|(k, _)| !k.is_nan()),
-            "NaN key rejected"
-        );
+        assert!(pairs.iter().all(|(k, _)| !k.is_nan()), "NaN key rejected");
         let mut tree = BPlusTree::with_order(order);
         if pairs.is_empty() {
             return tree;
@@ -201,10 +198,7 @@ impl BPlusTree {
         let new_id = self.nodes.len();
         match &mut self.nodes[node] {
             Node::Leaf {
-                keys,
-                vals,
-                next,
-                ..
+                keys, vals, next, ..
             } => {
                 let mid = keys.len() / 2;
                 let right_keys = keys.split_off(mid);
@@ -472,10 +466,7 @@ mod tests {
     fn range_boundaries_inclusive() {
         let t = BPlusTree::bulk_build(&pairs(20));
         let r = t.range(1.0, 2.0);
-        assert_eq!(
-            r,
-            vec![(1.0, 2), (1.5, 3), (2.0, 4)]
-        );
+        assert_eq!(r, vec![(1.0, 2), (1.5, 3), (2.0, 4)]);
     }
 
     #[test]

@@ -1,42 +1,73 @@
-//! Index construction (paper Section IV-B): project the dataset into `L`
-//! K-dimensional spaces and bulk-load one R*-tree per space.
+//! Index construction (paper Section IV-B) and dynamic maintenance:
+//! project the dataset into `L` K-dimensional spaces, bulk-load one
+//! R*-tree per space, and keep the trees in sync under point insertions
+//! and removals — the update path the paper's dynamic bucketing makes
+//! possible ("DB-LSH naturally supports updates since the R*-tree is a
+//! dynamic structure").
 
 use std::sync::Arc;
 
-use dblsh_data::Dataset;
+use dblsh_data::{Dataset, DbLshError};
 use dblsh_index::RStarTree;
 
 use crate::hasher::GaussianHasher;
 use crate::params::DbLshParams;
 
-/// A built DB-LSH index over an immutable dataset.
+/// A built DB-LSH index.
+///
+/// Construct through [`crate::DbLshBuilder`] (or the lower-level
+/// [`DbLsh::build`]); query through [`DbLsh::k_ann`] /
+/// [`DbLsh::search_with`] / [`DbLsh::search_batch`]; maintain dynamically
+/// through [`DbLsh::insert`] and [`DbLsh::remove`].
+///
+/// Removed points are *tombstoned*: their rows stay in the backing
+/// [`Dataset`] (ids are stable row indexes) but they are deleted from all
+/// `L` trees, so no query ever returns them. [`DbLsh::len`] counts live
+/// points only.
 #[derive(Debug)]
 pub struct DbLsh {
     pub(crate) params: DbLshParams,
     pub(crate) hasher: GaussianHasher,
     pub(crate) trees: Vec<RStarTree>,
     pub(crate) data: Arc<Dataset>,
+    /// Tombstone bitset over dataset rows (1 = removed).
+    removed: Vec<u64>,
+    /// Number of live (non-tombstoned) points.
+    live: usize,
+    /// Reusable K-length projection buffer for `insert`/`remove`, so a
+    /// high-churn update workload pays no per-update allocation.
+    update_proj: Vec<f64>,
 }
 
 impl DbLsh {
     /// Build the index: `L` projections of the full dataset, each
     /// bulk-loaded into an R*-tree. Projection and tree construction for
     /// the `L` spaces run on separate threads.
-    pub fn build(data: Arc<Dataset>, params: &DbLshParams) -> Self {
-        params.validate();
-        assert!(!data.is_empty(), "cannot index an empty dataset");
+    ///
+    /// Fails with [`DbLshError::EmptyDataset`] on an empty dataset and
+    /// [`DbLshError::InvalidParameter`] on malformed parameters.
+    pub fn build(data: Arc<Dataset>, params: &DbLshParams) -> Result<Self, DbLshError> {
+        params.validate()?;
+        if data.is_empty() {
+            return Err(DbLshError::EmptyDataset);
+        }
+        if data.len() > u32::MAX as usize {
+            return Err(DbLshError::CapacityExceeded {
+                limit: u32::MAX as usize,
+            });
+        }
         let hasher = GaussianHasher::new(data.dim(), params.k, params.l, params.seed);
         let ids: Vec<u32> = (0..data.len() as u32).collect();
 
         let mut trees: Vec<Option<RStarTree>> = Vec::new();
         trees.resize_with(params.l, || None);
         let cap = params.node_capacity;
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for (i, slot) in trees.iter_mut().enumerate() {
                 let hasher = &hasher;
                 let data = &data;
                 let ids = &ids;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let projected = hasher.project_all(i, data.flat());
                     *slot = Some(RStarTree::bulk_load_with_capacity(
                         hasher.k(),
@@ -46,15 +77,18 @@ impl DbLsh {
                     ));
                 });
             }
-        })
-        .expect("index construction worker panicked");
+        });
 
-        DbLsh {
+        let live = data.len();
+        Ok(DbLsh {
             params: params.clone(),
             hasher,
             trees: trees.into_iter().map(|t| t.expect("tree built")).collect(),
             data,
-        }
+            removed: vec![0; live.div_ceil(64)],
+            live,
+            update_proj: vec![0.0; params.k],
+        })
     }
 
     /// The parameters the index was built with.
@@ -62,7 +96,8 @@ impl DbLsh {
         &self.params
     }
 
-    /// The indexed dataset.
+    /// The backing dataset. Rows of removed points are still present
+    /// (ids are stable row indexes); see [`DbLsh::contains`].
     pub fn data(&self) -> &Dataset {
         &self.data
     }
@@ -72,15 +107,114 @@ impl DbLsh {
         &self.hasher
     }
 
-    /// Number of indexed points.
+    /// Number of live indexed points (insertions minus removals).
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.live
     }
 
-    /// True if the index holds no points (unreachable via `build`, which
-    /// rejects empty datasets, but part of the container contract).
+    /// True if the index holds no live points.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.live == 0
+    }
+
+    /// Whether `id` names a live point of this index.
+    pub fn contains(&self, id: u32) -> bool {
+        (id as usize) < self.data.len() && !self.is_removed(id)
+    }
+
+    #[inline]
+    pub(crate) fn is_removed(&self, id: u32) -> bool {
+        self.removed[(id / 64) as usize] & (1u64 << (id % 64)) != 0
+    }
+
+    /// Insert one point, projecting it into all `L` spaces and inserting
+    /// it into every tree (R\* insertion with forced reinsertion). Returns
+    /// the new point's id — its row index in [`DbLsh::data`].
+    ///
+    /// If other `Arc` handles to the dataset are alive, the first insert
+    /// after a build clones the backing matrix (copy-on-write); handles
+    /// held by callers keep observing the pre-insert dataset.
+    pub fn insert(&mut self, point: &[f32]) -> Result<u32, DbLshError> {
+        if point.len() != self.data.dim() {
+            return Err(DbLshError::DimensionMismatch {
+                expected: self.data.dim(),
+                got: point.len(),
+            });
+        }
+        if !point.iter().all(|v| v.is_finite()) {
+            return Err(DbLshError::NonFiniteCoordinate);
+        }
+        if self.data.len() >= u32::MAX as usize {
+            return Err(DbLshError::CapacityExceeded {
+                limit: u32::MAX as usize,
+            });
+        }
+        let id = self.data.len() as u32;
+        Arc::make_mut(&mut self.data).try_push(point)?;
+        let mut proj = std::mem::take(&mut self.update_proj);
+        for i in 0..self.params.l {
+            self.hasher.project_into(i, point, &mut proj);
+            self.trees[i].insert(id, &proj);
+        }
+        self.update_proj = proj;
+        if self.removed.len() * 64 <= id as usize {
+            self.removed.push(0);
+        }
+        self.live += 1;
+        Ok(id)
+    }
+
+    /// Remove the point `id` from all `L` trees, tombstoning its dataset
+    /// row. Returns `Ok(true)` if the point was live, `Ok(false)` if it
+    /// had already been removed, and `Err(UnknownId)` if `id` never named
+    /// a point of this index.
+    pub fn remove(&mut self, id: u32) -> Result<bool, DbLshError> {
+        if id as usize >= self.data.len() {
+            return Err(DbLshError::UnknownId { id });
+        }
+        if self.is_removed(id) {
+            return Ok(false);
+        }
+        let mut proj = std::mem::take(&mut self.update_proj);
+        for i in 0..self.params.l {
+            self.hasher
+                .project_into(i, self.data.point(id as usize), &mut proj);
+            let found = self.trees[i].remove(id, &proj);
+            debug_assert!(found, "live id {id} missing from tree {i}");
+        }
+        self.update_proj = proj;
+        self.removed[(id / 64) as usize] |= 1u64 << (id % 64);
+        self.live -= 1;
+        Ok(true)
+    }
+
+    /// Verify cross-structure invariants: every tree holds exactly the
+    /// live ids, at exactly the coordinates the hasher assigns them, and
+    /// satisfies its own R\* invariants. Panics with a description on
+    /// violation. Exposed for tests and debugging; cost is
+    /// `O(L * n * (K * d + log n))`.
+    pub fn check_invariants(&self) {
+        let live_ids: Vec<u32> = (0..self.data.len() as u32)
+            .filter(|&id| !self.is_removed(id))
+            .collect();
+        assert_eq!(live_ids.len(), self.live, "live counter out of sync");
+        let mut proj = vec![0.0f64; self.params.k];
+        for (i, tree) in self.trees.iter().enumerate() {
+            tree.check_invariants();
+            assert_eq!(tree.len(), self.live, "tree {i} size != live count");
+            let mut ids: Vec<u32> = tree.iter_points().map(|(id, _)| id).collect();
+            ids.sort_unstable();
+            assert_eq!(ids, live_ids, "tree {i} does not hold exactly the live ids");
+            for (id, coords) in tree.iter_points() {
+                self.hasher
+                    .project_into(i, self.data.point(id as usize), &mut proj);
+                assert_eq!(
+                    coords,
+                    &proj[..],
+                    "tree {i} stores id {id} at stale coordinates"
+                );
+            }
+        }
     }
 
     /// Estimate a radius-ladder start from the data: the median
@@ -146,7 +280,7 @@ mod tests {
     fn build_creates_l_trees_with_all_points() {
         let data = small_data();
         let params = DbLshParams::paper_defaults(data.len()).with_kl(6, 3);
-        let idx = DbLsh::build(Arc::clone(&data), &params);
+        let idx = DbLsh::build(Arc::clone(&data), &params).unwrap();
         assert_eq!(idx.trees.len(), 3);
         for t in &idx.trees {
             assert_eq!(t.len(), 1000);
@@ -161,8 +295,8 @@ mod tests {
     fn build_is_deterministic() {
         let data = small_data();
         let params = DbLshParams::paper_defaults(data.len()).with_kl(4, 2);
-        let a = DbLsh::build(Arc::clone(&data), &params);
-        let b = DbLsh::build(Arc::clone(&data), &params);
+        let a = DbLsh::build(Arc::clone(&data), &params).unwrap();
+        let b = DbLsh::build(Arc::clone(&data), &params).unwrap();
         // same projections => same tree MBRs
         for (ta, tb) in a.trees.iter().zip(&b.trees) {
             assert_eq!(ta.mbr(), tb.mbr());
@@ -179,9 +313,92 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty dataset")]
     fn empty_dataset_rejected() {
         let data = Arc::new(Dataset::empty(8));
-        DbLsh::build(data, &DbLshParams::paper_defaults(10));
+        let err = DbLsh::build(data, &DbLshParams::paper_defaults(10)).unwrap_err();
+        assert_eq!(err, DbLshError::EmptyDataset);
+    }
+
+    #[test]
+    fn invalid_params_rejected_not_panicking() {
+        let data = small_data();
+        let err = DbLsh::build(
+            Arc::clone(&data),
+            &DbLshParams::paper_defaults(1000).with_c(0.5),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            DbLshError::InvalidParameter { param: "c", .. }
+        ));
+    }
+
+    #[test]
+    fn insert_grows_every_tree() {
+        let data = small_data();
+        let params = DbLshParams::paper_defaults(data.len()).with_kl(5, 3);
+        let mut idx = DbLsh::build(Arc::clone(&data), &params).unwrap();
+        let p = vec![0.25f32; 16];
+        let id = idx.insert(&p).unwrap();
+        assert_eq!(id, 1000);
+        assert_eq!(idx.len(), 1001);
+        assert!(idx.contains(id));
+        for t in &idx.trees {
+            assert_eq!(t.len(), 1001);
+            t.check_invariants();
+        }
+        // the backing dataset gained the row
+        assert_eq!(idx.data().point(1000), &p[..]);
+    }
+
+    #[test]
+    fn insert_validates_input() {
+        let data = small_data();
+        let params = DbLshParams::paper_defaults(data.len()).with_kl(4, 2);
+        let mut idx = DbLsh::build(Arc::clone(&data), &params).unwrap();
+        assert_eq!(
+            idx.insert(&[1.0; 3]).unwrap_err(),
+            DbLshError::DimensionMismatch {
+                expected: 16,
+                got: 3
+            }
+        );
+        assert_eq!(
+            idx.insert(&[f32::NAN; 16]).unwrap_err(),
+            DbLshError::NonFiniteCoordinate
+        );
+        assert_eq!(idx.len(), 1000, "failed inserts must not change the index");
+    }
+
+    #[test]
+    fn remove_tombstones_and_shrinks_trees() {
+        let data = small_data();
+        let params = DbLshParams::paper_defaults(data.len()).with_kl(5, 3);
+        let mut idx = DbLsh::build(Arc::clone(&data), &params).unwrap();
+        assert!(idx.remove(17).unwrap());
+        assert!(!idx.remove(17).unwrap(), "second removal reports false");
+        assert_eq!(
+            idx.remove(5000).unwrap_err(),
+            DbLshError::UnknownId { id: 5000 }
+        );
+        assert_eq!(idx.len(), 999);
+        assert!(!idx.contains(17));
+        for t in &idx.trees {
+            assert_eq!(t.len(), 999);
+            t.check_invariants();
+        }
+    }
+
+    #[test]
+    fn insert_after_remove_uses_fresh_id() {
+        let data = small_data();
+        let params = DbLshParams::paper_defaults(data.len()).with_kl(4, 2);
+        let mut idx = DbLsh::build(Arc::clone(&data), &params).unwrap();
+        idx.remove(0).unwrap();
+        let id = idx.insert(&[1.5f32; 16]).unwrap();
+        assert_eq!(id, 1000, "tombstoned rows are never recycled");
+        assert!(idx.contains(id));
+        assert!(!idx.contains(0));
+        assert_eq!(idx.len(), 1000);
     }
 }

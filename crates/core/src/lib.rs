@@ -18,27 +18,49 @@
 //! query with probability at least `1/2 - 1/e` in `O(n^{rho*} d log n)`
 //! time (Theorems 1 and 2), where `rho* <= 1/c^alpha` (Lemma 3).
 //!
+//! Because buckets are materialized at query time over *dynamic* R*-trees,
+//! the index is updatable: [`DbLsh::insert`] and [`DbLsh::remove`] keep
+//! all `L` trees in sync, per-query tuning goes through [`SearchOptions`],
+//! and [`DbLsh::search_batch`] fans query rows across threads.
+//!
 //! ## Quick start
 //!
 //! ```
-//! use dblsh_core::{DbLsh, DbLshParams};
+//! use dblsh_core::DbLshBuilder;
 //! use dblsh_data::synthetic::{gaussian_mixture, MixtureConfig};
-//! use std::sync::Arc;
 //!
-//! let data = Arc::new(gaussian_mixture(&MixtureConfig {
+//! let data = gaussian_mixture(&MixtureConfig {
 //!     n: 2000, dim: 24, clusters: 20, ..Default::default()
-//! }));
-//! let params = DbLshParams::paper_defaults(data.len());
-//! let index = DbLsh::build(Arc::clone(&data), &params);
-//! let result = index.k_ann(data.point(0), 10);
-//! assert!(!result.neighbors.is_empty());
+//! });
+//! let mut index = DbLshBuilder::new()
+//!     .auto_r_min()           // data-driven radius-ladder start
+//!     .build(data)            // Result: bad input is Err, never a panic
+//!     .expect("valid configuration");
+//!
+//! let query = index.data().point(0).to_vec();
+//! let top10 = index.k_ann(&query, 10).expect("well-formed query");
+//! assert!(!top10.neighbors.is_empty());
+//!
+//! // The index is dynamic:
+//! let id = index.insert(&vec![1.0; 24]).unwrap();
+//! assert!(index.contains(id));
+//! index.remove(id).unwrap();
+//! assert!(!index.contains(id));
 //! ```
 
+mod builder;
 mod hasher;
 mod index;
 mod params;
 mod query;
 
+pub use builder::DbLshBuilder;
 pub use hasher::GaussianHasher;
 pub use index::DbLsh;
 pub use params::DbLshParams;
+pub use query::SearchOptions;
+
+// The workspace error type originates in `dblsh_data` (the crate that
+// defines `AnnIndex`); re-exported here so `dblsh_core` users need not
+// name that crate.
+pub use dblsh_data::DbLshError;

@@ -1,6 +1,12 @@
 //! DB-LSH parameters: the paper's practical defaults plus the
 //! theory-derived alternative of Lemma 1.
+//!
+//! `DbLshParams` is a plain bag of values: the `with_*` combinators store
+//! whatever they are given and [`DbLshParams::validate`] reports every
+//! constraint violation as a [`DbLshError`] — construction through
+//! [`crate::DbLshBuilder`] surfaces bad settings as `Err`, never panics.
 
+use dblsh_data::DbLshError;
 use dblsh_math::theory::derive_kl;
 
 /// Parameters of a [`crate::DbLsh`] index.
@@ -43,7 +49,7 @@ impl DbLshParams {
             r_min: 1.0,
             max_rounds: 64,
             node_capacity: 32,
-            seed: 0x5EED_D81,
+            seed: 0x05EE_DD81,
         }
     }
 
@@ -64,36 +70,34 @@ impl DbLshParams {
             r_min: 1.0,
             max_rounds: 64,
             node_capacity: 32,
-            seed: 0x5EED_D81,
+            seed: 0x05EE_DD81,
         }
     }
 
     /// Override the approximation ratio, keeping `w0 = 4 c^2` coupled.
+    /// Validated at build time: `c` must exceed 1.
     pub fn with_c(mut self, c: f64) -> Self {
-        assert!(c > 1.0, "approximation ratio must exceed 1");
         self.c = c;
         self.w0 = 4.0 * c * c;
         self
     }
 
-    /// Override the bucket width `w0`.
+    /// Override the bucket width `w0` (validated at build time).
     pub fn with_w0(mut self, w0: f64) -> Self {
-        assert!(w0 > 0.0, "bucket width must be positive");
         self.w0 = w0;
         self
     }
 
-    /// Override `K` and `L`.
+    /// Override `K` and `L` (validated at build time).
     pub fn with_kl(mut self, k: usize, l: usize) -> Self {
-        assert!(k >= 1 && l >= 1, "K and L must be at least 1");
         self.k = k;
         self.l = l;
         self
     }
 
-    /// Override the candidate-budget constant `t`.
+    /// Override the candidate-budget constant `t` (validated at build
+    /// time).
     pub fn with_t(mut self, t: usize) -> Self {
-        assert!(t >= 1, "t must be at least 1");
         self.t = t;
         self
     }
@@ -103,7 +107,6 @@ impl DbLshParams {
     /// few empty probe rounds (each `O(L log n)`), too large costs
     /// accuracy.
     pub fn with_r_min(mut self, r_min: f64) -> Self {
-        assert!(r_min > 0.0 && r_min.is_finite(), "invalid r_min");
         self.r_min = r_min;
         self
     }
@@ -124,16 +127,47 @@ impl DbLshParams {
         2 * self.t * self.l + k
     }
 
-    /// Validate internal consistency; called by the builder.
-    pub fn validate(&self) {
-        assert!(self.c > 1.0, "approximation ratio must exceed 1");
-        assert!(self.w0 > 0.0 && self.w0.is_finite(), "invalid w0");
-        assert!(self.k >= 1, "K must be at least 1");
-        assert!(self.l >= 1, "L must be at least 1");
-        assert!(self.t >= 1, "t must be at least 1");
-        assert!(self.r_min > 0.0 && self.r_min.is_finite(), "invalid r_min");
-        assert!(self.max_rounds >= 1, "max_rounds must be at least 1");
-        assert!(self.node_capacity >= 4, "node capacity must be at least 4");
+    /// Check every constraint; called by [`crate::DbLshBuilder::build`]
+    /// and [`crate::DbLsh::build`] so malformed settings surface as
+    /// `Err`, not panics.
+    pub fn validate(&self) -> Result<(), DbLshError> {
+        if !(self.c > 1.0 && self.c.is_finite()) {
+            return Err(DbLshError::invalid(
+                "c",
+                "approximation ratio must exceed 1",
+            ));
+        }
+        if !(self.w0 > 0.0 && self.w0.is_finite()) {
+            return Err(DbLshError::invalid(
+                "w0",
+                "bucket width must be positive and finite",
+            ));
+        }
+        if self.k < 1 {
+            return Err(DbLshError::invalid("k", "K must be at least 1"));
+        }
+        if self.l < 1 {
+            return Err(DbLshError::invalid("l", "L must be at least 1"));
+        }
+        if self.t < 1 {
+            return Err(DbLshError::invalid("t", "t must be at least 1"));
+        }
+        if !(self.r_min > 0.0 && self.r_min.is_finite()) {
+            return Err(DbLshError::invalid(
+                "r_min",
+                "radius ladder start must be positive and finite",
+            ));
+        }
+        if self.max_rounds < 1 {
+            return Err(DbLshError::invalid("max_rounds", "must be at least 1"));
+        }
+        if self.node_capacity < 4 {
+            return Err(DbLshError::invalid(
+                "node_capacity",
+                "R*-tree node capacity must be at least 4",
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -162,7 +196,7 @@ mod tests {
     #[test]
     fn theory_driven_is_consistent() {
         let p = DbLshParams::theory_driven(100_000, 32, 2.0, 4.0);
-        p.validate();
+        p.validate().unwrap();
         assert!(p.k >= 1);
         assert!(p.l >= 1);
     }
@@ -182,12 +216,44 @@ mod tests {
         assert_eq!(p.t, 16);
         assert_eq!(p.r_min, 0.5);
         assert_eq!(p.seed, 7);
-        p.validate();
+        p.validate().unwrap();
     }
 
     #[test]
-    #[should_panic(expected = "exceed 1")]
-    fn c_of_one_rejected() {
-        DbLshParams::paper_defaults(1000).with_c(1.0);
+    fn every_constraint_is_reported() {
+        let base = DbLshParams::paper_defaults(1000);
+        let bad: Vec<(DbLshParams, &str)> = vec![
+            (base.clone().with_c(1.0), "c"),
+            (base.clone().with_c(f64::NAN), "c"),
+            (base.clone().with_w0(0.0), "w0"),
+            (base.clone().with_w0(f64::INFINITY), "w0"),
+            (base.clone().with_kl(0, 5), "k"),
+            (base.clone().with_kl(4, 0), "l"),
+            (base.clone().with_t(0), "t"),
+            (base.clone().with_r_min(0.0), "r_min"),
+            (base.clone().with_r_min(f64::NAN), "r_min"),
+            (
+                DbLshParams {
+                    max_rounds: 0,
+                    ..base.clone()
+                },
+                "max_rounds",
+            ),
+            (
+                DbLshParams {
+                    node_capacity: 2,
+                    ..base.clone()
+                },
+                "node_capacity",
+            ),
+        ];
+        for (params, knob) in bad {
+            match params.validate() {
+                Err(DbLshError::InvalidParameter { param, .. }) => {
+                    assert_eq!(param, knob, "wrong knob blamed for {params:?}")
+                }
+                other => panic!("{knob}: expected InvalidParameter, got {other:?}"),
+            }
+        }
     }
 }

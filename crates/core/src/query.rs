@@ -1,6 +1,8 @@
 //! The query phase (paper Section IV-C): Algorithm 1 ((r,c)-NN via
 //! query-centric window queries), Algorithm 2 (c-ANN over the radius
-//! ladder), and the (c,k)-ANN adaptation.
+//! ladder), and the (c,k)-ANN adaptation — plus the serving-oriented
+//! entry points: per-query tuning through [`SearchOptions`] and
+//! multi-threaded [`DbLsh::search_batch`].
 //!
 //! Implementation notes kept faithful to the paper:
 //!
@@ -12,35 +14,125 @@
 //!   most once per query — re-encounters in other projections or larger
 //!   windows are deduplicated with a per-query bitset, which is how the
 //!   "access at most 2tL + 1 points" accounting of Section IV-A reads;
-//! * the ladder starts at `params.r_min` and multiplies by `c` each round
+//! * the ladder starts at `r_min` and multiplies by `c` each round
 //!   (`r = 1, c, c^2, ...` in the paper).
+//!
+//! Per-query heap churn is eliminated with a thread-local
+//! [`QueryScratch`]: the visited bitset and the `L x K` projection buffer
+//! are reused across queries on the same thread (the bitset is cleared
+//! sparsely — only words actually touched are zeroed).
+
+use std::cell::RefCell;
 
 use dblsh_data::dataset::sq_dist;
-use dblsh_data::{AnnIndex, Neighbor, QueryStats, SearchResult};
+use dblsh_data::error::check_query;
+use dblsh_data::{
+    push_candidate_unchecked, AnnIndex, Dataset, DbLshError, Neighbor, QueryStats, SearchResult,
+    Visited,
+};
 use dblsh_index::Rect;
 
 use crate::index::DbLsh;
 
-/// Per-query visited-set bitset (ids are dataset rows).
-struct Visited {
-    words: Vec<u64>,
+/// Per-query knobs, overriding the index-wide [`crate::DbLshParams`]
+/// defaults for a single [`DbLsh::search_with`] /
+/// [`DbLsh::search_batch_with`] call.
+#[derive(Debug, Clone, Default)]
+pub struct SearchOptions {
+    /// Override the candidate budget (`2tL + k` by default). Larger
+    /// budgets buy recall with verification time — per query, without
+    /// rebuilding the index.
+    pub budget: Option<usize>,
+    /// Override the radius-ladder start for this query (e.g. a known
+    /// scale for this tenant's data).
+    pub r_min: Option<f64>,
+    /// Override the ladder round cap.
+    pub max_rounds: Option<usize>,
+    /// When `true`, skip the per-query work counters: the returned
+    /// [`QueryStats`] is zeroed. The counters are cheap; this mainly
+    /// documents intent for latency-critical callers.
+    pub skip_stats: bool,
 }
 
-impl Visited {
-    fn new(n: usize) -> Self {
-        Visited {
-            words: vec![0; n.div_ceil(64)],
+impl SearchOptions {
+    /// Validate the overrides against the index parameters.
+    fn resolved(&self, index: &DbLsh, k: usize) -> Result<(usize, f64, usize), DbLshError> {
+        let budget = match self.budget {
+            Some(0) => return Err(DbLshError::invalid("budget", "must be at least 1")),
+            Some(b) => b,
+            None => index.params.kann_budget(k),
+        };
+        let r0 = match self.r_min {
+            Some(r) if !(r > 0.0 && r.is_finite()) => {
+                return Err(DbLshError::invalid(
+                    "r_min",
+                    "radius ladder start must be positive and finite",
+                ))
+            }
+            Some(r) => r,
+            None => index.params.r_min,
+        };
+        let max_rounds = match self.max_rounds {
+            Some(0) => return Err(DbLshError::invalid("max_rounds", "must be at least 1")),
+            Some(m) => m,
+            None => index.params.max_rounds,
+        };
+        Ok((budget, r0, max_rounds))
+    }
+}
+
+/// Reusable per-thread query state: the (sparse-clearing)
+/// [`Visited`] bitset and the `L x K` query projection buffer.
+struct QueryScratch {
+    visited: Visited,
+    /// Flat `[l][k]` projections of the current query.
+    qproj: Vec<f64>,
+}
+
+impl QueryScratch {
+    const fn new() -> Self {
+        QueryScratch {
+            visited: Visited::empty(),
+            qproj: Vec::new(),
         }
     }
+}
 
-    /// Mark `id`; returns true if it was not marked before.
-    #[inline]
-    fn insert(&mut self, id: u32) -> bool {
-        let w = (id / 64) as usize;
-        let bit = 1u64 << (id % 64);
-        let fresh = self.words[w] & bit == 0;
-        self.words[w] |= bit;
-        fresh
+thread_local! {
+    static SCRATCH: RefCell<QueryScratch> = const { RefCell::new(QueryScratch::new()) };
+}
+
+/// Borrow the thread's scratch, prepared for a query against `index`.
+fn with_scratch<T>(index: &DbLsh, q: &[f32], f: impl FnOnce(&mut QueryScratch) -> T) -> T {
+    SCRATCH.with(|cell| {
+        let mut scratch = match cell.try_borrow_mut() {
+            Ok(s) => s,
+            // A Drop impl re-entering the query path would hit this; fall
+            // back to a fresh scratch rather than panicking.
+            Err(_) => return f(&mut fresh_scratch(index, q)),
+        };
+        prepare_scratch(&mut scratch, index, q);
+        f(&mut scratch)
+    })
+}
+
+fn fresh_scratch(index: &DbLsh, q: &[f32]) -> QueryScratch {
+    let mut s = QueryScratch {
+        visited: Visited::empty(),
+        qproj: Vec::new(),
+    };
+    prepare_scratch(&mut s, index, q);
+    s
+}
+
+fn prepare_scratch(scratch: &mut QueryScratch, index: &DbLsh, q: &[f32]) {
+    scratch.visited.reset(index.data.len());
+    let (l, k) = (index.params.l, index.params.k);
+    scratch.qproj.resize(l * k, 0.0);
+    for i in 0..l {
+        index
+            .hasher
+            .project_into(i, q, &mut scratch.qproj[i * k..(i + 1) * k]);
     }
 }
 
@@ -49,69 +141,95 @@ impl DbLsh {
     /// of `q` (or the point that exhausted the budget — by event E2 it is
     /// within `c*r` with constant probability), or `None` for "no point
     /// within r" (case 2 of Definition 2).
-    pub fn r_c_nn(&self, q: &[f32], r: f64) -> (Option<Neighbor>, QueryStats) {
-        assert_eq!(q.len(), self.data.dim(), "query dimensionality mismatch");
-        let mut stats = QueryStats::default();
-        let mut visited = Visited::new(self.data.len());
-        let budget = self.params.rcnn_budget();
-        let qproj: Vec<Vec<f64>> = (0..self.params.l)
-            .map(|i| self.hasher.project(i, q))
-            .collect();
-        let cr = self.params.c * r;
-        stats.rounds = 1;
-        for (i, tree) in self.trees.iter().enumerate() {
-            let window = Rect::centered_cube(&qproj[i], self.params.w0 * r);
-            for (id, _) in tree.window(&window) {
-                stats.index_probes += 1;
-                if !visited.insert(id) {
-                    continue;
-                }
-                stats.candidates += 1;
-                let d = (sq_dist(q, self.data.point(id as usize)) as f64).sqrt();
-                if stats.candidates >= budget || d <= cr {
-                    return (
-                        Some(Neighbor {
-                            id,
-                            dist: d as f32,
-                        }),
-                        stats,
-                    );
+    pub fn r_c_nn(&self, q: &[f32], r: f64) -> Result<(Option<Neighbor>, QueryStats), DbLshError> {
+        check_query(self.data.dim(), q, 1)?;
+        if !(r > 0.0 && r.is_finite()) {
+            return Err(DbLshError::invalid(
+                "r",
+                "probe radius must be positive and finite",
+            ));
+        }
+        Ok(with_scratch(self, q, |scratch| {
+            let mut stats = QueryStats::default();
+            let budget = self.params.rcnn_budget();
+            let k = self.params.k;
+            let cr = self.params.c * r;
+            stats.rounds = 1;
+            for (i, tree) in self.trees.iter().enumerate() {
+                let qp = &scratch.qproj[i * k..(i + 1) * k];
+                let window = Rect::centered_cube(qp, self.params.w0 * r);
+                for (id, _) in tree.window(&window) {
+                    stats.index_probes += 1;
+                    if !scratch.visited.insert(id) {
+                        continue;
+                    }
+                    stats.candidates += 1;
+                    let d = (sq_dist(q, self.data.point(id as usize)) as f64).sqrt();
+                    if stats.candidates >= budget || d <= cr {
+                        return (Some(Neighbor { id, dist: d as f32 }), stats);
+                    }
                 }
             }
-        }
-        (None, stats)
+            (None, stats)
+        }))
     }
 
     /// Algorithm 2: c-ANN by (r,c)-NN probes on the ladder
     /// `r = r_min, c r_min, c^2 r_min, ...`. Equivalent to
     /// `k_ann(q, 1)` but returning a single point.
-    pub fn c_ann(&self, q: &[f32]) -> (Option<Neighbor>, QueryStats) {
-        let res = self.k_ann(q, 1);
-        (res.neighbors.first().copied(), res.stats)
+    pub fn c_ann(&self, q: &[f32]) -> Result<(Option<Neighbor>, QueryStats), DbLshError> {
+        let res = self.k_ann(q, 1)?;
+        Ok((res.neighbors.first().copied(), res.stats))
+    }
+
+    /// (c,k)-ANN (Section IV-C) with the index-wide defaults; see
+    /// [`DbLsh::search_with`] for per-query tuning.
+    pub fn k_ann(&self, q: &[f32], k: usize) -> Result<SearchResult, DbLshError> {
+        self.search_with(q, k, &SearchOptions::default())
     }
 
     /// (c,k)-ANN (Section IV-C): the two termination conditions become
     /// "`2tL + k` points verified" and "the current k-th NN is within
-    /// `c*r`".
+    /// `c*r`". `opts` overrides the budget, ladder start and round cap
+    /// for this query only.
     ///
     /// Verified points are shared across ladder rounds (a window at radius
     /// `c*r` is a superset of the window at `r`), so each round only pays
     /// for newly encountered candidates.
-    pub fn k_ann(&self, q: &[f32], k: usize) -> SearchResult {
-        assert_eq!(q.len(), self.data.dim(), "query dimensionality mismatch");
-        assert!(k >= 1, "k must be at least 1");
-        let n = self.data.len();
-        let mut stats = QueryStats::default();
-        let mut visited = Visited::new(n);
-        let mut top: Vec<Neighbor> = Vec::with_capacity(k + 1);
-        let budget = self.params.kann_budget(k);
-        let qproj: Vec<Vec<f64>> = (0..self.params.l)
-            .map(|i| self.hasher.project(i, q))
-            .collect();
+    pub fn search_with(
+        &self,
+        q: &[f32],
+        k: usize,
+        opts: &SearchOptions,
+    ) -> Result<SearchResult, DbLshError> {
+        check_query(self.data.dim(), q, k)?;
+        let (budget, r0, max_rounds) = opts.resolved(self, k)?;
+        let mut res = with_scratch(self, q, |scratch| {
+            self.ladder_core(q, k, budget, r0, max_rounds, scratch)
+        });
+        if opts.skip_stats {
+            res.stats = QueryStats::default();
+        }
+        Ok(res)
+    }
 
-        let mut r = self.params.r_min;
+    fn ladder_core(
+        &self,
+        q: &[f32],
+        k: usize,
+        budget: usize,
+        r0: f64,
+        max_rounds: usize,
+        scratch: &mut QueryScratch,
+    ) -> SearchResult {
+        let kdim = self.params.k;
+        let live = self.len();
+        let mut stats = QueryStats::default();
+        let mut top: Vec<Neighbor> = Vec::with_capacity(k + 1);
+
+        let mut r = r0;
         let mut verified_total = 0usize;
-        'ladder: for _round in 0..self.params.max_rounds {
+        'ladder: for _round in 0..max_rounds {
             stats.rounds += 1;
             let cr = self.params.c * r;
             // Previously verified points may already satisfy the current
@@ -120,26 +238,26 @@ impl DbLsh {
                 break 'ladder;
             }
             for (i, tree) in self.trees.iter().enumerate() {
-                let window = Rect::centered_cube(&qproj[i], self.params.w0 * r);
+                let qp = &scratch.qproj[i * kdim..(i + 1) * kdim];
+                let window = Rect::centered_cube(qp, self.params.w0 * r);
                 for (id, _) in tree.window(&window) {
                     stats.index_probes += 1;
-                    if !visited.insert(id) {
+                    if !scratch.visited.insert(id) {
                         continue;
                     }
                     verified_total += 1;
                     stats.candidates += 1;
                     let d = (sq_dist(q, self.data.point(id as usize)) as f64).sqrt();
-                    insert_topk(&mut top, Neighbor { id, dist: d as f32 }, k);
+                    push_candidate_unchecked(&mut top, Neighbor { id, dist: d as f32 }, k);
                     // Line 6 of Algorithm 1, (c,k) variant:
-                    if verified_total >= budget
-                        || (top.len() == k && top[k - 1].dist as f64 <= cr)
+                    if verified_total >= budget || (top.len() == k && top[k - 1].dist as f64 <= cr)
                     {
                         break 'ladder;
                     }
                 }
             }
-            if verified_total >= n {
-                break; // every point verified; nothing left to find
+            if verified_total >= live {
+                break; // every live point verified; nothing left to find
             }
             r *= self.params.c;
         }
@@ -148,6 +266,64 @@ impl DbLsh {
             neighbors: top,
             stats,
         }
+    }
+
+    /// Answer one (c,k)-ANN query per row of `queries`, fanning the rows
+    /// across all available cores. Results are in query order.
+    pub fn search_batch(
+        &self,
+        queries: &Dataset,
+        k: usize,
+    ) -> Result<Vec<SearchResult>, DbLshError> {
+        self.search_batch_with(queries, k, &SearchOptions::default())
+    }
+
+    /// [`DbLsh::search_batch`] with per-batch [`SearchOptions`].
+    pub fn search_batch_with(
+        &self,
+        queries: &Dataset,
+        k: usize,
+        opts: &SearchOptions,
+    ) -> Result<Vec<SearchResult>, DbLshError> {
+        if queries.dim() != self.data.dim() {
+            return Err(DbLshError::DimensionMismatch {
+                expected: self.data.dim(),
+                got: queries.dim(),
+            });
+        }
+        if k == 0 {
+            return Err(DbLshError::invalid("k", "must be at least 1"));
+        }
+        let (budget, r0, max_rounds) = opts.resolved(self, k)?;
+        let nq = queries.len();
+        if nq == 0 {
+            return Ok(Vec::new());
+        }
+        let threads = std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(1)
+            .min(nq);
+        let chunk = nq.div_ceil(threads);
+        let mut results: Vec<SearchResult> = vec![SearchResult::default(); nq];
+        std::thread::scope(|scope| {
+            for (tid, out) in results.chunks_mut(chunk).enumerate() {
+                let start = tid * chunk;
+                scope.spawn(move || {
+                    for (offset, slot) in out.iter_mut().enumerate() {
+                        let q = queries.point(start + offset);
+                        *slot = with_scratch(self, q, |scratch| {
+                            self.ladder_core(q, k, budget, r0, max_rounds, scratch)
+                        });
+                    }
+                });
+            }
+        });
+        if opts.skip_stats {
+            for r in &mut results {
+                r.stats = QueryStats::default();
+            }
+        }
+        Ok(results)
     }
 
     /// Total heap footprint of the `L` R*-trees.
@@ -172,77 +348,68 @@ impl DbLsh {
     /// Compared to [`DbLsh::k_ann`], this trades the ladder's windowing
     /// overhead for heap maintenance: it shines when the NN radius is
     /// unknown or wildly query-dependent (no `r_min` tuning at all).
-    pub fn k_ann_incremental(&self, q: &[f32], k: usize) -> SearchResult {
-        assert_eq!(q.len(), self.data.dim(), "query dimensionality mismatch");
-        assert!(k >= 1, "k must be at least 1");
-        let n = self.data.len();
-        let mut stats = QueryStats::default();
-        stats.rounds = 1;
-        let mut visited = Visited::new(n);
-        let mut top: Vec<Neighbor> = Vec::with_capacity(k + 1);
-        let budget = self.params.kann_budget(k);
-        let stop_scale = (self.params.k as f64).sqrt() * self.params.c;
+    pub fn k_ann_incremental(&self, q: &[f32], k: usize) -> Result<SearchResult, DbLshError> {
+        check_query(self.data.dim(), q, k)?;
+        let live = self.len();
+        Ok(with_scratch(self, q, |scratch| {
+            let kdim = self.params.k;
+            let mut stats = QueryStats {
+                rounds: 1,
+                ..Default::default()
+            };
+            let mut top: Vec<Neighbor> = Vec::with_capacity(k + 1);
+            let budget = self.params.kann_budget(k);
+            let stop_scale = (self.params.k as f64).sqrt() * self.params.c;
 
-        let qproj: Vec<Vec<f64>> = (0..self.params.l)
-            .map(|i| self.hasher.project(i, q))
-            .collect();
-        let mut streams: Vec<_> = self
-            .trees
-            .iter()
-            .zip(&qproj)
-            .map(|(t, qp)| t.nearest_iter(qp).peekable())
-            .collect();
+            let mut streams: Vec<_> = self
+                .trees
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    t.nearest_iter(&scratch.qproj[i * kdim..(i + 1) * kdim])
+                        .peekable()
+                })
+                .collect();
 
-        let mut verified = 0usize;
-        loop {
-            // pick the stream whose head has the smallest projected dist
-            let mut best: Option<(f64, usize)> = None;
-            for (i, s) in streams.iter_mut().enumerate() {
-                if let Some(&(_, d2)) = s.peek() {
-                    if best.is_none_or(|(b, _)| d2 < b) {
-                        best = Some((d2, i));
+            let mut verified = 0usize;
+            loop {
+                // pick the stream whose head has the smallest projected dist
+                let mut best: Option<(f64, usize)> = None;
+                for (i, s) in streams.iter_mut().enumerate() {
+                    if let Some(&(_, d2)) = s.peek() {
+                        if best.is_none_or(|(b, _)| d2 < b) {
+                            best = Some((d2, i));
+                        }
                     }
                 }
-            }
-            let Some((proj_d2, i)) = best else { break };
-            // early termination on the projected-distance estimator
-            if top.len() == k {
-                let dk = top[k - 1].dist as f64;
-                if proj_d2.sqrt() > stop_scale * dk {
+                let Some((proj_d2, i)) = best else { break };
+                // early termination on the projected-distance estimator
+                if top.len() == k {
+                    let dk = top[k - 1].dist as f64;
+                    if proj_d2.sqrt() > stop_scale * dk {
+                        break;
+                    }
+                }
+                let (id, _) = streams[i].next().expect("peeked");
+                stats.index_probes += 1;
+                if !scratch.visited.insert(id) {
+                    continue;
+                }
+                verified += 1;
+                stats.candidates += 1;
+                let d = (sq_dist(q, self.data.point(id as usize)) as f64).sqrt();
+                push_candidate_unchecked(&mut top, Neighbor { id, dist: d as f32 }, k);
+                if verified >= budget || verified >= live {
                     break;
                 }
             }
-            let (id, _) = streams[i].next().expect("peeked");
-            stats.index_probes += 1;
-            if !visited.insert(id) {
-                continue;
-            }
-            verified += 1;
-            stats.candidates += 1;
-            let d = (sq_dist(q, self.data.point(id as usize)) as f64).sqrt();
-            insert_topk(&mut top, Neighbor { id, dist: d as f32 }, k);
-            if verified >= budget || verified >= n {
-                break;
-            }
-        }
 
-        SearchResult {
-            neighbors: top,
-            stats,
-        }
+            SearchResult {
+                neighbors: top,
+                stats,
+            }
+        }))
     }
-}
-
-/// Insert into a size-`k` ascending top list (ids are already unique —
-/// the visited bitset guarantees each id is verified once).
-#[inline]
-fn insert_topk(top: &mut Vec<Neighbor>, cand: Neighbor, k: usize) {
-    let pos = top.partition_point(|n| n.dist <= cand.dist);
-    if pos >= k {
-        return;
-    }
-    top.insert(pos, cand);
-    top.truncate(k);
 }
 
 impl AnnIndex for DbLsh {
@@ -250,8 +417,12 @@ impl AnnIndex for DbLsh {
         "DB-LSH"
     }
 
-    fn search(&self, query: &[f32], k: usize) -> SearchResult {
+    fn search(&self, query: &[f32], k: usize) -> Result<SearchResult, DbLshError> {
         self.k_ann(query, k)
+    }
+
+    fn search_batch(&self, queries: &Dataset, k: usize) -> Result<Vec<SearchResult>, DbLshError> {
+        DbLsh::search_batch(self, queries, k)
     }
 
     fn index_size_bytes(&self) -> usize {
@@ -284,7 +455,7 @@ mod tests {
         let params = DbLshParams::paper_defaults(data.len())
             .with_kl(8, 4)
             .with_r_min(0.5);
-        DbLsh::build(Arc::clone(data), &params)
+        DbLsh::build(Arc::clone(data), &params).unwrap()
     }
 
     #[test]
@@ -297,7 +468,7 @@ mod tests {
         for qi in 0..queries.len() {
             let q = queries.point(qi);
             let truth = exact_knn_single(&data, q, 10);
-            let got = idx.k_ann(q, 10);
+            let got = idx.k_ann(q, 10).unwrap();
             recalls.push(metrics::recall(&got.neighbors, &truth));
         }
         let mean = metrics::mean(&recalls);
@@ -317,8 +488,8 @@ mod tests {
         for qi in 0..queries.len() {
             let q = queries.point(qi);
             let truth = exact_knn_single(&data, q, 1)[0];
-            if let (Some(got), _) = idx.c_ann(q) {
-                if got.dist as f64 <= c2 as f64 * truth.dist as f64 + 1e-6 {
+            if let (Some(got), _) = idx.c_ann(q).unwrap() {
+                if got.dist as f64 <= c2 * truth.dist as f64 + 1e-6 {
                     ok += 1;
                 }
             }
@@ -331,7 +502,7 @@ mod tests {
     fn results_are_sorted_and_unique() {
         let data = Arc::new(clustered(2000, 16, 9));
         let idx = build(&data);
-        let res = idx.k_ann(data.point(17), 25);
+        let res = idx.k_ann(data.point(17), 25).unwrap();
         assert!(res.neighbors.windows(2).all(|w| w[0].dist <= w[1].dist));
         let mut ids = res.ids();
         ids.sort_unstable();
@@ -345,8 +516,8 @@ mod tests {
         let params = DbLshParams::paper_defaults(data.len())
             .with_kl(8, 4)
             .with_t(4); // tiny budget: 2*4*4 + k
-        let idx = DbLsh::build(Arc::clone(&data), &params);
-        let res = idx.k_ann(data.point(0), 5);
+        let idx = DbLsh::build(Arc::clone(&data), &params).unwrap();
+        let res = idx.k_ann(data.point(0), 5).unwrap();
         assert!(
             res.stats.candidates <= params.kann_budget(5),
             "verified {} candidates, budget {}",
@@ -356,12 +527,160 @@ mod tests {
     }
 
     #[test]
+    fn search_options_override_budget_and_ladder() {
+        let data = Arc::new(clustered(3000, 16, 21));
+        let idx = build(&data);
+        let q = data.point(7);
+        // budget of 1: exactly one candidate verified
+        let tight = idx
+            .search_with(
+                q,
+                5,
+                &SearchOptions {
+                    budget: Some(1),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(tight.stats.candidates, 1);
+        // one round only
+        let one_round = idx
+            .search_with(
+                q,
+                5,
+                &SearchOptions {
+                    max_rounds: Some(1),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(one_round.stats.rounds, 1);
+        // larger per-query budget may only help recall
+        let wide = idx
+            .search_with(
+                q,
+                5,
+                &SearchOptions {
+                    budget: Some(data.len()),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert!(wide.neighbors.len() == 5);
+        // stats can be suppressed
+        let quiet = idx
+            .search_with(
+                q,
+                5,
+                &SearchOptions {
+                    skip_stats: true,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(quiet.stats, QueryStats::default());
+        assert!(!quiet.neighbors.is_empty());
+    }
+
+    #[test]
+    fn search_options_validate() {
+        let data = Arc::new(clustered(500, 8, 1));
+        let idx = build(&data);
+        let q = data.point(0);
+        for opts in [
+            SearchOptions {
+                budget: Some(0),
+                ..Default::default()
+            },
+            SearchOptions {
+                r_min: Some(0.0),
+                ..Default::default()
+            },
+            SearchOptions {
+                r_min: Some(f64::NAN),
+                ..Default::default()
+            },
+            SearchOptions {
+                max_rounds: Some(0),
+                ..Default::default()
+            },
+        ] {
+            assert!(
+                matches!(
+                    idx.search_with(q, 3, &opts),
+                    Err(DbLshError::InvalidParameter { .. })
+                ),
+                "{opts:?} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_queries_error_not_panic() {
+        let data = Arc::new(clustered(500, 8, 4));
+        let idx = build(&data);
+        assert!(matches!(
+            idx.k_ann(&[1.0; 3], 5),
+            Err(DbLshError::DimensionMismatch {
+                expected: 8,
+                got: 3
+            })
+        ));
+        assert!(matches!(
+            idx.k_ann(&[f32::NAN; 8], 5),
+            Err(DbLshError::NonFiniteCoordinate)
+        ));
+        assert!(matches!(
+            idx.k_ann(&[0.0; 8], 0),
+            Err(DbLshError::InvalidParameter { param: "k", .. })
+        ));
+        assert!(matches!(
+            idx.r_c_nn(&[0.0; 8], -1.0),
+            Err(DbLshError::InvalidParameter { param: "r", .. })
+        ));
+        assert!(matches!(
+            idx.k_ann_incremental(&[1.0; 2], 5),
+            Err(DbLshError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn search_batch_matches_sequential() {
+        let mut data = clustered(3000, 16, 14);
+        let queries = split_queries(&mut data, 40, 6);
+        let data = Arc::new(data);
+        let idx = build(&data);
+        let batch = idx.search_batch(&queries, 10).unwrap();
+        assert_eq!(batch.len(), queries.len());
+        for (qi, res) in batch.iter().enumerate() {
+            let solo = idx.k_ann(queries.point(qi), 10).unwrap();
+            assert_eq!(res.ids(), solo.ids(), "query {qi} differs in batch mode");
+            assert_eq!(res.stats, solo.stats);
+        }
+    }
+
+    #[test]
+    fn search_batch_validates_and_handles_empty() {
+        let data = Arc::new(clustered(500, 8, 3));
+        let idx = build(&data);
+        assert!(idx.search_batch(&Dataset::empty(8), 5).unwrap().is_empty());
+        assert!(matches!(
+            idx.search_batch(&Dataset::empty(4), 5),
+            Err(DbLshError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            idx.search_batch(&Dataset::empty(8), 0),
+            Err(DbLshError::InvalidParameter { param: "k", .. })
+        ));
+    }
+
+    #[test]
     fn query_on_indexed_point_meets_guarantee() {
         // At r* = 0 the ladder guarantee degrades to c^2 * r_min; on this
         // workload the point itself is found in practice.
         let data = Arc::new(clustered(1500, 12, 4));
         let idx = build(&data);
-        let res = idx.k_ann(data.point(42), 1);
+        let res = idx.k_ann(data.point(42), 1).unwrap();
         let bound = idx.params().c * idx.params().c * idx.params().r_min;
         assert!((res.neighbors[0].dist as f64) <= bound);
     }
@@ -372,13 +691,13 @@ mod tests {
         let idx = build(&data);
         let q = data.point(10);
         // huge radius: must return something within c*r
-        let (hit, stats) = idx.r_c_nn(q, 1000.0);
+        let (hit, stats) = idx.r_c_nn(q, 1000.0).unwrap();
         let hit = hit.expect("radius covers everything");
         assert!(hit.dist as f64 <= idx.params().c * 1000.0);
         assert_eq!(stats.rounds, 1);
         // microscopic radius on a far-away query: typically nothing
         let far = vec![1e4f32; 12];
-        let (none, _) = idx.r_c_nn(&far, 1e-9);
+        let (none, _) = idx.r_c_nn(&far, 1e-9).unwrap();
         assert!(none.is_none());
     }
 
@@ -386,8 +705,8 @@ mod tests {
     fn k_larger_than_dataset_is_safe() {
         let data = Arc::new(clustered(50, 8, 3));
         let params = DbLshParams::paper_defaults(50).with_kl(4, 2);
-        let idx = DbLsh::build(Arc::clone(&data), &params);
-        let res = idx.k_ann(data.point(0), 500);
+        let idx = DbLsh::build(Arc::clone(&data), &params).unwrap();
+        let res = idx.k_ann(data.point(0), 500).unwrap();
         assert!(res.neighbors.len() <= 50);
         assert!(!res.neighbors.is_empty());
     }
@@ -396,7 +715,7 @@ mod tests {
     fn stats_are_populated() {
         let data = Arc::new(clustered(2000, 16, 1));
         let idx = build(&data);
-        let res = idx.k_ann(data.point(3), 10);
+        let res = idx.k_ann(data.point(3), 10).unwrap();
         assert!(res.stats.rounds >= 1);
         assert!(res.stats.candidates >= res.neighbors.len());
         assert!(res.stats.index_probes >= res.stats.candidates);
@@ -414,23 +733,29 @@ mod tests {
         for qi in 0..queries.len() {
             let q = queries.point(qi);
             let truth = exact_knn_single(&data, q, 10);
-            ladder.push(metrics::recall(&idx.k_ann(q, 10).neighbors, &truth));
+            ladder.push(metrics::recall(
+                &idx.k_ann(q, 10).unwrap().neighbors,
+                &truth,
+            ));
             incremental.push(metrics::recall(
-                &idx.k_ann_incremental(q, 10).neighbors,
+                &idx.k_ann_incremental(q, 10).unwrap().neighbors,
                 &truth,
             ));
         }
         let li = metrics::mean(&ladder);
         let inc = metrics::mean(&incremental);
         assert!(inc > 0.8, "incremental recall too low: {inc}");
-        assert!(inc + 0.15 > li, "incremental ({inc}) far below ladder ({li})");
+        assert!(
+            inc + 0.15 > li,
+            "incremental ({inc}) far below ladder ({li})"
+        );
     }
 
     #[test]
     fn incremental_mode_contracts() {
         let data = Arc::new(clustered(1000, 12, 3));
         let idx = build(&data);
-        let res = idx.k_ann_incremental(data.point(5), 8);
+        let res = idx.k_ann_incremental(data.point(5), 8).unwrap();
         assert!(res.neighbors.len() <= 8);
         assert!(res.neighbors.windows(2).all(|w| w[0].dist <= w[1].dist));
         assert!(res.stats.candidates <= idx.params().kann_budget(8));
@@ -449,9 +774,41 @@ mod tests {
         }
         let data = Arc::new(Dataset::from_rows(&rows));
         let params = DbLshParams::paper_defaults(150).with_kl(4, 2);
-        let idx = DbLsh::build(Arc::clone(&data), &params);
-        let res = idx.k_ann(&vec![1.0f32; 8], 5);
+        let idx = DbLsh::build(Arc::clone(&data), &params).unwrap();
+        let res = idx.k_ann(&[1.0f32; 8], 5).unwrap();
         assert_eq!(res.neighbors.len(), 5);
         assert!(res.neighbors.iter().all(|n| n.dist == 0.0));
+    }
+
+    #[test]
+    fn removed_points_never_returned() {
+        let data = Arc::new(clustered(800, 12, 19));
+        let mut idx = build(&data);
+        let q = data.point(5).to_vec();
+        // remove the query point and its current neighbors
+        let before = idx.k_ann(&q, 5).unwrap();
+        for id in before.ids() {
+            idx.remove(id).unwrap();
+        }
+        let after = idx.k_ann(&q, 5).unwrap();
+        for n in &after.neighbors {
+            assert!(
+                !before.ids().contains(&n.id),
+                "removed id {} resurfaced",
+                n.id
+            );
+            assert!(idx.contains(n.id));
+        }
+    }
+
+    #[test]
+    fn inserted_points_are_findable() {
+        let data = Arc::new(clustered(800, 12, 23));
+        let mut idx = build(&data);
+        let novel = vec![500.0f32; 12]; // far from all mass
+        let id = idx.insert(&novel).unwrap();
+        let res = idx.k_ann(&novel, 1).unwrap();
+        assert_eq!(res.neighbors[0].id, id);
+        assert_eq!(res.neighbors[0].dist, 0.0);
     }
 }

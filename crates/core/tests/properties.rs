@@ -8,10 +8,7 @@ use dblsh_data::Dataset;
 use proptest::prelude::*;
 
 fn dataset(n: usize, dim: usize) -> impl Strategy<Value = Vec<Vec<f32>>> {
-    prop::collection::vec(
-        prop::collection::vec(-100.0f32..100.0, dim..=dim),
-        2..n,
-    )
+    prop::collection::vec(prop::collection::vec(-100.0f32..100.0, dim..=dim), 2..n)
 }
 
 proptest! {
@@ -27,9 +24,9 @@ proptest! {
         let params = DbLshParams::paper_defaults(data.len())
             .with_kl(4, 2)
             .with_r_min(0.5);
-        let index = DbLsh::build(Arc::clone(&data), &params);
+        let index = DbLsh::build(Arc::clone(&data), &params).unwrap();
         let q = data.point(qi % data.len()).to_vec();
-        let res = index.k_ann(&q, k);
+        let res = index.k_ann(&q, k).unwrap();
 
         prop_assert!(res.neighbors.len() <= k);
         prop_assert!(res.neighbors.windows(2).all(|w| w[0].dist <= w[1].dist));
@@ -56,9 +53,9 @@ proptest! {
         let data = Arc::new(Dataset::from_rows(&rows));
         let params = DbLshParams::paper_defaults(data.len())
             .with_kl(4, 2);
-        let index = DbLsh::build(Arc::clone(&data), &params);
+        let index = DbLsh::build(Arc::clone(&data), &params).unwrap();
         let q = data.point(0).to_vec();
-        let (hit, stats) = index.r_c_nn(&q, r);
+        let (hit, stats) = index.r_c_nn(&q, r).unwrap();
         prop_assert_eq!(stats.rounds, 1);
         if let Some(h) = hit {
             // any returned point must be a real dataset point at its real
@@ -82,10 +79,10 @@ proptest! {
         let small = DbLshParams::paper_defaults(data.len())
             .with_kl(4, 2).with_t(2).with_r_min(0.5);
         let large = small.clone().with_t(512);
-        let idx_small = DbLsh::build(Arc::clone(&data), &small);
-        let idx_large = DbLsh::build(Arc::clone(&data), &large);
-        let rs = idx_small.k_ann(&q, k);
-        let rl = idx_large.k_ann(&q, k);
+        let idx_small = DbLsh::build(Arc::clone(&data), &small).unwrap();
+        let idx_large = DbLsh::build(Arc::clone(&data), &large).unwrap();
+        let rs = idx_small.k_ann(&q, k).unwrap();
+        let rl = idx_large.k_ann(&q, k).unwrap();
         // the large-budget kth distance can only be at least as good when
         // both return k results (same projections, same ladder)
         if rs.neighbors.len() == k && rl.neighbors.len() == k {

@@ -1,6 +1,15 @@
 //! The common interface every ANN algorithm in this workspace implements,
 //! so the benchmark harness, examples and integration tests can drive
 //! DB-LSH and all baselines uniformly.
+//!
+//! [`AnnIndex::search`] is *fallible*: malformed queries (wrong
+//! dimensionality, non-finite coordinates, `k = 0`) are reported as
+//! [`DbLshError`] values instead of panics, so indexes can sit behind a
+//! serving boundary. Implementations validate with
+//! [`crate::error::check_query`] before touching their structures.
+
+use crate::error::DbLshError;
+use crate::Dataset;
 
 /// One returned neighbor.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -47,22 +56,112 @@ impl SearchResult {
 ///
 /// Implementations must return neighbors in ascending distance order and
 /// must never return more than `k` results; returning fewer is allowed
-/// (an LSH miss) and is scored as such by the metrics.
-pub trait AnnIndex {
+/// (an LSH miss) and is scored as such by the metrics. Malformed queries
+/// are reported as `Err`, never panics.
+pub trait AnnIndex: Sync {
     /// Human-readable algorithm name as used in the paper's tables.
     fn name(&self) -> &'static str;
 
     /// Answer a (c,k)-ANN query.
-    fn search(&self, query: &[f32], k: usize) -> SearchResult;
+    fn search(&self, query: &[f32], k: usize) -> Result<SearchResult, DbLshError>;
+
+    /// Answer one (c,k)-ANN query per row of `queries`. The default
+    /// implementation is a sequential loop delegating per-row validation
+    /// to [`AnnIndex::search`]; indexes with cheaper batched plans
+    /// (DB-LSH fans the rows across threads) override it, and may
+    /// additionally reject a whole batch up front (e.g. a dimensionality
+    /// mismatch even when `queries` is empty).
+    fn search_batch(&self, queries: &Dataset, k: usize) -> Result<Vec<SearchResult>, DbLshError> {
+        if k == 0 {
+            return Err(DbLshError::invalid("k", "must be at least 1"));
+        }
+        (0..queries.len())
+            .map(|qi| self.search(queries.point(qi), k))
+            .collect()
+    }
 
     /// Bytes of index structure, excluding the dataset itself (the paper
     /// compares index sizes as `n x #hash_functions`).
     fn index_size_bytes(&self) -> usize;
 }
 
+/// Per-query visited-id bitset over dataset rows — the deduplication
+/// stage every verification loop shares (DB-LSH's window scans and the
+/// baselines' `Verifier`).
+///
+/// Clearing is *sparse*: [`Visited::reset`] zeroes only the words marked
+/// since the previous reset, so a query that verifies `b` candidates
+/// pays O(b) cleanup instead of O(n/64) — which is what makes the bitset
+/// cheap to reuse across queries.
+#[derive(Debug)]
+pub struct Visited {
+    words: Vec<u64>,
+    touched: Vec<u32>,
+}
+
+impl Default for Visited {
+    fn default() -> Self {
+        Visited::empty()
+    }
+}
+
+impl Visited {
+    /// A zero-capacity bitset (const-constructible for thread-local
+    /// scratch); call [`Visited::reset`] before use.
+    pub const fn empty() -> Self {
+        Visited {
+            words: Vec::new(),
+            touched: Vec::new(),
+        }
+    }
+
+    /// A cleared bitset covering ids `0..n`.
+    pub fn new(n: usize) -> Self {
+        let mut v = Visited::empty();
+        v.reset(n);
+        v
+    }
+
+    /// Clear marks from the previous query and grow to cover `n` ids.
+    pub fn reset(&mut self, n: usize) {
+        for &w in &self.touched {
+            self.words[w as usize] = 0;
+        }
+        self.touched.clear();
+        let need = n.div_ceil(64);
+        if self.words.len() < need {
+            self.words.resize(need, 0);
+        }
+    }
+
+    /// Mark `id`; returns true if it was not marked before.
+    #[inline]
+    pub fn insert(&mut self, id: u32) -> bool {
+        let w = (id / 64) as usize;
+        let bit = 1u64 << (id % 64);
+        let word = self.words[w];
+        if word == 0 {
+            self.touched.push(w as u32);
+        }
+        let fresh = word & bit == 0;
+        self.words[w] = word | bit;
+        fresh
+    }
+
+    /// Whether `id` is already marked.
+    #[inline]
+    pub fn contains(&self, id: u32) -> bool {
+        self.words[(id / 64) as usize] & (1u64 << (id % 64)) != 0
+    }
+}
+
 /// Sorted insertion of `cand` into `heap` keeping at most `k` items —
 /// shared helper for the verification loops of every algorithm.
 /// `heap` is maintained ascending by distance.
+///
+/// Scans `heap` for an existing entry with `cand.id` before inserting;
+/// callers that already deduplicate ids upstream (a per-query visited
+/// bitset) should use [`push_candidate_unchecked`] and skip that scan.
 pub fn push_candidate(heap: &mut Vec<Neighbor>, cand: Neighbor, k: usize) {
     let pos = heap.partition_point(|n| n.dist <= cand.dist);
     if pos >= k {
@@ -70,6 +169,25 @@ pub fn push_candidate(heap: &mut Vec<Neighbor>, cand: Neighbor, k: usize) {
     }
     if heap.iter().any(|n| n.id == cand.id) {
         return; // already verified via another projection
+    }
+    heap.insert(pos, cand);
+    heap.truncate(k);
+}
+
+/// [`push_candidate`] without the linear duplicate-id scan, for callers
+/// that guarantee each id is offered at most once (deduplication via a
+/// visited bitset *before* verification). Offering a duplicate id here
+/// produces duplicate entries in `heap` — the contract is on the caller.
+#[inline]
+pub fn push_candidate_unchecked(heap: &mut Vec<Neighbor>, cand: Neighbor, k: usize) {
+    debug_assert!(
+        !heap.iter().any(|n| n.id == cand.id),
+        "push_candidate_unchecked offered duplicate id {}",
+        cand.id
+    );
+    let pos = heap.partition_point(|n| n.dist <= cand.dist);
+    if pos >= k {
+        return;
     }
     heap.insert(pos, cand);
     heap.truncate(k);
@@ -96,6 +214,34 @@ mod tests {
         push_candidate(&mut h, Neighbor { id: 7, dist: 2.0 }, 3);
         push_candidate(&mut h, Neighbor { id: 7, dist: 2.0 }, 3);
         assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn push_candidate_unchecked_matches_checked_on_unique_ids() {
+        let mut checked = Vec::new();
+        let mut unchecked = Vec::new();
+        for (id, d) in [(1u32, 5.0f32), (2, 1.0), (3, 3.0), (4, 0.5), (5, 9.0)] {
+            push_candidate(&mut checked, Neighbor { id, dist: d }, 3);
+            push_candidate_unchecked(&mut unchecked, Neighbor { id, dist: d }, 3);
+        }
+        assert_eq!(checked, unchecked);
+    }
+
+    #[test]
+    fn visited_marks_and_resets_sparsely() {
+        let mut v = Visited::new(130);
+        assert!(v.insert(0));
+        assert!(v.insert(64));
+        assert!(v.insert(129));
+        assert!(!v.insert(64));
+        assert!(v.contains(129));
+        assert!(!v.contains(1));
+        // reset clears everything and can grow
+        v.reset(300);
+        assert!(!v.contains(0));
+        assert!(!v.contains(129));
+        assert!(v.insert(64));
+        assert!(v.insert(299));
     }
 
     #[test]

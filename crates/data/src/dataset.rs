@@ -1,5 +1,7 @@
 //! Flat row-major point matrix plus distance kernels.
 
+use crate::error::DbLshError;
+
 /// A dataset of `n` points in `d`-dimensional Euclidean space, stored as a
 /// contiguous row-major `f32` matrix (the layout of fvecs files and of
 /// every ANN benchmark suite).
@@ -10,34 +12,74 @@ pub struct Dataset {
 }
 
 impl Dataset {
-    /// Wrap an existing flat buffer. `data.len()` must be a non-zero
-    /// multiple of `dim` (or empty).
-    pub fn from_flat(dim: usize, data: Vec<f32>) -> Self {
-        assert!(dim >= 1, "dimension must be at least 1");
-        assert_eq!(
-            data.len() % dim,
-            0,
-            "flat buffer length {} is not a multiple of dim {}",
-            data.len(),
-            dim
-        );
-        assert!(
-            data.iter().all(|v| v.is_finite()),
-            "non-finite coordinate rejected"
-        );
-        Dataset { dim, data }
+    /// Wrap an existing flat buffer. `data.len()` must be a multiple of
+    /// `dim` (or empty), and every coordinate must be finite.
+    pub fn try_from_flat(dim: usize, data: Vec<f32>) -> Result<Self, DbLshError> {
+        if dim == 0 {
+            return Err(DbLshError::invalid("dim", "must be at least 1"));
+        }
+        if !data.len().is_multiple_of(dim) {
+            return Err(DbLshError::invalid(
+                "data",
+                format!(
+                    "flat buffer length {} is not a multiple of dim {}",
+                    data.len(),
+                    dim
+                ),
+            ));
+        }
+        if !data.iter().all(|v| v.is_finite()) {
+            return Err(DbLshError::NonFiniteCoordinate);
+        }
+        Ok(Dataset { dim, data })
     }
 
-    /// Build from individual rows (mainly for tests and examples).
-    pub fn from_rows(rows: &[Vec<f32>]) -> Self {
-        assert!(!rows.is_empty(), "empty row set; use from_flat for empty");
-        let dim = rows[0].len();
+    /// Panicking convenience form of [`Dataset::try_from_flat`], for tests
+    /// and generators whose inputs are correct by construction.
+    pub fn from_flat(dim: usize, data: Vec<f32>) -> Self {
+        match Dataset::try_from_flat(dim, data) {
+            Ok(d) => d,
+            Err(DbLshError::NonFiniteCoordinate) => panic!("non-finite coordinate rejected"),
+            Err(DbLshError::InvalidParameter { reason, .. }) => {
+                panic!("{reason}")
+            }
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Build from individual rows. All rows must share one length, and at
+    /// least one row is required (use [`Dataset::empty`] otherwise — a
+    /// zero-row set carries no dimensionality).
+    pub fn try_from_rows(rows: &[Vec<f32>]) -> Result<Self, DbLshError> {
+        let Some(first) = rows.first() else {
+            return Err(DbLshError::EmptyDataset);
+        };
+        let dim = first.len();
         let mut data = Vec::with_capacity(rows.len() * dim);
         for r in rows {
-            assert_eq!(r.len(), dim, "ragged rows");
+            if r.len() != dim {
+                return Err(DbLshError::DimensionMismatch {
+                    expected: dim,
+                    got: r.len(),
+                });
+            }
             data.extend_from_slice(r);
         }
-        Dataset::from_flat(dim, data)
+        Dataset::try_from_flat(dim, data)
+    }
+
+    /// Panicking convenience form of [`Dataset::try_from_rows`] (mainly
+    /// for tests and examples).
+    pub fn from_rows(rows: &[Vec<f32>]) -> Self {
+        match Dataset::try_from_rows(rows) {
+            Ok(d) => d,
+            Err(DbLshError::EmptyDataset) => {
+                panic!("empty row set; use from_flat for empty")
+            }
+            Err(DbLshError::DimensionMismatch { .. }) => panic!("ragged rows"),
+            Err(DbLshError::NonFiniteCoordinate) => panic!("non-finite coordinate rejected"),
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Empty dataset of the given dimensionality.
@@ -74,14 +116,29 @@ impl Dataset {
         &self.data
     }
 
-    /// Append one point.
-    pub fn push(&mut self, point: &[f32]) {
-        assert_eq!(point.len(), self.dim, "dimensionality mismatch");
-        assert!(
-            point.iter().all(|v| v.is_finite()),
-            "non-finite coordinate rejected"
-        );
+    /// Append one point, validating dimensionality and finiteness.
+    pub fn try_push(&mut self, point: &[f32]) -> Result<(), DbLshError> {
+        if point.len() != self.dim {
+            return Err(DbLshError::DimensionMismatch {
+                expected: self.dim,
+                got: point.len(),
+            });
+        }
+        if !point.iter().all(|v| v.is_finite()) {
+            return Err(DbLshError::NonFiniteCoordinate);
+        }
         self.data.extend_from_slice(point);
+        Ok(())
+    }
+
+    /// Panicking convenience form of [`Dataset::try_push`].
+    pub fn push(&mut self, point: &[f32]) {
+        match self.try_push(point) {
+            Ok(()) => {}
+            Err(DbLshError::DimensionMismatch { .. }) => panic!("dimensionality mismatch"),
+            Err(DbLshError::NonFiniteCoordinate) => panic!("non-finite coordinate rejected"),
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Remove the rows in `sorted_rows` (ascending, unique) and return them
@@ -174,13 +231,7 @@ mod tests {
 
     #[test]
     fn extract_rows_splits_dataset() {
-        let mut d = Dataset::from_rows(&[
-            vec![0.0],
-            vec![1.0],
-            vec![2.0],
-            vec![3.0],
-            vec![4.0],
-        ]);
+        let mut d = Dataset::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0], vec![4.0]]);
         let q = d.extract_rows(&[1, 3]);
         assert_eq!(q.len(), 2);
         assert_eq!(q.point(0), &[1.0]);
@@ -195,11 +246,7 @@ mod tests {
     fn sq_dist_matches_naive() {
         let a: Vec<f32> = (0..13).map(|i| i as f32 * 0.3).collect();
         let b: Vec<f32> = (0..13).map(|i| (13 - i) as f32 * 0.7).collect();
-        let naive: f32 = a
-            .iter()
-            .zip(&b)
-            .map(|(x, y)| (x - y) * (x - y))
-            .sum();
+        let naive: f32 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum();
         assert!((sq_dist(&a, &b) - naive).abs() < 1e-3);
         assert_eq!(sq_dist(&a, &a), 0.0);
         assert!((dist(&a, &b) - naive.sqrt()).abs() < 1e-3);

@@ -1,0 +1,147 @@
+//! The workspace-wide error type.
+//!
+//! Every fallible operation on an [`crate::AnnIndex`] — building, dynamic
+//! updates, and queries — reports failures through [`DbLshError`] instead
+//! of panicking, so a serving process embedding an index can surface bad
+//! requests to callers rather than dying.
+
+use std::fmt;
+
+/// Everything that can go wrong constructing, updating or querying an
+/// index in this workspace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbLshError {
+    /// The dataset holds no points (or no *live* points, after removals).
+    EmptyDataset,
+    /// A point or query whose dimensionality does not match the index.
+    DimensionMismatch {
+        /// Dimensionality the index was built with.
+        expected: usize,
+        /// Dimensionality of the offending vector.
+        got: usize,
+    },
+    /// A coordinate was NaN or infinite.
+    NonFiniteCoordinate,
+    /// A configuration value outside its legal domain. `param` names the
+    /// knob; `reason` states the constraint it violated.
+    InvalidParameter { param: &'static str, reason: String },
+    /// The index cannot hold more points (ids are `u32` row indexes).
+    CapacityExceeded {
+        /// Maximum number of points the index can address.
+        limit: usize,
+    },
+    /// An id that never named a point of this index.
+    UnknownId { id: u32 },
+}
+
+impl DbLshError {
+    /// Shorthand for [`DbLshError::InvalidParameter`].
+    pub fn invalid(param: &'static str, reason: impl Into<String>) -> Self {
+        DbLshError::InvalidParameter {
+            param,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for DbLshError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbLshError::EmptyDataset => write!(f, "dataset holds no live points"),
+            DbLshError::DimensionMismatch { expected, got } => write!(
+                f,
+                "dimensionality mismatch: index is {expected}-dimensional, vector is {got}-dimensional"
+            ),
+            DbLshError::NonFiniteCoordinate => {
+                write!(f, "non-finite (NaN or infinite) coordinate rejected")
+            }
+            DbLshError::InvalidParameter { param, reason } => {
+                write!(f, "invalid parameter `{param}`: {reason}")
+            }
+            DbLshError::CapacityExceeded { limit } => {
+                write!(f, "index capacity exceeded: at most {limit} points are addressable")
+            }
+            DbLshError::UnknownId { id } => write!(f, "id {id} does not name a point of this index"),
+        }
+    }
+}
+
+impl std::error::Error for DbLshError {}
+
+/// Workspace result alias.
+pub type Result<T> = std::result::Result<T, DbLshError>;
+
+/// Validate a query vector and `k` against an index of dimensionality
+/// `dim` — the shared prelude of every [`crate::AnnIndex::search`]
+/// implementation.
+pub fn check_query(dim: usize, query: &[f32], k: usize) -> Result<()> {
+    if query.len() != dim {
+        return Err(DbLshError::DimensionMismatch {
+            expected: dim,
+            got: query.len(),
+        });
+    }
+    if !query.iter().all(|v| v.is_finite()) {
+        return Err(DbLshError::NonFiniteCoordinate);
+    }
+    if k == 0 {
+        return Err(DbLshError::invalid("k", "must be at least 1"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_descriptive() {
+        let cases: Vec<(DbLshError, &str)> = vec![
+            (DbLshError::EmptyDataset, "no live points"),
+            (
+                DbLshError::DimensionMismatch {
+                    expected: 8,
+                    got: 5,
+                },
+                "index is 8-dimensional",
+            ),
+            (DbLshError::NonFiniteCoordinate, "non-finite"),
+            (
+                DbLshError::invalid("c", "must exceed 1"),
+                "invalid parameter `c`",
+            ),
+            (DbLshError::CapacityExceeded { limit: 42 }, "at most 42"),
+            (DbLshError::UnknownId { id: 7 }, "id 7"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} missing {needle:?}");
+        }
+    }
+
+    #[test]
+    fn check_query_contract() {
+        assert_eq!(check_query(3, &[1.0, 2.0, 3.0], 5), Ok(()));
+        assert_eq!(
+            check_query(3, &[1.0], 5),
+            Err(DbLshError::DimensionMismatch {
+                expected: 3,
+                got: 1
+            })
+        );
+        assert_eq!(
+            check_query(2, &[1.0, f32::NAN], 5),
+            Err(DbLshError::NonFiniteCoordinate)
+        );
+        assert!(matches!(
+            check_query(1, &[0.0], 0),
+            Err(DbLshError::InvalidParameter { param: "k", .. })
+        ));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(DbLshError::EmptyDataset);
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -18,17 +18,23 @@
 //! * [`metrics`] — the paper's quality measures (overall ratio, Eq. 11;
 //!   recall, Eq. 12);
 //! * [`AnnIndex`] — the trait every algorithm (DB-LSH and all baselines)
-//!   implements so the benchmark harness can drive them uniformly.
+//!   implements so the benchmark harness can drive them uniformly;
+//! * [`error`] — the workspace-wide [`DbLshError`] type every fallible
+//!   build/update/query path reports through.
 
 pub mod ann;
 pub mod dataset;
+pub mod error;
 pub mod ground_truth;
 pub mod io;
 pub mod metrics;
 pub mod registry;
 pub mod synthetic;
 
-pub use ann::{AnnIndex, Neighbor, QueryStats, SearchResult};
+pub use ann::{
+    push_candidate, push_candidate_unchecked, AnnIndex, Neighbor, QueryStats, SearchResult, Visited,
+};
 pub use dataset::Dataset;
+pub use error::{check_query, DbLshError};
 pub use ground_truth::exact_knn;
 pub use metrics::{overall_ratio, recall};

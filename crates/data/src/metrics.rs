@@ -101,7 +101,7 @@ mod tests {
     fn missing_results_are_penalized() {
         let truth = vec![n(1, 1.0), n(2, 2.0), n(3, 3.0)];
         let got = vec![n(1, 2.0)]; // ratio 2.0, two missing slots
-        // (2 + 2 + 2) / 3 = 2
+                                   // (2 + 2 + 2) / 3 = 2
         assert!((overall_ratio(&got, &truth) - 2.0).abs() < 1e-9);
         let empty: Vec<Neighbor> = Vec::new();
         assert!(overall_ratio(&empty, &truth).is_infinite());

@@ -114,7 +114,10 @@ pub fn uniform(n: usize, dim: usize, lo: f32, hi: f32, seed: u64) -> Dataset {
 /// removed from the dataset, as in the paper's protocol). Deterministic in
 /// `seed`.
 pub fn split_queries(data: &mut Dataset, count: usize, seed: u64) -> Dataset {
-    assert!(count <= data.len(), "cannot extract more queries than points");
+    assert!(
+        count <= data.len(),
+        "cannot extract more queries than points"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut rows: Vec<usize> = (0..data.len()).collect();
     rows.shuffle(&mut rng);

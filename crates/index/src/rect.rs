@@ -72,15 +72,8 @@ impl Rect {
     #[inline]
     pub fn intersects(&self, other: &Rect) -> bool {
         debug_assert_eq!(self.dim(), other.dim());
-        self.lo
-            .iter()
-            .zip(other.hi.iter())
-            .all(|(&a, &b)| a <= b)
-            && other
-                .lo
-                .iter()
-                .zip(self.hi.iter())
-                .all(|(&a, &b)| a <= b)
+        self.lo.iter().zip(other.hi.iter()).all(|(&a, &b)| a <= b)
+            && other.lo.iter().zip(self.hi.iter()).all(|(&a, &b)| a <= b)
     }
 
     /// True iff `p` lies inside the rectangle (boundary inclusive).
@@ -94,15 +87,8 @@ impl Rect {
 
     /// True iff `other` is fully inside `self` (boundary inclusive).
     pub fn contains_rect(&self, other: &Rect) -> bool {
-        self.lo
-            .iter()
-            .zip(other.lo.iter())
-            .all(|(&a, &b)| a <= b)
-            && self
-                .hi
-                .iter()
-                .zip(other.hi.iter())
-                .all(|(&a, &b)| b <= a)
+        self.lo.iter().zip(other.lo.iter()).all(|(&a, &b)| a <= b)
+            && self.hi.iter().zip(other.hi.iter()).all(|(&a, &b)| b <= a)
     }
 
     /// Hyper-volume (product of side lengths).
@@ -184,12 +170,11 @@ impl Rect {
     pub fn min_dist2(&self, p: &[f64]) -> f64 {
         debug_assert_eq!(self.dim(), p.len());
         let mut acc = 0.0;
-        for i in 0..p.len() {
-            let v = p[i];
-            let d = if v < self.lo[i] {
-                self.lo[i] - v
-            } else if v > self.hi[i] {
-                v - self.hi[i]
+        for ((&v, &lo), &hi) in p.iter().zip(&self.lo).zip(&self.hi) {
+            let d = if v < lo {
+                lo - v
+            } else if v > hi {
+                v - hi
             } else {
                 0.0
             };

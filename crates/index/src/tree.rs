@@ -144,10 +144,7 @@ impl RStarTree {
     pub(crate) fn node_mbr(&self, idx: usize) -> Rect {
         let node = &self.nodes[idx];
         let mut it = node.entries.iter();
-        let first = it
-            .next()
-            .expect("node_mbr on empty node")
-            .to_rect();
+        let first = it.next().expect("node_mbr on empty node").to_rect();
         it.fold(first, |mut acc, e| {
             match e {
                 Entry::Point { coords, .. } => acc.enlarge(&Rect::point(coords)),
@@ -456,7 +453,7 @@ impl RStarTree {
         }
 
         // Reinsert orphans, highest level first.
-        orphans.sort_by(|a, b| b.0.cmp(&a.0));
+        orphans.sort_by_key(|o| std::cmp::Reverse(o.0));
         for (level, e) in orphans {
             let mut reinserted = vec![false; self.nodes[self.root].level as usize + 2];
             self.insert_at_level(e, level, &mut reinserted);
@@ -495,7 +492,11 @@ impl RStarTree {
         let n = &self.nodes[node];
         if n.level == 0 {
             for (pos, e) in n.entries.iter().enumerate() {
-                if let Entry::Point { id: pid, coords: pc } = e {
+                if let Entry::Point {
+                    id: pid,
+                    coords: pc,
+                } = e
+                {
                     if *pid == id && pc.iter().zip(coords).all(|(a, b)| a == b) {
                         path.push((node, pos));
                         return true;

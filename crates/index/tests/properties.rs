@@ -6,10 +6,7 @@ use proptest::prelude::*;
 
 /// Strategy: a small point cloud in [-50, 50]^dim.
 fn points(dim: usize, max_n: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
-    prop::collection::vec(
-        prop::collection::vec(-50.0f64..50.0, dim..=dim),
-        1..max_n,
-    )
+    prop::collection::vec(prop::collection::vec(-50.0f64..50.0, dim..=dim), 1..max_n)
 }
 
 fn brute_window(pts: &[Vec<f64>], lo: &[f64], hi: &[f64]) -> Vec<u32> {

@@ -23,7 +23,10 @@ use crate::normal::{normal_cdf, normal_pdf};
 /// `tau` is the distance between the points, `w` the query-centric bucket
 /// width. `tau = 0` collides with probability 1.
 pub fn p_dynamic(tau: f64, w: f64) -> f64 {
-    assert!(tau >= 0.0 && w >= 0.0, "negative arguments: tau={tau} w={w}");
+    assert!(
+        tau >= 0.0 && w >= 0.0,
+        "negative arguments: tau={tau} w={w}"
+    );
     if tau == 0.0 {
         return 1.0;
     }
@@ -38,7 +41,10 @@ pub fn p_dynamic(tau: f64, w: f64) -> f64 {
 ///
 /// `p(tau; w) = 2 Phi(w/tau) - 1 - 2 tau / (sqrt(2 pi) w) (1 - e^{-w^2/(2 tau^2)})`.
 pub fn p_static(tau: f64, w: f64) -> f64 {
-    assert!(tau >= 0.0 && w >= 0.0, "negative arguments: tau={tau} w={w}");
+    assert!(
+        tau >= 0.0 && w >= 0.0,
+        "negative arguments: tau={tau} w={w}"
+    );
     if tau == 0.0 {
         return 1.0;
     }
@@ -46,7 +52,8 @@ pub fn p_static(tau: f64, w: f64) -> f64 {
         return 0.0;
     }
     let r = w / tau;
-    2.0 * normal_cdf(r) - 1.0
+    2.0 * normal_cdf(r)
+        - 1.0
         - 2.0 / ((2.0 * std::f64::consts::PI).sqrt() * r) * (1.0 - (-(r * r) / 2.0).exp())
 }
 

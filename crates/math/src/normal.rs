@@ -160,10 +160,7 @@ mod tests {
     fn erf_matches_reference() {
         for &(x, want) in ERF_TABLE {
             let got = erf(x);
-            assert!(
-                (got - want).abs() < 1e-13,
-                "erf({x}) = {got}, want {want}"
-            );
+            assert!((got - want).abs() < 1e-13, "erf({x}) = {got}, want {want}");
         }
     }
 

@@ -1,0 +1,242 @@
+//! Offline stand-in for the subset of the `criterion` API this workspace
+//! uses. The build environment has no access to crates.io, so this crate
+//! provides a compatible surface (`Criterion`, benchmark groups,
+//! `black_box`, `criterion_group!`/`criterion_main!`) backed by a simple
+//! measure-and-report harness: each benchmark is warmed up, then timed
+//! over adaptively sized batches, and the median ns/iteration is printed.
+//! It has no statistical machinery, plots, or baselines — it exists so
+//! `cargo bench` compiles, runs, and gives a usable first-order number.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock spend per benchmark (split across samples).
+const TARGET_TOTAL: Duration = Duration::from_millis(600);
+const WARMUP: Duration = Duration::from_millis(120);
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== group: {name} ==");
+        BenchmarkGroup {
+            _crit: self,
+            group: name.to_string(),
+            sample_size: 50,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        run_one(name, 50, &mut f);
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _crit: &'a mut Criterion,
+    group: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(
+            &format!("{}/{}", self.group, id.label),
+            self.sample_size,
+            &mut f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(
+            &format!("{}/{}", self.group, id.label),
+            self.sample_size,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the payload.
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_count: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: find an iteration count that takes a measurable slice.
+        let mut iters_per_sample = 1u64;
+        let warm_start = Instant::now();
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if warm_start.elapsed() >= WARMUP {
+                break;
+            }
+            if elapsed * (self.sample_count as u32).max(1) < TARGET_TOTAL {
+                iters_per_sample = iters_per_sample.saturating_mul(2);
+            } else {
+                break;
+            }
+        }
+        let per_sample = TARGET_TOTAL / self.sample_count as u32;
+        // Timed samples.
+        for _ in 0..self.sample_count {
+            let t = Instant::now();
+            let mut n = 0u64;
+            loop {
+                for _ in 0..iters_per_sample {
+                    black_box(f());
+                }
+                n += iters_per_sample;
+                if t.elapsed() >= per_sample {
+                    break;
+                }
+            }
+            self.samples
+                .push(t.elapsed().as_secs_f64() * 1e9 / n as f64);
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, f: &mut F) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_count: sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{label:<40} (no samples)");
+        return;
+    }
+    b.samples.sort_by(f64::total_cmp);
+    let median = b.samples[b.samples.len() / 2];
+    let lo = b.samples[0];
+    let hi = b.samples[b.samples.len() - 1];
+    println!(
+        "{label:<40} median {} [{} .. {}]",
+        fmt_ns(median),
+        fmt_ns(lo),
+        fmt_ns(hi)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_produces_samples() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_count: 3,
+        };
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+        assert_eq!(b.samples.len(), 3);
+        assert!(b.samples.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn id_formats() {
+        let id = BenchmarkId::new("window_query", 5u64);
+        assert_eq!(id.label, "window_query/5");
+        let id2 = BenchmarkId::from_parameter(42);
+        assert_eq!(id2.label, "42");
+    }
+}

@@ -60,7 +60,7 @@ fn main() {
     };
 
     let params = DbLshParams::paper_defaults(library.len()).with_c(2.0);
-    let index = DbLsh::build(Arc::clone(&library), &params);
+    let index = DbLsh::build(Arc::clone(&library), &params).expect("DB-LSH build");
 
     // Tolerance: the max distance a re-encode can move a fingerprint.
     let r = (noise as f64) * (dim as f64).sqrt();
@@ -76,7 +76,7 @@ fn main() {
     let mut false_pos = 0;
     let mut true_neg = 0;
     for (src, fp, is_dup) in &suspects {
-        let (hit, _) = index.r_c_nn(fp, r);
+        let (hit, _) = index.r_c_nn(fp, r).expect("well-formed probe");
         match (hit, is_dup) {
             (Some(h), true) => {
                 true_pos += 1;

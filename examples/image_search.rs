@@ -14,7 +14,7 @@ use std::time::Instant;
 use db_lsh::baselines::{pm_lsh::PmLshParams, LinearScan, PmLsh};
 use db_lsh::data::synthetic::{gaussian_mixture, MixtureConfig};
 use db_lsh::data::{metrics, AnnIndex};
-use db_lsh::{DbLsh, DbLshParams};
+use db_lsh::DbLshBuilder;
 
 fn main() {
     // ~20k "photos" in 256-d descriptor space; 400 scenes of ~50 shots.
@@ -38,10 +38,11 @@ fn main() {
     let exact = LinearScan::build(Arc::clone(&data));
 
     // DB-LSH
-    let mut params = DbLshParams::paper_defaults(data.len());
-    params.r_min = DbLsh::estimate_r_min(&data, &params, 300);
     let t0 = Instant::now();
-    let dblsh = DbLsh::build(Arc::clone(&data), &params);
+    let dblsh = DbLshBuilder::new()
+        .auto_r_min()
+        .build(Arc::clone(&data))
+        .expect("DB-LSH build");
     let dblsh_build = t0.elapsed().as_secs_f64();
 
     // PM-LSH for comparison
@@ -52,14 +53,14 @@ fn main() {
     println!("index build: DB-LSH {dblsh_build:.3}s, PM-LSH {pm_build:.3}s");
 
     // Query with 25 library photos (self-match removed by distance 0 rank).
-    let mut report = |name: &str, index: &dyn AnnIndex| {
+    let report = |name: &str, index: &dyn AnnIndex| {
         let t0 = Instant::now();
         let mut recalls = Vec::new();
         let mut ratios = Vec::new();
         for qi in (0..data.len()).step_by(data.len() / 25).take(25) {
             let q = data.point(qi);
-            let got = index.search(q, k);
-            let truth = exact.search(q, k);
+            let got = index.search(q, k).expect("query");
+            let truth = exact.search(q, k).expect("query");
             recalls.push(metrics::recall(&got.neighbors, &truth.neighbors));
             ratios.push(metrics::overall_ratio(&got.neighbors, &truth.neighbors));
         }
@@ -75,7 +76,7 @@ fn main() {
 
     // And show one concrete retrieval.
     let q = data.point(123);
-    let res = dblsh.k_ann(q, 5);
+    let res = dblsh.k_ann(q, 5).expect("query");
     println!("\nscene-mates of photo 123 (id, distance):");
     for n in &res.neighbors {
         println!("  #{:<6} {:.4}", n.id, n.dist);

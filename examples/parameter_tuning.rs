@@ -13,7 +13,10 @@ use db_lsh::{DbLsh, DbLshParams};
 
 fn main() {
     println!("== 1. The theory: rho* and alpha ==");
-    println!("{:>6} {:>8} {:>9} {:>9}", "gamma", "w0(c=1.5)", "alpha", "rho*");
+    println!(
+        "{:>6} {:>8} {:>9} {:>9}",
+        "gamma", "w0(c=1.5)", "alpha", "rho*"
+    );
     for gamma in [0.5, 1.0, 2.0, 3.0] {
         let c: f64 = 1.5;
         let w0 = 2.0 * gamma * c * c;
@@ -51,10 +54,13 @@ fn main() {
 
     let base = DbLshParams::paper_defaults(data.len());
     let r_min = DbLsh::estimate_r_min(&data, &base, 200);
-    println!("{:>5} {:>8} {:>10} {:>8}", "t", "budget", "query(us)", "recall");
+    println!(
+        "{:>5} {:>8} {:>10} {:>8}",
+        "t", "budget", "query(us)", "recall"
+    );
     for t in [4usize, 16, 64, 256] {
         let params = base.clone().with_t(t).with_r_min(r_min);
-        let index = DbLsh::build(Arc::clone(&data), &params);
+        let index = DbLsh::build(Arc::clone(&data), &params).expect("DB-LSH build");
         let (recall, micros) = run(&index, &queries, &truth);
         println!(
             "{t:>5} {:>8} {micros:>10.0} {recall:>8.3}",
@@ -66,7 +72,7 @@ fn main() {
     println!("{:>5} {:>10} {:>8}", "L", "query(us)", "recall");
     for l in [1usize, 3, 5, 8] {
         let params = base.clone().with_kl(base.k, l).with_r_min(r_min);
-        let index = DbLsh::build(Arc::clone(&data), &params);
+        let index = DbLsh::build(Arc::clone(&data), &params).expect("DB-LSH build");
         let (recall, micros) = run(&index, &queries, &truth);
         println!("{l:>5} {micros:>10.0} {recall:>8.3}");
     }
@@ -77,16 +83,12 @@ fn main() {
     );
 }
 
-fn run(
-    index: &DbLsh,
-    queries: &Dataset,
-    truth: &[Vec<db_lsh::Neighbor>],
-) -> (f64, f64) {
+fn run(index: &DbLsh, queries: &Dataset, truth: &[Vec<db_lsh::Neighbor>]) -> (f64, f64) {
     let start = std::time::Instant::now();
     let mut recalls = Vec::new();
-    for qi in 0..queries.len() {
-        let res = index.k_ann(queries.point(qi), 10);
-        recalls.push(metrics::recall(&res.neighbors, &truth[qi]));
+    for (qi, t) in truth.iter().enumerate() {
+        let res = index.k_ann(queries.point(qi), 10).expect("query");
+        recalls.push(metrics::recall(&res.neighbors, t));
     }
     let micros = start.elapsed().as_micros() as f64 / queries.len() as f64;
     (metrics::mean(&recalls), micros)

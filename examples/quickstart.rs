@@ -1,51 +1,46 @@
-//! Quickstart: index a synthetic dataset with DB-LSH, answer (c,k)-ANN
-//! queries, and compare against the exact answer.
+//! Quickstart: build a DB-LSH index through the builder, answer (c,k)-ANN
+//! queries (single and batched), update the index in place, and compare
+//! against the exact answer.
 //!
 //! Run: `cargo run --release --example quickstart`
 
 use std::sync::Arc;
 
 use db_lsh::data::ground_truth::exact_knn_single;
-use db_lsh::data::synthetic::{gaussian_mixture, split_queries, MixtureConfig};
+use db_lsh::data::synthetic::split_queries;
 use db_lsh::data::{metrics, registry::PaperDataset};
-use db_lsh::{DbLsh, DbLshParams};
+use db_lsh::{DbLshBuilder, DbLshError};
 
-fn main() {
+fn main() -> Result<(), DbLshError> {
     // 1. Get a dataset: a clustered synthetic clone of the paper's Audio
     //    set (use db_lsh::data::io::load_fvecs_file for real fvecs data).
-    let mut data = gaussian_mixture(&PaperDataset::Audio.config(0.1));
-    println!(
-        "dataset: {} points, {} dimensions",
-        data.len(),
-        data.dim()
-    );
+    let mut data = gaussian_data();
+    println!("dataset: {} points, {} dimensions", data.len(), data.dim());
 
     // 2. Carve out queries, as the paper does.
     let queries = split_queries(&mut data, 10, 42);
     let data = Arc::new(data);
 
-    // 3. Build the index with the paper's default parameters
-    //    (c = 1.5, w0 = 4c^2, L = 5, K = 10) and a data-driven radius
-    //    ladder start.
-    let mut params = DbLshParams::paper_defaults(data.len());
-    params.r_min = DbLsh::estimate_r_min(&data, &params, 200);
+    // 3. Build through the builder: the paper's defaults (c = 1.5,
+    //    w0 = 4c^2, L = 5, K = 10) plus a data-driven radius-ladder
+    //    start. Bad input comes back as Err(DbLshError), never a panic.
     let start = std::time::Instant::now();
-    let index = DbLsh::build(Arc::clone(&data), &params);
+    let mut index = DbLshBuilder::new().auto_r_min().build(Arc::clone(&data))?;
     println!(
         "indexed in {:.3}s ({} trees of {} points, {:.1} MB)",
         start.elapsed().as_secs_f64(),
-        params.l,
-        data.len(),
+        index.params().l,
+        index.len(),
         index.memory_bytes() as f64 / 1048576.0
     );
 
-    // 4. Query.
+    // 4. Query one by one.
     let k = 10;
     let mut recalls = Vec::new();
     for qi in 0..queries.len() {
         let q = queries.point(qi);
         let start = std::time::Instant::now();
-        let res = index.k_ann(q, k);
+        let res = index.k_ann(q, k)?;
         let micros = start.elapsed().as_micros();
         let truth = exact_knn_single(&data, q, k);
         let recall = metrics::recall(&res.neighbors, &truth);
@@ -58,4 +53,25 @@ fn main() {
         recalls.push(recall);
     }
     println!("mean recall: {:.3}", metrics::mean(&recalls));
+
+    // 5. Or as one batch, fanned across every core.
+    let start = std::time::Instant::now();
+    let batch = index.search_batch(&queries, k)?;
+    println!(
+        "batched: {} queries in {:.2} ms total",
+        batch.len(),
+        start.elapsed().as_secs_f64() * 1e3
+    );
+
+    // 6. The index is dynamic: insert a point, find it, remove it.
+    let novel = vec![0.5f32; data.dim()];
+    let id = index.insert(&novel)?;
+    assert_eq!(index.k_ann(&novel, 1)?.neighbors[0].id, id);
+    index.remove(id)?;
+    println!("inserted point {id}, found it as its own NN, removed it again");
+    Ok(())
+}
+
+fn gaussian_data() -> db_lsh::data::Dataset {
+    db_lsh::data::synthetic::gaussian_mixture(&PaperDataset::Audio.config(0.1))
 }

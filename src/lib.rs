@@ -1,28 +1,73 @@
 //! # db-lsh — DB-LSH and its full evaluation stack, in Rust
 //!
 //! Facade crate re-exporting the whole workspace: the DB-LSH index
-//! ([`DbLsh`]), every baseline of the paper's evaluation ([`baselines`]),
-//! the substrates (R*-tree, B+-tree, datasets, LSH math) and the common
-//! [`AnnIndex`] trait.
+//! ([`DbLsh`]) with its builder-first, fallible, dynamic API, every
+//! baseline of the paper's evaluation ([`baselines`]), the substrates
+//! (R*-tree, B+-tree, datasets, LSH math) and the common [`AnnIndex`]
+//! trait.
+//!
+//! ## Building an index
+//!
+//! Construction goes through [`DbLshBuilder`]: every knob is chainable,
+//! defaults are resolved against the dataset at build time, and all
+//! validation surfaces as [`DbLshError`] — empty datasets, dimension
+//! mismatches and out-of-domain parameters are `Err` values, never
+//! panics.
 //!
 //! ```
-//! use db_lsh::{DbLsh, DbLshParams};
+//! use db_lsh::{DbLshBuilder, DbLshError};
 //! use db_lsh::data::synthetic::{gaussian_mixture, MixtureConfig};
-//! use std::sync::Arc;
 //!
-//! let data = Arc::new(gaussian_mixture(&MixtureConfig {
+//! let data = gaussian_mixture(&MixtureConfig {
 //!     n: 2000, dim: 32, ..Default::default()
-//! }));
-//! let index = DbLsh::build(Arc::clone(&data), &DbLshParams::paper_defaults(data.len()));
-//! let top10 = index.k_ann(data.point(0), 10);
+//! });
+//! let index = DbLshBuilder::new()
+//!     .l(5)                // number of projected spaces / R*-trees
+//!     .t(64)               // candidate budget constant (2tL + k)
+//!     .auto_r_min()        // estimate the radius-ladder start from data
+//!     .build(data)?;
+//!
+//! let query = index.data().point(0).to_vec();
+//! let top10 = index.k_ann(&query, 10)?;
 //! assert_eq!(top10.neighbors[0].id, 0); // the point itself
+//! # Ok::<(), DbLshError>(())
+//! ```
+//!
+//! ## Queries: single, tuned, batched
+//!
+//! * [`DbLsh::k_ann`] — one (c,k)-ANN query with the index defaults;
+//! * [`DbLsh::search_with`] — per-query overrides via [`SearchOptions`]
+//!   (candidate budget, radius-ladder start, round cap, stats on/off);
+//! * [`DbLsh::search_batch`] — a [`Dataset`](data::Dataset) of query rows
+//!   fanned across every core;
+//! * [`DbLsh::r_c_nn`] — a single (r,c)-NN probe (Definition 2);
+//! * [`DbLsh::k_ann_incremental`] — ladder-free best-first browsing.
+//!
+//! ## Dynamic updates
+//!
+//! Query-based dynamic bucketing stores *projections*, not buckets, so
+//! the index updates in place: [`DbLsh::insert`] projects a new point
+//! into all `L` R*-trees, [`DbLsh::remove`] deletes one and tombstones
+//! its row. No rebuild, no bucket re-quantization — the property that
+//! distinguishes DB-LSH from every static `(K, L)`-index baseline in
+//! [`baselines`].
+//!
+//! ```
+//! # use db_lsh::DbLshBuilder;
+//! # use db_lsh::data::synthetic::{gaussian_mixture, MixtureConfig};
+//! # let data = gaussian_mixture(&MixtureConfig { n: 500, dim: 16, ..Default::default() });
+//! let mut index = DbLshBuilder::new().build(data).unwrap();
+//! let id = index.insert(&vec![0.5; 16]).unwrap();
+//! assert!(index.contains(id));
+//! assert!(index.remove(id).unwrap());
+//! assert!(!index.contains(id));
 //! ```
 
-pub use dblsh_core::{DbLsh, DbLshParams, GaussianHasher};
+pub use dblsh_core::{DbLsh, DbLshBuilder, DbLshError, DbLshParams, GaussianHasher, SearchOptions};
 pub use dblsh_data::{AnnIndex, Neighbor, QueryStats, SearchResult};
 
 /// Dataset substrate: synthetic generators, fvecs I/O, ground truth,
-/// metrics, paper-dataset registry.
+/// metrics, paper-dataset registry, and the [`DbLshError`] type.
 pub use dblsh_data as data;
 
 /// The baseline algorithms of the paper's evaluation.

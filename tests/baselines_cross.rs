@@ -4,9 +4,9 @@
 use std::sync::Arc;
 
 use db_lsh::baselines::{
-    e2lsh::E2LshParams, lccs::LccsParams, lsb::LsbParams, pm_lsh::PmLshParams,
-    qalsh::QalshParams, r2lsh::R2LshParams, vhp::VhpParams, E2Lsh, FbLsh, LccsLsh, LinearScan,
-    LsbForest, PmLsh, Qalsh, R2Lsh, Vhp,
+    e2lsh::E2LshParams, lccs::LccsParams, lsb::LsbParams, pm_lsh::PmLshParams, qalsh::QalshParams,
+    r2lsh::R2LshParams, vhp::VhpParams, E2Lsh, FbLsh, LccsLsh, LinearScan, LsbForest, PmLsh, Qalsh,
+    R2Lsh, Vhp,
 };
 use db_lsh::data::ground_truth::exact_knn;
 use db_lsh::data::synthetic::{gaussian_mixture, split_queries, MixtureConfig};
@@ -31,7 +31,7 @@ fn all_indexes(data: &Arc<Dataset>) -> Vec<Box<dyn AnnIndex>> {
     let n = data.len();
     let dbp = DbLshParams::paper_defaults(n).with_r_min(0.5);
     vec![
-        Box::new(DbLsh::build(Arc::clone(data), &dbp)),
+        Box::new(DbLsh::build(Arc::clone(data), &dbp).expect("DB-LSH build")),
         Box::new(FbLsh::build(Arc::clone(data), &dbp, 24)),
         Box::new(E2Lsh::build(
             Arc::clone(data),
@@ -69,7 +69,7 @@ fn uniform_contract_for_every_algorithm() {
 
     for index in &indexes {
         for qi in 0..3 {
-            let res = index.search(queries.point(qi), 10);
+            let res = index.search(queries.point(qi), 10).unwrap();
             assert!(
                 res.neighbors.len() <= 10,
                 "{} returned more than k",
@@ -103,9 +103,9 @@ fn every_algorithm_beats_random_guessing() {
     let truth = exact_knn(&data, &queries, 10);
     for index in all_indexes(&data) {
         let mut recalls = Vec::new();
-        for qi in 0..queries.len() {
-            let res = index.search(queries.point(qi), 10);
-            recalls.push(metrics::recall(&res.neighbors, &truth[qi]));
+        for (qi, t) in truth.iter().enumerate() {
+            let res = index.search(queries.point(qi), 10).unwrap();
+            recalls.push(metrics::recall(&res.neighbors, t));
         }
         let recall = metrics::mean(&recalls);
         // random guessing on 4000 points scores ~10/4000
@@ -129,9 +129,9 @@ fn dblsh_is_most_accurate_at_paper_settings() {
             continue;
         }
         let mut recalls = Vec::new();
-        for qi in 0..queries.len() {
-            let res = index.search(queries.point(qi), 10);
-            recalls.push(metrics::recall(&res.neighbors, &truth[qi]));
+        for (qi, t) in truth.iter().enumerate() {
+            let res = index.search(queries.point(qi), 10).unwrap();
+            recalls.push(metrics::recall(&res.neighbors, t));
         }
         scores.push((index.name().to_string(), metrics::mean(&recalls)));
     }

@@ -8,7 +8,7 @@ use db_lsh::baselines::{pm_lsh::PmLshParams, FbLsh, LinearScan, PmLsh};
 use db_lsh::data::ground_truth::exact_knn;
 use db_lsh::data::synthetic::{gaussian_mixture, split_queries, MixtureConfig};
 use db_lsh::data::{metrics, AnnIndex, Dataset};
-use db_lsh::{DbLsh, DbLshParams};
+use db_lsh::{DbLsh, DbLshBuilder, DbLshParams};
 
 fn workload(seed: u64) -> (Arc<Dataset>, Dataset) {
     let mut data = gaussian_mixture(&MixtureConfig {
@@ -25,9 +25,10 @@ fn workload(seed: u64) -> (Arc<Dataset>, Dataset) {
 }
 
 fn dblsh_index(data: &Arc<Dataset>) -> DbLsh {
-    let mut params = DbLshParams::paper_defaults(data.len());
-    params.r_min = DbLsh::estimate_r_min(data, &params, 200);
-    DbLsh::build(Arc::clone(data), &params)
+    DbLshBuilder::new()
+        .auto_r_min()
+        .build(Arc::clone(data))
+        .expect("DB-LSH build")
 }
 
 #[test]
@@ -37,10 +38,10 @@ fn dblsh_end_to_end_recall() {
     let truth = exact_knn(&data, &queries, 20);
     let mut recalls = Vec::new();
     let mut ratios = Vec::new();
-    for qi in 0..queries.len() {
-        let res = index.k_ann(queries.point(qi), 20);
-        recalls.push(metrics::recall(&res.neighbors, &truth[qi]));
-        let r = metrics::overall_ratio(&res.neighbors, &truth[qi]);
+    for (qi, t) in truth.iter().enumerate() {
+        let res = index.k_ann(queries.point(qi), 20).unwrap();
+        recalls.push(metrics::recall(&res.neighbors, t));
+        let r = metrics::overall_ratio(&res.neighbors, t);
         if r.is_finite() {
             ratios.push(r);
         }
@@ -64,10 +65,10 @@ fn c2_ann_guarantee_holds_with_margin() {
         let index = dblsh_index(&data);
         let truth = exact_knn(&data, &queries, 1);
         let c2 = index.params().c * index.params().c;
-        for qi in 0..queries.len() {
+        for (qi, t) in truth.iter().enumerate() {
             total += 1;
-            if let (Some(hit), _) = index.c_ann(queries.point(qi)) {
-                if (hit.dist as f64) <= c2 * truth[qi][0].dist as f64 + 1e-6 {
+            if let (Some(hit), _) = index.c_ann(queries.point(qi)).unwrap() {
+                if (hit.dist as f64) <= c2 * t[0].dist as f64 + 1e-6 {
                     successes += 1;
                 }
             }
@@ -87,13 +88,13 @@ fn dynamic_beats_fixed_bucketing_on_accuracy() {
         let (data, queries) = workload(seed);
         let mut params = DbLshParams::paper_defaults(data.len());
         params.r_min = DbLsh::estimate_r_min(&data, &params, 200);
-        let db = DbLsh::build(Arc::clone(&data), &params);
+        let db = DbLsh::build(Arc::clone(&data), &params).expect("DB-LSH build");
         let fb = FbLsh::build(Arc::clone(&data), &params, 24);
         let truth = exact_knn(&data, &queries, 10);
-        for qi in 0..queries.len() {
+        for (qi, t) in truth.iter().enumerate() {
             let q = queries.point(qi);
-            db_total += metrics::recall(&db.search(q, 10).neighbors, &truth[qi]);
-            fb_total += metrics::recall(&fb.search(q, 10).neighbors, &truth[qi]);
+            db_total += metrics::recall(&db.search(q, 10).unwrap().neighbors, t);
+            fb_total += metrics::recall(&fb.search(q, 10).unwrap().neighbors, t);
         }
     }
     assert!(
@@ -115,7 +116,7 @@ fn all_algorithms_agree_with_exact_on_easy_queries() {
     let linear = LinearScan::build(Arc::clone(&data));
     let pmlsh = PmLsh::build(Arc::clone(&data), &PmLshParams::default());
     for index in [&linear as &dyn AnnIndex, &pmlsh] {
-        let res = index.search(&q, 3);
+        let res = index.search(&q, 3).unwrap();
         assert_eq!(
             res.neighbors[0].id,
             77,
@@ -126,7 +127,7 @@ fn all_algorithms_agree_with_exact_on_easy_queries() {
     }
 
     let dblsh = dblsh_index(&data);
-    let res = dblsh.search(&q, 3);
+    let res = dblsh.search(&q, 3).unwrap();
     let bound = dblsh.params().c * dblsh.params().c * dblsh.params().r_min;
     assert!(
         (res.neighbors[0].dist as f64) <= bound,
@@ -141,7 +142,7 @@ fn search_results_never_exceed_k_and_are_sorted() {
     let index = dblsh_index(&data);
     for k in [1usize, 7, 50] {
         for qi in 0..5 {
-            let res = index.search(queries.point(qi), k);
+            let res = index.search(queries.point(qi), k).unwrap();
             assert!(res.neighbors.len() <= k);
             assert!(res.neighbors.windows(2).all(|w| w[0].dist <= w[1].dist));
         }
@@ -154,8 +155,8 @@ fn deterministic_given_seed() {
     let a = dblsh_index(&data);
     let b = dblsh_index(&data);
     for qi in 0..queries.len().min(5) {
-        let ra = a.k_ann(queries.point(qi), 10);
-        let rb = b.k_ann(queries.point(qi), 10);
+        let ra = a.k_ann(queries.point(qi), 10).unwrap();
+        let rb = b.k_ann(queries.point(qi), 10).unwrap();
         assert_eq!(ra.ids(), rb.ids(), "query {qi} differs between builds");
     }
 }

@@ -26,8 +26,8 @@ fn fvecs_roundtrip_through_disk_and_index() {
     let loaded = Arc::new(loaded);
     let mut params = DbLshParams::paper_defaults(loaded.len()).with_kl(6, 3);
     params.r_min = DbLsh::estimate_r_min(&loaded, &params, 100);
-    let index = DbLsh::build(Arc::clone(&loaded), &params);
-    let res = index.k_ann(loaded.point(0), 5);
+    let index = DbLsh::build(Arc::clone(&loaded), &params).expect("build");
+    let res = index.k_ann(loaded.point(0), 5).unwrap();
     // the true NN distance is 0 (the point itself); the ladder guarantee
     // at r* = 0 is c^2 * r_min
     let bound = params.c * params.c * params.r_min;
@@ -45,23 +45,25 @@ fn degenerate_datasets_are_handled() {
         vec![9.0],
         vec![2.1],
     ]));
-    let params = DbLshParams::paper_defaults(5).with_kl(2, 2).with_r_min(0.01);
-    let index = DbLsh::build(Arc::clone(&data), &params);
-    let res = index.k_ann(&[2.05], 2);
+    let params = DbLshParams::paper_defaults(5)
+        .with_kl(2, 2)
+        .with_r_min(0.01);
+    let index = DbLsh::build(Arc::clone(&data), &params).expect("build");
+    let res = index.k_ann(&[2.05], 2).unwrap();
     assert_eq!(res.neighbors.len(), 2);
     // true NNs are 2.0 and 2.1 at distance 0.05; the c-approximate answer
     // must stay in that neighborhood
     assert!(res.neighbors.iter().all(|n| n.dist <= 0.2), "{res:?}");
 
     // n < k
-    let res = index.k_ann(&[0.0], 50);
+    let res = index.k_ann(&[0.0], 50).unwrap();
     assert!(res.neighbors.len() <= 5);
 
     // all-identical dataset
     let same = Arc::new(db_lsh::data::Dataset::from_rows(&vec![vec![3.0f32; 4]; 20]));
     let params = DbLshParams::paper_defaults(20).with_kl(2, 2);
-    let index = DbLsh::build(Arc::clone(&same), &params);
-    let res = index.k_ann(&[3.0f32; 4], 5);
+    let index = DbLsh::build(Arc::clone(&same), &params).expect("build");
+    let res = index.k_ann(&[3.0f32; 4], 5).unwrap();
     assert_eq!(res.neighbors.len(), 5);
     assert!(res.neighbors.iter().all(|n| n.dist == 0.0));
 }
