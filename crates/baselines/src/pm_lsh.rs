@@ -19,7 +19,7 @@
 use std::sync::Arc;
 
 use dblsh_data::{check_query, AnnIndex, Dataset, DbLshError, SearchResult};
-use dblsh_index::RStarTree;
+use dblsh_index::{RStarTree, StridedCoords};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
@@ -53,6 +53,10 @@ pub struct PmLsh {
     params: PmLshParams,
     /// Projection matrix `[m][dim]`.
     proj: Vec<f64>,
+    /// Projected dataset, row-major `n x m`, stored at `f32` (the
+    /// dataset's own precision) — the single coordinate store the
+    /// id-only tree resolves leaf entries through.
+    projected: Vec<f32>,
     tree: RStarTree,
     data: Arc<Dataset>,
 }
@@ -66,19 +70,20 @@ impl PmLsh {
         let mut rng = StdRng::seed_from_u64(params.seed);
         let proj: Vec<f64> = (0..params.m * dim).map(|_| normal(&mut rng)).collect();
 
-        let mut projected = vec![0.0f64; n * params.m];
+        let mut projected = vec![0.0f32; n * params.m];
         for row in 0..n {
             let point = data.point(row);
             for j in 0..params.m {
-                projected[row * params.m + j] = dot(&proj[j * dim..(j + 1) * dim], point);
+                projected[row * params.m + j] = dot(&proj[j * dim..(j + 1) * dim], point) as f32;
             }
         }
         let ids: Vec<u32> = (0..n as u32).collect();
-        let tree = RStarTree::bulk_load(params.m, &ids, &projected);
+        let tree = RStarTree::bulk_load(&StridedCoords::flat(params.m, &projected), &ids);
 
         PmLsh {
             params: params.clone(),
             proj,
+            projected,
             tree,
             data,
         }
@@ -111,7 +116,8 @@ impl AnnIndex for PmLsh {
         let qproj = self.project_query(query);
         let stop_scale = (p.m as f64).sqrt() * p.c;
 
-        for (id, proj_d2) in self.tree.nearest_iter(&qproj) {
+        let coords = StridedCoords::flat(self.params.m, &self.projected);
+        for (id, proj_d2) in self.tree.nearest_iter(&coords, &qproj) {
             // Early termination on the projected-distance estimator.
             let kth = verifier.kth_dist();
             if kth.is_finite() && proj_d2.sqrt() > stop_scale * kth {
@@ -129,7 +135,7 @@ impl AnnIndex for PmLsh {
     }
 
     fn index_size_bytes(&self) -> usize {
-        self.tree.approx_memory() + self.proj.len() * 8
+        self.tree.approx_memory() + self.projected.len() * 4 + self.proj.len() * 8
     }
 }
 

@@ -15,7 +15,7 @@
 use std::sync::Arc;
 
 use dblsh_data::{check_query, AnnIndex, Dataset, DbLshError, SearchResult};
-use dblsh_index::{RStarTree, Rect};
+use dblsh_index::{RStarTree, Rect, StridedCoords};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
@@ -73,8 +73,21 @@ pub struct R2Lsh {
     params: R2LshParams,
     /// `[m][dim]` projection matrix; plane `p` uses rows `2p, 2p+1`.
     proj: Vec<f64>,
+    /// Projected dataset: plane `p`'s `n x 2` coordinate block occupies
+    /// `coords[p*n*2 .. (p+1)*n*2]` — the id-only plane trees resolve
+    /// their leaf entries through per-plane views of this one `f32`
+    /// buffer (the dataset's own precision).
+    coords: Vec<f32>,
     planes: Vec<RStarTree>,
     data: Arc<Dataset>,
+}
+
+impl R2Lsh {
+    /// Coordinate view of plane `p`.
+    fn plane_coords(&self, p: usize) -> StridedCoords<'_> {
+        let n = self.data.len();
+        StridedCoords::flat(2, &self.coords[p * n * 2..(p + 1) * n * 2])
+    }
 }
 
 impl R2Lsh {
@@ -92,21 +105,26 @@ impl R2Lsh {
         let planes_n = params.m / 2;
         let ids: Vec<u32> = (0..n as u32).collect();
         let mut planes = Vec::with_capacity(planes_n);
-        let mut coords = vec![0.0f64; n * 2];
+        let mut coords = vec![0.0f32; planes_n * n * 2];
         for p in 0..planes_n {
             let ax = &proj[(2 * p) * dim..(2 * p + 1) * dim];
             let ay = &proj[(2 * p + 1) * dim..(2 * p + 2) * dim];
+            let block = &mut coords[p * n * 2..(p + 1) * n * 2];
             for row in 0..n {
                 let point = data.point(row);
-                coords[row * 2] = dot(ax, point);
-                coords[row * 2 + 1] = dot(ay, point);
+                block[row * 2] = dot(ax, point) as f32;
+                block[row * 2 + 1] = dot(ay, point) as f32;
             }
-            planes.push(RStarTree::bulk_load(2, &ids, &coords));
+            planes.push(RStarTree::bulk_load(
+                &StridedCoords::flat(2, &coords[p * n * 2..(p + 1) * n * 2]),
+                &ids,
+            ));
         }
 
         R2Lsh {
             params: params.clone(),
             proj,
+            coords,
             planes,
             data,
         }
@@ -151,8 +169,9 @@ impl AnnIndex for R2Lsh {
             let cr = p.c * r;
             let side = p.lambda * p.w * r;
             for (pl, tree) in self.planes.iter().enumerate() {
+                let view = self.plane_coords(pl);
                 let window = Rect::centered_cube(&centers[pl], side);
-                for (id, _) in tree.window(&window) {
+                for id in tree.window(&view, &window) {
                     if !seen[pl].insert(id) {
                         continue;
                     }
@@ -180,7 +199,9 @@ impl AnnIndex for R2Lsh {
     }
 
     fn index_size_bytes(&self) -> usize {
-        self.planes.iter().map(|t| t.approx_memory()).sum::<usize>() + self.proj.len() * 8
+        self.planes.iter().map(|t| t.approx_memory()).sum::<usize>()
+            + self.coords.len() * 4
+            + self.proj.len() * 8
     }
 }
 

@@ -6,7 +6,7 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use dblsh_bptree::BPlusTree;
 use dblsh_core::GaussianHasher;
 use dblsh_data::synthetic::{gaussian_mixture, MixtureConfig};
-use dblsh_index::{RStarTree, Rect};
+use dblsh_index::{RStarTree, Rect, StridedCoords};
 use dblsh_math::{normal_cdf, p_dynamic, rho_dynamic};
 
 fn bench_math(c: &mut Criterion) {
@@ -36,7 +36,7 @@ fn bench_hashing(c: &mut Criterion) {
     g.finish();
 }
 
-fn projected_cloud(n: usize, k: usize) -> (Vec<u32>, Vec<f64>) {
+fn projected_cloud(n: usize, k: usize) -> (Vec<u32>, Vec<f32>, Vec<f64>) {
     let data = gaussian_mixture(&MixtureConfig {
         n,
         dim: 32,
@@ -46,21 +46,20 @@ fn projected_cloud(n: usize, k: usize) -> (Vec<u32>, Vec<f64>) {
     });
     let hasher = GaussianHasher::new(32, k, 1, 2);
     let proj = hasher.project_all(0, data.flat());
-    ((0..n as u32).collect(), proj)
+    let proj32: Vec<f32> = proj.iter().map(|&v| v as f32).collect();
+    let center = proj[..k].to_vec();
+    ((0..n as u32).collect(), proj32, center)
 }
 
-fn bench_rtree(c: &mut Criterion) {
-    let mut g = c.benchmark_group("rstar_tree");
+fn bench_rtree_100k(c: &mut Criterion) {
+    // The acceptance benchmark for the flat-layout refactor: window-query
+    // throughput over a 100k-point projected cloud at K = 10.
+    let mut g = c.benchmark_group("rstar_tree_100k");
     g.sample_size(20);
-    let (ids, proj) = projected_cloud(20_000, 10);
-
-    g.bench_function("bulk_load_20k_k10", |b| {
-        b.iter(|| RStarTree::bulk_load(10, black_box(&ids), black_box(&proj)));
-    });
-
-    let tree = RStarTree::bulk_load(10, &ids, &proj);
-    let center: Vec<f64> = proj[..10].to_vec();
-    for width in [5.0f64, 20.0, 80.0] {
+    let (ids, proj, center) = projected_cloud(100_000, 10);
+    let src = StridedCoords::flat(10, &proj);
+    let tree = RStarTree::bulk_load(&src, &ids);
+    for width in [10.0f64, 40.0, 120.0] {
         let window = Rect::centered_cube(&center, width);
         g.bench_with_input(
             BenchmarkId::new("window_query", width as u64),
@@ -68,7 +67,7 @@ fn bench_rtree(c: &mut Criterion) {
             |b, w| {
                 b.iter(|| {
                     let mut count = 0usize;
-                    for item in tree.window(black_box(w)) {
+                    for item in tree.window(&src, black_box(w)) {
                         count += 1;
                         black_box(item);
                     }
@@ -78,7 +77,41 @@ fn bench_rtree(c: &mut Criterion) {
         );
     }
     g.bench_function("knn_10", |b| {
-        b.iter(|| tree.k_nearest(black_box(&center), 10));
+        b.iter(|| tree.k_nearest(&src, black_box(&center), 10));
+    });
+    g.finish();
+}
+
+fn bench_rtree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rstar_tree");
+    g.sample_size(20);
+    let (ids, proj, center) = projected_cloud(20_000, 10);
+    let src = StridedCoords::flat(10, &proj);
+
+    g.bench_function("bulk_load_20k_k10", |b| {
+        b.iter(|| RStarTree::bulk_load(&src, black_box(&ids)));
+    });
+
+    let tree = RStarTree::bulk_load(&src, &ids);
+    for width in [5.0f64, 20.0, 80.0] {
+        let window = Rect::centered_cube(&center, width);
+        g.bench_with_input(
+            BenchmarkId::new("window_query", width as u64),
+            &window,
+            |b, w| {
+                b.iter(|| {
+                    let mut count = 0usize;
+                    for item in tree.window(&src, black_box(w)) {
+                        count += 1;
+                        black_box(item);
+                    }
+                    count
+                });
+            },
+        );
+    }
+    g.bench_function("knn_10", |b| {
+        b.iter(|| tree.k_nearest(&src, black_box(&center), 10));
     });
     g.finish();
 }
@@ -118,6 +151,7 @@ criterion_group!(
     bench_math,
     bench_hashing,
     bench_rtree,
+    bench_rtree_100k,
     bench_bptree
 );
 criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Bench-harness smoke run: build DB-LSH over a tiny synthetic dataset,
+//! answer queries, and print the per-component index-size breakdown
+//! (shared projection store vs flat tree arenas). Fails loudly — CI runs
+//! this so layout or recall regressions surface before any full
+//! experiment does.
+//!
+//! Run: `cargo run -p dblsh-bench --release --bin smoke`
+
+use std::sync::Arc;
+
+use dblsh_bench::{evaluate, Env};
+use dblsh_core::{DbLsh, DbLshParams};
+use dblsh_data::synthetic::MixtureConfig;
+use dblsh_data::AnnIndex;
+use std::time::Instant;
+
+fn main() {
+    let mut env = Env::from_config(
+        "smoke".into(),
+        &MixtureConfig {
+            n: 5_000,
+            dim: 24,
+            clusters: 25,
+            cluster_std: 1.0,
+            spread: 60.0,
+            noise_frac: 0.02,
+            seed: 7,
+        },
+    );
+
+    let params = DbLshParams::paper_defaults(env.data.len()).with_r_min(env.r_hint.max(1e-9));
+    let start = Instant::now();
+    let index = DbLsh::build(Arc::clone(&env.data), &params).expect("smoke build");
+    let build_s = start.elapsed().as_secs_f64();
+
+    // Per-component index size: the one shared ProjStore vs the L
+    // id-only tree arenas.
+    let mb = |b: usize| b as f64 / (1024.0 * 1024.0);
+    let breakdown = index.memory_breakdown();
+    println!("== index size breakdown ==");
+    println!(
+        "ProjStore (n x L*K coords, f32): {:>9.3} MB",
+        mb(breakdown.proj_store_bytes)
+    );
+    println!(
+        "{} tree arenas (ids + bounds):    {:>9.3} MB",
+        index.params().l,
+        mb(breakdown.tree_bytes)
+    );
+    for (i, s) in index.tree_stats().iter().enumerate() {
+        println!(
+            "  tree {i}: {} nodes, {} leaf entries, {} inner entries, {:.3} MB",
+            s.nodes,
+            s.leaf_entries,
+            s.inner_entries,
+            mb(s.structure_bytes)
+        );
+    }
+    println!(
+        "total:                           {:>9.3} MB",
+        mb(breakdown.total())
+    );
+    assert_eq!(breakdown.total(), index.index_size_bytes());
+
+    let row = evaluate(&index, &mut env, 10, build_s);
+    println!(
+        "\nsmoke eval: recall {:.3}, ratio {:.4}, {:.3} ms/query, {:.0} candidates",
+        row.recall, row.ratio, row.query_ms, row.candidates
+    );
+    assert!(row.recall > 0.5, "smoke recall collapsed: {}", row.recall);
+    assert!(row.ratio >= 1.0 - 1e-6, "ratio below 1: {}", row.ratio);
+    println!("smoke OK");
+}

@@ -1,9 +1,10 @@
 //! Index construction (paper Section IV-B) and dynamic maintenance:
-//! project the dataset into `L` K-dimensional spaces, bulk-load one
-//! R*-tree per space, and keep the trees in sync under point insertions
-//! and removals — the update path the paper's dynamic bucketing makes
-//! possible ("DB-LSH naturally supports updates since the R*-tree is a
-//! dynamic structure").
+//! project the dataset into `L` K-dimensional spaces — all into one
+//! shared [`ProjStore`] row per point — bulk-load one id-only R*-tree per
+//! space over the store's column views, and keep the trees in sync under
+//! point insertions and removals — the update path the paper's dynamic
+//! bucketing makes possible ("DB-LSH naturally supports updates since the
+//! R*-tree is a dynamic structure").
 
 use std::sync::Arc;
 
@@ -12,6 +13,7 @@ use dblsh_index::RStarTree;
 
 use crate::hasher::GaussianHasher;
 use crate::params::DbLshParams;
+use crate::proj_store::ProjStore;
 
 /// A built DB-LSH index.
 ///
@@ -20,29 +22,32 @@ use crate::params::DbLshParams;
 /// [`DbLsh::search_with`] / [`DbLsh::search_batch`]; maintain dynamically
 /// through [`DbLsh::insert`] and [`DbLsh::remove`].
 ///
+/// Internally the index is **flat**: every point's `L` projections live
+/// in one row of the shared [`ProjStore`], and the `L` R*-trees store
+/// only `u32` ids, resolving coordinates through per-tree column views of
+/// the store. See the [`crate::proj_store`] module docs for the layout.
+///
 /// Removed points are *tombstoned*: their rows stay in the backing
-/// [`Dataset`] (ids are stable row indexes) but they are deleted from all
-/// `L` trees, so no query ever returns them. [`DbLsh::len`] counts live
-/// points only.
+/// [`Dataset`] and in the projection store (ids are stable row indexes)
+/// but they are deleted from all `L` trees, so no query ever returns
+/// them. [`DbLsh::len`] counts live points only.
 #[derive(Debug)]
 pub struct DbLsh {
     pub(crate) params: DbLshParams,
     pub(crate) hasher: GaussianHasher,
     pub(crate) trees: Vec<RStarTree>,
+    pub(crate) store: ProjStore,
     pub(crate) data: Arc<Dataset>,
     /// Tombstone bitset over dataset rows (1 = removed).
     removed: Vec<u64>,
     /// Number of live (non-tombstoned) points.
     live: usize,
-    /// Reusable K-length projection buffer for `insert`/`remove`, so a
-    /// high-churn update workload pays no per-update allocation.
-    update_proj: Vec<f64>,
 }
 
 impl DbLsh {
-    /// Build the index: `L` projections of the full dataset, each
-    /// bulk-loaded into an R*-tree. Projection and tree construction for
-    /// the `L` spaces run on separate threads.
+    /// Build the index: `L` projections of the full dataset written into
+    /// the shared projection store (row-parallel), then one bulk-loaded
+    /// R*-tree per space (tree-parallel) over the store's column views.
     ///
     /// Fails with [`DbLshError::EmptyDataset`] on an empty dataset and
     /// [`DbLshError::InvalidParameter`] on malformed parameters.
@@ -56,25 +61,52 @@ impl DbLsh {
                 limit: u32::MAX as usize,
             });
         }
-        let hasher = GaussianHasher::new(data.dim(), params.k, params.l, params.seed);
-        let ids: Vec<u32> = (0..data.len() as u32).collect();
+        let (l, k) = (params.l, params.k);
+        let hasher = GaussianHasher::new(data.dim(), k, l, params.seed);
+        let n = data.len();
+        let ids: Vec<u32> = (0..n as u32).collect();
 
+        // Phase 1: fill the store row-parallel — each worker projects a
+        // contiguous run of points into all L column windows of its rows
+        // (accumulating in f64, storing at f32).
+        let width = l * k;
+        let mut flat = vec![0.0f32; n * width];
+        let threads = std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(1)
+            .clamp(1, n);
+        let rows_per = n.div_ceil(threads);
+        std::thread::scope(|s| {
+            for (t, chunk) in flat.chunks_mut(rows_per * width).enumerate() {
+                let hasher = &hasher;
+                let data = &data;
+                s.spawn(move || {
+                    let mut scratch = vec![0.0f64; k];
+                    for (r, row) in chunk.chunks_exact_mut(width).enumerate() {
+                        let point = data.point(t * rows_per + r);
+                        for i in 0..l {
+                            hasher.project_into(i, point, &mut scratch);
+                            for (dst, &v) in row[i * k..(i + 1) * k].iter_mut().zip(&scratch) {
+                                *dst = v as f32;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let store = ProjStore::from_flat(l, k, flat);
+
+        // Phase 2: bulk-load the L trees in parallel; each reads only its
+        // own column view of the (now immutable) store.
         let mut trees: Vec<Option<RStarTree>> = Vec::new();
-        trees.resize_with(params.l, || None);
+        trees.resize_with(l, || None);
         let cap = params.node_capacity;
         std::thread::scope(|s| {
             for (i, slot) in trees.iter_mut().enumerate() {
-                let hasher = &hasher;
-                let data = &data;
+                let store = &store;
                 let ids = &ids;
                 s.spawn(move || {
-                    let projected = hasher.project_all(i, data.flat());
-                    *slot = Some(RStarTree::bulk_load_with_capacity(
-                        hasher.k(),
-                        ids,
-                        &projected,
-                        cap,
-                    ));
+                    *slot = Some(RStarTree::bulk_load_with_capacity(&store.view(i), ids, cap));
                 });
             }
         });
@@ -84,10 +116,10 @@ impl DbLsh {
             params: params.clone(),
             hasher,
             trees: trees.into_iter().map(|t| t.expect("tree built")).collect(),
+            store,
             data,
             removed: vec![0; live.div_ceil(64)],
             live,
-            update_proj: vec![0.0; params.k],
         })
     }
 
@@ -105,6 +137,17 @@ impl DbLsh {
     /// The projection family.
     pub fn hasher(&self) -> &GaussianHasher {
         &self.hasher
+    }
+
+    /// The shared projected-point store backing all `L` trees.
+    pub fn proj_store(&self) -> &ProjStore {
+        &self.store
+    }
+
+    /// Per-tree structure statistics (node counts, entry counts, arena
+    /// bytes) — the tree side of [`DbLsh::memory_breakdown`].
+    pub fn tree_stats(&self) -> Vec<dblsh_index::TreeStats> {
+        self.trees.iter().map(|t| t.stats()).collect()
     }
 
     /// Number of live indexed points (insertions minus removals).
@@ -127,9 +170,10 @@ impl DbLsh {
         self.removed[(id / 64) as usize] & (1u64 << (id % 64)) != 0
     }
 
-    /// Insert one point, projecting it into all `L` spaces and inserting
-    /// it into every tree (R\* insertion with forced reinsertion). Returns
-    /// the new point's id — its row index in [`DbLsh::data`].
+    /// Insert one point: append its row to the dataset and the projection
+    /// store, then insert the id into every tree (R\* insertion with
+    /// forced reinsertion). Returns the new point's id — its row index in
+    /// [`DbLsh::data`].
     ///
     /// If other `Arc` handles to the dataset are alive, the first insert
     /// after a build clones the backing matrix (copy-on-write); handles
@@ -151,12 +195,12 @@ impl DbLsh {
         }
         let id = self.data.len() as u32;
         Arc::make_mut(&mut self.data).try_push(point)?;
-        let mut proj = std::mem::take(&mut self.update_proj);
-        for i in 0..self.params.l {
-            self.hasher.project_into(i, point, &mut proj);
-            self.trees[i].insert(id, &proj);
+        let store_id = self.store.push_projected(&self.hasher, point);
+        debug_assert_eq!(store_id, id, "store rows out of step with dataset rows");
+        let store = &self.store;
+        for (i, tree) in self.trees.iter_mut().enumerate() {
+            tree.insert(&store.view(i), id);
         }
-        self.update_proj = proj;
         if self.removed.len() * 64 <= id as usize {
             self.removed.push(0);
         }
@@ -168,6 +212,9 @@ impl DbLsh {
     /// row. Returns `Ok(true)` if the point was live, `Ok(false)` if it
     /// had already been removed, and `Err(UnknownId)` if `id` never named
     /// a point of this index.
+    ///
+    /// The removal descends each tree guided by the id's stored
+    /// projection row — no re-projection work is done.
     pub fn remove(&mut self, id: u32) -> Result<bool, DbLshError> {
         if id as usize >= self.data.len() {
             return Err(DbLshError::UnknownId { id });
@@ -175,42 +222,44 @@ impl DbLsh {
         if self.is_removed(id) {
             return Ok(false);
         }
-        let mut proj = std::mem::take(&mut self.update_proj);
-        for i in 0..self.params.l {
-            self.hasher
-                .project_into(i, self.data.point(id as usize), &mut proj);
-            let found = self.trees[i].remove(id, &proj);
+        let store = &self.store;
+        for (i, tree) in self.trees.iter_mut().enumerate() {
+            let found = tree.remove(&store.view(i), id);
             debug_assert!(found, "live id {id} missing from tree {i}");
         }
-        self.update_proj = proj;
         self.removed[(id / 64) as usize] |= 1u64 << (id % 64);
         self.live -= 1;
         Ok(true)
     }
 
-    /// Verify cross-structure invariants: every tree holds exactly the
-    /// live ids, at exactly the coordinates the hasher assigns them, and
-    /// satisfies its own R\* invariants. Panics with a description on
-    /// violation. Exposed for tests and debugging; cost is
-    /// `O(L * n * (K * d + log n))`.
+    /// Verify cross-structure invariants: the store mirrors the dataset
+    /// row for row, every tree holds exactly the live ids, at exactly the
+    /// coordinates the hasher assigns them, and satisfies its own R\*
+    /// invariants. Panics with a description on violation. Exposed for
+    /// tests and debugging; cost is `O(L * n * (K * d + log n))`.
     pub fn check_invariants(&self) {
+        assert_eq!(
+            self.store.len(),
+            self.data.len(),
+            "projection store out of sync with dataset"
+        );
         let live_ids: Vec<u32> = (0..self.data.len() as u32)
             .filter(|&id| !self.is_removed(id))
             .collect();
         assert_eq!(live_ids.len(), self.live, "live counter out of sync");
         let mut proj = vec![0.0f64; self.params.k];
         for (i, tree) in self.trees.iter().enumerate() {
-            tree.check_invariants();
+            let view = self.store.view(i);
+            tree.check_invariants(&view);
             assert_eq!(tree.len(), self.live, "tree {i} size != live count");
-            let mut ids: Vec<u32> = tree.iter_points().map(|(id, _)| id).collect();
+            let mut ids: Vec<u32> = tree.iter_points(&view).map(|(id, _)| id).collect();
             ids.sort_unstable();
             assert_eq!(ids, live_ids, "tree {i} does not hold exactly the live ids");
-            for (id, coords) in tree.iter_points() {
+            for (id, coords) in tree.iter_points(&view) {
                 self.hasher
                     .project_into(i, self.data.point(id as usize), &mut proj);
-                assert_eq!(
-                    coords,
-                    &proj[..],
+                assert!(
+                    coords.iter().zip(&proj).all(|(&c, &p)| c == p as f32),
                     "tree {i} stores id {id} at stale coordinates"
                 );
             }
@@ -282,11 +331,13 @@ mod tests {
         let params = DbLshParams::paper_defaults(data.len()).with_kl(6, 3);
         let idx = DbLsh::build(Arc::clone(&data), &params).unwrap();
         assert_eq!(idx.trees.len(), 3);
-        for t in &idx.trees {
+        for (i, t) in idx.trees.iter().enumerate() {
             assert_eq!(t.len(), 1000);
             assert_eq!(t.dim(), 6);
-            t.check_invariants();
+            t.check_invariants(&idx.store.view(i));
         }
+        assert_eq!(idx.store.len(), 1000);
+        assert_eq!(idx.store.row_width(), 18);
         assert_eq!(idx.len(), 1000);
         assert!(!idx.is_empty());
     }
@@ -297,9 +348,13 @@ mod tests {
         let params = DbLshParams::paper_defaults(data.len()).with_kl(4, 2);
         let a = DbLsh::build(Arc::clone(&data), &params).unwrap();
         let b = DbLsh::build(Arc::clone(&data), &params).unwrap();
-        // same projections => same tree MBRs
-        for (ta, tb) in a.trees.iter().zip(&b.trees) {
-            assert_eq!(ta.mbr(), tb.mbr());
+        // same projections => identical stores and same tree MBRs
+        assert_eq!(a.store.row(0), b.store.row(0));
+        for i in 0..a.trees.len() {
+            assert_eq!(
+                a.trees[i].mbr(&a.store.view(i)),
+                b.trees[i].mbr(&b.store.view(i))
+            );
         }
     }
 
@@ -334,7 +389,7 @@ mod tests {
     }
 
     #[test]
-    fn insert_grows_every_tree() {
+    fn insert_grows_every_tree_and_the_store() {
         let data = small_data();
         let params = DbLshParams::paper_defaults(data.len()).with_kl(5, 3);
         let mut idx = DbLsh::build(Arc::clone(&data), &params).unwrap();
@@ -342,10 +397,11 @@ mod tests {
         let id = idx.insert(&p).unwrap();
         assert_eq!(id, 1000);
         assert_eq!(idx.len(), 1001);
+        assert_eq!(idx.store.len(), 1001);
         assert!(idx.contains(id));
-        for t in &idx.trees {
+        for (i, t) in idx.trees.iter().enumerate() {
             assert_eq!(t.len(), 1001);
-            t.check_invariants();
+            t.check_invariants(&idx.store.view(i));
         }
         // the backing dataset gained the row
         assert_eq!(idx.data().point(1000), &p[..]);
@@ -368,6 +424,7 @@ mod tests {
             DbLshError::NonFiniteCoordinate
         );
         assert_eq!(idx.len(), 1000, "failed inserts must not change the index");
+        assert_eq!(idx.store.len(), 1000);
     }
 
     #[test]
@@ -383,9 +440,11 @@ mod tests {
         );
         assert_eq!(idx.len(), 999);
         assert!(!idx.contains(17));
-        for t in &idx.trees {
+        // the store keeps the tombstoned row (ids are stable)
+        assert_eq!(idx.store.len(), 1000);
+        for (i, t) in idx.trees.iter().enumerate() {
             assert_eq!(t.len(), 999);
-            t.check_invariants();
+            t.check_invariants(&idx.store.view(i));
         }
     }
 

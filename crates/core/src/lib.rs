@@ -52,13 +52,15 @@ mod builder;
 mod hasher;
 mod index;
 mod params;
+pub mod proj_store;
 mod query;
 
 pub use builder::DbLshBuilder;
 pub use hasher::GaussianHasher;
 pub use index::DbLsh;
 pub use params::DbLshParams;
-pub use query::SearchOptions;
+pub use proj_store::ProjStore;
+pub use query::{MemoryBreakdown, SearchOptions};
 
 // The workspace error type originates in `dblsh_data` (the crate that
 // defines `AnnIndex`); re-exported here so `dblsh_core` users need not

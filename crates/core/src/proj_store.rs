@@ -1,0 +1,197 @@
+//! The shared projected-point store.
+//!
+//! DB-LSH projects every point into `L` K-dimensional spaces. The seed
+//! layout stored those projections *inside* the trees — one boxed
+//! coordinate slice per leaf entry, per tree — so the same logical matrix
+//! was scattered across `n * L` heap allocations. [`ProjStore`] is the
+//! flat replacement: **one** contiguous row-major `Vec<f32>` of shape
+//! `n x (L*K)`, written once at build/insert time. Row `id` holds the
+//! point's `L` projections back to back (`G_0(o), G_1(o), ..,
+//! G_{L-1}(o)`), and tree `i` reads its K-wide column window through
+//! [`ProjStore::view`] — a borrowed [`StridedCoords`] that implements the
+//! `CoordSource` contract the id-only R*-trees resolve coordinates
+//! through.
+//!
+//! # Ownership story
+//!
+//! The store is owned by `DbLsh`, lives exactly as long as the trees it
+//! backs, and is append-only: `insert` appends one row, `remove` only
+//! tombstones (rows of removed ids are retained so ids stay stable —
+//! exactly mirroring the backing `Dataset`). Because the trees hold bare
+//! ids, dropping/rebuilding a tree never touches the store, and all `L`
+//! trees read disjoint columns of the same cache-resident buffer.
+//!
+//! Precision: projections are dot products accumulated in `f64`
+//! (`GaussianHasher`) and stored at `f32` — the same precision as the
+//! `f32` datasets they are derived from, and half the memory traffic on
+//! every leaf scan. The rounding is deterministic, so `check_invariants`
+//! still compares stored coordinates with freshly recomputed (and
+//! identically rounded) projections by exact equality; query-side
+//! geometry is carried out in `f64` over values cast up from the store.
+
+use dblsh_index::StridedCoords;
+
+use crate::hasher::GaussianHasher;
+
+/// Contiguous row-major storage for all `n x (L*K)` projected
+/// coordinates, with per-tree column views. See the module docs for the
+/// layout and ownership story.
+#[derive(Debug, Clone)]
+pub struct ProjStore {
+    l: usize,
+    k: usize,
+    data: Vec<f32>,
+    /// Reusable K-length f64 projection scratch for [`ProjStore::push_projected`],
+    /// so a high-churn update workload pays no per-update allocation.
+    scratch: Vec<f64>,
+}
+
+impl ProjStore {
+    /// Empty store for `l` trees of projected dimensionality `k`.
+    pub fn new(l: usize, k: usize) -> Self {
+        debug_assert!(l >= 1 && k >= 1);
+        ProjStore {
+            l,
+            k,
+            data: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Store over a pre-filled buffer of `n * l * k` values (row-major
+    /// `[n][l*k]`, debug-checked).
+    pub fn from_flat(l: usize, k: usize, data: Vec<f32>) -> Self {
+        debug_assert!(l >= 1 && k >= 1);
+        debug_assert_eq!(data.len() % (l * k), 0, "flat buffer length mismatch");
+        ProjStore {
+            l,
+            k,
+            data,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Number of trees sharing the store.
+    #[inline]
+    pub fn l(&self) -> usize {
+        self.l
+    }
+
+    /// Projected dimensionality per tree.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Width of one row: `l * k`.
+    #[inline]
+    pub fn row_width(&self) -> usize {
+        self.l * self.k
+    }
+
+    /// Number of stored rows (points, including tombstoned ones).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() / self.row_width()
+    }
+
+    /// True if no rows are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Tree `i`'s coordinate view: the K-wide column window
+    /// `[i*k, (i+1)*k)` of every row, as a borrowed `CoordSource`.
+    #[inline]
+    pub fn view(&self, i: usize) -> StridedCoords<'_> {
+        debug_assert!(i < self.l, "tree index {i} out of range (L = {})", self.l);
+        StridedCoords::new(&self.data, self.row_width(), i * self.k, self.k)
+    }
+
+    /// The full `l*k`-wide projection row of point `id`.
+    #[inline]
+    pub fn row(&self, id: u32) -> &[f32] {
+        let w = self.row_width();
+        &self.data[id as usize * w..(id as usize + 1) * w]
+    }
+
+    /// Append one point's projections (`row.len() == l * k`,
+    /// debug-checked) and return its id (the dense row index).
+    pub fn push_row(&mut self, row: &[f32]) -> u32 {
+        debug_assert_eq!(row.len(), self.row_width(), "projection row width mismatch");
+        let id = self.len() as u32;
+        self.data.extend_from_slice(row);
+        id
+    }
+
+    /// Project `point` with `hasher` into all `l` spaces and append the
+    /// resulting row (projection accumulated in `f64`, stored at `f32`),
+    /// returning the new id.
+    pub fn push_projected(&mut self, hasher: &GaussianHasher, point: &[f32]) -> u32 {
+        debug_assert_eq!(hasher.l(), self.l);
+        debug_assert_eq!(hasher.k(), self.k);
+        let id = self.len() as u32;
+        self.scratch.resize(self.k, 0.0);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        for i in 0..self.l {
+            hasher.project_into(i, point, &mut scratch);
+            self.data.extend(scratch.iter().map(|&v| v as f32));
+        }
+        self.scratch = scratch;
+        id
+    }
+
+    /// Heap footprint of the store in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<f32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dblsh_index::CoordSource;
+
+    #[test]
+    fn views_are_disjoint_column_windows() {
+        // 2 rows, l = 3, k = 2: row r holds [r00, r01, r10, r11, r20, r21]
+        let data: Vec<f32> = (0..12).map(|v| v as f32).collect();
+        let s = ProjStore::from_flat(3, 2, data);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.row_width(), 6);
+        assert_eq!(s.view(0).coords(0), &[0.0, 1.0]);
+        assert_eq!(s.view(1).coords(0), &[2.0, 3.0]);
+        assert_eq!(s.view(2).coords(0), &[4.0, 5.0]);
+        assert_eq!(s.view(0).coords(1), &[6.0, 7.0]);
+        assert_eq!(s.view(2).coords(1), &[10.0, 11.0]);
+        assert_eq!(s.row(1), &[6.0, 7.0, 8.0, 9.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn push_projected_matches_project_into() {
+        let hasher = GaussianHasher::new(8, 3, 2, 42);
+        let mut store = ProjStore::new(2, 3);
+        let p: Vec<f32> = (0..8).map(|i| i as f32 * 0.3).collect();
+        let id = store.push_projected(&hasher, &p);
+        assert_eq!(id, 0);
+        assert_eq!(store.len(), 1);
+        let mut expect = vec![0.0f64; 3];
+        for i in 0..2 {
+            hasher.project_into(i, &p, &mut expect);
+            let expect32: Vec<f32> = expect.iter().map(|&v| v as f32).collect();
+            assert_eq!(store.view(i).coords(0), &expect32[..]);
+        }
+    }
+
+    #[test]
+    fn push_row_appends_dense_ids() {
+        let mut s = ProjStore::new(2, 2);
+        assert!(s.is_empty());
+        assert_eq!(s.push_row(&[1.0, 2.0, 3.0, 4.0]), 0);
+        assert_eq!(s.push_row(&[5.0, 6.0, 7.0, 8.0]), 1);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.view(1).coords(1), &[7.0, 8.0]);
+        assert!(s.memory_bytes() >= 8 * std::mem::size_of::<f32>());
+    }
+}

@@ -34,6 +34,26 @@ use dblsh_index::Rect;
 
 use crate::index::DbLsh;
 
+/// Per-component heap footprint of a [`DbLsh`] index — what the bench
+/// harness reports as "index size", split by owner. Returned by
+/// [`DbLsh::memory_breakdown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryBreakdown {
+    /// The shared projected-point store: all `n x (L*K)` coordinates,
+    /// stored once, row-major.
+    pub proj_store_bytes: usize,
+    /// The `L` flat tree arenas: id arrays plus inline inner-node bounds.
+    /// No point coordinates — those are counted in `proj_store_bytes`.
+    pub tree_bytes: usize,
+}
+
+impl MemoryBreakdown {
+    /// Sum of all components.
+    pub fn total(&self) -> usize {
+        self.proj_store_bytes + self.tree_bytes
+    }
+}
+
 /// Per-query knobs, overriding the index-wide [`crate::DbLshParams`]
 /// defaults for a single [`DbLsh::search_with`] /
 /// [`DbLsh::search_batch_with`] call.
@@ -156,9 +176,10 @@ impl DbLsh {
             let cr = self.params.c * r;
             stats.rounds = 1;
             for (i, tree) in self.trees.iter().enumerate() {
+                let view = self.store.view(i);
                 let qp = &scratch.qproj[i * k..(i + 1) * k];
                 let window = Rect::centered_cube(qp, self.params.w0 * r);
-                for (id, _) in tree.window(&window) {
+                for id in tree.window(&view, &window) {
                     stats.index_probes += 1;
                     if !scratch.visited.insert(id) {
                         continue;
@@ -238,9 +259,10 @@ impl DbLsh {
                 break 'ladder;
             }
             for (i, tree) in self.trees.iter().enumerate() {
+                let view = self.store.view(i);
                 let qp = &scratch.qproj[i * kdim..(i + 1) * kdim];
                 let window = Rect::centered_cube(qp, self.params.w0 * r);
-                for (id, _) in tree.window(&window) {
+                for id in tree.window(&view, &window) {
                     stats.index_probes += 1;
                     if !scratch.visited.insert(id) {
                         continue;
@@ -326,9 +348,21 @@ impl DbLsh {
         Ok(results)
     }
 
-    /// Total heap footprint of the `L` R*-trees.
+    /// Total heap footprint of the index structures: the shared
+    /// projection store plus the `L` flat R*-tree arenas. See
+    /// [`DbLsh::memory_breakdown`] for the per-component split.
     pub fn memory_bytes(&self) -> usize {
-        self.trees.iter().map(|t| t.approx_memory()).sum()
+        self.memory_breakdown().total()
+    }
+
+    /// Per-component heap footprint: the one shared [`crate::ProjStore`]
+    /// (all `n x (L*K)` projected coordinates) vs the `L` id-only tree
+    /// arenas (node structure and inline inner bounds, no coordinates).
+    pub fn memory_breakdown(&self) -> MemoryBreakdown {
+        MemoryBreakdown {
+            proj_store_bytes: self.store.memory_bytes(),
+            tree_bytes: self.trees.iter().map(|t| t.approx_memory()).sum(),
+        }
     }
 
     /// Incremental (c,k)-ANN — the "more efficient search strategies and
@@ -361,12 +395,13 @@ impl DbLsh {
             let budget = self.params.kann_budget(k);
             let stop_scale = (self.params.k as f64).sqrt() * self.params.c;
 
+            let views: Vec<_> = (0..self.trees.len()).map(|i| self.store.view(i)).collect();
             let mut streams: Vec<_> = self
                 .trees
                 .iter()
                 .enumerate()
                 .map(|(i, t)| {
-                    t.nearest_iter(&scratch.qproj[i * kdim..(i + 1) * kdim])
+                    t.nearest_iter(&views[i], &scratch.qproj[i * kdim..(i + 1) * kdim])
                         .peekable()
                 })
                 .collect();

@@ -110,6 +110,58 @@ proptest! {
         }
     }
 
+    /// Flat-layout parity under interleaved updates: a bulk-built index
+    /// and an insert-grown index receiving the same tail of interleaved
+    /// inserts and removes answer identically (exhaustive budget), and
+    /// both report consistent projection-store state.
+    #[test]
+    fn bulk_and_grown_agree_after_interleaved_updates(
+        rows in dataset(100, 7),
+        split_frac in 0.2f64..0.8,
+        remove_mod in 2usize..5,
+        extra in prop::collection::vec(
+            prop::collection::vec(-100.0f32..100.0, 7..=7), 1..12),
+        k in 1usize..8,
+        qi in 0usize..100,
+    ) {
+        let all = Dataset::from_rows(&rows);
+        let n = all.len();
+        let split = ((n as f64 * split_frac) as usize).clamp(1, n);
+        let p = params(n);
+
+        let mut bulk = DbLsh::build(Arc::new(all.clone()), &p).unwrap();
+        let prefix = Dataset::from_flat(7, all.flat()[..split * 7].to_vec());
+        let mut grown = DbLsh::build(Arc::new(prefix), &p).unwrap();
+        for row in split..n {
+            grown.insert(all.point(row)).unwrap();
+        }
+
+        // Same interleaved tail on both: remove every remove_mod-th
+        // existing id, insert the extra points.
+        for (j, e) in extra.iter().enumerate() {
+            let victim = ((j * remove_mod) % n) as u32;
+            prop_assert_eq!(
+                bulk.remove(victim).unwrap_or(false),
+                grown.remove(victim).unwrap_or(false)
+            );
+            let ib = bulk.insert(e).unwrap();
+            let ig = grown.insert(e).unwrap();
+            prop_assert_eq!(ib, ig, "ids must stay in lockstep");
+        }
+        prop_assert_eq!(bulk.len(), grown.len());
+        bulk.check_invariants();
+        grown.check_invariants();
+        // the shared store mirrors the dataset row for row in both
+        prop_assert_eq!(bulk.proj_store().len(), bulk.data().len());
+        prop_assert_eq!(grown.proj_store().len(), grown.data().len());
+
+        let q = bulk.data().point(qi % bulk.data().len()).to_vec();
+        let opts = SearchOptions { budget: Some(bulk.data().len()), ..Default::default() };
+        let rb = bulk.search_with(&q, k, &opts).unwrap();
+        let rg = grown.search_with(&q, k, &opts).unwrap();
+        prop_assert_eq!(rb.dists(), rg.dists(), "bulk and grown answers diverge");
+    }
+
     /// Insert after remove: the index stays consistent through interleaved
     /// updates, new ids are never recycled, and a fresh insert is
     /// immediately findable as its own nearest neighbor.

@@ -1,0 +1,88 @@
+//! Layout regression tests: the flat index (shared `f32` projection
+//! store + id-only tree arenas) must stay strictly below the memory
+//! footprint of the seed layout, which boxed every leaf's coordinates
+//! (`Entry::Point { coords: Box<[f64]> }`) and every inner bound
+//! (`Rect` = two `Box<[f64]>`s) inside 48-byte entry enums, per tree.
+
+use std::sync::Arc;
+
+use dblsh_core::{DbLsh, DbLshParams};
+use dblsh_data::synthetic::{gaussian_mixture, MixtureConfig};
+
+/// Conservative (under-)estimate of what the seed layout spent on the
+/// same trees: per leaf entry a 48-byte `Entry` enum plus a
+/// `K x f64` coordinate box; per inner entry a 48-byte enum plus a
+/// `2 x K x f64` rect; per node the old 32-byte header. Allocator
+/// headers and `Vec` slack are ignored, which only makes the bound
+/// harder to beat.
+fn seed_layout_estimate(index: &DbLsh) -> usize {
+    let k = index.params().k;
+    index
+        .tree_stats()
+        .iter()
+        .map(|stats| {
+            stats.nodes * 32
+                + stats.leaf_entries * (48 + k * 8)
+                + stats.inner_entries * (48 + k * 16)
+        })
+        .sum()
+}
+
+#[test]
+fn flat_index_reports_strictly_less_than_seed_layout_at_10k() {
+    let data = Arc::new(gaussian_mixture(&MixtureConfig {
+        n: 10_000,
+        dim: 32,
+        clusters: 30,
+        ..Default::default()
+    }));
+    let params = DbLshParams::paper_defaults(data.len()).with_kl(10, 5);
+    let index = DbLsh::build(Arc::clone(&data), &params).unwrap();
+
+    let flat = index.memory_bytes();
+    let seed = seed_layout_estimate(&index);
+    assert!(
+        flat < seed,
+        "flat layout ({flat} B) must undercut the seed layout ({seed} B)"
+    );
+    // The structural win is large, not marginal: the seed stored every
+    // coordinate in f64 boxes behind 48-byte enums; the flat layout
+    // stores them once, in f32, plus 4-byte ids.
+    assert!(
+        flat * 2 < seed,
+        "expected at least 2x reduction: flat {flat} B vs seed {seed} B"
+    );
+
+    let breakdown = index.memory_breakdown();
+    assert_eq!(breakdown.total(), flat);
+    assert!(breakdown.proj_store_bytes > 0);
+    assert!(breakdown.tree_bytes > 0);
+    // The store dominates: n * L * K * 4 bytes of coordinates vs id-only
+    // tree arenas.
+    assert!(breakdown.proj_store_bytes > breakdown.tree_bytes);
+    // Store size is exactly predictable (capacity may round up).
+    let n = data.len();
+    let expect_store = n * params.l * params.k * 4;
+    assert!(breakdown.proj_store_bytes >= expect_store);
+    assert!(breakdown.proj_store_bytes <= expect_store * 2);
+}
+
+#[test]
+fn memory_shrinks_versus_seed_even_after_updates() {
+    let data = Arc::new(gaussian_mixture(&MixtureConfig {
+        n: 2_000,
+        dim: 16,
+        clusters: 10,
+        ..Default::default()
+    }));
+    let params = DbLshParams::paper_defaults(data.len()).with_kl(8, 3);
+    let mut index = DbLsh::build(Arc::clone(&data), &params).unwrap();
+    for id in 0..500u32 {
+        index.remove(id).unwrap();
+    }
+    for i in 0..250 {
+        index.insert(&[i as f32; 16]).unwrap();
+    }
+    index.check_invariants();
+    assert!(index.memory_bytes() < seed_layout_estimate(&index));
+}

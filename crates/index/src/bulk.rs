@@ -4,77 +4,95 @@
 //! the bulk-loading strategy to construct R*-Trees, which is a more
 //! efficient strategy than conventional insertion strategies" —
 //! Section VI-B.2). STR packs points into fully-filled leaves by recursive
-//! slab partitioning, then packs each level into the one above it.
+//! slab partitioning, then packs each level into the one above it. Leaves
+//! are runs of bare point ids; only inner levels materialize bounds, in
+//! each node's inline arena.
 
-use crate::tree::{Entry, Node, RStarTree};
+use crate::coords::CoordSource;
+use crate::tree::{Node, RStarTree};
 
 impl RStarTree {
-    /// Bulk-load a tree from `n` points stored row-major in `coords`
-    /// (`coords.len() == ids.len() * dim`). Roughly an order of magnitude
-    /// faster than repeated insertion and yields better-packed nodes.
-    pub fn bulk_load(dim: usize, ids: &[u32], coords: &[f64]) -> Self {
-        Self::bulk_load_with_capacity(dim, ids, coords, crate::tree::DEFAULT_MAX_ENTRIES)
+    /// Bulk-load a tree over the points `ids`, with coordinates resolved
+    /// through `src`. Roughly an order of magnitude faster than repeated
+    /// insertion and yields better-packed nodes.
+    ///
+    /// Contract (debug-checked): ids are unique and every id resolves to
+    /// finite coordinates of dimensionality `src.dim()`.
+    pub fn bulk_load<S: CoordSource>(src: &S, ids: &[u32]) -> Self {
+        Self::bulk_load_with_capacity(src, ids, crate::tree::DEFAULT_MAX_ENTRIES)
     }
 
-    /// [`RStarTree::bulk_load`] with a custom node fan-out.
-    pub fn bulk_load_with_capacity(
-        dim: usize,
+    /// [`RStarTree::bulk_load`] with a custom node fan-out (clamped to
+    /// the R\* minimum of 4).
+    pub fn bulk_load_with_capacity<S: CoordSource>(
+        src: &S,
         ids: &[u32],
-        coords: &[f64],
         max_entries: usize,
     ) -> Self {
-        assert_eq!(
-            coords.len(),
-            ids.len() * dim,
-            "coords length must be ids.len() * dim"
+        debug_assert!(
+            ids.iter()
+                .all(|&id| src.coords(id).iter().all(|v| v.is_finite())),
+            "non-finite coordinate in bulk load"
         );
-        assert!(
-            coords.iter().all(|v| v.is_finite()),
-            "non-finite coordinate rejected"
+        debug_assert!(
+            {
+                let mut sorted = ids.to_vec();
+                sorted.sort_unstable();
+                sorted.windows(2).all(|w| w[0] != w[1])
+            },
+            "duplicate id in bulk load"
         );
-        let mut tree = RStarTree::with_node_capacity(dim, max_entries);
+        let mut tree = RStarTree::with_node_capacity(src.dim(), max_entries);
+        let max_entries = max_entries.max(4);
+        let dim = src.dim();
         let n = ids.len();
         if n == 0 {
             return tree;
         }
+        // The freshly constructed tree owns one empty leaf (arena slot 0)
+        // as its root; we build a fresh root below, so free the slot for
+        // later splits to reuse.
+        tree.dealloc(0);
 
-        // Partition point indices into leaf groups.
-        let mut order: Vec<u32> = (0..n as u32).collect();
+        // Partition the ids into leaf groups.
+        let mut order: Vec<u32> = ids.to_vec();
         let mut groups: Vec<std::ops::Range<usize>> = Vec::with_capacity(n / max_entries + 1);
-        str_partition(&mut order, 0, coords, dim, max_entries, &mut groups, 0);
+        str_partition(&mut order, 0, src, dim, max_entries, &mut groups, 0);
 
-        // Build leaves.
+        // Build leaves: a leaf is just its run of ids. Within a leaf the
+        // ids are sorted ascending so a leaf scan walks the shared
+        // coordinate store monotonically (prefetch-friendly) instead of
+        // in space-filling order.
         let mut level_nodes: Vec<usize> = Vec::with_capacity(groups.len());
-        // The freshly constructed tree owns one empty root (index 0); we
-        // overwrite it at the end.
         for g in &groups {
-            let entries: Vec<Entry> = order[g.clone()]
-                .iter()
-                .map(|&row| {
-                    let r = row as usize;
-                    Entry::Point {
-                        id: ids[r],
-                        coords: coords[r * dim..(r + 1) * dim].into(),
-                    }
-                })
-                .collect();
-            level_nodes.push(tree.alloc(Node { level: 0, entries }));
+            let mut leaf_ids = order[g.clone()].to_vec();
+            leaf_ids.sort_unstable();
+            level_nodes.push(tree.alloc(Node {
+                level: 0,
+                children: leaf_ids,
+                bounds: Vec::new(),
+            }));
         }
 
         // Pack each level into the next until a single root remains.
+        let (mut lo, mut hi): (Vec<f32>, Vec<f32>) = (Vec::new(), Vec::new());
         let mut level = 0u32;
         while level_nodes.len() > 1 {
             level += 1;
             let mut upper: Vec<usize> = Vec::with_capacity(level_nodes.len() / max_entries + 1);
             for chunk in level_nodes.chunks(max_entries) {
-                let entries: Vec<Entry> = chunk
-                    .iter()
-                    .map(|&c| Entry::Child {
-                        node: c,
-                        rect: tree.node_mbr(c),
-                    })
-                    .collect();
-                upper.push(tree.alloc(Node { level, entries }));
+                let mut node = Node {
+                    level,
+                    children: Vec::with_capacity(chunk.len()),
+                    bounds: Vec::with_capacity(chunk.len() * 2 * dim),
+                };
+                for &c in chunk {
+                    tree.node_mbr_into(src, c, &mut lo, &mut hi);
+                    node.children.push(c as u32);
+                    node.bounds.extend_from_slice(&lo);
+                    node.bounds.extend_from_slice(&hi);
+                }
+                upper.push(tree.alloc(node));
             }
             level_nodes = upper;
         }
@@ -85,13 +103,13 @@ impl RStarTree {
     }
 }
 
-/// Recursively sort-and-tile `order` (point row indices) into contiguous
+/// Recursively sort-and-tile `order` (point ids) into contiguous
 /// leaf-sized ranges appended to `groups`. `base` is the offset of `order`
 /// within the full ordering array.
-fn str_partition(
+fn str_partition<S: CoordSource>(
     order: &mut [u32],
     axis: usize,
-    coords: &[f64],
+    src: &S,
     dim: usize,
     cap: usize,
     groups: &mut Vec<std::ops::Range<usize>>,
@@ -102,9 +120,7 @@ fn str_partition(
         groups.push(base..base + n);
         return;
     }
-    order.sort_unstable_by(|&a, &b| {
-        coords[a as usize * dim + axis].total_cmp(&coords[b as usize * dim + axis])
-    });
+    order.sort_unstable_by(|&a, &b| src.coords(a)[axis].total_cmp(&src.coords(b)[axis]));
     if axis + 1 == dim {
         // Last axis: emit consecutive leaf-sized runs.
         let mut start = 0;
@@ -127,7 +143,7 @@ fn str_partition(
         str_partition(
             &mut order[start..end],
             axis + 1,
-            coords,
+            src,
             dim,
             cap,
             groups,
@@ -140,9 +156,10 @@ fn str_partition(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::coords::OwnedCoords;
     use crate::rect::Rect;
 
-    fn random_coords(n: usize, dim: usize, seed: u64) -> Vec<f64> {
+    fn random_source(n: usize, dim: usize, seed: u64) -> OwnedCoords {
         // xorshift-based deterministic pseudo-random coordinates
         let mut s = seed.max(1);
         let mut out = Vec::with_capacity(n * dim);
@@ -150,46 +167,50 @@ mod tests {
             s ^= s << 13;
             s ^= s >> 7;
             s ^= s << 17;
-            out.push((s >> 11) as f64 / (1u64 << 53) as f64 * 100.0);
+            out.push(((s >> 11) as f64 / (1u64 << 53) as f64 * 100.0) as f32);
         }
-        out
+        OwnedCoords::from_flat(dim, out)
     }
 
     #[test]
     fn bulk_load_empty() {
-        let t = RStarTree::bulk_load(4, &[], &[]);
+        let src = OwnedCoords::new(4);
+        let t = RStarTree::bulk_load(&src, &[]);
         assert!(t.is_empty());
-        t.check_invariants();
+        t.check_invariants(&src);
     }
 
     #[test]
     fn bulk_load_single_point() {
-        let t = RStarTree::bulk_load(3, &[7], &[1.0, 2.0, 3.0]);
+        let src = OwnedCoords::from_flat(3, vec![1.0, 2.0, 3.0]);
+        let t = RStarTree::bulk_load(&src, &[0]);
         assert_eq!(t.len(), 1);
         assert_eq!(t.height(), 1);
-        t.check_invariants();
-        assert_eq!(t.k_nearest(&[0.0, 0.0, 0.0], 1), vec![(7, 14.0)]);
+        t.check_invariants(&src);
+        assert_eq!(t.k_nearest(&src, &[0.0, 0.0, 0.0], 1), vec![(0, 14.0)]);
+        // the construction-time scratch root is freed, not leaked
+        assert_eq!(t.stats().nodes, 1);
     }
 
     #[test]
     fn bulk_load_matches_incremental_contents() {
         let n = 3000;
         let dim = 3;
-        let coords = random_coords(n, dim, 42);
+        let src = random_source(n, dim, 42);
         let ids: Vec<u32> = (0..n as u32).collect();
-        let bulk = RStarTree::bulk_load(dim, &ids, &coords);
-        bulk.check_invariants();
+        let bulk = RStarTree::bulk_load(&src, &ids);
+        bulk.check_invariants(&src);
         assert_eq!(bulk.len(), n);
 
         let mut inc = RStarTree::new(dim);
-        for i in 0..n {
-            inc.insert(i as u32, &coords[i * dim..(i + 1) * dim]);
+        for &id in &ids {
+            inc.insert(&src, id);
         }
-        inc.check_invariants();
+        inc.check_invariants(&src);
 
         let w = Rect::new(&[10.0, 10.0, 10.0], &[60.0, 55.0, 70.0]);
-        let mut a = bulk.window_all(&w);
-        let mut b = inc.window_all(&w);
+        let mut a = bulk.window_all(&src, &w);
+        let mut b = inc.window_all(&src, &w);
         a.sort_unstable();
         b.sort_unstable();
         assert_eq!(a, b);
@@ -199,9 +220,9 @@ mod tests {
     #[test]
     fn bulk_load_is_shallower_than_incremental() {
         let n = 5000;
-        let coords = random_coords(n, 2, 7);
+        let src = random_source(n, 2, 7);
         let ids: Vec<u32> = (0..n as u32).collect();
-        let bulk = RStarTree::bulk_load(2, &ids, &coords);
+        let bulk = RStarTree::bulk_load(&src, &ids);
         // ceil(log_32(5000/32)) + 1 = 3 levels at fan-out 32
         assert!(bulk.height() <= 3, "height = {}", bulk.height());
     }
@@ -210,22 +231,35 @@ mod tests {
     fn bulk_load_then_mutate() {
         let n = 500;
         let dim = 2;
-        let coords = random_coords(n, dim, 99);
+        let mut src = random_source(n, dim, 99);
         let ids: Vec<u32> = (0..n as u32).collect();
-        let mut t = RStarTree::bulk_load(dim, &ids, &coords);
-        for i in 0..100usize {
-            assert!(t.remove(i as u32, &coords[i * dim..(i + 1) * dim]));
+        let mut t = RStarTree::bulk_load(&src, &ids);
+        for id in 0..100u32 {
+            assert!(t.remove(&src, id));
         }
         for i in 0..50u32 {
-            t.insert(10_000 + i, &[i as f64, -5.0]);
+            let id = src.push(&[i as f32, -5.0]);
+            t.insert(&src, id);
         }
         assert_eq!(t.len(), n - 100 + 50);
-        t.check_invariants();
+        t.check_invariants(&src);
     }
 
     #[test]
-    #[should_panic(expected = "coords length")]
-    fn mismatched_lengths_panic() {
-        RStarTree::bulk_load(2, &[0, 1], &[1.0, 2.0, 3.0]);
+    fn bulk_load_over_strided_view() {
+        // Two interleaved 2-d point sets over one flat buffer: each
+        // column window bulk-loads independently.
+        let n = 200;
+        let flat = random_source(n, 4, 5).flat().to_vec();
+        let ids: Vec<u32> = (0..n as u32).collect();
+        let left = crate::StridedCoords::new(&flat, 4, 0, 2);
+        let right = crate::StridedCoords::new(&flat, 4, 2, 2);
+        let tl = RStarTree::bulk_load(&left, &ids);
+        let tr = RStarTree::bulk_load(&right, &ids);
+        tl.check_invariants(&left);
+        tr.check_invariants(&right);
+        let everything = Rect::new(&[-1.0, -1.0], &[101.0, 101.0]);
+        assert_eq!(tl.window_all(&left, &everything).len(), n);
+        assert_eq!(tr.window_all(&right, &everything).len(), n);
     }
 }

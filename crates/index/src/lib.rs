@@ -18,15 +18,35 @@
 //!   PM-LSH baseline, which retrieves candidates in ascending projected
 //!   distance.
 //!
-//! Coordinates are `f64` and the dimension is a runtime parameter (the
-//! projected dimensionality `K` is chosen per dataset). NaN coordinates are
-//! rejected at the API boundary.
+//! # Flat layout
+//!
+//! The tree stores **ids, not coordinates**. Leaf entries are bare `u32`
+//! ids resolved through a [`CoordSource`] (a borrowed view over one
+//! contiguous, possibly strided, coordinate matrix — see
+//! [`StridedCoords`]); inner nodes keep their children's bounding boxes
+//! inline in a per-node flat `f32` arena. Compared to a boxed-`Rect`
+//! layout this removes every per-entry heap allocation, makes leaf scans
+//! cache-linear, and lets `L` trees share one projection store instead of
+//! each owning a copy of its column.
+//!
+//! Stored coordinates and bounds are `f32` (the precision of the `f32`
+//! datasets they derive from — half the memory traffic of a leaf scan),
+//! while query geometry ([`Rect`] windows, distances, R\* heuristics)
+//! is computed in `f64` over values cast up from storage. The dimension
+//! is a runtime parameter (the projected dimensionality `K` is chosen
+//! per dataset). API contracts
+//! (finite coordinates, matching dimensionality, stable ids) are
+//! documented per method and enforced with `debug_assert!`; release
+//! builds trust callers that validate at their own boundary, as
+//! `dblsh-core` does through its typed `DbLshError`.
 
 mod bulk;
+mod coords;
 mod query;
 mod rect;
 mod tree;
 
+pub use coords::{CoordSource, OwnedCoords, StridedCoords};
 pub use query::{NearestIter, WindowCursor};
 pub use rect::Rect;
-pub use tree::RStarTree;
+pub use tree::{RStarTree, TreeStats};

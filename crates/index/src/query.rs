@@ -1,37 +1,68 @@
 //! Query operations: pausable window cursors, best-first incremental
 //! nearest-neighbor iteration (Hjaltason–Samet distance browsing), and
 //! convenience wrappers.
+//!
+//! All cursors run over the flat node arena: the descent touches only the
+//! inline bounds runs of inner nodes and the dense id arrays of leaves —
+//! no rectangle is cloned and nothing is allocated per step (the only
+//! allocations are the cursor's own stack/heap, once per query).
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use crate::rect::Rect;
-use crate::tree::{Entry, RStarTree};
+use crate::coords::CoordSource;
+use crate::rect::{geom, Rect};
+use crate::tree::{child_bounds, RStarTree};
 
 impl RStarTree {
-    /// Lazy window query: yields `(id, coords)` of every point inside
-    /// `window`, in index order. The cursor borrows the tree; it can be
-    /// dropped at any time, which is how Algorithm 1 of the paper stops
-    /// after `2tL + 1` verified candidates.
-    pub fn window<'t>(&'t self, window: &Rect) -> WindowCursor<'t> {
-        assert_eq!(window.dim(), self.dim(), "window dimensionality mismatch");
-        WindowCursor {
+    /// Lazy window query: yields the id of every point inside `window`,
+    /// in index order. The cursor borrows the tree, the coordinate
+    /// source and the window; it can be dropped at any time, which is
+    /// how Algorithm 1 of the paper stops after `2tL + 1` verified
+    /// candidates. (Coordinates of a yielded id are one
+    /// [`CoordSource::coords`] call away for callers that need them.)
+    ///
+    /// Contract (debug-checked): `window.dim() == self.dim() == src.dim()`.
+    pub fn window<'t, S: CoordSource>(
+        &'t self,
+        src: &'t S,
+        window: &'t Rect,
+    ) -> WindowCursor<'t, S> {
+        debug_assert_eq!(window.dim(), self.dim(), "window dimensionality mismatch");
+        debug_assert_eq!(src.dim(), self.dim(), "source dimensionality mismatch");
+        let mut cursor = WindowCursor {
             tree: self,
-            window: window.clone(),
-            stack: vec![(self.root, 0)],
+            src,
+            lo: window.lo(),
+            hi: window.hi(),
+            hits: Vec::new(),
+            hit_at: 0,
+            stack: Vec::new(),
+        };
+        // A single-leaf tree scans the root directly; taller trees start
+        // with the root on the inner-node stack.
+        if self.nodes[self.root].is_leaf() {
+            cursor.scan_leaf(self.root, false);
+        } else {
+            cursor.stack.push((self.root, 0));
         }
+        cursor
     }
 
     /// Eager window query, mainly for tests.
-    pub fn window_all(&self, window: &Rect) -> Vec<u32> {
-        self.window(window).map(|(id, _)| id).collect()
+    pub fn window_all<S: CoordSource>(&self, src: &S, window: &Rect) -> Vec<u32> {
+        self.window(src, window).collect()
     }
 
     /// Best-first incremental nearest-neighbor iterator from `q`; yields
     /// `(id, squared_distance)` in ascending distance order.
-    pub fn nearest_iter<'t>(&'t self, q: &[f64]) -> NearestIter<'t> {
-        assert_eq!(q.len(), self.dim(), "query dimensionality mismatch");
-        assert!(q.iter().all(|v| v.is_finite()), "non-finite query rejected");
+    ///
+    /// Contract (debug-checked): `q.len() == self.dim() == src.dim()` and
+    /// `q` is finite.
+    pub fn nearest_iter<'t, S: CoordSource>(&'t self, src: &'t S, q: &[f64]) -> NearestIter<'t, S> {
+        debug_assert_eq!(q.len(), self.dim(), "query dimensionality mismatch");
+        debug_assert_eq!(src.dim(), self.dim(), "source dimensionality mismatch");
+        debug_assert!(q.iter().all(|v| v.is_finite()), "non-finite query");
         let mut heap = BinaryHeap::new();
         if !self.is_empty() {
             heap.push(Reverse(HeapItem {
@@ -41,66 +72,112 @@ impl RStarTree {
         }
         NearestIter {
             tree: self,
+            src,
             q: q.into(),
             heap,
+            dists: Vec::new(),
         }
     }
 
     /// The `k` nearest points to `q` as `(id, squared_distance)`.
-    pub fn k_nearest(&self, q: &[f64], k: usize) -> Vec<(u32, f64)> {
-        self.nearest_iter(q).take(k).collect()
+    pub fn k_nearest<S: CoordSource>(&self, src: &S, q: &[f64], k: usize) -> Vec<(u32, f64)> {
+        self.nearest_iter(src, q).take(k).collect()
     }
 
     /// Iterate over every stored point (depth-first order).
-    pub fn iter_points(&self) -> impl Iterator<Item = (u32, &[f64])> + '_ {
+    pub fn iter_points<'t, S: CoordSource>(
+        &'t self,
+        src: &'t S,
+    ) -> impl Iterator<Item = (u32, &'t [f32])> + 't {
         let mut stack = vec![(self.root, 0usize)];
         std::iter::from_fn(move || loop {
             let &(node, pos) = stack.last()?;
             let n = &self.nodes[node];
-            if pos >= n.entries.len() {
+            if pos >= n.children.len() {
                 stack.pop();
                 continue;
             }
             stack.last_mut().expect("non-empty").1 += 1;
-            match &n.entries[pos] {
-                Entry::Point { id, coords } => return Some((*id, &coords[..])),
-                Entry::Child { node: c, .. } => stack.push((*c, 0)),
+            let c = n.children[pos];
+            if n.is_leaf() {
+                return Some((c, src.coords(c)));
             }
+            stack.push((c as usize, 0));
         })
     }
 }
 
 /// Lazy depth-first window-query cursor. See [`RStarTree::window`].
-pub struct WindowCursor<'t> {
+///
+/// The cursor works one leaf at a time: when the descent reaches a leaf
+/// whose bounds intersect the window, the whole leaf is scanned in one
+/// tight loop into a hit buffer (so the containment tests and the
+/// scattered coordinate reads stay hot, uninterrupted by the caller),
+/// and `next()` then drains the buffer. Leaves whose bounds are *fully
+/// contained* in the window skip the coordinate reads entirely — every
+/// id is a hit by construction. Pausing granularity is one leaf
+/// (at most `max_entries` points scanned beyond where the caller stops).
+pub struct WindowCursor<'t, S> {
     tree: &'t RStarTree,
-    window: Rect,
-    /// (node index, next entry position) — explicit DFS stack so the
-    /// enumeration can pause between items.
+    src: &'t S,
+    lo: &'t [f64],
+    hi: &'t [f64],
+    /// Hits of the current leaf; `hit_at` is the drain position.
+    hits: Vec<u32>,
+    hit_at: usize,
+    /// (inner node index, next entry position) — explicit DFS stack so
+    /// the enumeration can pause between leaves.
     stack: Vec<(usize, usize)>,
 }
 
-impl<'t> Iterator for WindowCursor<'t> {
-    type Item = (u32, &'t [f64]);
+impl<S: CoordSource> WindowCursor<'_, S> {
+    /// Refill the hit buffer from leaf `idx`.
+    fn scan_leaf(&mut self, idx: usize, fully_contained: bool) {
+        let n = &self.tree.nodes[idx];
+        self.hits.clear();
+        self.hit_at = 0;
+        if fully_contained {
+            self.hits.extend_from_slice(&n.children);
+        } else {
+            self.hits.extend(
+                n.children.iter().copied().filter(|&id| {
+                    geom::window_contains_point(self.lo, self.hi, self.src.coords(id))
+                }),
+            );
+        }
+    }
+}
+
+impl<S: CoordSource> Iterator for WindowCursor<'_, S> {
+    type Item = u32;
 
     fn next(&mut self) -> Option<Self::Item> {
+        let dim = self.tree.dim();
         loop {
-            let &(node, pos) = self.stack.last()?;
-            let n = &self.tree.nodes[node];
-            if pos >= n.entries.len() {
-                self.stack.pop();
-                continue;
+            // Fast path: drain the current leaf's hits.
+            if let Some(&id) = self.hits.get(self.hit_at) {
+                self.hit_at += 1;
+                return Some(id);
             }
-            self.stack.last_mut().expect("non-empty").1 += 1;
-            match &n.entries[pos] {
-                Entry::Point { id, coords } => {
-                    if self.window.contains_point(coords) {
-                        return Some((*id, coords));
-                    }
+            // Descend to the next leaf whose bounds intersect the window.
+            loop {
+                let &(node, pos) = self.stack.last()?;
+                let n = &self.tree.nodes[node];
+                if pos >= n.children.len() {
+                    self.stack.pop();
+                    continue;
                 }
-                Entry::Child { node: c, rect } => {
-                    if self.window.intersects(rect) {
-                        self.stack.push((*c, 0));
+                self.stack.last_mut().expect("non-empty").1 += 1;
+                let (blo, bhi) = child_bounds(n, dim, pos);
+                if geom::window_intersects(self.lo, self.hi, blo, bhi) {
+                    let c = n.children[pos] as usize;
+                    let child = &self.tree.nodes[c];
+                    if child.is_leaf() {
+                        let contained = geom::window_contains_box(self.lo, self.hi, blo, bhi);
+                        self.scan_leaf(c, contained);
+                        break; // back to draining hits
                     }
+                    self.stack.push((c, 0));
                 }
             }
         }
@@ -120,6 +197,7 @@ struct HeapItem {
 }
 
 impl PartialEq for HeapItem {
+    #[inline]
     fn eq(&self, other: &Self) -> bool {
         self.dist2 == other.dist2 && self.kind == other.kind
     }
@@ -127,12 +205,14 @@ impl PartialEq for HeapItem {
 impl Eq for HeapItem {}
 
 impl PartialOrd for HeapItem {
+    #[inline]
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
 
 impl Ord for HeapItem {
+    #[inline]
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Min-heap via Reverse; points before nodes at equal distance so a
         // point at distance exactly MINDIST of an unopened node is emitted
@@ -148,32 +228,48 @@ impl Ord for HeapItem {
 }
 
 /// Best-first incremental NN iterator. See [`RStarTree::nearest_iter`].
-pub struct NearestIter<'t> {
+pub struct NearestIter<'t, S> {
     tree: &'t RStarTree,
+    src: &'t S,
     q: Box<[f64]>,
     heap: BinaryHeap<Reverse<HeapItem>>,
+    /// Scratch for one leaf's distances (see the expansion two-phase).
+    dists: Vec<f64>,
 }
 
-impl Iterator for NearestIter<'_> {
+impl<S: CoordSource> Iterator for NearestIter<'_, S> {
     type Item = (u32, f64);
 
     fn next(&mut self) -> Option<Self::Item> {
+        let dim = self.tree.dim();
         while let Some(Reverse(item)) = self.heap.pop() {
             match item.kind {
                 ItemKind::Point(id) => return Some((id, item.dist2)),
                 ItemKind::Node(idx) => {
-                    for e in &self.tree.nodes[idx].entries {
-                        let hi = match e {
-                            Entry::Point { id, coords } => HeapItem {
-                                dist2: sq_dist(&self.q, coords),
-                                kind: ItemKind::Point(*id),
-                            },
-                            Entry::Child { node, rect } => HeapItem {
-                                dist2: rect.min_dist2(&self.q),
-                                kind: ItemKind::Node(*node),
-                            },
-                        };
-                        self.heap.push(Reverse(hi));
+                    let n = &self.tree.nodes[idx];
+                    let q: &[f64] = &self.q;
+                    self.heap.reserve(n.children.len());
+                    if n.is_leaf() {
+                        // Two phases: first a pure distance pass whose loads
+                        // are independent (the out-of-order core overlaps the
+                        // scattered store reads), then the heap pushes.
+                        self.dists.clear();
+                        self.dists
+                            .extend(n.children.iter().map(|&c| sq_dist(q, self.src.coords(c))));
+                        for (&c, &d) in n.children.iter().zip(&self.dists) {
+                            self.heap.push(Reverse(HeapItem {
+                                dist2: d,
+                                kind: ItemKind::Point(c),
+                            }));
+                        }
+                    } else {
+                        for (&c, b) in n.children.iter().zip(n.bounds.chunks_exact(2 * dim)) {
+                            let (blo, bhi) = b.split_at(dim);
+                            self.heap.push(Reverse(HeapItem {
+                                dist2: geom::min_dist2(blo, bhi, q),
+                                kind: ItemKind::Node(c as usize),
+                            }));
+                        }
                     }
                 }
             }
@@ -183,12 +279,12 @@ impl Iterator for NearestIter<'_> {
 }
 
 #[inline]
-fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+fn sq_dist(a: &[f64], b: &[f32]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
     a.iter()
         .zip(b.iter())
         .map(|(&x, &y)| {
-            let d = x - y;
+            let d = x - y as f64;
             d * d
         })
         .sum()
@@ -197,22 +293,25 @@ fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::coords::OwnedCoords;
 
-    fn build_grid(side: usize) -> RStarTree {
+    fn build_grid(side: usize) -> (OwnedCoords, RStarTree) {
+        let mut src = OwnedCoords::new(2);
         let mut t = RStarTree::new(2);
         for x in 0..side {
             for y in 0..side {
-                t.insert((x * side + y) as u32, &[x as f64, y as f64]);
+                let id = src.push(&[x as f32, y as f32]);
+                t.insert(&src, id);
             }
         }
-        t
+        (src, t)
     }
 
     #[test]
     fn window_matches_brute_force() {
-        let t = build_grid(15);
+        let (src, t) = build_grid(15);
         let w = Rect::new(&[2.5, 3.0], &[7.0, 9.5]);
-        let mut got = t.window_all(&w);
+        let mut got = t.window_all(&src, &w);
         got.sort_unstable();
         let mut want = Vec::new();
         for x in 0..15u32 {
@@ -228,12 +327,12 @@ mod tests {
 
     #[test]
     fn window_cursor_is_lazy_and_resumable() {
-        let t = build_grid(10);
+        let (src, t) = build_grid(10);
         let w = Rect::new(&[0.0, 0.0], &[9.0, 9.0]);
-        let mut cursor = t.window(&w);
-        let first: Vec<u32> = cursor.by_ref().take(5).map(|(id, _)| id).collect();
+        let mut cursor = t.window(&src, &w);
+        let first: Vec<u32> = cursor.by_ref().take(5).collect();
         assert_eq!(first.len(), 5);
-        let rest: Vec<u32> = cursor.map(|(id, _)| id).collect();
+        let rest: Vec<u32> = cursor.collect();
         assert_eq!(first.len() + rest.len(), 100);
         // no overlap between the two batches
         for id in &first {
@@ -243,23 +342,24 @@ mod tests {
 
     #[test]
     fn empty_window_yields_nothing() {
-        let t = build_grid(5);
+        let (src, t) = build_grid(5);
         let w = Rect::new(&[100.0, 100.0], &[101.0, 101.0]);
-        assert!(t.window_all(&w).is_empty());
+        assert!(t.window_all(&src, &w).is_empty());
     }
 
     #[test]
     fn window_on_empty_tree() {
+        let src = OwnedCoords::new(2);
         let t = RStarTree::new(2);
         let w = Rect::new(&[0.0, 0.0], &[1.0, 1.0]);
-        assert!(t.window_all(&w).is_empty());
+        assert!(t.window_all(&src, &w).is_empty());
     }
 
     #[test]
     fn nearest_iter_ascending_and_complete() {
-        let t = build_grid(12);
+        let (src, t) = build_grid(12);
         let q = [4.3, 7.8];
-        let got: Vec<(u32, f64)> = t.nearest_iter(&q).collect();
+        let got: Vec<(u32, f64)> = t.nearest_iter(&src, &q).collect();
         assert_eq!(got.len(), 144);
         for pair in got.windows(2) {
             assert!(pair[0].1 <= pair[1].1, "distances not ascending");
@@ -272,9 +372,9 @@ mod tests {
 
     #[test]
     fn k_nearest_matches_brute_force() {
-        let t = build_grid(9);
+        let (src, t) = build_grid(9);
         let q = [3.1, 3.1];
-        let got = t.k_nearest(&q, 7);
+        let got = t.k_nearest(&src, &q, 7);
         let mut brute: Vec<(u32, f64)> = (0..81u32)
             .map(|id| {
                 let x = (id / 9) as f64;
@@ -292,8 +392,8 @@ mod tests {
 
     #[test]
     fn iter_points_covers_everything() {
-        let t = build_grid(8);
-        let mut ids: Vec<u32> = t.iter_points().map(|(id, _)| id).collect();
+        let (src, t) = build_grid(8);
+        let mut ids: Vec<u32> = t.iter_points(&src).map(|(id, _)| id).collect();
         ids.sort_unstable();
         let want: Vec<u32> = (0..64).collect();
         assert_eq!(ids, want);
@@ -301,7 +401,7 @@ mod tests {
 
     #[test]
     fn k_larger_than_len_returns_all() {
-        let t = build_grid(3);
-        assert_eq!(t.k_nearest(&[0.0, 0.0], 100).len(), 9);
+        let (src, t) = build_grid(3);
+        assert_eq!(t.k_nearest(&src, &[0.0, 0.0], 100).len(), 9);
     }
 }

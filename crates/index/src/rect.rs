@@ -1,9 +1,25 @@
 //! Axis-aligned bounding rectangles with runtime dimensionality.
+//!
+//! [`Rect`] is the *boundary value type*, in `f64`: callers describe
+//! query windows with it and [`crate::RStarTree::mbr`] reports the
+//! tree's extent as one. Inside the tree, bounds are never materialized
+//! as `Rect`s — nodes keep their children's boxes inline in flat `f32`
+//! arenas and all geometry runs over the slice helpers in [`geom`], so
+//! the hot path performs no rectangle cloning and no per-entry
+//! allocation.
 
 /// An axis-aligned hyper-rectangle `[lo_0, hi_0] x ... x [lo_{d-1}, hi_{d-1}]`.
 ///
-/// Degenerate rectangles (points, `lo == hi`) are valid and are how leaf
-/// entries are represented.
+/// Degenerate rectangles (points, `lo == hi`) are valid.
+///
+/// # Contract
+///
+/// Constructors require corners of equal, non-zero dimensionality with
+/// `lo[i] <= hi[i]` and no NaN in any dimension. The contract is checked
+/// with `debug_assert!` only: violating it in release builds is safe
+/// (no undefined behavior) but yields unspecified query results —
+/// typically an empty window. Callers holding unvalidated input should
+/// validate before constructing (as `dblsh-core` does via `DbLshError`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Rect {
     lo: Box<[f64]>,
@@ -11,19 +27,14 @@ pub struct Rect {
 }
 
 impl Rect {
-    /// Rectangle from corner slices. Panics on dimension mismatch, empty
-    /// dimensions, NaN, or `lo > hi` in any dimension.
+    /// Rectangle from corner slices. See the type-level contract.
     pub fn new(lo: &[f64], hi: &[f64]) -> Self {
-        assert_eq!(lo.len(), hi.len(), "corner dimensionality mismatch");
-        assert!(!lo.is_empty(), "zero-dimensional rectangle");
-        for i in 0..lo.len() {
-            assert!(
-                lo[i] <= hi[i],
-                "inverted rectangle in dim {i}: {} > {}",
-                lo[i],
-                hi[i]
-            );
-        }
+        debug_assert_eq!(lo.len(), hi.len(), "corner dimensionality mismatch");
+        debug_assert!(!lo.is_empty(), "zero-dimensional rectangle");
+        debug_assert!(
+            lo.iter().zip(hi).all(|(&l, &h)| l <= h),
+            "inverted or NaN rectangle: lo {lo:?}, hi {hi:?}"
+        );
         Rect {
             lo: lo.into(),
             hi: hi.into(),
@@ -32,21 +43,18 @@ impl Rect {
 
     /// Degenerate rectangle covering a single point.
     pub fn point(coords: &[f64]) -> Self {
-        assert!(!coords.is_empty(), "zero-dimensional point");
-        assert!(
-            coords.iter().all(|v| !v.is_nan()),
-            "NaN coordinate rejected"
-        );
+        debug_assert!(!coords.is_empty(), "zero-dimensional point");
+        debug_assert!(coords.iter().all(|v| !v.is_nan()), "NaN coordinate");
         Rect {
             lo: coords.into(),
             hi: coords.into(),
         }
     }
 
-    /// Hypercube of side `w` centered at `center` — the paper's
+    /// Hypercube of side `w >= 0` centered at `center` — the paper's
     /// query-centric bucket `W(G_i(q), w)` (Eq. 8).
     pub fn centered_cube(center: &[f64], w: f64) -> Self {
-        assert!(w >= 0.0 && !w.is_nan(), "invalid width {w}");
+        debug_assert!(w >= 0.0 && !w.is_nan(), "invalid width {w}");
         let half = w / 2.0;
         let lo: Vec<f64> = center.iter().map(|&c| c - half).collect();
         let hi: Vec<f64> = center.iter().map(|&c| c + half).collect();
@@ -71,7 +79,6 @@ impl Rect {
     /// True iff the two rectangles share at least one point.
     #[inline]
     pub fn intersects(&self, other: &Rect) -> bool {
-        debug_assert_eq!(self.dim(), other.dim());
         self.lo.iter().zip(other.hi.iter()).all(|(&a, &b)| a <= b)
             && other.lo.iter().zip(self.hi.iter()).all(|(&a, &b)| a <= b)
     }
@@ -184,6 +191,174 @@ impl Rect {
     }
 }
 
+/// Allocation-free rectangle geometry over raw `(lo, hi)` corner slices —
+/// the arithmetic layer of the flat node arena. A degenerate box (a
+/// point) is expressed by passing the same slice as both corners.
+///
+/// Stored bounds and coordinates are `f32` (half the memory traffic of
+/// the hot path); every derived quantity (areas, margins, distances) is
+/// accumulated in `f64` so the R\* heuristics never overflow or lose
+/// order on high-dimensional products. The mixed-precision predicates at
+/// the bottom compare `f64` query windows against stored `f32` data by
+/// casting the stored values up, which is exact.
+pub(crate) mod geom {
+    /// Hyper-volume (product of side lengths, in `f64`).
+    #[inline]
+    pub fn area(lo: &[f32], hi: &[f32]) -> f64 {
+        lo.iter()
+            .zip(hi)
+            .map(|(&l, &h)| (h as f64) - (l as f64))
+            .product()
+    }
+
+    /// Sum of side lengths (in `f64`).
+    #[inline]
+    pub fn margin(lo: &[f32], hi: &[f32]) -> f64 {
+        lo.iter()
+            .zip(hi)
+            .map(|(&l, &h)| (h as f64) - (l as f64))
+            .sum()
+    }
+
+    /// Volume of the intersection (0 when disjoint).
+    #[inline]
+    pub fn overlap_area(alo: &[f32], ahi: &[f32], blo: &[f32], bhi: &[f32]) -> f64 {
+        let mut v = 1.0f64;
+        for i in 0..alo.len() {
+            let lo = alo[i].max(blo[i]);
+            let hi = ahi[i].min(bhi[i]);
+            if lo >= hi {
+                return 0.0;
+            }
+            v *= (hi as f64) - (lo as f64);
+        }
+        v
+    }
+
+    /// Volume of the smallest box covering both inputs, without
+    /// materializing it.
+    #[inline]
+    pub fn union_area(alo: &[f32], ahi: &[f32], blo: &[f32], bhi: &[f32]) -> f64 {
+        let mut v = 1.0f64;
+        for i in 0..alo.len() {
+            v *= (ahi[i].max(bhi[i]) as f64) - (alo[i].min(blo[i]) as f64);
+        }
+        v
+    }
+
+    /// Extra volume box `a` needs to also cover box `e`.
+    #[inline]
+    pub fn enlargement(alo: &[f32], ahi: &[f32], elo: &[f32], ehi: &[f32]) -> f64 {
+        union_area(alo, ahi, elo, ehi) - area(alo, ahi)
+    }
+
+    /// Overlap of `union(a, e)` with `o`, without materializing the union.
+    #[inline]
+    pub fn overlap_area_of_union(
+        alo: &[f32],
+        ahi: &[f32],
+        elo: &[f32],
+        ehi: &[f32],
+        olo: &[f32],
+        ohi: &[f32],
+    ) -> f64 {
+        let mut v = 1.0f64;
+        for i in 0..alo.len() {
+            let ulo = alo[i].min(elo[i]);
+            let uhi = ahi[i].max(ehi[i]);
+            let lo = ulo.max(olo[i]);
+            let hi = uhi.min(ohi[i]);
+            if lo >= hi {
+                return 0.0;
+            }
+            v *= (hi as f64) - (lo as f64);
+        }
+        v
+    }
+
+    /// Grow box `(lo, hi)` in place to cover box `(plo, phi)`.
+    #[inline]
+    pub fn enlarge(lo: &mut [f32], hi: &mut [f32], plo: &[f32], phi: &[f32]) {
+        for i in 0..lo.len() {
+            if plo[i] < lo[i] {
+                lo[i] = plo[i];
+            }
+            if phi[i] > hi[i] {
+                hi[i] = phi[i];
+            }
+        }
+    }
+
+    /// True iff stored point `p` lies inside stored box `(lo, hi)`.
+    #[inline]
+    pub fn contains_point(lo: &[f32], hi: &[f32], p: &[f32]) -> bool {
+        debug_assert_eq!(lo.len(), p.len());
+        lo.iter()
+            .zip(hi)
+            .zip(p)
+            .all(|((&l, &h), &v)| l <= v && v <= h)
+    }
+
+    /// Squared Euclidean distance between the centers of two boxes.
+    #[inline]
+    pub fn center_dist2(alo: &[f32], ahi: &[f32], blo: &[f32], bhi: &[f32]) -> f64 {
+        (0..alo.len())
+            .map(|i| {
+                let d = 0.5 * ((alo[i] as f64) + (ahi[i] as f64))
+                    - 0.5 * ((blo[i] as f64) + (bhi[i] as f64));
+                d * d
+            })
+            .sum()
+    }
+
+    // --- mixed precision: f64 query geometry vs f32 stored data ---
+
+    /// True iff stored point `p` lies inside the `f64` query window.
+    #[inline]
+    pub fn window_contains_point(lo: &[f64], hi: &[f64], p: &[f32]) -> bool {
+        debug_assert_eq!(lo.len(), p.len());
+        lo.iter()
+            .zip(hi)
+            .zip(p)
+            .all(|((&l, &h), &v)| l <= v as f64 && v as f64 <= h)
+    }
+
+    /// True iff the `f64` query window intersects the stored `f32` box.
+    #[inline]
+    pub fn window_intersects(wlo: &[f64], whi: &[f64], blo: &[f32], bhi: &[f32]) -> bool {
+        wlo.iter().zip(bhi).all(|(&w, &b)| w <= b as f64)
+            && blo.iter().zip(whi).all(|(&b, &w)| b as f64 <= w)
+    }
+
+    /// True iff the stored `f32` box lies fully inside the `f64` query
+    /// window (boundary inclusive) — every point below it is a hit.
+    #[inline]
+    pub fn window_contains_box(wlo: &[f64], whi: &[f64], blo: &[f32], bhi: &[f32]) -> bool {
+        wlo.iter().zip(blo).all(|(&w, &b)| w <= b as f64)
+            && bhi.iter().zip(whi).all(|(&b, &w)| b as f64 <= w)
+    }
+
+    /// MINDIST: squared `f64` distance from query point `q` to the
+    /// nearest point of the stored box.
+    #[inline]
+    pub fn min_dist2(lo: &[f32], hi: &[f32], q: &[f64]) -> f64 {
+        debug_assert_eq!(lo.len(), q.len());
+        let mut acc = 0.0;
+        for ((&v, &l), &h) in q.iter().zip(lo).zip(hi) {
+            let (l, h) = (l as f64, h as f64);
+            let d = if v < l {
+                l - v
+            } else if v > h {
+                v - h
+            } else {
+                0.0
+            };
+            acc += d * d;
+        }
+        acc
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,14 +420,74 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "inverted rectangle")]
-    fn inverted_rect_panics() {
-        Rect::new(&[1.0], &[0.0]);
+    fn geom_matches_rect_methods_on_exact_values() {
+        // Small integers are exact in both f32 and f64, so the f32 arena
+        // geometry must agree with the f64 Rect reference bit for bit.
+        let (alo, ahi) = ([0.0f32, -1.0], [2.0f32, 3.0]);
+        let (blo, bhi) = ([1.0f32, 0.0], [4.0f32, 1.0]);
+        let a = Rect::new(&[0.0, -1.0], &[2.0, 3.0]);
+        let b = Rect::new(&[1.0, 0.0], &[4.0, 1.0]);
+        assert_eq!(geom::area(&alo, &ahi), a.area());
+        assert_eq!(geom::margin(&alo, &ahi), a.margin());
+        assert_eq!(
+            geom::overlap_area(&alo, &ahi, &blo, &bhi),
+            a.overlap_area(&b)
+        );
+        assert_eq!(geom::union_area(&alo, &ahi, &blo, &bhi), a.union(&b).area());
+        assert_eq!(geom::enlargement(&alo, &ahi, &blo, &bhi), a.enlargement(&b));
+        let (olo, ohi) = ([3.0f32, -2.0], [5.0f32, 4.0]);
+        let o = Rect::new(&[3.0, -2.0], &[5.0, 4.0]);
+        assert_eq!(
+            geom::overlap_area_of_union(&alo, &ahi, &blo, &bhi, &olo, &ohi),
+            a.union(&b).overlap_area(&o)
+        );
+        assert_eq!(
+            geom::center_dist2(&alo, &ahi, &blo, &bhi),
+            a.center_dist2(&b)
+        );
     }
 
     #[test]
+    fn mixed_precision_window_predicates() {
+        let wlo = [0.0f64, 0.0];
+        let whi = [2.0f64, 2.0];
+        assert!(geom::window_contains_point(&wlo, &whi, &[1.0f32, 2.0]));
+        assert!(!geom::window_contains_point(&wlo, &whi, &[1.0f32, 2.1]));
+        assert!(geom::window_intersects(
+            &wlo,
+            &whi,
+            &[2.0f32, 0.0],
+            &[3.0f32, 1.0]
+        ));
+        assert!(!geom::window_intersects(
+            &wlo,
+            &whi,
+            &[2.5f32, 0.0],
+            &[3.0f32, 1.0]
+        ));
+        assert_eq!(
+            geom::min_dist2(&[0.0f32, 0.0], &[2.0f32, 2.0], &[3.0, 3.0]),
+            2.0
+        );
+        assert_eq!(
+            geom::min_dist2(&[0.0f32, 0.0], &[2.0f32, 2.0], &[1.0, 1.0]),
+            0.0
+        );
+    }
+
+    // The construction contract is debug-checked only (see the type-level
+    // docs): these panics exist in test/debug profiles, not in release.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_rect_panics_in_debug() {
+        Rect::new(&[1.0], &[0.0]);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
     #[should_panic(expected = "NaN")]
-    fn nan_point_panics() {
+    fn nan_point_panics_in_debug() {
         Rect::point(&[f64::NAN]);
     }
 }

@@ -1,57 +1,110 @@
-//! The R*-tree proper: arena storage, R\* insertion (ChooseSubtree, forced
-//! reinsertion, margin-driven split) and deletion with tree condensing.
-//! Beckmann, Kriegel, Schneider, Seeger: "The R*-tree: an efficient and
-//! robust access method for points and rectangles" (SIGMOD 1990).
+//! The R*-tree proper: flat arena storage, R\* insertion (ChooseSubtree,
+//! forced reinsertion, margin-driven split) and deletion with tree
+//! condensing. Beckmann, Kriegel, Schneider, Seeger: "The R*-tree: an
+//! efficient and robust access method for points and rectangles"
+//! (SIGMOD 1990).
+//!
+//! # Flat layout
+//!
+//! The tree owns **no coordinates**. A node is two parallel flat arrays:
+//! `children` (point ids in leaves, arena node indexes in inner nodes)
+//! and `bounds` (inner nodes only: one inline `2 * dim` run of
+//! `lo_0..lo_{d-1}, hi_0..hi_{d-1}` per child). Leaf coordinates are
+//! resolved on demand through a [`CoordSource`], so a leaf scan walks a
+//! dense id array plus one contiguous coordinate buffer — no per-entry
+//! boxes, no rectangle cloning anywhere on the descent.
 
-use crate::rect::Rect;
+use crate::coords::CoordSource;
+use crate::rect::{geom, Rect};
 
 /// Default maximum entries per node.
 pub(crate) const DEFAULT_MAX_ENTRIES: usize = 32;
 
-/// One entry of a node: a data point (in leaves) or a child subtree.
-#[derive(Debug, Clone)]
-pub(crate) enum Entry {
-    Point { id: u32, coords: Box<[f64]> },
-    Child { node: usize, rect: Rect },
-}
-
-impl Entry {
-    #[inline]
-    pub(crate) fn lo(&self, axis: usize) -> f64 {
-        match self {
-            Entry::Point { coords, .. } => coords[axis],
-            Entry::Child { rect, .. } => rect.lo()[axis],
-        }
-    }
-
-    #[inline]
-    pub(crate) fn hi(&self, axis: usize) -> f64 {
-        match self {
-            Entry::Point { coords, .. } => coords[axis],
-            Entry::Child { rect, .. } => rect.hi()[axis],
-        }
-    }
-
-    pub(crate) fn to_rect(&self) -> Rect {
-        match self {
-            Entry::Point { coords, .. } => Rect::point(coords),
-            Entry::Child { rect, .. } => rect.clone(),
-        }
-    }
-}
-
+/// One node of the arena: `children[j]` is a point id (leaves) or an
+/// arena index (inner nodes); inner nodes keep child `j`'s bounding box
+/// inline at `bounds[j*2*dim .. (j+1)*2*dim]` (lo corner then hi corner).
 #[derive(Debug)]
 pub(crate) struct Node {
     /// 0 for leaves; parents of leaves are level 1, etc.
     pub(crate) level: u32,
-    pub(crate) entries: Vec<Entry>,
+    pub(crate) children: Vec<u32>,
+    pub(crate) bounds: Vec<f32>,
+}
+
+impl Node {
+    #[inline]
+    pub(crate) fn is_leaf(&self) -> bool {
+        self.level == 0
+    }
+
+    /// Remove entry `j` preserving order; returns the child payload.
+    fn remove_entry(&mut self, dim: usize, j: usize) -> u32 {
+        let c = self.children.remove(j);
+        if !self.is_leaf() {
+            self.bounds.drain(j * 2 * dim..(j + 1) * 2 * dim);
+        }
+        c
+    }
+
+    /// Append an inner-node entry with its bounding box.
+    fn push_inner(&mut self, child: u32, lo: &[f32], hi: &[f32]) {
+        debug_assert!(!self.is_leaf());
+        self.children.push(child);
+        self.bounds.extend_from_slice(lo);
+        self.bounds.extend_from_slice(hi);
+    }
+}
+
+/// Bounding box of child `j` of an inner node, as `(lo, hi)` slices into
+/// the node's flat bounds arena.
+#[inline]
+pub(crate) fn child_bounds(node: &Node, dim: usize, j: usize) -> (&[f32], &[f32]) {
+    node.bounds[j * 2 * dim..(j + 1) * 2 * dim].split_at(dim)
+}
+
+/// Bounding box of entry `j` of any node: inner children come from the
+/// bounds arena, leaf points degenerate to their coordinates (same slice
+/// as both corners).
+#[inline]
+pub(crate) fn entry_bounds<'a, S: CoordSource>(
+    node: &'a Node,
+    dim: usize,
+    src: &'a S,
+    j: usize,
+) -> (&'a [f32], &'a [f32]) {
+    if node.is_leaf() {
+        let c = src.coords(node.children[j]);
+        (c, c)
+    } else {
+        child_bounds(node, dim, j)
+    }
+}
+
+/// Structure counters and footprint of one tree, for memory accounting
+/// and layout regression tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeStats {
+    /// Live arena nodes.
+    pub nodes: usize,
+    /// Point entries across all leaves.
+    pub leaf_entries: usize,
+    /// Child entries across all inner nodes.
+    pub inner_entries: usize,
+    /// Heap footprint of the tree structure in bytes (arena, children,
+    /// inline bounds). Point coordinates are *not* included — they live
+    /// in the [`CoordSource`], owned and accounted once by the caller.
+    pub structure_bytes: usize,
 }
 
 /// An in-memory R*-tree over points with runtime dimensionality.
 ///
-/// Point payloads are `u32` identifiers (row index into the owning
-/// dataset / projection matrix). Duplicate coordinates and duplicate ids
-/// are allowed; `remove` matches on `(id, coords)` pairs.
+/// Point payloads are `u32` identifiers resolved through a
+/// [`CoordSource`] (typically row indexes into the owning projection
+/// store). Every operation that touches coordinates takes the source as
+/// an argument; the caller must pass a source honoring the
+/// [`CoordSource`] contract (stable coordinates per live id) with
+/// `src.dim() == tree.dim()`. Ids must be unique within one tree —
+/// `remove` matches on id alone.
 #[derive(Debug)]
 pub struct RStarTree {
     dim: usize,
@@ -67,14 +120,17 @@ pub struct RStarTree {
 
 impl RStarTree {
     /// Empty tree with the default node capacity.
+    ///
+    /// Contract: `dim >= 1` (debug-checked).
     pub fn new(dim: usize) -> Self {
         Self::with_node_capacity(dim, DEFAULT_MAX_ENTRIES)
     }
 
-    /// Empty tree with a custom maximum node fan-out `max_entries >= 4`.
+    /// Empty tree with a custom maximum node fan-out. Fan-outs below the
+    /// R\* minimum of 4 are clamped to 4.
     pub fn with_node_capacity(dim: usize, max_entries: usize) -> Self {
-        assert!(dim >= 1, "dimension must be at least 1");
-        assert!(max_entries >= 4, "node capacity must be at least 4");
+        debug_assert!(dim >= 1, "dimension must be at least 1");
+        let max_entries = max_entries.max(4);
         let min_entries = (max_entries as f64 * 0.4).ceil() as usize;
         let reinsert_count = (max_entries as f64 * 0.3).ceil() as usize;
         RStarTree {
@@ -84,7 +140,8 @@ impl RStarTree {
             reinsert_count,
             nodes: vec![Node {
                 level: 0,
-                entries: Vec::new(),
+                children: Vec::new(),
+                bounds: Vec::new(),
             }],
             free: Vec::new(),
             root: 0,
@@ -115,11 +172,15 @@ impl RStarTree {
     }
 
     /// Exact minimum bounding rectangle of the whole tree, `None` if empty.
-    pub fn mbr(&self) -> Option<Rect> {
+    pub fn mbr<S: CoordSource>(&self, src: &S) -> Option<Rect> {
         if self.is_empty() {
             None
         } else {
-            Some(self.node_mbr(self.root))
+            let (mut lo, mut hi) = (Vec::new(), Vec::new());
+            self.node_mbr_into(src, self.root, &mut lo, &mut hi);
+            let lo64: Vec<f64> = lo.iter().map(|&v| v as f64).collect();
+            let hi64: Vec<f64> = hi.iter().map(|&v| v as f64).collect();
+            Some(Rect::new(&lo64, &hi64))
         }
     }
 
@@ -133,156 +194,173 @@ impl RStarTree {
         }
     }
 
-    fn dealloc(&mut self, idx: usize) {
+    pub(crate) fn dealloc(&mut self, idx: usize) {
         self.nodes[idx] = Node {
             level: u32::MAX,
-            entries: Vec::new(),
+            children: Vec::new(),
+            bounds: Vec::new(),
         };
         self.free.push(idx);
     }
 
-    pub(crate) fn node_mbr(&self, idx: usize) -> Rect {
+    /// Exact MBR of node `idx`, written into `lo`/`hi` (resized to `dim`).
+    pub(crate) fn node_mbr_into<S: CoordSource>(
+        &self,
+        src: &S,
+        idx: usize,
+        lo: &mut Vec<f32>,
+        hi: &mut Vec<f32>,
+    ) {
         let node = &self.nodes[idx];
-        let mut it = node.entries.iter();
-        let first = it.next().expect("node_mbr on empty node").to_rect();
-        it.fold(first, |mut acc, e| {
-            match e {
-                Entry::Point { coords, .. } => acc.enlarge(&Rect::point(coords)),
-                Entry::Child { rect, .. } => acc.enlarge(rect),
-            }
-            acc
-        })
+        debug_assert!(!node.children.is_empty(), "node_mbr on empty node");
+        let (flo, fhi) = entry_bounds(node, self.dim, src, 0);
+        lo.clear();
+        lo.extend_from_slice(flo);
+        hi.clear();
+        hi.extend_from_slice(fhi);
+        for j in 1..node.children.len() {
+            let (elo, ehi) = entry_bounds(node, self.dim, src, j);
+            geom::enlarge(lo, hi, elo, ehi);
+        }
     }
 
-    fn validate_coords(&self, coords: &[f64]) {
-        assert_eq!(
-            coords.len(),
+    /// Insert the point `id` at the coordinates `src` resolves for it.
+    ///
+    /// Contract (debug-checked): `src.dim() == self.dim()`, the
+    /// coordinates are finite, and `id` is not already present.
+    pub fn insert<S: CoordSource>(&mut self, src: &S, id: u32) {
+        debug_assert_eq!(
+            src.dim(),
             self.dim,
-            "coordinate dimensionality mismatch: got {}, tree is {}-d",
-            coords.len(),
-            self.dim
+            "coordinate source dimensionality mismatch"
         );
-        assert!(
-            coords.iter().all(|v| v.is_finite()),
-            "non-finite coordinate rejected"
+        debug_assert!(
+            src.coords(id).iter().all(|v| v.is_finite()),
+            "non-finite coordinate for id {id}"
         );
-    }
-
-    /// Insert a point with identifier `id`.
-    pub fn insert(&mut self, id: u32, coords: &[f64]) {
-        self.validate_coords(coords);
         let mut reinserted = vec![false; self.nodes[self.root].level as usize + 2];
-        self.insert_at_level(
-            Entry::Point {
-                id,
-                coords: coords.into(),
-            },
-            0,
-            &mut reinserted,
-        );
+        self.insert_entry(src, id, 0, &mut reinserted);
         self.len += 1;
     }
 
-    /// Insert `entry` into some node at `target_level`, applying the R\*
-    /// overflow treatment (one forced reinsertion per level per public
-    /// operation, then splits).
-    fn insert_at_level(&mut self, entry: Entry, target_level: u32, reinserted: &mut Vec<bool>) {
-        let entry_rect = entry.to_rect();
-        // Descend, recording the path and enlarging covering rectangles.
+    /// Insert entry `child` into some node at `target_level` (`child` is
+    /// a point id when `target_level == 0`, else an arena node index),
+    /// applying the R\* overflow treatment (one forced reinsertion per
+    /// level per public operation, then splits).
+    fn insert_entry<S: CoordSource>(
+        &mut self,
+        src: &S,
+        child: u32,
+        target_level: u32,
+        reinserted: &mut Vec<bool>,
+    ) {
+        let dim = self.dim;
+        // Bounding box of the entry being inserted.
+        let (elo, ehi): (Vec<f32>, Vec<f32>) = if target_level == 0 {
+            let c = src.coords(child).to_vec();
+            (c.clone(), c)
+        } else {
+            let (mut lo, mut hi) = (Vec::new(), Vec::new());
+            self.node_mbr_into(src, child as usize, &mut lo, &mut hi);
+            (lo, hi)
+        };
+
+        // Descend, recording the path and enlarging covering boxes.
         let mut path: Vec<(usize, usize)> = Vec::new();
         let mut cur = self.root;
         while self.nodes[cur].level > target_level {
-            let pos = self.choose_subtree(cur, &entry_rect);
-            let child = match &mut self.nodes[cur].entries[pos] {
-                Entry::Child { node, rect } => {
-                    rect.enlarge(&entry_rect);
-                    *node
-                }
-                Entry::Point { .. } => unreachable!("point entry in inner node"),
+            let pos = self.choose_subtree(cur, &elo, &ehi);
+            let next = {
+                let node = &mut self.nodes[cur];
+                let (blo, bhi) = node.bounds[pos * 2 * dim..(pos + 1) * 2 * dim].split_at_mut(dim);
+                geom::enlarge(blo, bhi, &elo, &ehi);
+                node.children[pos] as usize
             };
             path.push((cur, pos));
-            cur = child;
+            cur = next;
         }
         debug_assert_eq!(self.nodes[cur].level, target_level);
-        self.nodes[cur].entries.push(entry);
+        {
+            let node = &mut self.nodes[cur];
+            node.children.push(child);
+            if target_level > 0 {
+                node.bounds.extend_from_slice(&elo);
+                node.bounds.extend_from_slice(&ehi);
+            }
+        }
 
         // Overflow treatment, bottom-up.
+        let (mut lo, mut hi) = (Vec::new(), Vec::new());
         let mut node = cur;
         loop {
-            if self.nodes[node].entries.len() <= self.max_entries {
+            if self.nodes[node].children.len() <= self.max_entries {
                 break;
             }
             let level = self.nodes[node].level;
             if node != self.root && !reinserted[level as usize] {
                 reinserted[level as usize] = true;
-                let orphans = self.take_farthest(node);
-                self.recompute_path_rects(&path);
-                for e in orphans {
-                    self.insert_at_level(e, level, reinserted);
+                let orphans = self.take_farthest(src, node);
+                self.recompute_path_rects(src, &path);
+                for c in orphans {
+                    self.insert_entry(src, c, level, reinserted);
                 }
                 break;
             }
-            let sibling = self.split(node);
-            let sibling_entry = Entry::Child {
-                node: sibling,
-                rect: self.node_mbr(sibling),
-            };
+            let sibling = self.split(src, node);
             if node == self.root {
-                let old_root = Entry::Child {
-                    node: self.root,
-                    rect: self.node_mbr(self.root),
-                };
-                let new_root = self.alloc(Node {
+                let mut new_root = Node {
                     level: level + 1,
-                    entries: vec![old_root, sibling_entry],
-                });
-                self.root = new_root;
+                    children: Vec::new(),
+                    bounds: Vec::new(),
+                };
+                self.node_mbr_into(src, self.root, &mut lo, &mut hi);
+                new_root.push_inner(self.root as u32, &lo, &hi);
+                self.node_mbr_into(src, sibling, &mut lo, &mut hi);
+                new_root.push_inner(sibling as u32, &lo, &hi);
+                self.root = self.alloc(new_root);
                 break;
             }
             let (parent, pos) = path.pop().expect("non-root node has a parent on the path");
-            let shrunk = self.node_mbr(node);
-            match &mut self.nodes[parent].entries[pos] {
-                Entry::Child { rect, .. } => *rect = shrunk,
-                Entry::Point { .. } => unreachable!(),
+            self.node_mbr_into(src, node, &mut lo, &mut hi);
+            {
+                let b = &mut self.nodes[parent].bounds[pos * 2 * dim..(pos + 1) * 2 * dim];
+                b[..dim].copy_from_slice(&lo);
+                b[dim..].copy_from_slice(&hi);
             }
-            self.nodes[parent].entries.push(sibling_entry);
+            self.node_mbr_into(src, sibling, &mut lo, &mut hi);
+            self.nodes[parent].push_inner(sibling as u32, &lo, &hi);
             node = parent;
         }
     }
 
     /// R\* ChooseSubtree: minimal overlap enlargement for parents of
     /// leaves, minimal area enlargement above (ties: smaller area).
-    fn choose_subtree(&self, node: usize, entry_rect: &Rect) -> usize {
+    /// Only called on inner nodes, so every entry has arena bounds.
+    fn choose_subtree(&self, node: usize, elo: &[f32], ehi: &[f32]) -> usize {
+        let dim = self.dim;
         let n = &self.nodes[node];
         debug_assert!(n.level >= 1);
-        let entries = &n.entries;
+        let count = n.children.len();
         if n.level == 1 {
             // children are leaves: minimize overlap enlargement
             let mut best = 0;
             let mut best_key = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
-            for (i, e) in entries.iter().enumerate() {
-                let r = match e {
-                    Entry::Child { rect, .. } => rect,
-                    Entry::Point { .. } => unreachable!(),
-                };
-                let enlarged = r.union(entry_rect);
+            for i in 0..count {
+                let (ilo, ihi) = child_bounds(n, dim, i);
                 let mut overlap_before = 0.0;
                 let mut overlap_after = 0.0;
-                for (j, other) in entries.iter().enumerate() {
+                for j in 0..count {
                     if i == j {
                         continue;
                     }
-                    let or = match other {
-                        Entry::Child { rect, .. } => rect,
-                        Entry::Point { .. } => unreachable!(),
-                    };
-                    overlap_before += r.overlap_area(or);
-                    overlap_after += enlarged.overlap_area(or);
+                    let (jlo, jhi) = child_bounds(n, dim, j);
+                    overlap_before += geom::overlap_area(ilo, ihi, jlo, jhi);
+                    overlap_after += geom::overlap_area_of_union(ilo, ihi, elo, ehi, jlo, jhi);
                 }
                 let key = (
                     overlap_after - overlap_before,
-                    r.enlargement(entry_rect),
-                    r.area(),
+                    geom::enlargement(ilo, ihi, elo, ehi),
+                    geom::area(ilo, ihi),
                 );
                 if key < best_key {
                     best_key = key;
@@ -293,12 +371,9 @@ impl RStarTree {
         } else {
             let mut best = 0;
             let mut best_key = (f64::INFINITY, f64::INFINITY);
-            for (i, e) in entries.iter().enumerate() {
-                let r = match e {
-                    Entry::Child { rect, .. } => rect,
-                    Entry::Point { .. } => unreachable!(),
-                };
-                let key = (r.enlargement(entry_rect), r.area());
+            for i in 0..count {
+                let (ilo, ihi) = child_bounds(n, dim, i);
+                let key = (geom::enlargement(ilo, ihi, elo, ehi), geom::area(ilo, ihi));
                 if key < best_key {
                     best_key = key;
                     best = i;
@@ -309,62 +384,85 @@ impl RStarTree {
     }
 
     /// Remove the `reinsert_count` entries whose centers are farthest from
-    /// the node's MBR center; returns them sorted closest-first ("close
+    /// the node's MBR center; returns their child payloads ("close
     /// reinsert" of the R\* paper).
-    fn take_farthest(&mut self, node: usize) -> Vec<Entry> {
-        let mbr = self.node_mbr(node);
-        let n = &mut self.nodes[node];
-        let mut dist: Vec<(f64, usize)> = n
-            .entries
-            .iter()
-            .enumerate()
-            .map(|(i, e)| (e.to_rect().center_dist2(&mbr), i))
-            .collect();
-        dist.sort_by(|a, b| b.0.total_cmp(&a.0));
-        let count = self.reinsert_count.min(n.entries.len().saturating_sub(1));
-        let mut evict: Vec<usize> = dist[..count].iter().map(|&(_, i)| i).collect();
+    fn take_farthest<S: CoordSource>(&mut self, src: &S, node: usize) -> Vec<u32> {
+        let dim = self.dim;
+        let (mut mlo, mut mhi) = (Vec::new(), Vec::new());
+        self.node_mbr_into(src, node, &mut mlo, &mut mhi);
+        let count;
+        let mut evict: Vec<usize>;
+        {
+            let n = &self.nodes[node];
+            let mut dist: Vec<(f64, usize)> = (0..n.children.len())
+                .map(|j| {
+                    let (lo, hi) = entry_bounds(n, dim, src, j);
+                    (geom::center_dist2(lo, hi, &mlo, &mhi), j)
+                })
+                .collect();
+            dist.sort_by(|a, b| b.0.total_cmp(&a.0));
+            count = self.reinsert_count.min(n.children.len().saturating_sub(1));
+            evict = dist[..count].iter().map(|&(_, j)| j).collect();
+        }
         evict.sort_unstable_by(|a, b| b.cmp(a)); // remove from the back
-        let mut orphans: Vec<Entry> = evict.into_iter().map(|i| n.entries.remove(i)).collect();
+        let node = &mut self.nodes[node];
+        let mut orphans: Vec<u32> = evict
+            .into_iter()
+            .map(|j| node.remove_entry(dim, j))
+            .collect();
         orphans.reverse(); // farthest were first; reinsert closest-first
         orphans
     }
 
-    /// Recompute exact covering rectangles along a root-to-node path.
-    fn recompute_path_rects(&mut self, path: &[(usize, usize)]) {
+    /// Recompute exact covering boxes along a root-to-node path.
+    fn recompute_path_rects<S: CoordSource>(&mut self, src: &S, path: &[(usize, usize)]) {
+        let dim = self.dim;
+        let (mut lo, mut hi) = (Vec::new(), Vec::new());
         for &(node, pos) in path.iter().rev() {
-            let child = match &self.nodes[node].entries[pos] {
-                Entry::Child { node: c, .. } => *c,
-                Entry::Point { .. } => unreachable!(),
-            };
-            let exact = self.node_mbr(child);
-            match &mut self.nodes[node].entries[pos] {
-                Entry::Child { rect, .. } => *rect = exact,
-                Entry::Point { .. } => unreachable!(),
-            }
+            let child = self.nodes[node].children[pos] as usize;
+            self.node_mbr_into(src, child, &mut lo, &mut hi);
+            let b = &mut self.nodes[node].bounds[pos * 2 * dim..(pos + 1) * 2 * dim];
+            b[..dim].copy_from_slice(&lo);
+            b[dim..].copy_from_slice(&hi);
         }
     }
 
     /// R\* topological split. Keeps one group in `node`, allocates a new
     /// node for the other group, and returns its index.
-    fn split(&mut self, node: usize) -> usize {
+    fn split<S: CoordSource>(&mut self, src: &S, node: usize) -> usize {
+        let dim = self.dim;
+        let w = 2 * dim;
         let level = self.nodes[node].level;
-        let mut entries = std::mem::take(&mut self.nodes[node].entries);
-        let total = entries.len();
+        let total = self.nodes[node].children.len();
         let m = self.min_entries;
         debug_assert!(total > self.max_entries);
+
+        // Gather every entry's bounding box contiguously once.
+        let mut ebounds = vec![0.0f32; total * w];
+        {
+            let n = &self.nodes[node];
+            for j in 0..total {
+                let (lo, hi) = entry_bounds(n, dim, src, j);
+                ebounds[j * w..j * w + dim].copy_from_slice(lo);
+                ebounds[j * w + dim..(j + 1) * w].copy_from_slice(hi);
+            }
+        }
 
         // ChooseSplitAxis: minimize total margin over all distributions of
         // both sortings (by lower then by upper boundary).
         let mut best_axis = 0;
         let mut best_axis_margin = f64::INFINITY;
-        for axis in 0..self.dim {
+        for axis in 0..dim {
             let mut margin = 0.0;
             for by_upper in [false, true] {
                 let mut order: Vec<usize> = (0..total).collect();
-                sort_order(&mut order, &entries, axis, by_upper);
-                let (pre, suf) = prefix_suffix_rects(&order, &entries);
+                sort_order(&mut order, &ebounds, dim, axis, by_upper);
+                let (pre, suf) = prefix_suffix_bounds(&order, &ebounds, dim);
                 for k in m..=(total - m) {
-                    margin += pre[k - 1].margin() + suf[k].margin();
+                    let p = &pre[(k - 1) * w..k * w];
+                    let s = &suf[k * w..(k + 1) * w];
+                    margin +=
+                        geom::margin(&p[..dim], &p[dim..]) + geom::margin(&s[..dim], &s[dim..]);
                 }
             }
             if margin < best_axis_margin {
@@ -378,12 +476,15 @@ impl RStarTree {
         let mut best_key = (f64::INFINITY, f64::INFINITY);
         for by_upper in [false, true] {
             let mut order: Vec<usize> = (0..total).collect();
-            sort_order(&mut order, &entries, best_axis, by_upper);
-            let (pre, suf) = prefix_suffix_rects(&order, &entries);
+            sort_order(&mut order, &ebounds, dim, best_axis, by_upper);
+            let (pre, suf) = prefix_suffix_bounds(&order, &ebounds, dim);
             for k in m..=(total - m) {
-                let r1 = &pre[k - 1];
-                let r2 = &suf[k];
-                let key = (r1.overlap_area(r2), r1.area() + r2.area());
+                let p = &pre[(k - 1) * w..k * w];
+                let s = &suf[k * w..(k + 1) * w];
+                let key = (
+                    geom::overlap_area(&p[..dim], &p[dim..], &s[..dim], &s[dim..]),
+                    geom::area(&p[..dim], &p[dim..]) + geom::area(&s[..dim], &s[dim..]),
+                );
                 if key < best_key {
                     best_key = key;
                     best = Some((order.clone(), k));
@@ -392,90 +493,106 @@ impl RStarTree {
         }
         let (order, split_at) = best.expect("at least one valid distribution");
 
-        // Materialize the two groups.
+        // Materialize the two groups, preserving original entry order.
         let in_second: Vec<bool> = {
             let mut v = vec![false; total];
-            for &i in &order[split_at..] {
-                v[i] = true;
+            for &j in &order[split_at..] {
+                v[j] = true;
             }
             v
         };
-        let mut first = Vec::with_capacity(split_at);
-        let mut second = Vec::with_capacity(total - split_at);
-        for (i, e) in entries.drain(..).enumerate() {
-            if in_second[i] {
-                second.push(e);
+        let n = &mut self.nodes[node];
+        let old_children = std::mem::take(&mut n.children);
+        let old_bounds = std::mem::take(&mut n.bounds);
+        let mut first_children = Vec::with_capacity(split_at);
+        let mut second_children = Vec::with_capacity(total - split_at);
+        let mut first_bounds = Vec::new();
+        let mut second_bounds = Vec::new();
+        if level > 0 {
+            first_bounds.reserve(split_at * w);
+            second_bounds.reserve((total - split_at) * w);
+        }
+        for (j, c) in old_children.into_iter().enumerate() {
+            if in_second[j] {
+                second_children.push(c);
+                if level > 0 {
+                    second_bounds.extend_from_slice(&old_bounds[j * w..(j + 1) * w]);
+                }
             } else {
-                first.push(e);
+                first_children.push(c);
+                if level > 0 {
+                    first_bounds.extend_from_slice(&old_bounds[j * w..(j + 1) * w]);
+                }
             }
         }
-        self.nodes[node].entries = first;
+        let n = &mut self.nodes[node];
+        n.children = first_children;
+        n.bounds = first_bounds;
         self.alloc(Node {
             level,
-            entries: second,
+            children: second_children,
+            bounds: second_bounds,
         })
     }
 
-    /// Remove the point `(id, coords)`. Returns `true` if it was present.
-    /// If several identical `(id, coords)` entries exist, one is removed.
-    pub fn remove(&mut self, id: u32, coords: &[f64]) -> bool {
-        self.validate_coords(coords);
-        let Some(path) = self.find_leaf(id, coords) else {
+    /// Remove the point `id`. Returns `true` if it was present.
+    ///
+    /// The descent is guided by `src.coords(id)`, so the source must
+    /// still resolve the id (contract: coordinates are stable for the
+    /// lifetime of the entry).
+    pub fn remove<S: CoordSource>(&mut self, src: &S, id: u32) -> bool {
+        let dim = self.dim;
+        debug_assert_eq!(src.dim(), dim, "coordinate source dimensionality mismatch");
+        let Some(path) = self.find_leaf(src, id) else {
             return false;
         };
         // `path` is the root-to-leaf chain of (node, entry position); the
         // last element addresses the point entry inside the leaf.
         let (leaf, entry_pos) = *path.last().expect("non-empty path");
-        self.nodes[leaf].entries.remove(entry_pos);
+        self.nodes[leaf].remove_entry(dim, entry_pos);
         self.len -= 1;
 
         // Condense: dissolve underfull nodes bottom-up, queueing orphans.
-        let mut orphans: Vec<(u32, Entry)> = Vec::new();
+        let (mut lo, mut hi) = (Vec::new(), Vec::new());
+        let mut orphans: Vec<(u32, u32)> = Vec::new();
         for i in (0..path.len() - 1).rev() {
             let (parent, pos) = path[i];
-            let child = match &self.nodes[parent].entries[pos] {
-                Entry::Child { node, .. } => *node,
-                Entry::Point { .. } => unreachable!(),
-            };
-            if self.nodes[child].entries.len() < self.min_entries {
-                self.nodes[parent].entries.remove(pos);
+            let child = self.nodes[parent].children[pos] as usize;
+            if self.nodes[child].children.len() < self.min_entries {
+                self.nodes[parent].remove_entry(dim, pos);
                 let level = self.nodes[child].level;
-                let stranded = std::mem::take(&mut self.nodes[child].entries);
-                orphans.extend(stranded.into_iter().map(|e| (level, e)));
+                let stranded = std::mem::take(&mut self.nodes[child].children);
+                orphans.extend(stranded.into_iter().map(|c| (level, c)));
                 self.dealloc(child);
             } else {
-                let exact = self.node_mbr(child);
-                match &mut self.nodes[parent].entries[pos] {
-                    Entry::Child { rect, .. } => *rect = exact,
-                    Entry::Point { .. } => unreachable!(),
-                }
+                self.node_mbr_into(src, child, &mut lo, &mut hi);
+                let b = &mut self.nodes[parent].bounds[pos * 2 * dim..(pos + 1) * 2 * dim];
+                b[..dim].copy_from_slice(&lo);
+                b[dim..].copy_from_slice(&hi);
             }
         }
 
         // Reinsert orphans, highest level first.
         orphans.sort_by_key(|o| std::cmp::Reverse(o.0));
-        for (level, e) in orphans {
+        for (level, c) in orphans {
             let mut reinserted = vec![false; self.nodes[self.root].level as usize + 2];
-            self.insert_at_level(e, level, &mut reinserted);
+            self.insert_entry(src, c, level, &mut reinserted);
         }
 
         // Shrink the root while it is an inner node with a single child.
-        while self.nodes[self.root].level > 0 && self.nodes[self.root].entries.len() == 1 {
-            let child = match &self.nodes[self.root].entries[0] {
-                Entry::Child { node, .. } => *node,
-                Entry::Point { .. } => unreachable!(),
-            };
+        while self.nodes[self.root].level > 0 && self.nodes[self.root].children.len() == 1 {
+            let child = self.nodes[self.root].children[0] as usize;
             self.dealloc(self.root);
             self.root = child;
         }
         true
     }
 
-    /// Root-to-leaf path to the entry matching `(id, coords)` exactly.
-    /// The final pair addresses the point entry within its leaf.
-    fn find_leaf(&self, id: u32, coords: &[f64]) -> Option<Vec<(usize, usize)>> {
+    /// Root-to-leaf path to the entry with the given id, guided by its
+    /// coordinates. The final pair addresses the point entry in its leaf.
+    fn find_leaf<S: CoordSource>(&self, src: &S, id: u32) -> Option<Vec<(usize, usize)>> {
         let mut path = Vec::new();
-        if self.find_leaf_rec(self.root, id, coords, &mut path) {
+        if self.find_leaf_rec(self.root, id, src.coords(id), &mut path) {
             Some(path)
         } else {
             None
@@ -486,135 +603,167 @@ impl RStarTree {
         &self,
         node: usize,
         id: u32,
-        coords: &[f64],
+        coords: &[f32],
         path: &mut Vec<(usize, usize)>,
     ) -> bool {
         let n = &self.nodes[node];
-        if n.level == 0 {
-            for (pos, e) in n.entries.iter().enumerate() {
-                if let Entry::Point {
-                    id: pid,
-                    coords: pc,
-                } = e
-                {
-                    if *pid == id && pc.iter().zip(coords).all(|(a, b)| a == b) {
-                        path.push((node, pos));
-                        return true;
-                    }
-                }
+        if n.is_leaf() {
+            if let Some(pos) = n.children.iter().position(|&c| c == id) {
+                path.push((node, pos));
+                return true;
             }
             return false;
         }
-        for (pos, e) in n.entries.iter().enumerate() {
-            if let Entry::Child { node: c, rect } = e {
-                if rect.contains_point(coords) {
-                    path.push((node, pos));
-                    if self.find_leaf_rec(*c, id, coords, path) {
-                        return true;
-                    }
-                    path.pop();
+        for pos in 0..n.children.len() {
+            let (lo, hi) = child_bounds(n, self.dim, pos);
+            if geom::contains_point(lo, hi, coords) {
+                path.push((node, pos));
+                if self.find_leaf_rec(n.children[pos] as usize, id, coords, path) {
+                    return true;
                 }
+                path.pop();
             }
         }
         false
     }
 
-    /// Approximate heap footprint of the tree structure in bytes
-    /// (nodes, entries, coordinate storage). Used for the paper's
-    /// index-size comparisons.
-    pub fn approx_memory(&self) -> usize {
-        let mut total = std::mem::size_of::<Self>();
+    /// Structure counters and heap footprint. See [`TreeStats`].
+    pub fn stats(&self) -> TreeStats {
+        let mut s = TreeStats {
+            nodes: 0,
+            leaf_entries: 0,
+            inner_entries: 0,
+            structure_bytes: std::mem::size_of::<Self>()
+                + self.nodes.capacity() * std::mem::size_of::<Node>()
+                + self.free.capacity() * std::mem::size_of::<usize>(),
+        };
         for n in &self.nodes {
-            total += std::mem::size_of::<Node>();
-            total += n.entries.capacity() * std::mem::size_of::<Entry>();
-            for e in &n.entries {
-                total += match e {
-                    Entry::Point { coords, .. } => coords.len() * 8,
-                    Entry::Child { rect, .. } => rect.dim() * 16,
-                };
+            s.structure_bytes += n.children.capacity() * std::mem::size_of::<u32>()
+                + n.bounds.capacity() * std::mem::size_of::<f32>();
+            if n.level == u32::MAX {
+                continue; // freed arena slot
+            }
+            s.nodes += 1;
+            if n.is_leaf() {
+                s.leaf_entries += n.children.len();
+            } else {
+                s.inner_entries += n.children.len();
             }
         }
-        total
+        s
     }
 
-    /// Verify structural invariants; panics with a description on violation.
-    /// Exposed for tests and debugging.
-    pub fn check_invariants(&self) {
+    /// Approximate heap footprint of the tree structure in bytes. Leaf
+    /// coordinates live in the caller's [`CoordSource`] and are *not*
+    /// counted here. Used for the paper's index-size comparisons.
+    pub fn approx_memory(&self) -> usize {
+        self.stats().structure_bytes
+    }
+
+    /// Verify structural invariants; panics with a description on
+    /// violation. Exposed for tests and debugging.
+    pub fn check_invariants<S: CoordSource>(&self, src: &S) {
         let mut seen = 0usize;
-        self.check_node(self.root, None, &mut seen);
+        self.check_node(src, self.root, None, &mut seen);
         assert_eq!(seen, self.len, "len() does not match stored points");
         let root = &self.nodes[self.root];
         if root.level > 0 {
             assert!(
-                root.entries.len() >= 2,
+                root.children.len() >= 2,
                 "inner root must have at least two children"
             );
         }
     }
 
-    fn check_node(&self, idx: usize, expected_rect: Option<&Rect>, seen: &mut usize) {
+    fn check_node<S: CoordSource>(
+        &self,
+        src: &S,
+        idx: usize,
+        expected_bounds: Option<(&[f32], &[f32])>,
+        seen: &mut usize,
+    ) {
         let node = &self.nodes[idx];
         assert!(node.level != u32::MAX, "reference to freed node {idx}");
         assert!(
-            node.entries.len() <= self.max_entries,
+            node.children.len() <= self.max_entries,
             "node {idx} overflows: {} entries",
-            node.entries.len()
+            node.children.len()
         );
         if idx != self.root {
-            assert!(!node.entries.is_empty(), "non-root node {idx} is empty");
+            assert!(!node.children.is_empty(), "non-root node {idx} is empty");
         }
-        if let Some(expect) = expected_rect {
-            let exact = self.node_mbr(idx);
-            assert_eq!(
-                expect, &exact,
-                "stored MBR of node {idx} is not exact (level {})",
+        if let Some((elo, ehi)) = expected_bounds {
+            let (mut lo, mut hi) = (Vec::new(), Vec::new());
+            self.node_mbr_into(src, idx, &mut lo, &mut hi);
+            assert!(
+                elo == &lo[..] && ehi == &hi[..],
+                "stored MBR of node {idx} is not exact (level {}): stored ({elo:?}, {ehi:?}), exact ({lo:?}, {hi:?})",
                 node.level
             );
         }
-        for e in &node.entries {
-            match e {
-                Entry::Point { coords, .. } => {
-                    assert_eq!(node.level, 0, "point entry in inner node {idx}");
-                    assert_eq!(coords.len(), self.dim);
-                    *seen += 1;
-                }
-                Entry::Child { node: c, rect } => {
-                    assert!(node.level > 0, "child entry in leaf {idx}");
-                    assert_eq!(
-                        self.nodes[*c].level + 1,
-                        node.level,
-                        "level mismatch between {idx} and child {c}"
-                    );
-                    self.check_node(*c, Some(rect), seen);
-                }
+        if node.is_leaf() {
+            assert!(node.bounds.is_empty(), "leaf {idx} carries arena bounds");
+            for &id in &node.children {
+                assert_eq!(src.coords(id).len(), self.dim);
+                *seen += 1;
+            }
+        } else {
+            assert_eq!(
+                node.bounds.len(),
+                node.children.len() * 2 * self.dim,
+                "inner node {idx} bounds arena out of step with its children"
+            );
+            for pos in 0..node.children.len() {
+                let c = node.children[pos] as usize;
+                assert_eq!(
+                    self.nodes[c].level + 1,
+                    node.level,
+                    "level mismatch between {idx} and child {c}"
+                );
+                let (lo, hi) = child_bounds(node, self.dim, pos);
+                self.check_node(src, c, Some((lo, hi)), seen);
             }
         }
     }
 }
 
-fn sort_order(order: &mut [usize], entries: &[Entry], axis: usize, by_upper: bool) {
-    if by_upper {
-        order.sort_unstable_by(|&a, &b| entries[a].hi(axis).total_cmp(&entries[b].hi(axis)));
-    } else {
-        order.sort_unstable_by(|&a, &b| entries[a].lo(axis).total_cmp(&entries[b].lo(axis)));
-    }
+/// Sort entry indexes by the chosen corner value on `axis`.
+fn sort_order(order: &mut [usize], ebounds: &[f32], dim: usize, axis: usize, by_upper: bool) {
+    let w = 2 * dim;
+    let key = |j: usize| {
+        if by_upper {
+            ebounds[j * w + dim + axis]
+        } else {
+            ebounds[j * w + axis]
+        }
+    };
+    order.sort_unstable_by(|&a, &b| key(a).total_cmp(&key(b)));
 }
 
-/// `pre[i]` covers `order[..=i]`; `suf[i]` covers `order[i..]`.
-fn prefix_suffix_rects(order: &[usize], entries: &[Entry]) -> (Vec<Rect>, Vec<Rect>) {
+/// Running covering boxes over a split ordering, flat `2*dim` per slot:
+/// slot `i` of `pre` covers `order[..=i]`; slot `i` of `suf` covers
+/// `order[i..]`.
+fn prefix_suffix_bounds(order: &[usize], ebounds: &[f32], dim: usize) -> (Vec<f32>, Vec<f32>) {
     let n = order.len();
-    let mut pre = Vec::with_capacity(n);
-    let mut acc = entries[order[0]].to_rect();
-    pre.push(acc.clone());
-    for &i in &order[1..] {
-        acc.enlarge(&entries[i].to_rect());
-        pre.push(acc.clone());
+    let w = 2 * dim;
+    let mut pre = vec![0.0f32; n * w];
+    pre[..w].copy_from_slice(&ebounds[order[0] * w..(order[0] + 1) * w]);
+    for i in 1..n {
+        let (done, rest) = pre.split_at_mut(i * w);
+        let cur = &mut rest[..w];
+        cur.copy_from_slice(&done[(i - 1) * w..]);
+        let e = &ebounds[order[i] * w..(order[i] + 1) * w];
+        let (lo, hi) = cur.split_at_mut(dim);
+        geom::enlarge(lo, hi, &e[..dim], &e[dim..]);
     }
-    let mut suf = vec![entries[order[n - 1]].to_rect(); n];
-    for j in (0..n - 1).rev() {
-        let mut r = entries[order[j]].to_rect();
-        r.enlarge(&suf[j + 1]);
-        suf[j] = r;
+    let mut suf = vec![0.0f32; n * w];
+    suf[(n - 1) * w..].copy_from_slice(&ebounds[order[n - 1] * w..(order[n - 1] + 1) * w]);
+    for i in (0..n - 1).rev() {
+        let (left, right) = suf.split_at_mut((i + 1) * w);
+        let cur = &mut left[i * w..];
+        cur.copy_from_slice(&ebounds[order[i] * w..(order[i] + 1) * w]);
+        let (lo, hi) = cur.split_at_mut(dim);
+        geom::enlarge(lo, hi, &right[..dim], &right[dim..w]);
     }
     (pre, suf)
 }
@@ -622,98 +771,127 @@ fn prefix_suffix_rects(order: &[usize], entries: &[Entry]) -> (Vec<Rect>, Vec<Re
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::coords::OwnedCoords;
 
-    fn grid_points(side: usize) -> Vec<(u32, [f64; 2])> {
-        let mut pts = Vec::new();
+    fn grid_source(side: usize) -> OwnedCoords {
+        let mut src = OwnedCoords::new(2);
         for x in 0..side {
             for y in 0..side {
-                pts.push(((x * side + y) as u32, [x as f64, y as f64]));
+                src.push(&[x as f32, y as f32]);
             }
         }
-        pts
+        src
     }
 
     #[test]
     fn empty_tree_properties() {
+        let src = OwnedCoords::new(3);
         let t = RStarTree::new(3);
         assert_eq!(t.len(), 0);
         assert!(t.is_empty());
         assert_eq!(t.height(), 1);
-        assert!(t.mbr().is_none());
-        t.check_invariants();
+        assert!(t.mbr(&src).is_none());
+        t.check_invariants(&src);
     }
 
     #[test]
     fn insert_points_and_check_invariants() {
+        let src = grid_source(20);
         let mut t = RStarTree::new(2);
-        for (id, p) in grid_points(20) {
-            t.insert(id, &p);
+        for id in 0..400u32 {
+            t.insert(&src, id);
         }
         assert_eq!(t.len(), 400);
         assert!(t.height() >= 2);
-        t.check_invariants();
-        let mbr = t.mbr().unwrap();
+        t.check_invariants(&src);
+        let mbr = t.mbr(&src).unwrap();
         assert_eq!(mbr.lo(), &[0.0, 0.0]);
         assert_eq!(mbr.hi(), &[19.0, 19.0]);
     }
 
     #[test]
-    fn insert_duplicates_allowed() {
+    fn insert_duplicate_coordinates_allowed() {
+        let mut src = OwnedCoords::new(1);
         let mut t = RStarTree::new(1);
-        for i in 0..100 {
-            t.insert(i, &[1.0]);
+        for _ in 0..100 {
+            let id = src.push(&[1.0]);
+            t.insert(&src, id);
         }
         assert_eq!(t.len(), 100);
-        t.check_invariants();
+        t.check_invariants(&src);
     }
 
     #[test]
     fn remove_existing_and_missing() {
+        let src = grid_source(12);
         let mut t = RStarTree::new(2);
-        for (id, p) in grid_points(12) {
-            t.insert(id, &p);
+        for id in 0..144u32 {
+            t.insert(&src, id);
         }
-        t.check_invariants();
-        assert!(t.remove(0, &[0.0, 0.0]));
-        assert!(!t.remove(0, &[0.0, 0.0]));
-        assert!(!t.remove(999, &[5.0, 5.0])); // wrong id
+        t.check_invariants(&src);
+        assert!(t.remove(&src, 0));
+        assert!(!t.remove(&src, 0));
         assert_eq!(t.len(), 143);
-        t.check_invariants();
+        t.check_invariants(&src);
     }
 
     #[test]
     fn remove_everything_in_random_order() {
+        let src = grid_source(10);
         let mut t = RStarTree::new(2);
-        let pts = grid_points(10);
-        for (id, p) in &pts {
-            t.insert(*id, p);
+        for id in 0..100u32 {
+            t.insert(&src, id);
         }
         // deterministic shuffle
-        let mut order: Vec<usize> = (0..pts.len()).collect();
+        let mut order: Vec<u32> = (0..100).collect();
         let mut state = 0x9e3779b9u64;
         for i in (1..order.len()).rev() {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
             let j = (state >> 33) as usize % (i + 1);
             order.swap(i, j);
         }
-        for &i in &order {
-            let (id, p) = pts[i];
-            assert!(t.remove(id, &p), "missing point {id}");
-            t.check_invariants();
+        for &id in &order {
+            assert!(t.remove(&src, id), "missing point {id}");
+            t.check_invariants(&src);
         }
         assert!(t.is_empty());
         assert_eq!(t.height(), 1);
     }
 
     #[test]
-    #[should_panic(expected = "dimensionality mismatch")]
-    fn wrong_dim_insert_panics() {
-        RStarTree::new(2).insert(0, &[1.0]);
+    fn node_capacity_is_clamped_to_rstar_minimum() {
+        let t = RStarTree::with_node_capacity(2, 1);
+        assert_eq!(t.max_entries, 4);
     }
 
     #[test]
+    fn stats_track_entries_and_structure() {
+        let src = grid_source(15);
+        let mut t = RStarTree::new(2);
+        for id in 0..225u32 {
+            t.insert(&src, id);
+        }
+        let s = t.stats();
+        assert_eq!(s.leaf_entries, 225);
+        assert!(s.nodes >= 8, "nodes = {}", s.nodes);
+        assert!(s.inner_entries >= s.nodes - 1);
+        assert!(s.structure_bytes > 0);
+        assert_eq!(s.structure_bytes, t.approx_memory());
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn wrong_dim_insert_panics_in_debug() {
+        let src = OwnedCoords::from_flat(1, vec![1.0]);
+        RStarTree::new(2).insert(&src, 0);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
     #[should_panic(expected = "non-finite")]
-    fn nan_insert_panics() {
-        RStarTree::new(1).insert(0, &[f64::NAN]);
+    fn nan_insert_panics_in_debug() {
+        let src = OwnedCoords::from_flat(1, vec![f32::NAN]);
+        RStarTree::new(1).insert(&src, 0);
     }
 }

@@ -1,29 +1,45 @@
-//! Property-based tests: the R*-tree must agree with brute force on every
-//! query, for every construction path (incremental, bulk, mixed).
+//! Property-based tests: the flat-layout R*-tree must agree with brute
+//! force on every query, for every construction path (incremental, bulk,
+//! mixed), and bulk-built vs insert-grown trees must stay interchangeable
+//! under interleaved insert/remove.
 
-use dblsh_index::{RStarTree, Rect};
+use dblsh_index::{OwnedCoords, RStarTree, Rect};
 use proptest::prelude::*;
 
 /// Strategy: a small point cloud in [-50, 50]^dim.
-fn points(dim: usize, max_n: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
-    prop::collection::vec(prop::collection::vec(-50.0f64..50.0, dim..=dim), 1..max_n)
+fn points(dim: usize, max_n: usize) -> impl Strategy<Value = Vec<Vec<f32>>> {
+    prop::collection::vec(prop::collection::vec(-50.0f32..50.0, dim..=dim), 1..max_n)
 }
 
-fn brute_window(pts: &[Vec<f64>], lo: &[f64], hi: &[f64]) -> Vec<u32> {
+fn source(pts: &[Vec<f32>], dim: usize) -> OwnedCoords {
+    let flat: Vec<f32> = pts.iter().flatten().copied().collect();
+    OwnedCoords::from_flat(dim, flat)
+}
+
+fn brute_window(pts: &[Vec<f32>], lo: &[f64], hi: &[f64]) -> Vec<u32> {
     let mut out: Vec<u32> = pts
         .iter()
         .enumerate()
-        .filter(|(_, p)| p.iter().enumerate().all(|(i, &v)| lo[i] <= v && v <= hi[i]))
+        .filter(|(_, p)| {
+            p.iter()
+                .enumerate()
+                .all(|(i, &v)| lo[i] <= v as f64 && v as f64 <= hi[i])
+        })
         .map(|(i, _)| i as u32)
         .collect();
     out.sort_unstable();
     out
 }
 
-fn brute_knn(pts: &[Vec<f64>], q: &[f64], k: usize) -> Vec<f64> {
+fn brute_knn(pts: &[Vec<f32>], q: &[f64], k: usize) -> Vec<f64> {
     let mut d: Vec<f64> = pts
         .iter()
-        .map(|p| p.iter().zip(q).map(|(a, b)| (a - b) * (a - b)).sum())
+        .map(|p| {
+            p.iter()
+                .zip(q)
+                .map(|(&a, &b)| (a as f64 - b) * (a as f64 - b))
+                .sum()
+        })
         .collect();
     d.sort_by(f64::total_cmp);
     d.truncate(k);
@@ -39,14 +55,15 @@ proptest! {
         corner in prop::collection::vec(-60.0f64..60.0, 3),
         extent in prop::collection::vec(0.0f64..60.0, 3),
     ) {
+        let src = source(&pts, 3);
         let mut t = RStarTree::new(3);
-        for (i, p) in pts.iter().enumerate() {
-            t.insert(i as u32, p);
+        for i in 0..pts.len() {
+            t.insert(&src, i as u32);
         }
-        t.check_invariants();
+        t.check_invariants(&src);
         let hi: Vec<f64> = corner.iter().zip(&extent).map(|(c, e)| c + e).collect();
         let w = Rect::new(&corner, &hi);
-        let mut got = t.window_all(&w);
+        let mut got = t.window_all(&src, &w);
         got.sort_unstable();
         prop_assert_eq!(got, brute_window(&pts, &corner, &hi));
     }
@@ -57,13 +74,13 @@ proptest! {
         corner in prop::collection::vec(-60.0f64..60.0, 2),
         extent in prop::collection::vec(0.0f64..60.0, 2),
     ) {
-        let flat: Vec<f64> = pts.iter().flatten().copied().collect();
+        let src = source(&pts, 2);
         let ids: Vec<u32> = (0..pts.len() as u32).collect();
-        let t = RStarTree::bulk_load(2, &ids, &flat);
-        t.check_invariants();
+        let t = RStarTree::bulk_load(&src, &ids);
+        t.check_invariants(&src);
         let hi: Vec<f64> = corner.iter().zip(&extent).map(|(c, e)| c + e).collect();
         let w = Rect::new(&corner, &hi);
-        let mut got = t.window_all(&w);
+        let mut got = t.window_all(&src, &w);
         got.sort_unstable();
         prop_assert_eq!(got, brute_window(&pts, &corner, &hi));
     }
@@ -74,11 +91,12 @@ proptest! {
         q in prop::collection::vec(-60.0f64..60.0, 4),
         k in 1usize..20,
     ) {
+        let src = source(&pts, 4);
         let mut t = RStarTree::new(4);
-        for (i, p) in pts.iter().enumerate() {
-            t.insert(i as u32, p);
+        for i in 0..pts.len() {
+            t.insert(&src, i as u32);
         }
-        let got: Vec<f64> = t.k_nearest(&q, k).into_iter().map(|(_, d)| d).collect();
+        let got: Vec<f64> = t.k_nearest(&src, &q, k).into_iter().map(|(_, d)| d).collect();
         let want = brute_knn(&pts, &q, k);
         prop_assert_eq!(got.len(), want.len());
         for (g, w) in got.iter().zip(&want) {
@@ -91,23 +109,24 @@ proptest! {
         pts in points(2, 120),
         keep_mod in 2usize..5,
     ) {
+        let src = source(&pts, 2);
         let mut t = RStarTree::new(2);
-        for (i, p) in pts.iter().enumerate() {
-            t.insert(i as u32, p);
+        for i in 0..pts.len() {
+            t.insert(&src, i as u32);
         }
-        for (i, p) in pts.iter().enumerate() {
+        for i in 0..pts.len() {
             if i % keep_mod != 0 {
-                prop_assert!(t.remove(i as u32, p));
+                prop_assert!(t.remove(&src, i as u32));
             }
         }
-        t.check_invariants();
+        t.check_invariants(&src);
         let survivors: Vec<u32> = (0..pts.len())
             .filter(|i| i % keep_mod == 0)
             .map(|i| i as u32)
             .collect();
         prop_assert_eq!(t.len(), survivors.len());
         let w = Rect::new(&[-50.0, -50.0], &[50.0, 50.0]);
-        let mut got = t.window_all(&w);
+        let mut got = t.window_all(&src, &w);
         got.sort_unstable();
         prop_assert_eq!(got, survivors);
     }
@@ -117,14 +136,89 @@ proptest! {
         pts in points(3, 150),
         q in prop::collection::vec(-60.0f64..60.0, 3),
     ) {
+        let src = source(&pts, 3);
         let mut t = RStarTree::new(3);
-        for (i, p) in pts.iter().enumerate() {
-            t.insert(i as u32, p);
+        for i in 0..pts.len() {
+            t.insert(&src, i as u32);
         }
-        let all: Vec<(u32, f64)> = t.nearest_iter(&q).collect();
+        let all: Vec<(u32, f64)> = t.nearest_iter(&src, &q).collect();
         prop_assert_eq!(all.len(), pts.len());
         for w in all.windows(2) {
             prop_assert!(w[0].1 <= w[1].1);
         }
+    }
+
+    /// A bulk-built tree and an insert-grown tree over the same prefix
+    /// must stay interchangeable through the same tail of interleaved
+    /// inserts and removes: identical point sets under `window_all`, and
+    /// identical `k_nearest` distances.
+    #[test]
+    fn bulk_and_grown_agree_after_interleaved_updates(
+        pts in points(3, 160),
+        split_frac in 0.2f64..0.8,
+        remove_mod in 2usize..5,
+        q in prop::collection::vec(-60.0f64..60.0, 3),
+    ) {
+        let src = source(&pts, 3);
+        let n = pts.len();
+        let split = ((n as f64 * split_frac) as usize).clamp(1, n);
+        let prefix_ids: Vec<u32> = (0..split as u32).collect();
+
+        let mut bulk = RStarTree::bulk_load(&src, &prefix_ids);
+        let mut grown = RStarTree::new(3);
+        for &id in &prefix_ids {
+            grown.insert(&src, id);
+        }
+
+        // Interleave: insert the tail, removing every remove_mod-th
+        // prefix point along the way — in identical order on both trees.
+        for row in split..n {
+            bulk.insert(&src, row as u32);
+            grown.insert(&src, row as u32);
+            let victim = (row - split) as u32;
+            if victim.is_multiple_of(remove_mod as u32) && (victim as usize) < split {
+                prop_assert!(bulk.remove(&src, victim));
+                prop_assert!(grown.remove(&src, victim));
+            }
+        }
+        bulk.check_invariants(&src);
+        grown.check_invariants(&src);
+        prop_assert_eq!(bulk.len(), grown.len());
+
+        let w = Rect::new(&[-50.0, -50.0, -50.0], &[50.0, 50.0, 50.0]);
+        let mut a = bulk.window_all(&src, &w);
+        let mut b = grown.window_all(&src, &w);
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b, "live point sets diverge");
+
+        let da: Vec<f64> = bulk.k_nearest(&src, &q, 10).into_iter().map(|(_, d)| d).collect();
+        let db: Vec<f64> = grown.k_nearest(&src, &q, 10).into_iter().map(|(_, d)| d).collect();
+        prop_assert_eq!(da.len(), db.len());
+        for (x, y) in da.iter().zip(&db) {
+            prop_assert!((x - y).abs() < 1e-9, "knn distances diverge: {} vs {}", x, y);
+        }
+    }
+
+    /// The structure reported by `stats` stays consistent with the
+    /// logical contents, and the flat layout never allocates coordinate
+    /// storage inside the tree (structure bytes are independent of how
+    /// large the coordinate values are).
+    #[test]
+    fn stats_count_live_entries(
+        pts in points(2, 200),
+    ) {
+        let src = source(&pts, 2);
+        let ids: Vec<u32> = (0..pts.len() as u32).collect();
+        let t = RStarTree::bulk_load(&src, &ids);
+        let s = t.stats();
+        prop_assert_eq!(s.leaf_entries, pts.len());
+        prop_assert_eq!(s.structure_bytes, t.approx_memory());
+        // Every tree byte is structure: ids (4 bytes each) plus inner
+        // bounds — there is no per-point coordinate storage, which lives
+        // in the CoordSource.
+        let coord_bytes = std::mem::size_of_val(src.flat());
+        prop_assert!(s.structure_bytes < coord_bytes + 4096,
+            "structure {} suspiciously large vs coords {}", s.structure_bytes, coord_bytes);
     }
 }

@@ -26,12 +26,15 @@ fn main() -> Result<(), DbLshError> {
     //    start. Bad input comes back as Err(DbLshError), never a panic.
     let start = std::time::Instant::now();
     let mut index = DbLshBuilder::new().auto_r_min().build(Arc::clone(&data))?;
+    let breakdown = index.memory_breakdown();
     println!(
-        "indexed in {:.3}s ({} trees of {} points, {:.1} MB)",
+        "indexed in {:.3}s ({} trees of {} points, {:.1} MB = {:.1} MB shared ProjStore + {:.1} MB tree arenas)",
         start.elapsed().as_secs_f64(),
         index.params().l,
         index.len(),
-        index.memory_bytes() as f64 / 1048576.0
+        index.memory_bytes() as f64 / 1048576.0,
+        breakdown.proj_store_bytes as f64 / 1048576.0,
+        breakdown.tree_bytes as f64 / 1048576.0
     );
 
     // 4. Query one by one.
