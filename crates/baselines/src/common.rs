@@ -1,5 +1,6 @@
 //! Shared machinery for the baseline implementations: the verification
-//! loop (top-k + dedup + budget) and a small fast hasher for bucket keys.
+//! stage (top-k + dedup + budget, with a blocked batch path) and a small
+//! fast hasher for bucket keys.
 
 use dblsh_data::dataset::sq_dist;
 use dblsh_data::{push_candidate_unchecked, Dataset, Neighbor, QueryStats};
@@ -20,6 +21,12 @@ pub struct Verifier<'d> {
     pub top: Vec<Neighbor>,
     pub stats: QueryStats,
     verified: usize,
+    /// Scratch of the blocked path ([`Verifier::offer_block`]): fresh ids
+    /// of the current batch, their squared distances, and the canonical
+    /// consumption keys (`sq-dist bits << 32 | id`).
+    block: Vec<u32>,
+    dists: Vec<f32>,
+    keys: Vec<u64>,
 }
 
 impl<'d> Verifier<'d> {
@@ -35,6 +42,9 @@ impl<'d> Verifier<'d> {
             top: Vec::with_capacity(k + 1),
             stats: QueryStats::default(),
             verified: 0,
+            block: Vec::new(),
+            dists: Vec::new(),
+            keys: Vec::new(),
         }
     }
 
@@ -52,6 +62,55 @@ impl<'d> Verifier<'d> {
         // the duplicate-scanning push_candidate is unnecessary here
         push_candidate_unchecked(&mut self.top, Neighbor { id, dist: d }, self.k);
         self.verified < self.budget
+    }
+
+    /// Feed a whole candidate batch (a hash bucket, a tree leaf, a drained
+    /// run of a candidate stream) through the blocked verification stage:
+    /// deduplicate against the visited set, then stage through the shared
+    /// [`dblsh_data::kernels::canonical_verify_keys`]: fresh ids sorted
+    /// into memory order, exact distances from the blocked kernel
+    /// (per-row bit-identical to the scalar [`sq_dist`]), consumed in
+    /// canonical ascending
+    /// `(distance, id)` order with the budget — and, when `bound` is set,
+    /// the "k-th result within `bound`" termination — checked per
+    /// candidate, so the work accounting matches the one-at-a-time
+    /// [`Verifier::offer`] path.
+    ///
+    /// Returns `false` once the caller should stop generating candidates
+    /// (budget exhausted, or `bound` satisfied by the current top-k). At
+    /// most one batch of distance computations happens beyond the
+    /// stopping candidate; only consumed candidates are counted.
+    pub fn offer_block(&mut self, ids: &[u32], bound: Option<f64>) -> bool {
+        self.stats.index_probes += ids.len();
+        self.block.clear();
+        for &id in ids {
+            if self.visited.insert(id) {
+                self.block.push(id);
+            }
+        }
+        let stop = |v: &Verifier| v.verified >= v.budget || bound.is_some_and(|b| v.kth_within(b));
+        if self.block.is_empty() {
+            return !stop(self);
+        }
+        dblsh_data::kernels::canonical_verify_keys(
+            self.query,
+            self.data.flat(),
+            self.data.dim(),
+            &mut self.block,
+            &mut self.dists,
+            &mut self.keys,
+            |id| id,
+        );
+        for i in 0..self.keys.len() {
+            let (id, d) = dblsh_data::kernels::key_parts(self.keys[i]);
+            self.verified += 1;
+            self.stats.candidates += 1;
+            push_candidate_unchecked(&mut self.top, Neighbor { id, dist: d as f32 }, self.k);
+            if stop(self) {
+                return false;
+            }
+        }
+        true
     }
 
     /// Number of unique candidates verified so far.
@@ -164,6 +223,42 @@ mod tests {
         assert!(v.kth_within(10.5));
         assert!(!v.kth_within(9.0));
         assert_eq!(v.kth_dist(), 10.0);
+    }
+
+    #[test]
+    fn offer_block_matches_offer_results() {
+        let d = data();
+        let q = [0.1f32, 0.0];
+        let mut one = Verifier::new(&d, &q, 2, 100);
+        for id in [4u32, 3, 2, 1, 0] {
+            one.offer(id);
+        }
+        let mut blocked = Verifier::new(&d, &q, 2, 100);
+        assert!(blocked.offer_block(&[4, 3, 2], None));
+        assert!(blocked.offer_block(&[1, 0, 3], None)); // 3 deduped
+        assert_eq!(blocked.top, one.top);
+        assert_eq!(blocked.verified(), 5);
+        assert_eq!(blocked.stats.candidates, 5);
+        assert_eq!(blocked.stats.index_probes, 6);
+    }
+
+    #[test]
+    fn offer_block_budget_and_bound_stop() {
+        let d = data();
+        let q = [0.0f32, 0.0];
+        // budget stop: only 2 of 5 verified
+        let mut v = Verifier::new(&d, &q, 3, 2);
+        assert!(!v.offer_block(&[4, 3, 2, 1, 0], None));
+        assert_eq!(v.verified(), 2);
+        assert!(!v.budget_left());
+        // canonical order: the two *closest* of the block were consumed
+        assert_eq!(v.top[0].id, 0);
+        assert_eq!(v.top[1].id, 1);
+        // bound stop: k results within the bound end the scan early
+        let mut v = Verifier::new(&d, &q, 2, 100);
+        assert!(!v.offer_block(&[4, 3, 2, 1, 0], Some(1.5)));
+        assert_eq!(v.verified(), 2, "stopped at the first k-within-bound");
+        assert!(v.kth_within(1.5));
     }
 
     #[test]

@@ -186,13 +186,9 @@ impl AnnIndex for E2Lsh {
             for table_i in 0..p.l {
                 hash_point(query, &ri.a, &ri.b, table_i, p.k, dim, ri.w, &mut cells);
                 if let Some(bucket) = ri.tables[table_i].get(&bucket_key(&cells)) {
-                    for &id in bucket {
-                        if !verifier.offer(id) {
-                            break 'ladder;
-                        }
-                        if verifier.kth_within(cr) {
-                            break 'ladder;
-                        }
+                    // whole-bucket batch through the blocked verifier
+                    if !verifier.offer_block(bucket, Some(cr)) {
+                        break 'ladder;
                     }
                 }
             }

@@ -136,13 +136,9 @@ impl AnnIndex for FbLsh {
                     *c = (v / w).floor() as i64;
                 }
                 if let Some(bucket) = table.get(&bucket_key(&cells)) {
-                    for &id in bucket {
-                        if !verifier.offer(id) {
-                            break 'ladder;
-                        }
-                        if verifier.kth_within(cr) {
-                            break 'ladder;
-                        }
+                    // whole-bucket batch through the blocked verifier
+                    if !verifier.offer_block(bucket, Some(cr)) {
+                        break 'ladder;
                     }
                 }
             }

@@ -34,6 +34,7 @@ impl AnnIndex for LinearScan {
             candidates: self.data.len(),
             rounds: 1,
             index_probes: self.data.len(),
+            ..Default::default()
         };
         Ok(SearchResult { neighbors, stats })
     }

@@ -71,10 +71,14 @@ impl PmLsh {
         let proj: Vec<f64> = (0..params.m * dim).map(|_| normal(&mut rng)).collect();
 
         let mut projected = vec![0.0f32; n * params.m];
+        let mut scratch = vec![0.0f64; params.m];
         for row in 0..n {
-            let point = data.point(row);
-            for j in 0..params.m {
-                projected[row * params.m + j] = dot(&proj[j * dim..(j + 1) * dim], point) as f32;
+            dblsh_data::kernels::matvec(&proj, dim, data.point(row), &mut scratch);
+            for (dst, &v) in projected[row * params.m..(row + 1) * params.m]
+                .iter_mut()
+                .zip(&scratch)
+            {
+                *dst = v as f32;
             }
         }
         let ids: Vec<u32> = (0..n as u32).collect();
@@ -93,11 +97,12 @@ impl PmLsh {
         &self.params
     }
 
+    /// `G(q)` through the shared blocked matvec (row pairs share each
+    /// query load) into the reusable flat projection layout.
     fn project_query(&self, q: &[f32]) -> Vec<f64> {
-        let dim = self.data.dim();
-        (0..self.params.m)
-            .map(|j| dot(&self.proj[j * dim..(j + 1) * dim], q))
-            .collect()
+        let mut out = vec![0.0f64; self.params.m];
+        dblsh_data::kernels::matvec(&self.proj, self.data.dim(), q, &mut out);
+        out
     }
 }
 
@@ -107,6 +112,10 @@ impl AnnIndex for PmLsh {
     }
 
     fn search(&self, query: &[f32], k: usize) -> Result<SearchResult, DbLshError> {
+        /// Candidates drained from the ascending-projected-distance
+        /// stream per verification block; the early-termination `d_k` is
+        /// frozen during one drain, so the test lags by at most a block.
+        const PM_BLOCK: usize = 16;
         check_query(self.data.dim(), query, k)?;
         let p = &self.params;
         let n = self.data.len();
@@ -117,13 +126,30 @@ impl AnnIndex for PmLsh {
         let stop_scale = (p.m as f64).sqrt() * p.c;
 
         let coords = StridedCoords::flat(self.params.m, &self.projected);
-        for (id, proj_d2) in self.tree.nearest_iter(&coords, &qproj) {
-            // Early termination on the projected-distance estimator.
+        let mut stream = self.tree.nearest_iter(&coords, &qproj).peekable();
+        let mut block: Vec<u32> = Vec::with_capacity(PM_BLOCK);
+        loop {
+            // Drain phase: up to PM_BLOCK candidates still inside the
+            // projected-distance termination bound.
+            block.clear();
             let kth = verifier.kth_dist();
-            if kth.is_finite() && proj_d2.sqrt() > stop_scale * kth {
+            let mut dry = false;
+            while block.len() < PM_BLOCK {
+                let Some(&(_, proj_d2)) = stream.peek() else {
+                    dry = true;
+                    break;
+                };
+                if kth.is_finite() && proj_d2.sqrt() > stop_scale * kth {
+                    dry = true;
+                    break;
+                }
+                block.push(stream.next().expect("peeked").0);
+            }
+            // Verify phase: blocked kernel, canonical consumption.
+            if !block.is_empty() && !verifier.offer_block(&block, None) {
                 break;
             }
-            if !verifier.offer(id) {
+            if dry {
                 break;
             }
         }
@@ -137,11 +163,6 @@ impl AnnIndex for PmLsh {
     fn index_size_bytes(&self) -> usize {
         self.tree.approx_memory() + self.projected.len() * 4 + self.proj.len() * 8
     }
-}
-
-#[inline]
-fn dot(a: &[f64], x: &[f32]) -> f64 {
-    a.iter().zip(x).map(|(&p, &v)| p * v as f64).sum()
 }
 
 fn normal<R: Rng>(rng: &mut R) -> f64 {

@@ -113,7 +113,7 @@ impl Qalsh {
             let row = &proj[i * dim..(i + 1) * dim];
             pairs.clear();
             for p in 0..n {
-                pairs.push((dot(row, data.point(p)), p as u32));
+                pairs.push((dblsh_data::kernels::dot_f64(row, data.point(p)), p as u32));
             }
             pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
             trees.push(BPlusTree::bulk_build(&pairs));
@@ -130,11 +130,12 @@ impl Qalsh {
         &self.params
     }
 
+    /// `h_1(q)..h_m(q)` through the shared blocked matvec (row pairs
+    /// share each query load) over the flat `[m][dim]` projection panel.
     fn project_query(&self, q: &[f32]) -> Vec<f64> {
-        let dim = self.data.dim();
-        (0..self.params.m)
-            .map(|i| dot(&self.proj[i * dim..(i + 1) * dim], q))
-            .collect()
+        let mut out = vec![0.0f64; self.params.m];
+        dblsh_data::kernels::matvec(&self.proj, self.data.dim(), q, &mut out);
+        out
     }
 }
 
@@ -211,11 +212,6 @@ impl AnnIndex for Qalsh {
         // m B+-trees of n (f64, u32) pairs plus the projection matrix
         self.params.m * self.data.len() * 12 + self.proj.len() * 8
     }
-}
-
-#[inline]
-fn dot(a: &[f64], x: &[f32]) -> f64 {
-    a.iter().zip(x).map(|(&p, &v)| p * v as f64).sum()
 }
 
 fn normal<R: Rng>(rng: &mut R) -> f64 {

@@ -1,12 +1,16 @@
 //! Criterion micro-benchmarks for the substrates: special functions, hash
-//! projection throughput, R*-tree construction and window queries, and
-//! B+-tree cursor expansion.
+//! projection throughput, the fused verification kernel, R*-tree
+//! construction and window queries (over the production locality-relabeled
+//! layout, with an identity-order comparison), and B+-tree cursor
+//! expansion.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use dblsh_bptree::BPlusTree;
 use dblsh_core::GaussianHasher;
+use dblsh_data::dataset::sq_dist;
+use dblsh_data::kernels::sq_dist_block;
 use dblsh_data::synthetic::{gaussian_mixture, MixtureConfig};
-use dblsh_index::{RStarTree, Rect, StridedCoords};
+use dblsh_index::{str_order, RStarTree, Rect, StridedCoords};
 use dblsh_math::{normal_cdf, p_dynamic, rho_dynamic};
 
 fn bench_math(c: &mut Criterion) {
@@ -52,12 +56,23 @@ fn projected_cloud(n: usize, k: usize) -> (Vec<u32>, Vec<f32>, Vec<f64>) {
 }
 
 fn bench_rtree_100k(c: &mut Criterion) {
-    // The acceptance benchmark for the flat-layout refactor: window-query
-    // throughput over a 100k-point projected cloud at K = 10.
+    // The acceptance benchmark for the hot-path layout: window-query and
+    // k-NN throughput over a 100k-point projected cloud at K = 10, in the
+    // layout DbLsh::build actually produces — points relabeled to tree-0
+    // STR leaf order, so every leaf is a contiguous run of store rows.
+    // `knn_10_identity` keeps the insertion-order variant to measure what
+    // the relabeling buys (scatter reads during best-first leaf expansion
+    // were the PR 2 knn regression).
     let mut g = c.benchmark_group("rstar_tree_100k");
     g.sample_size(20);
     let (ids, proj, center) = projected_cloud(100_000, 10);
-    let src = StridedCoords::flat(10, &proj);
+    let order = str_order(&StridedCoords::flat(10, &proj), &ids, 32);
+    let mut relabeled = vec![0.0f32; proj.len()];
+    for (int, &ext) in order.iter().enumerate() {
+        let s = ext as usize * 10;
+        relabeled[int * 10..(int + 1) * 10].copy_from_slice(&proj[s..s + 10]);
+    }
+    let src = StridedCoords::flat(10, &relabeled);
     let tree = RStarTree::bulk_load(&src, &ids);
     for width in [10.0f64, 40.0, 120.0] {
         let window = Rect::centered_cube(&center, width);
@@ -79,6 +94,62 @@ fn bench_rtree_100k(c: &mut Criterion) {
     g.bench_function("knn_10", |b| {
         b.iter(|| tree.k_nearest(&src, black_box(&center), 10));
     });
+    let id_src = StridedCoords::flat(10, &proj);
+    let id_tree = RStarTree::bulk_load(&id_src, &ids);
+    g.bench_function("knn_10_identity", |b| {
+        b.iter(|| id_tree.k_nearest(&id_src, black_box(&center), 10));
+    });
+    g.finish();
+}
+
+fn bench_verify(c: &mut Criterion) {
+    // The verification stage in isolation: one query against 256
+    // candidate rows of a 100k x 128 dataset, scalar loop vs the fused
+    // block kernel, with the candidate rows either scattered across the
+    // dataset (identity-order ids: the pre-relabel access pattern) or
+    // clustered into a few leaf-sized runs (what locality relabeling
+    // makes of a window's candidates).
+    let mut g = c.benchmark_group("verify");
+    let n = 100_000usize;
+    let dim = 128usize;
+    let data = gaussian_mixture(&MixtureConfig {
+        n,
+        dim,
+        clusters: 40,
+        seed: 9,
+        ..Default::default()
+    });
+    let flat = data.flat();
+    let q = data.point(0).to_vec();
+    let cands = 256usize;
+    let scattered: Vec<u32> = {
+        let mut v: Vec<u32> = (0..cands as u32)
+            .map(|i| i * (n as u32 / cands as u32))
+            .collect();
+        v.sort_unstable();
+        v
+    };
+    let clustered: Vec<u32> = (0..cands as u32)
+        .map(|i| (i / 32) * (n as u32 / 8) + (i % 32))
+        .collect();
+    let mut out = vec![0.0f32; cands];
+    for (label, ids) in [("scattered", &scattered), ("clustered", &clustered)] {
+        g.bench_function(format!("sq_dist_scalar_256_{label}").as_str(), |b| {
+            b.iter(|| {
+                let mut acc = 0.0f32;
+                for &id in black_box(ids.as_slice()) {
+                    acc += sq_dist(&q, &flat[id as usize * dim..(id as usize + 1) * dim]);
+                }
+                acc
+            });
+        });
+        g.bench_function(format!("sq_dist_block_256_{label}").as_str(), |b| {
+            b.iter(|| {
+                sq_dist_block(&q, flat, dim, black_box(ids.as_slice()), &mut out);
+                out[cands - 1]
+            });
+        });
+    }
     g.finish();
 }
 
@@ -150,6 +221,7 @@ criterion_group!(
     benches,
     bench_math,
     bench_hashing,
+    bench_verify,
     bench_rtree,
     bench_rtree_100k,
     bench_bptree

@@ -1,15 +1,17 @@
 //! Bench-harness smoke run: build DB-LSH over a tiny synthetic dataset,
 //! answer queries, and print the per-component index-size breakdown
-//! (shared projection store vs flat tree arenas). Fails loudly — CI runs
-//! this so layout or recall regressions surface before any full
-//! experiment does.
+//! (shared projection store, flat tree arenas, locality-relabel state)
+//! plus the query-latency split (`knn_10` mean and the per-query
+//! verification time inside it). Fails loudly — CI runs this so layout,
+//! recall or hot-path regressions surface before any full experiment
+//! does.
 //!
 //! Run: `cargo run -p dblsh-bench --release --bin smoke`
 
 use std::sync::Arc;
 
 use dblsh_bench::{evaluate, Env};
-use dblsh_core::{DbLsh, DbLshParams};
+use dblsh_core::{DbLsh, DbLshParams, SearchOptions};
 use dblsh_data::synthetic::MixtureConfig;
 use dblsh_data::AnnIndex;
 use std::time::Instant;
@@ -47,6 +49,10 @@ fn main() {
         index.params().l,
         mb(breakdown.tree_bytes)
     );
+    println!(
+        "relabel state (maps + rows):     {:>9.3} MB",
+        mb(breakdown.relabel_bytes)
+    );
     for (i, s) in index.tree_stats().iter().enumerate() {
         println!(
             "  tree {i}: {} nodes, {} leaf entries, {} inner entries, {:.3} MB",
@@ -67,6 +73,34 @@ fn main() {
         "\nsmoke eval: recall {:.3}, ratio {:.4}, {:.3} ms/query, {:.0} candidates",
         row.recall, row.ratio, row.query_ms, row.candidates
     );
+
+    // Query-latency split: mean knn_10 wall time and, within it, the
+    // per-query verification time (candidate-block sort + fused distance
+    // kernel), measured through the opt-in timing counter.
+    let timed = SearchOptions {
+        time_verification: true,
+        ..Default::default()
+    };
+    let nq = env.queries.len();
+    let qstart = Instant::now();
+    let mut verify_nanos = 0u64;
+    let mut timed_candidates = 0usize;
+    for qi in 0..nq {
+        let res = index
+            .search_with(env.queries.point(qi), 10, &timed)
+            .expect("timed smoke query");
+        verify_nanos += res.stats.verify_nanos;
+        timed_candidates += res.stats.candidates;
+    }
+    let total_us = qstart.elapsed().as_secs_f64() * 1e6;
+    println!(
+        "knn_10: {:.2} us/query, verification {:.2} us/query ({} candidates/query)",
+        total_us / nq as f64,
+        verify_nanos as f64 / 1e3 / nq as f64,
+        timed_candidates / nq.max(1),
+    );
+    assert!(verify_nanos > 0, "verification timing not collected");
+
     assert!(row.recall > 0.5, "smoke recall collapsed: {}", row.recall);
     assert!(row.ratio >= 1.0 - 1e-6, "ratio below 1: {}", row.ratio);
     println!("smoke OK");

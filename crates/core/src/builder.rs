@@ -53,6 +53,7 @@ pub struct DbLshBuilder {
     max_rounds: Option<usize>,
     node_capacity: Option<usize>,
     seed: Option<u64>,
+    relabel: Option<bool>,
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -148,6 +149,16 @@ impl DbLshBuilder {
         self
     }
 
+    /// Enable or disable locality-aware id relabeling at bulk build
+    /// (default enabled; see [`crate::DbLshParams::relabel`]). Returned
+    /// ids and answers are identical either way (up to duplicate-point
+    /// tie-breaking); disabling trades
+    /// query-time memory locality for a smaller build footprint.
+    pub fn relabel(mut self, relabel: bool) -> Self {
+        self.relabel = Some(relabel);
+        self
+    }
+
     /// Resolve the configuration against a dataset of `n` points without
     /// building — useful for inspecting what `build` would use.
     pub fn resolve_params(&self, n: usize) -> DbLshParams {
@@ -179,6 +190,9 @@ impl DbLshBuilder {
         }
         if let Some(seed) = self.seed {
             p.seed = seed;
+        }
+        if let Some(relabel) = self.relabel {
+            p.relabel = relabel;
         }
         p
     }
@@ -228,6 +242,7 @@ impl From<DbLshParams> for DbLshBuilder {
             max_rounds: Some(p.max_rounds),
             node_capacity: Some(p.node_capacity),
             seed: Some(p.seed),
+            relabel: Some(p.relabel),
         }
     }
 }

@@ -44,16 +44,31 @@ impl GaussianHasher {
     }
 
     /// `G_i(o)`: project `point` into the `i`-th K-dimensional space,
-    /// writing into `out` (length `K`).
+    /// writing into `out` (length `K`) — a blocked row-panel matvec
+    /// ([`dblsh_data::kernels::matvec`]): projection rows are consumed in
+    /// pairs sharing each point load, with the per-row 4-way `f64`
+    /// accumulation of [`dblsh_data::kernels::dot_f64`].
+    ///
+    /// This sits on the query hot path (`L` calls per query, every call
+    /// a `K x d` panel), so the preconditions are a documented contract
+    /// checked only in debug builds, per the workspace convention —
+    /// `dblsh-core` validates inputs once at its public boundary via
+    /// [`dblsh_data::DbLshError`].
+    ///
+    /// # Contract
+    /// (debug-checked) `i < self.l()`, `point.len() == self.dim()`,
+    /// `out.len() == self.k()`.
     pub fn project_into(&self, i: usize, point: &[f32], out: &mut [f64]) {
-        assert!(i < self.l, "projection index out of range");
-        assert_eq!(point.len(), self.dim, "point dimensionality mismatch");
-        assert_eq!(out.len(), self.k, "output length must be K");
+        debug_assert!(i < self.l, "projection index out of range");
+        debug_assert_eq!(point.len(), self.dim, "point dimensionality mismatch");
+        debug_assert_eq!(out.len(), self.k, "output length must be K");
         let base = i * self.k * self.dim;
-        for (j, slot) in out.iter_mut().enumerate() {
-            let row = &self.a[base + j * self.dim..base + (j + 1) * self.dim];
-            *slot = dot(row, point);
-        }
+        dblsh_data::kernels::matvec(
+            &self.a[base..base + self.k * self.dim],
+            self.dim,
+            point,
+            out,
+        );
     }
 
     /// `G_i(o)` as a fresh vector.
@@ -74,30 +89,6 @@ impl GaussianHasher {
         }
         out
     }
-}
-
-/// Dot product of an f64 projection row with an f32 point, accumulated in
-/// f64 with 4-way unrolling (hot in both indexing and per-query hashing).
-#[inline]
-fn dot(a: &[f64], x: &[f32]) -> f64 {
-    debug_assert_eq!(a.len(), x.len());
-    let chunks = a.len() / 4;
-    let (a4, ar) = a.split_at(chunks * 4);
-    let (x4, xr) = x.split_at(chunks * 4);
-    let mut s0 = 0.0;
-    let mut s1 = 0.0;
-    let mut s2 = 0.0;
-    let mut s3 = 0.0;
-    for (ca, cx) in a4.chunks_exact(4).zip(x4.chunks_exact(4)) {
-        s0 += ca[0] * cx[0] as f64;
-        s1 += ca[1] * cx[1] as f64;
-        s2 += ca[2] * cx[2] as f64;
-        s3 += ca[3] * cx[3] as f64;
-    }
-    for (va, vx) in ar.iter().zip(xr) {
-        s0 += va * *vx as f64;
-    }
-    (s0 + s1) + (s2 + s3)
 }
 
 /// Box–Muller standard normal sample.

@@ -5,15 +5,48 @@
 //! point insertions and removals — the update path the paper's dynamic
 //! bucketing makes possible ("DB-LSH naturally supports updates since the
 //! R*-tree is a dynamic structure").
+//!
+//! # Internal vs external id space
+//!
+//! At bulk build the index (by default) computes a *locality-preserving
+//! permutation* of the points — the STR leaf order of tree 0 over the
+//! first projected space ([`dblsh_index::str_order`]) — and physically
+//! reorders its own copies of the dataset rows and the projection-store
+//! rows to match. Every id inside the trees and the store is an
+//! **internal** id (a row in the relabeled layout); every id that crosses
+//! the public API — [`DbLsh::insert`]'s return value, [`DbLsh::remove`]'s
+//! argument, `Neighbor::id` in results — is an **external** id (the
+//! caller's original row index), translated through two `u32` maps.
+//! Queries therefore read near-sequential memory in leaf scans and
+//! candidate verification while callers never observe the permutation:
+//! answers are byte-identical to an identity-order build — up to
+//! tie-breaking among exact duplicate points, whose identical projections
+//! make leaf assignment order-dependent — a property the relabel parity
+//! tests assert on distinct-point data.
 
 use std::sync::Arc;
 
 use dblsh_data::{Dataset, DbLshError};
-use dblsh_index::RStarTree;
+use dblsh_index::{RStarTree, StridedCoords};
 
 use crate::hasher::GaussianHasher;
 use crate::params::DbLshParams;
 use crate::proj_store::ProjStore;
+
+/// The locality-relabeling state: the internal↔external id maps plus the
+/// dataset rows physically reordered into internal order (what candidate
+/// verification reads). Present only on relabeled indexes.
+#[derive(Debug)]
+pub(crate) struct Relabel {
+    /// `ext_of_int[internal] = external`; also the build permutation.
+    pub(crate) ext_of_int: Vec<u32>,
+    /// `int_of_ext[external] = internal` (inverse of `ext_of_int`).
+    pub(crate) int_of_ext: Vec<u32>,
+    /// Dataset rows in internal order (row `i` = external row
+    /// `ext_of_int[i]`), kept in lockstep with the external dataset under
+    /// `insert`.
+    pub(crate) data: Dataset,
+}
 
 /// A built DB-LSH index.
 ///
@@ -31,6 +64,13 @@ use crate::proj_store::ProjStore;
 /// [`Dataset`] and in the projection store (ids are stable row indexes)
 /// but they are deleted from all `L` trees, so no query ever returns
 /// them. [`DbLsh::len`] counts live points only.
+///
+/// All ids on this public surface — arguments to [`DbLsh::remove`] /
+/// [`DbLsh::contains`], return values of [`DbLsh::insert`], and
+/// `Neighbor::id` in every query result — are **external** ids: row
+/// indexes into the dataset exactly as the caller supplied it (see
+/// [`DbLsh::data`]). The locality-relabeled internal id space (module
+/// docs) never leaks.
 #[derive(Debug)]
 pub struct DbLsh {
     pub(crate) params: DbLshParams,
@@ -38,7 +78,10 @@ pub struct DbLsh {
     pub(crate) trees: Vec<RStarTree>,
     pub(crate) store: ProjStore,
     pub(crate) data: Arc<Dataset>,
-    /// Tombstone bitset over dataset rows (1 = removed).
+    /// Internal↔external id maps plus the reordered verification rows;
+    /// `None` for identity-order builds (internal id == external id).
+    pub(crate) relabel: Option<Relabel>,
+    /// Tombstone bitset over *external* dataset rows (1 = removed).
     removed: Vec<u64>,
     /// Number of live (non-tombstoned) points.
     live: usize,
@@ -46,8 +89,10 @@ pub struct DbLsh {
 
 impl DbLsh {
     /// Build the index: `L` projections of the full dataset written into
-    /// the shared projection store (row-parallel), then one bulk-loaded
-    /// R*-tree per space (tree-parallel) over the store's column views.
+    /// the shared projection store (row-parallel), a locality-preserving
+    /// relabel of the rows (unless [`DbLshParams::relabel`] is off), then
+    /// one bulk-loaded R*-tree per space (tree-parallel) over the store's
+    /// column views.
     ///
     /// Fails with [`DbLshError::EmptyDataset`] on an empty dataset and
     /// [`DbLshError::InvalidParameter`] on malformed parameters.
@@ -66,7 +111,7 @@ impl DbLsh {
         let n = data.len();
         let ids: Vec<u32> = (0..n as u32).collect();
 
-        // Phase 1: fill the store row-parallel — each worker projects a
+        // Phase 1: fill the projection rows (external order) row-parallel — each worker projects a
         // contiguous run of points into all L column windows of its rows
         // (accumulating in f64, storing at f32).
         let width = l * k;
@@ -94,9 +139,38 @@ impl DbLsh {
                 });
             }
         });
+        // Phase 2: locality-aware relabeling. The STR leaf order of tree 0
+        // over the first projected space is a locality-preserving
+        // permutation: relabeled to it, every leaf of every future tree-0
+        // bulk load is a contiguous run of row ids, and the other trees'
+        // leaves (correlated through the shared Gaussian family) stay far
+        // more local than insertion order. Both the projection rows and
+        // the verification rows are physically reordered so leaf scans
+        // and exact-distance verification read near-sequential memory.
+        let relabel = if params.relabel {
+            let view0 = StridedCoords::new(&flat, width, 0, k);
+            let perm = dblsh_index::str_order(&view0, &ids, params.node_capacity);
+            let mut permuted = vec![0.0f32; flat.len()];
+            for (int, &ext) in perm.iter().enumerate() {
+                let src = ext as usize * width;
+                permuted[int * width..(int + 1) * width].copy_from_slice(&flat[src..src + width]);
+            }
+            flat = permuted;
+            let mut int_of_ext = vec![0u32; n];
+            for (int, &ext) in perm.iter().enumerate() {
+                int_of_ext[ext as usize] = int as u32;
+            }
+            Some(Relabel {
+                data: data.reordered(&perm),
+                ext_of_int: perm,
+                int_of_ext,
+            })
+        } else {
+            None
+        };
         let store = ProjStore::from_flat(l, k, flat);
 
-        // Phase 2: bulk-load the L trees in parallel; each reads only its
+        // Phase 3: bulk-load the L trees in parallel; each reads only its
         // own column view of the (now immutable) store.
         let mut trees: Vec<Option<RStarTree>> = Vec::new();
         trees.resize_with(l, || None);
@@ -118,9 +192,40 @@ impl DbLsh {
             trees: trees.into_iter().map(|t| t.expect("tree built")).collect(),
             store,
             data,
+            relabel,
             removed: vec![0; live.div_ceil(64)],
             live,
         })
+    }
+
+    /// Map an internal id (tree/store row) to the caller-visible external
+    /// id. Identity on non-relabeled indexes.
+    #[inline]
+    pub(crate) fn to_ext(&self, internal: u32) -> u32 {
+        match &self.relabel {
+            Some(r) => r.ext_of_int[internal as usize],
+            None => internal,
+        }
+    }
+
+    /// Map an external id to the internal id the trees and the store use.
+    #[inline]
+    pub(crate) fn to_int(&self, external: u32) -> u32 {
+        match &self.relabel {
+            Some(r) => r.int_of_ext[external as usize],
+            None => external,
+        }
+    }
+
+    /// The dataset rows in *internal* order — what candidate verification
+    /// reads. On relabeled indexes this is the physically reordered copy;
+    /// otherwise the external dataset itself.
+    #[inline]
+    pub(crate) fn verify_data(&self) -> &Dataset {
+        match &self.relabel {
+            Some(r) => &r.data,
+            None => &self.data,
+        }
     }
 
     /// The parameters the index was built with.
@@ -128,10 +233,20 @@ impl DbLsh {
         &self.params
     }
 
-    /// The backing dataset. Rows of removed points are still present
-    /// (ids are stable row indexes); see [`DbLsh::contains`].
+    /// The backing dataset in the caller's (external) row order: row `i`
+    /// is the point whose external id is `i`, exactly as supplied at
+    /// build time plus any [`DbLsh::insert`]ed rows. Rows of removed
+    /// points are still present (ids are stable row indexes); see
+    /// [`DbLsh::contains`]. The locality-relabeled internal layout is not
+    /// observable here.
     pub fn data(&self) -> &Dataset {
         &self.data
+    }
+
+    /// Whether this index was built with locality-aware id relabeling
+    /// (see the module docs and [`DbLshParams::relabel`]).
+    pub fn is_relabeled(&self) -> bool {
+        self.relabel.is_some()
     }
 
     /// The projection family.
@@ -195,11 +310,21 @@ impl DbLsh {
         }
         let id = self.data.len() as u32;
         Arc::make_mut(&mut self.data).try_push(point)?;
+        // Appended rows land at the same index in both id spaces (the
+        // external dataset, the internal verification rows and the store
+        // grow in lockstep), so the maps extend with a fixed point.
+        if let Some(rl) = &mut self.relabel {
+            rl.data
+                .try_push(point)
+                .expect("validated point rejected by internal rows");
+            rl.ext_of_int.push(id);
+            rl.int_of_ext.push(id);
+        }
         let store_id = self.store.push_projected(&self.hasher, point);
         debug_assert_eq!(store_id, id, "store rows out of step with dataset rows");
         let store = &self.store;
         for (i, tree) in self.trees.iter_mut().enumerate() {
-            tree.insert(&store.view(i), id);
+            tree.insert(&store.view(i), store_id);
         }
         if self.removed.len() * 64 <= id as usize {
             self.removed.push(0);
@@ -222,10 +347,14 @@ impl DbLsh {
         if self.is_removed(id) {
             return Ok(false);
         }
+        let internal = self.to_int(id);
         let store = &self.store;
         for (i, tree) in self.trees.iter_mut().enumerate() {
-            let found = tree.remove(&store.view(i), id);
-            debug_assert!(found, "live id {id} missing from tree {i}");
+            let found = tree.remove(&store.view(i), internal);
+            debug_assert!(
+                found,
+                "live id {id} (internal {internal}) missing from tree {i}"
+            );
         }
         self.removed[(id / 64) as usize] |= 1u64 << (id % 64);
         self.live -= 1;
@@ -233,20 +362,45 @@ impl DbLsh {
     }
 
     /// Verify cross-structure invariants: the store mirrors the dataset
-    /// row for row, every tree holds exactly the live ids, at exactly the
-    /// coordinates the hasher assigns them, and satisfies its own R\*
-    /// invariants. Panics with a description on violation. Exposed for
-    /// tests and debugging; cost is `O(L * n * (K * d + log n))`.
+    /// row for row, the relabel maps are inverse permutations whose
+    /// reordered rows match the external dataset, every tree holds
+    /// exactly the live (internal) ids, at exactly the coordinates the
+    /// hasher assigns them, and satisfies its own R\* invariants. Panics
+    /// with a description on violation. Exposed for tests and debugging;
+    /// cost is `O(L * n * (K * d + log n))`.
     pub fn check_invariants(&self) {
         assert_eq!(
             self.store.len(),
             self.data.len(),
             "projection store out of sync with dataset"
         );
-        let live_ids: Vec<u32> = (0..self.data.len() as u32)
-            .filter(|&id| !self.is_removed(id))
-            .collect();
+        if let Some(rl) = &self.relabel {
+            assert_eq!(rl.data.len(), self.data.len(), "internal rows out of sync");
+            assert_eq!(rl.ext_of_int.len(), self.data.len());
+            assert_eq!(rl.int_of_ext.len(), self.data.len());
+            for int in 0..self.data.len() {
+                let ext = rl.ext_of_int[int];
+                assert_eq!(
+                    rl.int_of_ext[ext as usize], int as u32,
+                    "id maps are not inverse at internal {int}"
+                );
+                assert_eq!(
+                    rl.data.point(int),
+                    self.data.point(ext as usize),
+                    "internal row {int} does not mirror external row {ext}"
+                );
+            }
+        }
+        let live_ids: Vec<u32> = {
+            let mut v: Vec<u32> = (0..self.data.len() as u32)
+                .filter(|&ext| !self.is_removed(ext))
+                .map(|ext| self.to_int(ext))
+                .collect();
+            v.sort_unstable();
+            v
+        };
         assert_eq!(live_ids.len(), self.live, "live counter out of sync");
+        let verify = self.verify_data();
         let mut proj = vec![0.0f64; self.params.k];
         for (i, tree) in self.trees.iter().enumerate() {
             let view = self.store.view(i);
@@ -257,10 +411,10 @@ impl DbLsh {
             assert_eq!(ids, live_ids, "tree {i} does not hold exactly the live ids");
             for (id, coords) in tree.iter_points(&view) {
                 self.hasher
-                    .project_into(i, self.data.point(id as usize), &mut proj);
+                    .project_into(i, verify.point(id as usize), &mut proj);
                 assert!(
                     coords.iter().zip(&proj).all(|(&c, &p)| c == p as f32),
-                    "tree {i} stores id {id} at stale coordinates"
+                    "tree {i} stores internal id {id} at stale coordinates"
                 );
             }
         }

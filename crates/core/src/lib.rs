@@ -23,6 +23,15 @@
 //! all `L` trees in sync, per-query tuning goes through [`SearchOptions`],
 //! and [`DbLsh::search_batch`] fans query rows across threads.
 //!
+//! Internally the index keeps a **locality-relabeled** layout: points are
+//! permuted to tree-0 STR leaf order at bulk build so leaf scans and the
+//! blocked candidate-verification stage read near-sequential memory. The
+//! permutation is invisible at this API — every id accepted or returned
+//! here is the caller's original row index, and answers are byte-identical
+//! to an identity-order build, up to tie-breaking among exact duplicate
+//! points (see the [`index`-module docs](DbLsh) and
+//! [`DbLshParams::relabel`]).
+//!
 //! ## Quick start
 //!
 //! ```

@@ -32,6 +32,19 @@ pub struct DbLshParams {
     pub node_capacity: usize,
     /// Seed for the Gaussian projections.
     pub seed: u64,
+    /// Locality-aware id relabeling at bulk build (default `true`): the
+    /// index computes a locality-preserving permutation of the points
+    /// (tree-0 STR leaf order over the first projected space), physically
+    /// reorders its dataset and projection-store rows to match, and maps
+    /// internal ids back to the caller's ids on every returned result.
+    /// Costs one extra copy of the raw vectors plus two `u32` maps; buys
+    /// near-sequential memory reads in leaf scans and candidate
+    /// verification. Query answers are byte-identical either way for
+    /// datasets of distinct points; exact duplicate rows project to
+    /// identical coordinates, and which duplicate's id is reported can
+    /// depend on tie-breaking in the build order (the reported distances
+    /// are identical regardless).
+    pub relabel: bool,
 }
 
 impl DbLshParams {
@@ -50,6 +63,7 @@ impl DbLshParams {
             max_rounds: 64,
             node_capacity: 32,
             seed: 0x05EE_DD81,
+            relabel: true,
         }
     }
 
@@ -71,6 +85,7 @@ impl DbLshParams {
             max_rounds: 64,
             node_capacity: 32,
             seed: 0x05EE_DD81,
+            relabel: true,
         }
     }
 
@@ -114,6 +129,16 @@ impl DbLshParams {
     /// Override the projection seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Enable or disable locality-aware id relabeling at bulk build (see
+    /// [`DbLshParams::relabel`]). Answers are byte-identical either way
+    /// (up to duplicate-point tie-breaking — see [`DbLshParams::relabel`]);
+    /// disabling trades query-time memory locality for a smaller build
+    /// footprint (no reordered dataset copy, no id maps).
+    pub fn with_relabel(mut self, relabel: bool) -> Self {
+        self.relabel = relabel;
         self
     }
 

@@ -18,14 +18,35 @@
 //!   (`r = 1, c, c^2, ...` in the paper).
 //!
 //! Per-query heap churn is eliminated with a thread-local
-//! [`QueryScratch`]: the visited bitset and the `L x K` projection buffer
-//! are reused across queries on the same thread (the bitset is cleared
-//! sparsely — only words actually touched are zeroed).
+//! [`QueryScratch`]: the visited bitset, the `L x K` projection buffer
+//! and the candidate-block buffers are reused across queries on the same
+//! thread (the bitset is cleared sparsely — only words actually touched
+//! are zeroed).
+//!
+//! # Blocked verification
+//!
+//! Candidates are no longer verified one at a time as the window cursor
+//! yields them. Each tree leaf's in-window ids are drained as one batch
+//! ([`dblsh_index::WindowCursor::next_batch`]), deduplicated against the
+//! visited bitset, **sorted into memory order** (ascending internal id —
+//! near-sequential rows on a locality-relabeled index), and their exact
+//! distances computed in one [`dblsh_data::kernels::sq_dist_block`] call
+//! whose rows pipeline freely instead of serializing behind each
+//! verify-compare-push step. The budget and `c·r`
+//! termination conditions of Algorithm 1 are then checked per candidate,
+//! in *canonical order* — ascending `(distance, external id)` — so the
+//! query accounting is unchanged (each unique candidate counted once, at
+//! most one leaf of distance computations beyond the stopping point,
+//! exactly the cursor's pre-existing pause granularity) and results are
+//! independent of the internal enumeration order. Per-row distances are
+//! bit-identical to the scalar kernel, which together with the canonical
+//! order makes relabeled and identity-order builds answer byte-identically.
 
 use std::cell::RefCell;
+use std::time::Instant;
 
-use dblsh_data::dataset::sq_dist;
 use dblsh_data::error::check_query;
+use dblsh_data::kernels::{canonical_verify_keys, key_parts};
 use dblsh_data::{
     push_candidate_unchecked, AnnIndex, Dataset, DbLshError, Neighbor, QueryStats, SearchResult,
     Visited,
@@ -45,12 +66,16 @@ pub struct MemoryBreakdown {
     /// The `L` flat tree arenas: id arrays plus inline inner-node bounds.
     /// No point coordinates — those are counted in `proj_store_bytes`.
     pub tree_bytes: usize,
+    /// The locality-relabeling state: the two internal↔external `u32`
+    /// id maps plus the dataset rows physically reordered into internal
+    /// order for verification. Zero on identity-order builds.
+    pub relabel_bytes: usize,
 }
 
 impl MemoryBreakdown {
     /// Sum of all components.
     pub fn total(&self) -> usize {
-        self.proj_store_bytes + self.tree_bytes
+        self.proj_store_bytes + self.tree_bytes + self.relabel_bytes
     }
 }
 
@@ -72,11 +97,27 @@ pub struct SearchOptions {
     /// [`QueryStats`] is zeroed. The counters are cheap; this mainly
     /// documents intent for latency-critical callers.
     pub skip_stats: bool,
+    /// When `true`, time the verification stage (candidate-block sort +
+    /// fused distance kernel) and report it in
+    /// [`QueryStats::verify_nanos`]. Timed per block, so it costs two
+    /// clock reads per drained leaf — off by default to keep the hot
+    /// path free of them.
+    pub time_verification: bool,
+}
+
+/// A resolved per-query execution plan: the [`SearchOptions`] overrides
+/// validated against the index parameters.
+#[derive(Debug, Clone, Copy)]
+struct LadderPlan {
+    budget: usize,
+    r0: f64,
+    max_rounds: usize,
+    timing: bool,
 }
 
 impl SearchOptions {
     /// Validate the overrides against the index parameters.
-    fn resolved(&self, index: &DbLsh, k: usize) -> Result<(usize, f64, usize), DbLshError> {
+    fn resolved(&self, index: &DbLsh, k: usize) -> Result<LadderPlan, DbLshError> {
         let budget = match self.budget {
             Some(0) => return Err(DbLshError::invalid("budget", "must be at least 1")),
             Some(b) => b,
@@ -97,16 +138,28 @@ impl SearchOptions {
             Some(m) => m,
             None => index.params.max_rounds,
         };
-        Ok((budget, r0, max_rounds))
+        Ok(LadderPlan {
+            budget,
+            r0,
+            max_rounds,
+            timing: self.time_verification,
+        })
     }
 }
 
 /// Reusable per-thread query state: the (sparse-clearing)
-/// [`Visited`] bitset and the `L x K` query projection buffer.
+/// [`Visited`] bitset, the `L x K` query projection buffer and the
+/// candidate-block buffers of the blocked verification stage.
 struct QueryScratch {
     visited: Visited,
     /// Flat `[l][k]` projections of the current query.
     qproj: Vec<f64>,
+    /// Fresh (unvisited) internal ids of the current candidate block.
+    block: Vec<u32>,
+    /// Squared distances of the block, parallel to `block`.
+    dists: Vec<f32>,
+    /// Canonical consumption keys: `(sq-dist bits << 32) | external id`.
+    keys: Vec<u64>,
 }
 
 impl QueryScratch {
@@ -114,8 +167,48 @@ impl QueryScratch {
         QueryScratch {
             visited: Visited::empty(),
             qproj: Vec::new(),
+            block: Vec::new(),
+            dists: Vec::new(),
+            keys: Vec::new(),
         }
     }
+
+    /// Filter one cursor batch against the visited set into `block`,
+    /// counting every batch id as an index probe. Returns `false` when
+    /// the whole batch was already visited (nothing fresh to verify).
+    fn collect_fresh(&mut self, batch: &[u32], stats: &mut QueryStats) -> bool {
+        stats.index_probes += batch.len();
+        self.block.clear();
+        for &id in batch {
+            if self.visited.insert(id) {
+                self.block.push(id);
+            }
+        }
+        !self.block.is_empty()
+    }
+}
+
+/// Verify the fresh candidates in `scratch.block` against `q` through
+/// the shared canonical staging
+/// ([`dblsh_data::kernels::canonical_verify_keys`]): sort into memory
+/// order, fused distance kernel over the internal-order rows, canonical
+/// `(distance, external id)` consumption keys in `scratch.keys`.
+///
+/// Returns the nanoseconds spent when `timing` is set, else 0.
+#[inline]
+fn verify_block(index: &DbLsh, q: &[f32], scratch: &mut QueryScratch, timing: bool) -> u64 {
+    let started = if timing { Some(Instant::now()) } else { None };
+    let verify = index.verify_data();
+    canonical_verify_keys(
+        q,
+        verify.flat(),
+        verify.dim(),
+        &mut scratch.block,
+        &mut scratch.dists,
+        &mut scratch.keys,
+        |internal| index.to_ext(internal),
+    );
+    started.map_or(0, |t| t.elapsed().as_nanos() as u64)
 }
 
 thread_local! {
@@ -137,10 +230,7 @@ fn with_scratch<T>(index: &DbLsh, q: &[f32], f: impl FnOnce(&mut QueryScratch) -
 }
 
 fn fresh_scratch(index: &DbLsh, q: &[f32]) -> QueryScratch {
-    let mut s = QueryScratch {
-        visited: Visited::empty(),
-        qproj: Vec::new(),
-    };
+    let mut s = QueryScratch::new();
     prepare_scratch(&mut s, index, q);
     s
 }
@@ -179,15 +269,18 @@ impl DbLsh {
                 let view = self.store.view(i);
                 let qp = &scratch.qproj[i * k..(i + 1) * k];
                 let window = Rect::centered_cube(qp, self.params.w0 * r);
-                for id in tree.window(&view, &window) {
-                    stats.index_probes += 1;
-                    if !scratch.visited.insert(id) {
+                let mut cursor = tree.window(&view, &window);
+                while let Some(batch) = cursor.next_batch() {
+                    if !scratch.collect_fresh(batch, &mut stats) {
                         continue;
                     }
-                    stats.candidates += 1;
-                    let d = (sq_dist(q, self.data.point(id as usize)) as f64).sqrt();
-                    if stats.candidates >= budget || d <= cr {
-                        return (Some(Neighbor { id, dist: d as f32 }), stats);
+                    verify_block(self, q, scratch, false);
+                    for &key in &scratch.keys {
+                        stats.candidates += 1;
+                        let (id, d) = key_parts(key);
+                        if stats.candidates >= budget || d <= cr {
+                            return (Some(Neighbor { id, dist: d as f32 }), stats);
+                        }
                     }
                 }
             }
@@ -224,10 +317,8 @@ impl DbLsh {
         opts: &SearchOptions,
     ) -> Result<SearchResult, DbLshError> {
         check_query(self.data.dim(), q, k)?;
-        let (budget, r0, max_rounds) = opts.resolved(self, k)?;
-        let mut res = with_scratch(self, q, |scratch| {
-            self.ladder_core(q, k, budget, r0, max_rounds, scratch)
-        });
+        let plan = opts.resolved(self, k)?;
+        let mut res = with_scratch(self, q, |scratch| self.ladder_core(q, k, &plan, scratch));
         if opts.skip_stats {
             res.stats = QueryStats::default();
         }
@@ -238,11 +329,15 @@ impl DbLsh {
         &self,
         q: &[f32],
         k: usize,
-        budget: usize,
-        r0: f64,
-        max_rounds: usize,
+        plan: &LadderPlan,
         scratch: &mut QueryScratch,
     ) -> SearchResult {
+        let LadderPlan {
+            budget,
+            r0,
+            max_rounds,
+            timing,
+        } = *plan;
         let kdim = self.params.k;
         let live = self.len();
         let mut stats = QueryStats::default();
@@ -262,19 +357,24 @@ impl DbLsh {
                 let view = self.store.view(i);
                 let qp = &scratch.qproj[i * kdim..(i + 1) * kdim];
                 let window = Rect::centered_cube(qp, self.params.w0 * r);
-                for id in tree.window(&view, &window) {
-                    stats.index_probes += 1;
-                    if !scratch.visited.insert(id) {
+                let mut cursor = tree.window(&view, &window);
+                while let Some(batch) = cursor.next_batch() {
+                    if !scratch.collect_fresh(batch, &mut stats) {
                         continue;
                     }
-                    verified_total += 1;
-                    stats.candidates += 1;
-                    let d = (sq_dist(q, self.data.point(id as usize)) as f64).sqrt();
-                    push_candidate_unchecked(&mut top, Neighbor { id, dist: d as f32 }, k);
-                    // Line 6 of Algorithm 1, (c,k) variant:
-                    if verified_total >= budget || (top.len() == k && top[k - 1].dist as f64 <= cr)
-                    {
-                        break 'ladder;
+                    stats.verify_nanos += verify_block(self, q, scratch, timing);
+                    // Line 6 of Algorithm 1, (c,k) variant, per candidate
+                    // in canonical (distance, external id) order:
+                    for &key in &scratch.keys {
+                        verified_total += 1;
+                        stats.candidates += 1;
+                        let (id, d) = key_parts(key);
+                        push_candidate_unchecked(&mut top, Neighbor { id, dist: d as f32 }, k);
+                        if verified_total >= budget
+                            || (top.len() == k && top[k - 1].dist as f64 <= cr)
+                        {
+                            break 'ladder;
+                        }
                     }
                 }
             }
@@ -316,7 +416,7 @@ impl DbLsh {
         if k == 0 {
             return Err(DbLshError::invalid("k", "must be at least 1"));
         }
-        let (budget, r0, max_rounds) = opts.resolved(self, k)?;
+        let plan = opts.resolved(self, k)?;
         let nq = queries.len();
         if nq == 0 {
             return Ok(Vec::new());
@@ -326,6 +426,7 @@ impl DbLsh {
             .unwrap_or(1)
             .min(nq);
         let chunk = nq.div_ceil(threads);
+        let plan = &plan;
         let mut results: Vec<SearchResult> = vec![SearchResult::default(); nq];
         std::thread::scope(|scope| {
             for (tid, out) in results.chunks_mut(chunk).enumerate() {
@@ -333,9 +434,8 @@ impl DbLsh {
                 scope.spawn(move || {
                     for (offset, slot) in out.iter_mut().enumerate() {
                         let q = queries.point(start + offset);
-                        *slot = with_scratch(self, q, |scratch| {
-                            self.ladder_core(q, k, budget, r0, max_rounds, scratch)
-                        });
+                        *slot =
+                            with_scratch(self, q, |scratch| self.ladder_core(q, k, plan, scratch));
                     }
                 });
             }
@@ -356,12 +456,21 @@ impl DbLsh {
     }
 
     /// Per-component heap footprint: the one shared [`crate::ProjStore`]
-    /// (all `n x (L*K)` projected coordinates) vs the `L` id-only tree
-    /// arenas (node structure and inline inner bounds, no coordinates).
+    /// (all `n x (L*K)` projected coordinates), the `L` id-only tree
+    /// arenas (node structure and inline inner bounds, no coordinates),
+    /// and the locality-relabeling state (id maps + reordered
+    /// verification rows; zero when relabeling is disabled).
     pub fn memory_breakdown(&self) -> MemoryBreakdown {
         MemoryBreakdown {
             proj_store_bytes: self.store.memory_bytes(),
             tree_bytes: self.trees.iter().map(|t| t.approx_memory()).sum(),
+            // Logical (len-based) size throughout, so the id maps and the
+            // row copy are accounted on one basis; Vec growth slack after
+            // heavy insert traffic is deliberately excluded.
+            relabel_bytes: self.relabel.as_ref().map_or(0, |r| {
+                (r.ext_of_int.len() + r.int_of_ext.len()) * std::mem::size_of::<u32>()
+                    + std::mem::size_of_val(r.data.flat())
+            }),
         }
     }
 
@@ -383,6 +492,11 @@ impl DbLsh {
     /// overhead for heap maintenance: it shines when the NN radius is
     /// unknown or wildly query-dependent (no `r_min` tuning at all).
     pub fn k_ann_incremental(&self, q: &[f32], k: usize) -> Result<SearchResult, DbLshError> {
+        /// Candidates drained from the merged streams per verification
+        /// block: enough to amortize the fused kernel, small enough that
+        /// the early-termination test (whose `d_k` is frozen during one
+        /// drain) lags by at most one block.
+        const INCR_BLOCK: usize = 16;
         check_query(self.data.dim(), q, k)?;
         let live = self.len();
         Ok(with_scratch(self, q, |scratch| {
@@ -407,34 +521,57 @@ impl DbLsh {
                 .collect();
 
             let mut verified = 0usize;
-            loop {
-                // pick the stream whose head has the smallest projected dist
-                let mut best: Option<(f64, usize)> = None;
-                for (i, s) in streams.iter_mut().enumerate() {
-                    if let Some(&(_, d2)) = s.peek() {
-                        if best.is_none_or(|(b, _)| d2 < b) {
-                            best = Some((d2, i));
+            'merge: loop {
+                // Drain phase: up to INCR_BLOCK fresh candidates in
+                // ascending projected distance across the L streams.
+                scratch.block.clear();
+                let dk = if top.len() == k {
+                    top[k - 1].dist as f64
+                } else {
+                    f64::INFINITY
+                };
+                let mut drained_dry = false;
+                while scratch.block.len() < INCR_BLOCK {
+                    // pick the stream whose head has the smallest
+                    // projected distance
+                    let mut best: Option<(f64, usize)> = None;
+                    for (i, s) in streams.iter_mut().enumerate() {
+                        if let Some(&(_, d2)) = s.peek() {
+                            if best.is_none_or(|(b, _)| d2 < b) {
+                                best = Some((d2, i));
+                            }
+                        }
+                    }
+                    let Some((proj_d2, i)) = best else {
+                        drained_dry = true;
+                        break;
+                    };
+                    // early termination on the projected-distance
+                    // estimator (d_k frozen for this block)
+                    if dk.is_finite() && proj_d2.sqrt() > stop_scale * dk {
+                        drained_dry = true;
+                        break;
+                    }
+                    let (id, _) = streams[i].next().expect("peeked");
+                    stats.index_probes += 1;
+                    if scratch.visited.insert(id) {
+                        scratch.block.push(id);
+                    }
+                }
+                // Verify phase: blocked kernel, canonical consumption.
+                if !scratch.block.is_empty() {
+                    verify_block(self, q, scratch, false);
+                    for &key in &scratch.keys {
+                        verified += 1;
+                        stats.candidates += 1;
+                        let (id, d) = key_parts(key);
+                        push_candidate_unchecked(&mut top, Neighbor { id, dist: d as f32 }, k);
+                        if verified >= budget || verified >= live {
+                            break 'merge;
                         }
                     }
                 }
-                let Some((proj_d2, i)) = best else { break };
-                // early termination on the projected-distance estimator
-                if top.len() == k {
-                    let dk = top[k - 1].dist as f64;
-                    if proj_d2.sqrt() > stop_scale * dk {
-                        break;
-                    }
-                }
-                let (id, _) = streams[i].next().expect("peeked");
-                stats.index_probes += 1;
-                if !scratch.visited.insert(id) {
-                    continue;
-                }
-                verified += 1;
-                stats.candidates += 1;
-                let d = (sq_dist(q, self.data.point(id as usize)) as f64).sqrt();
-                push_candidate_unchecked(&mut top, Neighbor { id, dist: d as f32 }, k);
-                if verified >= budget || verified >= live {
+                if drained_dry {
                     break;
                 }
             }

@@ -36,7 +36,13 @@ fn flat_index_reports_strictly_less_than_seed_layout_at_10k() {
         clusters: 30,
         ..Default::default()
     }));
-    let params = DbLshParams::paper_defaults(data.len()).with_kl(10, 5);
+    // Relabeling is a deliberate space-for-locality trade (id maps +
+    // reordered verification rows) accounted separately below; the
+    // flat-vs-seed layout claim is about the structural layout itself,
+    // so pin it on the identity-order build.
+    let params = DbLshParams::paper_defaults(data.len())
+        .with_kl(10, 5)
+        .with_relabel(false);
     let index = DbLsh::build(Arc::clone(&data), &params).unwrap();
 
     let flat = index.memory_bytes();
@@ -57,6 +63,7 @@ fn flat_index_reports_strictly_less_than_seed_layout_at_10k() {
     assert_eq!(breakdown.total(), flat);
     assert!(breakdown.proj_store_bytes > 0);
     assert!(breakdown.tree_bytes > 0);
+    assert_eq!(breakdown.relabel_bytes, 0, "identity build has no maps");
     // The store dominates: n * L * K * 4 bytes of coordinates vs id-only
     // tree arenas.
     assert!(breakdown.proj_store_bytes > breakdown.tree_bytes);
@@ -65,6 +72,38 @@ fn flat_index_reports_strictly_less_than_seed_layout_at_10k() {
     let expect_store = n * params.l * params.k * 4;
     assert!(breakdown.proj_store_bytes >= expect_store);
     assert!(breakdown.proj_store_bytes <= expect_store * 2);
+}
+
+#[test]
+fn relabeled_index_accounts_its_locality_state() {
+    let data = Arc::new(gaussian_mixture(&MixtureConfig {
+        n: 10_000,
+        dim: 32,
+        clusters: 30,
+        ..Default::default()
+    }));
+    let params = DbLshParams::paper_defaults(data.len()).with_kl(10, 5);
+    let index = DbLsh::build(Arc::clone(&data), &params).unwrap();
+    assert!(index.is_relabeled());
+
+    let breakdown = index.memory_breakdown();
+    assert_eq!(breakdown.total(), index.memory_bytes());
+    // The relabel state is exactly two u32 maps plus one f32 row copy
+    // (maps may carry Vec slack).
+    let n = data.len();
+    let exact = n * (2 * 4 + 32 * 4);
+    assert!(breakdown.relabel_bytes >= exact);
+    assert!(
+        breakdown.relabel_bytes <= exact * 2,
+        "relabel state unexpectedly large: {} B vs exact {} B",
+        breakdown.relabel_bytes,
+        exact
+    );
+    // Identical trees/store as the identity build — relabeling permutes
+    // rows, it does not grow the structural layout.
+    let identity = DbLsh::build(Arc::clone(&data), &params.clone().with_relabel(false)).unwrap();
+    let id_breakdown = identity.memory_breakdown();
+    assert_eq!(breakdown.proj_store_bytes, id_breakdown.proj_store_bytes);
 }
 
 #[test]

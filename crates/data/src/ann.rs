@@ -30,6 +30,12 @@ pub struct QueryStats {
     /// Index entries touched while generating candidates (window-query
     /// results, cursor steps, bucket hits — whatever the method counts).
     pub index_probes: usize,
+    /// Wall-clock nanoseconds spent in exact-distance verification, when
+    /// the caller opted into timing (DB-LSH:
+    /// `SearchOptions::time_verification`); zero otherwise. Timed at
+    /// candidate-block granularity, so the counters above stay cheap when
+    /// timing is off.
+    pub verify_nanos: u64,
 }
 
 /// Result of one (c,k)-ANN query.

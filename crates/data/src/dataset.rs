@@ -141,6 +141,49 @@ impl Dataset {
         }
     }
 
+    /// A copy of this dataset with rows physically rearranged: row `i` of
+    /// the result is row `order[i]` of `self`. Values are copied from an
+    /// already-validated dataset, so no finiteness re-check is paid.
+    ///
+    /// This is the data-layout half of locality-aware id relabeling: the
+    /// DB-LSH core computes a locality-preserving permutation of its
+    /// points at bulk build and reorders the backing rows so that
+    /// candidate verification reads near-sequential memory.
+    ///
+    /// # Contract
+    /// (debug-checked) `order` is a permutation of `0..self.len()`.
+    pub fn reordered(&self, order: &[u32]) -> Dataset {
+        debug_assert_eq!(order.len(), self.len(), "order length mismatch");
+        debug_assert!(
+            {
+                let mut seen = vec![false; self.len()];
+                order.iter().all(|&r| {
+                    (r as usize) < seen.len() && !std::mem::replace(&mut seen[r as usize], true)
+                })
+            },
+            "order is not a permutation of the row indexes"
+        );
+        let dim = self.dim;
+        let mut data = Vec::with_capacity(order.len() * dim);
+        for &r in order {
+            data.extend_from_slice(self.point(r as usize));
+        }
+        Dataset { dim, data }
+    }
+
+    /// Squared distances from `q` to the rows `ids`, written into
+    /// `out[j]` for `ids[j]` — the fused verification kernel
+    /// ([`crate::kernels::sq_dist_block`]) over this dataset's flat
+    /// buffer. Per-row results are bit-identical to [`sq_dist`].
+    ///
+    /// # Contract
+    /// (debug-checked) `q.len() == self.dim()`, `out.len() == ids.len()`,
+    /// every id is a valid row.
+    #[inline]
+    pub fn sq_dists(&self, q: &[f32], ids: &[u32], out: &mut [f32]) {
+        crate::kernels::sq_dist_block(q, &self.data, self.dim, ids, out);
+    }
+
     /// Remove the rows in `sorted_rows` (ascending, unique) and return them
     /// as a new dataset — how the paper carves queries out of each corpus
     /// ("we randomly select 100 points as queries and remove them from the
@@ -258,6 +301,28 @@ mod tests {
             let a = vec![1.0f32; len];
             let b = vec![3.0f32; len];
             assert_eq!(sq_dist(&a, &b), 4.0 * len as f32, "len={len}");
+        }
+    }
+
+    #[test]
+    fn reordered_permutes_rows() {
+        let d = Dataset::from_rows(&[vec![0.0, 1.0], vec![2.0, 3.0], vec![4.0, 5.0]]);
+        let r = d.reordered(&[2, 0, 1]);
+        assert_eq!(r.point(0), &[4.0, 5.0]);
+        assert_eq!(r.point(1), &[0.0, 1.0]);
+        assert_eq!(r.point(2), &[2.0, 3.0]);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn sq_dists_matches_scalar() {
+        let d = Dataset::from_rows(&[vec![0.0, 0.0], vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let q = [1.0f32, 1.0];
+        let ids = [2u32, 0, 1];
+        let mut out = [0.0f32; 3];
+        d.sq_dists(&q, &ids, &mut out);
+        for (j, &id) in ids.iter().enumerate() {
+            assert_eq!(out[j], sq_dist(&q, d.point(id as usize)));
         }
     }
 

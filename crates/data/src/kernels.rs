@@ -1,0 +1,235 @@
+//! Blocked hot-path kernels: batched multi-point distance verification
+//! and the row-panel matvec behind every query projection.
+//!
+//! Both kernels exist to organize memory traffic, not to change the math:
+//!
+//! * [`sq_dist_block`] verifies one query against a *batch* of dataset
+//!   rows in one call. Callers sort the batch into memory order first
+//!   (ascending row id), which turns the gather into a near-sequential
+//!   sweep — on a locality-relabeled dataset the rows of one tree leaf
+//!   are physically adjacent. Per row it runs the 4-way-unrolled scalar
+//!   kernel: a 4-rows-fused variant (query chunk shared across four row
+//!   streams, one accumulator bank per row) was benchmarked *slower*
+//!   here — on the SSE2 baseline LLVM vectorizes the fusion across rows
+//!   with six shuffles per chunk, while the scalar kernel's per-row
+//!   4-lane pattern already saturates the FP units, and the out-of-order
+//!   core overlaps consecutive rows' loads on its own (see the
+//!   `verify/sq_dist_*` criterion group).
+//! * [`matvec`] computes `out[j] = a_j . x` for a row-major panel of
+//!   projection rows, two rows at a time sharing each `x` load — the
+//!   query-side `G_i(q)` projection that every LSH method in this
+//!   workspace pays per query.
+//!
+//! # Bitwise determinism
+//!
+//! Per-row results are **bit-identical** to the scalar kernels
+//! ([`crate::dataset::sq_dist`] and a single-row dot): every lane uses
+//! the same 4-way accumulator pattern over the same dimension order with
+//! the same `(s0 + s1) + (s2 + s3)` reduction. A row's distance therefore
+//! does not depend on its position inside a block or on the block
+//! boundaries — which is what lets a locality-relabeled index return
+//! byte-identical answers to an identity-order build (the relabel parity
+//! property tests assert exactly this).
+
+use crate::dataset::sq_dist;
+
+/// Squared distances from `q` to the rows `ids` of the row-major matrix
+/// `flat` (rows are `dim` wide), written into `out[j]` for `ids[j]`.
+///
+/// Every per-row result is **bit-identical** to [`sq_dist`]`(q, row)`
+/// regardless of batch composition. Callers that sort `ids` ascending
+/// turn the row gather into a monotone — on a relabeled store
+/// near-sequential — memory sweep (see the module docs for why the
+/// per-row path is the scalar kernel rather than a multi-row fusion).
+///
+/// # Contract
+/// (debug-checked) `q.len() == dim`, `out.len() == ids.len()`, and every
+/// id indexes a full row of `flat`.
+#[inline]
+pub fn sq_dist_block(q: &[f32], flat: &[f32], dim: usize, ids: &[u32], out: &mut [f32]) {
+    debug_assert_eq!(q.len(), dim, "query dimensionality mismatch");
+    debug_assert_eq!(out.len(), ids.len(), "output length mismatch");
+    debug_assert!(
+        ids.iter().all(|&id| (id as usize + 1) * dim <= flat.len()),
+        "row id out of range"
+    );
+    for (o, &id) in out.iter_mut().zip(ids) {
+        *o = sq_dist(q, &flat[id as usize * dim..id as usize * dim + dim]);
+    }
+}
+
+/// The canonical blocked-verification staging shared by the DB-LSH core
+/// and the baselines' `Verifier`: sort the fresh `block` of row ids into
+/// memory order, compute their squared distances from `q` with
+/// [`sq_dist_block`], and fill `keys` with the canonical consumption
+/// keys — `(squared-distance bits << 32) | public id` — sorted ascending.
+/// IEEE-754 bit order is value order for the non-negative squared
+/// distances, so key order is ascending `(distance, public id)`; recover
+/// the parts with [`key_parts`].
+///
+/// `to_public` maps a row id to the id embedded in the key: the DB-LSH
+/// core passes its internal→external map, callers without an id
+/// indirection pass the identity.
+#[inline]
+pub fn canonical_verify_keys(
+    q: &[f32],
+    flat: &[f32],
+    dim: usize,
+    block: &mut [u32],
+    dists: &mut Vec<f32>,
+    keys: &mut Vec<u64>,
+    to_public: impl Fn(u32) -> u32,
+) {
+    block.sort_unstable();
+    dists.resize(block.len(), 0.0);
+    sq_dist_block(q, flat, dim, block, dists);
+    keys.clear();
+    for (&id, &d2) in block.iter().zip(dists.iter()) {
+        keys.push(((d2.to_bits() as u64) << 32) | to_public(id) as u64);
+    }
+    keys.sort_unstable();
+}
+
+/// Split a key produced by [`canonical_verify_keys`] back into
+/// `(public id, exact distance)`.
+#[inline]
+pub fn key_parts(key: u64) -> (u32, f64) {
+    let d2 = f32::from_bits((key >> 32) as u32) as f64;
+    (key as u32, d2.sqrt())
+}
+
+/// Dot product of one `f64` projection row with an `f32` point,
+/// accumulated in `f64` with the shared 4-way unroll. The single-row
+/// lane of [`matvec`]; kept public for callers projecting one row.
+#[inline]
+pub fn dot_f64(a: &[f64], x: &[f32]) -> f64 {
+    debug_assert_eq!(a.len(), x.len());
+    let chunks = a.len() / 4;
+    let (a4, ar) = a.split_at(chunks * 4);
+    let (x4, xr) = x.split_at(chunks * 4);
+    let mut s0 = 0.0;
+    let mut s1 = 0.0;
+    let mut s2 = 0.0;
+    let mut s3 = 0.0;
+    for (ca, cx) in a4.chunks_exact(4).zip(x4.chunks_exact(4)) {
+        s0 += ca[0] * cx[0] as f64;
+        s1 += ca[1] * cx[1] as f64;
+        s2 += ca[2] * cx[2] as f64;
+        s3 += ca[3] * cx[3] as f64;
+    }
+    for (va, vx) in ar.iter().zip(xr) {
+        s0 += va * *vx as f64;
+    }
+    (s0 + s1) + (s2 + s3)
+}
+
+/// Two rows of [`matvec`] at once, sharing each `x` load. Per-row
+/// accumulation is bit-identical to [`dot_f64`].
+#[inline]
+fn dot2_f64(a0: &[f64], a1: &[f64], x: &[f32]) -> (f64, f64) {
+    debug_assert!(a0.len() == x.len() && a1.len() == x.len());
+    let chunks = x.len() / 4;
+    let split = chunks * 4;
+    let (a04, a0r) = a0.split_at(split);
+    let (a14, a1r) = a1.split_at(split);
+    let (x4, xr) = x.split_at(split);
+    let mut s = [[0.0f64; 4]; 2];
+    for c in 0..chunks {
+        let base = c * 4;
+        let xc = &x4[base..base + 4];
+        let x0 = xc[0] as f64;
+        let x1 = xc[1] as f64;
+        let x2 = xc[2] as f64;
+        let x3 = xc[3] as f64;
+        let c0 = &a04[base..base + 4];
+        let c1 = &a14[base..base + 4];
+        s[0][0] += c0[0] * x0;
+        s[0][1] += c0[1] * x1;
+        s[0][2] += c0[2] * x2;
+        s[0][3] += c0[3] * x3;
+        s[1][0] += c1[0] * x0;
+        s[1][1] += c1[1] * x1;
+        s[1][2] += c1[2] * x2;
+        s[1][3] += c1[3] * x3;
+    }
+    for (i, &xv) in xr.iter().enumerate() {
+        s[0][0] += a0r[i] * xv as f64;
+        s[1][0] += a1r[i] * xv as f64;
+    }
+    (
+        (s[0][0] + s[0][1]) + (s[0][2] + s[0][3]),
+        (s[1][0] + s[1][1]) + (s[1][2] + s[1][3]),
+    )
+}
+
+/// Row-panel matvec: `out[j] = a_j . x` where `a` is a row-major
+/// `[out.len()][dim]` panel of `f64` projection rows and `x` is an `f32`
+/// point. Rows are processed in pairs sharing each `x` load; per-row
+/// results are bit-identical to [`dot_f64`].
+///
+/// # Contract
+/// (debug-checked) `x.len() == dim` and `a.len() == out.len() * dim`.
+#[inline]
+pub fn matvec(a: &[f64], dim: usize, x: &[f32], out: &mut [f64]) {
+    debug_assert_eq!(x.len(), dim, "point dimensionality mismatch");
+    debug_assert_eq!(a.len(), out.len() * dim, "panel shape mismatch");
+    let pairs = out.len() / 2;
+    for p in 0..pairs {
+        let j = p * 2;
+        let (d0, d1) = dot2_f64(
+            &a[j * dim..(j + 1) * dim],
+            &a[(j + 1) * dim..(j + 2) * dim],
+            x,
+        );
+        out[j] = d0;
+        out[j + 1] = d1;
+    }
+    if out.len() % 2 == 1 {
+        let j = out.len() - 1;
+        out[j] = dot_f64(&a[j * dim..(j + 1) * dim], x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(n: usize, dim: usize) -> Vec<f32> {
+        (0..n * dim)
+            .map(|i| ((i * 37) % 101) as f32 * 0.13 - 5.0)
+            .collect()
+    }
+
+    #[test]
+    fn sq_dist_block_matches_scalar_bitwise() {
+        for dim in [1usize, 3, 4, 5, 7, 8, 13, 24] {
+            for n in 0..10usize {
+                let flat = rows(n.max(1), dim);
+                let q: Vec<f32> = (0..dim).map(|i| i as f32 * 0.7 - 1.0).collect();
+                let ids: Vec<u32> = (0..n as u32).rev().collect();
+                let mut out = vec![0.0f32; n];
+                sq_dist_block(&q, &flat, dim, &ids, &mut out);
+                for (j, &id) in ids.iter().enumerate() {
+                    let want = sq_dist(&q, &flat[id as usize * dim..(id as usize + 1) * dim]);
+                    assert_eq!(out[j].to_bits(), want.to_bits(), "dim={dim} n={n} j={j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_matches_dot_bitwise() {
+        for dim in [1usize, 2, 4, 5, 9, 16, 31] {
+            for m in 0..8usize {
+                let a: Vec<f64> = (0..m * dim).map(|i| (i as f64 * 0.37).sin()).collect();
+                let x: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.11).cos()).collect();
+                let mut out = vec![0.0f64; m];
+                matvec(&a, dim, &x, &mut out);
+                for j in 0..m {
+                    let want = dot_f64(&a[j * dim..(j + 1) * dim], &x);
+                    assert_eq!(out[j].to_bits(), want.to_bits(), "dim={dim} m={m} j={j}");
+                }
+            }
+        }
+    }
+}

@@ -6,6 +6,8 @@
 //! crate provides:
 //!
 //! * [`Dataset`] — a flat row-major `f32` matrix with distance helpers;
+//! * [`kernels`] — the blocked hot-path kernels every verification loop
+//!   and query projection funnels through ([`sq_dist_block`], [`matvec`]);
 //! * [`synthetic`] — seeded generators (Gaussian mixtures with planted
 //!   clusters plus background noise) whose *relative contrast* structure
 //!   reproduces the recall/ratio regimes LSH methods see on the real data;
@@ -27,6 +29,7 @@ pub mod dataset;
 pub mod error;
 pub mod ground_truth;
 pub mod io;
+pub mod kernels;
 pub mod metrics;
 pub mod registry;
 pub mod synthetic;
@@ -37,4 +40,5 @@ pub use ann::{
 pub use dataset::Dataset;
 pub use error::{check_query, DbLshError};
 pub use ground_truth::exact_knn;
+pub use kernels::{canonical_verify_keys, matvec, sq_dist_block};
 pub use metrics::{overall_ratio, recall};

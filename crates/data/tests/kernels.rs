@@ -1,0 +1,62 @@
+//! Property tests of the blocked kernels: `sq_dist_block` and `matvec`
+//! must be *bit-identical* per row to their scalar counterparts for every
+//! dimensionality, batch size (covering all block-tail lengths 0..=7) and
+//! id order — block boundaries must never leak into results, because the
+//! relabel-parity guarantees of `dblsh-core` rest on that.
+
+use dblsh_data::dataset::sq_dist;
+use dblsh_data::kernels::{dot_f64, matvec, sq_dist_block};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sq_dist_block_is_bitwise_scalar(
+        dim in 1usize..40,
+        n_rows in 0usize..24, // covers block tails 0..=7 twice over
+        flat_seed in prop::collection::vec(-50.0f32..50.0, 0..1),
+        shuffle in 0usize..1000,
+    ) {
+        let _ = flat_seed;
+        let n = n_rows;
+        let flat: Vec<f32> = (0..n * dim)
+            .map(|i| ((i * 2654435761 + shuffle) % 4093) as f32 * 0.037 - 75.0)
+            .collect();
+        let q: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.31).sin() * 20.0).collect();
+        // ids in a scrambled (non-monotone) order to exercise the gather
+        let mut ids: Vec<u32> = (0..n as u32).collect();
+        if n > 1 {
+            for i in 0..n {
+                ids.swap(i, (i * 7 + shuffle) % n);
+            }
+        }
+        let mut out = vec![0.0f32; n];
+        sq_dist_block(&q, &flat, dim, &ids, &mut out);
+        for (j, &id) in ids.iter().enumerate() {
+            let want = sq_dist(&q, &flat[id as usize * dim..(id as usize + 1) * dim]);
+            prop_assert_eq!(
+                out[j].to_bits(), want.to_bits(),
+                "row {} (id {}) differs from scalar: {} vs {}", j, id, out[j], want
+            );
+        }
+    }
+
+    #[test]
+    fn matvec_is_bitwise_scalar(
+        dim in 1usize..40,
+        m in 0usize..12,
+        phase in 0usize..1000,
+    ) {
+        let a: Vec<f64> = (0..m * dim)
+            .map(|i| ((i + phase) as f64 * 0.618).sin() * 3.0)
+            .collect();
+        let x: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.47).cos() * 10.0).collect();
+        let mut out = vec![0.0f64; m];
+        matvec(&a, dim, &x, &mut out);
+        for j in 0..m {
+            let want = dot_f64(&a[j * dim..(j + 1) * dim], &x);
+            prop_assert_eq!(out[j].to_bits(), want.to_bits(), "row {} differs", j);
+        }
+    }
+}

@@ -103,6 +103,43 @@ impl RStarTree {
     }
 }
 
+/// The locality-preserving point order STR bulk loading induces: the
+/// concatenation of the leaf groups [`RStarTree::bulk_load_with_capacity`]
+/// would form over `ids` (same slab recursion, same `cap.max(4)` leaf
+/// size), each group sorted ascending by id for determinism.
+///
+/// Relabeling points to this order makes every future leaf of a tree
+/// bulk-loaded over the same coordinates a *contiguous run* of ids, so
+/// leaf scans and candidate verification read near-sequential memory —
+/// the id-space half of DB-LSH's locality-aware relabeling (`dblsh-core`
+/// reorders its dataset and projection store rows to match).
+///
+/// Contract (debug-checked, as for bulk loading): ids are unique and
+/// resolve to finite coordinates of dimensionality `src.dim()`.
+pub fn str_order<S: CoordSource>(src: &S, ids: &[u32], max_entries: usize) -> Vec<u32> {
+    debug_assert!(
+        ids.iter()
+            .all(|&id| src.coords(id).iter().all(|v| v.is_finite())),
+        "non-finite coordinate in str_order"
+    );
+    debug_assert!(
+        {
+            let mut sorted = ids.to_vec();
+            sorted.sort_unstable();
+            sorted.windows(2).all(|w| w[0] != w[1])
+        },
+        "duplicate id in str_order"
+    );
+    let cap = max_entries.max(4);
+    let mut order: Vec<u32> = ids.to_vec();
+    let mut groups: Vec<std::ops::Range<usize>> = Vec::with_capacity(ids.len() / cap + 1);
+    str_partition(&mut order, 0, src, src.dim(), cap, &mut groups, 0);
+    for g in &groups {
+        order[g.clone()].sort_unstable();
+    }
+    order
+}
+
 /// Recursively sort-and-tile `order` (point ids) into contiguous
 /// leaf-sized ranges appended to `groups`. `base` is the offset of `order`
 /// within the full ordering array.
@@ -243,6 +280,49 @@ mod tests {
         }
         assert_eq!(t.len(), n - 100 + 50);
         t.check_invariants(&src);
+    }
+
+    #[test]
+    fn str_order_is_a_locality_permutation() {
+        let n = 2000;
+        let dim = 4;
+        let src = random_source(n, dim, 21);
+        let ids: Vec<u32> = (0..n as u32).collect();
+        let order = str_order(&src, &ids, 32);
+        // a permutation of the input ids
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, ids);
+        // relabeling to this order makes bulk-loaded leaves contiguous id
+        // runs: rebuild coordinates in the new order and check that every
+        // leaf of a fresh bulk load covers a dense id range
+        let mut flat = Vec::with_capacity(n * dim);
+        for &ext in &order {
+            flat.extend_from_slice(src.coords(ext));
+        }
+        let relabeled = OwnedCoords::from_flat(dim, flat);
+        let tree = RStarTree::bulk_load(&relabeled, &ids);
+        tree.check_invariants(&relabeled);
+        let mut covered = 0u32;
+        let mut leaf_ids: Vec<u32> = Vec::new();
+        let mut all: Vec<u32> = tree.iter_points(&relabeled).map(|(id, _)| id).collect();
+        all.sort_unstable();
+        assert_eq!(all.len(), n);
+        // walk leaves via window batches over an all-covering window
+        let everything = Rect::new(&[-1e9; 4], &[1e9; 4]);
+        let mut cursor = tree.window(&relabeled, &everything);
+        while let Some(batch) = cursor.next_batch() {
+            leaf_ids.clear();
+            leaf_ids.extend_from_slice(batch);
+            leaf_ids.sort_unstable();
+            assert_eq!(
+                leaf_ids.last().unwrap() - leaf_ids[0] + 1,
+                leaf_ids.len() as u32,
+                "leaf ids are not a contiguous run"
+            );
+            covered += leaf_ids.len() as u32;
+        }
+        assert_eq!(covered, n as u32);
     }
 
     #[test]

@@ -46,6 +46,7 @@ mod query;
 mod rect;
 mod tree;
 
+pub use bulk::str_order;
 pub use coords::{CoordSource, OwnedCoords, StridedCoords};
 pub use query::{NearestIter, WindowCursor};
 pub use rect::Rect;

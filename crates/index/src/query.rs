@@ -79,9 +79,84 @@ impl RStarTree {
         }
     }
 
-    /// The `k` nearest points to `q` as `(id, squared_distance)`.
+    /// The `k` nearest points to `q` as `(id, squared_distance)`,
+    /// ascending.
+    ///
+    /// Unlike [`RStarTree::nearest_iter`]`.take(k)` — which must feed
+    /// every point of every opened leaf through the global priority
+    /// queue to stay resumable — this runs classic bounded best-first
+    /// search: a min-heap frontier of unopened nodes and a `k`-element
+    /// max-heap of results, with leaf points and subtrees beyond the
+    /// current k-th distance pruned instead of enqueued. Same answers,
+    /// a fraction of the heap traffic.
     pub fn k_nearest<S: CoordSource>(&self, src: &S, q: &[f64], k: usize) -> Vec<(u32, f64)> {
-        self.nearest_iter(src, q).take(k).collect()
+        debug_assert_eq!(q.len(), self.dim(), "query dimensionality mismatch");
+        debug_assert_eq!(src.dim(), self.dim(), "source dimensionality mismatch");
+        debug_assert!(q.iter().all(|v| v.is_finite()), "non-finite query");
+        if k == 0 || self.is_empty() {
+            return Vec::new();
+        }
+        let dim = self.dim();
+        let mut frontier: BinaryHeap<Reverse<HeapItem>> = BinaryHeap::new();
+        frontier.push(Reverse(HeapItem {
+            dist2: 0.0,
+            kind: ItemKind::Node(self.root),
+        }));
+        // Max-heap of the best k points seen; its top is the pruning bound.
+        let mut result: BinaryHeap<HeapItem> = BinaryHeap::with_capacity(k + 1);
+        while let Some(Reverse(item)) = frontier.pop() {
+            if result.len() == k && item.dist2 >= result.peek().expect("k > 0").dist2 {
+                break; // the frontier is ascending: nothing can improve
+            }
+            let ItemKind::Node(idx) = item.kind else {
+                unreachable!("frontier holds nodes only")
+            };
+            let n = &self.nodes[idx];
+            if n.is_leaf() {
+                for &c in &n.children {
+                    let d2 = sq_dist(q, src.coords(c));
+                    if result.len() < k {
+                        result.push(HeapItem {
+                            dist2: d2,
+                            kind: ItemKind::Point(c),
+                        });
+                    } else if d2 < result.peek().expect("k > 0").dist2 {
+                        result.pop();
+                        result.push(HeapItem {
+                            dist2: d2,
+                            kind: ItemKind::Point(c),
+                        });
+                    }
+                }
+            } else {
+                let bound = if result.len() == k {
+                    result.peek().expect("k > 0").dist2
+                } else {
+                    f64::INFINITY
+                };
+                for (&c, b) in n.children.iter().zip(n.bounds.chunks_exact(2 * dim)) {
+                    let (blo, bhi) = b.split_at(dim);
+                    let md2 = geom::min_dist2(blo, bhi, q);
+                    if md2 < bound {
+                        frontier.push(Reverse(HeapItem {
+                            dist2: md2,
+                            kind: ItemKind::Node(c as usize),
+                        }));
+                    }
+                }
+            }
+        }
+        // into_sorted_vec is ascending by the same Ord the heap used.
+        result
+            .into_sorted_vec()
+            .into_iter()
+            .map(|item| {
+                let ItemKind::Point(id) = item.kind else {
+                    unreachable!("result holds points only")
+                };
+                (id, item.dist2)
+            })
+            .collect()
     }
 
     /// Iterate over every stored point (depth-first order).
@@ -117,6 +192,10 @@ impl RStarTree {
 /// contained* in the window skip the coordinate reads entirely — every
 /// id is a hit by construction. Pausing granularity is one leaf
 /// (at most `max_entries` points scanned beyond where the caller stops).
+///
+/// Callers that verify candidates in blocks consume whole leaves through
+/// [`WindowCursor::next_batch`] instead of the per-id [`Iterator`]; both
+/// interfaces share the same traversal state and can be mixed.
 pub struct WindowCursor<'t, S> {
     tree: &'t RStarTree,
     src: &'t S,
@@ -131,6 +210,47 @@ pub struct WindowCursor<'t, S> {
 }
 
 impl<S: CoordSource> WindowCursor<'_, S> {
+    /// Advance to the next leaf with in-window points and return all of
+    /// them at once — the batch interface the blocked verification
+    /// pipeline drains (one tree leaf per batch, so the pause granularity
+    /// is identical to the per-id [`Iterator`] path). Returns `None` once
+    /// the window is exhausted. Ids not yet drained through `next()` are
+    /// included in the first batch.
+    pub fn next_batch(&mut self) -> Option<&[u32]> {
+        while self.hit_at >= self.hits.len() {
+            self.descend_to_next_leaf()?;
+        }
+        let at = self.hit_at;
+        self.hit_at = self.hits.len();
+        Some(&self.hits[at..])
+    }
+
+    /// Walk the DFS stack to the next leaf intersecting the window and
+    /// scan it into the hit buffer. `None` when the traversal is done.
+    fn descend_to_next_leaf(&mut self) -> Option<()> {
+        let dim = self.tree.dim();
+        loop {
+            let &(node, pos) = self.stack.last()?;
+            let n = &self.tree.nodes[node];
+            if pos >= n.children.len() {
+                self.stack.pop();
+                continue;
+            }
+            self.stack.last_mut().expect("non-empty").1 += 1;
+            let (blo, bhi) = child_bounds(n, dim, pos);
+            if geom::window_intersects(self.lo, self.hi, blo, bhi) {
+                let c = n.children[pos] as usize;
+                let child = &self.tree.nodes[c];
+                if child.is_leaf() {
+                    let contained = geom::window_contains_box(self.lo, self.hi, blo, bhi);
+                    self.scan_leaf(c, contained);
+                    return Some(());
+                }
+                self.stack.push((c, 0));
+            }
+        }
+    }
+
     /// Refill the hit buffer from leaf `idx`.
     fn scan_leaf(&mut self, idx: usize, fully_contained: bool) {
         let n = &self.tree.nodes[idx];
@@ -152,7 +272,6 @@ impl<S: CoordSource> Iterator for WindowCursor<'_, S> {
     type Item = u32;
 
     fn next(&mut self) -> Option<Self::Item> {
-        let dim = self.tree.dim();
         loop {
             // Fast path: drain the current leaf's hits.
             if let Some(&id) = self.hits.get(self.hit_at) {
@@ -160,26 +279,7 @@ impl<S: CoordSource> Iterator for WindowCursor<'_, S> {
                 return Some(id);
             }
             // Descend to the next leaf whose bounds intersect the window.
-            loop {
-                let &(node, pos) = self.stack.last()?;
-                let n = &self.tree.nodes[node];
-                if pos >= n.children.len() {
-                    self.stack.pop();
-                    continue;
-                }
-                self.stack.last_mut().expect("non-empty").1 += 1;
-                let (blo, bhi) = child_bounds(n, dim, pos);
-                if geom::window_intersects(self.lo, self.hi, blo, bhi) {
-                    let c = n.children[pos] as usize;
-                    let child = &self.tree.nodes[c];
-                    if child.is_leaf() {
-                        let contained = geom::window_contains_box(self.lo, self.hi, blo, bhi);
-                        self.scan_leaf(c, contained);
-                        break; // back to draining hits
-                    }
-                    self.stack.push((c, 0));
-                }
-            }
+            self.descend_to_next_leaf()?;
         }
     }
 }
@@ -281,13 +381,29 @@ impl<S: CoordSource> Iterator for NearestIter<'_, S> {
 #[inline]
 fn sq_dist(a: &[f64], b: &[f32]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter()
-        .zip(b.iter())
-        .map(|(&x, &y)| {
-            let d = x - y as f64;
-            d * d
-        })
-        .sum()
+    let chunks = a.len() / 4;
+    let split = chunks * 4;
+    let (a4, ar) = a.split_at(split);
+    let (b4, br) = b.split_at(split);
+    let mut s0 = 0.0;
+    let mut s1 = 0.0;
+    let mut s2 = 0.0;
+    let mut s3 = 0.0;
+    for (ca, cb) in a4.chunks_exact(4).zip(b4.chunks_exact(4)) {
+        let d0 = ca[0] - cb[0] as f64;
+        let d1 = ca[1] - cb[1] as f64;
+        let d2 = ca[2] - cb[2] as f64;
+        let d3 = ca[3] - cb[3] as f64;
+        s0 += d0 * d0;
+        s1 += d1 * d1;
+        s2 += d2 * d2;
+        s3 += d3 * d3;
+    }
+    for (&x, &y) in ar.iter().zip(br) {
+        let d = x - y as f64;
+        s0 += d * d;
+    }
+    (s0 + s1) + (s2 + s3)
 }
 
 #[cfg(test)]
@@ -338,6 +454,33 @@ mod tests {
         for id in &first {
             assert!(!rest.contains(id));
         }
+    }
+
+    #[test]
+    fn next_batch_covers_window_in_leaf_chunks() {
+        let (src, t) = build_grid(15);
+        let w = Rect::new(&[2.5, 3.0], &[7.0, 9.5]);
+        let mut want = t.window_all(&src, &w);
+        want.sort_unstable();
+        let mut got: Vec<u32> = Vec::new();
+        let mut cursor = t.window(&src, &w);
+        let mut batches = 0;
+        while let Some(batch) = cursor.next_batch() {
+            assert!(!batch.is_empty(), "batches are never empty");
+            got.extend_from_slice(batch);
+            batches += 1;
+        }
+        got.sort_unstable();
+        assert_eq!(got, want);
+        assert!(batches >= 1);
+        // mixed consumption: a few ids via next(), the rest via batches
+        let mut cursor = t.window(&src, &w);
+        let mut mixed: Vec<u32> = cursor.by_ref().take(3).collect();
+        while let Some(batch) = cursor.next_batch() {
+            mixed.extend_from_slice(batch);
+        }
+        mixed.sort_unstable();
+        assert_eq!(mixed, want);
     }
 
     #[test]
