@@ -1,0 +1,264 @@
+//! Saturation harness for the serving engine: drive an
+//! [`dblsh_serve::Engine`] over a sharded index with a mixed
+//! read/write workload at increasing worker counts and print a
+//! throughput/latency table.
+//!
+//! Every sweep rebuilds the index from the same seed and replays the
+//! *identical* request sequence (same queries, same insert points, same
+//! remove targets, same interleaving), so worker count is the only
+//! variable and the run is reproducible from `--seed`.
+//!
+//! Run: `cargo run -p dblsh-bench --release --bin saturate -- \
+//!           --shards 4 --threads 4 --n 100k`
+//!
+//! Flags (all optional): `--n` points (default 100k; `k`/`m` suffixes),
+//! `--dim` (32), `--shards` (4), `--threads` max workers (4; the sweep
+//! doubles 1,2,4,... up to it), `--requests` per sweep (20k),
+//! `--queries` distinct query points (1000), `--k` (10), `--write-frac`
+//! fraction of requests that are writes, split evenly between inserts
+//! and removes (0.10), `--queue` capacity (1024), `--seed` (42).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use dblsh_core::DbLshBuilder;
+use dblsh_data::synthetic::{gaussian_mixture, split_queries, MixtureConfig};
+use dblsh_serve::{Engine, EngineConfig, ShardPolicy, ShardedDbLsh};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+#[derive(Debug, Clone)]
+struct Args {
+    n: usize,
+    dim: usize,
+    shards: usize,
+    threads: usize,
+    requests: usize,
+    queries: usize,
+    k: usize,
+    write_frac: f64,
+    queue: usize,
+    seed: u64,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            n: 100_000,
+            dim: 32,
+            shards: 4,
+            threads: 4,
+            requests: 20_000,
+            queries: 1000,
+            k: 10,
+            write_frac: 0.10,
+            queue: 1024,
+            seed: 42,
+        }
+    }
+}
+
+/// Parse `"20k"` / `"1m"` / plain integers.
+fn parse_count(s: &str) -> usize {
+    let lower = s.trim().to_ascii_lowercase();
+    let (digits, mult) = match lower.strip_suffix(['k', 'm']) {
+        Some(d) if lower.ends_with('k') => (d, 1_000),
+        Some(d) => (d, 1_000_000),
+        None => (lower.as_str(), 1),
+    };
+    digits
+        .parse::<usize>()
+        .unwrap_or_else(|_| panic!("not a count: {s:?}"))
+        * mult
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--n" => args.n = parse_count(&value("--n")),
+            "--dim" => args.dim = parse_count(&value("--dim")),
+            "--shards" => args.shards = parse_count(&value("--shards")),
+            "--threads" => args.threads = parse_count(&value("--threads")),
+            "--requests" => args.requests = parse_count(&value("--requests")),
+            "--queries" => args.queries = parse_count(&value("--queries")),
+            "--k" => args.k = parse_count(&value("--k")),
+            "--write-frac" => {
+                args.write_frac = value("--write-frac").parse().expect("write fraction")
+            }
+            "--queue" => args.queue = parse_count(&value("--queue")),
+            "--seed" => args.seed = value("--seed").parse().expect("seed"),
+            other => panic!("unknown flag {other:?} (see the module docs)"),
+        }
+    }
+    args
+}
+
+/// One request of the pre-generated, seed-deterministic workload.
+enum Op {
+    Search(usize),
+    Insert(usize),
+    Remove(u32),
+}
+
+fn main() {
+    let args = parse_args();
+    println!("== saturate: {args:?} ==");
+
+    // Seed-deterministic data, queries, and workload.
+    let mut data = gaussian_mixture(&MixtureConfig {
+        n: args.n + args.queries,
+        dim: args.dim,
+        clusters: 40,
+        cluster_std: 1.0,
+        spread: 60.0,
+        noise_frac: 0.02,
+        seed: args.seed,
+    });
+    let queries = split_queries(&mut data, args.queries, args.seed ^ 0xABCD);
+    let builder = DbLshBuilder::new().auto_r_min().seed(args.seed);
+    let params = builder
+        .resolve_params_for(&data)
+        .expect("saturate parameters");
+    println!(
+        "cloud: {} points x {}d, params K={} L={} r_min={:.4}, {} shards",
+        data.len(),
+        data.dim(),
+        params.k,
+        params.l,
+        params.r_min,
+        args.shards
+    );
+
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0x5A7E);
+    let writes = (args.requests as f64 * args.write_frac) as usize;
+    let inserts = writes / 2;
+    let removes = writes - inserts;
+    // Insert points: fresh random vectors in the data's range. Remove
+    // targets: distinct bulk ids, each removed exactly once per sweep.
+    let insert_points: Vec<Vec<f32>> = (0..inserts)
+        .map(|_| (0..args.dim).map(|_| rng.gen_range(-60.0..60.0)).collect())
+        .collect();
+    let mut remove_ids: Vec<u32> = (0..data.len() as u32).collect();
+    for i in (1..remove_ids.len()).rev() {
+        remove_ids.swap(i, rng.gen_range(0..i + 1));
+    }
+    remove_ids.truncate(removes);
+    // Interleave deterministically: writes spread evenly through the run.
+    let mut ops: Vec<Op> = Vec::with_capacity(args.requests);
+    let (mut next_insert, mut next_remove) = (0usize, 0usize);
+    let stride = if writes > 0 {
+        args.requests.div_ceil(writes)
+    } else {
+        usize::MAX
+    };
+    for j in 0..args.requests {
+        if stride != usize::MAX && j % stride == 0 && next_insert < inserts {
+            ops.push(Op::Insert(next_insert));
+            next_insert += 1;
+        } else if stride != usize::MAX && j % stride == stride / 2 && next_remove < removes {
+            ops.push(Op::Remove(remove_ids[next_remove]));
+            next_remove += 1;
+        } else {
+            ops.push(Op::Search(j % queries.len()));
+        }
+    }
+
+    // Worker sweep: 1, 2, 4, ... up to --threads.
+    let mut sweep = Vec::new();
+    let mut w = 1;
+    while w < args.threads {
+        sweep.push(w);
+        w *= 2;
+    }
+    sweep.push(args.threads);
+    sweep.dedup();
+
+    println!(
+        "\n{:>7} {:>10} {:>10} {:>9} {:>9} {:>9} {:>10} {:>7} {:>8}",
+        "workers",
+        "req/s",
+        "srch QPS",
+        "mean us",
+        "p50 us",
+        "p99 us",
+        "cand/srch",
+        "errors",
+        "speedup"
+    );
+    let mut baseline_rps = 0.0f64;
+    let mut qps_by_workers = Vec::new();
+    for &workers in &sweep {
+        // Fresh index per sweep: identical starting state, so worker
+        // count is the only variable.
+        let index = Arc::new(
+            ShardedDbLsh::build_with_params(&data, &params, args.shards, ShardPolicy::RoundRobin)
+                .expect("sharded build"),
+        );
+        let engine = Engine::start(
+            Arc::clone(&index),
+            EngineConfig {
+                workers,
+                queue_capacity: args.queue,
+            },
+        );
+        let started = Instant::now();
+        let mut search_tickets = Vec::with_capacity(args.requests);
+        let mut insert_tickets = Vec::new();
+        let mut remove_tickets = Vec::new();
+        for op in &ops {
+            match op {
+                Op::Search(qi) => {
+                    search_tickets.push(engine.search(queries.point(*qi), args.k));
+                }
+                Op::Insert(pi) => insert_tickets.push(engine.insert(&insert_points[*pi])),
+                Op::Remove(id) => remove_tickets.push(engine.remove(*id)),
+            }
+        }
+        let mut answered = 0usize;
+        for t in search_tickets {
+            answered += usize::from(t.wait().is_ok());
+        }
+        let writes_ok = insert_tickets.into_iter().all(|t| t.wait().is_ok())
+            && remove_tickets.into_iter().all(|t| t.wait().is_ok());
+        let elapsed = started.elapsed().as_secs_f64();
+        let stats = engine.shutdown();
+        assert_eq!(stats.errors, 0, "workload produced errors");
+        assert_eq!(answered as u64, stats.searches, "lost search answers");
+        assert!(writes_ok, "writes must succeed");
+        let rps = args.requests as f64 / elapsed;
+        if workers == sweep[0] {
+            baseline_rps = rps;
+        }
+        let search_qps = stats.searches as f64 / elapsed;
+        qps_by_workers.push((workers, search_qps));
+        println!(
+            "{:>7} {:>10.0} {:>10.0} {:>9.1} {:>9.1} {:>9.1} {:>10.1} {:>7} {:>7.2}x",
+            workers,
+            rps,
+            search_qps,
+            stats.mean_latency_us,
+            stats.p50_latency_us,
+            stats.p99_latency_us,
+            stats.query.candidates as f64 / stats.searches.max(1) as f64,
+            stats.errors,
+            rps / baseline_rps,
+        );
+    }
+    let increasing = qps_by_workers.windows(2).all(|w| w[1].1 > w[0].1);
+    println!(
+        "\nQPS {} with workers across the sweep {:?}",
+        if increasing {
+            "scaled strictly"
+        } else {
+            "did not scale strictly (core-starved machine?)"
+        },
+        sweep
+    );
+    println!("saturate OK");
+}

@@ -2,9 +2,10 @@
 //! answer queries, and print the per-component index-size breakdown
 //! (shared projection store, flat tree arenas, locality-relabel state)
 //! plus the query-latency split (`knn_10` mean and the per-query
-//! verification time inside it). Fails loudly — CI runs this so layout,
-//! recall or hot-path regressions surface before any full experiment
-//! does.
+//! verification time inside it) and the serving layer's sharded
+//! vs unsharded `knn_10` numbers with an engine QPS figure. Fails
+//! loudly — CI runs this so layout, recall, hot-path or serving
+//! regressions surface before any full experiment does.
 //!
 //! Run: `cargo run -p dblsh-bench --release --bin smoke`
 
@@ -13,7 +14,8 @@ use std::sync::Arc;
 use dblsh_bench::{evaluate, Env};
 use dblsh_core::{DbLsh, DbLshParams, SearchOptions};
 use dblsh_data::synthetic::MixtureConfig;
-use dblsh_data::AnnIndex;
+use dblsh_data::{AnnIndex, QueryStats};
+use dblsh_serve::{Engine, EngineConfig, ShardPolicy, ShardedDbLsh};
 use std::time::Instant;
 
 fn main() {
@@ -83,25 +85,95 @@ fn main() {
     };
     let nq = env.queries.len();
     let qstart = Instant::now();
-    let mut verify_nanos = 0u64;
-    let mut timed_candidates = 0usize;
+    let mut timed_total = QueryStats::default();
     for qi in 0..nq {
         let res = index
             .search_with(env.queries.point(qi), 10, &timed)
             .expect("timed smoke query");
-        verify_nanos += res.stats.verify_nanos;
-        timed_candidates += res.stats.candidates;
+        timed_total.merge(&res.stats);
     }
     let total_us = qstart.elapsed().as_secs_f64() * 1e6;
     println!(
         "knn_10: {:.2} us/query, verification {:.2} us/query ({} candidates/query)",
         total_us / nq as f64,
-        verify_nanos as f64 / 1e3 / nq as f64,
-        timed_candidates / nq.max(1),
+        timed_total.verify_nanos as f64 / 1e3 / nq as f64,
+        timed_total.candidates / nq.max(1),
     );
-    assert!(verify_nanos > 0, "verification timing not collected");
+    assert!(
+        timed_total.verify_nanos > 0,
+        "verification timing not collected"
+    );
 
     assert!(row.recall > 0.5, "smoke recall collapsed: {}", row.recall);
     assert!(row.ratio >= 1.0 - 1e-6, "ratio below 1: {}", row.ratio);
+
+    // Serving layer: sharded vs unsharded knn_10 and engine throughput.
+    // Both numbers use the canonical round-exhaustive query mode, so the
+    // sharded answers are byte-identical to the unsharded ones — checked
+    // here on every query before anything is timed.
+    const SHARDS: usize = 4;
+    let sharded =
+        ShardedDbLsh::build_with_params(&env.data, &params, SHARDS, ShardPolicy::RoundRobin)
+            .expect("sharded smoke build");
+    let opts = SearchOptions::default();
+    for qi in 0..nq {
+        let q = env.queries.point(qi);
+        let s = sharded.k_ann(q, 10).expect("sharded smoke query");
+        let u = index
+            .search_canonical(q, 10, &opts)
+            .expect("canonical smoke query");
+        assert_eq!(s.ids(), u.ids(), "sharded answers diverge at query {qi}");
+        assert_eq!(s.stats, u.stats, "sharded work counters diverge");
+    }
+    let time_per_query = |f: &mut dyn FnMut(usize)| {
+        let start = Instant::now();
+        for qi in 0..nq {
+            f(qi);
+        }
+        start.elapsed().as_secs_f64() * 1e6 / nq as f64
+    };
+    let unsharded_us = time_per_query(&mut |qi| {
+        index
+            .search_canonical(env.queries.point(qi), 10, &opts)
+            .expect("canonical smoke query");
+    });
+    let sharded_us = time_per_query(&mut |qi| {
+        sharded
+            .k_ann(env.queries.point(qi), 10)
+            .expect("sharded smoke query");
+    });
+    println!(
+        "\n== serving smoke ({SHARDS} shards) ==\n\
+         knn_10 canonical: unsharded {unsharded_us:.2} us/query, sharded {sharded_us:.2} us/query"
+    );
+
+    const REPEATS: usize = 5;
+    let engine = Engine::start(
+        Arc::new(sharded),
+        EngineConfig {
+            workers: SHARDS,
+            queue_capacity: 256,
+        },
+    );
+    let estart = Instant::now();
+    let tickets: Vec<_> = (0..nq * REPEATS)
+        .map(|j| engine.search(env.queries.point(j % nq), 10))
+        .collect();
+    for t in tickets {
+        t.wait().expect("engine smoke query");
+    }
+    let elapsed = estart.elapsed().as_secs_f64();
+    let stats = engine.shutdown();
+    assert_eq!(stats.searches as usize, nq * REPEATS);
+    assert_eq!(stats.errors, 0);
+    println!(
+        "engine ({SHARDS} workers): {:.0} QPS aggregate over {} requests, \
+         p50 {:.1} us, p99 {:.1} us, {:.0} candidates/query",
+        stats.searches as f64 / elapsed,
+        stats.searches,
+        stats.p50_latency_us,
+        stats.p99_latency_us,
+        stats.query.candidates as f64 / stats.searches as f64,
+    );
     println!("smoke OK");
 }

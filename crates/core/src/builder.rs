@@ -197,13 +197,14 @@ impl DbLshBuilder {
         p
     }
 
-    /// Build the index over `data` (`Dataset` or `Arc<Dataset>`).
-    ///
-    /// Fails — never panics — on an empty dataset, a non-positive or
-    /// non-finite knob, `k`/`l`/`t` of zero, or a dataset too large for
-    /// `u32` ids.
-    pub fn build(self, data: impl Into<Arc<Dataset>>) -> Result<DbLsh, DbLshError> {
-        let data: Arc<Dataset> = data.into();
+    /// Resolve the configuration against an actual dataset, *including*
+    /// a requested [`DbLshBuilder::auto_r_min`] estimate, without
+    /// building. This is what a sharded serving layer (`dblsh-serve`)
+    /// calls once over the full dataset before partitioning, so every
+    /// shard is built with the same fully resolved parameters (same
+    /// projection family, same ladder start) as an unsharded index
+    /// would be.
+    pub fn resolve_params_for(&self, data: &Dataset) -> Result<DbLshParams, DbLshError> {
         let mut params = self.resolve_params(data.len());
         params.validate()?;
         if data.is_empty() {
@@ -216,8 +217,19 @@ impl DbLshBuilder {
                     "auto estimation needs at least 1 probe",
                 ));
             }
-            params.r_min = DbLsh::estimate_r_min(&data, &params, sample);
+            params.r_min = DbLsh::estimate_r_min(data, &params, sample);
         }
+        Ok(params)
+    }
+
+    /// Build the index over `data` (`Dataset` or `Arc<Dataset>`).
+    ///
+    /// Fails — never panics — on an empty dataset, a non-positive or
+    /// non-finite knob, `k`/`l`/`t` of zero, or a dataset too large for
+    /// `u32` ids.
+    pub fn build(self, data: impl Into<Arc<Dataset>>) -> Result<DbLsh, DbLshError> {
+        let data: Arc<Dataset> = data.into();
+        let params = self.resolve_params_for(&data)?;
         DbLsh::build(data, &params)
     }
 }

@@ -69,7 +69,9 @@ pub use hasher::GaussianHasher;
 pub use index::DbLsh;
 pub use params::DbLshParams;
 pub use proj_store::ProjStore;
-pub use query::{MemoryBreakdown, SearchOptions};
+pub use query::{
+    CanonicalLadder, LadderPlan, LadderProber, MemoryBreakdown, ProberScratch, SearchOptions,
+};
 
 // The workspace error type originates in `dblsh_data` (the crate that
 // defines `AnnIndex`); re-exported here so `dblsh_core` users need not

@@ -106,22 +106,30 @@ pub struct SearchOptions {
 }
 
 /// A resolved per-query execution plan: the [`SearchOptions`] overrides
-/// validated against the index parameters.
+/// validated against the index parameters. Public so serving layers
+/// (the `dblsh-serve` sharded engine) can resolve one plan and apply it
+/// across every shard of a fan-out query.
 #[derive(Debug, Clone, Copy)]
-struct LadderPlan {
-    budget: usize,
-    r0: f64,
-    max_rounds: usize,
-    timing: bool,
+pub struct LadderPlan {
+    /// Candidate budget (`2tL + k` unless overridden).
+    pub budget: usize,
+    /// Radius-ladder start.
+    pub r0: f64,
+    /// Ladder round cap.
+    pub max_rounds: usize,
+    /// Whether verification-stage timing was requested.
+    pub timing: bool,
 }
 
 impl SearchOptions {
-    /// Validate the overrides against the index parameters.
-    fn resolved(&self, index: &DbLsh, k: usize) -> Result<LadderPlan, DbLshError> {
+    /// Validate the overrides against a parameter set, without needing a
+    /// built index — the serving layer resolves one plan per request and
+    /// applies it across every shard.
+    pub fn plan(&self, params: &crate::DbLshParams, k: usize) -> Result<LadderPlan, DbLshError> {
         let budget = match self.budget {
             Some(0) => return Err(DbLshError::invalid("budget", "must be at least 1")),
             Some(b) => b,
-            None => index.params.kann_budget(k),
+            None => params.kann_budget(k),
         };
         let r0 = match self.r_min {
             Some(r) if !(r > 0.0 && r.is_finite()) => {
@@ -131,12 +139,12 @@ impl SearchOptions {
                 ))
             }
             Some(r) => r,
-            None => index.params.r_min,
+            None => params.r_min,
         };
         let max_rounds = match self.max_rounds {
             Some(0) => return Err(DbLshError::invalid("max_rounds", "must be at least 1")),
             Some(m) => m,
-            None => index.params.max_rounds,
+            None => params.max_rounds,
         };
         Ok(LadderPlan {
             budget,
@@ -144,6 +152,11 @@ impl SearchOptions {
             max_rounds,
             timing: self.time_verification,
         })
+    }
+
+    /// Validate the overrides against the index parameters.
+    fn resolved(&self, index: &DbLsh, k: usize) -> Result<LadderPlan, DbLshError> {
+        self.plan(&index.params, k)
     }
 }
 
@@ -407,39 +420,12 @@ impl DbLsh {
         k: usize,
         opts: &SearchOptions,
     ) -> Result<Vec<SearchResult>, DbLshError> {
-        if queries.dim() != self.data.dim() {
-            return Err(DbLshError::DimensionMismatch {
-                expected: self.data.dim(),
-                got: queries.dim(),
-            });
-        }
-        if k == 0 {
-            return Err(DbLshError::invalid("k", "must be at least 1"));
-        }
         let plan = opts.resolved(self, k)?;
-        let nq = queries.len();
-        if nq == 0 {
-            return Ok(Vec::new());
-        }
-        let threads = std::thread::available_parallelism()
-            .map(|v| v.get())
-            .unwrap_or(1)
-            .min(nq);
-        let chunk = nq.div_ceil(threads);
-        let plan = &plan;
-        let mut results: Vec<SearchResult> = vec![SearchResult::default(); nq];
-        std::thread::scope(|scope| {
-            for (tid, out) in results.chunks_mut(chunk).enumerate() {
-                let start = tid * chunk;
-                scope.spawn(move || {
-                    for (offset, slot) in out.iter_mut().enumerate() {
-                        let q = queries.point(start + offset);
-                        *slot =
-                            with_scratch(self, q, |scratch| self.ladder_core(q, k, plan, scratch));
-                    }
-                });
-            }
-        });
+        let mut results = dblsh_data::parallel_search_batch(queries, self.data.dim(), k, |q| {
+            Ok(with_scratch(self, q, |scratch| {
+                self.ladder_core(q, k, &plan, scratch)
+            }))
+        })?;
         if opts.skip_stats {
             for r in &mut results {
                 r.stats = QueryStats::default();
@@ -581,6 +567,320 @@ impl DbLsh {
                 stats,
             }
         }))
+    }
+}
+
+/// Reusable buffers for a [`LadderProber`]: the visited bitset, the
+/// query-projection buffer and the candidate-block staging of the blocked
+/// verification stage. Owned by the caller (serving workers keep a pool
+/// of these in thread-locals — one per shard — and reuse them across
+/// requests, which is what keeps the fan-out path allocation-free after
+/// warm-up).
+#[derive(Debug)]
+pub struct ProberScratch {
+    visited: Visited,
+    qproj: Vec<f64>,
+    block: Vec<u32>,
+    dists: Vec<f32>,
+    keys: Vec<u64>,
+}
+
+impl ProberScratch {
+    /// Empty buffers (const-constructible for thread-local pools); they
+    /// size themselves on first use.
+    pub const fn new() -> Self {
+        ProberScratch {
+            visited: Visited::empty(),
+            qproj: Vec::new(),
+            block: Vec::new(),
+            dists: Vec::new(),
+            keys: Vec::new(),
+        }
+    }
+}
+
+impl Default for ProberScratch {
+    fn default() -> Self {
+        ProberScratch::new()
+    }
+}
+
+/// Per-query probing state over one [`DbLsh`] index: the building block
+/// of the *canonical round-exhaustive* query mode ([`CanonicalLadder`]).
+///
+/// A prober is created once per (query, index) pair and asked for one
+/// ladder round at a time via [`LadderProber::probe_round`]; its visited
+/// bitset persists across rounds, so every candidate is verified at most
+/// once per query. A sharded serving layer holds one prober per shard
+/// and merges their per-round key streams; because window membership,
+/// per-row distances and the canonical `(distance, id)` key order are all
+/// independent of which shard a point lives in, the merged stream is
+/// byte-identical to a single prober over the union of the shards.
+pub struct LadderProber<'a> {
+    index: &'a DbLsh,
+    q: &'a [f32],
+    scratch: &'a mut ProberScratch,
+}
+
+impl<'a> LadderProber<'a> {
+    /// Number of live points in the probed index.
+    pub fn live(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Probe one ladder round at radius `r`: scan the window
+    /// `W(G_i(q), w0 r)` in all `L` trees, verify every *fresh* (not yet
+    /// visited) candidate with the blocked distance kernel, and append
+    /// the canonical consumption keys — `(squared-distance bits << 32) |
+    /// to_global(external id)` — to `out`, sorted ascending among
+    /// themselves.
+    ///
+    /// `to_global` maps this index's external ids into the caller's id
+    /// space (identity for an unsharded index; the shard's global-id
+    /// table in `dblsh-serve`). Window hits are counted into
+    /// `stats.index_probes` here; `candidates` and `rounds` are counted
+    /// by the consumer ([`CanonicalLadder`]), which alone decides how far
+    /// into the round the query actually reads. When `timing` is set the
+    /// verification stage is timed into `stats.verify_nanos`.
+    pub fn probe_round(
+        &mut self,
+        r: f64,
+        timing: bool,
+        stats: &mut QueryStats,
+        to_global: impl Fn(u32) -> u32,
+        out: &mut Vec<u64>,
+    ) {
+        let kdim = self.index.params.k;
+        self.scratch.block.clear();
+        for (i, tree) in self.index.trees.iter().enumerate() {
+            let view = self.index.store.view(i);
+            let qp = &self.scratch.qproj[i * kdim..(i + 1) * kdim];
+            let window = Rect::centered_cube(qp, self.index.params.w0 * r);
+            let mut cursor = tree.window(&view, &window);
+            while let Some(batch) = cursor.next_batch() {
+                stats.index_probes += batch.len();
+                for &id in batch {
+                    if self.scratch.visited.insert(id) {
+                        self.scratch.block.push(id);
+                    }
+                }
+            }
+        }
+        if self.scratch.block.is_empty() {
+            return;
+        }
+        let started = if timing { Some(Instant::now()) } else { None };
+        let verify = self.index.verify_data();
+        canonical_verify_keys(
+            self.q,
+            verify.flat(),
+            verify.dim(),
+            &mut self.scratch.block,
+            &mut self.scratch.dists,
+            &mut self.scratch.keys,
+            |internal| to_global(self.index.to_ext(internal)),
+        );
+        if let Some(t) = started {
+            stats.verify_nanos += t.elapsed().as_nanos() as u64;
+        }
+        out.extend_from_slice(&self.scratch.keys);
+    }
+}
+
+/// The deterministic coordinator of the canonical round-exhaustive
+/// (c,k)-ANN ladder — the serving engine's query semantics.
+///
+/// Unlike [`DbLsh::k_ann`], which stops mid-round at whatever point of
+/// its internal tree-enumeration order the budget or `c·r` condition
+/// fires, the canonical ladder collects *every* in-window candidate of a
+/// round (from one prober, or merged from one prober per shard), sorts
+/// them into canonical `(distance, external id)` order, and only then
+/// applies the per-candidate budget and termination checks of
+/// Algorithm 1. The answer therefore depends only on the candidate
+/// *sets* per round — never on tree layout, shard assignment or
+/// enumeration order — which is what makes a sharded index answer
+/// byte-identically to an unsharded one.
+///
+/// Drive it as: `while let Some(r) = ladder.begin_round(&mut stats) {
+/// probe all sources at r; sort the merged keys; ladder.consume(..) }`,
+/// then [`CanonicalLadder::into_result`].
+#[derive(Debug)]
+pub struct CanonicalLadder {
+    top: Vec<Neighbor>,
+    k: usize,
+    c: f64,
+    r: f64,
+    cr: f64,
+    budget: usize,
+    max_rounds: usize,
+    rounds_begun: usize,
+    live: usize,
+    verified: usize,
+    done: bool,
+}
+
+impl CanonicalLadder {
+    /// A ladder for one query: `plan` from [`SearchOptions::plan`], `c`
+    /// from the (shared) index parameters, `live` the total number of
+    /// live points across every probed source.
+    pub fn new(plan: &LadderPlan, c: f64, k: usize, live: usize) -> Self {
+        CanonicalLadder {
+            top: Vec::with_capacity(k + 1),
+            k,
+            c,
+            r: plan.r0,
+            cr: 0.0,
+            budget: plan.budget,
+            max_rounds: plan.max_rounds,
+            rounds_begun: 0,
+            live,
+            verified: 0,
+            done: false,
+        }
+    }
+
+    /// Start the next round. Returns the radius to probe, or `None` when
+    /// the ladder has terminated (answer already within `c·r`, budget
+    /// spent, every live point verified, or round cap reached). Must be
+    /// followed by exactly one [`CanonicalLadder::consume`] of the
+    /// round's merged keys when it returns `Some`.
+    pub fn begin_round(&mut self, stats: &mut QueryStats) -> Option<f64> {
+        if self.done || self.rounds_begun == self.max_rounds {
+            return None;
+        }
+        self.rounds_begun += 1;
+        stats.rounds += 1;
+        self.cr = self.c * self.r;
+        // Previously verified points may already satisfy the current
+        // radius (found "too early" in a smaller round).
+        if self.top.len() == self.k && self.top[self.k - 1].dist as f64 <= self.cr {
+            self.done = true;
+            return None;
+        }
+        Some(self.r)
+    }
+
+    /// Consume one round's candidates — the concatenation of every
+    /// prober's [`LadderProber::probe_round`] output, sorted ascending
+    /// (already sorted for a single prober) — applying the budget and
+    /// `c·r` termination checks per candidate in canonical order.
+    pub fn consume(&mut self, sorted_keys: &[u64], stats: &mut QueryStats) {
+        debug_assert!(sorted_keys.windows(2).all(|w| w[0] <= w[1]));
+        for &key in sorted_keys {
+            self.verified += 1;
+            stats.candidates += 1;
+            let (id, d) = key_parts(key);
+            push_candidate_unchecked(&mut self.top, Neighbor { id, dist: d as f32 }, self.k);
+            if self.verified >= self.budget
+                || (self.top.len() == self.k && self.top[self.k - 1].dist as f64 <= self.cr)
+            {
+                self.done = true;
+                return;
+            }
+        }
+        if self.verified >= self.live {
+            self.done = true; // every live point verified; nothing left
+            return;
+        }
+        self.r *= self.c;
+    }
+
+    /// The current top-k (ascending distance), e.g. for inspection
+    /// between rounds.
+    pub fn neighbors(&self) -> &[Neighbor] {
+        &self.top
+    }
+
+    /// Finish the query.
+    pub fn into_result(self, stats: QueryStats) -> SearchResult {
+        SearchResult {
+            neighbors: self.top,
+            stats,
+        }
+    }
+}
+
+impl DbLsh {
+    /// Create a [`LadderProber`] for `q` over this index, using (and
+    /// resetting) the caller's `scratch` buffers. Fails on a malformed
+    /// query vector.
+    pub fn ladder_prober<'a>(
+        &'a self,
+        q: &'a [f32],
+        scratch: &'a mut ProberScratch,
+    ) -> Result<LadderProber<'a>, DbLshError> {
+        check_query(self.data.dim(), q, 1)?;
+        scratch.visited.reset(self.data.len());
+        let (l, k) = (self.params.l, self.params.k);
+        scratch.qproj.resize(l * k, 0.0);
+        for i in 0..l {
+            self.hasher
+                .project_into(i, q, &mut scratch.qproj[i * k..(i + 1) * k]);
+        }
+        Ok(LadderProber {
+            index: self,
+            q,
+            scratch,
+        })
+    }
+
+    /// (c,k)-ANN in the *canonical round-exhaustive* mode — the serving
+    /// engine's query semantics (see [`CanonicalLadder`]).
+    ///
+    /// Each ladder round verifies **every** in-window candidate and
+    /// consumes them in canonical `(distance, external id)` order, so the
+    /// answer (and its work counters) depends only on the per-round
+    /// candidate sets — a `dblsh_serve`-sharded index over the same data
+    /// and parameters answers byte-identically for any shard count.
+    /// Compared to [`DbLsh::k_ann`] this may verify up to one round of
+    /// candidates beyond the budget/termination point (the classic mode
+    /// stops at leaf-batch granularity instead); recall is never lower.
+    pub fn search_canonical(
+        &self,
+        q: &[f32],
+        k: usize,
+        opts: &SearchOptions,
+    ) -> Result<SearchResult, DbLshError> {
+        thread_local! {
+            // Reused across queries on the same thread, like the classic
+            // path's SCRATCH — the canonical and classic modes must not
+            // differ by allocation overhead.
+            static CANONICAL_SCRATCH: RefCell<ProberScratch> =
+                const { RefCell::new(ProberScratch::new()) };
+        }
+        check_query(self.data.dim(), q, k)?;
+        let plan = opts.resolved(self, k)?;
+        let mut res = CANONICAL_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+            Ok(mut scratch) => self.canonical_core(q, k, &plan, &mut scratch),
+            // Re-entrancy (a Drop impl querying mid-query) falls back to
+            // fresh buffers rather than panicking.
+            Err(_) => self.canonical_core(q, k, &plan, &mut ProberScratch::new()),
+        })?;
+        if opts.skip_stats {
+            res.stats = QueryStats::default();
+        }
+        Ok(res)
+    }
+
+    fn canonical_core(
+        &self,
+        q: &[f32],
+        k: usize,
+        plan: &LadderPlan,
+        scratch: &mut ProberScratch,
+    ) -> Result<SearchResult, DbLshError> {
+        let mut prober = self.ladder_prober(q, scratch)?;
+        let mut ladder = CanonicalLadder::new(plan, self.params.c, k, self.len());
+        let mut stats = QueryStats::default();
+        let mut keys: Vec<u64> = Vec::new();
+        while let Some(r) = ladder.begin_round(&mut stats) {
+            keys.clear();
+            // A single prober's round output is already canonically
+            // sorted — no merge needed.
+            prober.probe_round(r, plan.timing, &mut stats, |ext| ext, &mut keys);
+            ladder.consume(&keys, &mut stats);
+        }
+        Ok(ladder.into_result(stats))
     }
 }
 
@@ -935,6 +1235,127 @@ mod tests {
         // so incremental browsing always verifies it first
         assert_eq!(res.neighbors[0].id, 5);
         assert_eq!(res.neighbors[0].dist, 0.0);
+    }
+
+    #[test]
+    fn canonical_mode_contracts() {
+        let mut data = clustered(3000, 16, 8);
+        let queries = split_queries(&mut data, 15, 12);
+        let data = Arc::new(data);
+        let idx = build(&data);
+        let mut recalls = Vec::new();
+        for qi in 0..queries.len() {
+            let q = queries.point(qi);
+            let truth = exact_knn_single(&data, q, 10);
+            let res = idx
+                .search_canonical(q, 10, &SearchOptions::default())
+                .unwrap();
+            // deterministic: same call, same bytes
+            let again = idx
+                .search_canonical(q, 10, &SearchOptions::default())
+                .unwrap();
+            assert_eq!(res.neighbors, again.neighbors);
+            assert_eq!(res.stats, again.stats);
+            assert!(res.neighbors.windows(2).all(|w| w[0].dist <= w[1].dist));
+            recalls.push(metrics::recall(&res.neighbors, &truth));
+            // canonical consumption is a canonical-order prefix of the
+            // same candidate pool the classic ladder draws from, so it
+            // can only improve on the classic answer's k-th distance
+            let classic = idx.k_ann(q, 10).unwrap();
+            if res.neighbors.len() == 10 && classic.neighbors.len() == 10 {
+                assert!(res.neighbors[9].dist <= classic.neighbors[9].dist + 1e-6);
+            }
+        }
+        assert!(metrics::mean(&recalls) > 0.8);
+    }
+
+    #[test]
+    fn canonical_mode_respects_overrides() {
+        let data = Arc::new(clustered(2000, 16, 31));
+        let idx = build(&data);
+        let q = data.point(3);
+        let tight = idx
+            .search_canonical(
+                q,
+                5,
+                &SearchOptions {
+                    budget: Some(1),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(tight.stats.candidates, 1);
+        let one_round = idx
+            .search_canonical(
+                q,
+                5,
+                &SearchOptions {
+                    max_rounds: Some(1),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(one_round.stats.rounds, 1);
+        let quiet = idx
+            .search_canonical(
+                q,
+                5,
+                &SearchOptions {
+                    skip_stats: true,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(quiet.stats, QueryStats::default());
+        assert!(!quiet.neighbors.is_empty());
+        assert!(matches!(
+            idx.search_canonical(&[1.0; 3], 5, &SearchOptions::default()),
+            Err(DbLshError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn canonical_mode_is_relabel_invariant() {
+        // the serving semantics must not depend on the internal layout
+        let data = Arc::new(clustered(1500, 12, 44));
+        let params = DbLshParams::paper_defaults(data.len())
+            .with_kl(6, 3)
+            .with_r_min(0.5);
+        let relabeled = DbLsh::build(Arc::clone(&data), &params).unwrap();
+        let identity =
+            DbLsh::build(Arc::clone(&data), &params.clone().with_relabel(false)).unwrap();
+        for qi in [0usize, 7, 500, 1499] {
+            let q = data.point(qi);
+            let a = relabeled
+                .search_canonical(q, 8, &SearchOptions::default())
+                .unwrap();
+            let b = identity
+                .search_canonical(q, 8, &SearchOptions::default())
+                .unwrap();
+            assert_eq!(a.neighbors, b.neighbors);
+            assert_eq!(a.stats, b.stats);
+        }
+    }
+
+    #[test]
+    fn prober_reuse_across_queries_is_clean() {
+        // one scratch, many queries: the visited bitset must reset fully
+        let data = Arc::new(clustered(800, 12, 9));
+        let idx = build(&data);
+        let mut scratch = ProberScratch::default();
+        for qi in [3usize, 3, 50, 3] {
+            let q = data.point(qi).to_vec();
+            let mut stats = QueryStats::default();
+            let mut keys = Vec::new();
+            let mut prober = idx.ladder_prober(&q, &mut scratch).unwrap();
+            prober.probe_round(5.0, false, &mut stats, |e| e, &mut keys);
+            // the query point itself is always in its own window
+            assert!(
+                keys.iter().any(|&key| key_parts(key).0 == qi as u32),
+                "query point missing from its own window probe"
+            );
+            assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+        }
     }
 
     #[test]

@@ -38,6 +38,29 @@ pub struct QueryStats {
     pub verify_nanos: u64,
 }
 
+impl QueryStats {
+    /// Accumulate another query's counters into this one — the single
+    /// aggregation point for every batch and serving path (per-batch
+    /// totals, engine-level counters), so field-by-field hand-summing
+    /// never drifts out of sync when a counter is added.
+    pub fn merge(&mut self, other: &QueryStats) {
+        self.candidates += other.candidates;
+        self.rounds += other.rounds;
+        self.index_probes += other.index_probes;
+        self.verify_nanos += other.verify_nanos;
+    }
+
+    /// Fold an iterator of stats into one aggregate via
+    /// [`QueryStats::merge`].
+    pub fn merged<'a>(stats: impl IntoIterator<Item = &'a QueryStats>) -> QueryStats {
+        let mut total = QueryStats::default();
+        for s in stats {
+            total.merge(s);
+        }
+        total
+    }
+}
+
 /// Result of one (c,k)-ANN query.
 #[derive(Debug, Clone, Default)]
 pub struct SearchResult {
@@ -86,9 +109,70 @@ pub trait AnnIndex: Sync {
             .collect()
     }
 
+    /// [`AnnIndex::search_batch`] plus a per-batch aggregate of every
+    /// query's work counters (via [`QueryStats::merge`]) — what batch
+    /// drivers and serving engines report, without hand-summing fields.
+    fn search_batch_aggregate(
+        &self,
+        queries: &Dataset,
+        k: usize,
+    ) -> Result<(Vec<SearchResult>, QueryStats), DbLshError> {
+        let results = self.search_batch(queries, k)?;
+        let total = QueryStats::merged(results.iter().map(|r| &r.stats));
+        Ok((results, total))
+    }
+
     /// Bytes of index structure, excluding the dataset itself (the paper
     /// compares index sizes as `n x #hash_functions`).
     fn index_size_bytes(&self) -> usize;
+}
+
+/// The shared parallel-batch driver: validate the batch (`queries` must
+/// match `dim`, `k >= 1`), then fan the rows across all available cores,
+/// calling `search` once per row. Results are in query order; the first
+/// row-level error wins. Both the core `DbLsh` and the sharded serving
+/// index drive their `search_batch_with` through this, so the chunking
+/// and validation logic exists exactly once.
+pub fn parallel_search_batch<F>(
+    queries: &Dataset,
+    dim: usize,
+    k: usize,
+    search: F,
+) -> Result<Vec<SearchResult>, DbLshError>
+where
+    F: Fn(&[f32]) -> Result<SearchResult, DbLshError> + Sync,
+{
+    if queries.dim() != dim {
+        return Err(DbLshError::DimensionMismatch {
+            expected: dim,
+            got: queries.dim(),
+        });
+    }
+    if k == 0 {
+        return Err(DbLshError::invalid("k", "must be at least 1"));
+    }
+    let nq = queries.len();
+    if nq == 0 {
+        return Ok(Vec::new());
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1)
+        .min(nq);
+    let chunk = nq.div_ceil(threads);
+    let mut results: Vec<Result<SearchResult, DbLshError>> = vec![Ok(SearchResult::default()); nq];
+    let search = &search;
+    std::thread::scope(|scope| {
+        for (tid, out) in results.chunks_mut(chunk).enumerate() {
+            let start = tid * chunk;
+            scope.spawn(move || {
+                for (offset, slot) in out.iter_mut().enumerate() {
+                    *slot = search(queries.point(start + offset));
+                }
+            });
+        }
+    });
+    results.into_iter().collect()
 }
 
 /// Per-query visited-id bitset over dataset rows — the deduplication
@@ -231,6 +315,38 @@ mod tests {
             push_candidate_unchecked(&mut unchecked, Neighbor { id, dist: d }, 3);
         }
         assert_eq!(checked, unchecked);
+    }
+
+    #[test]
+    fn query_stats_merge_sums_every_field() {
+        let a = QueryStats {
+            candidates: 3,
+            rounds: 2,
+            index_probes: 10,
+            verify_nanos: 100,
+        };
+        let b = QueryStats {
+            candidates: 5,
+            rounds: 1,
+            index_probes: 7,
+            verify_nanos: 11,
+        };
+        let mut m = a;
+        m.merge(&b);
+        assert_eq!(
+            m,
+            QueryStats {
+                candidates: 8,
+                rounds: 3,
+                index_probes: 17,
+                verify_nanos: 111,
+            }
+        );
+        assert_eq!(QueryStats::merged([&a, &b]), m);
+        assert_eq!(
+            QueryStats::merged(std::iter::empty::<&QueryStats>()),
+            QueryStats::default()
+        );
     }
 
     #[test]

@@ -9,19 +9,35 @@ use std::path::Path;
 
 use crate::dataset::Dataset;
 
+/// Read the next `i32` dimension header, distinguishing a clean end of
+/// stream (`Ok(None)`) from a header truncated mid-way (`InvalidData`).
+fn read_dim_header<R: Read>(r: &mut R) -> io::Result<Option<i32>> {
+    let mut header = [0u8; 4];
+    match r.read_exact(&mut header[..1]) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    match r.read_exact(&mut header[1..]) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "stream ends inside a vector dimension header",
+            ));
+        }
+        Err(e) => return Err(e),
+    }
+    Ok(Some(i32::from_le_bytes(header)))
+}
+
 /// Read an entire fvecs stream into a [`Dataset`].
 pub fn read_fvecs<R: Read>(reader: R) -> io::Result<Dataset> {
     let mut r = BufReader::new(reader);
     let mut dim: Option<usize> = None;
     let mut data: Vec<f32> = Vec::new();
-    let mut header = [0u8; 4];
-    loop {
-        match r.read_exact(&mut header) {
-            Ok(()) => {}
-            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
-            Err(e) => return Err(e),
-        }
-        let d = i32::from_le_bytes(header);
+    let mut buf: Vec<u8> = Vec::new(); // one payload buffer for the whole stream
+    while let Some(d) = read_dim_header(&mut r)? {
         if d <= 0 {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -39,7 +55,7 @@ pub fn read_fvecs<R: Read>(reader: R) -> io::Result<Dataset> {
             }
             _ => {}
         }
-        let mut buf = vec![0u8; d * 4];
+        buf.resize(d * 4, 0);
         r.read_exact(&mut buf)?;
         data.extend(
             buf.chunks_exact(4)
@@ -73,21 +89,15 @@ pub fn write_fvecs<W: Write>(writer: W, data: &Dataset) -> io::Result<()> {
 pub fn read_ivecs<R: Read>(reader: R) -> io::Result<Vec<Vec<i32>>> {
     let mut r = BufReader::new(reader);
     let mut out = Vec::new();
-    let mut header = [0u8; 4];
-    loop {
-        match r.read_exact(&mut header) {
-            Ok(()) => {}
-            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
-            Err(e) => return Err(e),
-        }
-        let d = i32::from_le_bytes(header);
+    let mut buf: Vec<u8> = Vec::new(); // one payload buffer for the whole stream
+    while let Some(d) = read_dim_header(&mut r)? {
         if d < 0 {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("negative vector dimension {d}"),
             ));
         }
-        let mut buf = vec![0u8; d as usize * 4];
+        buf.resize(d as usize * 4, 0);
         r.read_exact(&mut buf)?;
         out.push(
             buf.chunks_exact(4)
@@ -110,9 +120,73 @@ pub fn write_ivecs<W: Write>(writer: W, rows: &[Vec<i32>]) -> io::Result<()> {
     w.flush()
 }
 
+/// Read a bvecs stream (`u8` payload — SIFT100M's native format) into a
+/// [`Dataset`], widening each byte to `f32`.
+///
+/// Layout per vector: a little-endian `i32` dimension header followed by
+/// `dim` raw `u8` values. Byte datasets are consumed as floats by every
+/// algorithm in this workspace, so the reader widens on ingest; use
+/// [`write_bvecs`] to go back (it validates that every coordinate is an
+/// integer in `0..=255`).
+pub fn read_bvecs<R: Read>(reader: R) -> io::Result<Dataset> {
+    let mut r = BufReader::new(reader);
+    let mut dim: Option<usize> = None;
+    let mut data: Vec<f32> = Vec::new();
+    let mut buf: Vec<u8> = Vec::new(); // one payload buffer for the whole stream
+    while let Some(d) = read_dim_header(&mut r)? {
+        if d <= 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("non-positive vector dimension {d}"),
+            ));
+        }
+        let d = d as usize;
+        match dim {
+            None => dim = Some(d),
+            Some(existing) if existing != d => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("inconsistent dimensions: {existing} then {d}"),
+                ));
+            }
+            _ => {}
+        }
+        buf.resize(d, 0);
+        r.read_exact(&mut buf)?;
+        data.extend(buf.iter().map(|&b| b as f32));
+    }
+    Ok(Dataset::from_flat(dim.unwrap_or(1), data))
+}
+
+/// Write a [`Dataset`] as bvecs (`u8` payload). Fails with
+/// [`io::ErrorKind::InvalidData`] if any coordinate is not an integer in
+/// `0..=255` — bvecs cannot represent it.
+pub fn write_bvecs<W: Write>(writer: W, data: &Dataset) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    let dim = data.dim() as i32;
+    for i in 0..data.len() {
+        w.write_all(&dim.to_le_bytes())?;
+        for &v in data.point(i) {
+            if !(0.0..=255.0).contains(&v) || v.fract() != 0.0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("coordinate {v} is not representable as u8"),
+                ));
+            }
+            w.write_all(&[v as u8])?;
+        }
+    }
+    w.flush()
+}
+
 /// Convenience: load an fvecs file from disk.
 pub fn load_fvecs_file<P: AsRef<Path>>(path: P) -> io::Result<Dataset> {
     read_fvecs(std::fs::File::open(path)?)
+}
+
+/// Convenience: load a bvecs file from disk.
+pub fn load_bvecs_file<P: AsRef<Path>>(path: P) -> io::Result<Dataset> {
+    read_bvecs(std::fs::File::open(path)?)
 }
 
 #[cfg(test)]
@@ -167,5 +241,53 @@ mod tests {
     fn negative_dim_rejected() {
         let buf = (-3i32).to_le_bytes();
         assert!(read_fvecs(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn bvecs_roundtrip() {
+        let d = Dataset::from_rows(&[vec![0.0, 128.0, 255.0], vec![1.0, 2.0, 3.0]]);
+        let mut buf = Vec::new();
+        write_bvecs(&mut buf, &d).unwrap();
+        assert_eq!(buf.len(), 2 * (4 + 3)); // i32 header + dim bytes per row
+        let back = read_bvecs(&buf[..]).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn bvecs_empty_stream_is_empty_dataset() {
+        let d = read_bvecs(&[][..]).unwrap();
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn bvecs_malformed_headers_rejected() {
+        // negative dimension
+        assert!(read_bvecs(&(-2i32).to_le_bytes()[..]).is_err());
+        // zero dimension
+        assert!(read_bvecs(&0i32.to_le_bytes()[..]).is_err());
+        // truncated header (2 of 4 bytes)
+        assert!(read_bvecs(&[3u8, 0][..]).is_err());
+        // truncated payload: dim 4, only 2 bytes
+        let mut buf = Vec::new();
+        buf.extend(4i32.to_le_bytes());
+        buf.extend([7u8, 9]);
+        assert!(read_bvecs(&buf[..]).is_err());
+        // inconsistent dims across vectors
+        let mut buf = Vec::new();
+        buf.extend(2i32.to_le_bytes());
+        buf.extend([1u8, 2]);
+        buf.extend(3i32.to_le_bytes());
+        buf.extend([3u8, 4, 5]);
+        assert!(read_bvecs(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn bvecs_rejects_unrepresentable_coordinates() {
+        for bad in [vec![vec![-1.0f32]], vec![vec![256.0]], vec![vec![0.5]]] {
+            let d = Dataset::from_rows(&bad);
+            let mut buf = Vec::new();
+            let err = write_bvecs(&mut buf, &d).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        }
     }
 }

@@ -35,7 +35,8 @@ pub mod registry;
 pub mod synthetic;
 
 pub use ann::{
-    push_candidate, push_candidate_unchecked, AnnIndex, Neighbor, QueryStats, SearchResult, Visited,
+    parallel_search_batch, push_candidate, push_candidate_unchecked, AnnIndex, Neighbor,
+    QueryStats, SearchResult, Visited,
 };
 pub use dataset::Dataset;
 pub use error::{check_query, DbLshError};

@@ -1,0 +1,664 @@
+//! The serving front door: a long-lived worker pool draining a bounded
+//! submission queue of search/insert/remove requests against a shared
+//! [`ShardedDbLsh`], with per-request [`QueryStats`] aggregation into
+//! engine-level counters (QPS, log₂-bucket latency quantiles, candidates
+//! verified).
+//!
+//! Submissions are non-blocking until the queue is full, then apply
+//! backpressure (the submitting thread waits for a slot); each request
+//! returns a [`Ticket`] resolved by whichever worker executes it.
+//! Workers are plain OS threads that live as long as the engine; the
+//! per-thread prober scratch pools of the sharded query path warm up
+//! once per worker and are reused across every request the worker
+//! serves. Dropping (or [`Engine::shutdown`]-ing) the engine closes the
+//! queue, drains the remaining requests, and joins the workers.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use dblsh_core::SearchOptions;
+use dblsh_data::{DbLshError, QueryStats, SearchResult};
+
+use crate::shard::ShardedDbLsh;
+
+/// Engine sizing knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads serving the queue. Defaults to the number of
+    /// available cores.
+    pub workers: usize,
+    /// Submission-queue capacity; a full queue blocks submitters
+    /// (backpressure, never unbounded memory). Defaults to 1024.
+    pub queue_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: std::thread::available_parallelism()
+                .map(|v| v.get())
+                .unwrap_or(1),
+            queue_capacity: 1024,
+        }
+    }
+}
+
+/// One-shot result slot: the submitter holds the [`Ticket`], the worker
+/// resolves it. Std-only (mutex + condvar), no channel allocation churn
+/// beyond the one `Arc`.
+#[derive(Debug)]
+struct Slot<T> {
+    value: Mutex<Option<T>>,
+    ready: Condvar,
+}
+
+/// The submitter's handle to an in-flight request. Every request
+/// resolves to a `Result`: the operation's own outcome, or a
+/// [`DbLshError`] when the engine could not serve it (shut down before
+/// acceptance, or a worker died mid-request) — a `Ticket` can never
+/// block forever.
+#[derive(Debug)]
+pub struct Ticket<T> {
+    slot: Arc<Slot<Result<T, DbLshError>>>,
+}
+
+impl<T> Ticket<T> {
+    /// Block until the request completes and take its result.
+    pub fn wait(self) -> Result<T, DbLshError> {
+        let mut value = self.slot.value.lock().expect("ticket mutex poisoned");
+        loop {
+            if let Some(v) = value.take() {
+                return v;
+            }
+            value = self.slot.ready.wait(value).expect("ticket mutex poisoned");
+        }
+    }
+
+    /// Take the result if the request has already completed.
+    pub fn try_take(&self) -> Option<Result<T, DbLshError>> {
+        self.slot
+            .value
+            .lock()
+            .expect("ticket mutex poisoned")
+            .take()
+    }
+}
+
+/// The worker's side of a [`Ticket`]. If it is dropped without
+/// [`Reply::send`] — a worker panicking mid-request, or the queue being
+/// torn down with the job still queued — the ticket resolves to an
+/// engine error instead of leaving the submitter blocked forever.
+#[derive(Debug)]
+struct Reply<T> {
+    slot: Option<Arc<Slot<Result<T, DbLshError>>>>,
+}
+
+impl<T> Reply<T> {
+    fn send(mut self, value: Result<T, DbLshError>) {
+        if let Some(slot) = self.slot.take() {
+            *slot.value.lock().expect("ticket mutex poisoned") = Some(value);
+            slot.ready.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Reply<T> {
+    fn drop(&mut self) {
+        if let Some(slot) = self.slot.take() {
+            let mut value = match slot.value.lock() {
+                Ok(v) => v,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            *value = Some(Err(DbLshError::invalid(
+                "engine",
+                "request abandoned (engine shut down or worker died)",
+            )));
+            drop(value);
+            slot.ready.notify_all();
+        }
+    }
+}
+
+fn oneshot<T>() -> (Reply<T>, Ticket<T>) {
+    let slot = Arc::new(Slot {
+        value: Mutex::new(None),
+        ready: Condvar::new(),
+    });
+    (
+        Reply {
+            slot: Some(Arc::clone(&slot)),
+        },
+        Ticket { slot },
+    )
+}
+
+/// A queued request. Search requests carry their submission instant so
+/// reported latency includes queue wait — the number a saturation
+/// harness actually cares about.
+enum Job {
+    Search {
+        query: Vec<f32>,
+        k: usize,
+        opts: SearchOptions,
+        enqueued: Instant,
+        reply: Reply<SearchResult>,
+    },
+    Insert {
+        point: Vec<f32>,
+        reply: Reply<u32>,
+    },
+    Remove {
+        id: u32,
+        reply: Reply<bool>,
+    },
+}
+
+/// Bounded MPMC job queue: mutex + two condvars, closes on shutdown.
+struct Queue {
+    inner: Mutex<QueueInner>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+struct QueueInner {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+impl Queue {
+    fn new(capacity: usize) -> Queue {
+        Queue {
+            inner: Mutex::new(QueueInner {
+                jobs: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueue, blocking while full. Returns the job back if the queue
+    /// has been closed.
+    fn push(&self, job: Job) -> Result<(), Job> {
+        let mut inner = self.inner.lock().expect("queue mutex poisoned");
+        while inner.jobs.len() >= self.capacity && !inner.closed {
+            inner = self.not_full.wait(inner).expect("queue mutex poisoned");
+        }
+        if inner.closed {
+            return Err(job);
+        }
+        inner.jobs.push_back(job);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue, blocking while empty. `None` once the queue is closed
+    /// *and* drained — workers finish every accepted request.
+    fn pop(&self) -> Option<Job> {
+        let mut inner = self.inner.lock().expect("queue mutex poisoned");
+        loop {
+            if let Some(job) = inner.jobs.pop_front() {
+                drop(inner);
+                self.not_full.notify_one();
+                return Some(job);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("queue mutex poisoned");
+        }
+    }
+
+    fn close(&self) {
+        self.inner.lock().expect("queue mutex poisoned").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+/// Engine-level counters, updated lock-free by the workers. Latencies go
+/// into log₂(nanoseconds) buckets, so quantiles are exact to within a
+/// factor of two — the right fidelity for a saturation harness that
+/// wants cheap, contention-free recording.
+#[derive(Debug)]
+struct Metrics {
+    started: Instant,
+    searches: AtomicU64,
+    inserts: AtomicU64,
+    removes: AtomicU64,
+    errors: AtomicU64,
+    candidates: AtomicU64,
+    rounds: AtomicU64,
+    index_probes: AtomicU64,
+    verify_nanos: AtomicU64,
+    latency_nanos_total: AtomicU64,
+    latency_buckets: [AtomicU64; 64],
+}
+
+impl Metrics {
+    fn new() -> Metrics {
+        Metrics {
+            started: Instant::now(),
+            searches: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            removes: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            candidates: AtomicU64::new(0),
+            rounds: AtomicU64::new(0),
+            index_probes: AtomicU64::new(0),
+            verify_nanos: AtomicU64::new(0),
+            latency_nanos_total: AtomicU64::new(0),
+            latency_buckets: [const { AtomicU64::new(0) }; 64],
+        }
+    }
+
+    fn record_search(&self, latency_nanos: u64, stats: &QueryStats) {
+        self.searches.fetch_add(1, Ordering::Relaxed);
+        self.candidates
+            .fetch_add(stats.candidates as u64, Ordering::Relaxed);
+        self.rounds
+            .fetch_add(stats.rounds as u64, Ordering::Relaxed);
+        self.index_probes
+            .fetch_add(stats.index_probes as u64, Ordering::Relaxed);
+        self.verify_nanos
+            .fetch_add(stats.verify_nanos, Ordering::Relaxed);
+        self.latency_nanos_total
+            .fetch_add(latency_nanos, Ordering::Relaxed);
+        let bucket = 63 - latency_nanos.max(1).leading_zeros() as usize;
+        self.latency_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The latency below which `q` of the recorded requests fall,
+    /// resolved to the upper edge of its log₂ bucket, in microseconds.
+    fn quantile_us(&self, counts: &[u64; 64], total: u64, q: f64) -> f64 {
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((total as f64 * q).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (b, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return (1u64 << (b + 1).min(63)) as f64 / 1e3;
+            }
+        }
+        0.0
+    }
+}
+
+/// A point-in-time snapshot of the engine counters — what the `saturate`
+/// harness prints per sweep.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EngineStats {
+    /// Completed search requests.
+    pub searches: u64,
+    /// Completed insert requests.
+    pub inserts: u64,
+    /// Completed remove requests.
+    pub removes: u64,
+    /// Requests that resolved to an error.
+    pub errors: u64,
+    /// Aggregate per-query work counters across all completed searches
+    /// (accumulated via [`QueryStats::merge`]).
+    pub query: QueryStats,
+    /// Seconds since the engine started.
+    pub elapsed_secs: f64,
+    /// Completed searches per second of engine lifetime.
+    pub qps: f64,
+    /// Mean search latency (submission to completion), microseconds.
+    pub mean_latency_us: f64,
+    /// Median search latency, microseconds (log₂-bucket resolution).
+    pub p50_latency_us: f64,
+    /// 99th-percentile search latency, microseconds (log₂-bucket
+    /// resolution).
+    pub p99_latency_us: f64,
+}
+
+impl EngineStats {
+    /// Fold another snapshot into this one — totals across the
+    /// *sequentially run* engines of a saturation sweep. Counters and
+    /// elapsed time add (`query` through [`QueryStats::merge`]), so the
+    /// recomputed `qps` is overall searches per second of combined
+    /// engine lifetime; quantiles of merged streams are not recoverable
+    /// exactly, so p50/p99 take the conservative maximum.
+    pub fn merge(&mut self, other: &EngineStats) {
+        let lat_total = self.mean_latency_us * self.searches as f64
+            + other.mean_latency_us * other.searches as f64;
+        self.searches += other.searches;
+        self.inserts += other.inserts;
+        self.removes += other.removes;
+        self.errors += other.errors;
+        self.query.merge(&other.query);
+        self.elapsed_secs += other.elapsed_secs;
+        self.qps = if self.elapsed_secs > 0.0 {
+            self.searches as f64 / self.elapsed_secs
+        } else {
+            0.0
+        };
+        self.mean_latency_us = if self.searches > 0 {
+            lat_total / self.searches as f64
+        } else {
+            0.0
+        };
+        self.p50_latency_us = self.p50_latency_us.max(other.p50_latency_us);
+        self.p99_latency_us = self.p99_latency_us.max(other.p99_latency_us);
+    }
+}
+
+/// The serving engine: a worker pool over a shared [`ShardedDbLsh`].
+/// See the module docs for the lifecycle and the latency/counter
+/// semantics.
+pub struct Engine {
+    index: Arc<ShardedDbLsh>,
+    queue: Arc<Queue>,
+    metrics: Arc<Metrics>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Engine {
+    /// Start `config.workers` worker threads over `index`.
+    pub fn start(index: Arc<ShardedDbLsh>, config: EngineConfig) -> Engine {
+        let queue = Arc::new(Queue::new(config.queue_capacity.max(1)));
+        let metrics = Arc::new(Metrics::new());
+        let workers = (0..config.workers.max(1))
+            .map(|w| {
+                let queue = Arc::clone(&queue);
+                let metrics = Arc::clone(&metrics);
+                let index = Arc::clone(&index);
+                std::thread::Builder::new()
+                    .name(format!("dblsh-serve-{w}"))
+                    .spawn(move || worker_loop(&index, &queue, &metrics))
+                    .expect("spawn engine worker")
+            })
+            .collect();
+        Engine {
+            index,
+            queue,
+            metrics,
+            workers,
+        }
+    }
+
+    /// The shared index the engine serves (usable directly for
+    /// out-of-band reads, e.g. `len()` between sweeps).
+    pub fn index(&self) -> &Arc<ShardedDbLsh> {
+        &self.index
+    }
+
+    /// Submit a (c,k)-ANN search with default options.
+    pub fn search(&self, query: &[f32], k: usize) -> Ticket<SearchResult> {
+        self.search_with(query, k, SearchOptions::default())
+    }
+
+    /// Submit a (c,k)-ANN search with per-request options. Blocks only
+    /// when the queue is full (backpressure).
+    pub fn search_with(
+        &self,
+        query: &[f32],
+        k: usize,
+        opts: SearchOptions,
+    ) -> Ticket<SearchResult> {
+        let (reply, ticket) = oneshot();
+        self.submit(Job::Search {
+            query: query.to_vec(),
+            k,
+            opts,
+            enqueued: Instant::now(),
+            reply,
+        });
+        ticket
+    }
+
+    /// Submit an insert.
+    pub fn insert(&self, point: &[f32]) -> Ticket<u32> {
+        let (reply, ticket) = oneshot();
+        self.submit(Job::Insert {
+            point: point.to_vec(),
+            reply,
+        });
+        ticket
+    }
+
+    /// Submit a remove.
+    pub fn remove(&self, id: u32) -> Ticket<bool> {
+        let (reply, ticket) = oneshot();
+        self.submit(Job::Remove { id, reply });
+        ticket
+    }
+
+    fn submit(&self, job: Job) {
+        if let Err(job) = self.queue.push(job) {
+            // Unreachable while the engine is alive (shutdown consumes
+            // it); dropping the job resolves its Reply with an engine
+            // error rather than leaving a waiter hanging.
+            drop(job);
+        }
+    }
+
+    /// Snapshot the engine counters.
+    pub fn stats(&self) -> EngineStats {
+        let m = &self.metrics;
+        let searches = m.searches.load(Ordering::Relaxed);
+        let elapsed = m.started.elapsed().as_secs_f64();
+        let counts: [u64; 64] =
+            std::array::from_fn(|b| m.latency_buckets[b].load(Ordering::Relaxed));
+        let recorded: u64 = counts.iter().sum();
+        EngineStats {
+            searches,
+            inserts: m.inserts.load(Ordering::Relaxed),
+            removes: m.removes.load(Ordering::Relaxed),
+            errors: m.errors.load(Ordering::Relaxed),
+            query: QueryStats {
+                candidates: m.candidates.load(Ordering::Relaxed) as usize,
+                rounds: m.rounds.load(Ordering::Relaxed) as usize,
+                index_probes: m.index_probes.load(Ordering::Relaxed) as usize,
+                verify_nanos: m.verify_nanos.load(Ordering::Relaxed),
+            },
+            elapsed_secs: elapsed,
+            qps: if elapsed > 0.0 {
+                searches as f64 / elapsed
+            } else {
+                0.0
+            },
+            mean_latency_us: if searches > 0 {
+                m.latency_nanos_total.load(Ordering::Relaxed) as f64 / searches as f64 / 1e3
+            } else {
+                0.0
+            },
+            p50_latency_us: m.quantile_us(&counts, recorded, 0.50),
+            p99_latency_us: m.quantile_us(&counts, recorded, 0.99),
+        }
+    }
+
+    /// Close the queue, finish every accepted request, and join the
+    /// workers. Returns the final counter snapshot.
+    pub fn shutdown(mut self) -> EngineStats {
+        self.stop_and_join();
+        self.stats()
+    }
+
+    fn stop_and_join(&mut self) {
+        self.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn worker_loop(index: &ShardedDbLsh, queue: &Queue, metrics: &Metrics) {
+    while let Some(job) = queue.pop() {
+        match job {
+            Job::Search {
+                query,
+                k,
+                opts,
+                enqueued,
+                reply,
+            } => {
+                let result = index.search_with(&query, k, &opts);
+                let latency = enqueued.elapsed().as_nanos() as u64;
+                match &result {
+                    Ok(res) => metrics.record_search(latency, &res.stats),
+                    Err(_) => {
+                        metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                reply.send(result);
+            }
+            Job::Insert { point, reply } => {
+                let result = index.insert(&point);
+                match &result {
+                    Ok(_) => {
+                        metrics.inserts.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_) => {
+                        metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                reply.send(result);
+            }
+            Job::Remove { id, reply } => {
+                let result = index.remove(id);
+                match &result {
+                    Ok(_) => {
+                        metrics.removes.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_) => {
+                        metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                reply.send(result);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::ShardPolicy;
+    use dblsh_core::DbLshBuilder;
+    use dblsh_data::synthetic::{gaussian_mixture, MixtureConfig};
+
+    fn engine(workers: usize, cap: usize) -> Engine {
+        let data = gaussian_mixture(&MixtureConfig {
+            n: 400,
+            dim: 12,
+            clusters: 10,
+            cluster_std: 1.0,
+            spread: 50.0,
+            noise_frac: 0.02,
+            seed: 21,
+        });
+        let builder = DbLshBuilder::new().k(6).l(3).t(8).r_min(0.5);
+        let index = ShardedDbLsh::build(&data, &builder, 2, ShardPolicy::RoundRobin).unwrap();
+        Engine::start(
+            Arc::new(index),
+            EngineConfig {
+                workers,
+                queue_capacity: cap,
+            },
+        )
+    }
+
+    #[test]
+    fn engine_answers_match_direct_queries() {
+        let engine = engine(2, 64);
+        let q = engine.index().k_ann(&[0.0; 12], 5); // warm nothing, just direct
+        let direct = engine
+            .index()
+            .search_with(&[0.0; 12], 5, &SearchOptions::default());
+        let served = engine.search(&[0.0; 12], 5).wait();
+        assert_eq!(served.unwrap().ids(), direct.unwrap().ids());
+        drop(q);
+    }
+
+    #[test]
+    fn mixed_workload_updates_counters() {
+        let engine = engine(2, 8);
+        let mut tickets = Vec::new();
+        for i in 0..30u32 {
+            tickets.push(engine.search(&[i as f32 * 0.1; 12], 3));
+        }
+        let id = engine.insert(&[1.0; 12]).wait().unwrap();
+        assert!(engine.remove(id).wait().unwrap());
+        for t in tickets {
+            assert!(t.wait().is_ok());
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.searches, 30);
+        assert_eq!(stats.inserts, 1);
+        assert_eq!(stats.removes, 1);
+        assert_eq!(stats.errors, 0);
+        assert!(stats.query.candidates > 0);
+        assert!(stats.mean_latency_us > 0.0);
+        assert!(stats.p99_latency_us >= stats.p50_latency_us);
+        let final_stats = engine.shutdown();
+        assert_eq!(final_stats.searches, 30);
+    }
+
+    #[test]
+    fn errors_are_counted_and_returned() {
+        let engine = engine(1, 4);
+        let res = engine.search(&[1.0; 3], 5).wait();
+        assert!(matches!(res, Err(DbLshError::DimensionMismatch { .. })));
+        let res = engine.remove(1_000_000).wait();
+        assert!(matches!(res, Err(DbLshError::UnknownId { .. })));
+        assert_eq!(engine.stats().errors, 2);
+    }
+
+    #[test]
+    fn tiny_queue_applies_backpressure_but_completes() {
+        let engine = engine(1, 1);
+        let tickets: Vec<_> = (0..50).map(|i| engine.search(&[i as f32; 12], 2)).collect();
+        assert!(tickets.into_iter().all(|t| t.wait().is_ok()));
+        assert_eq!(engine.stats().searches, 50);
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_requests() {
+        let engine = engine(1, 64);
+        let tickets: Vec<_> = (0..20)
+            .map(|i| engine.search(&[i as f32 * 0.3; 12], 2))
+            .collect();
+        let stats = engine.shutdown();
+        assert_eq!(stats.searches, 20);
+        for t in tickets {
+            assert!(t.wait().is_ok(), "accepted request must resolve");
+        }
+    }
+
+    #[test]
+    fn engine_stats_merge_accumulates() {
+        let a = EngineStats {
+            searches: 10,
+            qps: 5.0,
+            elapsed_secs: 2.0,
+            mean_latency_us: 100.0,
+            p50_latency_us: 64.0,
+            p99_latency_us: 128.0,
+            ..EngineStats::default()
+        };
+        let mut total = EngineStats::default();
+        total.merge(&a);
+        total.merge(&a);
+        assert_eq!(total.searches, 20);
+        // sequential sweeps: lifetimes add, so throughput stays honest
+        assert_eq!(total.elapsed_secs, 4.0);
+        assert_eq!(total.qps, 5.0);
+        assert_eq!(total.mean_latency_us, 100.0);
+        assert_eq!(total.p99_latency_us, 128.0);
+    }
+}

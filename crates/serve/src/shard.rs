@@ -1,0 +1,817 @@
+//! [`ShardedDbLsh`]: N independent [`DbLsh`] shards behind one global id
+//! space, with a deterministic cross-shard top-k merge.
+//!
+//! # Shard layout and the id-space story
+//!
+//! Points are partitioned across shards at bulk build by a
+//! [`ShardPolicy`]; afterwards [`ShardedDbLsh::insert`] routes each new
+//! point to the least-loaded shard and [`ShardedDbLsh::remove`] routes by
+//! the id→shard map. Three id spaces are in play, only one of them
+//! public:
+//!
+//! * **global external ids** — the only ids callers ever see: the row
+//!   index in the originally supplied dataset, plus densely increasing
+//!   ids for inserts, exactly like an unsharded [`DbLsh`];
+//! * **shard-local external ids** — each shard's own `DbLsh` row space;
+//!   the router's `assign` table maps global → `(shard, local)` and each
+//!   shard's `global_of_local` table maps back;
+//! * **shard-internal ids** — the locality-relabeled layout *inside* each
+//!   shard (see `DbLshParams::relabel`), which never leaks out of the
+//!   shard, exactly as it never leaks out of an unsharded index.
+//!
+//! # Concurrency
+//!
+//! Every shard sits behind its own `RwLock`: readers never block each
+//! other, and a writer blocks only its shard (plus a short critical
+//! section on the router mutex to keep the global id map in step). A
+//! query takes read locks on all shards for its duration — a consistent
+//! snapshot — so a concurrent writer delays queries only for the length
+//! of one single-shard update. No code path holds the router mutex while
+//! acquiring a shard lock, which rules out lock-order cycles by
+//! construction.
+//!
+//! # Determinism: the canonical cross-shard merge
+//!
+//! Queries run the *canonical round-exhaustive ladder*
+//! ([`dblsh_core::CanonicalLadder`]): every shard probes the same radius,
+//! all per-round candidates are merged and sorted into canonical
+//! `(distance, global id)` order, and only then are the budget and `c·r`
+//! termination rules applied. Because every shard is built with the same
+//! resolved parameters (same Gaussian family, same ladder), window
+//! membership and per-row distances are independent of which shard a
+//! point lives in — so the answer is **byte-identical** to
+//! [`DbLsh::search_canonical`] on an unsharded index over the same data,
+//! for any shard count and any partition policy. The property tests in
+//! `tests/properties.rs` assert exactly this, including after
+//! interleaved insert/remove traffic.
+
+use std::cell::RefCell;
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard};
+
+use dblsh_core::{
+    CanonicalLadder, DbLsh, DbLshBuilder, DbLshParams, LadderPlan, ProberScratch, SearchOptions,
+};
+use dblsh_data::error::check_query;
+use dblsh_data::kernels::key_parts;
+use dblsh_data::{AnnIndex, Dataset, DbLshError, Neighbor, QueryStats, SearchResult};
+
+/// How the bulk-build partitions points across shards.
+///
+/// The policy only decides *initial placement*; query answers are
+/// byte-identical under any placement (that is the point of the
+/// canonical merge), so the choice is about balance and operational
+/// convenience, not correctness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardPolicy {
+    /// Point `i` goes to shard `i % shards`: perfectly balanced shard
+    /// sizes for any input.
+    #[default]
+    RoundRobin,
+    /// Point `i` goes to shard `mix64(i) % shards` (a fixed SplitMix64
+    /// finalizer): placement is a pure function of the id, so two
+    /// processes building over the same rows agree on placement without
+    /// talking to each other. Balanced only in expectation; shards left
+    /// empty on tiny inputs are topped up deterministically from the
+    /// largest shard (every shard must hold at least one point).
+    HashId,
+}
+
+/// SplitMix64 finalizer — a fixed, dependency-free 64-bit mix.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl ShardPolicy {
+    fn shard_of(self, id: u32, shards: usize) -> usize {
+        match self {
+            ShardPolicy::RoundRobin => id as usize % shards,
+            ShardPolicy::HashId => (mix64(id as u64) % shards as u64) as usize,
+        }
+    }
+}
+
+/// One shard: an independent [`DbLsh`] plus the map from its local
+/// external ids back to global ids (`global_of_local[local] = global`).
+#[derive(Debug)]
+struct Shard {
+    index: DbLsh,
+    global_of_local: Vec<u32>,
+}
+
+/// The global id table: `assign[global] = (shard, local)` for every id
+/// ever handed out (removals tombstone inside the shard; ids are never
+/// recycled), plus per-shard live counts for least-loaded insert routing.
+#[derive(Debug)]
+struct Router {
+    assign: Vec<(u32, u32)>,
+    live: Vec<usize>,
+}
+
+impl Router {
+    fn least_loaded(&self) -> usize {
+        let mut best = 0;
+        for (s, &n) in self.live.iter().enumerate() {
+            if n < self.live[best] {
+                best = s;
+            }
+        }
+        best
+    }
+}
+
+/// Per-thread fan-out buffers: one [`ProberScratch`] per shard plus the
+/// merged-keys buffer the coordinator sorts.
+#[derive(Default)]
+struct FanOutScratch {
+    probers: Vec<ProberScratch>,
+    keys: Vec<u64>,
+}
+
+thread_local! {
+    /// Reused across requests so the fan-out path (probing *and* the
+    /// cross-shard merge) stops allocating after the first query on each
+    /// worker thread.
+    static FAN_OUT_SCRATCH: RefCell<FanOutScratch> =
+        RefCell::new(FanOutScratch::default());
+}
+
+/// Borrow the thread's fan-out buffers (fresh ones on re-entrancy, e.g.
+/// a Drop impl querying mid-query, rather than panicking).
+fn with_fan_out_scratch<T>(f: impl FnOnce(&mut FanOutScratch) -> T) -> T {
+    FAN_OUT_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => f(&mut scratch),
+        Err(_) => f(&mut FanOutScratch::default()),
+    })
+}
+
+/// N independent [`DbLsh`] shards behind one global id space with a
+/// deterministic cross-shard top-k merge; see the module docs for the
+/// layout, locking and determinism story.
+///
+/// All methods take `&self`: writers lock one shard, readers lock all
+/// shards shared, so the structure is directly usable from a worker pool
+/// (see [`crate::Engine`]).
+#[derive(Debug)]
+pub struct ShardedDbLsh {
+    shards: Vec<RwLock<Shard>>,
+    router: Mutex<Router>,
+    params: DbLshParams,
+    policy: ShardPolicy,
+    dim: usize,
+}
+
+impl ShardedDbLsh {
+    /// Build from a [`DbLshBuilder`]: the configuration — including a
+    /// requested `auto_r_min` estimate — is resolved **once over the
+    /// full dataset**, then every shard is built with the identical
+    /// resolved parameters, which is what keeps sharded answers
+    /// byte-identical to an unsharded build.
+    pub fn build(
+        data: &Dataset,
+        builder: &DbLshBuilder,
+        shards: usize,
+        policy: ShardPolicy,
+    ) -> Result<Self, DbLshError> {
+        let params = builder.resolve_params_for(data)?;
+        ShardedDbLsh::build_with_params(data, &params, shards, policy)
+    }
+
+    /// Build from fully resolved parameters (shared verbatim by every
+    /// shard). Fails on an empty dataset, `shards == 0`, or fewer points
+    /// than shards (every shard must hold at least one point).
+    pub fn build_with_params(
+        data: &Dataset,
+        params: &DbLshParams,
+        shards: usize,
+        policy: ShardPolicy,
+    ) -> Result<Self, DbLshError> {
+        params.validate()?;
+        if shards == 0 {
+            return Err(DbLshError::invalid("shards", "need at least one shard"));
+        }
+        let n = data.len();
+        if n == 0 {
+            return Err(DbLshError::EmptyDataset);
+        }
+        if n > u32::MAX as usize {
+            return Err(DbLshError::CapacityExceeded {
+                limit: u32::MAX as usize,
+            });
+        }
+        if n < shards {
+            return Err(DbLshError::invalid(
+                "shards",
+                format!("{n} points cannot populate {shards} shards (every shard needs at least one point)"),
+            ));
+        }
+        // Partition global ids by policy...
+        let mut members: Vec<Vec<u32>> = vec![Vec::new(); shards];
+        for g in 0..n as u32 {
+            members[policy.shard_of(g, shards)].push(g);
+        }
+        // ...topping up empty shards deterministically from the largest
+        // one (HashId can leave shards empty on tiny inputs).
+        while let Some(empty) = members.iter().position(Vec::is_empty) {
+            let largest = (0..shards)
+                .max_by_key(|&s| members[s].len())
+                .expect("shards >= 1");
+            let moved = members[largest].pop().expect("largest shard is non-empty");
+            members[empty].push(moved);
+        }
+
+        // Build every shard over its own row subset, in parallel.
+        let dim = data.dim();
+        let mut built: Vec<Option<Result<Shard, DbLshError>>> = Vec::new();
+        built.resize_with(shards, || None);
+        std::thread::scope(|scope| {
+            for (slot, ids) in built.iter_mut().zip(&members) {
+                scope.spawn(move || {
+                    let mut rows = Vec::with_capacity(ids.len() * dim);
+                    for &g in ids {
+                        rows.extend_from_slice(data.point(g as usize));
+                    }
+                    *slot = Some(
+                        Dataset::try_from_flat(dim, rows)
+                            .and_then(|d| DbLsh::build(Arc::new(d), params))
+                            .map(|index| Shard {
+                                index,
+                                global_of_local: ids.clone(),
+                            }),
+                    );
+                });
+            }
+        });
+        let mut shard_vec = Vec::with_capacity(shards);
+        for slot in built {
+            shard_vec.push(RwLock::new(slot.expect("shard build ran")?));
+        }
+
+        let mut assign = vec![(0u32, 0u32); n];
+        let mut live = vec![0usize; shards];
+        for (s, ids) in members.iter().enumerate() {
+            live[s] = ids.len();
+            for (local, &g) in ids.iter().enumerate() {
+                assign[g as usize] = (s as u32, local as u32);
+            }
+        }
+
+        Ok(ShardedDbLsh {
+            shards: shard_vec,
+            router: Mutex::new(Router { assign, live }),
+            params: params.clone(),
+            policy,
+            dim,
+        })
+    }
+
+    /// The resolved parameters every shard was built with.
+    pub fn params(&self) -> &DbLshParams {
+        &self.params
+    }
+
+    /// The bulk-build partition policy.
+    pub fn policy(&self) -> ShardPolicy {
+        self.policy
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Point dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Live points per shard, in shard order.
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.router().live.clone()
+    }
+
+    /// Total number of live points across all shards.
+    pub fn len(&self) -> usize {
+        self.router().live.iter().sum()
+    }
+
+    /// True if no live points remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether `id` names a live point.
+    pub fn contains(&self, id: u32) -> bool {
+        let Some(&(s, local)) = self.router().assign.get(id as usize) else {
+            return false;
+        };
+        self.read_shard(s as usize).index.contains(local)
+    }
+
+    fn router(&self) -> std::sync::MutexGuard<'_, Router> {
+        self.router.lock().expect("router mutex poisoned")
+    }
+
+    fn read_shard(&self, s: usize) -> RwLockReadGuard<'_, Shard> {
+        self.shards[s].read().expect("shard lock poisoned")
+    }
+
+    /// Insert one point, routed to the least-loaded shard (ties break to
+    /// the lowest shard index). Returns the new point's **global** id —
+    /// ids keep increasing densely across the whole engine, exactly like
+    /// an unsharded index. Blocks writers of the same shard only.
+    pub fn insert(&self, point: &[f32]) -> Result<u32, DbLshError> {
+        if point.len() != self.dim {
+            return Err(DbLshError::DimensionMismatch {
+                expected: self.dim,
+                got: point.len(),
+            });
+        }
+        if !point.iter().all(|v| v.is_finite()) {
+            return Err(DbLshError::NonFiniteCoordinate);
+        }
+        let s = {
+            let router = self.router();
+            if router.assign.len() >= u32::MAX as usize {
+                return Err(DbLshError::CapacityExceeded {
+                    limit: u32::MAX as usize,
+                });
+            }
+            router.least_loaded()
+        };
+        let mut shard = self.shards[s].write().expect("shard lock poisoned");
+        match shard.index.insert(point) {
+            Ok(local) => {
+                // Publish the global id and bump the live count while
+                // still holding the shard lock: a concurrent remove can
+                // never observe the mapping before the point is
+                // queryable, and `len`/`check_invariants` (which read
+                // the router only after the shard locks are free or
+                // held shared) never see a count out of step with the
+                // shard's actual contents.
+                let g = {
+                    let mut router = self.router();
+                    let g = router.assign.len() as u32;
+                    router.assign.push((s as u32, local));
+                    router.live[s] += 1;
+                    g
+                };
+                shard.global_of_local.push(g);
+                debug_assert_eq!(shard.global_of_local.len(), shard.index.data().len());
+                Ok(g)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Remove the point with global id `id`, routed through the
+    /// id→shard map. Same contract as [`DbLsh::remove`]: `Ok(true)` if
+    /// it was live, `Ok(false)` if already removed, `Err(UnknownId)` if
+    /// the id was never handed out.
+    pub fn remove(&self, id: u32) -> Result<bool, DbLshError> {
+        let (s, local) = {
+            let router = self.router();
+            match router.assign.get(id as usize) {
+                None => return Err(DbLshError::UnknownId { id }),
+                Some(&(s, local)) => (s as usize, local),
+            }
+        };
+        let mut shard = self.shards[s].write().expect("shard lock poisoned");
+        let removed = shard.index.remove(local).map_err(|e| match e {
+            DbLshError::UnknownId { .. } => DbLshError::UnknownId { id },
+            other => other,
+        })?;
+        if removed {
+            // Decrement while still holding the shard lock, for the same
+            // observability guarantee as `insert` (shard → router is the
+            // allowed lock order).
+            self.router().live[s] -= 1;
+        }
+        Ok(removed)
+    }
+
+    /// (c,k)-ANN with the index-wide defaults; see
+    /// [`ShardedDbLsh::search_with`].
+    pub fn k_ann(&self, q: &[f32], k: usize) -> Result<SearchResult, DbLshError> {
+        self.search_with(q, k, &SearchOptions::default())
+    }
+
+    /// (c,k)-ANN over all shards: the canonical round-exhaustive ladder,
+    /// byte-identical to [`DbLsh::search_canonical`] on an unsharded
+    /// index over the same data and parameters (see the module docs).
+    /// Takes a read lock on every shard for the duration of the query.
+    pub fn search_with(
+        &self,
+        q: &[f32],
+        k: usize,
+        opts: &SearchOptions,
+    ) -> Result<SearchResult, DbLshError> {
+        check_query(self.dim, q, k)?;
+        let plan = opts.plan(&self.params, k)?;
+        let mut res = with_fan_out_scratch(|scratch| self.fan_out(q, k, &plan, scratch))?;
+        if opts.skip_stats {
+            res.stats = QueryStats::default();
+        }
+        Ok(res)
+    }
+
+    /// The fan-out/merge kernel: probe every shard per ladder round,
+    /// merge the per-shard canonical key streams, and let the
+    /// [`CanonicalLadder`] consume them in global `(distance, id)` order.
+    fn fan_out(
+        &self,
+        q: &[f32],
+        k: usize,
+        plan: &LadderPlan,
+        scratch: &mut FanOutScratch,
+    ) -> Result<SearchResult, DbLshError> {
+        if scratch.probers.len() < self.shards.len() {
+            scratch
+                .probers
+                .resize_with(self.shards.len(), ProberScratch::default);
+        }
+        let guards: Vec<RwLockReadGuard<'_, Shard>> = self
+            .shards
+            .iter()
+            .map(|s| s.read().expect("shard lock poisoned"))
+            .collect();
+        let live: usize = guards.iter().map(|g| g.index.len()).sum();
+        let mut probers = Vec::with_capacity(guards.len());
+        for (g, sc) in guards.iter().zip(scratch.probers.iter_mut()) {
+            probers.push(g.index.ladder_prober(q, sc)?);
+        }
+        let mut ladder = CanonicalLadder::new(plan, self.params.c, k, live);
+        let mut stats = QueryStats::default();
+        let keys = &mut scratch.keys;
+        while let Some(r) = ladder.begin_round(&mut stats) {
+            keys.clear();
+            for (guard, prober) in guards.iter().zip(probers.iter_mut()) {
+                prober.probe_round(
+                    r,
+                    plan.timing,
+                    &mut stats,
+                    |local| guard.global_of_local[local as usize],
+                    keys,
+                );
+            }
+            keys.sort_unstable(); // merge: global canonical order
+            ladder.consume(keys, &mut stats);
+        }
+        Ok(ladder.into_result(stats))
+    }
+
+    /// One `(r, c)`-NN probe over all shards, with the canonical
+    /// consumption order (the whole merged round in ascending
+    /// `(distance, id)` order — deterministic under any sharding, unlike
+    /// [`DbLsh::r_c_nn`]'s enumeration-order early exit).
+    pub fn r_c_nn(&self, q: &[f32], r: f64) -> Result<(Option<Neighbor>, QueryStats), DbLshError> {
+        check_query(self.dim, q, 1)?;
+        if !(r > 0.0 && r.is_finite()) {
+            return Err(DbLshError::invalid(
+                "r",
+                "probe radius must be positive and finite",
+            ));
+        }
+        let budget = self.params.rcnn_budget();
+        let cr = self.params.c * r;
+        let mut stats = QueryStats {
+            rounds: 1,
+            ..QueryStats::default()
+        };
+        let guards: Vec<RwLockReadGuard<'_, Shard>> = self
+            .shards
+            .iter()
+            .map(|s| s.read().expect("shard lock poisoned"))
+            .collect();
+        with_fan_out_scratch(|scratch| {
+            if scratch.probers.len() < guards.len() {
+                scratch
+                    .probers
+                    .resize_with(guards.len(), ProberScratch::default);
+            }
+            let keys = &mut scratch.keys;
+            keys.clear();
+            for (guard, sc) in guards.iter().zip(scratch.probers.iter_mut()) {
+                let mut prober = guard.index.ladder_prober(q, sc)?;
+                prober.probe_round(
+                    r,
+                    false,
+                    &mut stats,
+                    |local| guard.global_of_local[local as usize],
+                    keys,
+                );
+            }
+            keys.sort_unstable();
+            // Keys are sorted ascending, so the first one is the closest
+            // verified point: if it is within `c·r` it is the answer, and
+            // if the budget runs out first it is still the best point the
+            // probe can report (the budget-exhaustion case of
+            // Definition 2 — the canonical order makes "return the
+            // closest verified point" free, where the classic
+            // enumeration-order probe returns whichever candidate
+            // happened to exhaust the budget).
+            if let Some(&first) = keys.first() {
+                let (id, d) = key_parts(first);
+                if d <= cr {
+                    stats.candidates += 1;
+                    return Ok((Some(Neighbor { id, dist: d as f32 }), stats));
+                }
+                if keys.len() >= budget {
+                    stats.candidates += budget;
+                    return Ok((Some(Neighbor { id, dist: d as f32 }), stats));
+                }
+                stats.candidates += keys.len();
+            }
+            Ok((None, stats))
+        })
+    }
+
+    /// Answer one (c,k)-ANN query per row of `queries`, fanning rows
+    /// across all available cores (each worker runs the full cross-shard
+    /// merge for its rows). Results are in query order.
+    pub fn search_batch(
+        &self,
+        queries: &Dataset,
+        k: usize,
+    ) -> Result<Vec<SearchResult>, DbLshError> {
+        self.search_batch_with(queries, k, &SearchOptions::default())
+    }
+
+    /// [`ShardedDbLsh::search_batch`] with per-batch [`SearchOptions`].
+    pub fn search_batch_with(
+        &self,
+        queries: &Dataset,
+        k: usize,
+        opts: &SearchOptions,
+    ) -> Result<Vec<SearchResult>, DbLshError> {
+        dblsh_data::parallel_search_batch(queries, self.dim, k, |q| self.search_with(q, k, opts))
+    }
+
+    /// Total heap footprint: every shard's index structures plus the
+    /// global id tables.
+    pub fn memory_bytes(&self) -> usize {
+        let tables: usize = {
+            let router = self.router();
+            router.assign.len() * std::mem::size_of::<(u32, u32)>()
+        };
+        let shards: usize = self
+            .shards
+            .iter()
+            .map(|s| {
+                let g = s.read().expect("shard lock poisoned");
+                g.index.memory_bytes() + g.global_of_local.len() * std::mem::size_of::<u32>()
+            })
+            .sum();
+        tables + shards
+    }
+
+    /// Verify cross-shard invariants: the router's `assign` table and the
+    /// shards' `global_of_local` tables are mutually inverse, live counts
+    /// agree with every shard's live size, and every shard passes its own
+    /// [`DbLsh::check_invariants`]. Panics with a description on
+    /// violation. Cost is a full scan of every shard.
+    pub fn check_invariants(&self) {
+        let guards: Vec<RwLockReadGuard<'_, Shard>> = self
+            .shards
+            .iter()
+            .map(|s| s.read().expect("shard lock poisoned"))
+            .collect();
+        let router = self.router();
+        assert_eq!(router.live.len(), guards.len(), "live table size");
+        let total_rows: usize = guards.iter().map(|g| g.index.data().len()).sum();
+        assert_eq!(
+            router.assign.len(),
+            total_rows,
+            "assign table out of step with shard rows"
+        );
+        for (s, guard) in guards.iter().enumerate() {
+            assert_eq!(guard.index.data().dim(), self.dim, "shard {s} dim");
+            assert_eq!(
+                guard.global_of_local.len(),
+                guard.index.data().len(),
+                "shard {s} id table out of step with its rows"
+            );
+            assert_eq!(
+                router.live[s],
+                guard.index.len(),
+                "shard {s} live count out of sync"
+            );
+            for (local, &g) in guard.global_of_local.iter().enumerate() {
+                assert_eq!(
+                    router.assign[g as usize],
+                    (s as u32, local as u32),
+                    "assign and global_of_local disagree at global id {g}"
+                );
+            }
+            guard.index.check_invariants();
+        }
+    }
+}
+
+impl AnnIndex for ShardedDbLsh {
+    fn name(&self) -> &'static str {
+        "DB-LSH-sharded"
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Result<SearchResult, DbLshError> {
+        self.k_ann(query, k)
+    }
+
+    fn search_batch(&self, queries: &Dataset, k: usize) -> Result<Vec<SearchResult>, DbLshError> {
+        ShardedDbLsh::search_batch(self, queries, k)
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        self.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dblsh_data::synthetic::{gaussian_mixture, MixtureConfig};
+
+    fn cloud(n: usize, dim: usize, seed: u64) -> Dataset {
+        gaussian_mixture(&MixtureConfig {
+            n,
+            dim,
+            clusters: 12,
+            cluster_std: 1.0,
+            spread: 50.0,
+            noise_frac: 0.02,
+            seed,
+        })
+    }
+
+    fn builder() -> DbLshBuilder {
+        DbLshBuilder::new().k(6).l(3).t(8).r_min(0.5)
+    }
+
+    #[test]
+    fn build_partitions_all_points() {
+        let data = cloud(500, 12, 3);
+        for policy in [ShardPolicy::RoundRobin, ShardPolicy::HashId] {
+            let idx = ShardedDbLsh::build(&data, &builder(), 4, policy).unwrap();
+            assert_eq!(idx.shard_count(), 4);
+            assert_eq!(idx.len(), 500);
+            assert_eq!(idx.shard_lens().iter().sum::<usize>(), 500);
+            assert!(idx.shard_lens().iter().all(|&n| n > 0));
+            assert!((0..500u32).all(|g| idx.contains(g)));
+            idx.check_invariants();
+        }
+    }
+
+    #[test]
+    fn round_robin_is_perfectly_balanced() {
+        let data = cloud(103, 8, 1);
+        let idx = ShardedDbLsh::build(&data, &builder(), 4, ShardPolicy::RoundRobin).unwrap();
+        let lens = idx.shard_lens();
+        assert_eq!(lens.iter().max().unwrap() - lens.iter().min().unwrap(), 1);
+    }
+
+    #[test]
+    fn hash_policy_tops_up_empty_shards() {
+        // with as many shards as points, hashing collides and some shards
+        // start empty; the fix-up must leave every shard non-empty
+        let data = cloud(7, 8, 2);
+        let idx = ShardedDbLsh::build(&data, &builder(), 7, ShardPolicy::HashId).unwrap();
+        assert!(idx.shard_lens().iter().all(|&n| n == 1));
+        idx.check_invariants();
+    }
+
+    #[test]
+    fn build_validation() {
+        let data = cloud(10, 8, 5);
+        assert!(matches!(
+            ShardedDbLsh::build(&data, &builder(), 0, ShardPolicy::RoundRobin),
+            Err(DbLshError::InvalidParameter {
+                param: "shards",
+                ..
+            })
+        ));
+        assert!(matches!(
+            ShardedDbLsh::build(&data, &builder(), 11, ShardPolicy::RoundRobin),
+            Err(DbLshError::InvalidParameter {
+                param: "shards",
+                ..
+            })
+        ));
+        assert_eq!(
+            ShardedDbLsh::build(&Dataset::empty(8), &builder(), 2, ShardPolicy::RoundRobin)
+                .unwrap_err(),
+            DbLshError::EmptyDataset
+        );
+    }
+
+    #[test]
+    fn insert_routes_to_least_loaded_and_remove_routes_back() {
+        let data = cloud(40, 8, 7);
+        let idx = ShardedDbLsh::build(&data, &builder(), 4, ShardPolicy::RoundRobin).unwrap();
+        // unbalance shard 0 by removing from it
+        let victim = 0u32; // round-robin: global 0 -> shard 0
+        assert!(idx.remove(victim).unwrap());
+        assert!(!idx.remove(victim).unwrap(), "double remove reports false");
+        assert!(!idx.contains(victim));
+        assert_eq!(idx.len(), 39);
+        // next insert must land on the now-least-loaded shard 0, and get
+        // the next dense global id
+        let id = idx.insert(&[0.5; 8]).unwrap();
+        assert_eq!(id, 40);
+        assert_eq!(idx.shard_lens(), vec![10, 10, 10, 10]);
+        assert!(idx.contains(id));
+        idx.check_invariants();
+        assert!(matches!(
+            idx.remove(10_000),
+            Err(DbLshError::UnknownId { id: 10_000 })
+        ));
+    }
+
+    #[test]
+    fn insert_validates_without_corrupting_counts() {
+        let data = cloud(20, 8, 9);
+        let idx = ShardedDbLsh::build(&data, &builder(), 2, ShardPolicy::RoundRobin).unwrap();
+        assert!(matches!(
+            idx.insert(&[1.0; 3]),
+            Err(DbLshError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            idx.insert(&[f32::NAN; 8]),
+            Err(DbLshError::NonFiniteCoordinate)
+        ));
+        assert_eq!(idx.len(), 20);
+        idx.check_invariants();
+    }
+
+    #[test]
+    fn queries_validate_like_the_unsharded_index() {
+        let data = cloud(50, 8, 11);
+        let idx = ShardedDbLsh::build(&data, &builder(), 2, ShardPolicy::RoundRobin).unwrap();
+        assert!(matches!(
+            idx.k_ann(&[1.0; 3], 5),
+            Err(DbLshError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            idx.k_ann(&[f32::NAN; 8], 5),
+            Err(DbLshError::NonFiniteCoordinate)
+        ));
+        assert!(matches!(
+            idx.k_ann(&[0.0; 8], 0),
+            Err(DbLshError::InvalidParameter { param: "k", .. })
+        ));
+        assert!(matches!(
+            idx.r_c_nn(&[0.0; 8], -1.0),
+            Err(DbLshError::InvalidParameter { param: "r", .. })
+        ));
+    }
+
+    #[test]
+    fn removed_points_never_returned() {
+        let data = cloud(300, 12, 13);
+        let idx = ShardedDbLsh::build(&data, &builder(), 3, ShardPolicy::RoundRobin).unwrap();
+        let q = data.point(5).to_vec();
+        let before = idx.k_ann(&q, 5).unwrap();
+        for id in before.ids() {
+            idx.remove(id).unwrap();
+        }
+        let after = idx.k_ann(&q, 5).unwrap();
+        for n in &after.neighbors {
+            assert!(!before.ids().contains(&n.id), "removed id {} back", n.id);
+            assert!(idx.contains(n.id));
+        }
+    }
+
+    #[test]
+    fn search_batch_matches_sequential() {
+        let data = cloud(400, 12, 17);
+        let idx = ShardedDbLsh::build(&data, &builder(), 3, ShardPolicy::RoundRobin).unwrap();
+        let queries = Dataset::from_rows(&[
+            data.point(1).to_vec(),
+            data.point(9).to_vec(),
+            data.point(200).to_vec(),
+        ]);
+        let batch = idx.search_batch(&queries, 7).unwrap();
+        assert_eq!(batch.len(), 3);
+        for (qi, res) in batch.iter().enumerate() {
+            let solo = idx.k_ann(queries.point(qi), 7).unwrap();
+            assert_eq!(res.ids(), solo.ids());
+            assert_eq!(res.stats, solo.stats);
+        }
+        // aggregate path (QueryStats::merge) agrees with a manual fold
+        let (results, total) = idx.search_batch_aggregate(&queries, 7).unwrap();
+        assert_eq!(total, QueryStats::merged(results.iter().map(|r| &r.stats)));
+    }
+
+    #[test]
+    fn r_c_nn_contract() {
+        let data = cloud(200, 8, 19);
+        let idx = ShardedDbLsh::build(&data, &builder(), 2, ShardPolicy::RoundRobin).unwrap();
+        let (hit, stats) = idx.r_c_nn(data.point(3), 1000.0).unwrap();
+        assert!(hit.expect("radius covers everything").dist as f64 <= idx.params().c * 1000.0);
+        assert_eq!(stats.rounds, 1);
+        let (none, _) = idx.r_c_nn(&[1e4f32; 8], 1e-9).unwrap();
+        assert!(none.is_none());
+    }
+}

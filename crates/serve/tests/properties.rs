@@ -1,0 +1,172 @@
+//! Sharding-transparency property tests: a [`ShardedDbLsh`] must answer
+//! **byte-identically** — same `(distance, external id)` values, same
+//! order, same work counters — to an unsharded [`DbLsh`] in canonical
+//! query mode over the same data and parameters, for shard counts
+//! {1, 2, 7}, under both partition policies, and *after interleaved
+//! insert/remove traffic*.
+//!
+//! Why this holds by construction: every shard is built with the same
+//! resolved parameters (hence the same Gaussian family), so a point's
+//! window membership at any ladder radius and its exact distance are
+//! independent of which shard holds it; the canonical ladder consumes
+//! each round's merged candidates in `(distance, global id)` order, so
+//! the consumption prefix — and therefore the answer and the `candidates`
+//! / `rounds` / `index_probes` counters — depends only on the per-round
+//! candidate *sets*, which partition exactly across shards.
+
+use std::sync::Arc;
+
+use dblsh_core::{DbLsh, DbLshParams, SearchOptions};
+use dblsh_data::{Dataset, QueryStats};
+use dblsh_serve::{ShardPolicy, ShardedDbLsh};
+use proptest::prelude::*;
+
+/// Distinct-row datasets (duplicate points make leaf tie-breaking
+/// order-dependent, as in the core relabel parity tests — the claim here
+/// is about sharding, not duplicate tie-breaks).
+fn distinct_rows(max_n: usize, dim: usize) -> impl Strategy<Value = Vec<Vec<f32>>> {
+    prop::collection::vec(prop::collection::vec(-100.0f32..100.0, dim..=dim), 8..max_n).prop_map(
+        |mut rows| {
+            rows.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            rows.dedup();
+            rows
+        },
+    )
+}
+
+fn params(n: usize) -> DbLshParams {
+    DbLshParams::paper_defaults(n)
+        .with_kl(4, 3)
+        .with_r_min(0.5)
+        .with_t(4) // small budget so the cutoff path is exercised
+}
+
+/// Assert byte-identity between the sharded answer and the unsharded
+/// canonical answer for one query.
+fn assert_parity(sharded: &ShardedDbLsh, reference: &DbLsh, q: &[f32], k: usize) {
+    let s = sharded.k_ann(q, k).unwrap();
+    let r = reference
+        .search_canonical(q, k, &SearchOptions::default())
+        .unwrap();
+    assert_eq!(s.ids(), r.ids(), "neighbor ids diverge");
+    for (a, b) in s.neighbors.iter().zip(&r.neighbors) {
+        assert_eq!(
+            a.dist.to_bits(),
+            b.dist.to_bits(),
+            "distances not byte-identical"
+        );
+    }
+    assert_eq!(s.stats, r.stats, "work counters diverge");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Fresh bulk builds: {1, 2, 7} shards, both policies, on- and
+    /// off-dataset queries.
+    #[test]
+    fn sharded_kann_is_byte_identical_to_unsharded(
+        rows in distinct_rows(120, 8),
+        k in 1usize..10,
+        qi in 0usize..120,
+    ) {
+        let data = Dataset::from_rows(&rows);
+        let n = data.len();
+        let p = params(n);
+        let reference = DbLsh::build(Arc::new(data.clone()), &p).unwrap();
+        let q = data.point(qi % n).to_vec();
+        // off-dataset query: midpoint of the extremes
+        let q2: Vec<f32> = data
+            .point(0)
+            .iter()
+            .zip(data.point(n - 1))
+            .map(|(a, b)| (a + b) / 2.0)
+            .collect();
+        for shards in [1usize, 2, 7] {
+            if n < shards {
+                continue;
+            }
+            for policy in [ShardPolicy::RoundRobin, ShardPolicy::HashId] {
+                let sharded =
+                    ShardedDbLsh::build_with_params(&data, &p, shards, policy).unwrap();
+                assert_parity(&sharded, &reference, &q, k);
+                assert_parity(&sharded, &reference, &q2, k);
+            }
+        }
+    }
+
+    /// Parity survives dynamic traffic: the same interleaved removes and
+    /// inserts applied to the sharded and unsharded indexes keep the
+    /// global id spaces in lockstep and the answers byte-identical —
+    /// even though the sharded inserts route by load, not by the bulk
+    /// partition policy.
+    #[test]
+    fn sharded_parity_through_interleaved_updates(
+        rows in distinct_rows(100, 6),
+        extra in prop::collection::vec(
+            prop::collection::vec(-100.0f32..100.0, 6..=6), 1..12),
+        remove_mod in 2usize..5,
+        k in 1usize..8,
+        qi in 0usize..100,
+    ) {
+        let data = Dataset::from_rows(&rows);
+        let n = data.len();
+        let p = params(n);
+        for shards in [1usize, 2, 7] {
+            if n < shards {
+                continue;
+            }
+            let sharded =
+                ShardedDbLsh::build_with_params(&data, &p, shards, ShardPolicy::RoundRobin)
+                    .unwrap();
+            // Drive BOTH indexes through the same traffic. The reference
+            // is rebuilt per shard count so its state matches exactly.
+            let mut reference = DbLsh::build(Arc::new(data.clone()), &p).unwrap();
+            for (j, e) in extra.iter().enumerate() {
+                let victim = ((j * remove_mod) % n) as u32;
+                prop_assert_eq!(
+                    sharded.remove(victim).unwrap_or(false),
+                    reference.remove(victim).unwrap_or(false),
+                    "remove outcomes diverge"
+                );
+                let gs = sharded.insert(e).unwrap();
+                let gr = reference.insert(e).unwrap();
+                prop_assert_eq!(gs, gr, "global insert ids must stay in lockstep");
+                prop_assert!(sharded.contains(gs));
+            }
+            prop_assert_eq!(sharded.len(), reference.len());
+            sharded.check_invariants();
+            let q = reference.data().point(qi % reference.data().len()).to_vec();
+            assert_parity(&sharded, &reference, &q, k);
+            // per-query overrides keep parity too
+            let opts = SearchOptions { budget: Some(3), ..Default::default() };
+            let rs = sharded.search_with(&q, k, &opts).unwrap();
+            let rr = reference.search_canonical(&q, k, &opts).unwrap();
+            prop_assert_eq!(rs.ids(), rr.ids());
+            prop_assert_eq!(rs.stats, rr.stats);
+            prop_assert!(rs.stats.candidates <= 3, "budget override ignored");
+        }
+    }
+
+    /// skip_stats zeroes counters without changing answers, and
+    /// `QueryStats` merging over a sharded batch equals the per-query
+    /// fold.
+    #[test]
+    fn sharded_options_and_batch_aggregate(
+        rows in distinct_rows(80, 6),
+        k in 1usize..6,
+    ) {
+        let data = Dataset::from_rows(&rows);
+        let p = params(data.len());
+        let sharded =
+            ShardedDbLsh::build_with_params(&data, &p, 2, ShardPolicy::RoundRobin).unwrap();
+        let q = data.point(0).to_vec();
+        let quiet = sharded.search_with(&q, k, &SearchOptions {
+            skip_stats: true,
+            ..Default::default()
+        }).unwrap();
+        let loud = sharded.k_ann(&q, k).unwrap();
+        prop_assert_eq!(quiet.stats, QueryStats::default());
+        prop_assert_eq!(quiet.ids(), loud.ids());
+    }
+}

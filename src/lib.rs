@@ -62,9 +62,48 @@
 //! assert!(index.remove(id).unwrap());
 //! assert!(!index.contains(id));
 //! ```
+//!
+//! ## Serving: shards, workers, saturation
+//!
+//! The [`serve`] crate layers a concurrent serving engine above the
+//! core index:
+//!
+//! * [`ShardedDbLsh`] — N independent `DbLsh` shards behind one
+//!   *global* id space (external ids stay the caller's row indexes;
+//!   shards relabel internally, invisibly). Bulk builds partition by a
+//!   [`ShardPolicy`], inserts route to the least-loaded shard, removes
+//!   route through the id→shard map. Every shard sits behind its own
+//!   `RwLock`: readers never block each other, a writer blocks only its
+//!   shard.
+//! * Queries run the **canonical round-exhaustive ladder**
+//!   ([`DbLsh::search_canonical`]): per-round candidates are merged
+//!   across shards in canonical `(distance, id)` order, so answers are
+//!   byte-identical to an unsharded index over the same data — for any
+//!   shard count, proven by property tests.
+//! * [`Engine`] — a long-lived worker pool draining a bounded request
+//!   queue (searches, inserts, removes) with per-request
+//!   [`QueryStats`] aggregated into [`EngineStats`] (QPS, p50/p99
+//!   latency, candidates verified). The `saturate` binary in
+//!   `dblsh-bench` drives it with mixed read/write workloads at
+//!   increasing worker counts.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use db_lsh::{DbLshBuilder, Engine, EngineConfig, ShardPolicy, ShardedDbLsh};
+//! use db_lsh::data::synthetic::{gaussian_mixture, MixtureConfig};
+//!
+//! let data = gaussian_mixture(&MixtureConfig { n: 1000, dim: 16, ..Default::default() });
+//! let index = ShardedDbLsh::build(
+//!     &data, &DbLshBuilder::new().l(3), 4, ShardPolicy::RoundRobin,
+//! ).unwrap();
+//! let engine = Engine::start(Arc::new(index), EngineConfig::default());
+//! let top5 = engine.search(data.point(0), 5).wait().unwrap();
+//! assert_eq!(top5.neighbors[0].id, 0);
+//! ```
 
 pub use dblsh_core::{DbLsh, DbLshBuilder, DbLshError, DbLshParams, GaussianHasher, SearchOptions};
 pub use dblsh_data::{AnnIndex, Neighbor, QueryStats, SearchResult};
+pub use dblsh_serve::{Engine, EngineConfig, EngineStats, ShardPolicy, ShardedDbLsh};
 
 /// Dataset substrate: synthetic generators, fvecs I/O, ground truth,
 /// metrics, paper-dataset registry, and the [`DbLshError`] type.
@@ -72,6 +111,10 @@ pub use dblsh_data as data;
 
 /// The baseline algorithms of the paper's evaluation.
 pub use dblsh_baselines as baselines;
+
+/// Sharded concurrent serving: [`ShardedDbLsh`], the [`Engine`] worker
+/// pool, and the saturation counters.
+pub use dblsh_serve as serve;
 
 /// R*-tree multi-dimensional index.
 pub use dblsh_index as index;

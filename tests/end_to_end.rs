@@ -160,3 +160,48 @@ fn deterministic_given_seed() {
         assert_eq!(ra.ids(), rb.ids(), "query {qi} differs between builds");
     }
 }
+
+#[test]
+fn serving_layer_end_to_end() {
+    use db_lsh::{Engine, EngineConfig, SearchOptions, ShardPolicy, ShardedDbLsh};
+
+    let (data, queries) = workload(500);
+    let builder = db_lsh::DbLshBuilder::new().auto_r_min();
+    // resolve once so the sharded and unsharded indexes share parameters
+    let params = builder.resolve_params_for(&data).unwrap();
+    let unsharded = DbLsh::build(Arc::clone(&data), &params).unwrap();
+    let sharded = ShardedDbLsh::build_with_params(&data, &params, 3, ShardPolicy::RoundRobin)
+        .expect("sharded build");
+
+    // the engine serves byte-identical answers to the unsharded
+    // canonical query mode, through the whole worker-pool pipeline
+    let engine = Engine::start(
+        std::sync::Arc::new(sharded),
+        EngineConfig {
+            workers: 2,
+            queue_capacity: 32,
+        },
+    );
+    let tickets: Vec<_> = (0..queries.len())
+        .map(|qi| engine.search(queries.point(qi), 10))
+        .collect();
+    for (qi, t) in tickets.into_iter().enumerate() {
+        let served = t.wait().unwrap();
+        let reference = unsharded
+            .search_canonical(queries.point(qi), 10, &SearchOptions::default())
+            .unwrap();
+        assert_eq!(served.ids(), reference.ids(), "query {qi} diverges");
+        assert_eq!(served.stats, reference.stats);
+    }
+
+    // dynamic traffic through the engine keeps the global id space dense
+    let id = engine.insert(&vec![0.25; data.dim()]).wait().unwrap();
+    assert_eq!(id as usize, data.len());
+    assert!(engine.remove(id).wait().unwrap());
+    let stats = engine.shutdown();
+    assert_eq!(stats.searches as usize, queries.len());
+    assert_eq!(stats.inserts, 1);
+    assert_eq!(stats.removes, 1);
+    assert_eq!(stats.errors, 0);
+    assert!(stats.qps > 0.0);
+}
