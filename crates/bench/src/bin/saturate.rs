@@ -15,8 +15,13 @@
 //! `--dim` (32), `--shards` (4), `--threads` max workers (4; the sweep
 //! doubles 1,2,4,... up to it), `--requests` per sweep (20k),
 //! `--queries` distinct query points (1000), `--k` (10), `--write-frac`
-//! fraction of requests that are writes, split evenly between inserts
-//! and removes (0.10), `--queue` capacity (1024), `--seed` (42).
+//! fraction of requests that are writes (0.10), `--remove-frac` the
+//! share of those writes that are removes rather than inserts (0.5; a
+//! churn scenario like `--write-frac 0.3 --remove-frac 0.8` makes the
+//! engine's per-shard compaction policy earn its keep), `--queue`
+//! capacity (1024), `--seed` (42). With any removes in the mix the
+//! engine runs under the default [`dblsh_serve::CompactionPolicy`], and
+//! the sweep footer prints how many shard compactions fired.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -37,6 +42,7 @@ struct Args {
     queries: usize,
     k: usize,
     write_frac: f64,
+    remove_frac: f64,
     queue: usize,
     seed: u64,
 }
@@ -52,6 +58,7 @@ impl Default for Args {
             queries: 1000,
             k: 10,
             write_frac: 0.10,
+            remove_frac: 0.5,
             queue: 1024,
             seed: 42,
         }
@@ -90,6 +97,9 @@ fn parse_args() -> Args {
             "--k" => args.k = parse_count(&value("--k")),
             "--write-frac" => {
                 args.write_frac = value("--write-frac").parse().expect("write fraction")
+            }
+            "--remove-frac" => {
+                args.remove_frac = value("--remove-frac").parse().expect("remove fraction")
             }
             "--queue" => args.queue = parse_count(&value("--queue")),
             "--seed" => args.seed = value("--seed").parse().expect("seed"),
@@ -135,10 +145,14 @@ fn main() {
         args.shards
     );
 
+    assert!(
+        (0.0..=1.0).contains(&args.remove_frac),
+        "--remove-frac must be in [0, 1]"
+    );
     let mut rng = StdRng::seed_from_u64(args.seed ^ 0x5A7E);
     let writes = (args.requests as f64 * args.write_frac) as usize;
-    let inserts = writes / 2;
-    let removes = writes - inserts;
+    let removes = ((writes as f64 * args.remove_frac) as usize).min(args.n);
+    let inserts = writes - removes;
     // Insert points: fresh random vectors in the data's range. Remove
     // targets: distinct bulk ids, each removed exactly once per sweep.
     let insert_points: Vec<Vec<f32>> = (0..inserts)
@@ -193,13 +207,19 @@ fn main() {
     );
     let mut baseline_rps = 0.0f64;
     let mut qps_by_workers = Vec::new();
+    let mut compactions_by_workers: Vec<(usize, u64)> = Vec::new();
     for &workers in &sweep {
         // Fresh index per sweep: identical starting state, so worker
-        // count is the only variable.
-        let index = Arc::new(
+        // count is the only variable. Any churn in the mix runs under
+        // the default per-shard compaction policy, so the sweep also
+        // exercises write-lock compactions racing reads.
+        let mut sharded =
             ShardedDbLsh::build_with_params(&data, &params, args.shards, ShardPolicy::RoundRobin)
-                .expect("sharded build"),
-        );
+                .expect("sharded build");
+        if removes > 0 {
+            sharded = sharded.with_compaction_policy(dblsh_serve::CompactionPolicy::default());
+        }
+        let index = Arc::new(sharded);
         let engine = Engine::start(
             Arc::clone(&index),
             EngineConfig {
@@ -237,6 +257,7 @@ fn main() {
         }
         let search_qps = stats.searches as f64 / elapsed;
         qps_by_workers.push((workers, search_qps));
+        compactions_by_workers.push((workers, index.compaction_count()));
         println!(
             "{:>7} {:>10.0} {:>10.0} {:>9.1} {:>9.1} {:>9.1} {:>10.1} {:>7} {:>7.2}x",
             workers,
@@ -248,6 +269,12 @@ fn main() {
             stats.query.candidates as f64 / stats.searches.max(1) as f64,
             stats.errors,
             rps / baseline_rps,
+        );
+    }
+    if removes > 0 {
+        println!(
+            "\nchurn: {inserts} inserts / {removes} removes per sweep; shard compactions {:?}",
+            compactions_by_workers
         );
     }
     let increasing = qps_by_workers.windows(2).all(|w| w[1].1 > w[0].1);

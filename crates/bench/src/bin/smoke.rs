@@ -55,6 +55,14 @@ fn main() {
         "relabel state (maps + rows):     {:>9.3} MB",
         mb(breakdown.relabel_bytes)
     );
+    println!(
+        "dead (tombstoned) share:         {:>9.3} MB",
+        mb(breakdown.dead_bytes)
+    );
+    assert_eq!(
+        breakdown.dead_bytes, 0,
+        "fresh build must have no dead rows"
+    );
     for (i, s) in index.tree_stats().iter().enumerate() {
         println!(
             "  tree {i}: {} nodes, {} leaf entries, {} inner entries, {:.3} MB",
@@ -174,6 +182,31 @@ fn main() {
         stats.p50_latency_us,
         stats.p99_latency_us,
         stats.query.candidates as f64 / stats.searches as f64,
+    );
+    // Churn sanity: tombstones must be visible as dead bytes, and one
+    // compact() must reclaim them all without losing a live answer.
+    let mut churned = index;
+    for id in (0..1000u32).step_by(2) {
+        churned.remove(id).expect("smoke remove");
+    }
+    let dead = churned.memory_breakdown().dead_bytes;
+    assert!(dead > 0, "500 tombstoned rows report no dead bytes");
+    let before = churned
+        .search_canonical(env.queries.point(0), 10, &opts)
+        .expect("pre-compact");
+    let cstats = churned.compact();
+    assert_eq!(cstats.dropped_rows, 500);
+    assert_eq!(churned.memory_breakdown().dead_bytes, 0);
+    let after = churned
+        .search_canonical(env.queries.point(0), 10, &opts)
+        .expect("post-compact");
+    assert_eq!(
+        before.neighbors, after.neighbors,
+        "compaction changed canonical answers"
+    );
+    println!(
+        "churn: 500 removes pinned {:.3} MB dead, compact() reclaimed all of it",
+        mb(dead)
     );
     println!("smoke OK");
 }

@@ -33,19 +33,39 @@ use crate::hasher::GaussianHasher;
 use crate::params::DbLshParams;
 use crate::proj_store::ProjStore;
 
-/// The locality-relabeling state: the internal↔external id maps plus the
-/// dataset rows physically reordered into internal order (what candidate
-/// verification reads). Present only on relabeled indexes.
+/// Sentinel in [`IdMaps::int_of_ext`] for external ids whose rows were
+/// dropped by [`DbLsh::compact`]: the id is still part of the external
+/// id space (ids are never recycled) but no longer has a physical row.
+/// Guarded everywhere by the tombstone bitset — a dead id is rejected
+/// before any map lookup would dereference it.
+pub(crate) const DEAD: u32 = u32::MAX;
+
+/// The internal↔external id maps. Present on locality-relabeled builds
+/// (where they carry the build permutation) and on any index that has
+/// been [`DbLsh::compact`]ed (where external ids become sparse over the
+/// dense internal rows — compaction is a second permutation through the
+/// same machinery the PR-3 relabeling introduced).
 #[derive(Debug)]
-pub(crate) struct Relabel {
-    /// `ext_of_int[internal] = external`; also the build permutation.
+pub(crate) struct IdMaps {
+    /// `ext_of_int[internal] = external`, one entry per physical row.
     pub(crate) ext_of_int: Vec<u32>,
-    /// `int_of_ext[external] = internal` (inverse of `ext_of_int`).
+    /// `int_of_ext[external] = internal`, one entry per external id ever
+    /// handed out; [`DEAD`] for ids whose rows were compacted away.
     pub(crate) int_of_ext: Vec<u32>,
-    /// Dataset rows in internal order (row `i` = external row
-    /// `ext_of_int[i]`), kept in lockstep with the external dataset under
-    /// `insert`.
-    pub(crate) data: Dataset,
+}
+
+/// What one [`DbLsh::compact`] call reclaimed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionStats {
+    /// Tombstoned rows whose space was dropped from the store, the
+    /// dataset and the maps.
+    pub dropped_rows: usize,
+    /// Live rows surviving the compaction.
+    pub live_rows: usize,
+    /// Logical bytes reclaimed — the [`crate::MemoryBreakdown`]
+    /// `dead_bytes` figure at the moment of compaction (0 when the call
+    /// was a no-op).
+    pub reclaimed_bytes: usize,
 }
 
 /// A built DB-LSH index.
@@ -77,14 +97,31 @@ pub struct DbLsh {
     pub(crate) hasher: GaussianHasher,
     pub(crate) trees: Vec<RStarTree>,
     pub(crate) store: ProjStore,
+    /// The point rows, ascending by external id (until the first
+    /// [`DbLsh::compact`] this means row `i` = id `i`). Holds the rows
+    /// of tombstoned-but-not-yet-compacted ids too; always in lockstep
+    /// with the store row for row.
     pub(crate) data: Arc<Dataset>,
-    /// Internal↔external id maps plus the reordered verification rows;
-    /// `None` for identity-order builds (internal id == external id).
-    pub(crate) relabel: Option<Relabel>,
-    /// Tombstone bitset over *external* dataset rows (1 = removed).
-    removed: Vec<u64>,
+    /// Internal↔external id maps; `None` while internal id == external
+    /// id (identity-order builds that were never compacted).
+    pub(crate) maps: Option<IdMaps>,
+    /// Dataset rows physically reordered into *internal* (store/tree)
+    /// order — what candidate verification reads. Present only when the
+    /// internal order differs from `data`'s own row order, i.e. on
+    /// locality-relabeled builds; compacted identity-order indexes keep
+    /// `data` itself in internal order and carry no copy.
+    pub(crate) verify_rows: Option<Dataset>,
+    /// Tombstone bitset over *external* ids (1 = removed). Compaction
+    /// drops the rows but keeps the bits: a dead id must answer
+    /// `contains == false` / `remove == Ok(false)` forever, at one bit
+    /// per id ever handed out.
+    pub(crate) removed: Vec<u64>,
     /// Number of live (non-tombstoned) points.
-    live: usize,
+    pub(crate) live: usize,
+    /// One past the largest external id ever handed out — the id the
+    /// next [`DbLsh::insert`] returns. Exceeds the physical row count
+    /// once compaction has dropped dead rows.
+    pub(crate) ext_len: usize,
 }
 
 impl DbLsh {
@@ -147,7 +184,7 @@ impl DbLsh {
         // more local than insertion order. Both the projection rows and
         // the verification rows are physically reordered so leaf scans
         // and exact-distance verification read near-sequential memory.
-        let relabel = if params.relabel {
+        let (maps, verify_rows) = if params.relabel {
             let view0 = StridedCoords::new(&flat, width, 0, k);
             let perm = dblsh_index::str_order(&view0, &ids, params.node_capacity);
             let mut permuted = vec![0.0f32; flat.len()];
@@ -160,13 +197,16 @@ impl DbLsh {
             for (int, &ext) in perm.iter().enumerate() {
                 int_of_ext[ext as usize] = int as u32;
             }
-            Some(Relabel {
-                data: data.reordered(&perm),
-                ext_of_int: perm,
-                int_of_ext,
-            })
+            let rows = data.reordered(&perm);
+            (
+                Some(IdMaps {
+                    ext_of_int: perm,
+                    int_of_ext,
+                }),
+                Some(rows),
+            )
         } else {
-            None
+            (None, None)
         };
         let store = ProjStore::from_flat(l, k, flat);
 
@@ -192,38 +232,43 @@ impl DbLsh {
             trees: trees.into_iter().map(|t| t.expect("tree built")).collect(),
             store,
             data,
-            relabel,
+            maps,
+            verify_rows,
             removed: vec![0; live.div_ceil(64)],
             live,
+            ext_len: live,
         })
     }
 
     /// Map an internal id (tree/store row) to the caller-visible external
-    /// id. Identity on non-relabeled indexes.
+    /// id. Identity on unmapped indexes.
     #[inline]
     pub(crate) fn to_ext(&self, internal: u32) -> u32 {
-        match &self.relabel {
-            Some(r) => r.ext_of_int[internal as usize],
+        match &self.maps {
+            Some(m) => m.ext_of_int[internal as usize],
             None => internal,
         }
     }
 
     /// Map an external id to the internal id the trees and the store use.
+    /// Callers guard with the tombstone bitset first — a compacted-away
+    /// id maps to the [`DEAD`] sentinel.
     #[inline]
     pub(crate) fn to_int(&self, external: u32) -> u32 {
-        match &self.relabel {
-            Some(r) => r.int_of_ext[external as usize],
+        match &self.maps {
+            Some(m) => m.int_of_ext[external as usize],
             None => external,
         }
     }
 
     /// The dataset rows in *internal* order — what candidate verification
     /// reads. On relabeled indexes this is the physically reordered copy;
-    /// otherwise the external dataset itself.
+    /// otherwise `data` itself (whose row order is internal order on
+    /// identity builds, compacted or not).
     #[inline]
     pub(crate) fn verify_data(&self) -> &Dataset {
-        match &self.relabel {
-            Some(r) => &r.data,
+        match &self.verify_rows {
+            Some(rows) => rows,
             None => &self.data,
         }
     }
@@ -233,20 +278,32 @@ impl DbLsh {
         &self.params
     }
 
-    /// The backing dataset in the caller's (external) row order: row `i`
-    /// is the point whose external id is `i`, exactly as supplied at
-    /// build time plus any [`DbLsh::insert`]ed rows. Rows of removed
-    /// points are still present (ids are stable row indexes); see
-    /// [`DbLsh::contains`]. The locality-relabeled internal layout is not
-    /// observable here.
+    /// The backing dataset, rows ascending by external id. Until the
+    /// first [`DbLsh::compact`] this means row `i` *is* the point with
+    /// id `i`, exactly as supplied at build time plus any
+    /// [`DbLsh::insert`]ed rows, with removed points' rows still present
+    /// (tombstoned, see [`DbLsh::contains`]). After a compaction the
+    /// dead rows are gone, so row indexes and ids diverge — use
+    /// [`DbLsh::point`] for id-addressed access. The locality-relabeled
+    /// internal layout is never observable here.
     pub fn data(&self) -> &Dataset {
         &self.data
     }
 
-    /// Whether this index was built with locality-aware id relabeling
-    /// (see the module docs and [`DbLshParams::relabel`]).
+    /// Borrow the point with external id `id`, or `None` if `id` does
+    /// not name a live point of this index. Works identically before and
+    /// after [`DbLsh::compact`].
+    pub fn point(&self, id: u32) -> Option<&[f32]> {
+        if !self.contains(id) {
+            return None;
+        }
+        Some(self.verify_data().point(self.to_int(id) as usize))
+    }
+
+    /// Whether this index carries a locality-reordered verification copy
+    /// of its rows (see the module docs and [`DbLshParams::relabel`]).
     pub fn is_relabeled(&self) -> bool {
-        self.relabel.is_some()
+        self.verify_rows.is_some()
     }
 
     /// The projection family.
@@ -275,9 +332,25 @@ impl DbLsh {
         self.live == 0
     }
 
+    /// One past the largest external id ever handed out — the id the
+    /// next [`DbLsh::insert`] returns. Every id in `0..id_bound()` has
+    /// been handed out exactly once (ids are never recycled); ids of
+    /// removed points stay tombstoned forever, even after their rows are
+    /// reclaimed by [`DbLsh::compact`].
+    pub fn id_bound(&self) -> usize {
+        self.ext_len
+    }
+
+    /// Number of tombstoned rows still occupying physical space (in the
+    /// store, the dataset and the maps) — what [`DbLsh::compact`] would
+    /// reclaim, and what drives a serving layer's compaction policy.
+    pub fn dead_rows(&self) -> usize {
+        self.store.len() - self.live
+    }
+
     /// Whether `id` names a live point of this index.
     pub fn contains(&self, id: u32) -> bool {
-        (id as usize) < self.data.len() && !self.is_removed(id)
+        (id as usize) < self.ext_len && !self.is_removed(id)
     }
 
     #[inline]
@@ -303,25 +376,35 @@ impl DbLsh {
         if !point.iter().all(|v| v.is_finite()) {
             return Err(DbLshError::NonFiniteCoordinate);
         }
-        if self.data.len() >= u32::MAX as usize {
+        // DEAD (u32::MAX) is reserved as the dropped-row sentinel, so the
+        // largest usable id is u32::MAX - 1.
+        if self.ext_len >= u32::MAX as usize {
             return Err(DbLshError::CapacityExceeded {
                 limit: u32::MAX as usize,
             });
         }
-        let id = self.data.len() as u32;
+        let id = self.ext_len as u32;
         Arc::make_mut(&mut self.data).try_push(point)?;
-        // Appended rows land at the same index in both id spaces (the
-        // external dataset, the internal verification rows and the store
-        // grow in lockstep), so the maps extend with a fixed point.
-        if let Some(rl) = &mut self.relabel {
-            rl.data
-                .try_push(point)
+        // The appended row is the largest external id and the newest
+        // internal row at once, so it lands at the tail of every
+        // structure: external data (ascending by id), verification rows
+        // (internal order), store, and both maps.
+        if let Some(rows) = &mut self.verify_rows {
+            rows.try_push(point)
                 .expect("validated point rejected by internal rows");
-            rl.ext_of_int.push(id);
-            rl.int_of_ext.push(id);
+        }
+        if let Some(m) = &mut self.maps {
+            let internal = self.store.len() as u32;
+            m.ext_of_int.push(id);
+            debug_assert_eq!(m.int_of_ext.len(), id as usize);
+            m.int_of_ext.push(internal);
         }
         let store_id = self.store.push_projected(&self.hasher, point);
-        debug_assert_eq!(store_id, id, "store rows out of step with dataset rows");
+        debug_assert_eq!(
+            store_id,
+            self.to_int(id),
+            "store rows out of step with the id maps"
+        );
         let store = &self.store;
         for (i, tree) in self.trees.iter_mut().enumerate() {
             tree.insert(&store.view(i), store_id);
@@ -330,6 +413,7 @@ impl DbLsh {
             self.removed.push(0);
         }
         self.live += 1;
+        self.ext_len += 1;
         Ok(id)
     }
 
@@ -341,7 +425,7 @@ impl DbLsh {
     /// The removal descends each tree guided by the id's stored
     /// projection row — no re-projection work is done.
     pub fn remove(&mut self, id: u32) -> Result<bool, DbLshError> {
-        if id as usize >= self.data.len() {
+        if id as usize >= self.ext_len {
             return Err(DbLshError::UnknownId { id });
         }
         if self.is_removed(id) {
@@ -361,38 +445,174 @@ impl DbLsh {
         Ok(true)
     }
 
+    /// Reclaim the space of every tombstoned row: rewrite the projection
+    /// store, the dataset rows and the id maps without the dead rows, and
+    /// rebuild the `L` trees over the compacted store through the bulk
+    /// path. External ids are **preserved** — live points keep the ids
+    /// they had, dead ids stay dead forever (never recycled) — and
+    /// canonical-mode query answers ([`DbLsh::search_canonical`]) are
+    /// byte-identical before and after, because per-round window
+    /// candidate *sets* and per-row distances are unchanged. (The classic
+    /// [`DbLsh::k_ann`] mode stops at leaf-batch granularity, and
+    /// rebuilding the trees can move leaf boundaries, so it guarantees
+    /// the same candidate pool but not bit-equal early-exit points.)
+    ///
+    /// The relative internal order of the surviving rows is kept, so the
+    /// locality of a relabeled build survives compaction. A compacted
+    /// identity-order index keeps its single `data` copy as the
+    /// verification rows (its internal order stays ascending-by-id);
+    /// only genuinely relabeled builds carry a reordered copy.
+    ///
+    /// No-op (and cheap) when there are no dead rows. Cost otherwise is
+    /// `O(n)` copying plus the `L` parallel bulk loads — comparable to a
+    /// fresh build minus all projection work.
+    pub fn compact(&mut self) -> CompactionStats {
+        let dropped = self.dead_rows();
+        let live = self.live;
+        if dropped == 0 {
+            return CompactionStats {
+                dropped_rows: 0,
+                live_rows: live,
+                reclaimed_bytes: 0,
+            };
+        }
+        let reclaimed_bytes = self.memory_breakdown().dead_bytes;
+        let n_old = self.store.len();
+        let (l, k) = (self.params.l, self.params.k);
+        let width = l * k;
+
+        // The compaction permutation: surviving rows keep their relative
+        // internal order (`keep[new_int] = old_int`, ascending).
+        let mut keep: Vec<u32> = Vec::with_capacity(live);
+        for old_int in 0..n_old as u32 {
+            if !self.is_removed(self.to_ext(old_int)) {
+                keep.push(old_int);
+            }
+        }
+        debug_assert_eq!(keep.len(), live, "live counter out of sync");
+
+        // New projection rows and id maps, in one pass over `keep`.
+        let mut flat = Vec::with_capacity(live * width);
+        let mut ext_of_int = Vec::with_capacity(live);
+        let mut int_of_ext = vec![DEAD; self.ext_len];
+        for (new_int, &old_int) in keep.iter().enumerate() {
+            flat.extend_from_slice(self.store.row(old_int));
+            let ext = self.to_ext(old_int);
+            ext_of_int.push(ext);
+            int_of_ext[ext as usize] = new_int as u32;
+        }
+
+        // New row payloads: the verification copy in internal (`keep`)
+        // order — only for relabeled builds — and the external dataset in
+        // ascending-id order. On an identity build those two orders
+        // coincide, so the single `data` copy serves both.
+        let verify_src = self.verify_data();
+        let dim = verify_src.dim();
+        let new_verify: Option<Dataset> = self.verify_rows.as_ref().map(|_| {
+            let mut rows = Vec::with_capacity(live * dim);
+            for &old_int in &keep {
+                rows.extend_from_slice(verify_src.point(old_int as usize));
+            }
+            Dataset::from_flat(dim, rows)
+        });
+        let mut by_ext = ext_of_int.clone();
+        by_ext.sort_unstable();
+        let mut ext_rows = Vec::with_capacity(live * dim);
+        for &ext in &by_ext {
+            ext_rows.extend_from_slice(verify_src.point(self.to_int(ext) as usize));
+        }
+
+        // Swap everything in, then rebuild the trees over the compacted
+        // store (tree-parallel, exactly the build path). The tombstone
+        // bits of the dropped ids stay set — one bit per id is the
+        // price of never recycling ids.
+        self.store = ProjStore::from_flat(l, k, flat);
+        self.verify_rows = new_verify;
+        self.maps = Some(IdMaps {
+            ext_of_int,
+            int_of_ext,
+        });
+        self.data = Arc::new(Dataset::from_flat(dim, ext_rows));
+        let ids: Vec<u32> = (0..live as u32).collect();
+        let cap = self.params.node_capacity;
+        let store = &self.store;
+        let mut trees: Vec<Option<RStarTree>> = Vec::new();
+        trees.resize_with(l, || None);
+        std::thread::scope(|s| {
+            for (i, slot) in trees.iter_mut().enumerate() {
+                let ids = &ids;
+                s.spawn(move || {
+                    *slot = Some(RStarTree::bulk_load_with_capacity(&store.view(i), ids, cap));
+                });
+            }
+        });
+        self.trees = trees.into_iter().map(|t| t.expect("tree built")).collect();
+
+        CompactionStats {
+            dropped_rows: dropped,
+            live_rows: live,
+            reclaimed_bytes,
+        }
+    }
+
     /// Verify cross-structure invariants: the store mirrors the dataset
-    /// row for row, the relabel maps are inverse permutations whose
-    /// reordered rows match the external dataset, every tree holds
-    /// exactly the live (internal) ids, at exactly the coordinates the
-    /// hasher assigns them, and satisfies its own R\* invariants. Panics
-    /// with a description on violation. Exposed for tests and debugging;
-    /// cost is `O(L * n * (K * d + log n))`.
+    /// row for row, the id maps are mutually inverse over the physical
+    /// rows (with every compacted-away id tombstoned and mapped to the
+    /// dead sentinel), the dataset rows ascend by external id and mirror
+    /// the verification rows, every tree holds exactly the live
+    /// (internal) ids, at exactly the coordinates the hasher assigns
+    /// them, and satisfies its own R\* invariants. Panics with a
+    /// description on violation. Exposed for tests and debugging; cost
+    /// is `O(L * n * (K * d + log n))`.
     pub fn check_invariants(&self) {
+        let rows = self.store.len();
         assert_eq!(
-            self.store.len(),
+            rows,
             self.data.len(),
             "projection store out of sync with dataset"
         );
-        if let Some(rl) = &self.relabel {
-            assert_eq!(rl.data.len(), self.data.len(), "internal rows out of sync");
-            assert_eq!(rl.ext_of_int.len(), self.data.len());
-            assert_eq!(rl.int_of_ext.len(), self.data.len());
-            for int in 0..self.data.len() {
-                let ext = rl.ext_of_int[int];
+        assert!(rows <= self.ext_len, "more rows than ids handed out");
+        if let Some(m) = &self.maps {
+            assert_eq!(m.ext_of_int.len(), rows, "ext_of_int out of step");
+            assert_eq!(m.int_of_ext.len(), self.ext_len, "int_of_ext out of step");
+            for int in 0..rows {
+                let ext = m.ext_of_int[int] as usize;
+                assert!(ext < self.ext_len, "row {int} maps to unissued id {ext}");
                 assert_eq!(
-                    rl.int_of_ext[ext as usize], int as u32,
+                    m.int_of_ext[ext], int as u32,
                     "id maps are not inverse at internal {int}"
                 );
-                assert_eq!(
-                    rl.data.point(int),
-                    self.data.point(ext as usize),
-                    "internal row {int} does not mirror external row {ext}"
-                );
             }
+            let present = m.int_of_ext.iter().filter(|&&i| i != DEAD).count();
+            assert_eq!(present, rows, "int_of_ext names phantom rows");
+            for (ext, &int) in m.int_of_ext.iter().enumerate() {
+                if int == DEAD {
+                    assert!(
+                        self.is_removed(ext as u32),
+                        "id {ext} has no row but is not tombstoned"
+                    );
+                }
+            }
+        } else {
+            assert_eq!(self.ext_len, rows, "unmapped index must have dense ids");
+        }
+        if let Some(v) = &self.verify_rows {
+            assert_eq!(v.len(), rows, "verification rows out of sync");
+        }
+        // `data` rows ascend by external id and mirror the verification
+        // rows through the maps.
+        let verify = self.verify_data();
+        let mut by_ext: Vec<u32> = (0..rows as u32).map(|int| self.to_ext(int)).collect();
+        by_ext.sort_unstable();
+        for (row, &ext) in by_ext.iter().enumerate() {
+            assert_eq!(
+                self.data.point(row),
+                verify.point(self.to_int(ext) as usize),
+                "external row {row} does not mirror id {ext}"
+            );
         }
         let live_ids: Vec<u32> = {
-            let mut v: Vec<u32> = (0..self.data.len() as u32)
+            let mut v: Vec<u32> = (0..self.ext_len as u32)
                 .filter(|&ext| !self.is_removed(ext))
                 .map(|ext| self.to_int(ext))
                 .collect();
@@ -613,5 +833,107 @@ mod tests {
         assert!(idx.contains(id));
         assert!(!idx.contains(0));
         assert_eq!(idx.len(), 1000);
+    }
+
+    #[test]
+    fn compact_reclaims_dead_rows_and_preserves_ids() {
+        for relabel in [true, false] {
+            let data = small_data();
+            let params = DbLshParams::paper_defaults(data.len())
+                .with_kl(5, 3)
+                .with_relabel(relabel);
+            let mut idx = DbLsh::build(Arc::clone(&data), &params).unwrap();
+            for id in 0..500u32 {
+                idx.remove(id).unwrap();
+            }
+            assert_eq!(idx.dead_rows(), 500);
+            assert!(idx.memory_breakdown().dead_bytes > 0);
+            let before_total = idx.memory_breakdown().total();
+            let stats = idx.compact();
+            assert_eq!(stats.dropped_rows, 500);
+            assert_eq!(stats.live_rows, 500);
+            assert!(stats.reclaimed_bytes > 0);
+            idx.check_invariants();
+            assert_eq!(idx.dead_rows(), 0);
+            assert_eq!(idx.memory_breakdown().dead_bytes, 0);
+            assert!(
+                idx.memory_breakdown().total() < before_total,
+                "relabel={relabel}: total bytes must shrink"
+            );
+            assert_eq!(idx.len(), 500);
+            assert_eq!(idx.id_bound(), 1000, "external id space is preserved");
+            assert_eq!(idx.data().len(), 500, "dead dataset rows dropped");
+            assert_eq!(idx.store.len(), 500, "dead store rows dropped");
+            for id in 0..500u32 {
+                assert!(!idx.contains(id));
+                assert!(!idx.remove(id).unwrap(), "dead ids stay dead");
+                assert!(idx.point(id).is_none());
+            }
+            for id in 500..1000u32 {
+                assert!(idx.contains(id));
+                assert_eq!(idx.point(id).unwrap(), data.point(id as usize));
+            }
+            // ids are still never recycled after a compaction
+            let id = idx.insert(&[2.5f32; 16]).unwrap();
+            assert_eq!(id, 1000);
+            idx.check_invariants();
+        }
+    }
+
+    #[test]
+    fn compact_on_clean_index_is_a_noop() {
+        let data = small_data();
+        let params = DbLshParams::paper_defaults(data.len()).with_kl(4, 2);
+        let mut idx = DbLsh::build(Arc::clone(&data), &params).unwrap();
+        let stats = idx.compact();
+        assert_eq!(stats.dropped_rows, 0);
+        assert_eq!(stats.reclaimed_bytes, 0);
+        assert!(idx.is_relabeled(), "no-op compaction keeps the layout");
+        idx.check_invariants();
+    }
+
+    #[test]
+    fn compact_preserves_canonical_answers() {
+        let data = small_data();
+        let params = DbLshParams::paper_defaults(data.len())
+            .with_kl(6, 3)
+            .with_r_min(0.5);
+        let mut never = DbLsh::build(Arc::clone(&data), &params).unwrap();
+        let mut compacted = DbLsh::build(Arc::clone(&data), &params).unwrap();
+        for id in (0..1000u32).step_by(3) {
+            never.remove(id).unwrap();
+            compacted.remove(id).unwrap();
+        }
+        compacted.compact();
+        let opts = crate::SearchOptions::default();
+        for qi in [1usize, 400, 999] {
+            let q = data.point(qi);
+            let a = never.search_canonical(q, 8, &opts).unwrap();
+            let b = compacted.search_canonical(q, 8, &opts).unwrap();
+            assert_eq!(a.neighbors, b.neighbors, "query {qi}");
+            assert_eq!(a.stats, b.stats, "query {qi}");
+        }
+    }
+
+    #[test]
+    fn repeated_compactions_through_churn_stay_consistent() {
+        let data = small_data();
+        let params = DbLshParams::paper_defaults(data.len()).with_kl(4, 2);
+        let mut idx = DbLsh::build(Arc::clone(&data), &params).unwrap();
+        let mut next_remove = 0u32;
+        for round in 0..4 {
+            for _ in 0..100 {
+                idx.remove(next_remove).unwrap();
+                next_remove += 2; // 400 removes, all inside the bulk ids
+            }
+            for i in 0..50 {
+                idx.insert(&[round as f32 + i as f32 * 0.01; 16]).unwrap();
+            }
+            idx.compact();
+            idx.check_invariants();
+            assert_eq!(idx.dead_rows(), 0);
+        }
+        assert_eq!(idx.len(), 1000 - 400 + 200);
+        assert_eq!(idx.id_bound(), 1000 + 200);
     }
 }

@@ -63,15 +63,17 @@ mod index;
 mod params;
 pub mod proj_store;
 mod query;
+mod snapshot;
 
 pub use builder::DbLshBuilder;
 pub use hasher::GaussianHasher;
-pub use index::DbLsh;
+pub use index::{CompactionStats, DbLsh};
 pub use params::DbLshParams;
 pub use proj_store::ProjStore;
 pub use query::{
     CanonicalLadder, LadderPlan, LadderProber, MemoryBreakdown, ProberScratch, SearchOptions,
 };
+pub use snapshot::INDEX_SNAPSHOT_KIND;
 
 // The workspace error type originates in `dblsh_data` (the crate that
 // defines `AnnIndex`); re-exported here so `dblsh_core` users need not

@@ -66,14 +66,24 @@ pub struct MemoryBreakdown {
     /// The `L` flat tree arenas: id arrays plus inline inner-node bounds.
     /// No point coordinates — those are counted in `proj_store_bytes`.
     pub tree_bytes: usize,
-    /// The locality-relabeling state: the two internal↔external `u32`
-    /// id maps plus the dataset rows physically reordered into internal
-    /// order for verification. Zero on identity-order builds.
+    /// The id-mapping state: the two internal↔external `u32` maps plus
+    /// (on relabeled builds) the dataset rows physically reordered into
+    /// internal order for verification. Zero on identity-order builds
+    /// that were never compacted.
     pub relabel_bytes: usize,
+    /// What churn currently costs: the share of the store, the dataset
+    /// rows and the id maps occupied by *tombstoned* rows — payload a
+    /// [`crate::DbLsh::compact`] call would reclaim. An overlay over the
+    /// other components (plus the backing dataset, which the breakdown
+    /// otherwise does not count), **not** an additional component:
+    /// [`MemoryBreakdown::total`] does not add it. Returns to 0 after a
+    /// compaction.
+    pub dead_bytes: usize,
 }
 
 impl MemoryBreakdown {
-    /// Sum of all components.
+    /// Sum of all owned components (`dead_bytes` is an overlay, not a
+    /// component — see its field docs).
     pub fn total(&self) -> usize {
         self.proj_store_bytes + self.tree_bytes + self.relabel_bytes
     }
@@ -249,7 +259,8 @@ fn fresh_scratch(index: &DbLsh, q: &[f32]) -> QueryScratch {
 }
 
 fn prepare_scratch(scratch: &mut QueryScratch, index: &DbLsh, q: &[f32]) {
-    scratch.visited.reset(index.data.len());
+    // The visited domain is *internal* ids — physical store rows.
+    scratch.visited.reset(index.store.len());
     let (l, k) = (index.params.l, index.params.k);
     scratch.qproj.resize(l * k, 0.0);
     for i in 0..l {
@@ -444,19 +455,32 @@ impl DbLsh {
     /// Per-component heap footprint: the one shared [`crate::ProjStore`]
     /// (all `n x (L*K)` projected coordinates), the `L` id-only tree
     /// arenas (node structure and inline inner bounds, no coordinates),
-    /// and the locality-relabeling state (id maps + reordered
-    /// verification rows; zero when relabeling is disabled).
+    /// the id-mapping state (maps + any reordered verification rows),
+    /// and — as an overlay — the `dead_bytes` that tombstoned rows
+    /// currently pin across the store, the dataset rows and the maps.
     pub fn memory_breakdown(&self) -> MemoryBreakdown {
+        let dead = self.dead_rows();
+        let dim = self.data.dim();
+        // Per dead row: its projection row, its external dataset row,
+        // its verification-copy row (relabeled builds only), and its two
+        // u32 map entries (mapped indexes only). Logical (len-based)
+        // size, like every other figure here.
+        let per_dead_row = self.store.row_width() * std::mem::size_of::<f32>()
+            + dim * std::mem::size_of::<f32>() * (1 + usize::from(self.verify_rows.is_some()))
+            + 2 * std::mem::size_of::<u32>() * usize::from(self.maps.is_some());
         MemoryBreakdown {
             proj_store_bytes: self.store.memory_bytes(),
             tree_bytes: self.trees.iter().map(|t| t.approx_memory()).sum(),
             // Logical (len-based) size throughout, so the id maps and the
             // row copy are accounted on one basis; Vec growth slack after
             // heavy insert traffic is deliberately excluded.
-            relabel_bytes: self.relabel.as_ref().map_or(0, |r| {
-                (r.ext_of_int.len() + r.int_of_ext.len()) * std::mem::size_of::<u32>()
-                    + std::mem::size_of_val(r.data.flat())
-            }),
+            relabel_bytes: self.maps.as_ref().map_or(0, |m| {
+                (m.ext_of_int.len() + m.int_of_ext.len()) * std::mem::size_of::<u32>()
+            }) + self
+                .verify_rows
+                .as_ref()
+                .map_or(0, |v| std::mem::size_of_val(v.flat())),
+            dead_bytes: dead * per_dead_row,
         }
     }
 
@@ -810,7 +834,8 @@ impl DbLsh {
         scratch: &'a mut ProberScratch,
     ) -> Result<LadderProber<'a>, DbLshError> {
         check_query(self.data.dim(), q, 1)?;
-        scratch.visited.reset(self.data.len());
+        // Internal-id domain: physical store rows.
+        scratch.visited.reset(self.store.len());
         let (l, k) = (self.params.l, self.params.k);
         scratch.qproj.resize(l * k, 0.0);
         for i in 0..l {

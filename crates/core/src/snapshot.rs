@@ -1,0 +1,560 @@
+//! Index persistence: [`DbLsh::save`] / [`DbLsh::load`] over the
+//! versioned snapshot container of [`dblsh_data::io`].
+//!
+//! # What is stored vs rebuilt
+//!
+//! A snapshot stores exactly the state that cannot be recomputed
+//! cheaply or deterministically enough:
+//!
+//! * the parameters (the Gaussian family is *rebuilt* from its seed —
+//!   projections are deterministic in it, so the matrix itself never
+//!   hits disk);
+//! * the dataset rows (ascending by external id — the only copy; the
+//!   relabeled verification order is *rebuilt* by permuting these rows
+//!   through the id maps);
+//! * the projection store, bit-exact (recomputing it would cost the
+//!   full `n x L x K x d` projection pass of a build — the single most
+//!   expensive build phase);
+//! * the id maps and the tombstone bitset (pure state, not derivable);
+//! * the `L` R*-trees are **rebuilt** from the restored store via the
+//!   bulk-load path. Tree structure is an implementation detail the
+//!   canonical query mode is independent of, so persisting arenas would
+//!   buy nothing but format surface: canonical answers
+//!   ([`DbLsh::search_canonical`]) are byte-identical across
+//!   save/load, while classic-mode leaf boundaries may legitimately
+//!   move (same candidate pools, different batch cut points).
+//!
+//! # Error discipline
+//!
+//! Loading shares `read_dim_header`'s strictness: every way a file can
+//! be wrong — truncation anywhere, flipped bits (checksummed), version
+//! or kind mismatches, sections whose decoded contents violate an index
+//! invariant (non-inverse maps, phantom tombstones, non-finite
+//! coordinates, count mismatches) — surfaces as a typed
+//! [`DbLshError`], never a panic and never a silently wrong index.
+
+use std::io::{Read, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use dblsh_data::io::{SectionBuf, SnapshotReader, SnapshotWriter};
+use dblsh_data::{Dataset, DbLshError};
+use dblsh_index::RStarTree;
+
+use crate::hasher::GaussianHasher;
+use crate::index::{DbLsh, IdMaps, DEAD};
+use crate::params::DbLshParams;
+use crate::proj_store::ProjStore;
+
+/// Snapshot kind tag for a single [`DbLsh`] index.
+pub const INDEX_SNAPSHOT_KIND: [u8; 4] = *b"INDX";
+
+const TAG_PARAMS: [u8; 4] = *b"PRMS";
+const TAG_META: [u8; 4] = *b"META";
+const TAG_DATA: [u8; 4] = *b"DATA";
+const TAG_PROJ: [u8; 4] = *b"PROJ";
+const TAG_MAPS: [u8; 4] = *b"MAPS";
+const TAG_TOMB: [u8; 4] = *b"TOMB";
+
+fn corrupt(reason: impl Into<String>) -> DbLshError {
+    DbLshError::corrupt(reason)
+}
+
+impl DbLsh {
+    /// Serialize the index into `writer` (see the module docs for what
+    /// is stored). The snapshot captures the current state verbatim —
+    /// including tombstoned-but-not-compacted rows — so
+    /// [`DbLsh::load`]-then-query answers byte-identically to this index
+    /// in canonical mode.
+    ///
+    /// Peak memory during a save is roughly the index's own payload
+    /// again: section bodies (dataset + projection rows re-encoded as
+    /// little-endian bytes) are staged in memory so the checksummed
+    /// section table can precede them in one forward-only write.
+    pub fn save<W: Write>(&self, writer: W) -> Result<(), DbLshError> {
+        let mut w = SnapshotWriter::new(INDEX_SNAPSHOT_KIND);
+        let p = &self.params;
+
+        let mut prms = SectionBuf::new();
+        prms.put_f64(p.c);
+        prms.put_f64(p.w0);
+        prms.put_u64(p.k as u64);
+        prms.put_u64(p.l as u64);
+        prms.put_u64(p.t as u64);
+        prms.put_f64(p.r_min);
+        prms.put_u64(p.max_rounds as u64);
+        prms.put_u64(p.node_capacity as u64);
+        prms.put_u64(p.seed);
+        prms.put_u8(u8::from(p.relabel));
+        w.section(TAG_PARAMS, prms);
+
+        let rows = self.store.len();
+        let mut meta = SectionBuf::new();
+        meta.put_u64(self.data.dim() as u64);
+        meta.put_u64(rows as u64);
+        meta.put_u64(self.ext_len as u64);
+        meta.put_u64(self.len() as u64);
+        meta.put_u8(u8::from(self.maps.is_some()));
+        meta.put_u8(u8::from(self.verify_rows.is_some()));
+        w.section(TAG_META, meta);
+
+        let mut data = SectionBuf::new();
+        data.put_f32_slice(self.data.flat());
+        w.section(TAG_DATA, data);
+
+        let mut proj = SectionBuf::new();
+        for id in 0..rows as u32 {
+            proj.put_f32_slice(self.store.row(id));
+        }
+        w.section(TAG_PROJ, proj);
+
+        if let Some(m) = &self.maps {
+            let mut maps = SectionBuf::new();
+            maps.put_u32_slice(&m.ext_of_int);
+            maps.put_u32_slice(&m.int_of_ext);
+            w.section(TAG_MAPS, maps);
+        }
+
+        let mut tomb = SectionBuf::new();
+        tomb.put_u64_slice(&self.removed);
+        w.section(TAG_TOMB, tomb);
+
+        w.write_to(writer)
+    }
+
+    /// [`DbLsh::save`] to a file path, crash-safely: the snapshot is
+    /// written to a `.tmp` sibling and renamed into place only once
+    /// complete, so an interrupted save never destroys the previous
+    /// snapshot at `path`.
+    pub fn save_file<P: AsRef<Path>>(&self, path: P) -> Result<(), DbLshError> {
+        dblsh_data::io::atomic_write_file(path.as_ref(), |f| self.save(f))
+    }
+
+    /// Restore an index from a snapshot stream: decode and validate
+    /// every section, rebuild the Gaussian family from its seed, and
+    /// bulk-load the `L` trees over the restored projection store.
+    /// Canonical-mode answers are byte-identical to the saved index.
+    ///
+    /// Malformed input of any kind — truncated or bit-flipped files,
+    /// wrong kind, future versions, internally inconsistent sections —
+    /// yields a typed [`DbLshError`], never a panic.
+    pub fn load<R: Read>(reader: R) -> Result<Self, DbLshError> {
+        let snap = SnapshotReader::read_from(reader, INDEX_SNAPSHOT_KIND)?;
+
+        let mut prms = snap.section(TAG_PARAMS)?;
+        let params = DbLshParams {
+            c: prms.get_f64()?,
+            w0: prms.get_f64()?,
+            k: prms.get_len()?,
+            l: prms.get_len()?,
+            t: prms.get_len()?,
+            r_min: prms.get_f64()?,
+            max_rounds: prms.get_len()?,
+            node_capacity: prms.get_len()?,
+            seed: prms.get_u64()?,
+            relabel: prms.get_u8()? != 0,
+        };
+        prms.finish()?;
+        params
+            .validate()
+            .map_err(|e| corrupt(format!("snapshot parameters invalid: {e}")))?;
+
+        let mut meta = snap.section(TAG_META)?;
+        let dim = meta.get_len()?;
+        let rows = meta.get_len()?;
+        let ext_len = meta.get_len()?;
+        let live = meta.get_len()?;
+        let has_maps = meta.get_u8()? != 0;
+        let has_verify = meta.get_u8()? != 0;
+        meta.finish()?;
+        if dim == 0 {
+            return Err(corrupt("zero dimensionality"));
+        }
+        if ext_len == 0 {
+            return Err(corrupt("empty id space (an index always has ids)"));
+        }
+        if rows > ext_len || live > rows || ext_len > u32::MAX as usize {
+            return Err(corrupt(format!(
+                "inconsistent counts: rows {rows}, live {live}, id bound {ext_len}"
+            )));
+        }
+        if has_verify && !has_maps {
+            return Err(corrupt("verification order flagged without id maps"));
+        }
+
+        let mut data_sec = snap.section(TAG_DATA)?;
+        let flat = data_sec.get_f32_vec(
+            rows.checked_mul(dim)
+                .ok_or_else(|| corrupt("dataset size overflows"))?,
+        )?;
+        data_sec.finish()?;
+        let data = Dataset::try_from_flat(dim, flat)
+            .map_err(|e| corrupt(format!("dataset section invalid: {e}")))?;
+
+        let width = params
+            .l
+            .checked_mul(params.k)
+            .ok_or_else(|| corrupt("projection width overflows"))?;
+        let mut proj_sec = snap.section(TAG_PROJ)?;
+        let proj = proj_sec.get_f32_vec(
+            rows.checked_mul(width)
+                .ok_or_else(|| corrupt("projection store size overflows"))?,
+        )?;
+        proj_sec.finish()?;
+        if !proj.iter().all(|v| v.is_finite()) {
+            return Err(corrupt("non-finite value in projection store"));
+        }
+
+        let maps = if has_maps {
+            let mut maps_sec = snap.section(TAG_MAPS)?;
+            let ext_of_int = maps_sec.get_u32_vec(rows)?;
+            let int_of_ext = maps_sec.get_u32_vec(ext_len)?;
+            maps_sec.finish()?;
+            Some(IdMaps {
+                ext_of_int,
+                int_of_ext,
+            })
+        } else {
+            if snap.has_section(TAG_MAPS) {
+                return Err(corrupt("unexpected id-map section on an unmapped index"));
+            }
+            if ext_len != rows {
+                return Err(corrupt(format!(
+                    "unmapped index with sparse ids: {rows} rows, id bound {ext_len}"
+                )));
+            }
+            None
+        };
+
+        let mut tomb_sec = snap.section(TAG_TOMB)?;
+        let removed = tomb_sec.get_u64_vec(ext_len.div_ceil(64))?;
+        tomb_sec.finish()?;
+        // Bits at and beyond `ext_len` must be clear: `insert` assumes
+        // freshly grown bitset words start zeroed.
+        let tail_bits: u32 = removed
+            .iter()
+            .enumerate()
+            .map(|(w, &bits)| {
+                let valid = ext_len.saturating_sub(w * 64).min(64);
+                if valid == 64 {
+                    0
+                } else {
+                    (bits >> valid).count_ones()
+                }
+            })
+            .sum();
+        if tail_bits != 0 {
+            return Err(corrupt("tombstone bits set beyond the id bound"));
+        }
+        let is_removed = |ext: usize| removed[ext / 64] & (1u64 << (ext % 64)) != 0;
+        let removed_total: u32 = removed.iter().map(|w| w.count_ones()).sum();
+        if removed_total as usize != ext_len - live {
+            return Err(corrupt(format!(
+                "tombstone count {removed_total} disagrees with id bound {ext_len} minus live {live}"
+            )));
+        }
+
+        // Map validation: mutually inverse over the physical rows, dead
+        // sentinel exactly on tombstoned row-less ids.
+        if let Some(m) = &maps {
+            for (int, &ext) in m.ext_of_int.iter().enumerate() {
+                if (ext as usize) >= ext_len {
+                    return Err(corrupt(format!("row {int} maps to unissued id {ext}")));
+                }
+                if m.int_of_ext[ext as usize] != int as u32 {
+                    return Err(corrupt(format!("id maps are not inverse at row {int}")));
+                }
+            }
+            let mut present = 0usize;
+            for (ext, &int) in m.int_of_ext.iter().enumerate() {
+                if int == DEAD {
+                    if !is_removed(ext) {
+                        return Err(corrupt(format!("id {ext} has no row but no tombstone")));
+                    }
+                } else {
+                    if int as usize >= rows || m.ext_of_int[int as usize] != ext as u32 {
+                        return Err(corrupt(format!("id {ext} maps to a foreign row")));
+                    }
+                    present += 1;
+                }
+            }
+            if present != rows {
+                return Err(corrupt("id maps name a different number of rows"));
+            }
+            // Without a verification copy, `data`'s own row order must BE
+            // the internal order (the compacted-identity invariant) — the
+            // maps must be ascending, or verification would silently read
+            // the wrong rows.
+            if !has_verify && !m.ext_of_int.windows(2).all(|w| w[0] < w[1]) {
+                return Err(corrupt(
+                    "id maps are not ascending but no verification order is stored",
+                ));
+            }
+        }
+
+        // Rebuild the relabeled verification order, when flagged, by
+        // permuting the ascending-by-id dataset rows through the maps
+        // (rank of an id among the present ids = its `data` row).
+        let to_ext = |int: u32| maps.as_ref().map_or(int, |m| m.ext_of_int[int as usize]);
+        let verify_rows = if has_verify {
+            let m = maps.as_ref().expect("validated above");
+            let mut by_ext = m.ext_of_int.clone();
+            by_ext.sort_unstable();
+            let mut rank_of = vec![DEAD; ext_len];
+            for (rank, &ext) in by_ext.iter().enumerate() {
+                rank_of[ext as usize] = rank as u32;
+            }
+            let mut rows_flat = Vec::with_capacity(rows * dim);
+            for &ext in &m.ext_of_int {
+                rows_flat.extend_from_slice(data.point(rank_of[ext as usize] as usize));
+            }
+            Some(Dataset::from_flat(dim, rows_flat))
+        } else {
+            None
+        };
+
+        // Rebuild the hasher (deterministic in the seed) and the trees
+        // over the *live* internal ids (tombstoned rows stay out of the
+        // trees, exactly as the saved index had them).
+        let hasher = GaussianHasher::new(dim, params.k, params.l, params.seed);
+        let store = ProjStore::from_flat(params.l, params.k, proj);
+        let live_ids: Vec<u32> = (0..rows as u32)
+            .filter(|&int| !is_removed(to_ext(int) as usize))
+            .collect();
+        if live_ids.len() != live {
+            return Err(corrupt(format!(
+                "live row count {} disagrees with recorded live {live}",
+                live_ids.len()
+            )));
+        }
+        let cap = params.node_capacity;
+        let mut trees: Vec<Option<RStarTree>> = Vec::new();
+        trees.resize_with(params.l, || None);
+        std::thread::scope(|s| {
+            for (i, slot) in trees.iter_mut().enumerate() {
+                let store = &store;
+                let live_ids = &live_ids;
+                s.spawn(move || {
+                    *slot = Some(RStarTree::bulk_load_with_capacity(
+                        &store.view(i),
+                        live_ids,
+                        cap,
+                    ));
+                });
+            }
+        });
+
+        Ok(DbLsh {
+            params,
+            hasher,
+            trees: trees.into_iter().map(|t| t.expect("tree built")).collect(),
+            store,
+            data: Arc::new(data),
+            maps,
+            verify_rows,
+            removed,
+            live,
+            ext_len,
+        })
+    }
+
+    /// [`DbLsh::load`] from a file path.
+    pub fn load_file<P: AsRef<Path>>(path: P) -> Result<Self, DbLshError> {
+        let f = std::fs::File::open(path).map_err(|e| DbLshError::io("open", e))?;
+        DbLsh::load(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dblsh_data::synthetic::{gaussian_mixture, MixtureConfig};
+
+    fn small() -> Arc<Dataset> {
+        Arc::new(gaussian_mixture(&MixtureConfig {
+            n: 400,
+            dim: 12,
+            clusters: 8,
+            ..Default::default()
+        }))
+    }
+
+    fn build(relabel: bool) -> DbLsh {
+        let data = small();
+        let params = DbLshParams::paper_defaults(data.len())
+            .with_kl(5, 3)
+            .with_r_min(0.5)
+            .with_relabel(relabel);
+        DbLsh::build(data, &params).unwrap()
+    }
+
+    #[test]
+    fn round_trip_restores_state_and_answers() {
+        for relabel in [true, false] {
+            let mut idx = build(relabel);
+            idx.remove(7).unwrap();
+            idx.insert(&[0.25; 12]).unwrap();
+            let mut bytes = Vec::new();
+            idx.save(&mut bytes).unwrap();
+            let loaded = DbLsh::load(&bytes[..]).unwrap();
+            loaded.check_invariants();
+            assert_eq!(loaded.len(), idx.len());
+            assert_eq!(loaded.id_bound(), idx.id_bound());
+            assert_eq!(loaded.params(), idx.params());
+            assert_eq!(loaded.data().flat(), idx.data().flat());
+            assert!(!loaded.contains(7));
+            let q = idx.data().point(3);
+            let a = idx
+                .search_canonical(q, 10, &crate::SearchOptions::default())
+                .unwrap();
+            let b = loaded
+                .search_canonical(q, 10, &crate::SearchOptions::default())
+                .unwrap();
+            assert_eq!(a.neighbors, b.neighbors, "relabel={relabel}");
+            assert_eq!(a.stats, b.stats);
+        }
+    }
+
+    #[test]
+    fn compacted_index_round_trips() {
+        let mut idx = build(true);
+        for id in 0..200u32 {
+            idx.remove(id).unwrap();
+        }
+        idx.compact();
+        let mut bytes = Vec::new();
+        idx.save(&mut bytes).unwrap();
+        let loaded = DbLsh::load(&bytes[..]).unwrap();
+        loaded.check_invariants();
+        assert_eq!(loaded.len(), 200);
+        assert_eq!(loaded.id_bound(), 400);
+        assert_eq!(loaded.dead_rows(), 0);
+        let q = idx.point(250).unwrap().to_vec();
+        let a = idx
+            .search_canonical(&q, 5, &crate::SearchOptions::default())
+            .unwrap();
+        let b = loaded
+            .search_canonical(&q, 5, &crate::SearchOptions::default())
+            .unwrap();
+        assert_eq!(a.neighbors, b.neighbors);
+    }
+
+    #[test]
+    fn truncated_and_flipped_snapshots_are_typed_errors() {
+        let idx = build(true);
+        let mut bytes = Vec::new();
+        idx.save(&mut bytes).unwrap();
+        // a spread of truncation points, including inside every section
+        for cut in [0, 10, 30, bytes.len() / 2, bytes.len() - 1] {
+            let err = DbLsh::load(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, DbLshError::CorruptSnapshot { .. }),
+                "cut {cut}: {err:?}"
+            );
+        }
+        // bit flips across the stream: header, table, payloads
+        let step = (bytes.len() / 97).max(1);
+        for pos in (0..bytes.len()).step_by(step) {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x40;
+            match DbLsh::load(&bad[..]) {
+                Err(DbLshError::CorruptSnapshot { .. }) => {}
+                Err(other) => panic!("flip at {pos}: unexpected error {other:?}"),
+                Ok(_) => panic!("flip at {pos} went undetected"),
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_kind_rejected() {
+        let err = DbLsh::load(&b"not a snapshot at all"[..]).unwrap_err();
+        assert!(matches!(err, DbLshError::CorruptSnapshot { .. }));
+    }
+
+    #[test]
+    fn crc_valid_but_non_ascending_unverified_maps_rejected() {
+        // A CRC-valid snapshot whose id maps permute the rows while
+        // claiming there is no stored verification order: without the
+        // ascending-maps check, verification would silently read the
+        // wrong rows. Must be a typed error, not a wrong index.
+        let mut w = SnapshotWriter::new(INDEX_SNAPSHOT_KIND);
+        let params = DbLshParams::paper_defaults(2).with_kl(2, 1);
+        let mut prms = SectionBuf::new();
+        prms.put_f64(params.c);
+        prms.put_f64(params.w0);
+        prms.put_u64(params.k as u64);
+        prms.put_u64(params.l as u64);
+        prms.put_u64(params.t as u64);
+        prms.put_f64(params.r_min);
+        prms.put_u64(params.max_rounds as u64);
+        prms.put_u64(params.node_capacity as u64);
+        prms.put_u64(params.seed);
+        prms.put_u8(0);
+        w.section(TAG_PARAMS, prms);
+        let mut meta = SectionBuf::new();
+        meta.put_u64(2); // dim
+        meta.put_u64(2); // rows
+        meta.put_u64(2); // ext_len
+        meta.put_u64(2); // live
+        meta.put_u8(1); // has_maps
+        meta.put_u8(0); // has_verify: data order claimed internal
+        w.section(TAG_META, meta);
+        let mut data = SectionBuf::new();
+        data.put_f32_slice(&[0.0, 0.0, 10.0, 10.0]);
+        w.section(TAG_DATA, data);
+        let mut proj = SectionBuf::new();
+        proj.put_f32_slice(&[0.0, 0.0, 1.0, 1.0]); // rows * l*k = 2*2
+        w.section(TAG_PROJ, proj);
+        let mut maps = SectionBuf::new();
+        maps.put_u32_slice(&[1, 0]); // ext_of_int: a swap, not ascending
+        maps.put_u32_slice(&[1, 0]); // valid inverse
+        w.section(TAG_MAPS, maps);
+        let mut tomb = SectionBuf::new();
+        tomb.put_u64_slice(&[0]);
+        w.section(TAG_TOMB, tomb);
+        let mut bytes = Vec::new();
+        w.write_to(&mut bytes).unwrap();
+        let err = DbLsh::load(&bytes[..]).unwrap_err();
+        assert!(
+            err.to_string().contains("ascending"),
+            "expected the ascending-maps rejection, got: {err}"
+        );
+    }
+
+    #[test]
+    fn save_file_is_atomic_and_leaves_no_temp() {
+        let idx = build(true);
+        let dir = std::env::temp_dir().join("dblsh-snapshot-atomic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("index.dblsh");
+        idx.save_file(&path).unwrap();
+        let first = std::fs::read(&path).unwrap();
+        // re-save over the existing snapshot: still loads, no .tmp left
+        idx.save_file(&path).unwrap();
+        assert!(!dir.join("index.dblsh.tmp").exists(), "temp file leaked");
+        assert_eq!(std::fs::read(&path).unwrap(), first);
+        DbLsh::load_file(&path).unwrap();
+        // a failing save (unwritable target dir) reports Io and leaves
+        // the original file untouched
+        let err = idx
+            .save_file(dir.join("no-such-subdir").join("x.dblsh"))
+            .unwrap_err();
+        assert!(matches!(err, DbLshError::Io { .. }));
+        assert_eq!(std::fs::read(&path).unwrap(), first);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let idx = build(false);
+        let dir = std::env::temp_dir().join("dblsh-snapshot-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("index.dblsh");
+        idx.save_file(&path).unwrap();
+        let loaded = DbLsh::load_file(&path).unwrap();
+        assert_eq!(loaded.len(), idx.len());
+        std::fs::remove_file(&path).unwrap();
+        let err = DbLsh::load_file(dir.join("missing.dblsh")).unwrap_err();
+        assert!(matches!(err, DbLshError::Io { .. }));
+    }
+}

@@ -107,6 +107,43 @@ fn relabeled_index_accounts_its_locality_state() {
 }
 
 #[test]
+fn dead_bytes_tracks_churn_and_compaction_reclaims_it() {
+    let data = Arc::new(gaussian_mixture(&MixtureConfig {
+        n: 2_000,
+        dim: 16,
+        clusters: 10,
+        ..Default::default()
+    }));
+    let params = DbLshParams::paper_defaults(data.len()).with_kl(8, 3);
+    let mut index = DbLsh::build(Arc::clone(&data), &params).unwrap();
+    assert_eq!(index.memory_breakdown().dead_bytes, 0, "fresh build");
+
+    // Remove half: dead_bytes must report exactly the tombstoned rows'
+    // share of the store, the two dataset copies and the id maps.
+    for id in 0..1000u32 {
+        index.remove(id).unwrap();
+    }
+    let breakdown = index.memory_breakdown();
+    let per_row = 8 * 3 * 4 /* store row */ + 2 * 16 * 4 /* two row copies */ + 8 /* map entries */;
+    assert_eq!(breakdown.dead_bytes, 1000 * per_row);
+    assert_eq!(index.dead_rows(), 1000);
+
+    // Compaction returns it to zero and shrinks the owned total.
+    let before_total = breakdown.total();
+    let stats = index.compact();
+    assert_eq!(stats.reclaimed_bytes, 1000 * per_row);
+    let after = index.memory_breakdown();
+    assert_eq!(after.dead_bytes, 0);
+    assert!(
+        after.total() < before_total,
+        "compacted total {} must undercut pre-compaction total {}",
+        after.total(),
+        before_total
+    );
+    index.check_invariants();
+}
+
+#[test]
 fn memory_shrinks_versus_seed_even_after_updates() {
     let data = Arc::new(gaussian_mixture(&MixtureConfig {
         n: 2_000,

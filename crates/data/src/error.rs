@@ -32,6 +32,16 @@ pub enum DbLshError {
     },
     /// An id that never named a point of this index.
     UnknownId { id: u32 },
+    /// An operating-system I/O failure while saving or loading a
+    /// snapshot. `op` names the operation ("read", "write", "create",
+    /// ...); `error` carries the OS error text (kept as a string so the
+    /// workspace error stays `Clone + PartialEq`).
+    Io { op: &'static str, error: String },
+    /// A snapshot stream that is not a snapshot, is truncated, fails a
+    /// checksum, was written by an unsupported format version, or whose
+    /// decoded contents violate an index invariant. Loading never
+    /// panics on malformed bytes — every such condition surfaces here.
+    CorruptSnapshot { reason: String },
 }
 
 impl DbLshError {
@@ -40,6 +50,22 @@ impl DbLshError {
         DbLshError::InvalidParameter {
             param,
             reason: reason.into(),
+        }
+    }
+
+    /// Shorthand for [`DbLshError::CorruptSnapshot`].
+    pub fn corrupt(reason: impl Into<String>) -> Self {
+        DbLshError::CorruptSnapshot {
+            reason: reason.into(),
+        }
+    }
+
+    /// Wrap an [`std::io::Error`] from the snapshot path under the named
+    /// operation.
+    pub fn io(op: &'static str, error: std::io::Error) -> Self {
+        DbLshError::Io {
+            op,
+            error: error.to_string(),
         }
     }
 }
@@ -62,6 +88,10 @@ impl fmt::Display for DbLshError {
                 write!(f, "index capacity exceeded: at most {limit} points are addressable")
             }
             DbLshError::UnknownId { id } => write!(f, "id {id} does not name a point of this index"),
+            DbLshError::Io { op, error } => write!(f, "snapshot {op} failed: {error}"),
+            DbLshError::CorruptSnapshot { reason } => {
+                write!(f, "corrupt or unreadable snapshot: {reason}")
+            }
         }
     }
 }
@@ -112,6 +142,11 @@ mod tests {
             ),
             (DbLshError::CapacityExceeded { limit: 42 }, "at most 42"),
             (DbLshError::UnknownId { id: 7 }, "id 7"),
+            (
+                DbLshError::io("read", std::io::Error::other("disk on fire")),
+                "snapshot read failed",
+            ),
+            (DbLshError::corrupt("bad checksum"), "bad checksum"),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

@@ -1,13 +1,42 @@
 //! fvecs / ivecs readers and writers (the TEXMEX corpus format used by
-//! SIFT/GIST and by the paper's datasets).
+//! SIFT/GIST and by the paper's datasets), plus the versioned binary
+//! snapshot container every persistent index in this workspace writes
+//! ([`SnapshotWriter`] / [`SnapshotReader`]).
 //!
 //! Layout per vector: a little-endian `i32` dimension header followed by
 //! `dim` little-endian payload values (`f32` for fvecs, `i32` for ivecs).
+//!
+//! # Snapshot container format
+//!
+//! A snapshot is a tagged, checksummed section file:
+//!
+//! ```text
+//! magic    8 bytes  "DBLSHSNP"
+//! version  u32 LE   container format version (currently 1)
+//! kind     4 bytes  what the sections describe (e.g. "INDX" for a
+//!                   DbLsh index, "SHRD" for a sharded-fleet manifest)
+//! count    u32 LE   number of sections
+//! table    count x { tag: 4 bytes, len: u64 LE, crc32: u32 LE }
+//! hdrcrc   u32 LE   CRC-32 over everything above (magic..table)
+//! payload  the section bodies, back to back, in table order
+//! ```
+//!
+//! Every primitive is little-endian. Readers are strict in the same way
+//! the fvecs dimension-header reader is: a stream that ends inside the
+//! header, the table, or a section body, a checksum mismatch, an
+//! unsupported version, a wrong `kind`, or trailing bytes after the last
+//! section all yield a typed [`DbLshError`] ([`DbLshError::CorruptSnapshot`]
+//! / [`DbLshError::Io`]) — never a panic and never a silently truncated
+//! index. Unknown *section tags* are preserved and ignored, which is the
+//! forward-compatibility escape hatch: a newer writer may add sections
+//! that an older reader skips.
 
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
+use std::sync::OnceLock;
 
 use crate::dataset::Dataset;
+use crate::error::DbLshError;
 
 /// Read the next `i32` dimension header, distinguishing a clean end of
 /// stream (`Ok(None)`) from a header truncated mid-way (`InvalidData`).
@@ -179,6 +208,447 @@ pub fn write_bvecs<W: Write>(writer: W, data: &Dataset) -> io::Result<()> {
     w.flush()
 }
 
+/// Magic bytes opening every snapshot stream.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"DBLSHSNP";
+
+/// Current snapshot container format version. Bumped only on layout
+/// changes a [`SnapshotReader`] of this version cannot parse; new
+/// *sections* do not bump it (unknown tags are ignored on read).
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial) over `bytes`.
+fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *slot = c;
+        }
+        t
+    });
+    let mut c = !0u32;
+    for &b in bytes {
+        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// An in-progress snapshot section: a growable little-endian byte buffer
+/// with typed appenders. Handed to [`SnapshotWriter::section`] once
+/// filled.
+#[derive(Debug, Default)]
+pub struct SectionBuf {
+    bytes: Vec<u8>,
+}
+
+impl SectionBuf {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        SectionBuf::default()
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.bytes.push(v);
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian IEEE-754 `f64`.
+    pub fn put_f64(&mut self, v: f64) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u32` slice (values only — lengths are the caller's
+    /// schema, carried in its own fields).
+    pub fn put_u32_slice(&mut self, vs: &[u32]) {
+        self.bytes.reserve(vs.len() * 4);
+        for &v in vs {
+            self.bytes.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Append a `u64` slice.
+    pub fn put_u64_slice(&mut self, vs: &[u64]) {
+        self.bytes.reserve(vs.len() * 8);
+        for &v in vs {
+            self.bytes.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Append an `f32` slice (bit-exact round trip through
+    /// [`SectionCursor::get_f32_vec`]).
+    pub fn put_f32_slice(&mut self, vs: &[f32]) {
+        self.bytes.reserve(vs.len() * 4);
+        for &v in vs {
+            self.bytes.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
+/// Writer half of the snapshot container (see the module docs for the
+/// format): collect tagged sections, then [`SnapshotWriter::write_to`]
+/// emits header, checksummed section table and payloads in one pass.
+#[derive(Debug)]
+pub struct SnapshotWriter {
+    kind: [u8; 4],
+    sections: Vec<([u8; 4], Vec<u8>)>,
+}
+
+impl SnapshotWriter {
+    /// A writer for a snapshot of the given `kind` (4-byte type tag,
+    /// e.g. `*b"INDX"`).
+    pub fn new(kind: [u8; 4]) -> Self {
+        SnapshotWriter {
+            kind,
+            sections: Vec::new(),
+        }
+    }
+
+    /// Append one section. Tags should be unique per snapshot;
+    /// [`SnapshotReader::section`] resolves the first match.
+    pub fn section(&mut self, tag: [u8; 4], buf: SectionBuf) {
+        self.sections.push((tag, buf.bytes));
+    }
+
+    /// Emit the whole snapshot. I/O failures surface as
+    /// [`DbLshError::Io`].
+    pub fn write_to<W: Write>(&self, writer: W) -> Result<(), DbLshError> {
+        let mut header = Vec::with_capacity(24 + self.sections.len() * 16);
+        header.extend_from_slice(&SNAPSHOT_MAGIC);
+        header.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        header.extend_from_slice(&self.kind);
+        header.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
+        for (tag, body) in &self.sections {
+            header.extend_from_slice(tag);
+            header.extend_from_slice(&(body.len() as u64).to_le_bytes());
+            header.extend_from_slice(&crc32(body).to_le_bytes());
+        }
+        let hdr_crc = crc32(&header);
+        let mut w = BufWriter::new(writer);
+        let put = |w: &mut BufWriter<W>, bytes: &[u8]| {
+            w.write_all(bytes).map_err(|e| DbLshError::io("write", e))
+        };
+        put(&mut w, &header)?;
+        put(&mut w, &hdr_crc.to_le_bytes())?;
+        for (_, body) in &self.sections {
+            put(&mut w, body)?;
+        }
+        w.flush().map_err(|e| DbLshError::io("flush", e))
+    }
+
+    /// [`SnapshotWriter::write_to`] a file path, crash-safely: the
+    /// bytes go to a `.tmp` sibling first and are renamed over `path`
+    /// only once fully written, so a crash or full disk mid-save leaves
+    /// any previous snapshot at `path` intact (see
+    /// [`atomic_write_file`]).
+    pub fn write_file<P: AsRef<Path>>(&self, path: P) -> Result<(), DbLshError> {
+        atomic_write_file(path.as_ref(), |f| self.write_to(f))
+    }
+}
+
+/// Write a file crash-safely: `fill` writes into `<path>.tmp`, which is
+/// renamed over `path` only on success, so an interrupted or failed
+/// write never destroys an existing file at `path` — the property a
+/// re-snapshot loop depends on (the previous restart image must survive
+/// a crash mid-save). On any error the temporary is removed.
+pub fn atomic_write_file(
+    path: &Path,
+    fill: impl FnOnce(std::fs::File) -> Result<(), DbLshError>,
+) -> Result<(), DbLshError> {
+    let mut tmp_name = path
+        .file_name()
+        .ok_or_else(|| DbLshError::io("create", io::Error::other("path has no file name")))?
+        .to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    let file = std::fs::File::create(&tmp).map_err(|e| DbLshError::io("create", e))?;
+    let written = fill(file)
+        .and_then(|()| std::fs::rename(&tmp, path).map_err(|e| DbLshError::io("rename", e)));
+    if written.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    written
+}
+
+/// Reader half of the snapshot container: parses and checksum-verifies
+/// the whole stream up front, then hands out per-section cursors.
+#[derive(Debug)]
+pub struct SnapshotReader {
+    version: u32,
+    sections: Vec<([u8; 4], Vec<u8>)>,
+}
+
+impl SnapshotReader {
+    /// Parse a snapshot stream of the expected `kind`. Verifies magic,
+    /// version, kind, section-table framing, every section checksum, and
+    /// that the stream ends exactly after the last payload; any
+    /// violation is a typed [`DbLshError`], never a panic.
+    pub fn read_from<R: Read>(reader: R, kind: [u8; 4]) -> Result<Self, DbLshError> {
+        let mut r = BufReader::new(reader);
+        let mut header = Vec::new();
+        let mut read_exact =
+            |header: &mut Vec<u8>, buf: &mut [u8], what: &str| -> Result<(), DbLshError> {
+                r.read_exact(buf).map_err(|e| {
+                    if e.kind() == io::ErrorKind::UnexpectedEof {
+                        DbLshError::corrupt(format!("stream ends inside {what}"))
+                    } else {
+                        DbLshError::io("read", e)
+                    }
+                })?;
+                header.extend_from_slice(buf);
+                Ok(())
+            };
+        let mut magic = [0u8; 8];
+        read_exact(&mut header, &mut magic, "the magic header")?;
+        if magic != SNAPSHOT_MAGIC {
+            return Err(DbLshError::corrupt("not a DB-LSH snapshot (bad magic)"));
+        }
+        let mut word = [0u8; 4];
+        read_exact(&mut header, &mut word, "the version field")?;
+        let version = u32::from_le_bytes(word);
+        if version == 0 || version > SNAPSHOT_VERSION {
+            return Err(DbLshError::corrupt(format!(
+                "unsupported snapshot version {version} (this build reads up to {SNAPSHOT_VERSION})"
+            )));
+        }
+        let mut found_kind = [0u8; 4];
+        read_exact(&mut header, &mut found_kind, "the kind field")?;
+        if found_kind != kind {
+            return Err(DbLshError::corrupt(format!(
+                "snapshot kind mismatch: expected {:?}, found {:?}",
+                String::from_utf8_lossy(&kind),
+                String::from_utf8_lossy(&found_kind),
+            )));
+        }
+        read_exact(&mut header, &mut word, "the section count")?;
+        let count = u32::from_le_bytes(word) as usize;
+        // Sanity bound: the table alone would need 16 bytes per entry.
+        if count > 1 << 16 {
+            return Err(DbLshError::corrupt(format!(
+                "implausible section count {count}"
+            )));
+        }
+        let mut table: Vec<([u8; 4], u64, u32)> = Vec::with_capacity(count);
+        for i in 0..count {
+            let mut tag = [0u8; 4];
+            read_exact(&mut header, &mut tag, "the section table")?;
+            let mut len8 = [0u8; 8];
+            read_exact(&mut header, &mut len8, "the section table")?;
+            read_exact(&mut header, &mut word, "the section table")?;
+            let len = u64::from_le_bytes(len8);
+            usize::try_from(len).map_err(|_| {
+                DbLshError::corrupt(format!("section {i} length {len} does not fit in memory"))
+            })?;
+            table.push((tag, len, u32::from_le_bytes(word)));
+        }
+        let mut crc_word = [0u8; 4];
+        let mut ignore = Vec::new();
+        read_exact(&mut ignore, &mut crc_word, "the header checksum")?;
+        if u32::from_le_bytes(crc_word) != crc32(&header) {
+            return Err(DbLshError::corrupt(
+                "header checksum mismatch (magic, kind, or section table corrupted)",
+            ));
+        }
+        let mut sections = Vec::with_capacity(count);
+        for (tag, len, crc) in table {
+            // `take` + `read_to_end` grows incrementally, so a
+            // bit-flipped length cannot trigger an absurd up-front
+            // allocation — it fails the length check below instead.
+            let mut body = Vec::new();
+            r.by_ref()
+                .take(len)
+                .read_to_end(&mut body)
+                .map_err(|e| DbLshError::io("read", e))?;
+            if body.len() as u64 != len {
+                return Err(DbLshError::corrupt(format!(
+                    "stream ends inside section {:?} ({} of {len} bytes)",
+                    String::from_utf8_lossy(&tag),
+                    body.len(),
+                )));
+            }
+            if crc32(&body) != crc {
+                return Err(DbLshError::corrupt(format!(
+                    "checksum mismatch in section {:?}",
+                    String::from_utf8_lossy(&tag)
+                )));
+            }
+            sections.push((tag, body));
+        }
+        let mut one = [0u8; 1];
+        match r.read_exact(&mut one) {
+            Ok(()) => Err(DbLshError::corrupt("trailing bytes after the last section")),
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                Ok(SnapshotReader { version, sections })
+            }
+            Err(e) => Err(DbLshError::io("read", e)),
+        }
+    }
+
+    /// [`SnapshotReader::read_from`] a file path.
+    pub fn read_file<P: AsRef<Path>>(path: P, kind: [u8; 4]) -> Result<Self, DbLshError> {
+        let f = std::fs::File::open(path).map_err(|e| DbLshError::io("open", e))?;
+        SnapshotReader::read_from(f, kind)
+    }
+
+    /// The container version the stream was written with.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Cursor over the body of the section tagged `tag`; a missing
+    /// required section is a [`DbLshError::CorruptSnapshot`].
+    pub fn section(&self, tag: [u8; 4]) -> Result<SectionCursor<'_>, DbLshError> {
+        self.sections
+            .iter()
+            .find(|(t, _)| *t == tag)
+            .map(|(_, body)| SectionCursor {
+                tag,
+                bytes: body,
+                pos: 0,
+            })
+            .ok_or_else(|| {
+                DbLshError::corrupt(format!(
+                    "missing required section {:?}",
+                    String::from_utf8_lossy(&tag)
+                ))
+            })
+    }
+
+    /// Whether a section with this tag is present (for optional
+    /// sections).
+    pub fn has_section(&self, tag: [u8; 4]) -> bool {
+        self.sections.iter().any(|(t, _)| *t == tag)
+    }
+}
+
+/// Typed, bounds-checked reads over one section body. Over-reads report
+/// [`DbLshError::CorruptSnapshot`] naming the section;
+/// [`SectionCursor::finish`] asserts the body was consumed exactly.
+#[derive(Debug)]
+pub struct SectionCursor<'a> {
+    tag: [u8; 4],
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl SectionCursor<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], DbLshError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
+        match end {
+            Some(end) => {
+                let out = &self.bytes[self.pos..end];
+                self.pos = end;
+                Ok(out)
+            }
+            None => Err(DbLshError::corrupt(format!(
+                "section {:?} is truncated (need {n} more bytes at offset {})",
+                String::from_utf8_lossy(&self.tag),
+                self.pos,
+            ))),
+        }
+    }
+
+    /// Read one byte.
+    pub fn get_u8(&mut self) -> Result<u8, DbLshError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, DbLshError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, DbLshError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Read a little-endian `u64` and convert it to `usize`.
+    pub fn get_len(&mut self) -> Result<usize, DbLshError> {
+        let v = self.get_u64()?;
+        usize::try_from(v)
+            .map_err(|_| DbLshError::corrupt(format!("length {v} does not fit in memory")))
+    }
+
+    /// Read a little-endian IEEE-754 `f64`.
+    pub fn get_f64(&mut self) -> Result<f64, DbLshError> {
+        Ok(f64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Read `n` little-endian `u32` values.
+    pub fn get_u32_vec(&mut self, n: usize) -> Result<Vec<u32>, DbLshError> {
+        let bytes = self.take(
+            n.checked_mul(4)
+                .ok_or_else(|| DbLshError::corrupt(format!("u32 slice length {n} overflows")))?,
+        )?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+            .collect())
+    }
+
+    /// Read `n` little-endian `u64` values.
+    pub fn get_u64_vec(&mut self, n: usize) -> Result<Vec<u64>, DbLshError> {
+        let bytes = self.take(
+            n.checked_mul(8)
+                .ok_or_else(|| DbLshError::corrupt(format!("u64 slice length {n} overflows")))?,
+        )?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+            .collect())
+    }
+
+    /// Read `n` little-endian `f32` values (bit-exact).
+    pub fn get_f32_vec(&mut self, n: usize) -> Result<Vec<f32>, DbLshError> {
+        let bytes = self.take(
+            n.checked_mul(4)
+                .ok_or_else(|| DbLshError::corrupt(format!("f32 slice length {n} overflows")))?,
+        )?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|b| f32::from_le_bytes(b.try_into().expect("4 bytes")))
+            .collect())
+    }
+
+    /// Assert every byte of the section was consumed — unread bytes mean
+    /// reader and writer disagree on the schema.
+    pub fn finish(self) -> Result<(), DbLshError> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(DbLshError::corrupt(format!(
+                "section {:?} holds {} unread bytes",
+                String::from_utf8_lossy(&self.tag),
+                self.bytes.len() - self.pos,
+            )))
+        }
+    }
+}
+
 /// Convenience: load an fvecs file from disk.
 pub fn load_fvecs_file<P: AsRef<Path>>(path: P) -> io::Result<Dataset> {
     read_fvecs(std::fs::File::open(path)?)
@@ -279,6 +749,121 @@ mod tests {
         buf.extend(3i32.to_le_bytes());
         buf.extend([3u8, 4, 5]);
         assert!(read_bvecs(&buf[..]).is_err());
+    }
+
+    fn sample_snapshot() -> Vec<u8> {
+        let mut w = SnapshotWriter::new(*b"TEST");
+        let mut a = SectionBuf::new();
+        a.put_u32(7);
+        a.put_u64(99);
+        a.put_f64(2.5);
+        a.put_u8(1);
+        let mut b = SectionBuf::new();
+        b.put_f32_slice(&[1.0, -2.5, 3.25]);
+        b.put_u32_slice(&[10, 20]);
+        b.put_u64_slice(&[u64::MAX]);
+        w.section(*b"AAAA", a);
+        w.section(*b"BBBB", b);
+        let mut bytes = Vec::new();
+        w.write_to(&mut bytes).unwrap();
+        bytes
+    }
+
+    #[test]
+    fn snapshot_container_round_trips() {
+        let bytes = sample_snapshot();
+        let r = SnapshotReader::read_from(&bytes[..], *b"TEST").unwrap();
+        assert_eq!(r.version(), SNAPSHOT_VERSION);
+        assert!(r.has_section(*b"AAAA"));
+        assert!(!r.has_section(*b"ZZZZ"));
+        let mut a = r.section(*b"AAAA").unwrap();
+        assert_eq!(a.get_u32().unwrap(), 7);
+        assert_eq!(a.get_u64().unwrap(), 99);
+        assert_eq!(a.get_f64().unwrap(), 2.5);
+        assert_eq!(a.get_u8().unwrap(), 1);
+        a.finish().unwrap();
+        let mut b = r.section(*b"BBBB").unwrap();
+        assert_eq!(b.get_f32_vec(3).unwrap(), vec![1.0, -2.5, 3.25]);
+        assert_eq!(b.get_u32_vec(2).unwrap(), vec![10, 20]);
+        assert_eq!(b.get_u64_vec(1).unwrap(), vec![u64::MAX]);
+        b.finish().unwrap();
+    }
+
+    #[test]
+    fn snapshot_truncation_detected_at_every_prefix() {
+        let bytes = sample_snapshot();
+        for cut in 0..bytes.len() {
+            let err = SnapshotReader::read_from(&bytes[..cut], *b"TEST").unwrap_err();
+            assert!(
+                matches!(err, DbLshError::CorruptSnapshot { .. }),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_bit_flips_detected() {
+        let bytes = sample_snapshot();
+        // flip one bit in every byte position; every flip must surface
+        // as a typed error (magic, version, kind, table, checksum) —
+        // never a panic, never a silent success with changed payload.
+        for pos in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x10;
+            match SnapshotReader::read_from(&bad[..], *b"TEST") {
+                Err(DbLshError::CorruptSnapshot { .. }) => {}
+                Err(other) => panic!("flip at {pos}: unexpected error {other:?}"),
+                Ok(_) => panic!("flip at {pos} went undetected"),
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_header_mismatches_rejected() {
+        let bytes = sample_snapshot();
+        // wrong kind
+        assert!(matches!(
+            SnapshotReader::read_from(&bytes[..], *b"OTHR"),
+            Err(DbLshError::CorruptSnapshot { .. })
+        ));
+        // wrong magic
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(SnapshotReader::read_from(&bad[..], *b"TEST").is_err());
+        // future version
+        let mut bad = bytes.clone();
+        bad[8..12].copy_from_slice(&(SNAPSHOT_VERSION + 1).to_le_bytes());
+        let err = SnapshotReader::read_from(&bad[..], *b"TEST").unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+        // trailing garbage
+        let mut bad = bytes.clone();
+        bad.push(0);
+        let err = SnapshotReader::read_from(&bad[..], *b"TEST").unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn snapshot_cursor_overreads_are_typed_errors() {
+        let bytes = sample_snapshot();
+        let r = SnapshotReader::read_from(&bytes[..], *b"TEST").unwrap();
+        let mut a = r.section(*b"AAAA").unwrap();
+        // section AAAA is 21 bytes; ask for more
+        assert!(matches!(
+            a.get_f32_vec(1000),
+            Err(DbLshError::CorruptSnapshot { .. })
+        ));
+        // a partially consumed cursor fails finish()
+        let mut a = r.section(*b"AAAA").unwrap();
+        a.get_u32().unwrap();
+        assert!(matches!(
+            a.finish(),
+            Err(DbLshError::CorruptSnapshot { .. })
+        ));
+        // missing section
+        assert!(matches!(
+            r.section(*b"NOPE"),
+            Err(DbLshError::CorruptSnapshot { .. })
+        ));
     }
 
     #[test]

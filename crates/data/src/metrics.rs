@@ -7,12 +7,19 @@ use crate::Neighbor;
 /// answer scores 1.0; larger is worse.
 ///
 /// Conventions for edge cases (shared by published LSH evaluation code):
-/// * if the method returned fewer than `k = truth.len()` points, each
-///   missing slot contributes the worst observed ratio of that query
-///   (so empty results are penalized, not rewarded);
+/// * a *missing* slot — rank `i >= returned.len()`, i.e. the method
+///   returned fewer than `k = truth.len()` points — contributes the
+///   worst observed ratio of that query (so short results are
+///   penalized, not rewarded);
 /// * a zero true distance with zero returned distance contributes 1.0;
-/// * a zero true distance with a positive returned distance is skipped
-///   (the ratio is unbounded and would drown the average).
+/// * a zero true distance with a positive returned distance is *skipped*
+///   (the ratio is unbounded and would drown the average): it is
+///   excluded from both the numerator and the denominator, and — unlike
+///   a missing slot — carries no penalty;
+/// * if no slot could be scored at all (empty `returned`, or every true
+///   distance zero against positive returned distances), the ratio is
+///   `+inf` — there is no observed ratio to penalize with, and an
+///   unscorable answer must not look perfect.
 pub fn overall_ratio(returned: &[Neighbor], truth: &[Neighbor]) -> f64 {
     assert!(!truth.is_empty(), "ground truth must not be empty");
     let k = truth.len();
@@ -26,7 +33,7 @@ pub fn overall_ratio(returned: &[Neighbor], truth: &[Neighbor]) -> f64 {
             if r == 0.0 {
                 1.0
             } else {
-                continue;
+                continue; // skipped: neither scored nor penalized
             }
         } else {
             r / t
@@ -38,14 +45,21 @@ pub fn overall_ratio(returned: &[Neighbor], truth: &[Neighbor]) -> f64 {
     if counted == 0 {
         return f64::INFINITY;
     }
-    // penalize missing slots with the worst observed ratio
-    acc += worst * (k - counted) as f64;
-    acc / k as f64
+    // Penalize only the slots the method failed to fill — skipped
+    // (zero-truth) slots are not missing slots and take no penalty.
+    let missing = k - returned.len().min(k);
+    acc += worst * missing as f64;
+    acc / (counted + missing) as f64
 }
 
 /// Recall (Eq. 12): `|R ∩ R*| / k`. Ids are matched exactly; with
 /// continuous synthetic data, distance ties are measure-zero so id
 /// matching equals the distance-based variant.
+///
+/// Edge conventions: only the first `k = truth.len()` returned points
+/// are considered (extras neither help nor hurt); a short or empty
+/// `returned` simply scores its hits over `k`, so an empty answer is
+/// 0.0, never a division by its own length.
 pub fn recall(returned: &[Neighbor], truth: &[Neighbor]) -> f64 {
     assert!(!truth.is_empty(), "ground truth must not be empty");
     let truth_ids: std::collections::HashSet<u32> = truth.iter().map(|n| n.id).collect();
@@ -130,5 +144,54 @@ mod tests {
     fn mean_edge_cases() {
         assert!(mean(&[]).is_nan());
         assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn skipped_zero_truth_slots_take_no_penalty() {
+        // slot 0 is skipped (zero truth, positive returned); the other
+        // two slots score 2.0 and 1.0. The documented convention is the
+        // mean over the *scored* slots — 1.5 — not a penalized average
+        // that treats the skipped slot as missing (which would give
+        // (3 + 2) / 3 ≈ 1.667).
+        let truth = vec![n(1, 0.0), n(2, 1.0), n(3, 1.0)];
+        let got = vec![n(9, 0.5), n(8, 2.0), n(7, 1.0)];
+        assert!((overall_ratio(&got, &truth) - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_and_skipped_slots_are_distinct() {
+        // slot 0 skipped, slot 1 scores 3.0, slot 2 missing (short
+        // answer): the missing slot is penalized with the worst observed
+        // ratio, the skipped one is not -> (3 + 3) / 2 = 3.0.
+        let truth = vec![n(1, 0.0), n(2, 1.0), n(3, 1.0)];
+        let got = vec![n(9, 0.5), n(8, 3.0)];
+        assert!((overall_ratio(&got, &truth) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unscorable_answers_are_infinite_not_perfect() {
+        // every true distance zero, every returned distance positive:
+        // no slot can be scored, and the answer must not score 1.0
+        let truth = vec![n(1, 0.0), n(2, 0.0)];
+        let got = vec![n(9, 0.5), n(8, 0.5)];
+        assert!(overall_ratio(&got, &truth).is_infinite());
+        // all-zero truth answered exactly is perfect
+        let exact = vec![n(1, 0.0), n(2, 0.0)];
+        assert_eq!(overall_ratio(&exact, &truth), 1.0);
+    }
+
+    #[test]
+    fn empty_returned_conventions() {
+        let truth = vec![n(1, 1.0), n(2, 2.0)];
+        let empty: Vec<Neighbor> = Vec::new();
+        assert!(overall_ratio(&empty, &truth).is_infinite());
+        assert_eq!(recall(&empty, &truth), 0.0);
+    }
+
+    #[test]
+    fn short_returned_recall_counts_hits_over_k() {
+        let truth = vec![n(1, 1.0), n(2, 2.0), n(3, 3.0), n(4, 4.0)];
+        let got = vec![n(2, 2.0)]; // one hit of four
+        assert_eq!(recall(&got, &truth), 0.25);
     }
 }

@@ -273,28 +273,31 @@ impl Metrics {
         let bucket = 63 - latency_nanos.max(1).leading_zeros() as usize;
         self.latency_buckets[bucket].fetch_add(1, Ordering::Relaxed);
     }
+}
 
-    /// The latency below which `q` of the recorded requests fall,
-    /// resolved to the upper edge of its log₂ bucket, in microseconds.
-    fn quantile_us(&self, counts: &[u64; 64], total: u64, q: f64) -> f64 {
-        if total == 0 {
-            return 0.0;
-        }
-        let rank = ((total as f64 * q).ceil() as u64).clamp(1, total);
-        let mut seen = 0u64;
-        for (b, &c) in counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return (1u64 << (b + 1).min(63)) as f64 / 1e3;
-            }
-        }
-        0.0
+/// The latency below which `q` of the recorded requests fall, resolved
+/// to the upper edge of its log₂ bucket, in microseconds. Shared by the
+/// live [`Engine::stats`] snapshot and [`EngineStats::merge`], which
+/// recomputes quantiles from summed bucket counts.
+fn bucket_quantile_us(counts: &[u64; 64], q: f64) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
     }
+    let rank = ((total as f64 * q).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for (b, &c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            return (1u64 << (b + 1).min(63)) as f64 / 1e3;
+        }
+    }
+    0.0
 }
 
 /// A point-in-time snapshot of the engine counters — what the `saturate`
 /// harness prints per sweep.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EngineStats {
     /// Completed search requests.
     pub searches: u64,
@@ -318,6 +321,30 @@ pub struct EngineStats {
     /// 99th-percentile search latency, microseconds (log₂-bucket
     /// resolution).
     pub p99_latency_us: f64,
+    /// The raw log₂(nanoseconds) latency histogram behind the
+    /// quantiles: `latency_buckets[b]` counts searches whose latency was
+    /// in `[2^b, 2^{b+1})` ns. Exposed so folds across engines
+    /// ([`EngineStats::merge`]) can combine distributions exactly
+    /// instead of degrading to max-of-maxes.
+    pub latency_buckets: [u64; 64],
+}
+
+impl Default for EngineStats {
+    fn default() -> Self {
+        EngineStats {
+            searches: 0,
+            inserts: 0,
+            removes: 0,
+            errors: 0,
+            query: QueryStats::default(),
+            elapsed_secs: 0.0,
+            qps: 0.0,
+            mean_latency_us: 0.0,
+            p50_latency_us: 0.0,
+            p99_latency_us: 0.0,
+            latency_buckets: [0; 64],
+        }
+    }
 }
 
 impl EngineStats {
@@ -325,8 +352,10 @@ impl EngineStats {
     /// *sequentially run* engines of a saturation sweep. Counters and
     /// elapsed time add (`query` through [`QueryStats::merge`]), so the
     /// recomputed `qps` is overall searches per second of combined
-    /// engine lifetime; quantiles of merged streams are not recoverable
-    /// exactly, so p50/p99 take the conservative maximum.
+    /// engine lifetime. The latency bucket counts add too, and p50/p99
+    /// are recomputed from the **combined histogram** — exact at bucket
+    /// resolution, where the old max-of-maxes answer could overstate the
+    /// merged median by the full spread between the folded engines.
     pub fn merge(&mut self, other: &EngineStats) {
         let lat_total = self.mean_latency_us * self.searches as f64
             + other.mean_latency_us * other.searches as f64;
@@ -346,8 +375,11 @@ impl EngineStats {
         } else {
             0.0
         };
-        self.p50_latency_us = self.p50_latency_us.max(other.p50_latency_us);
-        self.p99_latency_us = self.p99_latency_us.max(other.p99_latency_us);
+        for (mine, theirs) in self.latency_buckets.iter_mut().zip(&other.latency_buckets) {
+            *mine += theirs;
+        }
+        self.p50_latency_us = bucket_quantile_us(&self.latency_buckets, 0.50);
+        self.p99_latency_us = bucket_quantile_us(&self.latency_buckets, 0.99);
     }
 }
 
@@ -448,7 +480,6 @@ impl Engine {
         let elapsed = m.started.elapsed().as_secs_f64();
         let counts: [u64; 64] =
             std::array::from_fn(|b| m.latency_buckets[b].load(Ordering::Relaxed));
-        let recorded: u64 = counts.iter().sum();
         EngineStats {
             searches,
             inserts: m.inserts.load(Ordering::Relaxed),
@@ -471,8 +502,9 @@ impl Engine {
             } else {
                 0.0
             },
-            p50_latency_us: m.quantile_us(&counts, recorded, 0.50),
-            p99_latency_us: m.quantile_us(&counts, recorded, 0.99),
+            p50_latency_us: bucket_quantile_us(&counts, 0.50),
+            p99_latency_us: bucket_quantile_us(&counts, 0.99),
+            latency_buckets: counts,
         }
     }
 
@@ -642,13 +674,16 @@ mod tests {
 
     #[test]
     fn engine_stats_merge_accumulates() {
+        let mut buckets = [0u64; 64];
+        buckets[16] = 10; // 10 searches around 65-131 us
         let a = EngineStats {
             searches: 10,
             qps: 5.0,
             elapsed_secs: 2.0,
             mean_latency_us: 100.0,
-            p50_latency_us: 64.0,
-            p99_latency_us: 128.0,
+            p50_latency_us: bucket_quantile_us(&buckets, 0.50),
+            p99_latency_us: bucket_quantile_us(&buckets, 0.99),
+            latency_buckets: buckets,
             ..EngineStats::default()
         };
         let mut total = EngineStats::default();
@@ -659,6 +694,46 @@ mod tests {
         assert_eq!(total.elapsed_secs, 4.0);
         assert_eq!(total.qps, 5.0);
         assert_eq!(total.mean_latency_us, 100.0);
-        assert_eq!(total.p99_latency_us, 128.0);
+        assert_eq!(total.latency_buckets[16], 20);
+        assert_eq!(total.p50_latency_us, a.p50_latency_us);
+        assert_eq!(total.p99_latency_us, a.p99_latency_us);
+    }
+
+    #[test]
+    fn engine_stats_merge_recomputes_quantiles_from_the_histogram() {
+        // Engine A: 90 fast requests (bucket 10, ~1-2 us). Engine B: 10
+        // slow ones (bucket 20, ~1-2 ms). The merged p50 must stay in
+        // the fast bucket — max-of-maxes would have reported B's much
+        // larger median for the combined stream.
+        let mut fast = [0u64; 64];
+        fast[10] = 90;
+        let mut slow = [0u64; 64];
+        slow[20] = 10;
+        let a = EngineStats {
+            searches: 90,
+            p50_latency_us: bucket_quantile_us(&fast, 0.50),
+            p99_latency_us: bucket_quantile_us(&fast, 0.99),
+            latency_buckets: fast,
+            ..EngineStats::default()
+        };
+        let b = EngineStats {
+            searches: 10,
+            p50_latency_us: bucket_quantile_us(&slow, 0.50),
+            p99_latency_us: bucket_quantile_us(&slow, 0.99),
+            latency_buckets: slow,
+            ..EngineStats::default()
+        };
+        let mut total = a.clone();
+        total.merge(&b);
+        // combined: rank 50 of 100 falls in the fast bucket; rank 99 in
+        // the slow one
+        assert_eq!(total.p50_latency_us, bucket_quantile_us(&fast, 0.50));
+        assert_eq!(total.p99_latency_us, bucket_quantile_us(&slow, 0.99));
+        assert!(total.p50_latency_us < b.p50_latency_us);
+        // and the fold is symmetric
+        let mut rev = b.clone();
+        rev.merge(&a);
+        assert_eq!(rev.p50_latency_us, total.p50_latency_us);
+        assert_eq!(rev.p99_latency_us, total.p99_latency_us);
     }
 }

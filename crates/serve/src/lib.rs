@@ -53,4 +53,4 @@ mod engine;
 mod shard;
 
 pub use engine::{Engine, EngineConfig, EngineStats, Ticket};
-pub use shard::{ShardPolicy, ShardedDbLsh};
+pub use shard::{CompactionPolicy, ShardPolicy, ShardedDbLsh, FLEET_SNAPSHOT_KIND};

@@ -46,12 +46,15 @@
 //! interleaved insert/remove traffic.
 
 use std::cell::RefCell;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard};
 
 use dblsh_core::{
     CanonicalLadder, DbLsh, DbLshBuilder, DbLshParams, LadderPlan, ProberScratch, SearchOptions,
 };
 use dblsh_data::error::check_query;
+use dblsh_data::io::{SectionBuf, SnapshotReader, SnapshotWriter};
 use dblsh_data::kernels::key_parts;
 use dblsh_data::{AnnIndex, Dataset, DbLshError, Neighbor, QueryStats, SearchResult};
 
@@ -74,6 +77,45 @@ pub enum ShardPolicy {
     /// empty on tiny inputs are topped up deterministically from the
     /// largest shard (every shard must hold at least one point).
     HashId,
+}
+
+/// Snapshot kind tag of a [`ShardedDbLsh`] fleet manifest
+/// (`manifest.dblsh` in a [`ShardedDbLsh::save_dir`] directory).
+pub const FLEET_SNAPSHOT_KIND: [u8; 4] = *b"SHRD";
+
+/// When a shard reclaims the space of its tombstoned rows
+/// ([`DbLsh::compact`]). Checked after every successful remove, while
+/// the shard's write lock is already held, so a compaction blocks
+/// exactly what the triggering remove already blocked — its own shard —
+/// and never perturbs the router's global id space (shard-local
+/// external ids are preserved by compaction).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompactionPolicy {
+    /// Compact once tombstoned rows reach this fraction of the shard's
+    /// physical rows (live + dead). Paper-scale serving default: 0.3.
+    pub dead_fraction: f64,
+    /// ...and at least this many rows are dead — hysteresis so small
+    /// shards don't re-compact on every handful of removes.
+    pub min_dead_rows: usize,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        CompactionPolicy {
+            dead_fraction: 0.3,
+            min_dead_rows: 256,
+        }
+    }
+}
+
+impl CompactionPolicy {
+    /// Whether a shard with `dead_rows` of `total_rows` physical rows
+    /// should compact now.
+    pub fn should_compact(&self, dead_rows: usize, total_rows: usize) -> bool {
+        dead_rows >= self.min_dead_rows.max(1)
+            && total_rows > 0
+            && dead_rows as f64 >= self.dead_fraction * total_rows as f64
+    }
 }
 
 /// SplitMix64 finalizer — a fixed, dependency-free 64-bit mix.
@@ -162,6 +204,11 @@ pub struct ShardedDbLsh {
     params: DbLshParams,
     policy: ShardPolicy,
     dim: usize,
+    /// Per-shard auto-compaction policy; `None` leaves reclamation to
+    /// manual [`ShardedDbLsh::compact`] calls.
+    compaction: Option<CompactionPolicy>,
+    /// Total shard compactions performed (automatic + manual).
+    compactions: AtomicU64,
 }
 
 impl ShardedDbLsh {
@@ -265,7 +312,51 @@ impl ShardedDbLsh {
             params: params.clone(),
             policy,
             dim,
+            compaction: None,
+            compactions: AtomicU64::new(0),
         })
+    }
+
+    /// Enable per-shard auto-compaction: after every successful remove
+    /// the owning shard is compacted in place (under the write lock the
+    /// remove already holds) once `policy` says its dead-row share is
+    /// worth reclaiming.
+    pub fn with_compaction_policy(mut self, policy: CompactionPolicy) -> Self {
+        self.compaction = Some(policy);
+        self
+    }
+
+    /// The auto-compaction policy, if one is set.
+    pub fn compaction_policy(&self) -> Option<CompactionPolicy> {
+        self.compaction
+    }
+
+    /// Total shard compactions performed so far (automatic and manual).
+    pub fn compaction_count(&self) -> u64 {
+        self.compactions.load(Ordering::Relaxed)
+    }
+
+    /// Compact every shard now, regardless of policy, one write lock at
+    /// a time. Returns the total number of dead rows reclaimed.
+    pub fn compact(&self) -> usize {
+        let mut dropped = 0usize;
+        for lock in &self.shards {
+            let mut shard = lock.write().expect("shard lock poisoned");
+            let stats = shard.index.compact();
+            if stats.dropped_rows > 0 {
+                self.compactions.fetch_add(1, Ordering::Relaxed);
+            }
+            dropped += stats.dropped_rows;
+        }
+        dropped
+    }
+
+    /// Sum of tombstoned rows still occupying space across all shards.
+    pub fn dead_rows(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("shard lock poisoned").index.dead_rows())
+            .sum()
     }
 
     /// The resolved parameters every shard was built with.
@@ -360,7 +451,7 @@ impl ShardedDbLsh {
                     g
                 };
                 shard.global_of_local.push(g);
-                debug_assert_eq!(shard.global_of_local.len(), shard.index.data().len());
+                debug_assert_eq!(shard.global_of_local.len(), shard.index.id_bound());
                 Ok(g)
             }
             Err(e) => Err(e),
@@ -389,6 +480,16 @@ impl ShardedDbLsh {
             // observability guarantee as `insert` (shard → router is the
             // allowed lock order).
             self.router().live[s] -= 1;
+            // Auto-compaction rides the write lock this remove already
+            // holds: shard-local external ids survive compaction, so the
+            // router's tables and every global id stay untouched.
+            if let Some(policy) = self.compaction {
+                let index = &mut shard.index;
+                if policy.should_compact(index.dead_rows(), index.len() + index.dead_rows()) {
+                    index.compact();
+                    self.compactions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         }
         Ok(removed)
     }
@@ -581,18 +682,18 @@ impl ShardedDbLsh {
             .collect();
         let router = self.router();
         assert_eq!(router.live.len(), guards.len(), "live table size");
-        let total_rows: usize = guards.iter().map(|g| g.index.data().len()).sum();
+        let total_ids: usize = guards.iter().map(|g| g.index.id_bound()).sum();
         assert_eq!(
             router.assign.len(),
-            total_rows,
-            "assign table out of step with shard rows"
+            total_ids,
+            "assign table out of step with shard id spaces"
         );
         for (s, guard) in guards.iter().enumerate() {
             assert_eq!(guard.index.data().dim(), self.dim, "shard {s} dim");
             assert_eq!(
                 guard.global_of_local.len(),
-                guard.index.data().len(),
-                "shard {s} id table out of step with its rows"
+                guard.index.id_bound(),
+                "shard {s} id table out of step with its id space"
             );
             assert_eq!(
                 router.live[s],
@@ -608,6 +709,167 @@ impl ShardedDbLsh {
             }
             guard.index.check_invariants();
         }
+    }
+
+    /// Snapshot the whole serving fleet into a directory: one
+    /// `manifest.dblsh` (shard count, partition policy, compaction
+    /// policy, and every shard's local→global id table) plus one
+    /// `shard-<i>.dblsh` index snapshot per shard ([`DbLsh::save`]).
+    /// All shard read locks are held for the duration, so the snapshot
+    /// is a consistent point-in-time cut even under concurrent writers.
+    ///
+    /// The router's `assign` table is *not* stored — it is the inverse
+    /// of the shards' id tables and is rebuilt (and cross-checked) by
+    /// [`ShardedDbLsh::load_dir`].
+    ///
+    /// Crash safety: every file is written to a `.tmp` sibling and
+    /// renamed into place, and the manifest — whose id tables must
+    /// match the shard files — is committed **last**, so an interrupted
+    /// save leaves the directory's previous consistent snapshot intact.
+    pub fn save_dir<P: AsRef<Path>>(&self, dir: P) -> Result<(), DbLshError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir).map_err(|e| DbLshError::io("create", e))?;
+        let guards: Vec<RwLockReadGuard<'_, Shard>> = self
+            .shards
+            .iter()
+            .map(|s| s.read().expect("shard lock poisoned"))
+            .collect();
+
+        let mut w = SnapshotWriter::new(FLEET_SNAPSHOT_KIND);
+        let mut meta = SectionBuf::new();
+        meta.put_u64(guards.len() as u64);
+        meta.put_u64(self.dim as u64);
+        meta.put_u8(match self.policy {
+            ShardPolicy::RoundRobin => 0,
+            ShardPolicy::HashId => 1,
+        });
+        meta.put_u8(u8::from(self.compaction.is_some()));
+        let policy = self.compaction.unwrap_or_default();
+        meta.put_f64(policy.dead_fraction);
+        meta.put_u64(policy.min_dead_rows as u64);
+        w.section(*b"META", meta);
+        let mut glob = SectionBuf::new();
+        for guard in &guards {
+            glob.put_u64(guard.global_of_local.len() as u64);
+            glob.put_u32_slice(&guard.global_of_local);
+        }
+        w.section(*b"GLOB", glob);
+
+        for (s, guard) in guards.iter().enumerate() {
+            guard
+                .index
+                .save_file(dir.join(format!("shard-{s}.dblsh")))?;
+        }
+        w.write_file(dir.join("manifest.dblsh"))
+    }
+
+    /// Restore a fleet saved by [`ShardedDbLsh::save_dir`]: load every
+    /// shard snapshot, rebuild the router's `assign` table from the
+    /// shards' id tables, and cross-check the whole global id space
+    /// (every global id assigned exactly once, every shard built with
+    /// identical parameters and dimensionality). Any inconsistency —
+    /// a missing or mangled file, shards from different builds mixed
+    /// into one directory — is a typed [`DbLshError`].
+    pub fn load_dir<P: AsRef<Path>>(dir: P) -> Result<Self, DbLshError> {
+        let dir = dir.as_ref();
+        let manifest = SnapshotReader::read_file(dir.join("manifest.dblsh"), FLEET_SNAPSHOT_KIND)?;
+        let mut meta = manifest.section(*b"META")?;
+        let shard_count = meta.get_len()?;
+        let dim = meta.get_len()?;
+        let policy = match meta.get_u8()? {
+            0 => ShardPolicy::RoundRobin,
+            1 => ShardPolicy::HashId,
+            other => {
+                return Err(DbLshError::corrupt(format!(
+                    "unknown shard policy tag {other}"
+                )))
+            }
+        };
+        let has_compaction = meta.get_u8()? != 0;
+        let compaction = CompactionPolicy {
+            dead_fraction: meta.get_f64()?,
+            min_dead_rows: meta.get_len()?,
+        };
+        meta.finish()?;
+        if shard_count == 0 {
+            return Err(DbLshError::corrupt("manifest names zero shards"));
+        }
+        if has_compaction && !compaction.dead_fraction.is_finite() {
+            return Err(DbLshError::corrupt("non-finite compaction threshold"));
+        }
+
+        let mut glob = manifest.section(*b"GLOB")?;
+        let mut tables: Vec<Vec<u32>> = Vec::with_capacity(shard_count);
+        for _ in 0..shard_count {
+            let len = glob.get_len()?;
+            tables.push(glob.get_u32_vec(len)?);
+        }
+        glob.finish()?;
+
+        let mut shards: Vec<RwLock<Shard>> = Vec::with_capacity(shard_count);
+        let mut params: Option<DbLshParams> = None;
+        for (s, global_of_local) in tables.iter().enumerate() {
+            let index = DbLsh::load_file(dir.join(format!("shard-{s}.dblsh")))?;
+            if index.data().dim() != dim {
+                return Err(DbLshError::corrupt(format!(
+                    "shard {s} is {}-dimensional, manifest says {dim}",
+                    index.data().dim()
+                )));
+            }
+            match &params {
+                None => params = Some(index.params().clone()),
+                Some(p) if p != index.params() => {
+                    return Err(DbLshError::corrupt(format!(
+                        "shard {s} was built with different parameters than shard 0"
+                    )));
+                }
+                Some(_) => {}
+            }
+            if global_of_local.len() != index.id_bound() {
+                return Err(DbLshError::corrupt(format!(
+                    "shard {s} id table covers {} locals, index has {}",
+                    global_of_local.len(),
+                    index.id_bound()
+                )));
+            }
+            shards.push(RwLock::new(Shard {
+                index,
+                global_of_local: global_of_local.clone(),
+            }));
+        }
+        let params = params.expect("at least one shard");
+
+        // Rebuild the router: the shards' id tables must tile the global
+        // id space exactly.
+        let total: usize = tables.iter().map(Vec::len).sum();
+        let mut assign = vec![(u32::MAX, u32::MAX); total];
+        for (s, table) in tables.iter().enumerate() {
+            for (local, &g) in table.iter().enumerate() {
+                let slot = assign.get_mut(g as usize).ok_or_else(|| {
+                    DbLshError::corrupt(format!("global id {g} exceeds the fleet id space {total}"))
+                })?;
+                if *slot != (u32::MAX, u32::MAX) {
+                    return Err(DbLshError::corrupt(format!(
+                        "global id {g} is claimed by two shards"
+                    )));
+                }
+                *slot = (s as u32, local as u32);
+            }
+        }
+        let live: Vec<usize> = shards
+            .iter()
+            .map(|s| s.read().expect("fresh lock").index.len())
+            .collect();
+
+        Ok(ShardedDbLsh {
+            shards,
+            router: Mutex::new(Router { assign, live }),
+            params,
+            policy,
+            dim,
+            compaction: has_compaction.then_some(compaction),
+            compactions: AtomicU64::new(0),
+        })
     }
 }
 
@@ -813,5 +1075,136 @@ mod tests {
         assert_eq!(stats.rounds, 1);
         let (none, _) = idx.r_c_nn(&[1e4f32; 8], 1e-9).unwrap();
         assert!(none.is_none());
+    }
+
+    #[test]
+    fn auto_compaction_triggers_and_preserves_answers() {
+        let data = cloud(400, 8, 23);
+        let reference = ShardedDbLsh::build(&data, &builder(), 2, ShardPolicy::RoundRobin).unwrap();
+        let idx = ShardedDbLsh::build(&data, &builder(), 2, ShardPolicy::RoundRobin)
+            .unwrap()
+            .with_compaction_policy(CompactionPolicy {
+                dead_fraction: 0.25,
+                min_dead_rows: 10,
+            });
+        for id in (0..300u32).step_by(2) {
+            assert!(idx.remove(id).unwrap());
+            assert!(reference.remove(id).unwrap());
+        }
+        assert!(idx.compaction_count() > 0, "policy never fired");
+        assert!(
+            idx.dead_rows() < reference.dead_rows(),
+            "auto-compaction reclaimed nothing"
+        );
+        idx.check_invariants();
+        // answers stay byte-identical to the never-compacted fleet
+        for qi in [1usize, 99, 333] {
+            let a = idx.k_ann(data.point(qi), 7).unwrap();
+            let b = reference.k_ann(data.point(qi), 7).unwrap();
+            assert_eq!(a.ids(), b.ids());
+            assert_eq!(a.stats, b.stats);
+        }
+        // global ids keep flowing from the same sequence
+        assert_eq!(idx.insert(&[0.1; 8]).unwrap(), 400);
+        idx.check_invariants();
+    }
+
+    #[test]
+    fn manual_compact_reclaims_all_shards() {
+        let data = cloud(200, 8, 29);
+        let idx = ShardedDbLsh::build(&data, &builder(), 4, ShardPolicy::HashId).unwrap();
+        for id in 0..100u32 {
+            idx.remove(id).unwrap();
+        }
+        assert_eq!(idx.dead_rows(), 100);
+        let dropped = idx.compact();
+        assert_eq!(dropped, 100);
+        assert_eq!(idx.dead_rows(), 0);
+        assert!(idx.compaction_count() >= 1);
+        idx.check_invariants();
+        assert_eq!(idx.len(), 100);
+        assert!(!idx.contains(50));
+        assert!(idx.contains(150));
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dblsh-fleet-{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn save_dir_load_dir_round_trips_a_fleet() {
+        let data = cloud(300, 8, 31);
+        let idx = ShardedDbLsh::build(&data, &builder(), 3, ShardPolicy::RoundRobin)
+            .unwrap()
+            .with_compaction_policy(CompactionPolicy::default());
+        for id in (0..120u32).step_by(3) {
+            idx.remove(id).unwrap();
+        }
+        idx.insert(&[0.5; 8]).unwrap();
+        let dir = temp_dir("roundtrip");
+        idx.save_dir(&dir).unwrap();
+        let loaded = ShardedDbLsh::load_dir(&dir).unwrap();
+        loaded.check_invariants();
+        assert_eq!(loaded.shard_count(), 3);
+        assert_eq!(loaded.len(), idx.len());
+        assert_eq!(loaded.shard_lens(), idx.shard_lens());
+        assert_eq!(loaded.policy(), idx.policy());
+        assert_eq!(loaded.params(), idx.params());
+        assert_eq!(loaded.compaction_policy(), idx.compaction_policy());
+        for qi in [0usize, 7, 250] {
+            let a = idx.k_ann(data.point(qi), 9).unwrap();
+            let b = loaded.k_ann(data.point(qi), 9).unwrap();
+            assert_eq!(a.ids(), b.ids(), "query {qi}");
+            assert_eq!(a.stats, b.stats);
+        }
+        // the restored fleet keeps serving writes with the same ids
+        assert_eq!(
+            idx.insert(&[0.7; 8]).unwrap(),
+            loaded.insert(&[0.7; 8]).unwrap()
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_dir_rejects_mangled_fleets() {
+        let data = cloud(60, 8, 37);
+        let idx = ShardedDbLsh::build(&data, &builder(), 2, ShardPolicy::RoundRobin).unwrap();
+        let dir = temp_dir("mangled");
+        idx.save_dir(&dir).unwrap();
+        // missing shard file
+        std::fs::remove_file(dir.join("shard-1.dblsh")).unwrap();
+        assert!(matches!(
+            ShardedDbLsh::load_dir(&dir),
+            Err(DbLshError::Io { .. })
+        ));
+        // mismatched shard (from a different build) in shard-1's slot
+        let other = ShardedDbLsh::build(
+            &data,
+            &DbLshBuilder::new().k(4).l(2).t(8).r_min(0.5),
+            2,
+            ShardPolicy::RoundRobin,
+        )
+        .unwrap();
+        let donor = temp_dir("donor");
+        other.save_dir(&donor).unwrap();
+        std::fs::copy(donor.join("shard-1.dblsh"), dir.join("shard-1.dblsh")).unwrap();
+        assert!(matches!(
+            ShardedDbLsh::load_dir(&dir),
+            Err(DbLshError::CorruptSnapshot { .. })
+        ));
+        // corrupted manifest bytes
+        let manifest = dir.join("manifest.dblsh");
+        let mut bytes = std::fs::read(&manifest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        std::fs::write(&manifest, &bytes).unwrap();
+        assert!(matches!(
+            ShardedDbLsh::load_dir(&dir),
+            Err(DbLshError::CorruptSnapshot { .. })
+        ));
+        let _ = std::fs::remove_dir_all(dir);
+        let _ = std::fs::remove_dir_all(donor);
     }
 }

@@ -148,6 +148,56 @@ proptest! {
         }
     }
 
+    /// Compaction and fleet persistence stay sharding-transparent: a
+    /// fleet with an aggressive auto-compaction policy, driven through
+    /// interleaved insert/remove traffic and then snapshotted to disk
+    /// and restored, answers byte-identically to an unsharded,
+    /// never-compacted reference over the same traffic.
+    #[test]
+    fn compaction_and_snapshots_keep_sharded_parity(
+        rows in distinct_rows(90, 6),
+        extra in prop::collection::vec(
+            prop::collection::vec(-100.0f32..100.0, 6..=6), 1..10),
+        remove_mod in 2usize..5,
+        k in 1usize..8,
+        qi in 0usize..90,
+        case in 0usize..1000,
+    ) {
+        use dblsh_serve::CompactionPolicy;
+        let data = Dataset::from_rows(&rows);
+        let n = data.len();
+        let p = params(n);
+        let sharded =
+            ShardedDbLsh::build_with_params(&data, &p, 2, ShardPolicy::RoundRobin)
+                .unwrap()
+                .with_compaction_policy(CompactionPolicy {
+                    dead_fraction: 0.05,
+                    min_dead_rows: 1,
+                });
+        let mut reference = DbLsh::build(Arc::new(data.clone()), &p).unwrap();
+        for (j, e) in extra.iter().enumerate() {
+            let victim = ((j * remove_mod) % n) as u32;
+            prop_assert_eq!(
+                sharded.remove(victim).unwrap_or(false),
+                reference.remove(victim).unwrap_or(false)
+            );
+            prop_assert_eq!(sharded.insert(e).unwrap(), reference.insert(e).unwrap());
+        }
+        sharded.check_invariants();
+
+        let dir = std::env::temp_dir().join(format!("dblsh-prop-fleet-{case}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        sharded.save_dir(&dir).unwrap();
+        let restored = ShardedDbLsh::load_dir(&dir).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        restored.check_invariants();
+        prop_assert_eq!(restored.len(), reference.len());
+
+        let q = reference.data().point(qi % reference.data().len()).to_vec();
+        assert_parity(&sharded, &reference, &q, k);
+        assert_parity(&restored, &reference, &q, k);
+    }
+
     /// skip_stats zeroes counters without changing answers, and
     /// `QueryStats` merging over a sharded batch equals the per-query
     /// fold.

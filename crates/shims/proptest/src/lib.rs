@@ -196,6 +196,28 @@ pub mod collection {
     }
 }
 
+pub mod bool {
+    use super::*;
+
+    /// `prop::bool::ANY`: a uniformly random boolean.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The any-boolean strategy value, mirroring proptest's
+    /// `prop::bool::ANY`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = crate::Bool;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            rng.gen_range(0usize..2) == 1
+        }
+    }
+}
+
+/// Alias so the `bool` module above can name the primitive it shadows.
+type Bool = bool;
+
 /// Per-test configuration.
 #[derive(Debug, Clone)]
 pub struct ProptestConfig {
@@ -298,8 +320,10 @@ pub mod prelude {
         prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, ProptestConfig,
     };
 
-    /// The `prop::` namespace (`prop::collection::vec(...)`).
+    /// The `prop::` namespace (`prop::collection::vec(...)`,
+    /// `prop::bool::ANY`).
     pub mod prop {
+        pub use crate::bool;
         pub use crate::collection;
     }
 }

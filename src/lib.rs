@@ -87,6 +87,19 @@
 //!   `dblsh-bench` drives it with mixed read/write workloads at
 //!   increasing worker counts.
 //!
+//! ## Durability and space reclamation
+//!
+//! Removes only *tombstone*; under sustained churn [`DbLsh::compact`]
+//! rewrites the store, the dataset rows and the id maps without the dead
+//! rows — external ids are preserved (never recycled) and
+//! canonical-mode answers are byte-identical. A [`ShardedDbLsh`] can
+//! compact automatically per shard via a [`CompactionPolicy`]. Every
+//! index snapshots to a versioned, checksummed binary format:
+//! [`DbLsh::save`]/[`DbLsh::load`] for one index,
+//! [`ShardedDbLsh::save_dir`]/[`ShardedDbLsh::load_dir`] for a whole
+//! serving fleet — corrupt or truncated files surface as typed
+//! [`DbLshError`]s, never panics.
+//!
 //! ```
 //! use std::sync::Arc;
 //! use db_lsh::{DbLshBuilder, Engine, EngineConfig, ShardPolicy, ShardedDbLsh};
@@ -101,9 +114,13 @@
 //! assert_eq!(top5.neighbors[0].id, 0);
 //! ```
 
-pub use dblsh_core::{DbLsh, DbLshBuilder, DbLshError, DbLshParams, GaussianHasher, SearchOptions};
+pub use dblsh_core::{
+    CompactionStats, DbLsh, DbLshBuilder, DbLshError, DbLshParams, GaussianHasher, SearchOptions,
+};
 pub use dblsh_data::{AnnIndex, Neighbor, QueryStats, SearchResult};
-pub use dblsh_serve::{Engine, EngineConfig, EngineStats, ShardPolicy, ShardedDbLsh};
+pub use dblsh_serve::{
+    CompactionPolicy, Engine, EngineConfig, EngineStats, ShardPolicy, ShardedDbLsh,
+};
 
 /// Dataset substrate: synthetic generators, fvecs I/O, ground truth,
 /// metrics, paper-dataset registry, and the [`DbLshError`] type.
