@@ -1,0 +1,381 @@
+//! Load generator for the `dblsh-net` TCP front door: replay a
+//! seed-deterministic query log against a live [`DbLshServer`] and
+//! report QPS and p50/p99 latency (client-observed, recorded in the
+//! same log₂ buckets as [`dblsh_serve::EngineStats`], via
+//! [`dblsh_serve::LatencyHistogram`]).
+//!
+//! Two modes:
+//!
+//! * **Self-hosted** (default, no `--addr`): builds a sharded index +
+//!   engine + server on `127.0.0.1:0` in-process, drives it over real
+//!   sockets, and — because it also builds the unsharded reference —
+//!   asserts one known query's TCP answer is **byte-identical** to
+//!   `DbLsh::search_canonical` before generating any load. This is the
+//!   CI smoke mode: one command, zero orchestration.
+//! * **Remote** (`--addr host:port`): drives an already-running server;
+//!   no parity check (the remote data is not ours to rebuild).
+//!
+//! The query log is derived deterministically from `--seed`.
+//! `--record <path>` writes it as standard fvecs before running;
+//! `--replay <path>` loads one instead of generating (so a log recorded
+//! once can be replayed against any server build forever).
+//!
+//! Run: `cargo run --release -p dblsh-bench --bin loadgen -- \
+//!           --requests 2k --json BENCH_loadgen.json`
+//!
+//! Flags (all optional): `--addr` target server (default: self-host),
+//! `--requests` total (2000; `k`/`m` suffixes), `--connections`
+//! concurrent client connections (4), `--pipeline` in-flight requests
+//! per connection (8), `--k` neighbors (10), `--n` self-host points
+//! (20k), `--dim` (16), `--shards` (4), `--workers` (4), `--queue`
+//! engine queue capacity (1024), `--seed` (42), `--record`/`--replay`
+//! query-log fvecs path, `--json` BENCH artifact path.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use dblsh_bench::json::{obj, write_json_file};
+use dblsh_core::{DbLsh, DbLshBuilder};
+use dblsh_data::io::{load_fvecs_file, write_fvecs};
+use dblsh_data::synthetic::{gaussian_mixture, MixtureConfig};
+use dblsh_data::Dataset;
+use dblsh_net::{DbLshClient, DbLshServer, Request, Response, ServerConfig};
+use dblsh_serve::{Engine, EngineConfig, LatencyHistogram, ShardPolicy, ShardedDbLsh};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+#[derive(Debug, Clone)]
+struct Args {
+    addr: Option<String>,
+    requests: usize,
+    connections: usize,
+    pipeline: usize,
+    k: usize,
+    n: usize,
+    dim: usize,
+    shards: usize,
+    workers: usize,
+    queue: usize,
+    seed: u64,
+    record: Option<String>,
+    replay: Option<String>,
+    json: Option<String>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            addr: None,
+            requests: 2000,
+            connections: 4,
+            pipeline: 8,
+            k: 10,
+            n: 20_000,
+            dim: 16,
+            shards: 4,
+            workers: 4,
+            queue: 1024,
+            seed: 42,
+            record: None,
+            replay: None,
+            json: None,
+        }
+    }
+}
+
+/// Parse `"20k"` / `"1m"` / plain integers.
+fn parse_count(s: &str) -> usize {
+    let lower = s.trim().to_ascii_lowercase();
+    let (digits, mult) = match lower.strip_suffix(['k', 'm']) {
+        Some(d) if lower.ends_with('k') => (d, 1_000),
+        Some(d) => (d, 1_000_000),
+        None => (lower.as_str(), 1),
+    };
+    digits
+        .parse::<usize>()
+        .unwrap_or_else(|_| panic!("not a count: {s:?}"))
+        * mult
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = Some(value("--addr")),
+            "--requests" => args.requests = parse_count(&value("--requests")),
+            "--connections" => args.connections = parse_count(&value("--connections")),
+            "--pipeline" => args.pipeline = parse_count(&value("--pipeline")),
+            "--k" => args.k = parse_count(&value("--k")),
+            "--n" => args.n = parse_count(&value("--n")),
+            "--dim" => args.dim = parse_count(&value("--dim")),
+            "--shards" => args.shards = parse_count(&value("--shards")),
+            "--workers" => args.workers = parse_count(&value("--workers")),
+            "--queue" => args.queue = parse_count(&value("--queue")),
+            "--seed" => args.seed = value("--seed").parse().expect("seed"),
+            "--record" => args.record = Some(value("--record")),
+            "--replay" => args.replay = Some(value("--replay")),
+            "--json" => args.json = Some(value("--json")),
+            other => panic!("unknown flag {other:?} (see the module docs)"),
+        }
+    }
+    args
+}
+
+/// The self-hosted target: server + engine kept alive for the run, plus
+/// the unsharded reference index for the parity check.
+struct SelfHost {
+    server: DbLshServer,
+    reference: DbLsh,
+    data: Arc<Dataset>,
+}
+
+fn self_host(args: &Args) -> SelfHost {
+    let data = Arc::new(gaussian_mixture(&MixtureConfig {
+        n: args.n,
+        dim: args.dim,
+        clusters: 24,
+        cluster_std: 1.0,
+        spread: 60.0,
+        noise_frac: 0.02,
+        seed: args.seed,
+    }));
+    let builder = DbLshBuilder::new().auto_r_min().seed(args.seed);
+    let params = builder
+        .resolve_params_for(&data)
+        .expect("loadgen parameters");
+    let sharded =
+        ShardedDbLsh::build_with_params(&data, &params, args.shards, ShardPolicy::RoundRobin)
+            .expect("sharded build");
+    let reference = DbLsh::build(Arc::clone(&data), &params).expect("reference build");
+    let engine = Arc::new(Engine::start(
+        Arc::new(sharded),
+        EngineConfig {
+            workers: args.workers,
+            queue_capacity: args.queue,
+        },
+    ));
+    let server = DbLshServer::bind("127.0.0.1:0", engine, ServerConfig::default())
+        .expect("bind self-hosted server");
+    SelfHost {
+        server,
+        reference,
+        data,
+    }
+}
+
+/// Seed-deterministic query log: dataset-shaped points with a little
+/// noise (self-host mode perturbs real rows so queries land in dense
+/// regions; remote mode generates from the seed alone).
+fn generate_log(args: &Args, data: Option<&Dataset>) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0x10AD);
+    let count = args.requests.clamp(1, 4096);
+    let rows: Vec<Vec<f32>> = match data {
+        Some(data) => (0..count)
+            .map(|_| {
+                let base = data.point(rng.gen_range(0..data.len()));
+                base.iter()
+                    .map(|v| v + rng.gen_range(-0.5f32..0.5))
+                    .collect()
+            })
+            .collect(),
+        None => (0..count)
+            .map(|_| (0..args.dim).map(|_| rng.gen_range(-60.0..60.0)).collect())
+            .collect(),
+    };
+    Dataset::from_rows(&rows)
+}
+
+fn main() {
+    let args = parse_args();
+    println!("== loadgen: {args:?} ==");
+
+    let hosted = match &args.addr {
+        None => Some(self_host(&args)),
+        Some(_) => None,
+    };
+    let addr = match &args.addr {
+        Some(addr) => addr.clone(),
+        None => hosted
+            .as_ref()
+            .expect("self-hosted")
+            .server
+            .local_addr()
+            .to_string(),
+    };
+
+    // Query log: replay beats record beats fresh generation.
+    let log = Arc::new(match &args.replay {
+        Some(path) => load_fvecs_file(path).expect("replay log"),
+        None => generate_log(&args, hosted.as_ref().map(|h| &*h.data)),
+    });
+    assert!(!log.is_empty(), "empty query log");
+    if let Some(path) = &args.record {
+        let file = std::fs::File::create(path).expect("create record file");
+        write_fvecs(std::io::BufWriter::new(file), &log).expect("record log");
+        println!("recorded {} queries x {}d to {path}", log.len(), log.dim());
+    }
+
+    // Parity gate (self-host only): one known query answered over TCP
+    // must be byte-identical to the canonical in-process answer.
+    if let Some(h) = &hosted {
+        let mut probe = DbLshClient::connect(&addr).expect("parity connect");
+        let q = log.point(0).to_vec();
+        let wire = probe.knn(&q, args.k).expect("parity query over TCP");
+        let local = h
+            .reference
+            .search_canonical(&q, args.k, &Default::default())
+            .expect("parity query in-process");
+        let wire_bits: Vec<(u32, u32)> = wire
+            .neighbors
+            .iter()
+            .map(|n| (n.id, n.dist.to_bits()))
+            .collect();
+        let local_bits: Vec<(u32, u32)> = local
+            .neighbors
+            .iter()
+            .map(|n| (n.id, n.dist.to_bits()))
+            .collect();
+        assert_eq!(
+            wire_bits, local_bits,
+            "TCP answer diverged from search_canonical"
+        );
+        println!(
+            "parity: TCP == search_canonical on query 0 ({} neighbors)",
+            wire_bits.len()
+        );
+    }
+
+    // Drive: `--connections` threads, each its own client, pipelining
+    // `--pipeline` requests and recording client-observed latency from
+    // submit to response in the engine's own log2 buckets.
+    let per_conn = args.requests / args.connections.max(1);
+    let started = Instant::now();
+    let handles: Vec<_> = (0..args.connections.max(1))
+        .map(|c| {
+            let addr = addr.clone();
+            let log = Arc::clone(&log);
+            let k = args.k;
+            let pipeline = args.pipeline.max(1);
+            std::thread::spawn(move || {
+                let mut client = DbLshClient::connect(&addr).expect("loadgen connect");
+                let mut hist = LatencyHistogram::new();
+                let mut in_flight: Vec<(dblsh_net::client::RequestId, Instant)> = Vec::new();
+                let wait_one = |client: &mut DbLshClient,
+                                in_flight: &mut Vec<(dblsh_net::client::RequestId, Instant)>,
+                                hist: &mut LatencyHistogram| {
+                    let (id, t0) = in_flight.remove(0);
+                    match client.wait(id).expect("loadgen response") {
+                        Response::Knn(_) => hist.record(t0.elapsed().as_nanos() as u64),
+                        Response::Error(e) => panic!("loadgen request failed: {e}"),
+                        other => panic!("expected Knn, got {other:?}"),
+                    }
+                };
+                for j in 0..per_conn {
+                    let qi = (c * per_conn + j) % log.len();
+                    let id = client
+                        .submit(&Request::Knn {
+                            query: log.point(qi).to_vec(),
+                            k: k as u32,
+                            opts: Default::default(),
+                        })
+                        .expect("loadgen submit");
+                    in_flight.push((id, Instant::now()));
+                    while in_flight.len() >= pipeline {
+                        wait_one(&mut client, &mut in_flight, &mut hist);
+                    }
+                }
+                while !in_flight.is_empty() {
+                    wait_one(&mut client, &mut in_flight, &mut hist);
+                }
+                hist
+            })
+        })
+        .collect();
+    let mut hist = LatencyHistogram::new();
+    for h in handles {
+        hist.merge(&h.join().expect("loadgen connection thread"));
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let served = hist.count();
+    let qps = served as f64 / elapsed;
+    let p50 = hist.quantile_us(0.50);
+    let p99 = hist.quantile_us(0.99);
+    assert_eq!(
+        served as usize,
+        per_conn * args.connections.max(1),
+        "lost responses"
+    );
+    println!(
+        "\nloadgen: {served} requests in {elapsed:.2} s over {} connections \
+         (pipeline {}) -> {qps:.0} QPS, p50 {p50:.1} us, p99 {p99:.1} us",
+        args.connections, args.pipeline
+    );
+
+    // Server-side counters over the same wire (any target that answers
+    // Stats), then drain the self-hosted server gracefully.
+    let mut probe = DbLshClient::connect(&addr).expect("stats connect");
+    let engine_stats = probe.stats().expect("stats over the wire");
+    println!(
+        "engine: {} searches, {} rejected, queue depth {}, engine p99 {:.1} us",
+        engine_stats.searches,
+        engine_stats.rejected,
+        engine_stats.queue_depth,
+        engine_stats.p99_latency_us,
+    );
+    drop(probe);
+    if let Some(h) = hosted {
+        let server_stats = h.server.shutdown();
+        println!(
+            "server: {} connections, {} requests, {} refused, {} errors",
+            server_stats.connections,
+            server_stats.requests,
+            server_stats.refused,
+            server_stats.errors
+        );
+    }
+
+    if let Some(path) = &args.json {
+        let doc = obj(vec![
+            ("bench", "loadgen".into()),
+            (
+                "config",
+                obj(vec![
+                    (
+                        "addr",
+                        match &args.addr {
+                            Some(a) => a.as_str().into(),
+                            None => "self-hosted".into(),
+                        },
+                    ),
+                    ("requests", args.requests.into()),
+                    ("connections", args.connections.into()),
+                    ("pipeline", args.pipeline.into()),
+                    ("k", args.k.into()),
+                    ("n", args.n.into()),
+                    ("dim", args.dim.into()),
+                    ("shards", args.shards.into()),
+                    ("workers", args.workers.into()),
+                    ("queue", args.queue.into()),
+                    ("seed", args.seed.into()),
+                ]),
+            ),
+            ("served", served.into()),
+            ("elapsed_s", elapsed.into()),
+            ("qps", qps.into()),
+            ("p50_latency_us", p50.into()),
+            ("p99_latency_us", p99.into()),
+            ("engine_searches", engine_stats.searches.into()),
+            ("engine_rejected", engine_stats.rejected.into()),
+            ("engine_p99_latency_us", engine_stats.p99_latency_us.into()),
+        ]);
+        write_json_file(path, &doc).expect("write --json artifact");
+        println!("wrote {path}");
+    }
+    println!("loadgen OK");
+}

@@ -21,7 +21,9 @@
 //! engine's per-shard compaction policy earn its keep), `--queue`
 //! capacity (1024), `--seed` (42). With any removes in the mix the
 //! engine runs under the default [`dblsh_serve::CompactionPolicy`], and
-//! the sweep footer prints how many shard compactions fired.
+//! the sweep footer prints how many shard compactions fired. `--json
+//! <path>` additionally writes the whole sweep (config + per-worker
+//! QPS/p50/p99 rows) as a machine-readable `BENCH_*.json` artifact.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -45,6 +47,7 @@ struct Args {
     remove_frac: f64,
     queue: usize,
     seed: u64,
+    json: Option<String>,
 }
 
 impl Default for Args {
@@ -61,6 +64,7 @@ impl Default for Args {
             remove_frac: 0.5,
             queue: 1024,
             seed: 42,
+            json: None,
         }
     }
 }
@@ -103,6 +107,7 @@ fn parse_args() -> Args {
             }
             "--queue" => args.queue = parse_count(&value("--queue")),
             "--seed" => args.seed = value("--seed").parse().expect("seed"),
+            "--json" => args.json = Some(value("--json")),
             other => panic!("unknown flag {other:?} (see the module docs)"),
         }
     }
@@ -208,6 +213,7 @@ fn main() {
     let mut baseline_rps = 0.0f64;
     let mut qps_by_workers = Vec::new();
     let mut compactions_by_workers: Vec<(usize, u64)> = Vec::new();
+    let mut json_rows: Vec<dblsh_bench::json::Json> = Vec::new();
     for &workers in &sweep {
         // Fresh index per sweep: identical starting state, so worker
         // count is the only variable. Any churn in the mix runs under
@@ -270,6 +276,21 @@ fn main() {
             stats.errors,
             rps / baseline_rps,
         );
+        json_rows.push(dblsh_bench::json::obj(vec![
+            ("workers", workers.into()),
+            ("req_per_s", rps.into()),
+            ("search_qps", search_qps.into()),
+            ("mean_latency_us", stats.mean_latency_us.into()),
+            ("p50_latency_us", stats.p50_latency_us.into()),
+            ("p99_latency_us", stats.p99_latency_us.into()),
+            (
+                "candidates_per_search",
+                (stats.query.candidates as f64 / stats.searches.max(1) as f64).into(),
+            ),
+            ("errors", stats.errors.into()),
+            ("rejected", stats.rejected.into()),
+            ("compactions", index.compaction_count().into()),
+        ]));
     }
     if removes > 0 {
         println!(
@@ -277,6 +298,31 @@ fn main() {
             compactions_by_workers
         );
     }
+    if let Some(path) = &args.json {
+        let doc = dblsh_bench::json::obj(vec![
+            ("bench", "saturate".into()),
+            (
+                "config",
+                dblsh_bench::json::obj(vec![
+                    ("n", args.n.into()),
+                    ("dim", args.dim.into()),
+                    ("shards", args.shards.into()),
+                    ("threads", args.threads.into()),
+                    ("requests", args.requests.into()),
+                    ("queries", args.queries.into()),
+                    ("k", args.k.into()),
+                    ("write_frac", args.write_frac.into()),
+                    ("remove_frac", args.remove_frac.into()),
+                    ("queue", args.queue.into()),
+                    ("seed", args.seed.into()),
+                ]),
+            ),
+            ("sweep", dblsh_bench::json::Json::Arr(json_rows)),
+        ]);
+        dblsh_bench::json::write_json_file(path, &doc).expect("write --json artifact");
+        println!("wrote {path}");
+    }
+
     let increasing = qps_by_workers.windows(2).all(|w| w[1].1 > w[0].1);
     println!(
         "\nQPS {} with workers across the sweep {:?}",

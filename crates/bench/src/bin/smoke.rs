@@ -170,18 +170,26 @@ fn main() {
     for t in tickets {
         t.wait().expect("engine smoke query");
     }
+    // Snapshot admission-control counters while the engine is live (the
+    // queue depth is an instantaneous gauge; post-shutdown it is 0 by
+    // construction).
+    let live = engine.stats();
     let elapsed = estart.elapsed().as_secs_f64();
     let stats = engine.shutdown();
     assert_eq!(stats.searches as usize, nq * REPEATS);
     assert_eq!(stats.errors, 0);
+    assert_eq!(stats.rejected, 0, "blocking submission never rejects");
     println!(
         "engine ({SHARDS} workers): {:.0} QPS aggregate over {} requests, \
-         p50 {:.1} us, p99 {:.1} us, {:.0} candidates/query",
+         p50 {:.1} us, p99 {:.1} us, {:.0} candidates/query, \
+         queue depth {} (live), rejected {}",
         stats.searches as f64 / elapsed,
         stats.searches,
         stats.p50_latency_us,
         stats.p99_latency_us,
         stats.query.candidates as f64 / stats.searches as f64,
+        live.queue_depth,
+        stats.rejected,
     );
     // Churn sanity: tombstones must be visible as dead bytes, and one
     // compact() must reclaim them all without losing a live answer.

@@ -92,7 +92,7 @@ impl MemoryBreakdown {
 /// Per-query knobs, overriding the index-wide [`crate::DbLshParams`]
 /// defaults for a single [`DbLsh::search_with`] /
 /// [`DbLsh::search_batch_with`] call.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SearchOptions {
     /// Override the candidate budget (`2tL + k` by default). Larger
     /// budgets buy recall with verification time — per query, without

@@ -42,6 +42,12 @@ pub enum DbLshError {
     /// decoded contents violate an index invariant. Loading never
     /// panics on malformed bytes — every such condition surfaces here.
     CorruptSnapshot { reason: String },
+    /// A serving layer refused the request because its admission queue
+    /// is full. The request was *not* executed; retrying later is safe.
+    Busy,
+    /// The serving engine is draining or has shut down; the request was
+    /// not (or can no longer be) accepted.
+    Shutdown,
 }
 
 impl DbLshError {
@@ -92,6 +98,8 @@ impl fmt::Display for DbLshError {
             DbLshError::CorruptSnapshot { reason } => {
                 write!(f, "corrupt or unreadable snapshot: {reason}")
             }
+            DbLshError::Busy => write!(f, "serving queue is full (admission control); retry later"),
+            DbLshError::Shutdown => write!(f, "serving engine is draining or shut down"),
         }
     }
 }
@@ -147,6 +155,8 @@ mod tests {
                 "snapshot read failed",
             ),
             (DbLshError::corrupt("bad checksum"), "bad checksum"),
+            (DbLshError::Busy, "queue is full"),
+            (DbLshError::Shutdown, "draining or shut down"),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

@@ -216,8 +216,10 @@ pub const SNAPSHOT_MAGIC: [u8; 8] = *b"DBLSHSNP";
 /// *sections* do not bump it (unknown tags are ignored on read).
 pub const SNAPSHOT_VERSION: u32 = 1;
 
-/// CRC-32 (IEEE 802.3, the zlib polynomial) over `bytes`.
-fn crc32(bytes: &[u8]) -> u32 {
+/// CRC-32 (IEEE 802.3, the zlib polynomial) over `bytes` — the one
+/// checksum every framed byte stream in this workspace uses (snapshot
+/// sections here, wire-protocol frames in `dblsh-net`).
+pub fn crc32(bytes: &[u8]) -> u32 {
     static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
     let table = TABLE.get_or_init(|| {
         let mut t = [0u32; 256];
@@ -241,6 +243,70 @@ fn crc32(bytes: &[u8]) -> u32 {
     !c
 }
 
+/// Write one length-prefixed frame: a little-endian `u32` byte count
+/// followed by `body`. Refuses (typed, [`DbLshError::InvalidParameter`])
+/// to emit a frame larger than `max_len` — the writer-side twin of the
+/// bound [`read_len_frame`] enforces before trusting a peer's prefix.
+pub fn write_len_frame<W: Write>(w: &mut W, body: &[u8], max_len: u32) -> Result<(), DbLshError> {
+    let len = u32::try_from(body.len())
+        .ok()
+        .filter(|&l| l <= max_len)
+        .ok_or_else(|| {
+            DbLshError::invalid(
+                "frame",
+                format!(
+                    "frame body of {} bytes exceeds the {max_len}-byte cap",
+                    body.len()
+                ),
+            )
+        })?;
+    w.write_all(&len.to_le_bytes())
+        .and_then(|()| w.write_all(body))
+        .map_err(|e| DbLshError::io("write", e))
+}
+
+/// Read one length-prefixed frame written by [`write_len_frame`].
+/// Returns `Ok(None)` on a clean end of stream at a frame boundary.
+///
+/// The length prefix is validated against `max_len` **before any
+/// allocation**, so a malicious or bit-flipped prefix cannot trigger an
+/// absurd up-front allocation; within the cap the body is read
+/// incrementally (`take` + `read_to_end`), so a lying prefix over a
+/// short stream fails with a typed truncation error rather than
+/// over-reserving.
+pub fn read_len_frame<R: Read>(r: &mut R, max_len: u32) -> Result<Option<Vec<u8>>, DbLshError> {
+    let mut prefix = [0u8; 4];
+    match r.read_exact(&mut prefix[..1]) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(DbLshError::io("read", e)),
+    }
+    r.read_exact(&mut prefix[1..]).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            DbLshError::corrupt("stream ends inside a frame length prefix")
+        } else {
+            DbLshError::io("read", e)
+        }
+    })?;
+    let len = u32::from_le_bytes(prefix);
+    if len > max_len {
+        return Err(DbLshError::corrupt(format!(
+            "frame length {len} exceeds the {max_len}-byte cap"
+        )));
+    }
+    let mut body = Vec::new();
+    r.take(len as u64)
+        .read_to_end(&mut body)
+        .map_err(|e| DbLshError::io("read", e))?;
+    if body.len() as u64 != len as u64 {
+        return Err(DbLshError::corrupt(format!(
+            "stream ends inside a frame ({} of {len} bytes)",
+            body.len()
+        )));
+    }
+    Ok(Some(body))
+}
+
 /// An in-progress snapshot section: a growable little-endian byte buffer
 /// with typed appenders. Handed to [`SnapshotWriter::section`] once
 /// filled.
@@ -260,6 +326,11 @@ impl SectionBuf {
         self.bytes.push(v);
     }
 
+    /// Append a little-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
     /// Append a little-endian `u32`.
     pub fn put_u32(&mut self, v: u32) {
         self.bytes.extend_from_slice(&v.to_le_bytes());
@@ -273,6 +344,16 @@ impl SectionBuf {
     /// Append a little-endian IEEE-754 `f64`.
     pub fn put_f64(&mut self, v: f64) {
         self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian IEEE-754 `f32` (bit-exact).
+    pub fn put_f32(&mut self, v: f32) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append raw bytes (the caller's schema carries the length).
+    pub fn put_bytes(&mut self, vs: &[u8]) {
+        self.bytes.extend_from_slice(vs);
     }
 
     /// Append a `u32` slice (values only — lengths are the caller's
@@ -299,6 +380,26 @@ impl SectionBuf {
         for &v in vs {
             self.bytes.extend_from_slice(&v.to_le_bytes());
         }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// The accumulated bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Consume the buffer into its byte vector.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
     }
 }
 
@@ -548,6 +649,21 @@ pub struct SectionCursor<'a> {
     pos: usize,
 }
 
+impl<'a> SectionCursor<'a> {
+    /// A cursor over a free-standing byte buffer, outside any snapshot
+    /// container — the same typed, bounds-checked reads (and the same
+    /// typed errors) applied to e.g. a wire-protocol payload. `tag`
+    /// names the buffer in error messages.
+    pub fn over(tag: [u8; 4], bytes: &'a [u8]) -> Self {
+        SectionCursor { tag, bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+}
+
 impl SectionCursor<'_> {
     fn take(&mut self, n: usize) -> Result<&[u8], DbLshError> {
         let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
@@ -568,6 +684,18 @@ impl SectionCursor<'_> {
     /// Read one byte.
     pub fn get_u8(&mut self) -> Result<u8, DbLshError> {
         Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn get_u16(&mut self) -> Result<u16, DbLshError> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    /// Read `n` raw bytes.
+    pub fn get_bytes(&mut self, n: usize) -> Result<&[u8], DbLshError> {
+        self.take(n)
     }
 
     /// Read a little-endian `u32`.
@@ -595,6 +723,13 @@ impl SectionCursor<'_> {
     pub fn get_f64(&mut self) -> Result<f64, DbLshError> {
         Ok(f64::from_le_bytes(
             self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Read a little-endian IEEE-754 `f32` (bit-exact).
+    pub fn get_f32(&mut self) -> Result<f32, DbLshError> {
+        Ok(f32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
         ))
     }
 
@@ -862,6 +997,74 @@ mod tests {
         // missing section
         assert!(matches!(
             r.section(*b"NOPE"),
+            Err(DbLshError::CorruptSnapshot { .. })
+        ));
+    }
+
+    #[test]
+    fn len_frame_round_trips() {
+        let mut out = Vec::new();
+        write_len_frame(&mut out, b"hello", 64).unwrap();
+        write_len_frame(&mut out, b"", 64).unwrap();
+        let mut r = &out[..];
+        assert_eq!(read_len_frame(&mut r, 64).unwrap().unwrap(), b"hello");
+        assert_eq!(read_len_frame(&mut r, 64).unwrap().unwrap(), b"");
+        assert!(read_len_frame(&mut r, 64).unwrap().is_none());
+    }
+
+    #[test]
+    fn len_frame_bounds_are_enforced_both_ways() {
+        let mut out = Vec::new();
+        assert!(matches!(
+            write_len_frame(&mut out, &[0u8; 100], 64),
+            Err(DbLshError::InvalidParameter { .. })
+        ));
+        assert!(
+            out.is_empty(),
+            "oversized frame must not be partially written"
+        );
+        // A lying prefix: claims u32::MAX bytes over an empty stream.
+        // Must fail on the cap check, before any body allocation.
+        let lying = u32::MAX.to_le_bytes();
+        assert!(matches!(
+            read_len_frame(&mut &lying[..], 1 << 20),
+            Err(DbLshError::CorruptSnapshot { .. })
+        ));
+        // A prefix under the cap but over a short stream: typed
+        // truncation, not a hang or over-allocation.
+        let mut short = Vec::new();
+        short.extend(1000u32.to_le_bytes());
+        short.extend(b"abc");
+        assert!(matches!(
+            read_len_frame(&mut &short[..], 1 << 20),
+            Err(DbLshError::CorruptSnapshot { .. })
+        ));
+        // Truncated prefix itself.
+        assert!(matches!(
+            read_len_frame(&mut &[7u8, 0][..], 64),
+            Err(DbLshError::CorruptSnapshot { .. })
+        ));
+    }
+
+    #[test]
+    fn free_standing_cursor_reads_typed_values() {
+        let mut buf = SectionBuf::new();
+        buf.put_u16(513);
+        buf.put_f32(1.5);
+        buf.put_bytes(b"xy");
+        assert_eq!(buf.len(), 8);
+        assert!(!buf.is_empty());
+        let bytes = buf.into_bytes();
+        let mut c = SectionCursor::over(*b"WIRE", &bytes);
+        assert_eq!(c.remaining(), 8);
+        assert_eq!(c.get_u16().unwrap(), 513);
+        assert_eq!(c.get_f32().unwrap(), 1.5);
+        assert_eq!(c.get_bytes(2).unwrap(), b"xy");
+        c.finish().unwrap();
+        // over-read on a free-standing cursor is the same typed error
+        let mut c = SectionCursor::over(*b"WIRE", &bytes);
+        assert!(matches!(
+            c.get_bytes(9),
             Err(DbLshError::CorruptSnapshot { .. })
         ));
     }

@@ -1,0 +1,301 @@
+//! A thin blocking client for the DB-LSH wire protocol.
+//!
+//! One [`TcpStream`] per client; requests are written as frames and
+//! responses matched back by the echoed request id, so callers may
+//! **pipeline**: submit several requests with [`DbLshClient::submit`]
+//! and collect their responses in any order with
+//! [`DbLshClient::wait`]. The convenience methods ([`knn`], [`insert`],
+//! ...) are submit-then-wait pairs.
+//!
+//! On a broken connection every in-flight request resolves to
+//! [`NetError::Disconnected`]; the next submission transparently
+//! reconnects (one attempt — callers control retry policy).
+//!
+//! [`knn`]: DbLshClient::knn
+//! [`insert`]: DbLshClient::insert
+
+use std::collections::HashMap;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use dblsh_core::SearchOptions;
+use dblsh_data::io::{read_len_frame, write_len_frame};
+use dblsh_data::{DbLshError, Neighbor, QueryStats, SearchResult};
+use dblsh_serve::EngineStats;
+
+use crate::proto::{
+    decode_error, encode_request, Message, NetError, Request, Response, DEFAULT_MAX_FRAME,
+};
+
+/// Client tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Largest frame body this client will accept from the server.
+    pub max_frame: u32,
+    /// Socket read timeout while waiting for a response; a response
+    /// slower than this resolves to a typed [`NetError::Io`]. `None`
+    /// waits forever.
+    pub response_timeout: Option<Duration>,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            max_frame: DEFAULT_MAX_FRAME,
+            response_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+/// Handle to one pipelined in-flight request; redeem it with
+/// [`DbLshClient::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RequestId(u64);
+
+/// Blocking TCP client. Not `Sync` — share across threads by giving
+/// each thread its own client (connections are cheap; the server's
+/// engine is the shared resource).
+pub struct DbLshClient {
+    addr: String,
+    config: ClientConfig,
+    stream: Option<TcpStream>,
+    next_id: u64,
+    /// Responses that arrived while waiting for a different request id
+    /// (pipelined completion order is the server's choice).
+    ready: HashMap<u64, Response>,
+    /// Ids submitted and not yet redeemed; on disconnect these all
+    /// resolve to [`NetError::Disconnected`].
+    in_flight: Vec<u64>,
+}
+
+impl DbLshClient {
+    /// Connect to a [`DbLshServer`](crate::DbLshServer) at `addr`.
+    pub fn connect(addr: &str) -> Result<DbLshClient, NetError> {
+        DbLshClient::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connect with explicit [`ClientConfig`].
+    pub fn connect_with(addr: &str, config: ClientConfig) -> Result<DbLshClient, NetError> {
+        let mut client = DbLshClient {
+            addr: addr.to_string(),
+            config,
+            stream: None,
+            next_id: 1,
+            ready: HashMap::new(),
+            in_flight: Vec::new(),
+        };
+        client.reconnect()?;
+        Ok(client)
+    }
+
+    /// (Re-)establish the connection, abandoning any in-flight requests
+    /// (they resolve to [`NetError::Disconnected`] when redeemed).
+    pub fn reconnect(&mut self) -> Result<(), NetError> {
+        self.drop_connection();
+        let stream = TcpStream::connect(&self.addr).map_err(|e| NetError::io("connect", e))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| NetError::io("set_nodelay", e))?;
+        stream
+            .set_read_timeout(self.config.response_timeout)
+            .map_err(|e| NetError::io("set_read_timeout", e))?;
+        self.stream = Some(stream);
+        Ok(())
+    }
+
+    fn drop_connection(&mut self) {
+        self.stream = None;
+        self.ready.clear();
+        self.in_flight.clear();
+    }
+
+    /// True while the underlying socket is believed healthy.
+    pub fn is_connected(&self) -> bool {
+        self.stream.is_some()
+    }
+
+    // -- pipelined API ------------------------------------------------
+
+    /// Write one request frame without waiting for its response.
+    /// Reconnects first if the previous connection broke.
+    pub fn submit(&mut self, req: &Request) -> Result<RequestId, NetError> {
+        if self.stream.is_none() {
+            self.reconnect()?;
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        let body = encode_request(id, req);
+        let stream = self.stream.as_mut().expect("connected above");
+        if let Err(e) = write_len_frame(stream, &body, self.config.max_frame) {
+            self.drop_connection();
+            return Err(decode_error(e));
+        }
+        self.in_flight.push(id);
+        Ok(RequestId(id))
+    }
+
+    /// Block until the response for `id` arrives (responses for other
+    /// in-flight requests received meanwhile are buffered for their own
+    /// `wait` calls).
+    pub fn wait(&mut self, id: RequestId) -> Result<Response, NetError> {
+        let RequestId(id) = id;
+        loop {
+            if let Some(resp) = self.ready.remove(&id) {
+                self.in_flight.retain(|&x| x != id);
+                return Ok(resp);
+            }
+            if !self.in_flight.contains(&id) {
+                return Err(NetError::Disconnected);
+            }
+            let stream = match self.stream.as_mut() {
+                Some(s) => s,
+                None => {
+                    self.in_flight.clear();
+                    return Err(NetError::Disconnected);
+                }
+            };
+            let body = match read_len_frame(stream, self.config.max_frame) {
+                Ok(Some(body)) => body,
+                Ok(None) => {
+                    self.drop_connection();
+                    return Err(NetError::Disconnected);
+                }
+                Err(e) => {
+                    self.drop_connection();
+                    return Err(decode_error(e));
+                }
+            };
+            let (resp_id, msg) = match crate::proto::decode_frame(&body) {
+                Ok(decoded) => decoded,
+                Err(e) => {
+                    // A frame we cannot decode means we may be out of
+                    // sync; the only safe recovery is a fresh connection.
+                    self.drop_connection();
+                    return Err(e);
+                }
+            };
+            let resp = match msg {
+                Message::Response(r) => r,
+                Message::Request(_) => {
+                    self.drop_connection();
+                    return Err(NetError::protocol(
+                        "server sent a request frame where a response was expected",
+                    ));
+                }
+            };
+            if resp_id == 0 {
+                // Connection-level error (refusal, drain, framing loss):
+                // applies to every in-flight request.
+                self.drop_connection();
+                return match resp {
+                    Response::Error(err) => Err(err),
+                    _ => Err(NetError::protocol("request id 0 carried a non-error frame")),
+                };
+            }
+            self.ready.insert(resp_id, resp);
+        }
+    }
+
+    // -- blocking convenience wrappers --------------------------------
+
+    fn call(&mut self, req: &Request) -> Result<Response, NetError> {
+        let id = self.submit(req)?;
+        self.wait(id)
+    }
+
+    /// Round-trip a ping; returns the echoed token.
+    pub fn ping(&mut self, token: u64) -> Result<u64, NetError> {
+        match self.call(&Request::Ping { token })? {
+            Response::Pong { token } => Ok(token),
+            Response::Error(e) => Err(e),
+            other => Err(unexpected("Pong", &other)),
+        }
+    }
+
+    /// (c,k)-ANN over the wire, answers byte-identical to
+    /// `DbLsh::search_canonical` on the same data.
+    pub fn knn(&mut self, query: &[f32], k: usize) -> Result<SearchResult, NetError> {
+        self.knn_with(query, k, SearchOptions::default())
+    }
+
+    /// `knn` with per-request [`SearchOptions`].
+    pub fn knn_with(
+        &mut self,
+        query: &[f32],
+        k: usize,
+        opts: SearchOptions,
+    ) -> Result<SearchResult, NetError> {
+        let req = Request::Knn {
+            query: query.to_vec(),
+            k: u32::try_from(k)
+                .map_err(|_| NetError::Remote(DbLshError::invalid("k", "does not fit in u32")))?,
+            opts,
+        };
+        match self.call(&req)? {
+            Response::Knn(res) => Ok(res),
+            Response::Error(e) => Err(e),
+            other => Err(unexpected("Knn", &other)),
+        }
+    }
+
+    /// (r,c)-NN probe at radius `r`.
+    pub fn r_c_nn(
+        &mut self,
+        query: &[f32],
+        r: f64,
+    ) -> Result<(Option<Neighbor>, QueryStats), NetError> {
+        let req = Request::RcNn {
+            query: query.to_vec(),
+            r,
+        };
+        match self.call(&req)? {
+            Response::RcNn { nearest, stats } => Ok((nearest, stats)),
+            Response::Error(e) => Err(e),
+            other => Err(unexpected("RcNn", &other)),
+        }
+    }
+
+    /// Insert one point; returns its global id.
+    pub fn insert(&mut self, point: &[f32]) -> Result<u32, NetError> {
+        let req = Request::Insert {
+            point: point.to_vec(),
+        };
+        match self.call(&req)? {
+            Response::Insert { id } => Ok(id),
+            Response::Error(e) => Err(e),
+            other => Err(unexpected("Insert", &other)),
+        }
+    }
+
+    /// Remove by id; `true` if the id was live.
+    pub fn remove(&mut self, id: u32) -> Result<bool, NetError> {
+        match self.call(&Request::Remove { id })? {
+            Response::Remove { removed } => Ok(removed),
+            Response::Error(e) => Err(e),
+            other => Err(unexpected("Remove", &other)),
+        }
+    }
+
+    /// Engine counter snapshot (includes `queue_depth` and `rejected`,
+    /// so a remote load generator can watch admission control work).
+    pub fn stats(&mut self) -> Result<EngineStats, NetError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(stats) => Ok(*stats),
+            Response::Error(e) => Err(e),
+            other => Err(unexpected("Stats", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> NetError {
+    let got = match got {
+        Response::Pong { .. } => "Pong",
+        Response::Knn(_) => "Knn",
+        Response::RcNn { .. } => "RcNn",
+        Response::Insert { .. } => "Insert",
+        Response::Remove { .. } => "Remove",
+        Response::Stats(_) => "Stats",
+        Response::Error(_) => "Error",
+    };
+    NetError::protocol(format!("expected a {wanted} response, got {got}"))
+}

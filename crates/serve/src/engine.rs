@@ -20,7 +20,7 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use dblsh_core::SearchOptions;
-use dblsh_data::{DbLshError, QueryStats, SearchResult};
+use dblsh_data::{DbLshError, Neighbor, QueryStats, SearchResult};
 
 use crate::shard::ShardedDbLsh;
 
@@ -89,8 +89,9 @@ impl<T> Ticket<T> {
 
 /// The worker's side of a [`Ticket`]. If it is dropped without
 /// [`Reply::send`] — a worker panicking mid-request, or the queue being
-/// torn down with the job still queued — the ticket resolves to an
-/// engine error instead of leaving the submitter blocked forever.
+/// torn down with the job still queued — the ticket resolves to the
+/// typed [`DbLshError::Shutdown`] instead of leaving the submitter
+/// blocked forever.
 #[derive(Debug)]
 struct Reply<T> {
     slot: Option<Arc<Slot<Result<T, DbLshError>>>>,
@@ -112,10 +113,7 @@ impl<T> Drop for Reply<T> {
                 Ok(v) => v,
                 Err(poisoned) => poisoned.into_inner(),
             };
-            *value = Some(Err(DbLshError::invalid(
-                "engine",
-                "request abandoned (engine shut down or worker died)",
-            )));
+            *value = Some(Err(DbLshError::Shutdown));
             drop(value);
             slot.ready.notify_all();
         }
@@ -154,6 +152,17 @@ enum Job {
         id: u32,
         reply: Reply<bool>,
     },
+    RcNn {
+        query: Vec<f32>,
+        r: f64,
+        enqueued: Instant,
+        reply: Reply<(Option<Neighbor>, QueryStats)>,
+    },
+    /// Test-only: park the executing worker on a barrier, so tests can
+    /// hold the queue deterministically full while probing admission
+    /// control.
+    #[cfg(test)]
+    Fence(Arc<std::sync::Barrier>),
 }
 
 /// Bounded MPMC job queue: mutex + two condvars, closes on shutdown.
@@ -198,6 +207,35 @@ impl Queue {
         Ok(())
     }
 
+    /// Enqueue without blocking: a full queue is [`DbLshError::Busy`], a
+    /// closed one [`DbLshError::Shutdown`]. A refused job is dropped
+    /// here (outside the lock), which resolves its [`Reply`]; the caller
+    /// gets the precise refusal reason through the returned error.
+    fn try_push(&self, job: Job) -> Result<(), DbLshError> {
+        let mut inner = self.inner.lock().expect("queue mutex poisoned");
+        let refusal = if inner.closed {
+            Some(DbLshError::Shutdown)
+        } else if inner.jobs.len() >= self.capacity {
+            Some(DbLshError::Busy)
+        } else {
+            None
+        };
+        if let Some(err) = refusal {
+            drop(inner);
+            drop(job);
+            return Err(err);
+        }
+        inner.jobs.push_back(job);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Jobs currently queued (accepted, not yet picked up by a worker).
+    fn depth(&self) -> usize {
+        self.inner.lock().expect("queue mutex poisoned").jobs.len()
+    }
+
     /// Dequeue, blocking while empty. `None` once the queue is closed
     /// *and* drained — workers finish every accepted request.
     fn pop(&self) -> Option<Job> {
@@ -233,6 +271,7 @@ struct Metrics {
     inserts: AtomicU64,
     removes: AtomicU64,
     errors: AtomicU64,
+    rejected: AtomicU64,
     candidates: AtomicU64,
     rounds: AtomicU64,
     index_probes: AtomicU64,
@@ -249,6 +288,7 @@ impl Metrics {
             inserts: AtomicU64::new(0),
             removes: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
             candidates: AtomicU64::new(0),
             rounds: AtomicU64::new(0),
             index_probes: AtomicU64::new(0),
@@ -270,9 +310,60 @@ impl Metrics {
             .fetch_add(stats.verify_nanos, Ordering::Relaxed);
         self.latency_nanos_total
             .fetch_add(latency_nanos, Ordering::Relaxed);
-        let bucket = 63 - latency_nanos.max(1).leading_zeros() as usize;
-        self.latency_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.latency_buckets[bucket_of(latency_nanos)].fetch_add(1, Ordering::Relaxed);
     }
+}
+
+/// A log₂(nanoseconds) latency histogram: 64 buckets, where bucket `b`
+/// counts observations in `[2^b, 2^{b+1})` ns. The exact shape behind
+/// [`EngineStats`]' quantiles, exposed so out-of-process harnesses (the
+/// `loadgen` bench bin measuring wire round-trips) report p50/p99 with
+/// identical semantics and can merge distributions exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// Raw bucket counts.
+    pub buckets: [u64; 64],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram { buckets: [0; 64] }
+    }
+}
+
+impl LatencyHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation of `nanos`.
+    pub fn record(&mut self, nanos: u64) {
+        self.buckets[bucket_of(nanos)] += 1;
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// The latency below which fraction `q` of observations fall,
+    /// resolved to the upper edge of its log₂ bucket, in microseconds.
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        bucket_quantile_us(&self.buckets, q)
+    }
+
+    /// Add another histogram's counts into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+    }
+}
+
+/// The log₂ bucket index a latency of `nanos` falls into.
+fn bucket_of(nanos: u64) -> usize {
+    63 - nanos.max(1).leading_zeros() as usize
 }
 
 /// The latency below which `q` of the recorded requests fall, resolved
@@ -307,6 +398,15 @@ pub struct EngineStats {
     pub removes: u64,
     /// Requests that resolved to an error.
     pub errors: u64,
+    /// Requests refused at admission (non-blocking submission against a
+    /// full queue — [`DbLshError::Busy`]). These never executed; they
+    /// are the backpressure the wire front door surfaces to remote
+    /// callers.
+    pub rejected: u64,
+    /// Jobs sitting in the submission queue at snapshot time (accepted,
+    /// not yet picked up by a worker) — the live backlog admission
+    /// control is reacting to.
+    pub queue_depth: u64,
     /// Aggregate per-query work counters across all completed searches
     /// (accumulated via [`QueryStats::merge`]).
     pub query: QueryStats,
@@ -336,6 +436,8 @@ impl Default for EngineStats {
             inserts: 0,
             removes: 0,
             errors: 0,
+            rejected: 0,
+            queue_depth: 0,
             query: QueryStats::default(),
             elapsed_secs: 0.0,
             qps: 0.0,
@@ -363,6 +465,10 @@ impl EngineStats {
         self.inserts += other.inserts;
         self.removes += other.removes;
         self.errors += other.errors;
+        self.rejected += other.rejected;
+        // Queue depth is instantaneous, not cumulative: folding sweeps
+        // keeps the worst backlog observed.
+        self.queue_depth = self.queue_depth.max(other.queue_depth);
         self.query.merge(&other.query);
         self.elapsed_secs += other.elapsed_secs;
         self.qps = if self.elapsed_secs > 0.0 {
@@ -464,13 +570,110 @@ impl Engine {
         ticket
     }
 
+    /// Submit an (r,c)-NN probe (Definition 2 of the paper): the nearest
+    /// point within distance `c·r` of the query, if any lies within `r`.
+    pub fn r_c_nn(&self, query: &[f32], r: f64) -> Ticket<(Option<Neighbor>, QueryStats)> {
+        let (reply, ticket) = oneshot();
+        self.submit(Job::RcNn {
+            query: query.to_vec(),
+            r,
+            enqueued: Instant::now(),
+            reply,
+        });
+        ticket
+    }
+
+    /// Non-blocking [`Engine::search_with`]: a full queue is refused
+    /// with [`DbLshError::Busy`] (counted in [`EngineStats::rejected`])
+    /// instead of blocking the submitter, and a draining engine with
+    /// [`DbLshError::Shutdown`] — the admission-control surface a wire
+    /// front door maps onto typed protocol errors, so a remote caller is
+    /// never parked inside the server's accept path.
+    pub fn try_search_with(
+        &self,
+        query: &[f32],
+        k: usize,
+        opts: SearchOptions,
+    ) -> Result<Ticket<SearchResult>, DbLshError> {
+        let (reply, ticket) = oneshot();
+        self.try_submit(Job::Search {
+            query: query.to_vec(),
+            k,
+            opts,
+            enqueued: Instant::now(),
+            reply,
+        })?;
+        Ok(ticket)
+    }
+
+    /// Non-blocking [`Engine::insert`] (see [`Engine::try_search_with`]).
+    pub fn try_insert(&self, point: &[f32]) -> Result<Ticket<u32>, DbLshError> {
+        let (reply, ticket) = oneshot();
+        self.try_submit(Job::Insert {
+            point: point.to_vec(),
+            reply,
+        })?;
+        Ok(ticket)
+    }
+
+    /// Non-blocking [`Engine::remove`] (see [`Engine::try_search_with`]).
+    pub fn try_remove(&self, id: u32) -> Result<Ticket<bool>, DbLshError> {
+        let (reply, ticket) = oneshot();
+        self.try_submit(Job::Remove { id, reply })?;
+        Ok(ticket)
+    }
+
+    /// Non-blocking [`Engine::r_c_nn`] (see [`Engine::try_search_with`]).
+    pub fn try_r_c_nn(
+        &self,
+        query: &[f32],
+        r: f64,
+    ) -> Result<Ticket<(Option<Neighbor>, QueryStats)>, DbLshError> {
+        let (reply, ticket) = oneshot();
+        self.try_submit(Job::RcNn {
+            query: query.to_vec(),
+            r,
+            enqueued: Instant::now(),
+            reply,
+        })?;
+        Ok(ticket)
+    }
+
     fn submit(&self, job: Job) {
         if let Err(job) = self.queue.push(job) {
-            // Unreachable while the engine is alive (shutdown consumes
-            // it); dropping the job resolves its Reply with an engine
-            // error rather than leaving a waiter hanging.
+            // The engine is draining: dropping the job resolves its
+            // Reply with `DbLshError::Shutdown` rather than leaving a
+            // waiter hanging.
             drop(job);
         }
+    }
+
+    fn try_submit(&self, job: Job) -> Result<(), DbLshError> {
+        self.queue.try_push(job).inspect_err(|err| {
+            if *err == DbLshError::Busy {
+                self.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            }
+        })
+    }
+
+    /// Begin graceful drain *without* consuming the engine: the queue
+    /// closes (new submissions resolve to [`DbLshError::Shutdown`];
+    /// non-blocking ones refuse with it), every already-accepted request
+    /// still completes, and workers exit once the backlog is empty.
+    /// Unlike [`Engine::shutdown`] this does not join the workers — it
+    /// is callable from any thread holding an `Arc<Engine>` (the wire
+    /// server's shutdown path); the eventual drop (or `shutdown`) joins.
+    pub fn drain(&self) {
+        self.queue.close();
+    }
+
+    /// Whether [`Engine::drain`] (or shutdown) has closed the queue.
+    pub fn is_draining(&self) -> bool {
+        self.queue
+            .inner
+            .lock()
+            .expect("queue mutex poisoned")
+            .closed
     }
 
     /// Snapshot the engine counters.
@@ -485,6 +688,8 @@ impl Engine {
             inserts: m.inserts.load(Ordering::Relaxed),
             removes: m.removes.load(Ordering::Relaxed),
             errors: m.errors.load(Ordering::Relaxed),
+            rejected: m.rejected.load(Ordering::Relaxed),
+            queue_depth: self.queue.depth() as u64,
             query: QueryStats {
                 candidates: m.candidates.load(Ordering::Relaxed) as usize,
                 rounds: m.rounds.load(Ordering::Relaxed) as usize,
@@ -572,6 +777,28 @@ fn worker_loop(index: &ShardedDbLsh, queue: &Queue, metrics: &Metrics) {
                     }
                 }
                 reply.send(result);
+            }
+            Job::RcNn {
+                query,
+                r,
+                enqueued,
+                reply,
+            } => {
+                let result = index.r_c_nn(&query, r);
+                let latency = enqueued.elapsed().as_nanos() as u64;
+                match &result {
+                    // An (r,c)-NN probe is a search: it shares the
+                    // search counter and latency histogram.
+                    Ok((_, stats)) => metrics.record_search(latency, stats),
+                    Err(_) => {
+                        metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                reply.send(result);
+            }
+            #[cfg(test)]
+            Job::Fence(barrier) => {
+                barrier.wait();
             }
         }
     }
@@ -670,6 +897,98 @@ mod tests {
         for t in tickets {
             assert!(t.wait().is_ok(), "accepted request must resolve");
         }
+    }
+
+    #[test]
+    fn full_queue_refuses_with_typed_busy_and_counts_it() {
+        let engine = engine(1, 1);
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        engine.submit(Job::Fence(Arc::clone(&gate)));
+        // Blocking push returns only after the single worker popped the
+        // fence (capacity 1), so the queue is now deterministically full
+        // with this search while the worker is parked on the barrier.
+        let pending = engine.search(&[0.0; 12], 2);
+        assert!(matches!(
+            engine.try_search_with(&[0.0; 12], 2, SearchOptions::default()),
+            Err(DbLshError::Busy)
+        ));
+        assert!(matches!(
+            engine.try_insert(&[0.0; 12]),
+            Err(DbLshError::Busy)
+        ));
+        assert!(matches!(engine.try_remove(0), Err(DbLshError::Busy)));
+        assert!(matches!(
+            engine.try_r_c_nn(&[0.0; 12], 1.0),
+            Err(DbLshError::Busy)
+        ));
+        let stats = engine.stats();
+        assert_eq!(stats.rejected, 4, "every refusal must be counted");
+        assert_eq!(stats.queue_depth, 1, "the accepted search is the backlog");
+        gate.wait();
+        assert!(pending.wait().is_ok(), "accepted request must still run");
+        let stats = engine.shutdown();
+        assert_eq!(stats.rejected, 4);
+        assert_eq!(stats.queue_depth, 0);
+    }
+
+    #[test]
+    fn drain_refuses_new_work_with_typed_shutdown() {
+        let engine = engine(1, 8);
+        assert!(!engine.is_draining());
+        assert!(engine.search(&[0.2; 12], 3).wait().is_ok());
+        engine.drain();
+        assert!(engine.is_draining());
+        // Blocking submission after drain: the ticket still resolves,
+        // and with the typed Shutdown — never a hang, never a stringly
+        // "abandoned" error.
+        assert!(matches!(
+            engine.search(&[0.2; 12], 3).wait(),
+            Err(DbLshError::Shutdown)
+        ));
+        assert_eq!(engine.insert(&[0.2; 12]).wait(), Err(DbLshError::Shutdown));
+        // Non-blocking submission refuses immediately, same type, and a
+        // drain refusal is not a queue-full rejection.
+        assert!(matches!(
+            engine.try_search_with(&[0.2; 12], 3, SearchOptions::default()),
+            Err(DbLshError::Shutdown)
+        ));
+        let stats = engine.shutdown();
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.searches, 1);
+    }
+
+    #[test]
+    fn rcnn_over_engine_matches_direct_probe() {
+        let engine = engine(2, 16);
+        let q = [0.0; 12];
+        let direct = engine.index().r_c_nn(&q, 5.0).unwrap();
+        let served = engine.r_c_nn(&q, 5.0).wait().unwrap();
+        assert_eq!(served, direct);
+        // An (r,c)-NN probe counts as a search in the engine stats.
+        assert_eq!(engine.stats().searches, 1);
+        // And the non-blocking path answers identically on an idle queue.
+        let tried = engine.try_r_c_nn(&q, 5.0).unwrap().wait().unwrap();
+        assert_eq!(tried, direct);
+    }
+
+    #[test]
+    fn latency_histogram_matches_engine_quantiles() {
+        let mut h = LatencyHistogram::new();
+        for nanos in [800, 1_500, 70_000, 70_000, 2_000_000] {
+            h.record(nanos);
+        }
+        assert_eq!(h.count(), 5);
+        let mut counts = [0u64; 64];
+        for nanos in [800u64, 1_500, 70_000, 70_000, 2_000_000] {
+            counts[bucket_of(nanos)] += 1;
+        }
+        assert_eq!(h.quantile_us(0.50), bucket_quantile_us(&counts, 0.50));
+        assert_eq!(h.quantile_us(0.99), bucket_quantile_us(&counts, 0.99));
+        let mut merged = LatencyHistogram::new();
+        merged.merge(&h);
+        merged.merge(&h);
+        assert_eq!(merged.count(), 10);
+        assert_eq!(merged.quantile_us(0.5), h.quantile_us(0.5));
     }
 
     #[test]

@@ -52,5 +52,5 @@
 mod engine;
 mod shard;
 
-pub use engine::{Engine, EngineConfig, EngineStats, Ticket};
+pub use engine::{Engine, EngineConfig, EngineStats, LatencyHistogram, Ticket};
 pub use shard::{CompactionPolicy, ShardPolicy, ShardedDbLsh, FLEET_SNAPSHOT_KIND};

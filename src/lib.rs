@@ -113,11 +113,24 @@
 //! let top5 = engine.search(data.point(0), 5).wait().unwrap();
 //! assert_eq!(top5.neighbors[0].id, 0);
 //! ```
+//!
+//! ## Network service
+//!
+//! The [`net`] crate puts a TCP front door on the engine: a
+//! length-prefixed, CRC-checked binary wire protocol (framing shared
+//! with the snapshot files), a threaded [`DbLshServer`] that inherits
+//! the engine's bounded-queue admission control (full queue → typed
+//! `Busy` over the wire) and drains gracefully on shutdown, and a
+//! pipelined blocking [`DbLshClient`]. Answers over TCP are
+//! byte-identical to [`DbLsh::search_canonical`] on the same data. The
+//! `loadgen` binary in `dblsh-bench` replays deterministic query logs
+//! against a live server and reports QPS/p50/p99.
 
 pub use dblsh_core::{
     CompactionStats, DbLsh, DbLshBuilder, DbLshError, DbLshParams, GaussianHasher, SearchOptions,
 };
 pub use dblsh_data::{AnnIndex, Neighbor, QueryStats, SearchResult};
+pub use dblsh_net::{DbLshClient, DbLshServer, ServerConfig};
 pub use dblsh_serve::{
     CompactionPolicy, Engine, EngineConfig, EngineStats, ShardPolicy, ShardedDbLsh,
 };
@@ -132,6 +145,10 @@ pub use dblsh_baselines as baselines;
 /// Sharded concurrent serving: [`ShardedDbLsh`], the [`Engine`] worker
 /// pool, and the saturation counters.
 pub use dblsh_serve as serve;
+
+/// TCP front door: binary wire protocol, threaded server with admission
+/// control and graceful drain, pipelined blocking client.
+pub use dblsh_net as net;
 
 /// R*-tree multi-dimensional index.
 pub use dblsh_index as index;
