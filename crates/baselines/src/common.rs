@@ -3,7 +3,7 @@
 //! fast hasher for bucket keys.
 
 use dblsh_data::dataset::sq_dist;
-use dblsh_data::{push_candidate_unchecked, Dataset, Neighbor, QueryStats};
+use dblsh_data::{Dataset, Neighbor, QueryStats, Sq8Query, Sq8Store};
 
 // The per-query visited bitset lives in `dblsh_data` (shared with the
 // DB-LSH core's query scratch); re-exported here for the baselines.
@@ -27,6 +27,16 @@ pub struct Verifier<'d> {
     block: Vec<u32>,
     dists: Vec<f32>,
     keys: Vec<u64>,
+    /// SQ8 pre-filter state ([`Verifier::with_prefilter`]): the shared
+    /// code store plus this query's prepared coefficients. `None` runs
+    /// every batch through the exact kernel directly.
+    sq8: Option<(&'d Sq8Store, Sq8Query)>,
+    survivors: Vec<u32>,
+    /// Mirror of `top`'s raw squared `f32` distances, in the same order:
+    /// the pre-filter threshold must be the k-th **exact squared** value
+    /// (re-squaring the rounded sqrt in `Neighbor::dist` would not be a
+    /// sound pruning bound).
+    top_sq: Vec<f32>,
 }
 
 impl<'d> Verifier<'d> {
@@ -45,6 +55,59 @@ impl<'d> Verifier<'d> {
             block: Vec::new(),
             dists: Vec::new(),
             keys: Vec::new(),
+            sq8: None,
+            survivors: Vec::new(),
+            top_sq: Vec::with_capacity(k + 1),
+        }
+    }
+
+    /// [`Verifier::new`] with the SQ8 quantized pre-filter enabled:
+    /// batches offered through [`Verifier::offer_block`] are first
+    /// screened against `store` (codes in the same row order as `data`),
+    /// and rows whose conservative lower bound already exceeds the
+    /// current k-th exact distance skip the exact kernel. Answers and
+    /// work counters stay byte-identical to the unfiltered verifier;
+    /// only `stats.prefilter_pruned` / `prefilter_survivors` differ.
+    pub fn with_prefilter(
+        data: &'d Dataset,
+        query: &'d [f32],
+        k: usize,
+        budget: usize,
+        store: &'d Sq8Store,
+    ) -> Self {
+        assert_eq!(store.len(), data.len(), "code store out of step with data");
+        let mut v = Verifier::new(data, query, k, budget);
+        let mut prep = Sq8Query::empty();
+        store.prepare_query(query, &mut prep);
+        v.sq8 = Some((store, prep));
+        v
+    }
+
+    /// Insert a candidate into the ascending top-k and its squared-
+    /// distance mirror. Same tie semantics as
+    /// [`dblsh_data::push_candidate_unchecked`]: equal-or-greater pushes
+    /// land after existing entries, so a full top-k never changes on a
+    /// tied candidate.
+    fn push(&mut self, id: u32, d2: f32) {
+        let dist = ((d2 as f64).sqrt()) as f32;
+        let pos = self.top.partition_point(|n| n.dist <= dist);
+        if pos >= self.k {
+            return;
+        }
+        self.top.insert(pos, Neighbor { id, dist });
+        self.top_sq.insert(pos, d2);
+        self.top.truncate(self.k);
+        self.top_sq.truncate(self.k);
+    }
+
+    /// The pre-filter pruning threshold: the k-th exact **squared**
+    /// distance, or infinity until `k` results are present (nothing may
+    /// be pruned before the top is full).
+    fn prune_threshold(&self) -> f32 {
+        if self.top.len() == self.k {
+            self.top_sq[self.k - 1]
+        } else {
+            f32::INFINITY
         }
     }
 
@@ -57,10 +120,10 @@ impl<'d> Verifier<'d> {
         }
         self.verified += 1;
         self.stats.candidates += 1;
-        let d = (sq_dist(self.query, self.data.point(id as usize)) as f64).sqrt() as f32;
         // the visited bitset above guarantees each id is offered once, so
         // the duplicate-scanning push_candidate is unnecessary here
-        push_candidate_unchecked(&mut self.top, Neighbor { id, dist: d }, self.k);
+        let d2 = sq_dist(self.query, self.data.point(id as usize));
+        self.push(id, d2);
         self.verified < self.budget
     }
 
@@ -92,20 +155,44 @@ impl<'d> Verifier<'d> {
         if self.block.is_empty() {
             return !stop(self);
         }
-        dblsh_data::kernels::canonical_verify_keys(
-            self.query,
-            self.data.flat(),
-            self.data.dim(),
-            &mut self.block,
-            &mut self.dists,
-            &mut self.keys,
-            |id| id,
-        );
+        match &self.sq8 {
+            Some((store, prep)) => {
+                let threshold = self.prune_threshold();
+                let (pruned, survived) = dblsh_data::kernels::canonical_verify_keys_prefiltered(
+                    self.query,
+                    self.data.flat(),
+                    self.data.dim(),
+                    store,
+                    prep,
+                    threshold,
+                    &mut self.block,
+                    &mut self.dists,
+                    &mut self.survivors,
+                    &mut self.keys,
+                    |id| id,
+                );
+                self.stats.prefilter_pruned += pruned;
+                self.stats.prefilter_survivors += survived;
+            }
+            None => {
+                dblsh_data::kernels::canonical_verify_keys(
+                    self.query,
+                    self.data.flat(),
+                    self.data.dim(),
+                    &mut self.block,
+                    &mut self.dists,
+                    &mut self.keys,
+                    |id| id,
+                );
+            }
+        }
         for i in 0..self.keys.len() {
-            let (id, d) = dblsh_data::kernels::key_parts(self.keys[i]);
+            let key = self.keys[i];
+            let id = key as u32;
+            let d2 = f32::from_bits((key >> 32) as u32);
             self.verified += 1;
             self.stats.candidates += 1;
-            push_candidate_unchecked(&mut self.top, Neighbor { id, dist: d as f32 }, self.k);
+            self.push(id, d2);
             if stop(self) {
                 return false;
             }
@@ -259,6 +346,45 @@ mod tests {
         assert!(!v.offer_block(&[4, 3, 2, 1, 0], Some(1.5)));
         assert_eq!(v.verified(), 2, "stopped at the first k-within-bound");
         assert!(v.kth_within(1.5));
+    }
+
+    #[test]
+    fn prefiltered_verifier_matches_exact_and_prunes() {
+        let d = data();
+        let q = [0.0f32, 0.0];
+        let store = Sq8Store::learn_and_build(d.dim(), d.flat());
+        let mut exact = Verifier::new(&d, &q, 2, 100);
+        let mut filtered = Verifier::with_prefilter(&d, &q, 2, 100, &store);
+        // first block fills the top (threshold infinite: nothing pruned)
+        for v in [&mut exact, &mut filtered] {
+            assert!(v.offer_block(&[0, 1], None));
+        }
+        assert_eq!(filtered.stats.prefilter_pruned, 0);
+        assert_eq!(filtered.stats.prefilter_survivors, 2);
+        // second block: ids 2/3/4 all lie beyond the k-th distance (1.0),
+        // so the pre-filter should drop them before the exact kernel —
+        // while answers and shared work counters stay byte-identical
+        for v in [&mut exact, &mut filtered] {
+            assert!(v.offer_block(&[2, 3, 4], None));
+        }
+        assert_eq!(filtered.top, exact.top);
+        assert_eq!(filtered.verified(), exact.verified());
+        assert_eq!(filtered.stats.candidates, exact.stats.candidates);
+        assert_eq!(filtered.stats.index_probes, exact.stats.index_probes);
+        assert_eq!(exact.stats.prefilter_pruned, 0);
+        assert_eq!(exact.stats.prefilter_survivors, 0);
+        assert_eq!(
+            filtered.stats.prefilter_pruned + filtered.stats.prefilter_survivors,
+            5,
+            "both blocks were screened"
+        );
+        assert!(filtered.stats.prefilter_pruned > 0, "nothing was pruned");
+        // the one-at-a-time path agrees too
+        let mut single = Verifier::new(&d, &q, 2, 100);
+        for id in [0u32, 1, 2, 3, 4] {
+            single.offer(id);
+        }
+        assert_eq!(single.top, filtered.top);
     }
 
     #[test]

@@ -26,7 +26,7 @@
 
 use std::sync::Arc;
 
-use dblsh_data::{Dataset, DbLshError};
+use dblsh_data::{Dataset, DbLshError, Sq8Grid, Sq8Store};
 use dblsh_index::{RStarTree, StridedCoords};
 
 use crate::hasher::GaussianHasher;
@@ -111,6 +111,14 @@ pub struct DbLsh {
     /// locality-relabeled builds; compacted identity-order indexes keep
     /// `data` itself in internal order and carry no copy.
     pub(crate) verify_rows: Option<Dataset>,
+    /// SQ8 quantized codes of the rows in *internal* (verification)
+    /// order — the stage-1 pre-filter scans these before any f32 row is
+    /// touched. Kept in lockstep with [`DbLsh::verify_data`] through
+    /// insert/compact; the grid (per-dimension `min`/`step`) is learned
+    /// once at build and never re-learned, so pruning decisions — and
+    /// therefore the prefilter counters — are stable across churn,
+    /// compaction and save/load.
+    pub(crate) sq8: Sq8Store,
     /// Tombstone bitset over *external* ids (1 = removed). Compaction
     /// drops the rows but keeps the bits: a dead id must answer
     /// `contains == false` / `remove == Ok(false)` forever, at one bit
@@ -134,6 +142,24 @@ impl DbLsh {
     /// Fails with [`DbLshError::EmptyDataset`] on an empty dataset and
     /// [`DbLshError::InvalidParameter`] on malformed parameters.
     pub fn build(data: Arc<Dataset>, params: &DbLshParams) -> Result<Self, DbLshError> {
+        Self::build_with_grid(data, params, None)
+    }
+
+    /// [`DbLsh::build`] with an externally supplied SQ8 quantization
+    /// grid. `None` learns the grid from this dataset (the normal path);
+    /// `Some` injects a grid learned over a *superset* of the data — the
+    /// sharded serving layer uses this so every shard quantizes against
+    /// the same grid and per-shard prune decisions (and therefore the
+    /// merged prefilter counters) match an unsharded build exactly.
+    ///
+    /// Grid learning is order-independent (a per-dimension min/max over
+    /// the point multiset), so a relabeled and an identity build of the
+    /// same rows always learn the same grid.
+    pub fn build_with_grid(
+        data: Arc<Dataset>,
+        params: &DbLshParams,
+        grid: Option<Sq8Grid>,
+    ) -> Result<Self, DbLshError> {
         params.validate()?;
         if data.is_empty() {
             return Err(DbLshError::EmptyDataset);
@@ -225,6 +251,24 @@ impl DbLsh {
             }
         });
 
+        // Stage-1 pre-filter state: resolve the quantization grid
+        // (injected or learned over the full dataset — order-independent
+        // either way), then encode the rows in *internal* order so the
+        // bound scan walks the same layout verification does.
+        let grid = match grid {
+            Some(g) => {
+                if g.dim() != data.dim() {
+                    return Err(DbLshError::DimensionMismatch {
+                        expected: data.dim(),
+                        got: g.dim(),
+                    });
+                }
+                g
+            }
+            None => Sq8Grid::learn(data.dim(), data.flat()),
+        };
+        let sq8 = Sq8Store::build(grid, verify_rows.as_ref().map_or(data.flat(), |v| v.flat()));
+
         let live = data.len();
         Ok(DbLsh {
             params: params.clone(),
@@ -234,6 +278,7 @@ impl DbLsh {
             data,
             maps,
             verify_rows,
+            sq8,
             removed: vec![0; live.div_ceil(64)],
             live,
             ext_len: live,
@@ -316,6 +361,12 @@ impl DbLsh {
         &self.store
     }
 
+    /// The SQ8 quantized code store the stage-1 verification pre-filter
+    /// scans (codes in internal order, grid fixed at build).
+    pub fn sq8_store(&self) -> &Sq8Store {
+        &self.sq8
+    }
+
     /// Per-tree structure statistics (node counts, entry counts, arena
     /// bytes) — the tree side of [`DbLsh::memory_breakdown`].
     pub fn tree_stats(&self) -> Vec<dblsh_index::TreeStats> {
@@ -393,6 +444,12 @@ impl DbLsh {
             rows.try_push(point)
                 .expect("validated point rejected by internal rows");
         }
+        // The new row is the internal tail, so its codes append in step
+        // with the verification order. The grid is NOT re-learned: a
+        // point outside the build-time range is flagged clamped and the
+        // pre-filter never prunes it (bound 0), keeping the bound
+        // conservative without perturbing existing codes.
+        self.sq8.push(point);
         if let Some(m) = &mut self.maps {
             let internal = self.store.len() as u32;
             m.ext_of_int.push(id);
@@ -490,6 +547,9 @@ impl DbLsh {
             }
         }
         debug_assert_eq!(keep.len(), live, "live counter out of sync");
+        // Surviving rows keep their codes (and the build-time grid), so
+        // prune decisions are byte-identical across a compaction.
+        self.sq8 = self.sq8.retained(&keep);
 
         // New projection rows and id maps, in one pass over `keep`.
         let mut flat = Vec::with_capacity(live * width);
@@ -598,6 +658,22 @@ impl DbLsh {
         }
         if let Some(v) = &self.verify_rows {
             assert_eq!(v.len(), rows, "verification rows out of sync");
+        }
+        assert_eq!(self.sq8.len(), rows, "sq8 code store out of sync");
+        assert_eq!(
+            self.sq8.grid().dim(),
+            self.data.dim(),
+            "sq8 grid dimensionality out of step with the dataset"
+        );
+        // Codes must be encoded over the *internal* row order: re-encode
+        // row 0 under the store's own grid and compare.
+        if rows > 0 {
+            let probe = Sq8Store::build(self.sq8.grid().clone(), self.verify_data().point(0));
+            assert_eq!(
+                probe.codes_row(0),
+                self.sq8.codes_row(0),
+                "sq8 codes do not encode the internal row order"
+            );
         }
         // `data` rows ascend by external id and mirror the verification
         // rows through the maps.

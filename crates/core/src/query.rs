@@ -46,10 +46,10 @@ use std::cell::RefCell;
 use std::time::Instant;
 
 use dblsh_data::error::check_query;
-use dblsh_data::kernels::{canonical_verify_keys, key_parts};
+use dblsh_data::kernels::{canonical_verify_keys, canonical_verify_keys_prefiltered, key_parts};
 use dblsh_data::{
     push_candidate_unchecked, AnnIndex, Dataset, DbLshError, Neighbor, QueryStats, SearchResult,
-    Visited,
+    Sq8Query, Visited,
 };
 use dblsh_index::Rect;
 
@@ -71,6 +71,10 @@ pub struct MemoryBreakdown {
     /// internal order for verification. Zero on identity-order builds
     /// that were never compacted.
     pub relabel_bytes: usize,
+    /// The SQ8 quantized code store the verification pre-filter scans:
+    /// one `u8` code per coordinate plus one clamped-flag byte per row,
+    /// plus the per-dimension grid — about a quarter of one f32 row copy.
+    pub sq8_bytes: usize,
     /// What churn currently costs: the share of the store, the dataset
     /// rows and the id maps occupied by *tombstoned* rows — payload a
     /// [`crate::DbLsh::compact`] call would reclaim. An overlay over the
@@ -85,14 +89,14 @@ impl MemoryBreakdown {
     /// Sum of all owned components (`dead_bytes` is an overlay, not a
     /// component — see its field docs).
     pub fn total(&self) -> usize {
-        self.proj_store_bytes + self.tree_bytes + self.relabel_bytes
+        self.proj_store_bytes + self.tree_bytes + self.relabel_bytes + self.sq8_bytes
     }
 }
 
 /// Per-query knobs, overriding the index-wide [`crate::DbLshParams`]
 /// defaults for a single [`DbLsh::search_with`] /
 /// [`DbLsh::search_batch_with`] call.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SearchOptions {
     /// Override the candidate budget (`2tL + k` by default). Larger
     /// budgets buy recall with verification time — per query, without
@@ -113,6 +117,31 @@ pub struct SearchOptions {
     /// clock reads per drained leaf — off by default to keep the hot
     /// path free of them.
     pub time_verification: bool,
+    /// Stage-1 SQ8 quantized pre-filter (on by default). Each candidate
+    /// block is first scanned through the u8 code store for a
+    /// conservative lower bound on the squared distance; candidates whose
+    /// bound exceeds the current k-th-best squared distance are dropped
+    /// before any f32 row is read. Answers and the shared work counters
+    /// (`candidates`, `rounds`, `index_probes`) are **byte-identical**
+    /// with the prefilter on or off — only `prefilter_pruned` /
+    /// `prefilter_survivors` (and wall-clock) differ. Applies to the
+    /// budgeted k-ANN paths ([`DbLsh::search_with`],
+    /// [`DbLsh::search_canonical`], batch); the single-probe
+    /// [`DbLsh::r_c_nn`] and incremental modes always verify exactly.
+    pub prefilter: bool,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions {
+            budget: None,
+            r_min: None,
+            max_rounds: None,
+            skip_stats: false,
+            time_verification: false,
+            prefilter: true,
+        }
+    }
 }
 
 /// A resolved per-query execution plan: the [`SearchOptions`] overrides
@@ -129,6 +158,8 @@ pub struct LadderPlan {
     pub max_rounds: usize,
     /// Whether verification-stage timing was requested.
     pub timing: bool,
+    /// Whether the SQ8 quantized pre-filter screens candidate blocks.
+    pub prefilter: bool,
 }
 
 impl SearchOptions {
@@ -161,6 +192,7 @@ impl SearchOptions {
             r0,
             max_rounds,
             timing: self.time_verification,
+            prefilter: self.prefilter,
         })
     }
 
@@ -183,6 +215,10 @@ struct QueryScratch {
     dists: Vec<f32>,
     /// Canonical consumption keys: `(sq-dist bits << 32) | external id`.
     keys: Vec<u64>,
+    /// Ids of the current block that survived the SQ8 pre-filter.
+    survivors: Vec<u32>,
+    /// Quantized-domain query state for the SQ8 bound scan.
+    prep: Sq8Query,
 }
 
 impl QueryScratch {
@@ -193,6 +229,8 @@ impl QueryScratch {
             block: Vec::new(),
             dists: Vec::new(),
             keys: Vec::new(),
+            survivors: Vec::new(),
+            prep: Sq8Query::empty(),
         }
     }
 
@@ -212,26 +250,80 @@ impl QueryScratch {
 }
 
 /// Verify the fresh candidates in `scratch.block` against `q` through
-/// the shared canonical staging
-/// ([`dblsh_data::kernels::canonical_verify_keys`]): sort into memory
-/// order, fused distance kernel over the internal-order rows, canonical
+/// the shared canonical staging: sort into memory order, optionally
+/// screen through the SQ8 pre-filter
+/// ([`dblsh_data::kernels::canonical_verify_keys_prefiltered`], when
+/// `prune` carries the current squared-distance threshold), fused
+/// distance kernel over the internal-order rows, canonical
 /// `(distance, external id)` consumption keys in `scratch.keys`.
 ///
-/// Returns the nanoseconds spent when `timing` is set, else 0.
+/// Accumulates `verify_nanos` (when `timing` is set) and the prefilter
+/// counters into `stats`.
 #[inline]
-fn verify_block(index: &DbLsh, q: &[f32], scratch: &mut QueryScratch, timing: bool) -> u64 {
+fn verify_block(
+    index: &DbLsh,
+    q: &[f32],
+    scratch: &mut QueryScratch,
+    timing: bool,
+    prune: Option<f32>,
+    stats: &mut QueryStats,
+) {
     let started = if timing { Some(Instant::now()) } else { None };
     let verify = index.verify_data();
-    canonical_verify_keys(
-        q,
-        verify.flat(),
-        verify.dim(),
-        &mut scratch.block,
-        &mut scratch.dists,
-        &mut scratch.keys,
-        |internal| index.to_ext(internal),
-    );
-    started.map_or(0, |t| t.elapsed().as_nanos() as u64)
+    match prune {
+        Some(threshold) => {
+            let (pruned, survived) = canonical_verify_keys_prefiltered(
+                q,
+                verify.flat(),
+                verify.dim(),
+                &index.sq8,
+                &scratch.prep,
+                threshold,
+                &mut scratch.block,
+                &mut scratch.dists,
+                &mut scratch.survivors,
+                &mut scratch.keys,
+                |internal| index.to_ext(internal),
+            );
+            stats.prefilter_pruned += pruned;
+            stats.prefilter_survivors += survived;
+        }
+        None => canonical_verify_keys(
+            q,
+            verify.flat(),
+            verify.dim(),
+            &mut scratch.block,
+            &mut scratch.dists,
+            &mut scratch.keys,
+            |internal| index.to_ext(internal),
+        ),
+    }
+    if let Some(t) = started {
+        stats.verify_nanos += t.elapsed().as_nanos() as u64;
+    }
+}
+
+/// [`push_candidate_unchecked`] with a parallel mirror of the raw
+/// *squared* f32 distances — the prune-threshold source. The threshold
+/// must be the k-th squared distance exactly as the verify kernel
+/// produced it (not a re-squared `sqrt`), or the bound comparison would
+/// not be conservative.
+#[inline]
+fn push_candidate_with_sq(
+    top: &mut Vec<Neighbor>,
+    top_sq: &mut Vec<f32>,
+    cand: Neighbor,
+    d2: f32,
+    k: usize,
+) {
+    let pos = top.partition_point(|n| n.dist <= cand.dist);
+    if pos >= k {
+        return;
+    }
+    top.insert(pos, cand);
+    top_sq.insert(pos, d2);
+    top.truncate(k);
+    top_sq.truncate(k);
 }
 
 thread_local! {
@@ -268,6 +360,7 @@ fn prepare_scratch(scratch: &mut QueryScratch, index: &DbLsh, q: &[f32]) {
             .hasher
             .project_into(i, q, &mut scratch.qproj[i * k..(i + 1) * k]);
     }
+    index.sq8.prepare_query(q, &mut scratch.prep);
 }
 
 impl DbLsh {
@@ -298,7 +391,9 @@ impl DbLsh {
                     if !scratch.collect_fresh(batch, &mut stats) {
                         continue;
                     }
-                    verify_block(self, q, scratch, false);
+                    // Always exact: a single probe has no evolving k-th
+                    // best to prune against.
+                    verify_block(self, q, scratch, false, None, &mut stats);
                     for &key in &scratch.keys {
                         stats.candidates += 1;
                         let (id, d) = key_parts(key);
@@ -361,11 +456,15 @@ impl DbLsh {
             r0,
             max_rounds,
             timing,
+            prefilter,
         } = *plan;
         let kdim = self.params.k;
         let live = self.len();
         let mut stats = QueryStats::default();
         let mut top: Vec<Neighbor> = Vec::with_capacity(k + 1);
+        // Mirror of `top`'s raw squared f32 distances (the verify
+        // kernel's native output) — the prefilter's prune threshold.
+        let mut top_sq: Vec<f32> = Vec::with_capacity(k + 1);
 
         let mut r = r0;
         let mut verified_total = 0usize;
@@ -386,14 +485,36 @@ impl DbLsh {
                     if !scratch.collect_fresh(batch, &mut stats) {
                         continue;
                     }
-                    stats.verify_nanos += verify_block(self, q, scratch, timing);
+                    // Prune threshold as of block start: the k-th best
+                    // squared distance (∞ while the top is not full — no
+                    // pruning until k candidates exist). Pruned
+                    // candidates still emit a canonical key carrying
+                    // their *bound*, which sorts strictly after every
+                    // key that could update the top, so the counters and
+                    // the top trajectory are byte-identical to the exact
+                    // path.
+                    let prune = prefilter.then(|| {
+                        if top.len() == k {
+                            top_sq[k - 1]
+                        } else {
+                            f32::INFINITY
+                        }
+                    });
+                    verify_block(self, q, scratch, timing, prune, &mut stats);
                     // Line 6 of Algorithm 1, (c,k) variant, per candidate
                     // in canonical (distance, external id) order:
                     for &key in &scratch.keys {
                         verified_total += 1;
                         stats.candidates += 1;
                         let (id, d) = key_parts(key);
-                        push_candidate_unchecked(&mut top, Neighbor { id, dist: d as f32 }, k);
+                        let d2 = f32::from_bits((key >> 32) as u32);
+                        push_candidate_with_sq(
+                            &mut top,
+                            &mut top_sq,
+                            Neighbor { id, dist: d as f32 },
+                            d2,
+                            k,
+                        );
                         if verified_total >= budget
                             || (top.len() == k && top[k - 1].dist as f64 <= cr)
                         {
@@ -467,7 +588,9 @@ impl DbLsh {
         // size, like every other figure here.
         let per_dead_row = self.store.row_width() * std::mem::size_of::<f32>()
             + dim * std::mem::size_of::<f32>() * (1 + usize::from(self.verify_rows.is_some()))
-            + 2 * std::mem::size_of::<u32>() * usize::from(self.maps.is_some());
+            + 2 * std::mem::size_of::<u32>() * usize::from(self.maps.is_some())
+            + dim * std::mem::size_of::<u8>() // sq8 code row
+            + 1; // sq8 clamped flag
         MemoryBreakdown {
             proj_store_bytes: self.store.memory_bytes(),
             tree_bytes: self.trees.iter().map(|t| t.approx_memory()).sum(),
@@ -480,6 +603,7 @@ impl DbLsh {
                 .verify_rows
                 .as_ref()
                 .map_or(0, |v| std::mem::size_of_val(v.flat())),
+            sq8_bytes: self.sq8.memory_bytes(),
             dead_bytes: dead * per_dead_row,
         }
     }
@@ -568,9 +692,11 @@ impl DbLsh {
                         scratch.block.push(id);
                     }
                 }
-                // Verify phase: blocked kernel, canonical consumption.
+                // Verify phase: blocked kernel, canonical consumption —
+                // always exact (the projected-distance early-termination
+                // test needs every drained candidate's true distance).
                 if !scratch.block.is_empty() {
-                    verify_block(self, q, scratch, false);
+                    verify_block(self, q, scratch, false, None, &mut stats);
                     for &key in &scratch.keys {
                         verified += 1;
                         stats.candidates += 1;
@@ -607,6 +733,8 @@ pub struct ProberScratch {
     block: Vec<u32>,
     dists: Vec<f32>,
     keys: Vec<u64>,
+    survivors: Vec<u32>,
+    prep: Sq8Query,
 }
 
 impl ProberScratch {
@@ -619,6 +747,8 @@ impl ProberScratch {
             block: Vec::new(),
             dists: Vec::new(),
             keys: Vec::new(),
+            survivors: Vec::new(),
+            prep: Sq8Query::empty(),
         }
     }
 }
@@ -666,10 +796,22 @@ impl<'a> LadderProber<'a> {
     /// by the consumer ([`CanonicalLadder`]), which alone decides how far
     /// into the round the query actually reads. When `timing` is set the
     /// verification stage is timed into `stats.verify_nanos`.
+    ///
+    /// `prune` is the SQ8 pre-filter threshold for this round —
+    /// [`CanonicalLadder::prune_threshold`] when the plan enables the
+    /// prefilter, `None` for the always-exact path. Pruned candidates
+    /// still emit a canonical key (carrying their conservative *bound*,
+    /// which sorts strictly after every key that could change the
+    /// consumer's top-k), so the merged stream stays byte-identical to
+    /// the exact path; prune counts land in `stats.prefilter_pruned` /
+    /// `prefilter_survivors`. Because every shard of a fan-out quantizes
+    /// against the same grid, per-shard prune decisions — and therefore
+    /// the merged counters — match an unsharded probe exactly.
     pub fn probe_round(
         &mut self,
         r: f64,
         timing: bool,
+        prune: Option<f32>,
         stats: &mut QueryStats,
         to_global: impl Fn(u32) -> u32,
         out: &mut Vec<u64>,
@@ -695,15 +837,34 @@ impl<'a> LadderProber<'a> {
         }
         let started = if timing { Some(Instant::now()) } else { None };
         let verify = self.index.verify_data();
-        canonical_verify_keys(
-            self.q,
-            verify.flat(),
-            verify.dim(),
-            &mut self.scratch.block,
-            &mut self.scratch.dists,
-            &mut self.scratch.keys,
-            |internal| to_global(self.index.to_ext(internal)),
-        );
+        match prune {
+            Some(threshold) => {
+                let (pruned, survived) = canonical_verify_keys_prefiltered(
+                    self.q,
+                    verify.flat(),
+                    verify.dim(),
+                    &self.index.sq8,
+                    &self.scratch.prep,
+                    threshold,
+                    &mut self.scratch.block,
+                    &mut self.scratch.dists,
+                    &mut self.scratch.survivors,
+                    &mut self.scratch.keys,
+                    |internal| to_global(self.index.to_ext(internal)),
+                );
+                stats.prefilter_pruned += pruned;
+                stats.prefilter_survivors += survived;
+            }
+            None => canonical_verify_keys(
+                self.q,
+                verify.flat(),
+                verify.dim(),
+                &mut self.scratch.block,
+                &mut self.scratch.dists,
+                &mut self.scratch.keys,
+                |internal| to_global(self.index.to_ext(internal)),
+            ),
+        }
         if let Some(t) = started {
             stats.verify_nanos += t.elapsed().as_nanos() as u64;
         }
@@ -731,6 +892,9 @@ impl<'a> LadderProber<'a> {
 #[derive(Debug)]
 pub struct CanonicalLadder {
     top: Vec<Neighbor>,
+    /// Raw squared f32 distances mirroring `top` — the prune-threshold
+    /// source for [`CanonicalLadder::prune_threshold`].
+    top_sq: Vec<f32>,
     k: usize,
     c: f64,
     r: f64,
@@ -750,6 +914,7 @@ impl CanonicalLadder {
     pub fn new(plan: &LadderPlan, c: f64, k: usize, live: usize) -> Self {
         CanonicalLadder {
             top: Vec::with_capacity(k + 1),
+            top_sq: Vec::with_capacity(k + 1),
             k,
             c,
             r: plan.r0,
@@ -784,6 +949,20 @@ impl CanonicalLadder {
         Some(self.r)
     }
 
+    /// The SQ8 pre-filter threshold for the coming round: the k-th best
+    /// *squared* distance exactly as the verify kernel produced it, or
+    /// `+∞` while the top is not yet full (no pruning until `k`
+    /// candidates exist). Pass to every
+    /// [`LadderProber::probe_round`] of the round when the plan enables
+    /// the prefilter.
+    pub fn prune_threshold(&self) -> f32 {
+        if self.top.len() == self.k {
+            self.top_sq[self.k - 1]
+        } else {
+            f32::INFINITY
+        }
+    }
+
     /// Consume one round's candidates — the concatenation of every
     /// prober's [`LadderProber::probe_round`] output, sorted ascending
     /// (already sorted for a single prober) — applying the budget and
@@ -794,7 +973,14 @@ impl CanonicalLadder {
             self.verified += 1;
             stats.candidates += 1;
             let (id, d) = key_parts(key);
-            push_candidate_unchecked(&mut self.top, Neighbor { id, dist: d as f32 }, self.k);
+            let d2 = f32::from_bits((key >> 32) as u32);
+            push_candidate_with_sq(
+                &mut self.top,
+                &mut self.top_sq,
+                Neighbor { id, dist: d as f32 },
+                d2,
+                self.k,
+            );
             if self.verified >= self.budget
                 || (self.top.len() == self.k && self.top[self.k - 1].dist as f64 <= self.cr)
             {
@@ -842,6 +1028,7 @@ impl DbLsh {
             self.hasher
                 .project_into(i, q, &mut scratch.qproj[i * k..(i + 1) * k]);
         }
+        self.sq8.prepare_query(q, &mut scratch.prep);
         Ok(LadderProber {
             index: self,
             q,
@@ -900,9 +1087,10 @@ impl DbLsh {
         let mut keys: Vec<u64> = Vec::new();
         while let Some(r) = ladder.begin_round(&mut stats) {
             keys.clear();
+            let prune = plan.prefilter.then(|| ladder.prune_threshold());
             // A single prober's round output is already canonically
             // sorted — no merge needed.
-            prober.probe_round(r, plan.timing, &mut stats, |ext| ext, &mut keys);
+            prober.probe_round(r, plan.timing, prune, &mut stats, |ext| ext, &mut keys);
             ladder.consume(&keys, &mut stats);
         }
         Ok(ladder.into_result(stats))
@@ -1373,7 +1561,7 @@ mod tests {
             let mut stats = QueryStats::default();
             let mut keys = Vec::new();
             let mut prober = idx.ladder_prober(&q, &mut scratch).unwrap();
-            prober.probe_round(5.0, false, &mut stats, |e| e, &mut keys);
+            prober.probe_round(5.0, false, None, &mut stats, |e| e, &mut keys);
             // the query point itself is always in its own window
             assert!(
                 keys.iter().any(|&key| key_parts(key).0 == qi as u32),
@@ -1381,6 +1569,58 @@ mod tests {
             );
             assert!(keys.windows(2).all(|w| w[0] <= w[1]));
         }
+    }
+
+    #[test]
+    fn prefilter_answers_and_shared_counters_are_byte_identical() {
+        let mut data = clustered(3000, 16, 77);
+        let queries = split_queries(&mut data, 12, 5);
+        let data = Arc::new(data);
+        let idx = build(&data);
+        let on = SearchOptions::default();
+        assert!(on.prefilter, "prefilter is the default");
+        let off = SearchOptions {
+            prefilter: false,
+            ..Default::default()
+        };
+        let mut total_pruned = 0usize;
+        for qi in 0..queries.len() {
+            let q = queries.point(qi);
+            for (a, b) in [
+                (
+                    idx.search_with(q, 10, &on).unwrap(),
+                    idx.search_with(q, 10, &off).unwrap(),
+                ),
+                (
+                    idx.search_canonical(q, 10, &on).unwrap(),
+                    idx.search_canonical(q, 10, &off).unwrap(),
+                ),
+            ] {
+                assert_eq!(a.neighbors, b.neighbors, "query {qi}");
+                // The shared work counters match bit for bit — pruned
+                // candidates are still counted (their bound-keys flow
+                // through the same canonical consumption).
+                assert_eq!(a.stats.candidates, b.stats.candidates, "query {qi}");
+                assert_eq!(a.stats.rounds, b.stats.rounds, "query {qi}");
+                assert_eq!(a.stats.index_probes, b.stats.index_probes, "query {qi}");
+                // Only the prefilter's own counters differ.
+                assert_eq!(b.stats.prefilter_pruned, 0);
+                assert_eq!(b.stats.prefilter_survivors, 0);
+                // Every screened candidate is either pruned or verified;
+                // consumption may stop mid-block, so the screen covers
+                // at least the consumed candidates.
+                assert!(
+                    a.stats.prefilter_pruned + a.stats.prefilter_survivors >= a.stats.candidates,
+                    "query {qi}: screened fewer candidates than consumed"
+                );
+                assert!(a.stats.prefilter_survivors > 0, "query {qi}");
+                total_pruned += a.stats.prefilter_pruned;
+            }
+        }
+        assert!(
+            total_pruned > 0,
+            "prefilter never pruned anything across 12 clustered queries"
+        );
     }
 
     #[test]

@@ -38,7 +38,7 @@ use std::path::Path;
 use std::sync::Arc;
 
 use dblsh_data::io::{SectionBuf, SnapshotReader, SnapshotWriter};
-use dblsh_data::{Dataset, DbLshError};
+use dblsh_data::{Dataset, DbLshError, Sq8Grid, Sq8Store};
 use dblsh_index::RStarTree;
 
 use crate::hasher::GaussianHasher;
@@ -55,6 +55,15 @@ const TAG_DATA: [u8; 4] = *b"DATA";
 const TAG_PROJ: [u8; 4] = *b"PROJ";
 const TAG_MAPS: [u8; 4] = *b"MAPS";
 const TAG_TOMB: [u8; 4] = *b"TOMB";
+/// SQ8 pre-filter grid (per-dimension `min` and `step`). **Optional**
+/// for forward compatibility: snapshots written before the SQ8
+/// pre-filter existed have no such section, and loading one simply
+/// learns the grid from the restored rows (the codes themselves are
+/// always rebuilt from the rows — they are cheap, the *grid* is what
+/// must persist so prune decisions, and therefore the prefilter
+/// counters, are byte-identical across save/load even after inserts
+/// extended the data beyond the build-time value range).
+const TAG_SQ8G: [u8; 4] = *b"SQ8G";
 
 fn corrupt(reason: impl Into<String>) -> DbLshError {
     DbLshError::corrupt(reason)
@@ -118,6 +127,11 @@ impl DbLsh {
         let mut tomb = SectionBuf::new();
         tomb.put_u64_slice(&self.removed);
         w.section(TAG_TOMB, tomb);
+
+        let mut sq8 = SectionBuf::new();
+        sq8.put_f32_slice(self.sq8.grid().min());
+        sq8.put_f32_slice(self.sq8.grid().step());
+        w.section(TAG_SQ8G, sq8);
 
         w.write_to(writer)
     }
@@ -313,6 +327,23 @@ impl DbLsh {
             None
         };
 
+        // SQ8 pre-filter: restore the grid when the snapshot carries one
+        // (it must, for prune decisions to survive a save/load of an
+        // index whose data outgrew the build-time range); learn it from
+        // the restored rows otherwise (pre-SQ8 snapshots). Codes are
+        // always rebuilt — over the *internal* row order verification
+        // reads.
+        let grid = if snap.has_section(TAG_SQ8G) {
+            let mut sq8_sec = snap.section(TAG_SQ8G)?;
+            let min = sq8_sec.get_f32_vec(dim)?;
+            let step = sq8_sec.get_f32_vec(dim)?;
+            sq8_sec.finish()?;
+            Sq8Grid::from_parts(min, step)?
+        } else {
+            Sq8Grid::learn(dim, data.flat())
+        };
+        let sq8 = Sq8Store::build(grid, verify_rows.as_ref().map_or(data.flat(), |v| v.flat()));
+
         // Rebuild the hasher (deterministic in the seed) and the trees
         // over the *live* internal ids (tombstoned rows stay out of the
         // trees, exactly as the saved index had them).
@@ -352,6 +383,7 @@ impl DbLsh {
             data: Arc::new(data),
             maps,
             verify_rows,
+            sq8,
             removed,
             live,
             ext_len,
@@ -437,6 +469,128 @@ mod tests {
             .search_canonical(&q, 5, &crate::SearchOptions::default())
             .unwrap();
         assert_eq!(a.neighbors, b.neighbors);
+        // The SQ8 grid is persisted, so prune decisions — and the
+        // prefilter counters — survive churn + compact + save/load.
+        assert_eq!(a.stats, b.stats);
+    }
+
+    /// A snapshot exactly as the pre-SQ8 format wrote it: every section
+    /// of [`DbLsh::save`] except `SQ8G`.
+    fn save_without_sq8(idx: &DbLsh) -> Vec<u8> {
+        let mut w = SnapshotWriter::new(INDEX_SNAPSHOT_KIND);
+        let p = idx.params();
+        let mut prms = SectionBuf::new();
+        prms.put_f64(p.c);
+        prms.put_f64(p.w0);
+        prms.put_u64(p.k as u64);
+        prms.put_u64(p.l as u64);
+        prms.put_u64(p.t as u64);
+        prms.put_f64(p.r_min);
+        prms.put_u64(p.max_rounds as u64);
+        prms.put_u64(p.node_capacity as u64);
+        prms.put_u64(p.seed);
+        prms.put_u8(u8::from(p.relabel));
+        w.section(TAG_PARAMS, prms);
+        let rows = idx.store.len();
+        let mut meta = SectionBuf::new();
+        meta.put_u64(idx.data.dim() as u64);
+        meta.put_u64(rows as u64);
+        meta.put_u64(idx.ext_len as u64);
+        meta.put_u64(idx.len() as u64);
+        meta.put_u8(u8::from(idx.maps.is_some()));
+        meta.put_u8(u8::from(idx.verify_rows.is_some()));
+        w.section(TAG_META, meta);
+        let mut data = SectionBuf::new();
+        data.put_f32_slice(idx.data.flat());
+        w.section(TAG_DATA, data);
+        let mut proj = SectionBuf::new();
+        for id in 0..rows as u32 {
+            proj.put_f32_slice(idx.store.row(id));
+        }
+        w.section(TAG_PROJ, proj);
+        if let Some(m) = &idx.maps {
+            let mut maps = SectionBuf::new();
+            maps.put_u32_slice(&m.ext_of_int);
+            maps.put_u32_slice(&m.int_of_ext);
+            w.section(TAG_MAPS, maps);
+        }
+        let mut tomb = SectionBuf::new();
+        tomb.put_u64_slice(&idx.removed);
+        w.section(TAG_TOMB, tomb);
+        let mut bytes = Vec::new();
+        w.write_to(&mut bytes).unwrap();
+        bytes
+    }
+
+    #[test]
+    fn pre_sq8_snapshots_still_load_and_answer_identically() {
+        // Forward compatibility: a snapshot without the SQ8G section
+        // loads fine — the grid is re-learned from the restored rows,
+        // which for an unchurned index is the build-time grid exactly,
+        // so even the prefilter counters match.
+        for relabel in [true, false] {
+            let idx = build(relabel);
+            let bytes = save_without_sq8(&idx);
+            let loaded = DbLsh::load(&bytes[..]).unwrap();
+            loaded.check_invariants();
+            let q = idx.data().point(3);
+            let a = idx
+                .search_canonical(q, 10, &crate::SearchOptions::default())
+                .unwrap();
+            let b = loaded
+                .search_canonical(q, 10, &crate::SearchOptions::default())
+                .unwrap();
+            assert_eq!(a.neighbors, b.neighbors, "relabel={relabel}");
+            assert_eq!(a.stats, b.stats, "relabel={relabel}");
+        }
+    }
+
+    #[test]
+    fn crc_valid_but_malformed_sq8_grid_rejected() {
+        // A CRC-valid snapshot whose SQ8 grid is nonsense (step <= 0)
+        // must be a typed error, not a store that divides by zero later.
+        let mut w = SnapshotWriter::new(INDEX_SNAPSHOT_KIND);
+        let params = DbLshParams::paper_defaults(2).with_kl(2, 1);
+        let mut prms = SectionBuf::new();
+        prms.put_f64(params.c);
+        prms.put_f64(params.w0);
+        prms.put_u64(params.k as u64);
+        prms.put_u64(params.l as u64);
+        prms.put_u64(params.t as u64);
+        prms.put_f64(params.r_min);
+        prms.put_u64(params.max_rounds as u64);
+        prms.put_u64(params.node_capacity as u64);
+        prms.put_u64(params.seed);
+        prms.put_u8(0);
+        w.section(TAG_PARAMS, prms);
+        let mut meta = SectionBuf::new();
+        meta.put_u64(2); // dim
+        meta.put_u64(2); // rows
+        meta.put_u64(2); // ext_len
+        meta.put_u64(2); // live
+        meta.put_u8(0); // has_maps
+        meta.put_u8(0); // has_verify
+        w.section(TAG_META, meta);
+        let mut data = SectionBuf::new();
+        data.put_f32_slice(&[0.0, 0.0, 10.0, 10.0]);
+        w.section(TAG_DATA, data);
+        let mut proj = SectionBuf::new();
+        proj.put_f32_slice(&[0.0, 0.0, 1.0, 1.0]);
+        w.section(TAG_PROJ, proj);
+        let mut tomb = SectionBuf::new();
+        tomb.put_u64_slice(&[0]);
+        w.section(TAG_TOMB, tomb);
+        let mut sq8 = SectionBuf::new();
+        sq8.put_f32_slice(&[0.0, 0.0]); // min
+        sq8.put_f32_slice(&[0.0, 1.0]); // step: zero is malformed
+        w.section(TAG_SQ8G, sq8);
+        let mut bytes = Vec::new();
+        w.write_to(&mut bytes).unwrap();
+        let err = DbLsh::load(&bytes[..]).unwrap_err();
+        assert!(
+            matches!(err, DbLshError::CorruptSnapshot { .. }),
+            "expected CorruptSnapshot, got {err:?}"
+        );
     }
 
     #[test]

@@ -119,12 +119,14 @@ fn dead_bytes_tracks_churn_and_compaction_reclaims_it() {
     assert_eq!(index.memory_breakdown().dead_bytes, 0, "fresh build");
 
     // Remove half: dead_bytes must report exactly the tombstoned rows'
-    // share of the store, the two dataset copies and the id maps.
+    // share of the store, the two dataset copies, the id maps and the
+    // SQ8 code store.
     for id in 0..1000u32 {
         index.remove(id).unwrap();
     }
     let breakdown = index.memory_breakdown();
-    let per_row = 8 * 3 * 4 /* store row */ + 2 * 16 * 4 /* two row copies */ + 8 /* map entries */;
+    let per_row = 8 * 3 * 4 /* store row */ + 2 * 16 * 4 /* two row copies */
+        + 8 /* map entries */ + 16 /* sq8 code row */ + 1 /* sq8 clamped flag */;
     assert_eq!(breakdown.dead_bytes, 1000 * per_row);
     assert_eq!(index.dead_rows(), 1000);
 
@@ -160,5 +162,17 @@ fn memory_shrinks_versus_seed_even_after_updates() {
         index.insert(&[i as f32; 16]).unwrap();
     }
     index.check_invariants();
-    assert!(index.memory_bytes() < seed_layout_estimate(&index));
+    // The flat-vs-seed claim is about the structural layout; the SQ8
+    // pre-filter codes are a *new* component the seed never carried, so
+    // they are excluded from the comparison (and bounded separately —
+    // one u8 per coordinate plus one flag byte per row stays a sliver
+    // of the projection store).
+    let breakdown = index.memory_breakdown();
+    assert!(breakdown.total() - breakdown.sq8_bytes < seed_layout_estimate(&index));
+    assert!(
+        breakdown.sq8_bytes * 4 < breakdown.proj_store_bytes,
+        "sq8 codes ({} B) should be a sliver of the store ({} B)",
+        breakdown.sq8_bytes,
+        breakdown.proj_store_bytes
+    );
 }

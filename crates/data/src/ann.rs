@@ -36,6 +36,15 @@ pub struct QueryStats {
     /// candidate-block granularity, so the counters above stay cheap when
     /// timing is off.
     pub verify_nanos: u64,
+    /// Candidates dropped by the SQ8 quantized pre-filter (their
+    /// conservative lower bound already exceeded the pruning threshold,
+    /// so no exact distance was computed). Zero when the prefilter is
+    /// disabled.
+    pub prefilter_pruned: usize,
+    /// Candidates that survived the SQ8 pre-filter and went through the
+    /// exact bit-parity distance kernel. Zero when the prefilter is
+    /// disabled (candidates are then counted only in `candidates`).
+    pub prefilter_survivors: usize,
 }
 
 impl QueryStats {
@@ -48,6 +57,8 @@ impl QueryStats {
         self.rounds += other.rounds;
         self.index_probes += other.index_probes;
         self.verify_nanos += other.verify_nanos;
+        self.prefilter_pruned += other.prefilter_pruned;
+        self.prefilter_survivors += other.prefilter_survivors;
     }
 
     /// Fold an iterator of stats into one aggregate via
@@ -324,12 +335,16 @@ mod tests {
             rounds: 2,
             index_probes: 10,
             verify_nanos: 100,
+            prefilter_pruned: 4,
+            prefilter_survivors: 6,
         };
         let b = QueryStats {
             candidates: 5,
             rounds: 1,
             index_probes: 7,
             verify_nanos: 11,
+            prefilter_pruned: 2,
+            prefilter_survivors: 3,
         };
         let mut m = a;
         m.merge(&b);
@@ -340,6 +355,8 @@ mod tests {
                 rounds: 3,
                 index_probes: 17,
                 verify_nanos: 111,
+                prefilter_pruned: 6,
+                prefilter_survivors: 9,
             }
         );
         assert_eq!(QueryStats::merged([&a, &b]), m);

@@ -30,8 +30,81 @@
 //! boundaries — which is what lets a locality-relabeled index return
 //! byte-identical answers to an identity-order build (the relabel parity
 //! property tests assert exactly this).
+//!
+//! # Runtime SIMD dispatch
+//!
+//! [`sq_dist_block`] and [`matvec`] dispatch once per process (cached in
+//! an atomic, see [`simd_arch`]) to explicit-SIMD variants in the `x86`
+//! / `neon` modules (each compiled only on its own arch). The exact-path
+//! variants preserve bitwise parity
+//! with the scalar reference by pinning the *same* 4-accumulator lane
+//! layout and `(s0 + s1) + (s2 + s3)` reduction — one `__m128` (or
+//! `float32x4_t`) *is* the four scalar accumulators, AVX2 fuses two rows
+//! per iteration with an independent 128-bit bank per row, and the `f64`
+//! projection dot uses one `__m256d` as its four lanes. **No FMA on the
+//! exact path** — contracting `mul+add` would change results bit-for-bit.
+//! The per-arch kernels are public precisely so the parity tests can
+//! exercise every compiled variant against the scalar reference.
 
 use crate::dataset::sq_dist;
+use crate::sq8::{lower_bound_block, Sq8Query, Sq8Store};
+
+/// The SIMD instruction set the runtime dispatcher selected for this
+/// process. Exposed so benchmarks and tests can report / force-check the
+/// active arm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdArch {
+    /// Portable scalar kernels (non-x86, non-aarch64 targets).
+    Scalar,
+    /// x86-64 baseline 128-bit arm.
+    Sse2,
+    /// x86-64 256-bit arm (detected at runtime).
+    Avx2,
+    /// AArch64 baseline 128-bit arm.
+    Neon,
+}
+
+/// Detect (once; cached in an atomic) which SIMD arm the kernels use.
+pub fn simd_arch() -> SimdArch {
+    use std::sync::atomic::{AtomicU8, Ordering};
+    static CACHE: AtomicU8 = AtomicU8::new(0);
+    match CACHE.load(Ordering::Relaxed) {
+        1 => SimdArch::Scalar,
+        2 => SimdArch::Sse2,
+        3 => SimdArch::Avx2,
+        4 => SimdArch::Neon,
+        _ => {
+            let arch = detect_simd_arch();
+            let code = match arch {
+                SimdArch::Scalar => 1,
+                SimdArch::Sse2 => 2,
+                SimdArch::Avx2 => 3,
+                SimdArch::Neon => 4,
+            };
+            CACHE.store(code, Ordering::Relaxed);
+            arch
+        }
+    }
+}
+
+fn detect_simd_arch() -> SimdArch {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx2") {
+            SimdArch::Avx2
+        } else {
+            SimdArch::Sse2
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        SimdArch::Neon
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        SimdArch::Scalar
+    }
+}
 
 /// Squared distances from `q` to the rows `ids` of the row-major matrix
 /// `flat` (rows are `dim` wide), written into `out[j]` for `ids[j]`.
@@ -53,6 +126,20 @@ pub fn sq_dist_block(q: &[f32], flat: &[f32], dim: usize, ids: &[u32], out: &mut
         ids.iter().all(|&id| (id as usize + 1) * dim <= flat.len()),
         "row id out of range"
     );
+    match simd_arch() {
+        #[cfg(target_arch = "x86_64")]
+        SimdArch::Avx2 => x86::sq_dist_block_avx2(q, flat, dim, ids, out),
+        #[cfg(target_arch = "x86_64")]
+        SimdArch::Sse2 => x86::sq_dist_block_sse2(q, flat, dim, ids, out),
+        #[cfg(target_arch = "aarch64")]
+        SimdArch::Neon => neon::sq_dist_block_neon(q, flat, dim, ids, out),
+        _ => sq_dist_block_scalar(q, flat, dim, ids, out),
+    }
+}
+
+/// Portable scalar arm of [`sq_dist_block`]: the reference every SIMD
+/// variant is parity-tested against.
+pub fn sq_dist_block_scalar(q: &[f32], flat: &[f32], dim: usize, ids: &[u32], out: &mut [f32]) {
     for (o, &id) in out.iter_mut().zip(ids) {
         *o = sq_dist(q, &flat[id as usize * dim..id as usize * dim + dim]);
     }
@@ -88,6 +175,104 @@ pub fn canonical_verify_keys(
         keys.push(((d2.to_bits() as u64) << 32) | to_public(id) as u64);
     }
     keys.sort_unstable();
+}
+
+/// [`canonical_verify_keys`] with the SQ8 pre-filter in front: candidates
+/// whose quantized lower bound exceeds `threshold` skip the exact kernel
+/// entirely and contribute a key carrying the *bound's* bits instead of
+/// an exact distance. Returns `(pruned, survivors)` candidate counts for
+/// the `prefilter_pruned` / `prefilter_survivors` stats.
+///
+/// # Why consumers cannot tell the difference
+///
+/// Pruning uses strict `bound > threshold`, where `threshold` is the
+/// current k-th best *exact squared distance* (`f32::INFINITY` until the
+/// top is full, which disables pruning). Because the bound never exceeds
+/// the row's exact distance, every pruned candidate is provably outside
+/// the final top-k; and because the top only improves, any key that can
+/// still update the top has exact bits `<= threshold` bits `<` every
+/// pruned key's bound bits. The top-updating prefix of the sorted key
+/// stream is therefore identical with the filter on or off; pruned keys
+/// only permute the stream's *tail*, which count-based budget breaks and
+/// top-driven radius breaks cannot observe. Canonical answers — and every
+/// stats counter fed by key consumption — stay byte-identical.
+///
+/// Passing `threshold = f32::INFINITY` skips the bound scan (nothing can
+/// be pruned) but still reports every candidate as a survivor.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn canonical_verify_keys_prefiltered(
+    q: &[f32],
+    flat: &[f32],
+    dim: usize,
+    store: &Sq8Store,
+    prep: &Sq8Query,
+    threshold: f32,
+    block: &mut [u32],
+    dists: &mut Vec<f32>,
+    survivors: &mut Vec<u32>,
+    keys: &mut Vec<u64>,
+    to_public: impl Fn(u32) -> u32,
+) -> (usize, usize) {
+    block.sort_unstable();
+    survivors.clear();
+    keys.clear();
+    if threshold == f32::INFINITY {
+        survivors.extend_from_slice(block);
+    } else {
+        // Bound scan first (one SIMD-arm dispatch for the whole block, into
+        // `dists` as scratch), then partition; `dists` is re-filled with the
+        // survivors' exact distances below. Each survivor's `f32` row is
+        // prefetched as soon as it survives, so by the time the exact kernel
+        // runs, its scattered cache lines are already in flight.
+        lower_bound_block(prep, store, block, dists);
+        for (&id, &bound) in block.iter().zip(dists.iter()) {
+            if bound > threshold {
+                keys.push(((bound.to_bits() as u64) << 32) | to_public(id) as u64);
+            } else {
+                prefetch_row(flat, dim, id);
+                survivors.push(id);
+            }
+        }
+    }
+    let pruned = block.len() - survivors.len();
+    dists.resize(survivors.len(), 0.0);
+    sq_dist_block(q, flat, dim, survivors, dists);
+    for (&id, &d2) in survivors.iter().zip(dists.iter()) {
+        keys.push(((d2.to_bits() as u64) << 32) | to_public(id) as u64);
+    }
+    keys.sort_unstable();
+    (pruned, survivors.len())
+}
+
+/// Best-effort prefetch of row `id`'s `f32` coordinates toward L1. The
+/// pre-filter partition issues one of these per survivor, overlapping the
+/// scattered row loads with the rest of the bound partition so the exact
+/// kernel doesn't stall on them. No-op on targets without a stable
+/// prefetch intrinsic; never affects results, only cache state.
+#[inline(always)]
+fn prefetch_row(flat: &[f32], dim: usize, id: u32) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let base = id as usize * dim;
+        if base + dim <= flat.len() {
+            let p = flat[base..].as_ptr() as *const i8;
+            let bytes = dim * std::mem::size_of::<f32>();
+            let mut off = 0;
+            while off < bytes {
+                // SAFETY: prefetch only touches cache state and the pointer
+                // stays within `flat`'s allocation.
+                unsafe {
+                    std::arch::x86_64::_mm_prefetch(p.add(off), std::arch::x86_64::_MM_HINT_T0)
+                };
+                off += 64;
+            }
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (flat, dim, id);
+    }
 }
 
 /// Split a key produced by [`canonical_verify_keys`] back into
@@ -173,6 +358,19 @@ fn dot2_f64(a0: &[f64], a1: &[f64], x: &[f32]) -> (f64, f64) {
 pub fn matvec(a: &[f64], dim: usize, x: &[f32], out: &mut [f64]) {
     debug_assert_eq!(x.len(), dim, "point dimensionality mismatch");
     debug_assert_eq!(a.len(), out.len() * dim, "panel shape mismatch");
+    match simd_arch() {
+        #[cfg(target_arch = "x86_64")]
+        SimdArch::Avx2 => x86::matvec_avx2(a, dim, x, out),
+        // SSE2's two f64 lanes cannot host the 4-lane bank without
+        // splitting it; the scalar kernel already saturates the FP units
+        // there, so only AVX2 gets an explicit f64 arm.
+        _ => matvec_scalar(a, dim, x, out),
+    }
+}
+
+/// Portable scalar arm of [`matvec`]: the reference every SIMD variant is
+/// parity-tested against.
+pub fn matvec_scalar(a: &[f64], dim: usize, x: &[f32], out: &mut [f64]) {
     let pairs = out.len() / 2;
     for p in 0..pairs {
         let j = p * 2;
@@ -187,6 +385,289 @@ pub fn matvec(a: &[f64], dim: usize, x: &[f32], out: &mut [f64]) {
     if out.len() % 2 == 1 {
         let j = out.len() - 1;
         out[j] = dot_f64(&a[j * dim..(j + 1) * dim], x);
+    }
+}
+
+/// x86-64 explicit-SIMD arms of the exact kernels. Public so the parity
+/// tests can exercise every compiled variant against the scalar
+/// reference; production code reaches them through [`sq_dist_block`] /
+/// [`matvec`] dispatch.
+#[cfg(target_arch = "x86_64")]
+pub mod x86 {
+    use std::arch::x86_64::*;
+
+    /// SSE2 arm of [`crate::dataset::sq_dist`]: one `__m128` *is* the
+    /// scalar kernel's four accumulators, so the result is bit-identical.
+    pub fn sq_dist_sse2(a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        // SAFETY: SSE2 is part of the x86_64 baseline; all loads stay
+        // within the equal-length slices checked above.
+        unsafe { sq_dist_sse2_impl(a, b) }
+    }
+
+    #[target_feature(enable = "sse2")]
+    unsafe fn sq_dist_sse2_impl(a: &[f32], b: &[f32]) -> f32 {
+        let dim = a.len();
+        let chunks = dim / 4;
+        let split = chunks * 4;
+        let mut bank = _mm_setzero_ps();
+        for c in 0..chunks {
+            let base = c * 4;
+            let av = _mm_loadu_ps(a.as_ptr().add(base));
+            let bv = _mm_loadu_ps(b.as_ptr().add(base));
+            let d = _mm_sub_ps(av, bv);
+            bank = _mm_add_ps(bank, _mm_mul_ps(d, d));
+        }
+        let mut s = [0.0f32; 4];
+        _mm_storeu_ps(s.as_mut_ptr(), bank);
+        for i in split..dim {
+            let d = a[i] - b[i];
+            s[0] += d * d;
+        }
+        (s[0] + s[1]) + (s[2] + s[3])
+    }
+
+    /// SSE2 arm of [`super::sq_dist_block`].
+    pub fn sq_dist_block_sse2(q: &[f32], flat: &[f32], dim: usize, ids: &[u32], out: &mut [f32]) {
+        for (o, &id) in out.iter_mut().zip(ids) {
+            *o = sq_dist_sse2(q, &flat[id as usize * dim..id as usize * dim + dim]);
+        }
+    }
+
+    /// AVX2 arm of [`super::sq_dist_block`]: two rows per iteration, each
+    /// row owning one 128-bit half of a `__m256` as its private 4-lane
+    /// accumulator bank — per-row arithmetic is exactly the scalar
+    /// kernel's, so results stay bit-identical. No FMA.
+    ///
+    /// # Panics
+    /// Panics if AVX2 is not available at runtime.
+    pub fn sq_dist_block_avx2(q: &[f32], flat: &[f32], dim: usize, ids: &[u32], out: &mut [f32]) {
+        assert!(
+            is_x86_feature_detected!("avx2"),
+            "sq_dist_block_avx2 requires AVX2"
+        );
+        // SAFETY: AVX2 availability was just asserted; the dispatcher's
+        // debug contract guarantees every id indexes a full row.
+        unsafe { sq_dist_block_avx2_impl(q, flat, dim, ids, out) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn sq_dist_block_avx2_impl(
+        q: &[f32],
+        flat: &[f32],
+        dim: usize,
+        ids: &[u32],
+        out: &mut [f32],
+    ) {
+        let pairs = ids.len() / 2;
+        for p in 0..pairs {
+            let j = p * 2;
+            let r0 = &flat[ids[j] as usize * dim..ids[j] as usize * dim + dim];
+            let r1 = &flat[ids[j + 1] as usize * dim..ids[j + 1] as usize * dim + dim];
+            let (d0, d1) = sq_dist2_avx2(q, r0, r1);
+            out[j] = d0;
+            out[j + 1] = d1;
+        }
+        if ids.len() % 2 == 1 {
+            let j = ids.len() - 1;
+            out[j] =
+                sq_dist_sse2_impl(q, &flat[ids[j] as usize * dim..ids[j] as usize * dim + dim]);
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn sq_dist2_avx2(q: &[f32], r0: &[f32], r1: &[f32]) -> (f32, f32) {
+        let dim = q.len();
+        let chunks = dim / 4;
+        let split = chunks * 4;
+        let mut bank = _mm256_setzero_ps();
+        for c in 0..chunks {
+            let base = c * 4;
+            let qv = _mm_loadu_ps(q.as_ptr().add(base));
+            let qq = _mm256_set_m128(qv, qv);
+            let rv = _mm256_set_m128(
+                _mm_loadu_ps(r1.as_ptr().add(base)),
+                _mm_loadu_ps(r0.as_ptr().add(base)),
+            );
+            let d = _mm256_sub_ps(qq, rv);
+            bank = _mm256_add_ps(bank, _mm256_mul_ps(d, d));
+        }
+        let mut s = [0.0f32; 8];
+        _mm256_storeu_ps(s.as_mut_ptr(), bank);
+        for i in split..dim {
+            let d0 = q[i] - r0[i];
+            s[0] += d0 * d0;
+            let d1 = q[i] - r1[i];
+            s[4] += d1 * d1;
+        }
+        ((s[0] + s[1]) + (s[2] + s[3]), (s[4] + s[5]) + (s[6] + s[7]))
+    }
+
+    /// AVX2 arm of [`super::dot_f64`]: one `__m256d` holds the scalar
+    /// kernel's four `f64` accumulators. No FMA — parity requires
+    /// separate multiply and add.
+    ///
+    /// # Panics
+    /// Panics if AVX2 is not available at runtime.
+    pub fn dot_f64_avx2(a: &[f64], x: &[f32]) -> f64 {
+        debug_assert_eq!(a.len(), x.len());
+        assert!(
+            is_x86_feature_detected!("avx2"),
+            "dot_f64_avx2 requires AVX2"
+        );
+        // SAFETY: AVX2 availability was just asserted; all loads stay
+        // within the equal-length slices checked above.
+        unsafe { dot_f64_avx2_impl(a, x) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn dot_f64_avx2_impl(a: &[f64], x: &[f32]) -> f64 {
+        let dim = a.len();
+        let chunks = dim / 4;
+        let split = chunks * 4;
+        let mut bank = _mm256_setzero_pd();
+        for c in 0..chunks {
+            let base = c * 4;
+            let av = _mm256_loadu_pd(a.as_ptr().add(base));
+            let xv = _mm256_cvtps_pd(_mm_loadu_ps(x.as_ptr().add(base)));
+            bank = _mm256_add_pd(bank, _mm256_mul_pd(av, xv));
+        }
+        let mut s = [0.0f64; 4];
+        _mm256_storeu_pd(s.as_mut_ptr(), bank);
+        for i in split..dim {
+            s[0] += a[i] * x[i] as f64;
+        }
+        (s[0] + s[1]) + (s[2] + s[3])
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn dot2_f64_avx2(a0: &[f64], a1: &[f64], x: &[f32]) -> (f64, f64) {
+        let dim = x.len();
+        let chunks = dim / 4;
+        let split = chunks * 4;
+        let mut b0 = _mm256_setzero_pd();
+        let mut b1 = _mm256_setzero_pd();
+        for c in 0..chunks {
+            let base = c * 4;
+            let xv = _mm256_cvtps_pd(_mm_loadu_ps(x.as_ptr().add(base)));
+            let a0v = _mm256_loadu_pd(a0.as_ptr().add(base));
+            let a1v = _mm256_loadu_pd(a1.as_ptr().add(base));
+            b0 = _mm256_add_pd(b0, _mm256_mul_pd(a0v, xv));
+            b1 = _mm256_add_pd(b1, _mm256_mul_pd(a1v, xv));
+        }
+        let mut s0 = [0.0f64; 4];
+        let mut s1 = [0.0f64; 4];
+        _mm256_storeu_pd(s0.as_mut_ptr(), b0);
+        _mm256_storeu_pd(s1.as_mut_ptr(), b1);
+        for i in split..dim {
+            let xv = x[i] as f64;
+            s0[0] += a0[i] * xv;
+            s1[0] += a1[i] * xv;
+        }
+        (
+            (s0[0] + s0[1]) + (s0[2] + s0[3]),
+            (s1[0] + s1[1]) + (s1[2] + s1[3]),
+        )
+    }
+
+    /// AVX2 arm of [`super::matvec`]: row pairs share each converted `x`
+    /// load; per-row accumulation is bit-identical to [`super::dot_f64`].
+    ///
+    /// # Panics
+    /// Panics if AVX2 is not available at runtime.
+    pub fn matvec_avx2(a: &[f64], dim: usize, x: &[f32], out: &mut [f64]) {
+        assert!(
+            is_x86_feature_detected!("avx2"),
+            "matvec_avx2 requires AVX2"
+        );
+        // SAFETY: AVX2 availability was just asserted; the dispatcher's
+        // debug contract guarantees the panel shape.
+        unsafe { matvec_avx2_impl(a, dim, x, out) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn matvec_avx2_impl(a: &[f64], dim: usize, x: &[f32], out: &mut [f64]) {
+        let pairs = out.len() / 2;
+        for p in 0..pairs {
+            let j = p * 2;
+            let (d0, d1) = dot2_f64_avx2(
+                &a[j * dim..(j + 1) * dim],
+                &a[(j + 1) * dim..(j + 2) * dim],
+                x,
+            );
+            out[j] = d0;
+            out[j + 1] = d1;
+        }
+        if out.len() % 2 == 1 {
+            let j = out.len() - 1;
+            out[j] = dot_f64_avx2_impl(&a[j * dim..(j + 1) * dim], x);
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::super::sq_dist;
+        use super::*;
+
+        #[test]
+        fn sse2_sq_dist_matches_scalar_bitwise() {
+            for dim in [1usize, 3, 4, 5, 7, 8, 13, 24, 129] {
+                let a: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.7).sin() * 3.0).collect();
+                let b: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.3).cos() * 2.0).collect();
+                assert_eq!(
+                    sq_dist_sse2(&a, &b).to_bits(),
+                    sq_dist(&a, &b).to_bits(),
+                    "dim={dim}"
+                );
+            }
+        }
+    }
+}
+
+/// AArch64 NEON arms of the exact kernels. `f32` distances only — the
+/// `f64` projection dot keeps its scalar form here (NEON's two `f64`
+/// lanes cannot host the 4-lane bank without splitting it).
+#[cfg(target_arch = "aarch64")]
+pub mod neon {
+    use std::arch::aarch64::*;
+
+    /// NEON arm of [`crate::dataset::sq_dist`]: one `float32x4_t` *is*
+    /// the scalar kernel's four accumulators, so the result is
+    /// bit-identical.
+    pub fn sq_dist_neon(a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        // SAFETY: NEON is part of the aarch64 baseline; all loads stay
+        // within the equal-length slices checked above.
+        unsafe { sq_dist_neon_impl(a, b) }
+    }
+
+    #[target_feature(enable = "neon")]
+    unsafe fn sq_dist_neon_impl(a: &[f32], b: &[f32]) -> f32 {
+        let dim = a.len();
+        let chunks = dim / 4;
+        let split = chunks * 4;
+        let mut bank = vdupq_n_f32(0.0);
+        for c in 0..chunks {
+            let base = c * 4;
+            let av = vld1q_f32(a.as_ptr().add(base));
+            let bv = vld1q_f32(b.as_ptr().add(base));
+            let d = vsubq_f32(av, bv);
+            bank = vaddq_f32(bank, vmulq_f32(d, d));
+        }
+        let mut s = [0.0f32; 4];
+        vst1q_f32(s.as_mut_ptr(), bank);
+        for i in split..dim {
+            let d = a[i] - b[i];
+            s[0] += d * d;
+        }
+        (s[0] + s[1]) + (s[2] + s[3])
+    }
+
+    /// NEON arm of [`super::sq_dist_block`].
+    pub fn sq_dist_block_neon(q: &[f32], flat: &[f32], dim: usize, ids: &[u32], out: &mut [f32]) {
+        for (o, &id) in out.iter_mut().zip(ids) {
+            *o = sq_dist_neon(q, &flat[id as usize * dim..id as usize * dim + dim]);
+        }
     }
 }
 

@@ -32,6 +32,7 @@ pub mod io;
 pub mod kernels;
 pub mod metrics;
 pub mod registry;
+pub mod sq8;
 pub mod synthetic;
 
 pub use ann::{
@@ -41,5 +42,9 @@ pub use ann::{
 pub use dataset::Dataset;
 pub use error::{check_query, DbLshError};
 pub use ground_truth::exact_knn;
-pub use kernels::{canonical_verify_keys, matvec, sq_dist_block};
+pub use kernels::{
+    canonical_verify_keys, canonical_verify_keys_prefiltered, matvec, simd_arch, sq_dist_block,
+    SimdArch,
+};
 pub use metrics::{overall_ratio, recall};
+pub use sq8::{lower_bound, Sq8Grid, Sq8Query, Sq8Store};

@@ -200,6 +200,10 @@ const OPT_R_MIN: u8 = 1 << 1;
 const OPT_MAX_ROUNDS: u8 = 1 << 2;
 const OPT_SKIP_STATS: u8 = 1 << 3;
 const OPT_TIME_VERIFICATION: u8 = 1 << 4;
+/// Set when the request *disables* the SQ8 pre-filter (the default is
+/// on), so pre-flag frames — which never carry the bit — keep decoding
+/// to the default behavior.
+const OPT_NO_PREFILTER: u8 = 1 << 5;
 
 fn put_options(buf: &mut SectionBuf, opts: &SearchOptions) {
     let mut flags = 0u8;
@@ -216,6 +220,7 @@ fn put_options(buf: &mut SectionBuf, opts: &SearchOptions) {
     } else {
         0
     };
+    flags |= if opts.prefilter { 0 } else { OPT_NO_PREFILTER };
     buf.put_u8(flags);
     if let Some(b) = opts.budget {
         buf.put_u64(b as u64);
@@ -230,7 +235,13 @@ fn put_options(buf: &mut SectionBuf, opts: &SearchOptions) {
 
 fn get_options(c: &mut SectionCursor<'_>) -> Result<SearchOptions, DbLshError> {
     let flags = c.get_u8()?;
-    if flags & !(OPT_BUDGET | OPT_R_MIN | OPT_MAX_ROUNDS | OPT_SKIP_STATS | OPT_TIME_VERIFICATION)
+    if flags
+        & !(OPT_BUDGET
+            | OPT_R_MIN
+            | OPT_MAX_ROUNDS
+            | OPT_SKIP_STATS
+            | OPT_TIME_VERIFICATION
+            | OPT_NO_PREFILTER)
         != 0
     {
         return Err(DbLshError::corrupt(format!(
@@ -249,6 +260,7 @@ fn get_options(c: &mut SectionCursor<'_>) -> Result<SearchOptions, DbLshError> {
     }
     opts.skip_stats = flags & OPT_SKIP_STATS != 0;
     opts.time_verification = flags & OPT_TIME_VERIFICATION != 0;
+    opts.prefilter = flags & OPT_NO_PREFILTER == 0;
     Ok(opts)
 }
 
@@ -271,6 +283,8 @@ fn put_stats(buf: &mut SectionBuf, s: &QueryStats) {
     buf.put_u64(s.candidates as u64);
     buf.put_u64(s.rounds as u64);
     buf.put_u64(s.index_probes as u64);
+    buf.put_u64(s.prefilter_pruned as u64);
+    buf.put_u64(s.prefilter_survivors as u64);
     buf.put_u64(s.verify_nanos);
 }
 
@@ -279,6 +293,8 @@ fn get_stats(c: &mut SectionCursor<'_>) -> Result<QueryStats, DbLshError> {
         candidates: get_usize(c)?,
         rounds: get_usize(c)?,
         index_probes: get_usize(c)?,
+        prefilter_pruned: get_usize(c)?,
+        prefilter_survivors: get_usize(c)?,
         verify_nanos: c.get_u64()?,
     })
 }
@@ -700,6 +716,7 @@ mod tests {
                     max_rounds: Some(9),
                     skip_stats: true,
                     time_verification: false,
+                    prefilter: false,
                 },
             },
             Request::Knn {
@@ -724,6 +741,8 @@ mod tests {
             candidates: 42,
             rounds: 3,
             index_probes: 99,
+            prefilter_pruned: 17,
+            prefilter_survivors: 25,
             verify_nanos: 1234,
         };
         vec![

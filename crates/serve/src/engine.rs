@@ -275,6 +275,8 @@ struct Metrics {
     candidates: AtomicU64,
     rounds: AtomicU64,
     index_probes: AtomicU64,
+    prefilter_pruned: AtomicU64,
+    prefilter_survivors: AtomicU64,
     verify_nanos: AtomicU64,
     latency_nanos_total: AtomicU64,
     latency_buckets: [AtomicU64; 64],
@@ -292,6 +294,8 @@ impl Metrics {
             candidates: AtomicU64::new(0),
             rounds: AtomicU64::new(0),
             index_probes: AtomicU64::new(0),
+            prefilter_pruned: AtomicU64::new(0),
+            prefilter_survivors: AtomicU64::new(0),
             verify_nanos: AtomicU64::new(0),
             latency_nanos_total: AtomicU64::new(0),
             latency_buckets: [const { AtomicU64::new(0) }; 64],
@@ -306,6 +310,10 @@ impl Metrics {
             .fetch_add(stats.rounds as u64, Ordering::Relaxed);
         self.index_probes
             .fetch_add(stats.index_probes as u64, Ordering::Relaxed);
+        self.prefilter_pruned
+            .fetch_add(stats.prefilter_pruned as u64, Ordering::Relaxed);
+        self.prefilter_survivors
+            .fetch_add(stats.prefilter_survivors as u64, Ordering::Relaxed);
         self.verify_nanos
             .fetch_add(stats.verify_nanos, Ordering::Relaxed);
         self.latency_nanos_total
@@ -694,6 +702,8 @@ impl Engine {
                 candidates: m.candidates.load(Ordering::Relaxed) as usize,
                 rounds: m.rounds.load(Ordering::Relaxed) as usize,
                 index_probes: m.index_probes.load(Ordering::Relaxed) as usize,
+                prefilter_pruned: m.prefilter_pruned.load(Ordering::Relaxed) as usize,
+                prefilter_survivors: m.prefilter_survivors.load(Ordering::Relaxed) as usize,
                 verify_nanos: m.verify_nanos.load(Ordering::Relaxed),
             },
             elapsed_secs: elapsed,

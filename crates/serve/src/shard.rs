@@ -56,7 +56,7 @@ use dblsh_core::{
 use dblsh_data::error::check_query;
 use dblsh_data::io::{SectionBuf, SnapshotReader, SnapshotWriter};
 use dblsh_data::kernels::key_parts;
-use dblsh_data::{AnnIndex, Dataset, DbLshError, Neighbor, QueryStats, SearchResult};
+use dblsh_data::{AnnIndex, Dataset, DbLshError, Neighbor, QueryStats, SearchResult, Sq8Grid};
 
 /// How the bulk-build partitions points across shards.
 ///
@@ -270,8 +270,16 @@ impl ShardedDbLsh {
             members[empty].push(moved);
         }
 
-        // Build every shard over its own row subset, in parallel.
+        // Build every shard over its own row subset, in parallel. The
+        // SQ8 pre-filter grid is learned ONCE over the full dataset and
+        // injected into every shard: per-shard grids would quantize the
+        // same point differently depending on placement, breaking the
+        // byte-identical-to-unsharded contract (grid learning is a
+        // per-dimension min/max over the point multiset, so the full-data
+        // grid is exactly what an unsharded build would learn).
         let dim = data.dim();
+        let grid = Sq8Grid::learn(dim, data.flat());
+        let grid = &grid;
         let mut built: Vec<Option<Result<Shard, DbLshError>>> = Vec::new();
         built.resize_with(shards, || None);
         std::thread::scope(|scope| {
@@ -283,7 +291,9 @@ impl ShardedDbLsh {
                     }
                     *slot = Some(
                         Dataset::try_from_flat(dim, rows)
-                            .and_then(|d| DbLsh::build(Arc::new(d), params))
+                            .and_then(|d| {
+                                DbLsh::build_with_grid(Arc::new(d), params, Some(grid.clone()))
+                            })
                             .map(|index| Shard {
                                 index,
                                 global_of_local: ids.clone(),
@@ -549,10 +559,15 @@ impl ShardedDbLsh {
         let keys = &mut scratch.keys;
         while let Some(r) = ladder.begin_round(&mut stats) {
             keys.clear();
+            // Same threshold for every shard in the round (the k-th best
+            // exact distance seen so far, across all shards), so pruning
+            // decisions are independent of placement.
+            let prune = plan.prefilter.then(|| ladder.prune_threshold());
             for (guard, prober) in guards.iter().zip(probers.iter_mut()) {
                 prober.probe_round(
                     r,
                     plan.timing,
+                    prune,
                     &mut stats,
                     |local| guard.global_of_local[local as usize],
                     keys,
@@ -597,9 +612,12 @@ impl ShardedDbLsh {
             keys.clear();
             for (guard, sc) in guards.iter().zip(scratch.probers.iter_mut()) {
                 let mut prober = guard.index.ladder_prober(q, sc)?;
+                // (r,c)-NN is a single exact probe with no evolving k-th
+                // best: no pre-filter (mirrors `DbLsh::r_c_nn`).
                 prober.probe_round(
                     r,
                     false,
+                    None,
                     &mut stats,
                     |local| guard.global_of_local[local as usize],
                     keys,
