@@ -48,6 +48,10 @@ pub enum DbLshError {
     /// The serving engine is draining or has shut down; the request was
     /// not (or can no longer be) accepted.
     Shutdown,
+    /// The request sat in the serving queue past its deadline and was
+    /// *not* executed — returning stale work would be worse than
+    /// failing fast. Retrying (with a fresh deadline) is safe.
+    DeadlineExceeded,
 }
 
 impl DbLshError {
@@ -100,6 +104,10 @@ impl fmt::Display for DbLshError {
             }
             DbLshError::Busy => write!(f, "serving queue is full (admission control); retry later"),
             DbLshError::Shutdown => write!(f, "serving engine is draining or shut down"),
+            DbLshError::DeadlineExceeded => write!(
+                f,
+                "request deadline expired while queued; the request was not executed"
+            ),
         }
     }
 }
@@ -157,6 +165,7 @@ mod tests {
             (DbLshError::corrupt("bad checksum"), "bad checksum"),
             (DbLshError::Busy, "queue is full"),
             (DbLshError::Shutdown, "draining or shut down"),
+            (DbLshError::DeadlineExceeded, "deadline expired"),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

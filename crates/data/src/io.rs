@@ -464,14 +464,18 @@ impl SnapshotWriter {
     }
 }
 
-/// Write a file crash-safely: `fill` writes into `<path>.tmp`, which is
-/// renamed over `path` only on success, so an interrupted or failed
-/// write never destroys an existing file at `path` — the property a
-/// re-snapshot loop depends on (the previous restart image must survive
-/// a crash mid-save). On any error the temporary is removed.
+/// Write a file crash-safely *and durably*: `fill` writes into
+/// `<path>.tmp`, the file is fsynced, and only then is it renamed over
+/// `path`, so an interrupted or failed write never destroys an existing
+/// file at `path` — the property a re-snapshot loop depends on (the
+/// previous restart image must survive a crash mid-save). After the
+/// rename the parent directory is fsynced too, so a power loss right
+/// after a "successful" save cannot roll the rename back and leave a
+/// directory entry pointing at unflushed bytes. On any error the
+/// temporary is removed.
 pub fn atomic_write_file(
     path: &Path,
-    fill: impl FnOnce(std::fs::File) -> Result<(), DbLshError>,
+    fill: impl FnOnce(&mut std::fs::File) -> Result<(), DbLshError>,
 ) -> Result<(), DbLshError> {
     let mut tmp_name = path
         .file_name()
@@ -479,13 +483,34 @@ pub fn atomic_write_file(
         .to_os_string();
     tmp_name.push(".tmp");
     let tmp = path.with_file_name(tmp_name);
-    let file = std::fs::File::create(&tmp).map_err(|e| DbLshError::io("create", e))?;
-    let written = fill(file)
-        .and_then(|()| std::fs::rename(&tmp, path).map_err(|e| DbLshError::io("rename", e)));
+    let written = (|| {
+        let mut file = std::fs::File::create(&tmp).map_err(|e| DbLshError::io("create", e))?;
+        fill(&mut file)?;
+        // Data must be on stable storage *before* the rename publishes
+        // it — rename-then-fsync can surface a committed name bound to
+        // garbage after a crash.
+        file.sync_all().map_err(|e| DbLshError::io("fsync", e))?;
+        drop(file);
+        std::fs::rename(&tmp, path).map_err(|e| DbLshError::io("rename", e))?;
+        sync_parent_dir(path)
+    })();
     if written.is_err() {
         let _ = std::fs::remove_file(&tmp);
     }
     written
+}
+
+/// fsync the directory holding `path`, making a just-completed rename
+/// or create of `path` itself durable (file fsync alone does not cover
+/// the directory entry). A relative path with no parent component
+/// syncs the current directory.
+pub fn sync_parent_dir(path: &Path) -> Result<(), DbLshError> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    let dir = std::fs::File::open(parent).map_err(|e| DbLshError::io("open", e))?;
+    dir.sync_all().map_err(|e| DbLshError::io("fsync", e))
 }
 
 /// Reader half of the snapshot container: parses and checksum-verifies

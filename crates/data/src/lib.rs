@@ -15,7 +15,9 @@
 //!   synthetic clone of the same cardinality/dimensionality (scalable down
 //!   for laptop runs);
 //! * [`io`] — fvecs/ivecs readers and writers so users with the real files
-//!   can drop them in;
+//!   can drop them in, plus the checksummed snapshot container;
+//! * [`wal`] — the write-ahead log container pairing with snapshots for
+//!   crash recovery, with a deterministic I/O fault-injection shim;
 //! * [`ground_truth`] — exact multi-threaded k-NN;
 //! * [`metrics`] — the paper's quality measures (overall ratio, Eq. 11;
 //!   recall, Eq. 12);
@@ -34,6 +36,7 @@ pub mod metrics;
 pub mod registry;
 pub mod sq8;
 pub mod synthetic;
+pub mod wal;
 
 pub use ann::{
     parallel_search_batch, push_candidate, push_candidate_unchecked, AnnIndex, Neighbor,
@@ -48,3 +51,7 @@ pub use kernels::{
 };
 pub use metrics::{overall_ratio, recall};
 pub use sq8::{lower_bound, Sq8Grid, Sq8Query, Sq8Store};
+pub use wal::{
+    encode_wal_record, replay_wal, write_all_faulty, FaultyWriter, WalFile, WalReplay, WalWriter,
+    WriteFaultPlan, MAX_WAL_RECORD, WAL_HEADER_LEN, WAL_MAGIC, WAL_VERSION,
+};

@@ -9,7 +9,23 @@
 //!
 //! On a broken connection every in-flight request resolves to
 //! [`NetError::Disconnected`]; the next submission transparently
-//! reconnects (one attempt — callers control retry policy).
+//! reconnects, governed by [`RetryPolicy`] (default: one attempt).
+//!
+//! # Retry semantics
+//!
+//! With a [`RetryPolicy`] of more than one attempt, the blocking
+//! convenience calls retry — with bounded, seeded-jitter exponential
+//! backoff — exactly two failure classes:
+//!
+//! * **connect-phase failures** (no frame ever reached the server), and
+//! * **typed [`DbLshError::Busy`]** (the server *refused* the request
+//!   at admission — it never executed).
+//!
+//! Both are provably side-effect-free, so even an `insert` is safe to
+//! resend. A disconnect *after* a request was written is deliberately
+//! **not** retried: the server may or may not have executed it, and
+//! re-sending a write could double-apply. That ambiguity is the
+//! caller's to resolve (e.g. re-reading state).
 //!
 //! [`knn`]: DbLshClient::knn
 //! [`insert`]: DbLshClient::insert
@@ -36,6 +52,11 @@ pub struct ClientConfig {
     /// slower than this resolves to a typed [`NetError::Io`]. `None`
     /// waits forever.
     pub response_timeout: Option<Duration>,
+    /// Retry behaviour for connect failures and typed `Busy` refusals
+    /// (see the [module docs](self) for exactly what is — and is not —
+    /// retried). Defaults to [`RetryPolicy::disabled`]: one attempt,
+    /// every failure surfaces immediately.
+    pub retry: RetryPolicy,
 }
 
 impl Default for ClientConfig {
@@ -43,7 +64,91 @@ impl Default for ClientConfig {
         ClientConfig {
             max_frame: DEFAULT_MAX_FRAME,
             response_timeout: Some(Duration::from_secs(30)),
+            retry: RetryPolicy::disabled(),
         }
+    }
+}
+
+/// Bounded exponential backoff with seeded jitter.
+///
+/// Attempt `n` (zero-based) that fails retryably sleeps
+/// `min(base · 2ⁿ, cap)`, scaled by a jitter factor in `[0.5, 1.0]`
+/// drawn deterministically from `jitter_seed` and `n` — so a fleet of
+/// load generators configured with different seeds decorrelates its
+/// retry storms, while any single configuration replays identically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (the first try included); `1` disables retries.
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base: Duration,
+    /// Backoff ceiling — exponential growth clamps here.
+    pub cap: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::disabled()
+    }
+}
+
+impl RetryPolicy {
+    /// One attempt, no retries — the historical client behaviour, and
+    /// the default.
+    pub fn disabled() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base: Duration::from_millis(10),
+            cap: Duration::from_secs(1),
+            jitter_seed: 0x5EED,
+        }
+    }
+
+    /// `max_attempts` total attempts with the default backoff shape
+    /// (10 ms base, 1 s cap).
+    pub fn new(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            ..RetryPolicy::disabled()
+        }
+    }
+
+    /// The sleep before retrying after zero-based failed attempt
+    /// `attempt`.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32.checked_shl(attempt.min(30)).unwrap_or(u32::MAX))
+            .min(self.cap);
+        // Jitter in [0.5, 1.0): decorrelates concurrent retriers
+        // without ever collapsing the wait to zero.
+        let bits = jitter_mix(self.jitter_seed ^ u64::from(attempt).wrapping_mul(0x9E37));
+        let factor = 0.5 + 0.5 * ((bits >> 11) as f64 / (1u64 << 53) as f64);
+        exp.mul_f64(factor)
+    }
+}
+
+/// SplitMix64 finalizer — the jitter stream's only state.
+fn jitter_mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Is `err` one of the two provably-unexecuted failure classes the
+/// policy may retry?
+fn retryable(err: &NetError) -> bool {
+    match err {
+        // Admission control refused it; the engine never saw it.
+        NetError::Remote(DbLshError::Busy) => true,
+        // Connect-phase failure: no frame was ever written.
+        NetError::Io { op, .. } => {
+            matches!(*op, "connect" | "set_nodelay" | "set_read_timeout")
+        }
+        _ => false,
     }
 }
 
@@ -90,7 +195,24 @@ impl DbLshClient {
 
     /// (Re-)establish the connection, abandoning any in-flight requests
     /// (they resolve to [`NetError::Disconnected`] when redeemed).
+    /// Connect failures are retried per [`ClientConfig::retry`] with
+    /// exponential backoff before the last error surfaces.
     pub fn reconnect(&mut self) -> Result<(), NetError> {
+        let policy = self.config.retry.clone();
+        let mut attempt = 0u32;
+        loop {
+            match self.reconnect_once() {
+                Ok(()) => return Ok(()),
+                Err(e) if attempt + 1 < policy.max_attempts && retryable(&e) => {
+                    std::thread::sleep(policy.backoff(attempt));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn reconnect_once(&mut self) -> Result<(), NetError> {
         self.drop_connection();
         let stream = TcpStream::connect(&self.addr).map_err(|e| NetError::io("connect", e))?;
         stream
@@ -198,9 +320,34 @@ impl DbLshClient {
 
     // -- blocking convenience wrappers --------------------------------
 
+    /// Submit-then-wait with the configured retry policy. Only
+    /// [`retryable`] failures loop (Busy refusals, connect-phase
+    /// errors); note the connect attempts inside [`Self::reconnect`]
+    /// have their own budget, so a dead server costs at most
+    /// `max_attempts²` socket probes.
     fn call(&mut self, req: &Request) -> Result<Response, NetError> {
+        let policy = self.config.retry.clone();
+        let mut attempt = 0u32;
+        loop {
+            match self.call_once(req) {
+                Err(e) if attempt + 1 < policy.max_attempts && retryable(&e) => {
+                    std::thread::sleep(policy.backoff(attempt));
+                    attempt += 1;
+                }
+                result => return result,
+            }
+        }
+    }
+
+    fn call_once(&mut self, req: &Request) -> Result<Response, NetError> {
         let id = self.submit(req)?;
-        self.wait(id)
+        match self.wait(id)? {
+            // A typed Busy response unwraps to an error here so the
+            // retry classifier sees it; non-error responses and every
+            // other error pass through untouched.
+            Response::Error(e @ NetError::Remote(DbLshError::Busy)) => Err(e),
+            resp => Ok(resp),
+        }
     }
 
     /// Round-trip a ping; returns the echoed token.
@@ -298,4 +445,81 @@ fn unexpected(wanted: &str, got: &Response) -> NetError {
         Response::Error(_) => "Error",
     };
     NetError::protocol(format!("expected a {wanted} response, got {got}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_to_the_cap() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(200),
+            jitter_seed: 1,
+        };
+        // Jitter scales by [0.5, 1.0), so bounds per attempt are
+        // [exp/2, exp).
+        for (attempt, exp_ms) in [(0u32, 10u64), (1, 20), (2, 40), (3, 80), (4, 160)] {
+            let b = policy.backoff(attempt);
+            assert!(
+                b >= Duration::from_millis(exp_ms / 2) && b < Duration::from_millis(exp_ms),
+                "attempt {attempt}: {b:?} outside [{}/2, {}) ms",
+                exp_ms,
+                exp_ms
+            );
+        }
+        // Attempts past the cap clamp there (before jitter).
+        for attempt in 5..64 {
+            assert!(policy.backoff(attempt) < Duration::from_millis(200));
+            assert!(policy.backoff(attempt) >= Duration::from_millis(100));
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed() {
+        let a = RetryPolicy {
+            jitter_seed: 42,
+            ..RetryPolicy::new(5)
+        };
+        let b = a.clone();
+        for attempt in 0..10 {
+            assert_eq!(a.backoff(attempt), b.backoff(attempt));
+        }
+        // A different seed decorrelates at least one attempt.
+        let c = RetryPolicy {
+            jitter_seed: 43,
+            ..RetryPolicy::new(5)
+        };
+        assert!((0..10).any(|n| a.backoff(n) != c.backoff(n)));
+    }
+
+    #[test]
+    fn only_unexecuted_failures_are_retryable() {
+        assert!(retryable(&NetError::Remote(DbLshError::Busy)));
+        assert!(retryable(&NetError::io(
+            "connect",
+            std::io::Error::from(std::io::ErrorKind::ConnectionRefused),
+        )));
+        // Ambiguous or deterministic failures must surface immediately.
+        assert!(!retryable(&NetError::Disconnected));
+        assert!(!retryable(&NetError::io(
+            "write",
+            std::io::Error::from(std::io::ErrorKind::BrokenPipe),
+        )));
+        assert!(!retryable(&NetError::Remote(DbLshError::Shutdown)));
+        assert!(!retryable(&NetError::Remote(DbLshError::DeadlineExceeded)));
+        assert!(!retryable(&NetError::Remote(DbLshError::UnknownId {
+            id: 1
+        })));
+        assert!(!retryable(&NetError::protocol("desync")));
+    }
+
+    #[test]
+    fn policy_constructors_clamp_sanely() {
+        assert_eq!(RetryPolicy::new(0).max_attempts, 1, "0 attempts is 1");
+        assert_eq!(RetryPolicy::disabled().max_attempts, 1);
+        assert_eq!(RetryPolicy::default(), RetryPolicy::disabled());
+    }
 }

@@ -80,6 +80,6 @@ pub mod client;
 pub mod proto;
 pub mod server;
 
-pub use client::{ClientConfig, DbLshClient, RequestId};
+pub use client::{ClientConfig, DbLshClient, RequestId, RetryPolicy};
 pub use proto::{NetError, Request, Response, DEFAULT_MAX_FRAME, WIRE_MAGIC, WIRE_VERSION};
 pub use server::{DbLshServer, ServerConfig, ServerStats};

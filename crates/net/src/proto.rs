@@ -317,6 +317,7 @@ const E_CAPACITY: u16 = 7;
 const E_UNKNOWN_ID: u16 = 8;
 const E_IO: u16 = 9;
 const E_CORRUPT: u16 = 10;
+const E_DEADLINE: u16 = 11;
 const E_PROTOCOL: u16 = 100;
 const E_VERSION: u16 = 101;
 const E_DISCONNECTED: u16 = 102;
@@ -371,6 +372,7 @@ fn put_error(buf: &mut SectionBuf, err: &NetError) {
             DbLshError::UnknownId { id } => (E_UNKNOWN_ID, *id as u64, 0, String::new()),
             DbLshError::Io { op, error } => (E_IO, 0, 0, format!("{op}\u{1f}{error}")),
             DbLshError::CorruptSnapshot { reason } => (E_CORRUPT, 0, 0, reason.clone()),
+            DbLshError::DeadlineExceeded => (E_DEADLINE, 0, 0, String::new()),
         },
         NetError::Protocol { reason } => (E_PROTOCOL, 0, 0, reason.clone()),
         NetError::Version { got } => (E_VERSION, *got as u64, 0, String::new()),
@@ -426,6 +428,7 @@ fn get_error(c: &mut SectionCursor<'_>) -> Result<NetError, DbLshError> {
             })
         }
         E_CORRUPT => NetError::Remote(DbLshError::CorruptSnapshot { reason: msg }),
+        E_DEADLINE => NetError::Remote(DbLshError::DeadlineExceeded),
         E_PROTOCOL => NetError::Protocol { reason: msg },
         E_VERSION => NetError::Version { got: aux0 as u16 },
         E_DISCONNECTED => NetError::Disconnected,
@@ -447,6 +450,7 @@ fn put_engine_stats(buf: &mut SectionBuf, s: &EngineStats) {
     buf.put_u64(s.removes);
     buf.put_u64(s.errors);
     buf.put_u64(s.rejected);
+    buf.put_u64(s.deadline_expired);
     buf.put_u64(s.queue_depth);
     put_stats(buf, &s.query);
     buf.put_f64(s.elapsed_secs);
@@ -464,6 +468,7 @@ fn get_engine_stats(c: &mut SectionCursor<'_>) -> Result<EngineStats, DbLshError
         removes: c.get_u64()?,
         errors: c.get_u64()?,
         rejected: c.get_u64()?,
+        deadline_expired: c.get_u64()?,
         queue_depth: c.get_u64()?,
         query: get_stats(c)?,
         elapsed_secs: c.get_f64()?,
@@ -767,6 +772,7 @@ mod tests {
             Response::Stats(Box::new(EngineStats {
                 searches: 5,
                 rejected: 2,
+                deadline_expired: 3,
                 queue_depth: 1,
                 qps: 123.5,
                 ..EngineStats::default()
@@ -782,6 +788,7 @@ mod tests {
                 "must be at least 1",
             ))),
             Response::Error(NetError::Remote(DbLshError::UnknownId { id: 8 })),
+            Response::Error(NetError::Remote(DbLshError::DeadlineExceeded)),
             Response::Error(NetError::protocol("bad frame")),
             Response::Error(NetError::Version { got: 9 }),
         ]

@@ -13,7 +13,7 @@ use dblsh_data::synthetic::{gaussian_mixture, MixtureConfig};
 use dblsh_data::DbLshError;
 use dblsh_net::proto::{decode_frame, encode_request, Message};
 use dblsh_net::{
-    ClientConfig, DbLshClient, DbLshServer, NetError, Request, Response, ServerConfig,
+    ClientConfig, DbLshClient, DbLshServer, NetError, Request, Response, RetryPolicy, ServerConfig,
     DEFAULT_MAX_FRAME,
 };
 use dblsh_serve::{Engine, EngineConfig, ShardPolicy, ShardedDbLsh};
@@ -435,5 +435,66 @@ fn connection_limit_refuses_with_typed_busy() {
         assert!(Instant::now() < deadline, "slot never freed");
         std::thread::sleep(Duration::from_millis(10));
     }
+    server.shutdown();
+}
+
+#[test]
+fn retry_policy_rides_out_a_busy_refusal() {
+    let fx = fixture(200, 8, 1, 16);
+    let server = start_server(
+        &fx.engine,
+        ServerConfig {
+            max_connections: 1,
+            ..Default::default()
+        },
+    );
+    let addr = server.local_addr().to_string();
+    let first = DbLshClient::connect(&addr).expect("first connection");
+
+    // The slot frees shortly; a retrying client must absorb the typed
+    // Busy refusals in between instead of surfacing them.
+    let holder = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(150));
+        drop(first);
+    });
+    let mut retrying = DbLshClient::connect_with(
+        &addr,
+        ClientConfig {
+            retry: RetryPolicy {
+                max_attempts: 60,
+                base: Duration::from_millis(20),
+                cap: Duration::from_millis(50),
+                jitter_seed: 7,
+            },
+            ..Default::default()
+        },
+    )
+    .expect("connect itself is not limited");
+    assert_eq!(retrying.ping(9).expect("retries outlast the holder"), 9);
+    holder.join().unwrap();
+
+    // Refusals really happened: the retry loop did the riding out.
+    assert!(server.stats().refused >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn disabled_retry_surfaces_busy_immediately() {
+    let fx = fixture(200, 8, 1, 16);
+    let server = start_server(
+        &fx.engine,
+        ServerConfig {
+            max_connections: 1,
+            ..Default::default()
+        },
+    );
+    let addr = server.local_addr().to_string();
+    let _first = DbLshClient::connect(&addr).expect("first connection");
+    // Default policy: one attempt — the refusal is the caller's to see.
+    let mut second = DbLshClient::connect(&addr).expect("tcp-level connect succeeds");
+    assert!(matches!(
+        second.ping(1),
+        Err(NetError::Remote(DbLshError::Busy))
+    ));
     server.shutdown();
 }

@@ -17,7 +17,7 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use dblsh_core::SearchOptions;
 use dblsh_data::{DbLshError, Neighbor, QueryStats, SearchResult};
@@ -142,6 +142,9 @@ enum Job {
         k: usize,
         opts: SearchOptions,
         enqueued: Instant,
+        /// Queue-wait budget: a search still queued past this expires
+        /// with [`DbLshError::DeadlineExceeded`] instead of executing.
+        deadline: Option<Duration>,
         reply: Reply<SearchResult>,
     },
     Insert {
@@ -158,6 +161,11 @@ enum Job {
         enqueued: Instant,
         reply: Reply<(Option<Neighbor>, QueryStats)>,
     },
+    /// Chaos hook: panic the executing worker mid-request (see
+    /// [`Engine::inject_worker_panic`]). The panic is caught at the
+    /// job boundary — the worker survives, the ticket resolves to the
+    /// typed [`DbLshError::Shutdown`] via its dropped [`Reply`].
+    Chaos(Reply<()>),
     /// Test-only: park the executing worker on a barrier, so tests can
     /// hold the queue deterministically full while probing admission
     /// control.
@@ -191,20 +199,23 @@ impl Queue {
         }
     }
 
-    /// Enqueue, blocking while full. Returns the job back if the queue
-    /// has been closed.
-    fn push(&self, job: Job) -> Result<(), Job> {
+    /// Enqueue, blocking while full. A job refused by a closed queue is
+    /// dropped here, outside the lock — which resolves its [`Reply`]
+    /// with the typed [`DbLshError::Shutdown`] rather than leaving a
+    /// waiter hanging.
+    fn push(&self, job: Job) {
         let mut inner = self.inner.lock().expect("queue mutex poisoned");
         while inner.jobs.len() >= self.capacity && !inner.closed {
             inner = self.not_full.wait(inner).expect("queue mutex poisoned");
         }
         if inner.closed {
-            return Err(job);
+            drop(inner);
+            drop(job);
+            return;
         }
         inner.jobs.push_back(job);
         drop(inner);
         self.not_empty.notify_one();
-        Ok(())
     }
 
     /// Enqueue without blocking: a full queue is [`DbLshError::Busy`], a
@@ -272,6 +283,7 @@ struct Metrics {
     removes: AtomicU64,
     errors: AtomicU64,
     rejected: AtomicU64,
+    deadline_expired: AtomicU64,
     candidates: AtomicU64,
     rounds: AtomicU64,
     index_probes: AtomicU64,
@@ -291,6 +303,7 @@ impl Metrics {
             removes: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
             candidates: AtomicU64::new(0),
             rounds: AtomicU64::new(0),
             index_probes: AtomicU64::new(0),
@@ -411,6 +424,12 @@ pub struct EngineStats {
     /// are the backpressure the wire front door surfaces to remote
     /// callers.
     pub rejected: u64,
+    /// Searches that sat in the queue past their per-request deadline
+    /// and were **not executed** — resolved to
+    /// [`DbLshError::DeadlineExceeded`] when a worker reached them.
+    /// Counted separately from `errors`: an expired deadline is load
+    /// shedding (like `rejected`), not a fault in the request.
+    pub deadline_expired: u64,
     /// Jobs sitting in the submission queue at snapshot time (accepted,
     /// not yet picked up by a worker) — the live backlog admission
     /// control is reacting to.
@@ -445,6 +464,7 @@ impl Default for EngineStats {
             removes: 0,
             errors: 0,
             rejected: 0,
+            deadline_expired: 0,
             queue_depth: 0,
             query: QueryStats::default(),
             elapsed_secs: 0.0,
@@ -474,6 +494,7 @@ impl EngineStats {
         self.removes += other.removes;
         self.errors += other.errors;
         self.rejected += other.rejected;
+        self.deadline_expired += other.deadline_expired;
         // Queue depth is instantaneous, not cumulative: folding sweeps
         // keeps the worst backlog observed.
         self.queue_depth = self.queue_depth.max(other.queue_depth);
@@ -550,12 +571,31 @@ impl Engine {
         k: usize,
         opts: SearchOptions,
     ) -> Ticket<SearchResult> {
+        self.search_with_deadline(query, k, opts, None)
+    }
+
+    /// [`Engine::search_with`] plus a queue-wait budget: if the request
+    /// is still queued once `deadline` has elapsed since submission, it
+    /// expires with [`DbLshError::DeadlineExceeded`] instead of
+    /// executing — returning a stale answer to a caller that already
+    /// timed out would only add load. Expired requests are counted in
+    /// [`EngineStats::deadline_expired`], not `errors`. The deadline
+    /// bounds *queue wait*, not execution: a request a worker has
+    /// already started runs to completion.
+    pub fn search_with_deadline(
+        &self,
+        query: &[f32],
+        k: usize,
+        opts: SearchOptions,
+        deadline: Option<Duration>,
+    ) -> Ticket<SearchResult> {
         let (reply, ticket) = oneshot();
         self.submit(Job::Search {
             query: query.to_vec(),
             k,
             opts,
             enqueued: Instant::now(),
+            deadline,
             reply,
         });
         ticket
@@ -603,12 +643,28 @@ impl Engine {
         k: usize,
         opts: SearchOptions,
     ) -> Result<Ticket<SearchResult>, DbLshError> {
+        self.try_search_with_deadline(query, k, opts, None)
+    }
+
+    /// Non-blocking [`Engine::search_with_deadline`]: admission control
+    /// and queue-wait deadlines compose — a full queue refuses with
+    /// [`DbLshError::Busy`] immediately, an accepted request can still
+    /// expire with [`DbLshError::DeadlineExceeded`] if the backlog
+    /// outlasts its budget.
+    pub fn try_search_with_deadline(
+        &self,
+        query: &[f32],
+        k: usize,
+        opts: SearchOptions,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket<SearchResult>, DbLshError> {
         let (reply, ticket) = oneshot();
         self.try_submit(Job::Search {
             query: query.to_vec(),
             k,
             opts,
             enqueued: Instant::now(),
+            deadline,
             reply,
         })?;
         Ok(ticket)
@@ -647,13 +703,22 @@ impl Engine {
         Ok(ticket)
     }
 
+    /// Fault-injection hook for the torture harness: make whichever
+    /// worker picks this job up panic mid-request. The panic is
+    /// contained — the worker catches it at the job boundary and keeps
+    /// serving — and the returned ticket resolves to the typed
+    /// [`DbLshError::Shutdown`] (the standard "worker died mid-request"
+    /// outcome), so callers can await the fault deterministically. The
+    /// panic is counted in [`EngineStats::errors`].
+    #[doc(hidden)]
+    pub fn inject_worker_panic(&self) -> Ticket<()> {
+        let (reply, ticket) = oneshot();
+        self.submit(Job::Chaos(reply));
+        ticket
+    }
+
     fn submit(&self, job: Job) {
-        if let Err(job) = self.queue.push(job) {
-            // The engine is draining: dropping the job resolves its
-            // Reply with `DbLshError::Shutdown` rather than leaving a
-            // waiter hanging.
-            drop(job);
-        }
+        self.queue.push(job);
     }
 
     fn try_submit(&self, job: Job) -> Result<(), DbLshError> {
@@ -697,6 +762,7 @@ impl Engine {
             removes: m.removes.load(Ordering::Relaxed),
             errors: m.errors.load(Ordering::Relaxed),
             rejected: m.rejected.load(Ordering::Relaxed),
+            deadline_expired: m.deadline_expired.load(Ordering::Relaxed),
             queue_depth: self.queue.depth() as u64,
             query: QueryStats {
                 candidates: m.candidates.load(Ordering::Relaxed) as usize,
@@ -746,70 +812,99 @@ impl Drop for Engine {
 
 fn worker_loop(index: &ShardedDbLsh, queue: &Queue, metrics: &Metrics) {
     while let Some(job) = queue.pop() {
-        match job {
-            Job::Search {
-                query,
-                k,
-                opts,
-                enqueued,
-                reply,
-            } => {
-                let result = index.search_with(&query, k, &opts);
-                let latency = enqueued.elapsed().as_nanos() as u64;
-                match &result {
-                    Ok(res) => metrics.record_search(latency, &res.stats),
-                    Err(_) => {
-                        metrics.errors.fetch_add(1, Ordering::Relaxed);
-                    }
+        // Contain panics at the job boundary: one poisoned request must
+        // not shrink the worker pool for every later caller. The job
+        // (with its Reply) is consumed either way, so the submitter's
+        // ticket always resolves — normally, or with the typed
+        // `Shutdown` a dropped Reply produces.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handle_job(index, metrics, job)
+        }));
+        if outcome.is_err() {
+            metrics.errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn handle_job(index: &ShardedDbLsh, metrics: &Metrics, job: Job) {
+    match job {
+        Job::Search {
+            query,
+            k,
+            opts,
+            enqueued,
+            deadline,
+            reply,
+        } => {
+            if let Some(budget) = deadline {
+                if enqueued.elapsed() >= budget {
+                    // Expired while queued: never executed, so the
+                    // caller can safely retry with a fresh budget.
+                    metrics.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                    reply.send(Err(DbLshError::DeadlineExceeded));
+                    return;
                 }
-                reply.send(result);
             }
-            Job::Insert { point, reply } => {
-                let result = index.insert(&point);
-                match &result {
-                    Ok(_) => {
-                        metrics.inserts.fetch_add(1, Ordering::Relaxed);
-                    }
-                    Err(_) => {
-                        metrics.errors.fetch_add(1, Ordering::Relaxed);
-                    }
+            let result = index.search_with(&query, k, &opts);
+            let latency = enqueued.elapsed().as_nanos() as u64;
+            match &result {
+                Ok(res) => metrics.record_search(latency, &res.stats),
+                Err(_) => {
+                    metrics.errors.fetch_add(1, Ordering::Relaxed);
                 }
-                reply.send(result);
             }
-            Job::Remove { id, reply } => {
-                let result = index.remove(id);
-                match &result {
-                    Ok(_) => {
-                        metrics.removes.fetch_add(1, Ordering::Relaxed);
-                    }
-                    Err(_) => {
-                        metrics.errors.fetch_add(1, Ordering::Relaxed);
-                    }
+            reply.send(result);
+        }
+        Job::Insert { point, reply } => {
+            let result = index.insert(&point);
+            match &result {
+                Ok(_) => {
+                    metrics.inserts.fetch_add(1, Ordering::Relaxed);
                 }
-                reply.send(result);
-            }
-            Job::RcNn {
-                query,
-                r,
-                enqueued,
-                reply,
-            } => {
-                let result = index.r_c_nn(&query, r);
-                let latency = enqueued.elapsed().as_nanos() as u64;
-                match &result {
-                    // An (r,c)-NN probe is a search: it shares the
-                    // search counter and latency histogram.
-                    Ok((_, stats)) => metrics.record_search(latency, stats),
-                    Err(_) => {
-                        metrics.errors.fetch_add(1, Ordering::Relaxed);
-                    }
+                Err(_) => {
+                    metrics.errors.fetch_add(1, Ordering::Relaxed);
                 }
-                reply.send(result);
             }
-            #[cfg(test)]
-            Job::Fence(barrier) => {
-                barrier.wait();
+            reply.send(result);
+        }
+        Job::Remove { id, reply } => {
+            let result = index.remove(id);
+            match &result {
+                Ok(_) => {
+                    metrics.removes.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    metrics.errors.fetch_add(1, Ordering::Relaxed);
+                }
             }
+            reply.send(result);
+        }
+        Job::RcNn {
+            query,
+            r,
+            enqueued,
+            reply,
+        } => {
+            let result = index.r_c_nn(&query, r);
+            let latency = enqueued.elapsed().as_nanos() as u64;
+            match &result {
+                // An (r,c)-NN probe is a search: it shares the
+                // search counter and latency histogram.
+                Ok((_, stats)) => metrics.record_search(latency, stats),
+                Err(_) => {
+                    metrics.errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            reply.send(result);
+        }
+        Job::Chaos(_reply) => {
+            // `_reply` is dropped by the unwind, resolving the
+            // ticket with the typed Shutdown.
+            panic!("injected worker panic");
+        }
+        #[cfg(test)]
+        Job::Fence(barrier) => {
+            barrier.wait();
         }
     }
 }
@@ -965,6 +1060,72 @@ mod tests {
         let stats = engine.shutdown();
         assert_eq!(stats.rejected, 0);
         assert_eq!(stats.searches, 1);
+    }
+
+    #[test]
+    fn queued_past_deadline_expires_without_executing() {
+        let engine = engine(1, 4);
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        engine.submit(Job::Fence(Arc::clone(&gate)));
+        // The single worker is parked on the fence, so these sit in the
+        // queue: a zero budget has certainly elapsed by pickup, a huge
+        // one certainly has not.
+        let expired = engine.search_with_deadline(
+            &[0.1; 12],
+            3,
+            SearchOptions::default(),
+            Some(Duration::ZERO),
+        );
+        let served = engine.search_with_deadline(
+            &[0.1; 12],
+            3,
+            SearchOptions::default(),
+            Some(Duration::from_secs(3600)),
+        );
+        gate.wait();
+        assert!(matches!(expired.wait(), Err(DbLshError::DeadlineExceeded)));
+        let direct = engine
+            .index()
+            .search_with(&[0.1; 12], 3, &SearchOptions::default())
+            .unwrap();
+        assert_eq!(served.wait().unwrap().neighbors, direct.neighbors);
+        let stats = engine.shutdown();
+        assert_eq!(stats.deadline_expired, 1);
+        assert_eq!(stats.searches, 1, "expired request must not execute");
+        assert_eq!(stats.errors, 0, "expiry is load shedding, not a fault");
+    }
+
+    #[test]
+    fn a_panicking_request_does_not_kill_the_worker() {
+        // One worker: if the injected panic tore the thread down, the
+        // follow-up search would hang in the queue forever.
+        let engine = engine(1, 8);
+        for _ in 0..3 {
+            let chaos = engine.inject_worker_panic();
+            assert!(matches!(chaos.wait(), Err(DbLshError::Shutdown)));
+        }
+        let direct = engine
+            .index()
+            .search_with(&[0.4; 12], 4, &SearchOptions::default())
+            .unwrap();
+        let served = engine.search(&[0.4; 12], 4).wait().unwrap();
+        assert_eq!(served.neighbors, direct.neighbors);
+        let stats = engine.shutdown();
+        assert_eq!(stats.errors, 3, "each contained panic is counted");
+        assert_eq!(stats.searches, 1);
+    }
+
+    #[test]
+    fn deadline_expiries_merge_across_snapshots() {
+        let mut a = EngineStats {
+            deadline_expired: 2,
+            ..EngineStats::default()
+        };
+        a.merge(&EngineStats {
+            deadline_expired: 3,
+            ..EngineStats::default()
+        });
+        assert_eq!(a.deadline_expired, 5);
     }
 
     #[test]

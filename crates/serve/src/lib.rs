@@ -50,7 +50,13 @@
 //! ```
 
 mod engine;
+mod replica;
 mod shard;
+mod walrec;
 
 pub use engine::{Engine, EngineConfig, EngineStats, LatencyHistogram, Ticket};
-pub use shard::{CompactionPolicy, ShardPolicy, ShardedDbLsh, FLEET_SNAPSHOT_KIND};
+pub use replica::{
+    FaultAction, FaultHook, FaultPlan, FaultSite, ReplicaState, ReplicaStats, ReplicatedShard,
+    REPLICA_WAL_KIND,
+};
+pub use shard::{CompactionPolicy, ShardPolicy, ShardedDbLsh, FLEET_SNAPSHOT_KIND, FLEET_WAL_KIND};

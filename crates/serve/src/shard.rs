@@ -46,7 +46,7 @@
 //! interleaved insert/remove traffic.
 
 use std::cell::RefCell;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard};
 
@@ -56,7 +56,10 @@ use dblsh_core::{
 use dblsh_data::error::check_query;
 use dblsh_data::io::{SectionBuf, SnapshotReader, SnapshotWriter};
 use dblsh_data::kernels::key_parts;
+use dblsh_data::wal::WalFile;
 use dblsh_data::{AnnIndex, Dataset, DbLshError, Neighbor, QueryStats, SearchResult, Sq8Grid};
+
+use crate::walrec::{self, WalOp};
 
 /// How the bulk-build partitions points across shards.
 ///
@@ -82,6 +85,42 @@ pub enum ShardPolicy {
 /// Snapshot kind tag of a [`ShardedDbLsh`] fleet manifest
 /// (`manifest.dblsh` in a [`ShardedDbLsh::save_dir`] directory).
 pub const FLEET_SNAPSHOT_KIND: [u8; 4] = *b"SHRD";
+
+/// WAL kind tag of a fleet shard's op log (`wal-<i>.dblshwal` next to
+/// the fleet snapshot once [`ShardedDbLsh::enable_wal`] is on).
+pub const FLEET_WAL_KIND: [u8; 4] = *b"SWAL";
+
+/// The router's "this global id was allocated but never materialized"
+/// sentinel: a torn WAL tail can lose the final (never-acknowledged)
+/// insert of one shard while a later id from another shard survives.
+/// Such holes stay permanently dead — ids are never recycled.
+const UNASSIGNED: (u32, u32) = (u32::MAX, u32::MAX);
+
+/// One write-ahead log per shard. Appends happen under the router
+/// mutex (insert) or the owning shard's write lock (remove), so each
+/// log is totally ordered and consistent with the acknowledgement
+/// order of the operations it records.
+#[derive(Debug)]
+struct FleetWal {
+    dir: PathBuf,
+    logs: Vec<Mutex<WalFile>>,
+}
+
+impl FleetWal {
+    fn append(&self, s: usize, payload: &[u8]) -> Result<(), DbLshError> {
+        self.logs[s]
+            .lock()
+            .expect("wal mutex poisoned")
+            .append(payload)
+    }
+
+    fn same_dir(&self, dir: &Path) -> bool {
+        match (std::fs::canonicalize(&self.dir), std::fs::canonicalize(dir)) {
+            (Ok(a), Ok(b)) => a == b,
+            _ => self.dir == dir,
+        }
+    }
+}
 
 /// When a shard reclaims the space of its tombstoned rows
 /// ([`DbLsh::compact`]). Checked after every successful remove, while
@@ -120,7 +159,7 @@ impl CompactionPolicy {
 
 /// SplitMix64 finalizer — a fixed, dependency-free 64-bit mix.
 #[inline]
-fn mix64(mut z: u64) -> u64 {
+pub(crate) fn mix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -209,6 +248,10 @@ pub struct ShardedDbLsh {
     compaction: Option<CompactionPolicy>,
     /// Total shard compactions performed (automatic + manual).
     compactions: AtomicU64,
+    /// Per-shard write-ahead logs ([`ShardedDbLsh::enable_wal`]); when
+    /// set, every insert/remove is logged **before** it is applied and
+    /// [`ShardedDbLsh::load_dir`] replays the tail past the snapshot.
+    wal: Option<FleetWal>,
 }
 
 impl ShardedDbLsh {
@@ -324,7 +367,61 @@ impl ShardedDbLsh {
             dim,
             compaction: None,
             compactions: AtomicU64::new(0),
+            wal: None,
         })
+    }
+
+    /// Turn on write-ahead logging rooted at `dir`: a baseline
+    /// checkpoint ([`ShardedDbLsh::save_dir`]) is written immediately,
+    /// one `wal-<i>.dblshwal` log is created per shard, and from here
+    /// on every insert/remove is appended to its shard's log **before**
+    /// it is applied. [`ShardedDbLsh::load_dir`] on the same directory
+    /// is then *crash recovery*: snapshot + WAL replay reconstructs the
+    /// exact pre-crash state, and each successful `save_dir` into `dir`
+    /// truncates the logs (the checkpoint made them redundant).
+    ///
+    /// Durability model: an acknowledged write has reached the OS (it
+    /// survives a process kill); call [`ShardedDbLsh::sync_wal`] where
+    /// power-loss durability is required. Logging serializes inserts
+    /// fleet-wide for the length of one log append (id allocation and
+    /// the append must be atomic under the router mutex); removes only
+    /// serialize against their own shard.
+    pub fn enable_wal<P: AsRef<Path>>(mut self, dir: P) -> Result<Self, DbLshError> {
+        if self.wal.is_some() {
+            return Err(DbLshError::invalid("wal", "WAL is already enabled"));
+        }
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(|e| DbLshError::io("create", e))?;
+        let mut logs = Vec::with_capacity(self.shards.len());
+        for s in 0..self.shards.len() {
+            logs.push(Mutex::new(WalFile::create(
+                dir.join(format!("wal-{s}.dblshwal")),
+                FLEET_WAL_KIND,
+            )?));
+        }
+        self.wal = Some(FleetWal {
+            dir: dir.clone(),
+            logs,
+        });
+        self.save_dir(&dir)?;
+        Ok(self)
+    }
+
+    /// Whether write-ahead logging is on, and where it lives.
+    pub fn wal_dir(&self) -> Option<&Path> {
+        self.wal.as_ref().map(|w| w.dir.as_path())
+    }
+
+    /// fsync every shard's WAL — the power-loss durability point for
+    /// writes acknowledged since the last sync (appends alone are
+    /// process-crash durable only).
+    pub fn sync_wal(&self) -> Result<(), DbLshError> {
+        if let Some(wal) = &self.wal {
+            for log in &wal.logs {
+                log.lock().expect("wal mutex poisoned").sync()?;
+            }
+        }
+        Ok(())
     }
 
     /// Enable per-shard auto-compaction: after every successful remove
@@ -409,6 +506,10 @@ impl ShardedDbLsh {
         let Some(&(s, local)) = self.router().assign.get(id as usize) else {
             return false;
         };
+        if (s, local) == UNASSIGNED {
+            // A crash-recovery hole (allocated, never acknowledged).
+            return false;
+        }
         self.read_shard(s as usize).index.contains(local)
     }
 
@@ -444,24 +545,47 @@ impl ShardedDbLsh {
             router.least_loaded()
         };
         let mut shard = self.shards[s].write().expect("shard lock poisoned");
+        // The local id `DbLsh::insert` will assign is its current id
+        // bound (local external ids are dense), so the global mapping
+        // can be logged and published *before* the apply.
+        let local = shard.index.id_bound() as u32;
+        // Allocate the global id, log, and publish atomically under the
+        // router mutex (shard → router is the allowed lock order). The
+        // WAL append must sit inside this critical section: ids are
+        // acknowledged densely, so the log record claiming id `g` has
+        // to win the same race that hands out `g`. A failed append
+        // publishes nothing — no id is burnt, the caller sees the
+        // error, and the on-disk log was rolled back by `WalFile`.
+        let g = {
+            let mut router = self.router();
+            if router.assign.len() >= u32::MAX as usize {
+                return Err(DbLshError::CapacityExceeded {
+                    limit: u32::MAX as usize,
+                });
+            }
+            let g = router.assign.len() as u32;
+            if let Some(wal) = &self.wal {
+                wal.append(s, &walrec::encode_insert(g, point))?;
+            }
+            router.assign.push((s as u32, local));
+            g
+        };
+        // Apply under the shard write lock the mapping was published
+        // under: a concurrent remove can never observe the mapping
+        // before the point is queryable, and `len`/`check_invariants`
+        // (which read the router only after the shard locks are free
+        // or held shared) never see a count out of step with the
+        // shard's actual contents. The apply cannot fail here — the
+        // point is validated and capacity was checked — but if it ever
+        // did, the logged record makes recovery apply what the caller
+        // was told failed, which is the WAL's standard ambiguity for
+        // un-acknowledged writes.
         match shard.index.insert(point) {
-            Ok(local) => {
-                // Publish the global id and bump the live count while
-                // still holding the shard lock: a concurrent remove can
-                // never observe the mapping before the point is
-                // queryable, and `len`/`check_invariants` (which read
-                // the router only after the shard locks are free or
-                // held shared) never see a count out of step with the
-                // shard's actual contents.
-                let g = {
-                    let mut router = self.router();
-                    let g = router.assign.len() as u32;
-                    router.assign.push((s as u32, local));
-                    router.live[s] += 1;
-                    g
-                };
+            Ok(applied) => {
+                debug_assert_eq!(applied, local);
                 shard.global_of_local.push(g);
                 debug_assert_eq!(shard.global_of_local.len(), shard.index.id_bound());
+                self.router().live[s] += 1;
                 Ok(g)
             }
             Err(e) => Err(e),
@@ -477,10 +601,21 @@ impl ShardedDbLsh {
             let router = self.router();
             match router.assign.get(id as usize) {
                 None => return Err(DbLshError::UnknownId { id }),
+                // A crash-recovery hole: the id was allocated but its
+                // insert was torn from the WAL before acknowledgement.
+                Some(&entry) if entry == UNASSIGNED => return Err(DbLshError::UnknownId { id }),
                 Some(&(s, local)) => (s as usize, local),
             }
         };
         let mut shard = self.shards[s].write().expect("shard lock poisoned");
+        // Log before applying — but only removes that will actually
+        // flip a live point (the outcome is stable under the write
+        // lock), so replay never has to guess about no-ops.
+        if let Some(wal) = self.wal.as_ref() {
+            if shard.index.contains(local) {
+                wal.append(s, &walrec::encode_remove(id, local))?;
+            }
+        }
         let removed = shard.index.remove(local).map_err(|e| match e {
             DbLshError::UnknownId { .. } => DbLshError::UnknownId { id },
             other => other,
@@ -701,9 +836,15 @@ impl ShardedDbLsh {
         let router = self.router();
         assert_eq!(router.live.len(), guards.len(), "live table size");
         let total_ids: usize = guards.iter().map(|g| g.index.id_bound()).sum();
+        // Crash-recovery holes (allocated but never-acknowledged ids)
+        // sit in `assign` as sentinels and belong to no shard.
+        let assigned = router
+            .assign
+            .iter()
+            .filter(|&&entry| entry != UNASSIGNED)
+            .count();
         assert_eq!(
-            router.assign.len(),
-            total_ids,
+            assigned, total_ids,
             "assign table out of step with shard id spaces"
         );
         for (s, guard) in guards.iter().enumerate() {
@@ -765,6 +906,10 @@ impl ShardedDbLsh {
         let policy = self.compaction.unwrap_or_default();
         meta.put_f64(policy.dead_fraction);
         meta.put_u64(policy.min_dead_rows as u64);
+        // Trailing optional field (readers check `remaining()`, so
+        // pre-WAL manifests still parse): whether WAL files accompany
+        // this snapshot and must be replayed by `load_dir`.
+        meta.put_u8(u8::from(self.wal.is_some()));
         w.section(*b"META", meta);
         let mut glob = SectionBuf::new();
         for guard in &guards {
@@ -778,7 +923,23 @@ impl ShardedDbLsh {
                 .index
                 .save_file(dir.join(format!("shard-{s}.dblsh")))?;
         }
-        w.write_file(dir.join("manifest.dblsh"))
+        w.write_file(dir.join("manifest.dblsh"))?;
+
+        // The manifest commit makes every logged record redundant:
+        // truncate the WALs while the shard read locks are still held
+        // (writers log under a shard *write* lock, so nothing can
+        // slip a record in between the snapshot cut and the truncate).
+        // A crash in between is benign — replay is idempotent against
+        // the newer snapshot (pre-checkpoint inserts are skipped by id,
+        // re-removes are no-ops). Checkpointing into a directory other
+        // than the WAL's leaves the logs alone: that snapshot is a
+        // copy, not the recovery image the logs extend.
+        if let Some(wal) = self.wal.as_ref().filter(|w| w.same_dir(dir)) {
+            for log in &wal.logs {
+                log.lock().expect("wal mutex poisoned").truncate()?;
+            }
+        }
+        Ok(())
     }
 
     /// Restore a fleet saved by [`ShardedDbLsh::save_dir`]: load every
@@ -808,6 +969,8 @@ impl ShardedDbLsh {
             dead_fraction: meta.get_f64()?,
             min_dead_rows: meta.get_len()?,
         };
+        // Optional trailing field — absent in pre-WAL manifests.
+        let wal_enabled = meta.remaining() > 0 && meta.get_u8()? != 0;
         meta.finish()?;
         if shard_count == 0 {
             return Err(DbLshError::corrupt("manifest names zero shards"));
@@ -857,21 +1020,92 @@ impl ShardedDbLsh {
         }
         let params = params.expect("at least one shard");
 
-        // Rebuild the router: the shards' id tables must tile the global
-        // id space exactly.
-        let total: usize = tables.iter().map(Vec::len).sum();
-        let mut assign = vec![(u32::MAX, u32::MAX); total];
+        // Crash recovery: replay each shard's WAL tail on top of its
+        // snapshot. The snapshot covers global ids [0, base_total);
+        // records below that bound predate the checkpoint (a crash hit
+        // between the manifest commit and the log truncation) and are
+        // skipped — replay is idempotent. Torn final records were
+        // already dropped (and physically truncated) by `WalFile::open`;
+        // they were never acknowledged.
+        let base_total: usize = tables.iter().map(Vec::len).sum();
+        let wal = if wal_enabled {
+            let mut logs = Vec::with_capacity(shard_count);
+            for (s, lock) in shards.iter_mut().enumerate() {
+                let (log, replay) =
+                    WalFile::open(dir.join(format!("wal-{s}.dblshwal")), FLEET_WAL_KIND)?;
+                let shard = lock.get_mut().expect("fresh lock");
+                for (i, rec) in replay.records.iter().enumerate() {
+                    let fail = |e: DbLshError| {
+                        DbLshError::corrupt(format!("replaying WAL record {i} of shard {s}: {e}"))
+                    };
+                    match walrec::decode(rec)? {
+                        WalOp::Insert { global, point } => {
+                            if (global as usize) < base_total {
+                                continue; // already in the snapshot
+                            }
+                            let local = shard.index.insert(&point).map_err(fail)?;
+                            debug_assert_eq!(local as usize + 1, shard.index.id_bound());
+                            shard.global_of_local.push(global);
+                        }
+                        WalOp::Remove { global: _, local } => {
+                            if (local as usize) >= shard.index.id_bound() {
+                                return Err(fail(DbLshError::UnknownId { id: local }));
+                            }
+                            // Ok(false) = logged before the checkpoint
+                            // that already reflects it; a no-op.
+                            shard.index.remove(local).map_err(fail)?;
+                        }
+                    }
+                }
+                logs.push(Mutex::new(log));
+            }
+            Some(FleetWal {
+                dir: dir.to_path_buf(),
+                logs,
+            })
+        } else {
+            None
+        };
+
+        // Rebuild the router from the (replayed) shards' id tables.
+        // Without a WAL they must tile the global id space exactly; with
+        // one, holes past the snapshot bound are legal — a torn tail can
+        // lose shard A's final (never-acknowledged) insert while a later
+        // id from shard B survives — and stay permanently dead.
+        let tables: Vec<Vec<u32>> = shards
+            .iter_mut()
+            .map(|l| l.get_mut().expect("fresh lock").global_of_local.clone())
+            .collect();
+        let claimed: usize = tables.iter().map(Vec::len).sum();
+        let total = if wal_enabled {
+            tables
+                .iter()
+                .flat_map(|t| t.iter())
+                .map(|&g| g as usize + 1)
+                .max()
+                .unwrap_or(0)
+        } else {
+            claimed
+        };
+        let mut assign = vec![UNASSIGNED; total];
         for (s, table) in tables.iter().enumerate() {
             for (local, &g) in table.iter().enumerate() {
                 let slot = assign.get_mut(g as usize).ok_or_else(|| {
                     DbLshError::corrupt(format!("global id {g} exceeds the fleet id space {total}"))
                 })?;
-                if *slot != (u32::MAX, u32::MAX) {
+                if *slot != UNASSIGNED {
                     return Err(DbLshError::corrupt(format!(
                         "global id {g} is claimed by two shards"
                     )));
                 }
                 *slot = (s as u32, local as u32);
+            }
+        }
+        for (g, slot) in assign.iter().enumerate() {
+            if *slot == UNASSIGNED && g < base_total {
+                return Err(DbLshError::corrupt(format!(
+                    "global id {g} inside the snapshot is claimed by no shard"
+                )));
             }
         }
         let live: Vec<usize> = shards
@@ -887,6 +1121,7 @@ impl ShardedDbLsh {
             dim,
             compaction: has_compaction.then_some(compaction),
             compactions: AtomicU64::new(0),
+            wal,
         })
     }
 }
@@ -1224,5 +1459,224 @@ mod tests {
         ));
         let _ = std::fs::remove_dir_all(dir);
         let _ = std::fs::remove_dir_all(donor);
+    }
+
+    /// Assert two fleets answer byte-identically (ids, distances and
+    /// stats) over a probe set, and agree on membership.
+    fn assert_fleets_identical(a: &ShardedDbLsh, b: &ShardedDbLsh, data: &Dataset) {
+        assert_eq!(a.len(), b.len());
+        let bound = a.router().assign.len() as u32;
+        assert_eq!(bound, b.router().assign.len() as u32);
+        for g in 0..bound {
+            assert_eq!(a.contains(g), b.contains(g), "membership of id {g}");
+        }
+        for qi in (0..data.len()).step_by(data.len().div_ceil(7).max(1)) {
+            let ra = a.k_ann(data.point(qi), 9).unwrap();
+            let rb = b.k_ann(data.point(qi), 9).unwrap();
+            assert_eq!(ra.ids(), rb.ids(), "query {qi}");
+            assert_eq!(ra.neighbors, rb.neighbors, "query {qi}");
+            assert_eq!(ra.stats, rb.stats, "query {qi}");
+        }
+    }
+
+    #[test]
+    fn wal_recovery_replays_every_acknowledged_write() {
+        let data = cloud(200, 8, 41);
+        let dir = temp_dir("wal-replay");
+        let idx = ShardedDbLsh::build(&data, &builder(), 3, ShardPolicy::RoundRobin)
+            .unwrap()
+            .enable_wal(&dir)
+            .unwrap();
+        // Mutate well past the checkpoint WITHOUT saving again — these
+        // writes live only in the WAL.
+        for id in (0..80u32).step_by(4) {
+            assert!(idx.remove(id).unwrap());
+        }
+        for i in 0..30 {
+            idx.insert(&[i as f32 * 0.25; 8]).unwrap();
+        }
+        assert!(idx.remove(205).unwrap()); // remove a WAL-inserted point
+        idx.check_invariants();
+        // The never-faulted reference: the same op stream, no crash.
+        let reference = ShardedDbLsh::build(&data, &builder(), 3, ShardPolicy::RoundRobin).unwrap();
+        for id in (0..80u32).step_by(4) {
+            reference.remove(id).unwrap();
+        }
+        for i in 0..30 {
+            reference.insert(&[i as f32 * 0.25; 8]).unwrap();
+        }
+        reference.remove(205).unwrap();
+        // "Crash": drop the in-memory fleet, recover from disk — twice;
+        // a read-only recovery must not consume or corrupt the log.
+        for _ in 0..2 {
+            let loaded = ShardedDbLsh::load_dir(&dir).unwrap();
+            loaded.check_invariants();
+            assert_fleets_identical(&loaded, &reference, &data);
+        }
+        // Recovery keeps the id sequence: the next insert continues
+        // densely, on both sides.
+        let loaded = ShardedDbLsh::load_dir(&dir).unwrap();
+        assert_eq!(
+            loaded.insert(&[9.9; 8]).unwrap(),
+            reference.insert(&[9.9; 8]).unwrap()
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_dir_truncates_the_wal() {
+        let data = cloud(120, 8, 43);
+        let dir = temp_dir("wal-truncate");
+        let idx = ShardedDbLsh::build(&data, &builder(), 2, ShardPolicy::RoundRobin)
+            .unwrap()
+            .enable_wal(&dir)
+            .unwrap();
+        for i in 0..20 {
+            idx.insert(&[i as f32; 8]).unwrap();
+        }
+        idx.save_dir(&dir).unwrap();
+        // Checkpoint committed → logs are header-only again.
+        for s in 0..2 {
+            let len = std::fs::metadata(dir.join(format!("wal-{s}.dblshwal")))
+                .unwrap()
+                .len();
+            assert_eq!(
+                len,
+                dblsh_data::wal::WAL_HEADER_LEN,
+                "wal-{s} not truncated"
+            );
+        }
+        // Post-checkpoint traffic logs again and recovers.
+        idx.remove(5).unwrap();
+        let loaded = ShardedDbLsh::load_dir(&dir).unwrap();
+        loaded.check_invariants();
+        assert_eq!(loaded.len(), idx.len());
+        assert!(!loaded.contains(5));
+        assert!(loaded.contains(130));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wal_torn_tail_loses_only_the_unacknowledged_write() {
+        let data = cloud(100, 8, 47);
+        let dir = temp_dir("wal-torn");
+        let idx = ShardedDbLsh::build(&data, &builder(), 2, ShardPolicy::RoundRobin)
+            .unwrap()
+            .enable_wal(&dir)
+            .unwrap();
+        let a = idx.insert(&[1.0; 8]).unwrap(); // shard 0 (least loaded tie)
+        let b = idx.insert(&[2.0; 8]).unwrap(); // the other shard
+        drop(idx);
+        // Tear the tail of the log holding `a`'s insert: find it by
+        // decoding each shard's log.
+        let mut torn_shard = None;
+        for s in 0..2 {
+            let bytes = std::fs::read(dir.join(format!("wal-{s}.dblshwal"))).unwrap();
+            let replay = dblsh_data::wal::replay_wal(&bytes[..], FLEET_WAL_KIND).unwrap();
+            if replay.records.len() == 1 {
+                if let WalOp::Insert { global, .. } = walrec::decode(&replay.records[0]).unwrap() {
+                    if global == a {
+                        // Chop 3 bytes off the final record.
+                        std::fs::write(
+                            dir.join(format!("wal-{s}.dblshwal")),
+                            &bytes[..bytes.len() - 3],
+                        )
+                        .unwrap();
+                        torn_shard = Some(s);
+                    }
+                }
+            }
+        }
+        let torn = torn_shard.expect("one shard logged exactly a's insert");
+        let loaded = ShardedDbLsh::load_dir(&dir).unwrap();
+        loaded.check_invariants();
+        // `a` is a hole: allocated, never materialized, permanently dead.
+        assert!(!loaded.contains(a), "torn insert must not survive");
+        assert!(matches!(
+            loaded.remove(a),
+            Err(DbLshError::UnknownId { .. })
+        ));
+        // `b` (acknowledged, in the *other* shard's intact log) survives.
+        assert!(loaded.contains(b), "acknowledged write lost");
+        assert_eq!(loaded.len(), 101);
+        // Ids are never recycled: the hole stays dead.
+        let next = loaded.insert(&[3.0; 8]).unwrap();
+        assert_eq!(next, b + 1);
+        assert!(!loaded.contains(a));
+        // The torn log was physically truncated on open, so a fresh
+        // recovery sees a clean prefix, not the same torn tail.
+        let bytes = std::fs::read(dir.join(format!("wal-{torn}.dblshwal"))).unwrap();
+        let replay = dblsh_data::wal::replay_wal(&bytes[..], FLEET_WAL_KIND).unwrap();
+        assert!(!replay.torn);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wal_bit_flip_is_a_typed_recovery_error() {
+        let data = cloud(60, 8, 53);
+        let dir = temp_dir("wal-flip");
+        let idx = ShardedDbLsh::build(&data, &builder(), 2, ShardPolicy::RoundRobin)
+            .unwrap()
+            .enable_wal(&dir)
+            .unwrap();
+        idx.insert(&[1.5; 8]).unwrap();
+        idx.insert(&[2.5; 8]).unwrap();
+        drop(idx);
+        // Flip a byte inside the first record's payload of a non-empty
+        // log: recovery must refuse, not replay damaged bytes.
+        let path = (0..2)
+            .map(|s| dir.join(format!("wal-{s}.dblshwal")))
+            .find(|p| std::fs::metadata(p).unwrap().len() > dblsh_data::wal::WAL_HEADER_LEN)
+            .expect("some log holds a record");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let flip_at = dblsh_data::wal::WAL_HEADER_LEN as usize + 10;
+        bytes[flip_at] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            ShardedDbLsh::load_dir(&dir),
+            Err(DbLshError::CorruptSnapshot { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wal_replay_after_compaction_preserves_local_ids() {
+        // Compaction relabels *internal* rows but preserves shard-local
+        // external ids, so a WAL remove logged before a compaction must
+        // still resolve after recovery replays it onto the compacted
+        // snapshot — and vice versa: removes logged after a compaction
+        // replay cleanly onto a snapshot taken before it.
+        let data = cloud(300, 8, 59);
+        let dir = temp_dir("wal-compact");
+        let idx = ShardedDbLsh::build(&data, &builder(), 2, ShardPolicy::RoundRobin)
+            .unwrap()
+            .with_compaction_policy(CompactionPolicy {
+                dead_fraction: 0.2,
+                min_dead_rows: 8,
+            })
+            .enable_wal(&dir)
+            .unwrap();
+        let reference = ShardedDbLsh::build(&data, &builder(), 2, ShardPolicy::RoundRobin)
+            .unwrap()
+            .with_compaction_policy(CompactionPolicy {
+                dead_fraction: 0.2,
+                min_dead_rows: 8,
+            });
+        // Interleave removes (tripping auto-compaction) with inserts.
+        for i in 0..200u32 {
+            if i % 2 == 0 {
+                assert_eq!(idx.remove(i).unwrap(), reference.remove(i).unwrap());
+            } else {
+                assert_eq!(
+                    idx.insert(&[i as f32 * 0.1; 8]).unwrap(),
+                    reference.insert(&[i as f32 * 0.1; 8]).unwrap()
+                );
+            }
+        }
+        assert!(idx.compaction_count() > 0, "compaction never fired");
+        let loaded = ShardedDbLsh::load_dir(&dir).unwrap();
+        loaded.check_invariants();
+        assert_fleets_identical(&loaded, &reference, &data);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }
