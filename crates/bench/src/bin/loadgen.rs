@@ -28,19 +28,29 @@
 //! concurrent client connections (4), `--pipeline` in-flight requests
 //! per connection (8), `--k` neighbors (10), `--n` self-host points
 //! (20k), `--dim` (16), `--shards` (4), `--workers` (4), `--queue`
-//! engine queue capacity (1024), `--seed` (42), `--record`/`--replay`
-//! query-log fvecs path, `--json` BENCH artifact path.
+//! engine queue capacity (1024), `--seed` (42), `--trace` set
+//! `SearchOptions::trace` on every request so the server's per-stage
+//! histograms cover the whole run (self-host mode then asserts the
+//! stage sums account for the engine-observed end-to-end latency to
+//! within 10%), `--record`/`--replay` query-log fvecs path, `--json`
+//! BENCH artifact path, `--metrics-out` path for the raw Prometheus
+//! scrape (CI diffs its series structure against a committed golden).
+//!
+//! After the drive the harness scrapes the server's `Metrics` opcode
+//! (Prometheus exposition) over the same wire and folds the per-stage
+//! breakdown into the report and the `--json` artifact.
 
 use std::sync::Arc;
 use std::time::Instant;
 
 use dblsh_bench::json::{obj, write_json_file};
-use dblsh_core::{DbLsh, DbLshBuilder};
+use dblsh_core::{DbLsh, DbLshBuilder, SearchOptions};
 use dblsh_data::io::{load_fvecs_file, write_fvecs};
 use dblsh_data::synthetic::{gaussian_mixture, MixtureConfig};
 use dblsh_data::Dataset;
-use dblsh_net::{DbLshClient, DbLshServer, Request, Response, ServerConfig};
+use dblsh_net::{DbLshClient, DbLshServer, MetricsFormat, Request, Response, ServerConfig};
 use dblsh_serve::{Engine, EngineConfig, LatencyHistogram, ShardPolicy, ShardedDbLsh};
+use dblsh_telemetry::Stage;
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
@@ -57,9 +67,11 @@ struct Args {
     workers: usize,
     queue: usize,
     seed: u64,
+    trace: bool,
     record: Option<String>,
     replay: Option<String>,
     json: Option<String>,
+    metrics_out: Option<String>,
 }
 
 impl Default for Args {
@@ -76,11 +88,25 @@ impl Default for Args {
             workers: 4,
             queue: 1024,
             seed: 42,
+            trace: false,
             record: None,
             replay: None,
             json: None,
+            metrics_out: None,
         }
     }
+}
+
+/// Value of one Prometheus exposition series: the first line that is
+/// exactly `series` followed by a space and a number.
+fn prom_value(text: &str, series: &str) -> Option<f64> {
+    text.lines().find_map(|line| {
+        line.strip_prefix(series)?
+            .strip_prefix(' ')?
+            .trim()
+            .parse()
+            .ok()
+    })
 }
 
 /// Parse `"20k"` / `"1m"` / plain integers.
@@ -117,9 +143,11 @@ fn parse_args() -> Args {
             "--workers" => args.workers = parse_count(&value("--workers")),
             "--queue" => args.queue = parse_count(&value("--queue")),
             "--seed" => args.seed = value("--seed").parse().expect("seed"),
+            "--trace" => args.trace = true,
             "--record" => args.record = Some(value("--record")),
             "--replay" => args.replay = Some(value("--replay")),
             "--json" => args.json = Some(value("--json")),
+            "--metrics-out" => args.metrics_out = Some(value("--metrics-out")),
             other => panic!("unknown flag {other:?} (see the module docs)"),
         }
     }
@@ -261,6 +289,7 @@ fn main() {
             let log = Arc::clone(&log);
             let k = args.k;
             let pipeline = args.pipeline.max(1);
+            let trace = args.trace;
             std::thread::spawn(move || {
                 let mut client = DbLshClient::connect(&addr).expect("loadgen connect");
                 let mut hist = LatencyHistogram::new();
@@ -281,7 +310,10 @@ fn main() {
                         .submit(&Request::Knn {
                             query: log.point(qi).to_vec(),
                             k: k as u32,
-                            opts: Default::default(),
+                            opts: SearchOptions {
+                                trace,
+                                ..Default::default()
+                            },
                         })
                         .expect("loadgen submit");
                     in_flight.push((id, Instant::now()));
@@ -328,6 +360,53 @@ fn main() {
         engine_stats.queue_depth,
         engine_stats.p99_latency_us,
     );
+
+    // Scrape the Metrics opcode over the same wire and pull out the
+    // per-stage latency breakdown the traced requests fed.
+    let prom = probe
+        .metrics(MetricsFormat::Prometheus)
+        .expect("metrics over the wire");
+    if let Some(path) = &args.metrics_out {
+        std::fs::write(path, &prom).expect("write --metrics-out scrape");
+        println!(
+            "wrote {path} ({} bytes of Prometheus exposition)",
+            prom.len()
+        );
+    }
+    let request_sum_s = prom_value(&prom, "dblsh_request_seconds_sum").unwrap_or(0.0);
+    let mut stage_sums: Vec<(&'static str, f64)> = Vec::new();
+    let mut stage_total_s = 0.0f64;
+    for stage in Stage::ALL {
+        let series = format!("dblsh_stage_seconds_sum{{stage=\"{}\"}}", stage.name());
+        let v = prom_value(&prom, &series).unwrap_or(0.0);
+        stage_total_s += v;
+        stage_sums.push((stage.name(), v));
+    }
+    println!("telemetry: engine request_seconds_sum {request_sum_s:.4} s; per-stage sums:");
+    for (name, v) in &stage_sums {
+        println!(
+            "  {name:>11}: {v:>9.4} s ({:5.1}%)",
+            100.0 * v / stage_total_s.max(1e-12)
+        );
+    }
+    if args.trace && args.addr.is_none() {
+        // Every loadgen request was traced, and `QueryTrace::close`
+        // charges unattributed time to the reply stage — so the stage
+        // histograms must account for the engine-observed end-to-end
+        // latency. The only slack is the lone untraced parity probe.
+        let rel = (stage_total_s - request_sum_s).abs() / request_sum_s.max(1e-12);
+        assert!(
+            rel <= 0.10,
+            "per-stage sums ({stage_total_s:.4} s) diverge from end-to-end \
+             latency ({request_sum_s:.4} s) by {:.1}%",
+            rel * 100.0
+        );
+        println!(
+            "trace closure: stage sums {stage_total_s:.4} s vs end-to-end \
+             {request_sum_s:.4} s ({:+.2}%)",
+            100.0 * (stage_total_s - request_sum_s) / request_sum_s.max(1e-12)
+        );
+    }
     drop(probe);
     if let Some(h) = hosted {
         let server_stats = h.server.shutdown();
@@ -371,8 +450,20 @@ fn main() {
             ("p50_latency_us", p50.into()),
             ("p99_latency_us", p99.into()),
             ("engine_searches", engine_stats.searches.into()),
+            ("engine_knn_requests", engine_stats.knn_requests.into()),
+            ("engine_rcnn_requests", engine_stats.rcnn_requests.into()),
             ("engine_rejected", engine_stats.rejected.into()),
             ("engine_p99_latency_us", engine_stats.p99_latency_us.into()),
+            ("engine_uptime_secs", engine_stats.uptime_secs.into()),
+            ("trace", args.trace.into()),
+            ("engine_request_seconds_sum", request_sum_s.into()),
+            (
+                "stage_seconds_sum",
+                obj(stage_sums
+                    .iter()
+                    .map(|(name, v)| (*name, (*v).into()))
+                    .collect()),
+            ),
         ]);
         write_json_file(path, &doc).expect("write --json artifact");
         println!("wrote {path}");

@@ -214,6 +214,7 @@ fn main() {
     let mut qps_by_workers = Vec::new();
     let mut compactions_by_workers: Vec<(usize, u64)> = Vec::new();
     let mut json_rows: Vec<dblsh_bench::json::Json> = Vec::new();
+    let (mut wal_truncations_total, mut panics_total) = (0u64, 0u64);
     for &workers in &sweep {
         // Fresh index per sweep: identical starting state, so worker
         // count is the only variable. Any churn in the mix runs under
@@ -253,6 +254,17 @@ fn main() {
         let writes_ok = insert_tickets.into_iter().all(|t| t.wait().is_ok())
             && remove_tickets.into_iter().all(|t| t.wait().is_ok());
         let elapsed = started.elapsed().as_secs_f64();
+        // Scrape the registry while the engine is live: the exposition
+        // must cover the whole workload mix, not just searches.
+        let prom = engine.render_metrics_prometheus();
+        for needle in [
+            "dblsh_requests_total{op=\"knn\"}",
+            "dblsh_requests_total{op=\"insert\"}",
+            "dblsh_requests_total{op=\"remove\"}",
+            "dblsh_request_seconds_count",
+        ] {
+            assert!(prom.contains(needle), "scrape is missing {needle:?}");
+        }
         let stats = engine.shutdown();
         assert_eq!(stats.errors, 0, "workload produced errors");
         assert_eq!(answered as u64, stats.searches, "lost search answers");
@@ -264,6 +276,8 @@ fn main() {
         let search_qps = stats.searches as f64 / elapsed;
         qps_by_workers.push((workers, search_qps));
         compactions_by_workers.push((workers, index.compaction_count()));
+        wal_truncations_total += index.wal_truncations_recovered();
+        panics_total += stats.errors;
         println!(
             "{:>7} {:>10.0} {:>10.0} {:>9.1} {:>9.1} {:>9.1} {:>10.1} {:>7} {:>7.2}x",
             workers,
@@ -290,6 +304,11 @@ fn main() {
             ("errors", stats.errors.into()),
             ("rejected", stats.rejected.into()),
             ("compactions", index.compaction_count().into()),
+            (
+                "wal_truncations_recovered",
+                index.wal_truncations_recovered().into(),
+            ),
+            ("scrape_prometheus_bytes", prom.len().into()),
         ]));
     }
     if removes > 0 {
@@ -298,6 +317,20 @@ fn main() {
             compactions_by_workers
         );
     }
+    // Fault-path counters: this harness injects no faults, so every one
+    // of these must stay zero — a non-zero value here means a fault
+    // path fired under a clean workload. The torture harness is the one
+    // that drives them non-zero on purpose.
+    println!(
+        "fault path: {wal_truncations_total} WAL truncations recovered, \
+         {panics_total} worker panics contained, 0 replica quarantines \
+         (no faults injected)"
+    );
+    assert_eq!(
+        (wal_truncations_total, panics_total),
+        (0, 0),
+        "fault-path counters moved without fault injection"
+    );
     if let Some(path) = &args.json {
         let doc = dblsh_bench::json::obj(vec![
             ("bench", "saturate".into()),

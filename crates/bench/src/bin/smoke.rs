@@ -3,9 +3,12 @@
 //! (shared projection store, flat tree arenas, locality-relabel state)
 //! plus the query-latency split (`knn_10` mean and the per-query
 //! verification time inside it) and the serving layer's sharded
-//! vs unsharded `knn_10` numbers with an engine QPS figure. Fails
-//! loudly — CI runs this so layout, recall, hot-path or serving
-//! regressions surface before any full experiment does.
+//! vs unsharded `knn_10` numbers with an engine QPS figure. The engine
+//! run finishes by binding the TCP front door, scraping the `Metrics`
+//! opcode in both exposition formats over a real socket, and writing
+//! the `BENCH_serve.json` artifact CI uploads. Fails loudly — CI runs
+//! this so layout, recall, hot-path or serving regressions surface
+//! before any full experiment does.
 //!
 //! Run: `cargo run -p dblsh-bench --release --bin smoke`
 
@@ -294,13 +297,13 @@ fn main() {
     );
 
     const REPEATS: usize = 5;
-    let engine = Engine::start(
+    let engine = Arc::new(Engine::start(
         Arc::new(sharded),
         EngineConfig {
             workers: SHARDS,
             queue_capacity: 256,
         },
-    );
+    ));
     let estart = Instant::now();
     let tickets: Vec<_> = (0..nq * REPEATS)
         .map(|j| engine.search(env.queries.point(j % nq), 10))
@@ -313,10 +316,69 @@ fn main() {
     // construction).
     let live = engine.stats();
     let elapsed = estart.elapsed().as_secs_f64();
-    let stats = engine.shutdown();
-    assert_eq!(stats.searches as usize, nq * REPEATS);
+
+    // Scrapeable surface: the TCP front door over the same engine. One
+    // traced and one untraced query must answer identically, and both
+    // exposition formats must render the full metric catalogue.
+    let server = dblsh_net::DbLshServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&engine),
+        dblsh_net::ServerConfig::default(),
+    )
+    .expect("bind smoke server");
+    let mut client = dblsh_net::DbLshClient::connect(&server.local_addr().to_string())
+        .expect("connect smoke client");
+    let q0 = env.queries.point(0);
+    let plain = client.knn(q0, 10).expect("untraced knn over the wire");
+    let traced = client
+        .knn_with(
+            q0,
+            10,
+            SearchOptions {
+                trace: true,
+                ..Default::default()
+            },
+        )
+        .expect("traced knn over the wire");
+    assert_eq!(
+        plain.neighbors, traced.neighbors,
+        "tracing changed an answer"
+    );
+    assert_eq!(plain.stats, traced.stats, "tracing changed query stats");
+    let prom = client
+        .metrics(dblsh_net::MetricsFormat::Prometheus)
+        .expect("prometheus scrape");
+    for needle in [
+        "# TYPE dblsh_requests_total counter",
+        "dblsh_requests_total{op=\"knn\"}",
+        "# TYPE dblsh_request_seconds summary",
+        "dblsh_stage_seconds_sum{stage=\"tree_probe\"}",
+        "dblsh_queue_depth",
+        "dblsh_uptime_seconds",
+    ] {
+        assert!(prom.contains(needle), "scrape is missing {needle:?}");
+    }
+    let json_expo = client
+        .metrics(dblsh_net::MetricsFormat::Json)
+        .expect("json scrape");
+    assert!(
+        json_expo.contains("\"kind\":\"histogram\""),
+        "JSON exposition lost its histograms"
+    );
+    let wire_stats = client.stats().expect("stats over the wire");
+    drop(client);
+    server.shutdown();
+
+    let stats = Arc::try_unwrap(engine)
+        .ok()
+        .expect("server released its engine handle")
+        .shutdown();
+    assert_eq!(stats.searches as usize, nq * REPEATS + 2);
+    assert_eq!(stats.knn_requests, stats.searches);
+    assert_eq!(stats.rcnn_requests, 0);
     assert_eq!(stats.errors, 0);
     assert_eq!(stats.rejected, 0, "blocking submission never rejects");
+    assert!(stats.uptime_secs > 0.0 && stats.started_at_unix > 0);
     println!(
         "engine ({SHARDS} workers): {:.0} QPS aggregate over {} requests, \
          p50 {:.1} us, p99 {:.1} us, {:.0} candidates/query, \
@@ -330,6 +392,32 @@ fn main() {
         live.queue_depth,
         stats.rejected,
     );
+    let serve_doc = dblsh_bench::json::obj(vec![
+        ("bench", "serve".into()),
+        ("shards", SHARDS.into()),
+        ("workers", SHARDS.into()),
+        ("requests", stats.searches.into()),
+        ("knn_requests", stats.knn_requests.into()),
+        ("rcnn_requests", stats.rcnn_requests.into()),
+        ("qps", (stats.searches as f64 / elapsed).into()),
+        ("mean_latency_us", stats.mean_latency_us.into()),
+        ("p50_latency_us", stats.p50_latency_us.into()),
+        ("p99_latency_us", stats.p99_latency_us.into()),
+        ("errors", stats.errors.into()),
+        ("rejected", stats.rejected.into()),
+        ("uptime_secs", stats.uptime_secs.into()),
+        ("wire_stats_searches_at_scrape", wire_stats.searches.into()),
+        (
+            "scrape",
+            dblsh_bench::json::obj(vec![
+                ("prometheus_bytes", prom.len().into()),
+                ("json_bytes", json_expo.len().into()),
+            ]),
+        ),
+    ]);
+    dblsh_bench::json::write_json_file("BENCH_serve.json", &serve_doc)
+        .expect("write BENCH_serve.json");
+    println!("wrote BENCH_serve.json (serving + telemetry smoke artifact)");
     // Churn sanity: tombstones must be visible as dead bytes, and one
     // compact() must reclaim them all without losing a live answer.
     let mut churned = index;

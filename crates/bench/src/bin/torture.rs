@@ -169,8 +169,10 @@ fn assert_fleets_equal(got: &ShardedDbLsh, want: &ShardedDbLsh, data: &Dataset, 
 
 /// Phase A: kill the process at every WAL record boundary (and inside
 /// a sample of records) and prove recovery lands on the exact
-/// acknowledged prefix.
-fn phase_fleet_crash_sweep(args: &Args) {
+/// acknowledged prefix. Returns the total
+/// [`ShardedDbLsh::wal_truncations_recovered`] across the torn-tail
+/// loads — the fault counter this phase must drive non-zero.
+fn phase_fleet_crash_sweep(args: &Args) -> u64 {
     let start = Instant::now();
     let ops_count = if args.quick { 16 } else { 48 };
     let byte_sweeps = if args.quick { 2 } else { 4 };
@@ -216,6 +218,7 @@ fn phase_fleet_crash_sweep(args: &Args) {
     let crash = workdir("fleet-crash");
     let mut boundaries = 0usize;
     let mut torn = 0usize;
+    let mut truncations = 0u64;
     for t in 0..=ops.len() {
         copy_dir(&live, &crash);
         for (p, len) in wal_paths.iter().zip(&sizes[t]) {
@@ -223,6 +226,11 @@ fn phase_fleet_crash_sweep(args: &Args) {
         }
         let recovered = ShardedDbLsh::load_dir(&crash).expect("load crashed fleet");
         assert_fleets_equal(&recovered, &reference, &data, &format!("boundary {t}"));
+        assert_eq!(
+            recovered.wal_truncations_recovered(),
+            0,
+            "a record-boundary crash has no torn tail to truncate (boundary {t})"
+        );
         boundaries += 1;
 
         if t < ops.len() && t % sweep_every == 0 {
@@ -244,6 +252,12 @@ fn phase_fleet_crash_sweep(args: &Args) {
                     &data,
                     &format!("torn tail op {t} +{extra}B"),
                 );
+                let recs = recovered.wal_truncations_recovered();
+                assert!(
+                    recs >= 1,
+                    "torn tail op {t} +{extra}B must report a recovered WAL truncation"
+                );
+                truncations += recs;
                 torn += 1;
             }
         }
@@ -256,9 +270,11 @@ fn phase_fleet_crash_sweep(args: &Args) {
         let _ = std::fs::remove_dir_all(dir);
     }
     println!(
-        "phase A  fleet crash sweep     {boundaries} boundaries + {torn} torn tails exact  ({:.1?})",
+        "phase A  fleet crash sweep     {boundaries} boundaries + {torn} torn tails exact, \
+         {truncations} WAL truncations recovered  ({:.1?})",
         start.elapsed()
     );
+    truncations
 }
 
 /// Lean parity check of a replica group against a plain reference.
@@ -346,8 +362,9 @@ fn phase_wal_io_faults(args: &Args) {
 }
 
 /// Phase C: kill/panic replicas mid-write on a seeded plan while
-/// traffic flows; the group must converge back to parity.
-fn phase_replica_torture(args: &Args) {
+/// traffic flows; the group must converge back to parity. Returns the
+/// quarantine count — the fault counter this phase must drive non-zero.
+fn phase_replica_torture(args: &Args) -> u64 {
     let start = Instant::now();
     let steps = if args.quick { 120 } else { 400 };
     let data = mixture(150, args.seed ^ 0xC);
@@ -447,11 +464,13 @@ fn phase_replica_torture(args: &Args) {
         stats.readmissions,
         start.elapsed()
     );
+    stats.quarantines
 }
 
 /// Phase D: panic engine workers mid-request; the pool survives and
-/// later answers are unchanged.
-fn phase_worker_panics(args: &Args) {
+/// later answers are unchanged. Returns the contained-panic count — the
+/// fault counter this phase must drive non-zero.
+fn phase_worker_panics(args: &Args) -> u64 {
     let start = Instant::now();
     let panics = if args.quick { 4 } else { 12 };
     let data = mixture(400, args.seed ^ 0xD);
@@ -492,6 +511,7 @@ fn phase_worker_panics(args: &Args) {
         "phase D  worker panics         {panics} panics contained, {searches} searches exact  ({:.1?})",
         start.elapsed()
     );
+    stats.errors
 }
 
 /// Injected panics are caught at isolation boundaries by design; keep
@@ -522,9 +542,19 @@ fn main() {
         args.seed,
         if args.quick { "quick" } else { "full" }
     );
-    phase_fleet_crash_sweep(&args);
+    let truncations = phase_fleet_crash_sweep(&args);
     phase_wal_io_faults(&args);
-    phase_replica_torture(&args);
-    phase_worker_panics(&args);
+    let quarantines = phase_replica_torture(&args);
+    let panics = phase_worker_panics(&args);
+    // Every injected fault class must leave a visible footprint in its
+    // counter — a zero here means a fault path went dark, not that the
+    // system got lucky.
+    println!(
+        "fault-path counters: {truncations} WAL truncations recovered, \
+         {quarantines} replica quarantines, {panics} worker panics contained"
+    );
+    assert!(truncations > 0, "torn-tail sweep recovered no truncations");
+    assert!(quarantines > 0, "replica torture quarantined nothing");
+    assert!(panics > 0, "worker-panic phase contained nothing");
     println!("torture: all phases exact in {:.1?}", start.elapsed());
 }

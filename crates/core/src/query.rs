@@ -46,12 +46,16 @@ use std::cell::RefCell;
 use std::time::Instant;
 
 use dblsh_data::error::check_query;
-use dblsh_data::kernels::{canonical_verify_keys, canonical_verify_keys_prefiltered, key_parts};
+use dblsh_data::kernels::{
+    canonical_verify_keys, canonical_verify_keys_prefiltered,
+    canonical_verify_keys_prefiltered_traced, key_parts, VerifySplit,
+};
 use dblsh_data::{
     push_candidate_unchecked, AnnIndex, Dataset, DbLshError, Neighbor, QueryStats, SearchResult,
     Sq8Query, Visited,
 };
 use dblsh_index::Rect;
+use dblsh_telemetry::{QueryTrace, Stage};
 
 use crate::index::DbLsh;
 
@@ -129,6 +133,17 @@ pub struct SearchOptions {
     /// [`DbLsh::search_canonical`], batch); the single-probe
     /// [`DbLsh::r_c_nn`] and incremental modes always verify exactly.
     pub prefilter: bool,
+    /// When `true`, request per-stage tracing for this query. The core
+    /// search paths themselves never read the flag — tracing goes through
+    /// the dedicated traced entry points
+    /// ([`DbLsh::search_canonical_traced`],
+    /// [`LadderProber::probe_round_traced`]), so the untraced hot path
+    /// stays free of clock reads — but the serving engine and the wire
+    /// protocol carry it per request to decide whether to record a
+    /// [`dblsh_telemetry::QueryTrace`] into the per-stage latency
+    /// histograms and the slow-query log. Answers and [`QueryStats`] are
+    /// byte-identical with the flag on or off.
+    pub trace: bool,
 }
 
 impl Default for SearchOptions {
@@ -140,6 +155,7 @@ impl Default for SearchOptions {
             skip_stats: false,
             time_verification: false,
             prefilter: true,
+            trace: false,
         }
     }
 }
@@ -870,6 +886,92 @@ impl<'a> LadderProber<'a> {
         }
         out.extend_from_slice(&self.scratch.keys);
     }
+
+    /// [`LadderProber::probe_round`] with per-stage timing into `trace`:
+    /// the window scan lands under [`dblsh_telemetry::Stage::TreeProbe`],
+    /// and the verification splits into
+    /// [`dblsh_telemetry::Stage::Prefilter`] (SQ8 bound scan + survivor
+    /// partition) and [`dblsh_telemetry::Stage::Verify`] (fused distance
+    /// kernel + canonical key sort) via
+    /// [`dblsh_data::kernels::canonical_verify_keys_prefiltered_traced`].
+    /// Keys, counters and prune decisions are byte-identical to the
+    /// untraced method (the traced kernel mirrors the untraced one
+    /// statement for statement); only the clock reads are added.
+    #[allow(clippy::too_many_arguments)]
+    pub fn probe_round_traced(
+        &mut self,
+        r: f64,
+        timing: bool,
+        prune: Option<f32>,
+        stats: &mut QueryStats,
+        to_global: impl Fn(u32) -> u32,
+        out: &mut Vec<u64>,
+        trace: &mut QueryTrace,
+    ) {
+        let kdim = self.index.params.k;
+        let scan_started = Instant::now();
+        self.scratch.block.clear();
+        for (i, tree) in self.index.trees.iter().enumerate() {
+            let view = self.index.store.view(i);
+            let qp = &self.scratch.qproj[i * kdim..(i + 1) * kdim];
+            let window = Rect::centered_cube(qp, self.index.params.w0 * r);
+            let mut cursor = tree.window(&view, &window);
+            while let Some(batch) = cursor.next_batch() {
+                stats.index_probes += batch.len();
+                for &id in batch {
+                    if self.scratch.visited.insert(id) {
+                        self.scratch.block.push(id);
+                    }
+                }
+            }
+        }
+        trace.add(Stage::TreeProbe, scan_started.elapsed().as_nanos() as u64);
+        if self.scratch.block.is_empty() {
+            return;
+        }
+        let started = if timing { Some(Instant::now()) } else { None };
+        let verify = self.index.verify_data();
+        match prune {
+            Some(threshold) => {
+                let mut split = VerifySplit::default();
+                let (pruned, survived) = canonical_verify_keys_prefiltered_traced(
+                    self.q,
+                    verify.flat(),
+                    verify.dim(),
+                    &self.index.sq8,
+                    &self.scratch.prep,
+                    threshold,
+                    &mut self.scratch.block,
+                    &mut self.scratch.dists,
+                    &mut self.scratch.survivors,
+                    &mut self.scratch.keys,
+                    |internal| to_global(self.index.to_ext(internal)),
+                    &mut split,
+                );
+                stats.prefilter_pruned += pruned;
+                stats.prefilter_survivors += survived;
+                trace.add(Stage::Prefilter, split.prefilter_nanos);
+                trace.add(Stage::Verify, split.verify_nanos);
+            }
+            None => {
+                let verify_started = Instant::now();
+                canonical_verify_keys(
+                    self.q,
+                    verify.flat(),
+                    verify.dim(),
+                    &mut self.scratch.block,
+                    &mut self.scratch.dists,
+                    &mut self.scratch.keys,
+                    |internal| to_global(self.index.to_ext(internal)),
+                );
+                trace.add(Stage::Verify, verify_started.elapsed().as_nanos() as u64);
+            }
+        }
+        if let Some(t) = started {
+            stats.verify_nanos += t.elapsed().as_nanos() as u64;
+        }
+        out.extend_from_slice(&self.scratch.keys);
+    }
 }
 
 /// The deterministic coordinator of the canonical round-exhaustive
@@ -1036,6 +1138,21 @@ impl DbLsh {
         })
     }
 
+    /// [`DbLsh::ladder_prober`] with the projection stage — the `L x K`
+    /// matrix-vector products plus the SQ8 query preparation — timed into
+    /// `trace` under [`dblsh_telemetry::Stage::Projection`].
+    pub fn ladder_prober_traced<'a>(
+        &'a self,
+        q: &'a [f32],
+        scratch: &'a mut ProberScratch,
+        trace: &mut QueryTrace,
+    ) -> Result<LadderProber<'a>, DbLshError> {
+        let started = Instant::now();
+        let prober = self.ladder_prober(q, scratch)?;
+        trace.add(Stage::Projection, started.elapsed().as_nanos() as u64);
+        Ok(prober)
+    }
+
     /// (c,k)-ANN in the *canonical round-exhaustive* mode — the serving
     /// engine's query semantics (see [`CanonicalLadder`]).
     ///
@@ -1092,6 +1209,67 @@ impl DbLsh {
             // sorted — no merge needed.
             prober.probe_round(r, plan.timing, prune, &mut stats, |ext| ext, &mut keys);
             ladder.consume(&keys, &mut stats);
+        }
+        Ok(ladder.into_result(stats))
+    }
+
+    /// [`DbLsh::search_canonical`] with a per-stage [`QueryTrace`]:
+    /// projection, window scanning, SQ8 pre-filtering, exact
+    /// verification and canonical-order consumption
+    /// ([`dblsh_telemetry::Stage::Merge`]) are timed into `trace`.
+    /// Answers and [`QueryStats`] are byte-identical to the untraced
+    /// path — pinned by tests — so the serving engine can flip tracing
+    /// per request without perturbing results.
+    pub fn search_canonical_traced(
+        &self,
+        q: &[f32],
+        k: usize,
+        opts: &SearchOptions,
+        trace: &mut QueryTrace,
+    ) -> Result<SearchResult, DbLshError> {
+        thread_local! {
+            static TRACED_SCRATCH: RefCell<ProberScratch> =
+                const { RefCell::new(ProberScratch::new()) };
+        }
+        check_query(self.data.dim(), q, k)?;
+        let plan = opts.resolved(self, k)?;
+        let mut res = TRACED_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+            Ok(mut scratch) => self.canonical_core_traced(q, k, &plan, &mut scratch, trace),
+            Err(_) => self.canonical_core_traced(q, k, &plan, &mut ProberScratch::new(), trace),
+        })?;
+        if opts.skip_stats {
+            res.stats = QueryStats::default();
+        }
+        Ok(res)
+    }
+
+    fn canonical_core_traced(
+        &self,
+        q: &[f32],
+        k: usize,
+        plan: &LadderPlan,
+        scratch: &mut ProberScratch,
+        trace: &mut QueryTrace,
+    ) -> Result<SearchResult, DbLshError> {
+        let mut prober = self.ladder_prober_traced(q, scratch, trace)?;
+        let mut ladder = CanonicalLadder::new(plan, self.params.c, k, self.len());
+        let mut stats = QueryStats::default();
+        let mut keys: Vec<u64> = Vec::new();
+        while let Some(r) = ladder.begin_round(&mut stats) {
+            keys.clear();
+            let prune = plan.prefilter.then(|| ladder.prune_threshold());
+            prober.probe_round_traced(
+                r,
+                plan.timing,
+                prune,
+                &mut stats,
+                |ext| ext,
+                &mut keys,
+                trace,
+            );
+            let merge_started = Instant::now();
+            ladder.consume(&keys, &mut stats);
+            trace.add(Stage::Merge, merge_started.elapsed().as_nanos() as u64);
         }
         Ok(ladder.into_result(stats))
     }
@@ -1668,5 +1846,70 @@ mod tests {
         let res = idx.k_ann(&novel, 1).unwrap();
         assert_eq!(res.neighbors[0].id, id);
         assert_eq!(res.neighbors[0].dist, 0.0);
+    }
+
+    #[test]
+    fn traced_canonical_matches_untraced_byte_for_byte() {
+        // The span recorder must be a pure observer: answers and every
+        // work counter byte-identical with tracing on, prefilter on or
+        // off — only the QueryTrace differs from zero.
+        let mut data = clustered(2500, 16, 31);
+        let queries = split_queries(&mut data, 8, 12);
+        let data = Arc::new(data);
+        let idx = build(&data);
+        for prefilter in [true, false] {
+            let opts = SearchOptions {
+                prefilter,
+                ..Default::default()
+            };
+            for qi in 0..queries.len() {
+                let q = queries.point(qi);
+                let plain = idx.search_canonical(q, 10, &opts).unwrap();
+                let mut trace = dblsh_telemetry::QueryTrace::default();
+                let traced = idx
+                    .search_canonical_traced(q, 10, &opts, &mut trace)
+                    .unwrap();
+                assert_eq!(plain.neighbors, traced.neighbors, "query {qi}");
+                assert_eq!(plain.stats, traced.stats, "query {qi}");
+                assert!(
+                    trace.get(Stage::Projection) > 0,
+                    "query {qi}: projection stage not timed"
+                );
+                assert!(
+                    trace.get(Stage::TreeProbe) > 0,
+                    "query {qi}: tree-probe stage not timed"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn traced_prober_round_matches_untraced_keys() {
+        let data = Arc::new(clustered(1500, 12, 37));
+        let idx = build(&data);
+        let q = data.point(3);
+        for prune in [None, Some(f32::INFINITY), Some(25.0)] {
+            let mut s1 = ProberScratch::new();
+            let mut s2 = ProberScratch::new();
+            let mut stats1 = QueryStats::default();
+            let mut stats2 = QueryStats::default();
+            let mut keys1 = Vec::new();
+            let mut keys2 = Vec::new();
+            let mut trace = QueryTrace::default();
+            let mut p1 = idx.ladder_prober(q, &mut s1).unwrap();
+            p1.probe_round(2.0, false, prune, &mut stats1, |e| e, &mut keys1);
+            let mut p2 = idx.ladder_prober_traced(q, &mut s2, &mut trace).unwrap();
+            p2.probe_round_traced(
+                2.0,
+                false,
+                prune,
+                &mut stats2,
+                |e| e,
+                &mut keys2,
+                &mut trace,
+            );
+            assert_eq!(keys1, keys2, "prune {prune:?}");
+            assert_eq!(stats1, stats2, "prune {prune:?}");
+        }
     }
 }

@@ -40,7 +40,8 @@ use dblsh_data::{DbLshError, Neighbor, QueryStats, SearchResult};
 use dblsh_serve::EngineStats;
 
 use crate::proto::{
-    decode_error, encode_request, Message, NetError, Request, Response, DEFAULT_MAX_FRAME,
+    decode_error, encode_request, Message, MetricsFormat, NetError, Request, Response,
+    DEFAULT_MAX_FRAME,
 };
 
 /// Client tuning knobs.
@@ -432,6 +433,16 @@ impl DbLshClient {
             other => Err(unexpected("Stats", &other)),
         }
     }
+
+    /// Scrape the server's full metrics registry in the requested
+    /// exposition format (Prometheus text or JSON document).
+    pub fn metrics(&mut self, format: MetricsFormat) -> Result<String, NetError> {
+        match self.call(&Request::Metrics { format })? {
+            Response::Metrics { text } => Ok(text),
+            Response::Error(e) => Err(e),
+            other => Err(unexpected("Metrics", &other)),
+        }
+    }
 }
 
 fn unexpected(wanted: &str, got: &Response) -> NetError {
@@ -442,6 +453,7 @@ fn unexpected(wanted: &str, got: &Response) -> NetError {
         Response::Insert { .. } => "Insert",
         Response::Remove { .. } => "Remove",
         Response::Stats(_) => "Stats",
+        Response::Metrics { .. } => "Metrics",
         Response::Error(_) => "Error",
     };
     NetError::protocol(format!("expected a {wanted} response, got {got}"))

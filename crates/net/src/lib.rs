@@ -81,5 +81,7 @@ pub mod proto;
 pub mod server;
 
 pub use client::{ClientConfig, DbLshClient, RequestId, RetryPolicy};
-pub use proto::{NetError, Request, Response, DEFAULT_MAX_FRAME, WIRE_MAGIC, WIRE_VERSION};
+pub use proto::{
+    MetricsFormat, NetError, Request, Response, DEFAULT_MAX_FRAME, WIRE_MAGIC, WIRE_VERSION,
+};
 pub use server::{DbLshServer, ServerConfig, ServerStats};

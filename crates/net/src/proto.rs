@@ -62,6 +62,7 @@ const OP_RCNN: u8 = 3;
 const OP_INSERT: u8 = 4;
 const OP_REMOVE: u8 = 5;
 const OP_STATS: u8 = 6;
+const OP_METRICS: u8 = 7;
 
 /// Everything that can go wrong on the wire path, client or server
 /// side. `Clone + PartialEq` like [`DbLshError`], so tests can assert
@@ -157,6 +158,38 @@ pub enum Request {
     Remove { id: u32 },
     /// Engine counter snapshot.
     Stats,
+    /// Scrape the full metrics registry in the requested exposition
+    /// format (Prometheus text or JSON).
+    Metrics { format: MetricsFormat },
+}
+
+/// Exposition format requested by a [`Request::Metrics`] scrape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MetricsFormat {
+    /// Prometheus text exposition format.
+    #[default]
+    Prometheus,
+    /// Single JSON document (keeps raw sparse histogram buckets).
+    Json,
+}
+
+impl MetricsFormat {
+    fn to_wire(self) -> u8 {
+        match self {
+            MetricsFormat::Prometheus => 0,
+            MetricsFormat::Json => 1,
+        }
+    }
+
+    fn from_wire(v: u8) -> Result<MetricsFormat, DbLshError> {
+        match v {
+            0 => Ok(MetricsFormat::Prometheus),
+            1 => Ok(MetricsFormat::Json),
+            other => Err(DbLshError::corrupt(format!(
+                "unknown metrics format {other} (0 = prometheus, 1 = json)"
+            ))),
+        }
+    }
 }
 
 /// A response, matched to its request by the echoed request id.
@@ -179,6 +212,11 @@ pub enum Response {
     /// Boxed: the counter snapshot (64 latency buckets) dwarfs every
     /// other variant.
     Stats(Box<EngineStats>),
+    /// A rendered metrics exposition document (format chosen by the
+    /// request; the bytes are UTF-8 text either way).
+    Metrics {
+        text: String,
+    },
     /// A typed failure: engine-level ([`NetError::Remote`]) or
     /// protocol-level, reported instead of an ok-response.
     Error(NetError),
@@ -204,6 +242,10 @@ const OPT_TIME_VERIFICATION: u8 = 1 << 4;
 /// on), so pre-flag frames — which never carry the bit — keep decoding
 /// to the default behavior.
 const OPT_NO_PREFILTER: u8 = 1 << 5;
+/// Per-stage tracing requested: the serving engine times the request
+/// through the pipeline stages and feeds the stage histograms and
+/// slow-query log. Off by default (old frames never carry the bit).
+const OPT_TRACE: u8 = 1 << 6;
 
 fn put_options(buf: &mut SectionBuf, opts: &SearchOptions) {
     let mut flags = 0u8;
@@ -221,6 +263,7 @@ fn put_options(buf: &mut SectionBuf, opts: &SearchOptions) {
         0
     };
     flags |= if opts.prefilter { 0 } else { OPT_NO_PREFILTER };
+    flags |= if opts.trace { OPT_TRACE } else { 0 };
     buf.put_u8(flags);
     if let Some(b) = opts.budget {
         buf.put_u64(b as u64);
@@ -241,7 +284,8 @@ fn get_options(c: &mut SectionCursor<'_>) -> Result<SearchOptions, DbLshError> {
             | OPT_MAX_ROUNDS
             | OPT_SKIP_STATS
             | OPT_TIME_VERIFICATION
-            | OPT_NO_PREFILTER)
+            | OPT_NO_PREFILTER
+            | OPT_TRACE)
         != 0
     {
         return Err(DbLshError::corrupt(format!(
@@ -261,6 +305,7 @@ fn get_options(c: &mut SectionCursor<'_>) -> Result<SearchOptions, DbLshError> {
     opts.skip_stats = flags & OPT_SKIP_STATS != 0;
     opts.time_verification = flags & OPT_TIME_VERIFICATION != 0;
     opts.prefilter = flags & OPT_NO_PREFILTER == 0;
+    opts.trace = flags & OPT_TRACE != 0;
     Ok(opts)
 }
 
@@ -459,6 +504,12 @@ fn put_engine_stats(buf: &mut SectionBuf, s: &EngineStats) {
     buf.put_f64(s.p50_latency_us);
     buf.put_f64(s.p99_latency_us);
     buf.put_u64_slice(&s.latency_buckets);
+    // Appended after the original layout; readers treat them as
+    // optional (forward-compatible defaults when absent).
+    buf.put_u64(s.knn_requests);
+    buf.put_u64(s.rcnn_requests);
+    buf.put_f64(s.uptime_secs);
+    buf.put_u64(s.started_at_unix);
 }
 
 fn get_engine_stats(c: &mut SectionCursor<'_>) -> Result<EngineStats, DbLshError> {
@@ -480,6 +531,14 @@ fn get_engine_stats(c: &mut SectionCursor<'_>) -> Result<EngineStats, DbLshError
     };
     let buckets = c.get_u64_vec(64)?;
     s.latency_buckets.copy_from_slice(&buckets);
+    // Fields appended after the original layout: a peer that predates
+    // them simply stops here, and the defaults stand.
+    if c.remaining() > 0 {
+        s.knn_requests = c.get_u64()?;
+        s.rcnn_requests = c.get_u64()?;
+        s.uptime_secs = c.get_f64()?;
+        s.started_at_unix = c.get_u64()?;
+    }
     Ok(s)
 }
 
@@ -529,6 +588,10 @@ pub fn encode_request(request_id: u64, req: &Request) -> Vec<u8> {
             OP_REMOVE
         }
         Request::Stats => OP_STATS,
+        Request::Metrics { format } => {
+            p.put_u8(format.to_wire());
+            OP_METRICS
+        }
     };
     encode_frame(KIND_REQUEST, opcode, request_id, p)
 }
@@ -575,6 +638,11 @@ pub fn encode_response(request_id: u64, resp: &Response) -> Vec<u8> {
         Response::Stats(stats) => {
             put_engine_stats(&mut p, stats);
             (KIND_OK, OP_STATS)
+        }
+        Response::Metrics { text } => {
+            p.put_u32(text.len() as u32);
+            p.put_bytes(text.as_bytes());
+            (KIND_OK, OP_METRICS)
         }
         Response::Error(err) => {
             put_error(&mut p, err);
@@ -644,6 +712,9 @@ fn decode_request(opcode: u8, c: &mut SectionCursor<'_>) -> Result<Request, DbLs
         },
         OP_REMOVE => Request::Remove { id: c.get_u32()? },
         OP_STATS => Request::Stats,
+        OP_METRICS => Request::Metrics {
+            format: MetricsFormat::from_wire(c.get_u8()?)?,
+        },
         other => {
             return Err(DbLshError::corrupt(format!(
                 "unknown request opcode {other}"
@@ -697,6 +768,12 @@ fn decode_ok(opcode: u8, c: &mut SectionCursor<'_>) -> Result<Response, DbLshErr
             },
         },
         OP_STATS => Response::Stats(Box::new(get_engine_stats(c)?)),
+        OP_METRICS => {
+            let len = c.get_u32()? as usize;
+            let text = String::from_utf8(c.get_bytes(len)?.to_vec())
+                .map_err(|_| DbLshError::corrupt("metrics exposition is not valid UTF-8"))?;
+            Response::Metrics { text }
+        }
         other => {
             return Err(DbLshError::corrupt(format!(
                 "unknown response opcode {other}"
@@ -722,6 +799,7 @@ mod tests {
                     skip_stats: true,
                     time_verification: false,
                     prefilter: false,
+                    trace: true,
                 },
             },
             Request::Knn {
@@ -738,6 +816,12 @@ mod tests {
             },
             Request::Remove { id: 77 },
             Request::Stats,
+            Request::Metrics {
+                format: MetricsFormat::Prometheus,
+            },
+            Request::Metrics {
+                format: MetricsFormat::Json,
+            },
         ]
     }
 
@@ -771,12 +855,19 @@ mod tests {
             Response::Remove { removed: true },
             Response::Stats(Box::new(EngineStats {
                 searches: 5,
+                knn_requests: 4,
+                rcnn_requests: 1,
                 rejected: 2,
                 deadline_expired: 3,
                 queue_depth: 1,
                 qps: 123.5,
+                uptime_secs: 9.25,
+                started_at_unix: 1_754_000_000,
                 ..EngineStats::default()
             })),
+            Response::Metrics {
+                text: "# HELP dblsh_queue_depth Jobs queued.\n# TYPE dblsh_queue_depth gauge\ndblsh_queue_depth 3\n".to_string(),
+            },
             Response::Error(NetError::Remote(DbLshError::Busy)),
             Response::Error(NetError::Remote(DbLshError::Shutdown)),
             Response::Error(NetError::Remote(DbLshError::DimensionMismatch {
@@ -841,6 +932,9 @@ mod tests {
                     assert_eq!(a, b)
                 }
                 (Response::Stats(a), Response::Stats(b)) => assert_eq!(a, b),
+                (Response::Metrics { text: a }, Response::Metrics { text: b }) => {
+                    assert_eq!(a, b)
+                }
                 (Response::Error(a), Response::Error(b)) => assert_eq!(a, b),
                 (a, b) => panic!("response {i}: {a:?} decoded as {b:?}"),
             }
@@ -891,6 +985,88 @@ mod tests {
                 Ok(_) => panic!("flip at {pos} went undetected"),
             }
         }
+    }
+
+    #[test]
+    fn metrics_frames_survive_truncation_and_bit_flips_as_typed_errors() {
+        // Same torture as the Knn frames, but for the Metrics opcode:
+        // every prefix truncation and every in-flight bit flip of both
+        // the request and a response must surface as a typed error.
+        let req = encode_request(
+            11,
+            &Request::Metrics {
+                format: MetricsFormat::Json,
+            },
+        );
+        let resp = encode_response(
+            11,
+            &Response::Metrics {
+                text: "dblsh_queue_depth 3\n".to_string(),
+            },
+        );
+        for body in [&req, &resp] {
+            for cut in 0..body.len() {
+                match decode_frame(&body[..cut]) {
+                    Err(NetError::Protocol { .. }) | Err(NetError::Version { .. }) => {}
+                    Err(other) => panic!("cut at {cut}: unexpected error {other:?}"),
+                    Ok(_) => panic!("cut at {cut} decoded successfully"),
+                }
+            }
+            for pos in 0..body.len() {
+                let mut bad = body.clone();
+                bad[pos] ^= 0x10;
+                match decode_frame(&bad) {
+                    Err(NetError::Protocol { .. }) | Err(NetError::Version { .. }) => {}
+                    Err(other) => panic!("flip at {pos}: unexpected error {other:?}"),
+                    Ok(_) => panic!("flip at {pos} went undetected"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_metrics_format_is_a_typed_error() {
+        let mut p = SectionBuf::new();
+        p.put_u8(9); // no such format
+        let body = encode_frame(KIND_REQUEST, OP_METRICS, 1, p);
+        assert!(matches!(
+            decode_frame(&body),
+            Err(NetError::Protocol { .. })
+        ));
+    }
+
+    #[test]
+    fn engine_stats_decode_without_appended_fields_defaults_them() {
+        // A frame from a peer that predates the knn/rcnn/uptime fields:
+        // encode, strip the appended tail, re-frame, and decode — the
+        // original fields survive and the new ones default.
+        let full = EngineStats {
+            searches: 12,
+            knn_requests: 11,
+            rcnn_requests: 1,
+            inserts: 4,
+            uptime_secs: 33.0,
+            started_at_unix: 1_700_000_000,
+            ..EngineStats::default()
+        };
+        let mut p = SectionBuf::new();
+        put_engine_stats(&mut p, &full);
+        // appended tail: knn u64 + rcnn u64 + uptime f64 + started u64
+        let old_len = p.len() - 32;
+        let mut old = SectionBuf::new();
+        old.put_bytes(&p.as_bytes()[..old_len]);
+        let body = encode_frame(KIND_OK, OP_STATS, 5, old);
+        let (_, msg) = decode_frame(&body).unwrap();
+        let got = match msg {
+            Message::Response(Response::Stats(s)) => *s,
+            other => panic!("decoded as {other:?}"),
+        };
+        assert_eq!(got.searches, 12);
+        assert_eq!(got.inserts, 4);
+        assert_eq!(got.knn_requests, 0, "absent field must default");
+        assert_eq!(got.rcnn_requests, 0);
+        assert_eq!(got.uptime_secs, 0.0);
+        assert_eq!(got.started_at_unix, 0);
     }
 
     #[test]

@@ -40,7 +40,8 @@ use dblsh_data::{DbLshError, Neighbor, QueryStats, SearchResult};
 use dblsh_serve::{Engine, Ticket};
 
 use crate::proto::{
-    decode_frame, encode_response, Message, NetError, Request, Response, DEFAULT_MAX_FRAME,
+    decode_frame, encode_response, Message, MetricsFormat, NetError, Request, Response,
+    DEFAULT_MAX_FRAME,
 };
 
 /// Server tuning knobs. The defaults suit tests and small deployments;
@@ -509,6 +510,13 @@ fn dispatch(body: &[u8], shared: &Shared) -> Pending {
             Err(e) => Pending::Immediate(id, Response::Error(NetError::Remote(e))),
         },
         Request::Stats => Pending::Immediate(id, Response::Stats(Box::new(shared.engine.stats()))),
+        Request::Metrics { format } => {
+            let text = match format {
+                MetricsFormat::Prometheus => shared.engine.render_metrics_prometheus(),
+                MetricsFormat::Json => shared.engine.render_metrics_json(),
+            };
+            Pending::Immediate(id, Response::Metrics { text })
+        }
     }
 }
 

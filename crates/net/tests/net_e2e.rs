@@ -129,6 +129,60 @@ fn full_api_round_trips_over_one_connection() {
 }
 
 #[test]
+fn metrics_scrape_over_the_wire_reflects_traced_traffic() {
+    let fx = fixture(400, 8, 2, 64);
+    let server = start_server(&fx.engine, ServerConfig::default());
+    let mut client = DbLshClient::connect(&server.local_addr().to_string()).expect("connect");
+
+    let q = fx.data.point(5).to_vec();
+    // One untraced and one traced search; tracing must not change the
+    // answer even through the wire.
+    let plain = client.knn(&q, 4).expect("untraced knn");
+    let traced = client
+        .knn_with(
+            &q,
+            4,
+            dblsh_core::SearchOptions {
+                trace: true,
+                ..Default::default()
+            },
+        )
+        .expect("traced knn");
+    assert_eq!(plain.neighbors, traced.neighbors);
+    assert_eq!(plain.stats, traced.stats);
+
+    let prom = client
+        .metrics(dblsh_net::MetricsFormat::Prometheus)
+        .expect("prometheus scrape");
+    for needle in [
+        "# TYPE dblsh_requests_total counter",
+        "dblsh_requests_total{op=\"knn\"} 2\n",
+        "dblsh_stage_seconds{stage=\"tree_probe\"",
+        "dblsh_live_points 400\n",
+        "dblsh_uptime_seconds",
+    ] {
+        assert!(prom.contains(needle), "missing {needle:?} in:\n{prom}");
+    }
+    let json = client
+        .metrics(dblsh_net::MetricsFormat::Json)
+        .expect("json scrape");
+    assert!(json.starts_with("{\"metrics\":["), "{json}");
+    assert!(
+        json.contains("\"name\":\"dblsh_request_seconds\""),
+        "{json}"
+    );
+
+    // Stats opcode carries the new per-opcode and uptime fields.
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.knn_requests, 2);
+    assert_eq!(stats.rcnn_requests, 0);
+    assert_eq!(stats.searches, 2);
+    assert!(stats.uptime_secs > 0.0);
+    assert!(stats.started_at_unix > 0);
+    server.shutdown();
+}
+
+#[test]
 fn pipelined_requests_resolve_out_of_order() {
     let fx = fixture(400, 8, 2, 64);
     let server = start_server(&fx.engine, ServerConfig::default());

@@ -14,15 +14,20 @@
 //! queue, drains the remaining requests, and joins the workers.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use dblsh_core::SearchOptions;
 use dblsh_data::{DbLshError, Neighbor, QueryStats, SearchResult};
+use dblsh_telemetry::{
+    args_digest, log2_quantile_us, render_json, render_prometheus, Counter, Gauge, Histo,
+    QueryTrace, Registry, SlowQuery, SlowQueryLog, Stage, STAGE_COUNT,
+};
 
 use crate::shard::ShardedDbLsh;
+
+pub use dblsh_telemetry::LatencyHistogram;
 
 /// Engine sizing knobs.
 #[derive(Debug, Clone)]
@@ -271,148 +276,201 @@ impl Queue {
     }
 }
 
-/// Engine-level counters, updated lock-free by the workers. Latencies go
-/// into log₂(nanoseconds) buckets, so quantiles are exact to within a
-/// factor of two — the right fidelity for a saturation harness that
-/// wants cheap, contention-free recording.
+/// Default slow-query capture threshold: queries at or above 100 ms
+/// end-to-end land in the ring log. Tune per deployment with
+/// [`Engine::set_slow_query_threshold`].
+const DEFAULT_SLOW_QUERY_NANOS: u64 = 100_000_000;
+
+/// Slow-query ring capacity: the most recent captures kept.
+const SLOW_QUERY_CAPACITY: usize = 64;
+
+/// Engine-level counters, updated lock-free by the workers through
+/// [`dblsh_telemetry::Registry`] handles — the one registration point
+/// for every serving metric, so the wire front door and the bench
+/// harnesses scrape a single coherent snapshot. Latencies go into
+/// log₂(nanoseconds) histograms: cheap, contention-free recording, with
+/// quantiles interpolated inside one power-of-two bucket.
 #[derive(Debug)]
 struct Metrics {
     started: Instant,
-    searches: AtomicU64,
-    inserts: AtomicU64,
-    removes: AtomicU64,
-    errors: AtomicU64,
-    rejected: AtomicU64,
-    deadline_expired: AtomicU64,
-    candidates: AtomicU64,
-    rounds: AtomicU64,
-    index_probes: AtomicU64,
-    prefilter_pruned: AtomicU64,
-    prefilter_survivors: AtomicU64,
-    verify_nanos: AtomicU64,
-    latency_nanos_total: AtomicU64,
-    latency_buckets: [AtomicU64; 64],
+    /// Wall-clock engine start, seconds since the Unix epoch.
+    started_at_unix: u64,
+    registry: Arc<Registry>,
+    knn: Counter,
+    rcnn: Counter,
+    inserts: Counter,
+    removes: Counter,
+    errors: Counter,
+    rejected: Counter,
+    deadline_expired: Counter,
+    candidates: Counter,
+    rounds: Counter,
+    index_probes: Counter,
+    prefilter_pruned: Counter,
+    prefilter_survivors: Counter,
+    verify_nanos: Counter,
+    /// End-to-end (submission → completion) search latency.
+    latency: Histo,
+    /// Per-stage latency, one series per [`Stage`], fed by traced
+    /// requests only.
+    stage: [Histo; STAGE_COUNT],
+    /// Scrape-time gauges, refreshed by [`Engine::render_metrics`].
+    queue_depth: Gauge,
+    uptime: Gauge,
+    live_points: Gauge,
+    dead_rows: Gauge,
+    memory_bytes: Gauge,
+    compactions: Gauge,
+    wal_truncations: Gauge,
+    slow_log: SlowQueryLog,
 }
 
 impl Metrics {
     fn new() -> Metrics {
+        let registry = Arc::new(Registry::new());
+        let req = |op: &str| {
+            registry.counter(
+                "dblsh_requests_total",
+                "Completed requests by opcode.",
+                &[("op", op)],
+            )
+        };
+        let stage = Stage::ALL.map(|s| {
+            registry.histo(
+                "dblsh_stage_seconds",
+                "Per-stage latency of traced search requests.",
+                &[("stage", s.name())],
+            )
+        });
         Metrics {
             started: Instant::now(),
-            searches: AtomicU64::new(0),
-            inserts: AtomicU64::new(0),
-            removes: AtomicU64::new(0),
-            errors: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            deadline_expired: AtomicU64::new(0),
-            candidates: AtomicU64::new(0),
-            rounds: AtomicU64::new(0),
-            index_probes: AtomicU64::new(0),
-            prefilter_pruned: AtomicU64::new(0),
-            prefilter_survivors: AtomicU64::new(0),
-            verify_nanos: AtomicU64::new(0),
-            latency_nanos_total: AtomicU64::new(0),
-            latency_buckets: [const { AtomicU64::new(0) }; 64],
+            started_at_unix: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+            knn: req("knn"),
+            rcnn: req("rcnn"),
+            inserts: req("insert"),
+            removes: req("remove"),
+            errors: registry.counter(
+                "dblsh_errors_total",
+                "Requests that resolved to an error (including contained worker panics).",
+                &[],
+            ),
+            rejected: registry.counter(
+                "dblsh_rejected_total",
+                "Requests refused at admission (full queue).",
+                &[],
+            ),
+            deadline_expired: registry.counter(
+                "dblsh_deadline_expired_total",
+                "Searches that expired in the queue without executing.",
+                &[],
+            ),
+            candidates: registry.counter(
+                "dblsh_query_candidates_total",
+                "Candidates consumed across all completed searches.",
+                &[],
+            ),
+            rounds: registry.counter(
+                "dblsh_query_rounds_total",
+                "Radius-ladder rounds across all completed searches.",
+                &[],
+            ),
+            index_probes: registry.counter(
+                "dblsh_index_probes_total",
+                "R*-tree window hits across all completed searches.",
+                &[],
+            ),
+            prefilter_pruned: registry.counter(
+                "dblsh_prefilter_pruned_total",
+                "Candidates dropped by the SQ8 pre-filter before any f32 row read.",
+                &[],
+            ),
+            prefilter_survivors: registry.counter(
+                "dblsh_prefilter_survivors_total",
+                "Candidates that survived the SQ8 pre-filter into exact verification.",
+                &[],
+            ),
+            verify_nanos: registry.counter(
+                "dblsh_verify_nanos_total",
+                "Nanoseconds spent in timed verification stages.",
+                &[],
+            ),
+            latency: registry.histo(
+                "dblsh_request_seconds",
+                "End-to-end search latency, submission to completion.",
+                &[],
+            ),
+            stage,
+            queue_depth: registry.gauge(
+                "dblsh_queue_depth",
+                "Jobs accepted but not yet picked up by a worker.",
+                &[],
+            ),
+            uptime: registry.gauge("dblsh_uptime_seconds", "Seconds since engine start.", &[]),
+            live_points: registry.gauge("dblsh_live_points", "Live points across all shards.", &[]),
+            dead_rows: registry.gauge(
+                "dblsh_dead_rows",
+                "Tombstoned rows still occupying space across all shards.",
+                &[],
+            ),
+            memory_bytes: registry.gauge(
+                "dblsh_memory_bytes",
+                "Heap footprint of the index structures and id tables.",
+                &[],
+            ),
+            compactions: registry.gauge(
+                "dblsh_compactions",
+                "Shard compactions performed (automatic and manual).",
+                &[],
+            ),
+            wal_truncations: registry.gauge(
+                "dblsh_wal_truncations_recovered",
+                "Shard WAL logs whose torn tail was dropped during crash recovery.",
+                &[],
+            ),
+            slow_log: SlowQueryLog::new(SLOW_QUERY_CAPACITY, DEFAULT_SLOW_QUERY_NANOS),
+            registry,
         }
     }
 
-    fn record_search(&self, latency_nanos: u64, stats: &QueryStats) {
-        self.searches.fetch_add(1, Ordering::Relaxed);
-        self.candidates
-            .fetch_add(stats.candidates as u64, Ordering::Relaxed);
-        self.rounds
-            .fetch_add(stats.rounds as u64, Ordering::Relaxed);
-        self.index_probes
-            .fetch_add(stats.index_probes as u64, Ordering::Relaxed);
-        self.prefilter_pruned
-            .fetch_add(stats.prefilter_pruned as u64, Ordering::Relaxed);
+    fn record_search(&self, op: &Counter, latency_nanos: u64, stats: &QueryStats) {
+        op.inc();
+        self.candidates.add(stats.candidates as u64);
+        self.rounds.add(stats.rounds as u64);
+        self.index_probes.add(stats.index_probes as u64);
+        self.prefilter_pruned.add(stats.prefilter_pruned as u64);
         self.prefilter_survivors
-            .fetch_add(stats.prefilter_survivors as u64, Ordering::Relaxed);
-        self.verify_nanos
-            .fetch_add(stats.verify_nanos, Ordering::Relaxed);
-        self.latency_nanos_total
-            .fetch_add(latency_nanos, Ordering::Relaxed);
-        self.latency_buckets[bucket_of(latency_nanos)].fetch_add(1, Ordering::Relaxed);
-    }
-}
-
-/// A log₂(nanoseconds) latency histogram: 64 buckets, where bucket `b`
-/// counts observations in `[2^b, 2^{b+1})` ns. The exact shape behind
-/// [`EngineStats`]' quantiles, exposed so out-of-process harnesses (the
-/// `loadgen` bench bin measuring wire round-trips) report p50/p99 with
-/// identical semantics and can merge distributions exactly.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct LatencyHistogram {
-    /// Raw bucket counts.
-    pub buckets: [u64; 64],
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram { buckets: [0; 64] }
-    }
-}
-
-impl LatencyHistogram {
-    /// Empty histogram.
-    pub fn new() -> Self {
-        Self::default()
+            .add(stats.prefilter_survivors as u64);
+        self.verify_nanos.add(stats.verify_nanos);
+        self.latency.record(latency_nanos);
     }
 
-    /// Record one observation of `nanos`.
-    pub fn record(&mut self, nanos: u64) {
-        self.buckets[bucket_of(nanos)] += 1;
-    }
-
-    /// Total observations recorded.
-    pub fn count(&self) -> u64 {
-        self.buckets.iter().sum()
-    }
-
-    /// The latency below which fraction `q` of observations fall,
-    /// resolved to the upper edge of its log₂ bucket, in microseconds.
-    pub fn quantile_us(&self, q: f64) -> f64 {
-        bucket_quantile_us(&self.buckets, q)
-    }
-
-    /// Add another histogram's counts into this one.
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
-            *mine += theirs;
+    /// Feed one traced request's span breakdown into the per-stage
+    /// histograms and offer it to the slow-query ring.
+    fn record_trace(&self, trace: &QueryTrace, entry: SlowQuery) {
+        for s in Stage::ALL {
+            let nanos = trace.get(s);
+            if nanos > 0 {
+                self.stage[s as usize].record(nanos);
+            }
         }
+        self.slow_log.offer(entry);
     }
-}
-
-/// The log₂ bucket index a latency of `nanos` falls into.
-fn bucket_of(nanos: u64) -> usize {
-    63 - nanos.max(1).leading_zeros() as usize
-}
-
-/// The latency below which `q` of the recorded requests fall, resolved
-/// to the upper edge of its log₂ bucket, in microseconds. Shared by the
-/// live [`Engine::stats`] snapshot and [`EngineStats::merge`], which
-/// recomputes quantiles from summed bucket counts.
-fn bucket_quantile_us(counts: &[u64; 64], q: f64) -> f64 {
-    let total: u64 = counts.iter().sum();
-    if total == 0 {
-        return 0.0;
-    }
-    let rank = ((total as f64 * q).ceil() as u64).clamp(1, total);
-    let mut seen = 0u64;
-    for (b, &c) in counts.iter().enumerate() {
-        seen += c;
-        if seen >= rank {
-            return (1u64 << (b + 1).min(63)) as f64 / 1e3;
-        }
-    }
-    0.0
 }
 
 /// A point-in-time snapshot of the engine counters — what the `saturate`
 /// harness prints per sweep.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EngineStats {
-    /// Completed search requests.
+    /// Completed search requests — (c,k)-ANN and (r,c)-NN probes
+    /// combined (`knn_requests + rcnn_requests`).
     pub searches: u64,
+    /// Completed (c,k)-ANN search requests (the Knn opcode).
+    pub knn_requests: u64,
+    /// Completed (r,c)-NN probe requests (the RcNn opcode).
+    pub rcnn_requests: u64,
     /// Completed insert requests.
     pub inserts: u64,
     /// Completed remove requests.
@@ -437,8 +495,18 @@ pub struct EngineStats {
     /// Aggregate per-query work counters across all completed searches
     /// (accumulated via [`QueryStats::merge`]).
     pub query: QueryStats,
-    /// Seconds since the engine started.
+    /// Seconds since the engine started. Unlike `uptime_secs` this
+    /// **adds** under [`EngineStats::merge`] (combined lifetime of
+    /// sequentially run engines), which is what keeps the recomputed
+    /// `qps` honest across a saturation sweep.
     pub elapsed_secs: f64,
+    /// Seconds this engine has been up at snapshot time. Merging keeps
+    /// the maximum (the longest-lived engine of the fold), never a sum.
+    pub uptime_secs: f64,
+    /// Wall-clock engine start, seconds since the Unix epoch (0 when
+    /// the clock was unreadable). Merging keeps the earliest non-zero
+    /// start.
+    pub started_at_unix: u64,
     /// Completed searches per second of engine lifetime.
     pub qps: f64,
     /// Mean search latency (submission to completion), microseconds.
@@ -460,6 +528,8 @@ impl Default for EngineStats {
     fn default() -> Self {
         EngineStats {
             searches: 0,
+            knn_requests: 0,
+            rcnn_requests: 0,
             inserts: 0,
             removes: 0,
             errors: 0,
@@ -468,6 +538,8 @@ impl Default for EngineStats {
             queue_depth: 0,
             query: QueryStats::default(),
             elapsed_secs: 0.0,
+            uptime_secs: 0.0,
+            started_at_unix: 0,
             qps: 0.0,
             mean_latency_us: 0.0,
             p50_latency_us: 0.0,
@@ -490,6 +562,8 @@ impl EngineStats {
         let lat_total = self.mean_latency_us * self.searches as f64
             + other.mean_latency_us * other.searches as f64;
         self.searches += other.searches;
+        self.knn_requests += other.knn_requests;
+        self.rcnn_requests += other.rcnn_requests;
         self.inserts += other.inserts;
         self.removes += other.removes;
         self.errors += other.errors;
@@ -500,6 +574,12 @@ impl EngineStats {
         self.queue_depth = self.queue_depth.max(other.queue_depth);
         self.query.merge(&other.query);
         self.elapsed_secs += other.elapsed_secs;
+        self.uptime_secs = self.uptime_secs.max(other.uptime_secs);
+        self.started_at_unix = match (self.started_at_unix, other.started_at_unix) {
+            (0, b) => b,
+            (a, 0) => a,
+            (a, b) => a.min(b),
+        };
         self.qps = if self.elapsed_secs > 0.0 {
             self.searches as f64 / self.elapsed_secs
         } else {
@@ -513,8 +593,8 @@ impl EngineStats {
         for (mine, theirs) in self.latency_buckets.iter_mut().zip(&other.latency_buckets) {
             *mine += theirs;
         }
-        self.p50_latency_us = bucket_quantile_us(&self.latency_buckets, 0.50);
-        self.p99_latency_us = bucket_quantile_us(&self.latency_buckets, 0.99);
+        self.p50_latency_us = log2_quantile_us(&self.latency_buckets, 0.50);
+        self.p99_latency_us = log2_quantile_us(&self.latency_buckets, 0.99);
     }
 }
 
@@ -724,7 +804,7 @@ impl Engine {
     fn try_submit(&self, job: Job) -> Result<(), DbLshError> {
         self.queue.try_push(job).inspect_err(|err| {
             if *err == DbLshError::Busy {
-                self.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                self.metrics.rejected.inc();
             }
         })
     }
@@ -752,41 +832,100 @@ impl Engine {
     /// Snapshot the engine counters.
     pub fn stats(&self) -> EngineStats {
         let m = &self.metrics;
-        let searches = m.searches.load(Ordering::Relaxed);
+        let knn = m.knn.get();
+        let rcnn = m.rcnn.get();
+        let searches = knn + rcnn;
         let elapsed = m.started.elapsed().as_secs_f64();
-        let counts: [u64; 64] =
-            std::array::from_fn(|b| m.latency_buckets[b].load(Ordering::Relaxed));
+        let lat = m.latency.snapshot();
         EngineStats {
             searches,
-            inserts: m.inserts.load(Ordering::Relaxed),
-            removes: m.removes.load(Ordering::Relaxed),
-            errors: m.errors.load(Ordering::Relaxed),
-            rejected: m.rejected.load(Ordering::Relaxed),
-            deadline_expired: m.deadline_expired.load(Ordering::Relaxed),
+            knn_requests: knn,
+            rcnn_requests: rcnn,
+            inserts: m.inserts.get(),
+            removes: m.removes.get(),
+            errors: m.errors.get(),
+            rejected: m.rejected.get(),
+            deadline_expired: m.deadline_expired.get(),
             queue_depth: self.queue.depth() as u64,
             query: QueryStats {
-                candidates: m.candidates.load(Ordering::Relaxed) as usize,
-                rounds: m.rounds.load(Ordering::Relaxed) as usize,
-                index_probes: m.index_probes.load(Ordering::Relaxed) as usize,
-                prefilter_pruned: m.prefilter_pruned.load(Ordering::Relaxed) as usize,
-                prefilter_survivors: m.prefilter_survivors.load(Ordering::Relaxed) as usize,
-                verify_nanos: m.verify_nanos.load(Ordering::Relaxed),
+                candidates: m.candidates.get() as usize,
+                rounds: m.rounds.get() as usize,
+                index_probes: m.index_probes.get() as usize,
+                prefilter_pruned: m.prefilter_pruned.get() as usize,
+                prefilter_survivors: m.prefilter_survivors.get() as usize,
+                verify_nanos: m.verify_nanos.get(),
             },
             elapsed_secs: elapsed,
+            uptime_secs: elapsed,
+            started_at_unix: m.started_at_unix,
             qps: if elapsed > 0.0 {
                 searches as f64 / elapsed
             } else {
                 0.0
             },
-            mean_latency_us: if searches > 0 {
-                m.latency_nanos_total.load(Ordering::Relaxed) as f64 / searches as f64 / 1e3
+            mean_latency_us: if lat.count > 0 {
+                lat.sum_nanos as f64 / lat.count as f64 / 1e3
             } else {
                 0.0
             },
-            p50_latency_us: bucket_quantile_us(&counts, 0.50),
-            p99_latency_us: bucket_quantile_us(&counts, 0.99),
-            latency_buckets: counts,
+            p50_latency_us: log2_quantile_us(&lat.buckets, 0.50),
+            p99_latency_us: log2_quantile_us(&lat.buckets, 0.99),
+            latency_buckets: lat.buckets,
         }
+    }
+
+    /// The engine's metrics registry — every serving counter, gauge, and
+    /// histogram registers here, so the wire front door and the bench
+    /// harnesses scrape one coherent snapshot.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.metrics.registry
+    }
+
+    /// Refresh the scrape-time gauges (queue depth, uptime, index
+    /// breakdown) so a snapshot taken right after reflects the present.
+    fn refresh_gauges(&self) {
+        let m = &self.metrics;
+        m.queue_depth.set(self.queue.depth() as u64);
+        m.uptime.set(m.started.elapsed().as_secs());
+        m.live_points.set(self.index.len() as u64);
+        m.dead_rows.set(self.index.dead_rows() as u64);
+        m.memory_bytes.set(self.index.memory_bytes() as u64);
+        m.compactions.set(self.index.compaction_count());
+        m.wal_truncations
+            .set(self.index.wal_truncations_recovered());
+    }
+
+    /// Render every registered metric in the Prometheus text exposition
+    /// format (gauges refreshed first).
+    pub fn render_metrics_prometheus(&self) -> String {
+        self.refresh_gauges();
+        render_prometheus(&self.metrics.registry.snapshot())
+    }
+
+    /// Render every registered metric as a JSON document (gauges
+    /// refreshed first).
+    pub fn render_metrics_json(&self) -> String {
+        self.refresh_gauges();
+        render_json(&self.metrics.registry.snapshot())
+    }
+
+    /// Snapshot of the slow-query ring log, oldest first. Only traced
+    /// requests ([`SearchOptions::trace`]) are offered to the log.
+    pub fn slow_queries(&self) -> Vec<SlowQuery> {
+        self.metrics.slow_log.snapshot()
+    }
+
+    /// Adjust the slow-query capture threshold at runtime (default
+    /// 100 ms; `Duration::MAX`-scale values effectively disable capture).
+    pub fn set_slow_query_threshold(&self, threshold: Duration) {
+        self.metrics
+            .slow_log
+            .set_threshold_nanos(threshold.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Current slow-query capture threshold.
+    pub fn slow_query_threshold(&self) -> Duration {
+        Duration::from_nanos(self.metrics.slow_log.threshold_nanos())
     }
 
     /// Close the queue, finish every accepted request, and join the
@@ -821,7 +960,7 @@ fn worker_loop(index: &ShardedDbLsh, queue: &Queue, metrics: &Metrics) {
             handle_job(index, metrics, job)
         }));
         if outcome.is_err() {
-            metrics.errors.fetch_add(1, Ordering::Relaxed);
+            metrics.errors.inc();
         }
     }
 }
@@ -840,42 +979,62 @@ fn handle_job(index: &ShardedDbLsh, metrics: &Metrics, job: Job) {
                 if enqueued.elapsed() >= budget {
                     // Expired while queued: never executed, so the
                     // caller can safely retry with a fresh budget.
-                    metrics.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                    metrics.deadline_expired.inc();
                     reply.send(Err(DbLshError::DeadlineExceeded));
                     return;
                 }
             }
-            let result = index.search_with(&query, k, &opts);
-            let latency = enqueued.elapsed().as_nanos() as u64;
-            match &result {
-                Ok(res) => metrics.record_search(latency, &res.stats),
-                Err(_) => {
-                    metrics.errors.fetch_add(1, Ordering::Relaxed);
+            if opts.trace {
+                // Traced path: queue wait is everything up to this
+                // pickup; the sharded search attributes the pipeline
+                // stages; close() makes the per-stage sum equal the
+                // end-to-end latency by construction.
+                let mut trace = QueryTrace::new();
+                trace.add(Stage::Queue, enqueued.elapsed().as_nanos() as u64);
+                let result = index.search_with_trace(&query, k, &opts, &mut trace);
+                let latency = enqueued.elapsed().as_nanos() as u64;
+                match &result {
+                    Ok(res) => {
+                        trace.close(latency);
+                        metrics.record_search(&metrics.knn, latency, &res.stats);
+                        metrics.record_trace(
+                            &trace,
+                            SlowQuery {
+                                args_digest: args_digest(&query, k),
+                                k,
+                                total_nanos: latency,
+                                stage_nanos: trace.stage_nanos,
+                                rounds: res.stats.rounds,
+                                candidates: res.stats.candidates,
+                            },
+                        );
+                    }
+                    Err(_) => metrics.errors.inc(),
                 }
+                reply.send(result);
+            } else {
+                let result = index.search_with(&query, k, &opts);
+                let latency = enqueued.elapsed().as_nanos() as u64;
+                match &result {
+                    Ok(res) => metrics.record_search(&metrics.knn, latency, &res.stats),
+                    Err(_) => metrics.errors.inc(),
+                }
+                reply.send(result);
             }
-            reply.send(result);
         }
         Job::Insert { point, reply } => {
             let result = index.insert(&point);
             match &result {
-                Ok(_) => {
-                    metrics.inserts.fetch_add(1, Ordering::Relaxed);
-                }
-                Err(_) => {
-                    metrics.errors.fetch_add(1, Ordering::Relaxed);
-                }
+                Ok(_) => metrics.inserts.inc(),
+                Err(_) => metrics.errors.inc(),
             }
             reply.send(result);
         }
         Job::Remove { id, reply } => {
             let result = index.remove(id);
             match &result {
-                Ok(_) => {
-                    metrics.removes.fetch_add(1, Ordering::Relaxed);
-                }
-                Err(_) => {
-                    metrics.errors.fetch_add(1, Ordering::Relaxed);
-                }
+                Ok(_) => metrics.removes.inc(),
+                Err(_) => metrics.errors.inc(),
             }
             reply.send(result);
         }
@@ -888,12 +1047,10 @@ fn handle_job(index: &ShardedDbLsh, metrics: &Metrics, job: Job) {
             let result = index.r_c_nn(&query, r);
             let latency = enqueued.elapsed().as_nanos() as u64;
             match &result {
-                // An (r,c)-NN probe is a search: it shares the
-                // search counter and latency histogram.
-                Ok((_, stats)) => metrics.record_search(latency, stats),
-                Err(_) => {
-                    metrics.errors.fetch_add(1, Ordering::Relaxed);
-                }
+                // An (r,c)-NN probe is a search: it shares the search
+                // latency histogram, under its own opcode counter.
+                Ok((_, stats)) => metrics.record_search(&metrics.rcnn, latency, stats),
+                Err(_) => metrics.errors.inc(),
             }
             reply.send(result);
         }
@@ -915,6 +1072,7 @@ mod tests {
     use crate::shard::ShardPolicy;
     use dblsh_core::DbLshBuilder;
     use dblsh_data::synthetic::{gaussian_mixture, MixtureConfig};
+    use dblsh_telemetry::bucket_of;
 
     fn engine(workers: usize, cap: usize) -> Engine {
         let data = gaussian_mixture(&MixtureConfig {
@@ -1153,13 +1311,103 @@ mod tests {
         for nanos in [800u64, 1_500, 70_000, 70_000, 2_000_000] {
             counts[bucket_of(nanos)] += 1;
         }
-        assert_eq!(h.quantile_us(0.50), bucket_quantile_us(&counts, 0.50));
-        assert_eq!(h.quantile_us(0.99), bucket_quantile_us(&counts, 0.99));
+        assert_eq!(h.quantile_us(0.50), log2_quantile_us(&counts, 0.50));
+        assert_eq!(h.quantile_us(0.99), log2_quantile_us(&counts, 0.99));
         let mut merged = LatencyHistogram::new();
         merged.merge(&h);
         merged.merge(&h);
         assert_eq!(merged.count(), 10);
-        assert_eq!(merged.quantile_us(0.5), h.quantile_us(0.5));
+        // Doubling every bucket keeps each quantile in the same bucket;
+        // the interpolated position inside it may legitimately shift.
+        let bucket_of_us = |us: f64| bucket_of((us * 1e3) as u64);
+        assert_eq!(
+            bucket_of_us(merged.quantile_us(0.5)),
+            bucket_of_us(h.quantile_us(0.5))
+        );
+        assert_eq!(
+            bucket_of_us(merged.quantile_us(0.99)),
+            bucket_of_us(h.quantile_us(0.99))
+        );
+    }
+
+    #[test]
+    fn traced_requests_match_untraced_and_feed_stage_histograms() {
+        let engine = engine(2, 32);
+        engine.set_slow_query_threshold(Duration::ZERO);
+        assert_eq!(engine.slow_query_threshold(), Duration::ZERO);
+        let q = [0.3; 12];
+        let untraced = engine.search(&q, 5).wait().unwrap();
+        let traced = engine
+            .search_with(
+                &q,
+                5,
+                SearchOptions {
+                    trace: true,
+                    ..SearchOptions::default()
+                },
+            )
+            .wait()
+            .unwrap();
+        // Tracing must not perturb the answer or the per-query stats.
+        assert_eq!(traced.neighbors, untraced.neighbors);
+        assert_eq!(traced.stats, untraced.stats);
+        // At threshold zero, the one traced request lands in the slow
+        // log — the untraced one is never offered.
+        let slow = engine.slow_queries();
+        assert_eq!(slow.len(), 1);
+        let entry = &slow[0];
+        assert_eq!(entry.k, 5);
+        assert_eq!(entry.args_digest, args_digest(&q, 5));
+        assert_eq!(
+            entry.stage_nanos.iter().sum::<u64>(),
+            entry.total_nanos,
+            "close() makes the per-stage sum equal end-to-end latency"
+        );
+        assert!(entry.stage_nanos[Stage::Projection as usize] > 0);
+        assert!(entry.stage_nanos[Stage::TreeProbe as usize] > 0);
+        let stats = engine.stats();
+        assert_eq!(stats.searches, 2);
+        assert_eq!(stats.knn_requests, 2);
+        assert_eq!(stats.rcnn_requests, 0);
+        assert!(stats.uptime_secs > 0.0);
+        assert!(stats.started_at_unix > 0);
+    }
+
+    #[test]
+    fn metrics_renderings_cover_the_catalogue() {
+        let engine = engine(1, 8);
+        assert!(engine.search(&[0.1; 12], 3).wait().is_ok());
+        assert!(engine
+            .search_with(
+                &[0.1; 12],
+                3,
+                SearchOptions {
+                    trace: true,
+                    ..SearchOptions::default()
+                },
+            )
+            .wait()
+            .is_ok());
+        let prom = engine.render_metrics_prometheus();
+        for needle in [
+            "dblsh_requests_total{op=\"knn\"} 2\n",
+            "dblsh_requests_total{op=\"rcnn\"} 0\n",
+            "# TYPE dblsh_request_seconds summary",
+            "dblsh_stage_seconds{stage=\"projection\",quantile=\"0.5\"}",
+            "dblsh_queue_depth 0\n",
+            "dblsh_live_points 400\n",
+            "dblsh_wal_truncations_recovered 0\n",
+        ] {
+            assert!(prom.contains(needle), "missing {needle:?} in:\n{prom}");
+        }
+        let json = engine.render_metrics_json();
+        assert!(
+            json.contains("\"name\":\"dblsh_request_seconds\""),
+            "{json}"
+        );
+        assert!(json.contains("\"kind\":\"histogram\""), "{json}");
+        // same registry behind both renderings
+        assert!(Arc::ptr_eq(engine.registry(), &engine.metrics.registry));
     }
 
     #[test]
@@ -1171,8 +1419,8 @@ mod tests {
             qps: 5.0,
             elapsed_secs: 2.0,
             mean_latency_us: 100.0,
-            p50_latency_us: bucket_quantile_us(&buckets, 0.50),
-            p99_latency_us: bucket_quantile_us(&buckets, 0.99),
+            p50_latency_us: log2_quantile_us(&buckets, 0.50),
+            p99_latency_us: log2_quantile_us(&buckets, 0.99),
             latency_buckets: buckets,
             ..EngineStats::default()
         };
@@ -1185,8 +1433,20 @@ mod tests {
         assert_eq!(total.qps, 5.0);
         assert_eq!(total.mean_latency_us, 100.0);
         assert_eq!(total.latency_buckets[16], 20);
-        assert_eq!(total.p50_latency_us, a.p50_latency_us);
-        assert_eq!(total.p99_latency_us, a.p99_latency_us);
+        // Quantiles are recomputed from the combined histogram; with
+        // every observation in bucket 16 they must stay inside it
+        // ([2^16, 2^17) ns = [65.536, 131.072) us).
+        assert_eq!(
+            total.p50_latency_us,
+            log2_quantile_us(&total.latency_buckets, 0.50)
+        );
+        assert_eq!(
+            total.p99_latency_us,
+            log2_quantile_us(&total.latency_buckets, 0.99)
+        );
+        for q in [total.p50_latency_us, total.p99_latency_us] {
+            assert!((65.536..131.072).contains(&q), "{q} outside bucket 16");
+        }
     }
 
     #[test]
@@ -1201,15 +1461,15 @@ mod tests {
         slow[20] = 10;
         let a = EngineStats {
             searches: 90,
-            p50_latency_us: bucket_quantile_us(&fast, 0.50),
-            p99_latency_us: bucket_quantile_us(&fast, 0.99),
+            p50_latency_us: log2_quantile_us(&fast, 0.50),
+            p99_latency_us: log2_quantile_us(&fast, 0.99),
             latency_buckets: fast,
             ..EngineStats::default()
         };
         let b = EngineStats {
             searches: 10,
-            p50_latency_us: bucket_quantile_us(&slow, 0.50),
-            p99_latency_us: bucket_quantile_us(&slow, 0.99),
+            p50_latency_us: log2_quantile_us(&slow, 0.50),
+            p99_latency_us: log2_quantile_us(&slow, 0.99),
             latency_buckets: slow,
             ..EngineStats::default()
         };
@@ -1217,8 +1477,8 @@ mod tests {
         total.merge(&b);
         // combined: rank 50 of 100 falls in the fast bucket; rank 99 in
         // the slow one
-        assert_eq!(total.p50_latency_us, bucket_quantile_us(&fast, 0.50));
-        assert_eq!(total.p99_latency_us, bucket_quantile_us(&slow, 0.99));
+        assert_eq!(bucket_of((total.p50_latency_us * 1e3) as u64), 10);
+        assert_eq!(bucket_of((total.p99_latency_us * 1e3) as u64), 20);
         assert!(total.p50_latency_us < b.p50_latency_us);
         // and the fold is symmetric
         let mut rev = b.clone();

@@ -58,6 +58,7 @@ use dblsh_data::io::{SectionBuf, SnapshotReader, SnapshotWriter};
 use dblsh_data::kernels::key_parts;
 use dblsh_data::wal::WalFile;
 use dblsh_data::{AnnIndex, Dataset, DbLshError, Neighbor, QueryStats, SearchResult, Sq8Grid};
+use dblsh_telemetry::{QueryTrace, Stage};
 
 use crate::walrec::{self, WalOp};
 
@@ -252,6 +253,11 @@ pub struct ShardedDbLsh {
     /// set, every insert/remove is logged **before** it is applied and
     /// [`ShardedDbLsh::load_dir`] replays the tail past the snapshot.
     wal: Option<FleetWal>,
+    /// How many shard logs had a torn (partially written) final record
+    /// dropped and physically truncated during the [`ShardedDbLsh::load_dir`]
+    /// crash recovery that produced this fleet. The fault-path counter
+    /// the torture harness asserts on.
+    wal_truncations: AtomicU64,
 }
 
 impl ShardedDbLsh {
@@ -368,6 +374,7 @@ impl ShardedDbLsh {
             compaction: None,
             compactions: AtomicU64::new(0),
             wal: None,
+            wal_truncations: AtomicU64::new(0),
         })
     }
 
@@ -664,6 +671,32 @@ impl ShardedDbLsh {
         Ok(res)
     }
 
+    /// [`ShardedDbLsh::search_with`] with a per-stage
+    /// [`dblsh_telemetry::QueryTrace`]: projection (all shards'
+    /// query-projection + SQ8 preparation), per-round tree probing, SQ8
+    /// pre-filtering, exact verification, and the cross-shard canonical
+    /// merge (`sort_unstable` + ladder consumption,
+    /// [`Stage::Merge`]) are timed into `trace`. Answers and
+    /// [`QueryStats`] are byte-identical to the untraced path — the
+    /// serving engine flips tracing per request without perturbing
+    /// results.
+    pub fn search_with_trace(
+        &self,
+        q: &[f32],
+        k: usize,
+        opts: &SearchOptions,
+        trace: &mut QueryTrace,
+    ) -> Result<SearchResult, DbLshError> {
+        check_query(self.dim, q, k)?;
+        let plan = opts.plan(&self.params, k)?;
+        let mut res =
+            with_fan_out_scratch(|scratch| self.fan_out_traced(q, k, &plan, scratch, trace))?;
+        if opts.skip_stats {
+            res.stats = QueryStats::default();
+        }
+        Ok(res)
+    }
+
     /// The fan-out/merge kernel: probe every shard per ladder round,
     /// merge the per-shard canonical key streams, and let the
     /// [`CanonicalLadder`] consume them in global `(distance, id)` order.
@@ -710,6 +743,58 @@ impl ShardedDbLsh {
             }
             keys.sort_unstable(); // merge: global canonical order
             ladder.consume(keys, &mut stats);
+        }
+        Ok(ladder.into_result(stats))
+    }
+
+    /// [`ShardedDbLsh::fan_out`] with per-stage timing. Mirrors the
+    /// untraced kernel statement for statement — the traced prober
+    /// entry points are themselves pinned byte-identical — so only the
+    /// clock reads differ.
+    fn fan_out_traced(
+        &self,
+        q: &[f32],
+        k: usize,
+        plan: &LadderPlan,
+        scratch: &mut FanOutScratch,
+        trace: &mut QueryTrace,
+    ) -> Result<SearchResult, DbLshError> {
+        if scratch.probers.len() < self.shards.len() {
+            scratch
+                .probers
+                .resize_with(self.shards.len(), ProberScratch::default);
+        }
+        let guards: Vec<RwLockReadGuard<'_, Shard>> = self
+            .shards
+            .iter()
+            .map(|s| s.read().expect("shard lock poisoned"))
+            .collect();
+        let live: usize = guards.iter().map(|g| g.index.len()).sum();
+        let mut probers = Vec::with_capacity(guards.len());
+        for (g, sc) in guards.iter().zip(scratch.probers.iter_mut()) {
+            probers.push(g.index.ladder_prober_traced(q, sc, trace)?);
+        }
+        let mut ladder = CanonicalLadder::new(plan, self.params.c, k, live);
+        let mut stats = QueryStats::default();
+        let keys = &mut scratch.keys;
+        while let Some(r) = ladder.begin_round(&mut stats) {
+            keys.clear();
+            let prune = plan.prefilter.then(|| ladder.prune_threshold());
+            for (guard, prober) in guards.iter().zip(probers.iter_mut()) {
+                prober.probe_round_traced(
+                    r,
+                    plan.timing,
+                    prune,
+                    &mut stats,
+                    |local| guard.global_of_local[local as usize],
+                    keys,
+                    trace,
+                );
+            }
+            let merge_started = std::time::Instant::now();
+            keys.sort_unstable(); // merge: global canonical order
+            ladder.consume(keys, &mut stats);
+            trace.add(Stage::Merge, merge_started.elapsed().as_nanos() as u64);
         }
         Ok(ladder.into_result(stats))
     }
@@ -1028,11 +1113,13 @@ impl ShardedDbLsh {
         // already dropped (and physically truncated) by `WalFile::open`;
         // they were never acknowledged.
         let base_total: usize = tables.iter().map(Vec::len).sum();
+        let mut torn_tails = 0u64;
         let wal = if wal_enabled {
             let mut logs = Vec::with_capacity(shard_count);
             for (s, lock) in shards.iter_mut().enumerate() {
                 let (log, replay) =
                     WalFile::open(dir.join(format!("wal-{s}.dblshwal")), FLEET_WAL_KIND)?;
+                torn_tails += u64::from(replay.torn);
                 let shard = lock.get_mut().expect("fresh lock");
                 for (i, rec) in replay.records.iter().enumerate() {
                     let fail = |e: DbLshError| {
@@ -1122,7 +1209,18 @@ impl ShardedDbLsh {
             compaction: has_compaction.then_some(compaction),
             compactions: AtomicU64::new(0),
             wal,
+            wal_truncations: AtomicU64::new(torn_tails),
         })
+    }
+
+    /// How many shard WAL logs had a torn final record dropped (and the
+    /// file physically truncated back to the last whole record) by the
+    /// [`ShardedDbLsh::load_dir`] crash recovery that produced this
+    /// fleet. Zero for a freshly built fleet or a clean shutdown; the
+    /// torture harness asserts it goes non-zero when it tears log tails
+    /// on purpose.
+    pub fn wal_truncations_recovered(&self) -> u64 {
+        self.wal_truncations.load(Ordering::Relaxed)
     }
 }
 

@@ -198,6 +198,41 @@ proptest! {
         assert_parity(&restored, &reference, &q, k);
     }
 
+    /// Per-stage tracing is observation-only: the traced sharded search
+    /// answers byte-identically to the untraced one — same neighbor ids,
+    /// same distance bits, same work counters — under both prefilter
+    /// settings, while the trace itself attributes real time to the
+    /// projection and tree-probe stages.
+    #[test]
+    fn traced_sharded_search_is_observation_only(
+        rows in distinct_rows(100, 6),
+        k in 1usize..8,
+        qi in 0usize..100,
+        prefilter in prop::bool::ANY,
+    ) {
+        use dblsh_telemetry::{QueryTrace, Stage};
+        let data = Dataset::from_rows(&rows);
+        let n = data.len();
+        let p = params(n);
+        let sharded =
+            ShardedDbLsh::build_with_params(&data, &p, 2, ShardPolicy::RoundRobin).unwrap();
+        let q = data.point(qi % n).to_vec();
+        let opts = SearchOptions { prefilter, ..Default::default() };
+        let untraced = sharded.search_with(&q, k, &opts).unwrap();
+        let mut trace = QueryTrace::new();
+        let traced = sharded.search_with_trace(&q, k, &opts, &mut trace).unwrap();
+        prop_assert_eq!(traced.ids(), untraced.ids());
+        for (a, b) in traced.neighbors.iter().zip(&untraced.neighbors) {
+            prop_assert_eq!(a.dist.to_bits(), b.dist.to_bits());
+        }
+        prop_assert_eq!(traced.stats.clone(), untraced.stats.clone());
+        prop_assert!(trace.get(Stage::Projection) > 0);
+        prop_assert!(trace.get(Stage::TreeProbe) > 0);
+        // nothing attributes queue or reply time below the engine
+        prop_assert_eq!(trace.get(Stage::Queue), 0);
+        prop_assert_eq!(trace.get(Stage::Reply), 0);
+    }
+
     /// skip_stats zeroes counters without changing answers, and
     /// `QueryStats` merging over a sharded batch equals the per-query
     /// fold.

@@ -1,0 +1,248 @@
+//! Exposition renderers: Prometheus text format and a JSON document over
+//! a [`Registry`](crate::registry::Registry) snapshot.
+//!
+//! Both renderers are deterministic byte-for-byte for a given snapshot
+//! (the snapshot itself is deterministically ordered), which is what the
+//! golden tests — and the CI scrape-and-diff step — rely on.
+//!
+//! Histograms are rendered in Prometheus *summary* form (`quantile`
+//! labels plus `_sum`/`_count`) rather than 64 `_bucket` lines per
+//! series: the log₂ shape would bloat every scrape, and the quantiles
+//! are what dashboards plot. The JSON form keeps the raw (sparse)
+//! buckets so trajectory artifacts can merge distributions exactly.
+
+use crate::registry::{MetricSample, SampleValue};
+
+/// Quantiles rendered for each histogram series.
+const QUANTILES: [f64; 3] = [0.5, 0.9, 0.99];
+
+fn escape_label(v: &str, out: &mut String) {
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn prom_labels(labels: &[(String, String)], extra: Option<(&str, &str)>, out: &mut String) {
+    if labels.is_empty() && extra.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.as_str()))
+        .chain(extra)
+    {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(k);
+        out.push_str("=\"");
+        escape_label(v, out);
+        out.push('"');
+    }
+    out.push('}');
+}
+
+/// Render a snapshot in the Prometheus text exposition format.
+pub fn render_prometheus(samples: &[MetricSample]) -> String {
+    let mut out = String::new();
+    let mut last_name: Option<&str> = None;
+    for s in samples {
+        if last_name != Some(s.name.as_str()) {
+            last_name = Some(s.name.as_str());
+            out.push_str("# HELP ");
+            out.push_str(&s.name);
+            out.push(' ');
+            out.push_str(s.help);
+            out.push('\n');
+            out.push_str("# TYPE ");
+            out.push_str(&s.name);
+            out.push(' ');
+            out.push_str(match s.value {
+                SampleValue::Counter(_) => "counter",
+                SampleValue::Gauge(_) => "gauge",
+                SampleValue::Histogram(_) => "summary",
+            });
+            out.push('\n');
+        }
+        match &s.value {
+            SampleValue::Counter(v) | SampleValue::Gauge(v) => {
+                out.push_str(&s.name);
+                prom_labels(&s.labels, None, &mut out);
+                out.push(' ');
+                out.push_str(&v.to_string());
+                out.push('\n');
+            }
+            SampleValue::Histogram(h) => {
+                for q in QUANTILES {
+                    let label = format!("{q}");
+                    out.push_str(&s.name);
+                    prom_labels(&s.labels, Some(("quantile", &label)), &mut out);
+                    out.push(' ');
+                    // quantile_us → seconds, the Prometheus base unit
+                    out.push_str(&format!("{}", h.quantile_us(q) / 1e6));
+                    out.push('\n');
+                }
+                out.push_str(&s.name);
+                out.push_str("_sum");
+                prom_labels(&s.labels, None, &mut out);
+                out.push(' ');
+                out.push_str(&format!("{}", h.sum_nanos as f64 / 1e9));
+                out.push('\n');
+                out.push_str(&s.name);
+                out.push_str("_count");
+                prom_labels(&s.labels, None, &mut out);
+                out.push(' ');
+                out.push_str(&h.count.to_string());
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+fn escape_json(v: &str, out: &mut String) {
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Render a snapshot as a single JSON document:
+/// `{"metrics":[{"name":...,"labels":{...},"kind":...,...},...]}`.
+/// Counters and gauges carry `"value"`; histograms carry `"count"`,
+/// `"sum_nanos"`, `"p50_us"`/`"p99_us"`, and sparse
+/// `"buckets":[[index,count],...]`.
+pub fn render_json(samples: &[MetricSample]) -> String {
+    let mut out = String::from("{\"metrics\":[");
+    for (i, s) in samples.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":\"");
+        escape_json(&s.name, &mut out);
+        out.push_str("\",\"labels\":{");
+        for (j, (k, v)) in s.labels.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            escape_json(k, &mut out);
+            out.push_str("\":\"");
+            escape_json(v, &mut out);
+            out.push('"');
+        }
+        out.push_str("},\"kind\":\"");
+        match &s.value {
+            SampleValue::Counter(v) => {
+                out.push_str(&format!("counter\",\"value\":{v}}}"));
+            }
+            SampleValue::Gauge(v) => {
+                out.push_str(&format!("gauge\",\"value\":{v}}}"));
+            }
+            SampleValue::Histogram(h) => {
+                out.push_str(&format!(
+                    "histogram\",\"count\":{},\"sum_nanos\":{},\"p50_us\":{},\"p99_us\":{},\"buckets\":[",
+                    h.count,
+                    h.sum_nanos,
+                    h.quantile_us(0.50),
+                    h.quantile_us(0.99),
+                ));
+                let mut first = true;
+                for (b, &c) in h.buckets.iter().enumerate() {
+                    if c == 0 {
+                        continue;
+                    }
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    out.push_str(&format!("[{b},{c}]"));
+                }
+                out.push_str("]}");
+            }
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    /// A registry with one of everything, at pinned values, so the
+    /// golden files stay byte-stable.
+    fn golden_registry() -> Registry {
+        let reg = Registry::new();
+        let knn = reg.counter(
+            "dblsh_requests_total",
+            "Requests by opcode.",
+            &[("op", "knn")],
+        );
+        knn.add(42);
+        let ins = reg.counter(
+            "dblsh_requests_total",
+            "Requests by opcode.",
+            &[("op", "insert")],
+        );
+        ins.add(7);
+        let depth = reg.gauge("dblsh_queue_depth", "Jobs queued.", &[]);
+        depth.set(3);
+        let stage = reg.histo(
+            "dblsh_stage_seconds",
+            "Per-stage latency.",
+            &[("stage", "verify")],
+        );
+        for nanos in [1_100u64, 1_100, 70_000, 1_000_000] {
+            stage.record(nanos);
+        }
+        reg
+    }
+
+    #[test]
+    fn prometheus_exposition_matches_golden_bytes() {
+        let got = render_prometheus(&golden_registry().snapshot());
+        let want = include_str!("../golden/exposition.prom");
+        assert_eq!(got, want, "rendered:\n{got}");
+    }
+
+    #[test]
+    fn json_exposition_matches_golden_bytes() {
+        let got = render_json(&golden_registry().snapshot());
+        let want = include_str!("../golden/exposition.json").trim_end_matches('\n');
+        assert_eq!(got, want, "rendered:\n{got}");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let reg = Registry::new();
+        let c = reg.counter("m", "h", &[("path", "a\"b\\c")]);
+        c.inc();
+        let prom = render_prometheus(&reg.snapshot());
+        assert!(prom.contains("m{path=\"a\\\"b\\\\c\"} 1\n"), "{prom}");
+        let json = render_json(&reg.snapshot());
+        assert!(json.contains("\"path\":\"a\\\"b\\\\c\""), "{json}");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty_documents() {
+        assert_eq!(render_prometheus(&[]), "");
+        assert_eq!(render_json(&[]), "{\"metrics\":[]}");
+    }
+}

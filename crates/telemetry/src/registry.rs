@@ -1,0 +1,344 @@
+//! The unified metrics registry: named counters, gauges, and log₂
+//! histograms behind cheap typed handles.
+//!
+//! Registration (cold path) takes a mutex and dedupes by
+//! `(name, sorted labels)`; the returned [`Counter`] / [`Gauge`] /
+//! [`Histo`] handles are `Arc`-shared atomic cells, so the hot path —
+//! a worker bumping a counter per request — is a single relaxed
+//! `fetch_add` with no lock and no hash lookup. Handles are `Clone` and
+//! `Send + Sync`; clones of the same registration share one cell, and
+//! re-registering an existing `(name, labels)` pair returns a handle to
+//! the original cell (idempotent), so every subsystem can "register" its
+//! metrics at startup without coordinating.
+//!
+//! [`Registry::snapshot`] walks the registrations in a deterministic
+//! order — name ascending, then label set ascending — which is what lets
+//! the Prometheus exposition be golden-tested byte-for-byte.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::histogram::{HistoCell, HistoSnapshot};
+
+/// A monotonically increasing counter handle.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins gauge handle (u64 values: depths, byte counts,
+/// event totals sampled at scrape time).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A log₂(nanoseconds) histogram handle.
+#[derive(Debug, Clone)]
+pub struct Histo(Arc<HistoCell>);
+
+impl Histo {
+    /// Record one observation of `nanos`.
+    #[inline]
+    pub fn record(&self, nanos: u64) {
+        self.0.record(nanos);
+    }
+
+    /// Point-in-time copy of the cell.
+    pub fn snapshot(&self) -> HistoSnapshot {
+        self.0.snapshot()
+    }
+}
+
+/// What kind of cell a registration holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing counter.
+    Counter,
+    /// Last-write-wins gauge.
+    Gauge,
+    /// log₂(ns) histogram.
+    Histogram,
+}
+
+#[derive(Debug, Clone)]
+enum Cell {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Histo(Arc<HistoCell>),
+}
+
+#[derive(Debug)]
+struct Registration {
+    help: &'static str,
+    cell: Cell,
+}
+
+/// One sampled series in a [`Registry::snapshot`].
+#[derive(Debug, Clone)]
+pub struct MetricSample {
+    /// Metric family name (e.g. `dblsh_requests_total`).
+    pub name: String,
+    /// Sorted `(key, value)` label pairs.
+    pub labels: Vec<(String, String)>,
+    /// One-line help text from the first registration of the family.
+    pub help: &'static str,
+    /// The sampled value.
+    pub value: SampleValue,
+}
+
+/// The value of one sampled series.
+#[derive(Debug, Clone)]
+pub enum SampleValue {
+    /// Counter reading.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(u64),
+    /// Histogram snapshot (buckets, count, exact nanosecond sum).
+    /// Boxed: the 64-bucket snapshot dwarfs the scalar variants.
+    Histogram(Box<HistoSnapshot>),
+}
+
+/// The registry. Cheap to share (`Arc<Registry>`); see the module docs
+/// for the cold/hot path split.
+/// A series identity: family name plus its sorted label pairs.
+type SeriesKey = (String, Vec<(String, String)>);
+
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<BTreeMap<SeriesKey, Registration>>,
+}
+
+impl Registry {
+    /// Fresh, empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Register (or look up) the counter `name` with `labels`.
+    ///
+    /// # Panics
+    /// Panics if `(name, labels)` was already registered as a different
+    /// kind — one series, one type.
+    pub fn counter(&self, name: &str, help: &'static str, labels: &[(&str, &str)]) -> Counter {
+        match self.cell_for(name, help, labels, MetricKind::Counter) {
+            Cell::Counter(c) => Counter(c),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Register (or look up) the gauge `name` with `labels`.
+    ///
+    /// # Panics
+    /// Panics on a kind mismatch with an existing registration.
+    pub fn gauge(&self, name: &str, help: &'static str, labels: &[(&str, &str)]) -> Gauge {
+        match self.cell_for(name, help, labels, MetricKind::Gauge) {
+            Cell::Gauge(g) => Gauge(g),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Register (or look up) the histogram `name` with `labels`.
+    ///
+    /// # Panics
+    /// Panics on a kind mismatch with an existing registration.
+    pub fn histo(&self, name: &str, help: &'static str, labels: &[(&str, &str)]) -> Histo {
+        match self.cell_for(name, help, labels, MetricKind::Histogram) {
+            Cell::Histo(h) => Histo(h),
+            _ => unreachable!(),
+        }
+    }
+
+    fn cell_for(
+        &self,
+        name: &str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+        kind: MetricKind,
+    ) -> Cell {
+        let mut sorted: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        sorted.sort();
+        let key = (name.to_string(), sorted);
+        let mut inner = self.inner.lock().expect("registry mutex poisoned");
+        let reg = inner.entry(key).or_insert_with(|| Registration {
+            help,
+            cell: match kind {
+                MetricKind::Counter => Cell::Counter(Arc::new(AtomicU64::new(0))),
+                MetricKind::Gauge => Cell::Gauge(Arc::new(AtomicU64::new(0))),
+                MetricKind::Histogram => Cell::Histo(Arc::new(HistoCell::default())),
+            },
+        });
+        let found = match &reg.cell {
+            Cell::Counter(_) => MetricKind::Counter,
+            Cell::Gauge(_) => MetricKind::Gauge,
+            Cell::Histo(_) => MetricKind::Histogram,
+        };
+        assert_eq!(
+            found, kind,
+            "metric {name:?} already registered as {found:?}, requested {kind:?}"
+        );
+        reg.cell.clone()
+    }
+
+    /// Number of registered series.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("registry mutex poisoned").len()
+    }
+
+    /// Whether nothing has been registered yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Deterministically ordered point-in-time samples of every
+    /// registered series (name ascending, then label set ascending).
+    pub fn snapshot(&self) -> Vec<MetricSample> {
+        let inner = self.inner.lock().expect("registry mutex poisoned");
+        inner
+            .iter()
+            .map(|((name, labels), reg)| MetricSample {
+                name: name.clone(),
+                labels: labels.clone(),
+                help: reg.help,
+                value: match &reg.cell {
+                    Cell::Counter(c) => SampleValue::Counter(c.load(Ordering::Relaxed)),
+                    Cell::Gauge(g) => SampleValue::Gauge(g.load(Ordering::Relaxed)),
+                    Cell::Histo(h) => SampleValue::Histogram(Box::new(h.snapshot())),
+                },
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn handles_share_one_cell_per_registration() {
+        let reg = Registry::new();
+        let a = reg.counter("dblsh_requests_total", "requests", &[("op", "knn")]);
+        let b = reg.counter("dblsh_requests_total", "requests", &[("op", "knn")]);
+        let other = reg.counter("dblsh_requests_total", "requests", &[("op", "insert")]);
+        a.inc();
+        b.add(2);
+        other.inc();
+        assert_eq!(a.get(), 3, "same (name, labels) must share a cell");
+        assert_eq!(other.get(), 1);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn label_order_does_not_split_series() {
+        let reg = Registry::new();
+        let a = reg.gauge("g", "g", &[("a", "1"), ("b", "2")]);
+        let b = reg.gauge("g", "g", &[("b", "2"), ("a", "1")]);
+        a.set(7);
+        assert_eq!(b.get(), 7);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        let _ = reg.counter("m", "m", &[]);
+        let _ = reg.gauge("m", "m", &[]);
+    }
+
+    #[test]
+    fn snapshot_order_is_deterministic() {
+        let reg = Registry::new();
+        let _ = reg.counter("zzz", "z", &[]);
+        let _ = reg.counter("aaa", "a", &[("shard", "1")]);
+        let _ = reg.counter("aaa", "a", &[("shard", "0")]);
+        let _ = reg.histo("mid", "m", &[]);
+        let names: Vec<String> = reg
+            .snapshot()
+            .iter()
+            .map(|s| {
+                let labels: Vec<String> =
+                    s.labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                format!("{}{{{}}}", s.name, labels.join(","))
+            })
+            .collect();
+        assert_eq!(
+            names,
+            vec!["aaa{shard=0}", "aaa{shard=1}", "mid{}", "zzz{}"]
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        // N threads hammering shared counter/gauge/histogram handles:
+        // the final sums must be exact — no lost updates, no torn reads.
+        #[test]
+        fn concurrent_hammering_keeps_sums_exact(
+            threads in 2usize..6,
+            per_thread in 1u64..400,
+        ) {
+            let reg = std::sync::Arc::new(Registry::new());
+            let total = reg.counter("hits", "hits", &[]);
+            let gauge = reg.gauge("depth", "depth", &[]);
+            let histo = reg.histo("lat", "lat", &[]);
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let total = total.clone();
+                let gauge = gauge.clone();
+                let histo = histo.clone();
+                handles.push(std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        total.inc();
+                        gauge.set(t as u64);
+                        histo.record(1 + i % 4096);
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            let want = threads as u64 * per_thread;
+            prop_assert_eq!(total.get(), want);
+            prop_assert!(gauge.get() < threads as u64);
+            let snap = histo.snapshot();
+            prop_assert_eq!(snap.count, want);
+            prop_assert_eq!(snap.buckets.iter().sum::<u64>(), want);
+        }
+    }
+}

@@ -158,3 +158,7 @@ pub use dblsh_bptree as bptree;
 
 /// LSH collision probabilities and parameter theory.
 pub use dblsh_math as math;
+
+/// Telemetry plane: unified metrics registry, per-stage query tracing,
+/// slow-query ring log, and Prometheus/JSON exposition.
+pub use dblsh_telemetry as telemetry;
