@@ -1,0 +1,238 @@
+//! Structured findings, the two renderers (human and JSON), and the
+//! committed baseline that inventories pre-existing debt.
+//!
+//! A baseline entry is `(rule, path, message)` — deliberately without a
+//! line number, so unrelated edits that shift code don't churn the file.
+//! Every baseline entry must still match a live finding: an entry that
+//! no longer matches is *stale* and is itself reported, which is what
+//! lets CI fail when the baseline shrinks without being regenerated.
+
+use std::fmt::Write as _;
+
+/// One finding: a rule violation at a file:line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: &'static str,
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    pub message: String,
+}
+
+impl Finding {
+    pub fn new(rule: &'static str, path: &str, line: u32, message: impl Into<String>) -> Finding {
+        Finding {
+            rule,
+            path: path.to_string(),
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+/// Render findings for humans: `path:line: [rule] message`, sorted.
+pub fn render_human(findings: &[Finding], suppressed: usize, baselined: usize) -> String {
+    let mut out = String::new();
+    for f in findings {
+        let _ = writeln!(out, "{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+    }
+    let _ = writeln!(
+        out,
+        "{} finding(s), {} suppressed inline, {} baselined",
+        findings.len(),
+        suppressed,
+        baselined
+    );
+    out
+}
+
+/// Render findings as a single JSON document (the CI artifact).
+pub fn render_json(findings: &[Finding], suppressed: usize, baselined: usize) -> String {
+    let mut out = String::from("{\n  \"findings\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            escape(f.rule),
+            escape(&f.path),
+            f.line,
+            escape(&f.message)
+        );
+        out.push_str(if i + 1 < findings.len() { ",\n" } else { "\n" });
+    }
+    let _ = write!(
+        out,
+        "  ],\n  \"count\": {},\n  \"suppressed\": {},\n  \"baselined\": {}\n}}\n",
+        findings.len(),
+        suppressed,
+        baselined
+    );
+    out
+}
+
+/// JSON string escaping (the subset std gives us no helper for).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A baseline entry; see the module docs for matching semantics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    pub rule: String,
+    pub path: String,
+    pub message: String,
+}
+
+/// Serialize a baseline from the current findings (sorted, deduped).
+pub fn write_baseline(findings: &[Finding]) -> String {
+    let mut entries: Vec<(String, String, String)> = findings
+        .iter()
+        .map(|f| (f.rule.to_string(), f.path.clone(), f.message.clone()))
+        .collect();
+    entries.sort();
+    entries.dedup();
+    let mut out = String::from("[\n");
+    for (i, (rule, path, message)) in entries.iter().enumerate() {
+        let _ = write!(
+            out,
+            "  {{\"rule\": \"{}\", \"path\": \"{}\", \"message\": \"{}\"}}",
+            escape(rule),
+            escape(path),
+            escape(message)
+        );
+        out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Parse a baseline file. The format is exactly what
+/// [`write_baseline`] emits: a JSON array of flat objects with string
+/// values. Anything else is an error — a hand-mangled baseline must not
+/// silently drop entries.
+pub fn parse_baseline(text: &str) -> Result<Vec<BaselineEntry>, String> {
+    let mut p = JsonParser {
+        chars: text.chars().collect(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect('[')?;
+    let mut out = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(']') {
+        p.pos += 1;
+        return Ok(out);
+    }
+    loop {
+        p.skip_ws();
+        p.expect('{')?;
+        let mut rule = None;
+        let mut path = None;
+        let mut message = None;
+        loop {
+            p.skip_ws();
+            let key = p.string()?;
+            p.skip_ws();
+            p.expect(':')?;
+            p.skip_ws();
+            let val = p.string()?;
+            match key.as_str() {
+                "rule" => rule = Some(val),
+                "path" => path = Some(val),
+                "message" => message = Some(val),
+                other => return Err(format!("unknown baseline key {other:?}")),
+            }
+            p.skip_ws();
+            match p.next() {
+                Some(',') => continue,
+                Some('}') => break,
+                other => return Err(format!("expected , or }} in entry, got {other:?}")),
+            }
+        }
+        out.push(BaselineEntry {
+            rule: rule.ok_or("baseline entry missing \"rule\"")?,
+            path: path.ok_or("baseline entry missing \"path\"")?,
+            message: message.ok_or("baseline entry missing \"message\"")?,
+        });
+        p.skip_ws();
+        match p.next() {
+            Some(',') => continue,
+            Some(']') => break,
+            other => return Err(format!("expected , or ] after entry, got {other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+struct JsonParser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl JsonParser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<char> {
+        let c = self.peek();
+        self.pos += 1;
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while self.peek().is_some_and(|c| c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), String> {
+        match self.next() {
+            Some(c) if c == want => Ok(()),
+            other => Err(format!("expected {want:?}, got {other:?}")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                Some('"') => return Ok(out),
+                Some('\\') => match self.next() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some('r') => out.push('\r'),
+                    Some('u') => {
+                        let mut v = 0u32;
+                        for _ in 0..4 {
+                            let d = self.next().and_then(|c| c.to_digit(16));
+                            v = v * 16 + d.ok_or("bad \\u escape")?;
+                        }
+                        out.push(char::from_u32(v).ok_or("bad \\u codepoint")?);
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(c) => out.push(c),
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+}

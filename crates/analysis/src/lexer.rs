@@ -1,0 +1,462 @@
+//! A hand-rolled Rust lexer, tuned for static analysis rather than
+//! compilation: it preserves comments as first-class tokens (rules read
+//! `SAFETY:` / `// order:` / `// lint: allow(...)` justifications out of
+//! them), tracks the source line of every token, and gets the classic
+//! trip-wires right — string and raw-string literals (so an `unsafe`
+//! inside a string is not an `unsafe` block), nested block comments, and
+//! the `'a'`-char-literal versus `'a`-lifetime ambiguity.
+//!
+//! It is deliberately lossy where analysis doesn't care: numeric literals
+//! are kept as raw text, keywords are ordinary [`TokKind::Ident`] tokens,
+//! and no spans finer than a line are recorded.
+
+/// What a token is, at the granularity the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers, `r#type`).
+    Ident,
+    /// A lifetime such as `'a` (the tick is kept in the text).
+    Lifetime,
+    /// A char literal such as `'x'` or `'\u{1F600}'`.
+    CharLit,
+    /// Any string-like literal: `"…"`, `r#"…"#`, `b"…"`, `br"…"`, `c"…"`.
+    StrLit,
+    /// A numeric literal, raw text (`0x_ff`, `1.0e-5`, `3usize`, …).
+    NumLit,
+    /// Punctuation; common multi-character operators (`::`, `->`, `=>`,
+    /// `..`, `==`, …) are fused into one token.
+    Punct,
+    /// A `//` comment (doc comments included); text keeps the slashes.
+    LineComment,
+    /// A `/* … */` comment (nesting folded in); text keeps delimiters.
+    BlockComment,
+}
+
+/// One lexed token: kind, raw text, and the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is trivia (a comment) rather than code.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// Multi-character operators fused into single [`TokKind::Punct`] tokens,
+/// longest first so `..=` wins over `..` wins over `.`.
+const MULTI_PUNCT: &[&str] = &[
+    "..=", "...", "<<=", ">>=", "::", "->", "=>", "..", "==", "!=", "<=", ">=", "&&", "||", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+/// Lex `src` into tokens. Never fails: unterminated literals or comments
+/// degenerate into a token that runs to end of input, which is the most
+/// useful behavior for an analyzer pointed at code that rustc already
+/// accepts.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.char_indices().collect(),
+        src,
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<(usize, char)>,
+    src: &'a str,
+    /// Index into `chars`.
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).map(|&(_, c)| c)
+    }
+
+    fn byte_at(&self, idx: usize) -> usize {
+        self.chars
+            .get(idx)
+            .map_or(self.src.len(), |&(byte, _)| byte)
+    }
+
+    /// Advance one char, keeping the line counter honest.
+    fn bump(&mut self) {
+        if let Some(&(_, c)) = self.chars.get(self.pos) {
+            if c == '\n' {
+                self.line += 1;
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn push(&mut self, kind: TokKind, start_idx: usize, start_line: u32) {
+        let text = self.src[self.byte_at(start_idx)..self.byte_at(self.pos)].to_string();
+        self.out.push(Token {
+            kind,
+            text,
+            line: start_line,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let start = self.pos;
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => self.bump(),
+                '/' if self.peek(1) == Some('/') => {
+                    while self.peek(0).is_some_and(|c| c != '\n') {
+                        self.bump();
+                    }
+                    self.push(TokKind::LineComment, start, line);
+                }
+                '/' if self.peek(1) == Some('*') => {
+                    self.block_comment();
+                    self.push(TokKind::BlockComment, start, line);
+                }
+                '"' => {
+                    self.string();
+                    self.push(TokKind::StrLit, start, line);
+                }
+                // String-prefix letters: r"", r#""#, b"", br#""#, c"",
+                // b'x'. Fall through to identifier when not a literal.
+                'r' | 'b' | 'c' if self.string_prefix() => {
+                    self.push(TokKind::StrLit, start, line);
+                }
+                'b' if self.peek(1) == Some('\'') => {
+                    self.bump(); // b
+                    self.char_literal();
+                    self.push(TokKind::CharLit, start, line);
+                }
+                '\'' => {
+                    if self.is_lifetime() {
+                        self.bump(); // '
+                        while self.peek(0).is_some_and(is_ident_char) {
+                            self.bump();
+                        }
+                        self.push(TokKind::Lifetime, start, line);
+                    } else {
+                        self.char_literal();
+                        self.push(TokKind::CharLit, start, line);
+                    }
+                }
+                c if c.is_ascii_digit() => {
+                    self.number();
+                    self.push(TokKind::NumLit, start, line);
+                }
+                c if is_ident_start(c) => {
+                    // Raw identifier r#name was consumed by string_prefix's
+                    // failure path returning false — handle the plain case.
+                    while self.peek(0).is_some_and(is_ident_char) {
+                        self.bump();
+                    }
+                    self.push(TokKind::Ident, start, line);
+                }
+                _ => {
+                    self.punct();
+                    self.push(TokKind::Punct, start, line);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// At a `r`/`b`/`c` that may open a string-like literal. Consumes and
+    /// returns true iff it is one; leaves the cursor untouched otherwise.
+    fn string_prefix(&mut self) -> bool {
+        let c0 = self.peek(0).unwrap_or('\0');
+        // Longest prefix first: br / rb don't both exist, but br does.
+        let (skip, raw) = if c0 == 'b' && self.peek(1) == Some('r') {
+            (2, true)
+        } else if c0 == 'r' {
+            (1, true)
+        } else {
+            (1, false) // b"…" or c"…"
+        };
+        let mut hashes = 0;
+        if raw {
+            while self.peek(skip + hashes) == Some('#') {
+                hashes += 1;
+            }
+        }
+        if self.peek(skip + hashes) != Some('"') {
+            return false; // r#type raw identifier, or a plain ident
+        }
+        for _ in 0..skip + hashes {
+            self.bump();
+        }
+        if raw {
+            self.raw_string(hashes);
+        } else {
+            self.string();
+        }
+        true
+    }
+
+    /// Consume a `"…"` with escapes; cursor on the opening quote.
+    fn string(&mut self) {
+        self.bump(); // "
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                '"' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Consume `"…"#…#` with `hashes` closing hashes; cursor on the quote.
+    fn raw_string(&mut self, hashes: usize) {
+        self.bump(); // "
+        while let Some(c) = self.peek(0) {
+            if c == '"' {
+                let closed = (0..hashes).all(|i| self.peek(1 + i) == Some('#'));
+                if closed {
+                    for _ in 0..=hashes {
+                        self.bump();
+                    }
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Nested `/* … */`; cursor on the opening slash.
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump(); // /*
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => self.bump(),
+                (None, _) => return,
+            }
+        }
+    }
+
+    /// Disambiguate `'` at the cursor: lifetime (`'a`, `'static`) versus
+    /// char literal (`'a'`, `'\n'`, `'∂'`). A lifetime is a tick followed
+    /// by an identifier NOT closed by another tick.
+    fn is_lifetime(&self) -> bool {
+        match self.peek(1) {
+            Some('\\') => false,                   // '\n' — escape ⇒ char literal
+            Some(c) if !is_ident_char(c) => false, // '(' etc. ⇒ char literal
+            Some(_) => {
+                // Scan the identifier run; a closing tick right after
+                // means char literal ('a'), anything else means lifetime.
+                let mut i = 1;
+                while self.peek(i).is_some_and(is_ident_char) {
+                    i += 1;
+                }
+                self.peek(i) != Some('\'')
+            }
+            None => false,
+        }
+    }
+
+    /// Consume a char literal; cursor on the opening tick.
+    fn char_literal(&mut self) {
+        self.bump(); // '
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                '\'' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Numeric literal: digits, underscores, type suffixes, hex/bin/oct,
+    /// floats with exponents. A `.` is consumed only when followed by a
+    /// digit, so `1..n` lexes as `1` `..` `n`.
+    fn number(&mut self) {
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric()
+                || c == '_'
+                || (c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()))
+            {
+                self.bump();
+            } else if (c == '+' || c == '-')
+                && matches!(self.chars.get(self.pos.wrapping_sub(1)), Some(&(_, e)) if e == 'e' || e == 'E')
+            {
+                // Exponent sign: only right after e/E inside the literal.
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Punctuation, fusing the operators in [`MULTI_PUNCT`].
+    fn punct(&mut self) {
+        for op in MULTI_PUNCT {
+            let mut matches = true;
+            for (i, oc) in op.chars().enumerate() {
+                if self.peek(i) != Some(oc) {
+                    matches = false;
+                    break;
+                }
+            }
+            if matches {
+                for _ in 0..op.chars().count() {
+                    self.bump();
+                }
+                return;
+            }
+        }
+        self.bump();
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn keywords_inside_strings_are_not_code() {
+        let toks = kinds(r#"let s = "unsafe { panic!() }";"#);
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(
+            idents,
+            ["let", "s"],
+            "string content must not lex as idents"
+        );
+        assert!(toks.iter().any(|(k, _)| *k == TokKind::StrLit));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_embedded_quotes() {
+        let toks = kinds(r##"let x = r#"say "unsafe" loudly"#;"##);
+        let lit = toks.iter().find(|(k, _)| *k == TokKind::StrLit).unwrap();
+        assert_eq!(lit.1, r##"r#"say "unsafe" loudly"#"##);
+        // byte and byte-raw variants take the same path
+        assert!(kinds(r#"b"bytes""#)[0].0 == TokKind::StrLit);
+        assert!(kinds(r###"br##"x"##"###)[0].0 == TokKind::StrLit);
+    }
+
+    #[test]
+    fn raw_identifier_is_an_ident_not_a_string() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "type"));
+        assert!(toks.iter().all(|(k, _)| *k != TokKind::StrLit));
+    }
+
+    #[test]
+    fn nested_block_comments_fold_into_one_token() {
+        let toks = kinds("a /* outer /* inner */ still outer */ b");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokKind::BlockComment)
+                .count(),
+            1
+        );
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, ["a", "b"]);
+    }
+
+    #[test]
+    fn lifetime_versus_char_literal() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let nl = '\\n'; }");
+        let lifetimes = toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count();
+        let chars = toks.iter().filter(|(k, _)| *k == TokKind::CharLit).count();
+        assert_eq!(lifetimes, 2, "'a in generics and in the reference type");
+        assert_eq!(chars, 2, "'a' and '\\n'");
+        // 'static is a lifetime even though it is a long identifier run
+        assert_eq!(kinds("&'static str")[1].0, TokKind::Lifetime);
+    }
+
+    #[test]
+    fn multi_char_operators_fuse() {
+        let toks = kinds("a::b -> c => d ..= e .. f == g");
+        let puncts: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(puncts, ["::", "->", "=>", "..=", "..", "=="]);
+    }
+
+    #[test]
+    fn numeric_literals_and_range_ambiguity() {
+        // `1..n` must not eat the dot; `1.5e-3` and suffixes must.
+        let toks = kinds("for i in 1..n { let x = 1.5e-3f64 + 0xff_u32; }");
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::NumLit)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(nums, ["1", "1.5e-3f64", "0xff_u32"]);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_tokens() {
+        let src = "a\n/* one\ntwo */\nb \"x\ny\" c";
+        let toks = lex(src);
+        let find = |text: &str| toks.iter().find(|t| t.text == text).unwrap().line;
+        assert_eq!(find("a"), 1);
+        assert_eq!(find("b"), 4, "block comment spanned lines 2-3");
+        assert_eq!(find("c"), 5, "string literal spanned lines 4-5");
+    }
+
+    #[test]
+    fn unterminated_input_degenerates_instead_of_panicking() {
+        assert_eq!(lex("\"never closed").len(), 1);
+        assert_eq!(lex("/* never closed").len(), 1);
+        assert_eq!(lex("r#\"never closed").len(), 1);
+    }
+}

@@ -1,0 +1,156 @@
+//! The three justification-comment rules: `unsafe-safety`,
+//! `panic-free-surface`, and `atomic-ordering`. All three share a shape —
+//! find a token pattern in non-test code, then require a written
+//! justification nearby — so they live together.
+
+use crate::findings::Finding;
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use crate::workspace::Workspace;
+
+pub const UNSAFE_SAFETY: &str = "unsafe-safety";
+pub const PANIC_FREE: &str = "panic-free-surface";
+pub const ATOMIC_ORDERING: &str = "atomic-ordering";
+
+/// How far above a flagged line a justification comment may sit (past
+/// comment, attribute, and statement-continuation lines).
+const JUSTIFY_MAX_UP: u32 = 12;
+
+/// Crates whose non-test code is the engine's user-facing surface: a
+/// panic here takes down a serving worker, so `unwrap`/`expect`/
+/// `panic!`/`unreachable!` must be replaced with typed [`DbLshError`]
+/// propagation or carry an inline suppression explaining why the
+/// invariant is load-bearing.
+const PANIC_FREE_CRATES: &[&str] = &[
+    "crates/core/src/",
+    "crates/data/src/",
+    "crates/index/src/",
+    "crates/serve/src/",
+    "crates/net/src/",
+    "crates/telemetry/src/",
+];
+
+/// `unsafe-safety`: every `unsafe` keyword (block or fn) in non-test
+/// code must carry a `SAFETY:` comment — same line, or in the contiguous
+/// comment/attribute block above. A doc-level `# Safety` section also
+/// counts for `unsafe fn` items.
+pub fn unsafe_safety(ws: &Workspace, out: &mut Vec<Finding>) {
+    for f in &ws.files {
+        let mut flagged_lines: Vec<u32> = Vec::new();
+        for (i, t) in f.code_tokens() {
+            if t.kind != TokKind::Ident || t.text != "unsafe" || f.is_test_token(i) {
+                continue;
+            }
+            if flagged_lines.contains(&t.line) {
+                continue; // one finding per line
+            }
+            let ok = f.has_justification(t.line, "SAFETY:", JUSTIFY_MAX_UP)
+                || f.has_justification(t.line, "# Safety", JUSTIFY_MAX_UP);
+            if !ok {
+                flagged_lines.push(t.line);
+                out.push(Finding::new(
+                    UNSAFE_SAFETY,
+                    &f.rel_path,
+                    t.line,
+                    "`unsafe` without a `SAFETY:` comment stating the precondition it relies on",
+                ));
+            }
+        }
+    }
+}
+
+/// `panic-free-surface`: no `.unwrap()` / `.expect(…)` / `panic!` /
+/// `unreachable!` / `todo!` / `unimplemented!` in the non-test code of
+/// the serving-surface crates.
+pub fn panic_free(ws: &Workspace, out: &mut Vec<Finding>) {
+    for f in &ws.files {
+        if !PANIC_FREE_CRATES.iter().any(|p| f.rel_path.starts_with(p)) {
+            continue;
+        }
+        let code: Vec<(usize, &crate::lexer::Token)> = f.code_tokens().collect();
+        for w in 0..code.len() {
+            let (i, t) = code[w];
+            if t.kind != TokKind::Ident || f.is_test_token(i) {
+                continue;
+            }
+            let prev = w.checked_sub(1).map(|p| code[p].1.text.as_str());
+            let next = code.get(w + 1).map(|&(_, n)| n.text.as_str());
+            let what: Option<&str> = match t.text.as_str() {
+                "unwrap" | "expect" if prev == Some(".") && next == Some("(") => {
+                    Some(if t.text == "unwrap" {
+                        "`.unwrap()`"
+                    } else {
+                        "`.expect(…)`"
+                    })
+                }
+                "panic" if next == Some("!") => Some("`panic!`"),
+                "unreachable" if next == Some("!") => Some("`unreachable!`"),
+                "todo" if next == Some("!") => Some("`todo!`"),
+                "unimplemented" if next == Some("!") => Some("`unimplemented!`"),
+                _ => None,
+            };
+            if let Some(what) = what {
+                out.push(Finding::new(
+                    PANIC_FREE,
+                    &f.rel_path,
+                    t.line,
+                    format!("{what} on the serving surface — propagate a typed DbLshError instead"),
+                ));
+            }
+        }
+    }
+}
+
+/// `atomic-ordering`: every atomic `Ordering::<X>` choice in non-test
+/// code must carry an `// order:` comment justifying why that ordering
+/// (and not a stronger or weaker one) is correct. `cmp::Ordering`
+/// variants never match the atomic variant names, so they pass freely.
+pub fn atomic_ordering(ws: &Workspace, out: &mut Vec<Finding>) {
+    const ATOMIC_VARIANTS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+    for f in &ws.files {
+        let mut flagged_lines: Vec<u32> = Vec::new();
+        let code: Vec<(usize, &crate::lexer::Token)> = f.code_tokens().collect();
+        for w in 0..code.len() {
+            let (i, t) = code[w];
+            if t.text != "Ordering" || t.kind != TokKind::Ident || f.is_test_token(i) {
+                continue;
+            }
+            let is_atomic = code.get(w + 1).is_some_and(|&(_, c)| c.text == "::")
+                && code
+                    .get(w + 2)
+                    .is_some_and(|&(_, v)| ATOMIC_VARIANTS.contains(&v.text.as_str()));
+            if !is_atomic || flagged_lines.contains(&t.line) {
+                continue;
+            }
+            if !f.has_justification(t.line, "order:", JUSTIFY_MAX_UP) {
+                flagged_lines.push(t.line);
+                let variant = &code[w + 2].1.text;
+                out.push(Finding::new(
+                    ATOMIC_ORDERING,
+                    &f.rel_path,
+                    t.line,
+                    format!(
+                        "atomic `Ordering::{variant}` without an `// order:` comment justifying the choice"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Shared helper for fixture tests: run one simple rule over a single
+/// in-memory file.
+pub fn check_single(rule: &str, file: SourceFile) -> Vec<Finding> {
+    let ws = Workspace {
+        root: std::path::PathBuf::new(),
+        files: vec![file],
+    };
+    let mut out = Vec::new();
+    match rule {
+        UNSAFE_SAFETY => unsafe_safety(&ws, &mut out),
+        PANIC_FREE => panic_free(&ws, &mut out),
+        ATOMIC_ORDERING => atomic_ordering(&ws, &mut out),
+        _ => panic!("not a simple rule: {rule}"),
+    }
+    out
+}

@@ -1,0 +1,258 @@
+//! `trace-parity-drift`: the codebase deliberately duplicates its query
+//! hot path — `fn x` (zero clock reads) and `fn x_traced` (per-stage
+//! timing) — and pins them byte-identical-in-results with runtime parity
+//! tests. This rule pins them *structurally*: for every `fn x_traced`
+//! found in non-test code there must be a sibling `fn x` in the same
+//! file, and the traced body must be the untraced body plus insertions
+//! drawn only from the trace vocabulary (clock reads, `trace.add(…)`,
+//! span plumbing). Any deletion, any reordering, or any inserted token
+//! that is not trace plumbing means the pair has drifted — the exact
+//! failure mode the runtime parity proptests can only catch per-input,
+//! and this rule catches for all inputs.
+//!
+//! Mechanics: both bodies are lexed to code tokens (comments and
+//! formatting are already invisible), `_traced` name suffixes are
+//! stripped so recursive/helper calls line up, then a longest-common-
+//! subsequence diff runs. The untraced body must be a subsequence of the
+//! traced body, and every inserted token must be punctuation, a literal,
+//! a keyword, or an identifier from the `TRACE_IDENTS` /
+//! `TRACE_IDENT_PATTERNS` allowlists below.
+
+use crate::findings::Finding;
+use crate::lexer::{TokKind, Token};
+use crate::source::SourceFile;
+use crate::workspace::Workspace;
+
+pub const TRACE_PARITY: &str = "trace-parity-drift";
+
+/// Identifiers that may appear in traced-only insertions.
+const TRACE_IDENTS: &[&str] = &[
+    // clock plumbing
+    "Instant",
+    "now",
+    "elapsed",
+    "duration_since",
+    "as_nanos",
+    "std",
+    "time",
+    // span/trace structures and their methods
+    "QueryTrace",
+    "Stage",
+    "add",
+    "get",
+    "VerifySplit",
+    "default",
+    "Default",
+    // integer casts inside timing expressions
+    "u64",
+    "u128",
+    "as",
+    // local keywords that begin inserted statements
+    "let",
+    "mut",
+    // conventional timestamp locals
+    "partitioned",
+];
+
+/// Identifier substrings that mark trace plumbing (`trace`, `scan_started`,
+/// `split.prefilter_nanos`, stage names, …).
+const TRACE_IDENT_PATTERNS: &[&str] = &[
+    "trace", "Trace", "split", "Split", "start", "nanos", "Stage", "stage",
+];
+
+/// Stage enum variant names (inserted as `Stage::X` arguments).
+const STAGE_VARIANTS: &[&str] = &[
+    "Queue",
+    "Projection",
+    "TreeProbe",
+    "Prefilter",
+    "Verify",
+    "Merge",
+    "Reply",
+];
+
+pub fn check(ws: &Workspace, out: &mut Vec<Finding>) {
+    for f in &ws.files {
+        let fns = functions(f);
+        for (name, sig_start, body_end) in &fns {
+            let Some(base) = name.strip_suffix("_traced") else {
+                continue;
+            };
+            let Some((_, u_start, u_end)) = fns.iter().find(|(n, ..)| n == base) else {
+                out.push(Finding::new(
+                    TRACE_PARITY,
+                    &f.rel_path,
+                    f.tokens[*sig_start].line,
+                    format!("`fn {name}` has no untraced sibling `fn {base}` in this file"),
+                ));
+                continue;
+            };
+            let traced_toks = tokens_in(f, *sig_start, *body_end);
+            // A traced wrapper that *delegates* to the untraced function
+            // (`let x = self.ladder_prober(q, scratch)?;` plus timing)
+            // cannot drift by construction — accept it without a diff.
+            let delegates = traced_toks
+                .windows(2)
+                .any(|w| w[0].kind == TokKind::Ident && w[0].text == base && w[1].text == "(");
+            if delegates {
+                continue;
+            }
+            compare_pair(f, base, tokens_in(f, *u_start, *u_end), traced_toks, out);
+        }
+    }
+}
+
+/// Code tokens of the function in `[start, end]`, skipping the leading
+/// `fn` keyword and the function's own name (which differs by suffix).
+fn tokens_in(f: &SourceFile, start: usize, end: usize) -> Vec<&Token> {
+    f.tokens[start..=end]
+        .iter()
+        .filter(|t| !t.is_comment())
+        .skip(2)
+        .collect()
+}
+
+/// Non-test `fn` items: (name, index of `fn` token, index of closing `}`).
+fn functions(f: &SourceFile) -> Vec<(String, usize, usize)> {
+    let code: Vec<(usize, &Token)> = f.code_tokens().collect();
+    let mut out = Vec::new();
+    let mut w = 0;
+    while w < code.len() {
+        let (i, t) = code[w];
+        if t.text == "fn"
+            && !f.is_test_token(i)
+            && code
+                .get(w + 1)
+                .is_some_and(|&(_, n)| n.kind == TokKind::Ident)
+        {
+            let name = code[w + 1].1.text.clone();
+            // Find the body: first `{` at paren/bracket depth 0 after the
+            // signature; a `;` first means a bodiless trait method.
+            let mut j = w + 2;
+            let mut depth = 0usize;
+            let mut body = None;
+            while let Some(&(_, s)) = code.get(j) {
+                match s.text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth = depth.saturating_sub(1),
+                    ";" if depth == 0 => break,
+                    "{" if depth == 0 => {
+                        body = Some(j);
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if let Some(open) = body {
+                // Matching close brace.
+                let mut braces = 0usize;
+                let mut k = open;
+                while let Some(&(_, s)) = code.get(k) {
+                    if s.text == "{" {
+                        braces += 1;
+                    } else if s.text == "}" {
+                        braces -= 1;
+                        if braces == 0 {
+                            break;
+                        }
+                    }
+                    k += 1;
+                }
+                out.push((name, code[w].0, code[k.min(code.len() - 1)].0));
+                w = k;
+                continue;
+            }
+        }
+        w += 1;
+    }
+    out
+}
+
+/// Diff the untraced token texts against the traced ones and report
+/// drift. `_traced` suffixes are normalized away first.
+fn compare_pair(
+    f: &SourceFile,
+    base: &str,
+    untraced: Vec<&Token>,
+    traced: Vec<&Token>,
+    out: &mut Vec<Finding>,
+) {
+    let norm = |t: &Token| -> String {
+        match t.text.strip_suffix("_traced") {
+            Some(stripped) if t.kind == TokKind::Ident => stripped.to_string(),
+            _ => t.text.clone(),
+        }
+    };
+    let a: Vec<String> = untraced.iter().map(|t| norm(t)).collect();
+    let b: Vec<String> = traced.iter().map(|t| norm(t)).collect();
+
+    // LCS table (u32 is plenty: bodies are a few thousand tokens).
+    let (n, m) = (a.len(), b.len());
+    let mut lcs = vec![0u32; (n + 1) * (m + 1)];
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            lcs[i * (m + 1) + j] = if a[i] == b[j] {
+                lcs[(i + 1) * (m + 1) + j + 1] + 1
+            } else {
+                lcs[(i + 1) * (m + 1) + j].max(lcs[i * (m + 1) + j + 1])
+            };
+        }
+    }
+    // Walk the alignment: deletions (untraced-only tokens) are always
+    // drift; insertions (traced-only tokens) must be trace vocabulary.
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < n || j < m {
+        if i < n && j < m && a[i] == b[j] {
+            i += 1;
+            j += 1;
+        } else if j < m && (i == n || lcs[i * (m + 1) + j + 1] >= lcs[(i + 1) * (m + 1) + j]) {
+            // Inserted in traced.
+            let tok = traced[j];
+            if !is_trace_token(tok) {
+                out.push(Finding::new(
+                    TRACE_PARITY,
+                    &f.rel_path,
+                    tok.line,
+                    format!(
+                        "traced body of `{base}` inserts non-trace token `{}` — the pair has drifted",
+                        tok.text
+                    ),
+                ));
+                return;
+            }
+            j += 1;
+        } else {
+            // Deleted from traced: the untraced body has logic the traced
+            // body lost.
+            let tok = untraced[i];
+            out.push(Finding::new(
+                TRACE_PARITY,
+                &f.rel_path,
+                tok.line,
+                format!(
+                    "untraced `{base}` has `{}` (line {}) with no counterpart in the traced body",
+                    tok.text, tok.line
+                ),
+            ));
+            return;
+        }
+    }
+}
+
+/// Whether a traced-only inserted token is legitimate trace plumbing.
+fn is_trace_token(t: &Token) -> bool {
+    match t.kind {
+        TokKind::Punct
+        | TokKind::NumLit
+        | TokKind::StrLit
+        | TokKind::CharLit
+        | TokKind::Lifetime => true,
+        TokKind::Ident => {
+            TRACE_IDENTS.contains(&t.text.as_str())
+                || STAGE_VARIANTS.contains(&t.text.as_str())
+                || TRACE_IDENT_PATTERNS.iter().any(|p| t.text.contains(p))
+        }
+        TokKind::LineComment | TokKind::BlockComment => true,
+    }
+}

@@ -1,0 +1,173 @@
+//! `wire-exhaustiveness`: the wire protocol's opcode space must be
+//! covered end to end. Every `OP_*` constant declared in
+//! `crates/net/src/proto.rs` must be referenced beyond its declaration
+//! (an encode arm and a decode arm); every `Request` variant must appear
+//! in the server dispatch (`server.rs`) and be constructed by the client
+//! (`client.rs`); every `Response` variant must be constructed or
+//! matched on both sides. A variant that exists only in `proto.rs` is a
+//! wire feature nobody can reach — exactly the drift this rule exists to
+//! catch when the next opcode lands.
+
+use crate::findings::Finding;
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use crate::workspace::Workspace;
+
+pub const WIRE_EXHAUSTIVENESS: &str = "wire-exhaustiveness";
+
+const PROTO: &str = "crates/net/src/proto.rs";
+const SERVER: &str = "crates/net/src/server.rs";
+const CLIENT: &str = "crates/net/src/client.rs";
+
+pub fn check(ws: &Workspace, out: &mut Vec<Finding>) {
+    let Some(proto) = ws.files.iter().find(|f| f.rel_path == PROTO) else {
+        return; // not this workspace's layout — nothing to enforce
+    };
+    let server = ws.files.iter().find(|f| f.rel_path == SERVER);
+    let client = ws.files.iter().find(|f| f.rel_path == CLIENT);
+
+    // --- OP_* constants: declared once, referenced by encode + decode.
+    for (name, line) in op_consts(proto) {
+        let refs = count_ident(proto, &name, false) - 1; // minus the declaration
+        if refs < 2 {
+            out.push(Finding::new(
+                WIRE_EXHAUSTIVENESS,
+                PROTO,
+                line,
+                format!(
+                    "opcode `{name}` is referenced {refs} time(s) beyond its declaration; \
+                     expected at least 2 (an encode arm and a decode arm)"
+                ),
+            ));
+        }
+    }
+
+    // --- Request variants: dispatched by the server, built by the client.
+    for (variant, line) in enum_variants(proto, "Request") {
+        for (file, role) in [(server, "server dispatch"), (client, "client request path")] {
+            let Some(file) = file else { continue };
+            if !has_variant_use(file, "Request", &variant) {
+                out.push(Finding::new(
+                    WIRE_EXHAUSTIVENESS,
+                    PROTO,
+                    line,
+                    format!(
+                        "`Request::{variant}` never appears in the {role} ({})",
+                        file.rel_path
+                    ),
+                ));
+            }
+        }
+    }
+
+    // --- Response variants: produced by the server, consumed by the client.
+    for (variant, line) in enum_variants(proto, "Response") {
+        for (file, role) in [
+            (server, "server response path"),
+            (client, "client decode path"),
+        ] {
+            let Some(file) = file else { continue };
+            if !has_variant_use(file, "Response", &variant) {
+                out.push(Finding::new(
+                    WIRE_EXHAUSTIVENESS,
+                    PROTO,
+                    line,
+                    format!(
+                        "`Response::{variant}` never appears in the {role} ({})",
+                        file.rel_path
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// `const OP_X: u8 = …` declarations (non-test code): (name, line).
+fn op_consts(f: &SourceFile) -> Vec<(String, u32)> {
+    let code: Vec<(usize, &crate::lexer::Token)> = f.code_tokens().collect();
+    let mut out = Vec::new();
+    for w in 0..code.len() {
+        let (i, t) = code[w];
+        if t.text == "const"
+            && !f.is_test_token(i)
+            && code
+                .get(w + 1)
+                .is_some_and(|&(_, n)| n.kind == TokKind::Ident && n.text.starts_with("OP_"))
+        {
+            let n = code[w + 1].1;
+            out.push((n.text.clone(), n.line));
+        }
+    }
+    out
+}
+
+/// Occurrences of identifier `name` in the file's code tokens.
+/// `include_tests` controls whether `#[cfg(test)]` regions count —
+/// coverage by a test alone is not wire coverage.
+fn count_ident(f: &SourceFile, name: &str, include_tests: bool) -> usize {
+    f.code_tokens()
+        .filter(|(i, t)| {
+            t.kind == TokKind::Ident && t.text == name && (include_tests || !f.is_test_token(*i))
+        })
+        .count()
+}
+
+/// The variants of `enum <name> { … }`: idents at brace depth 1 that
+/// start a variant (first token of the enum body or right after a
+/// variant-separating `,`).
+fn enum_variants(f: &SourceFile, name: &str) -> Vec<(String, u32)> {
+    let code: Vec<(usize, &crate::lexer::Token)> = f.code_tokens().collect();
+    let mut out = Vec::new();
+    for w in 0..code.len() {
+        if code[w].1.text != "enum" || code.get(w + 1).is_none_or(|&(_, t)| t.text != name) {
+            continue;
+        }
+        // Find the opening brace, then walk variants at depth 1.
+        let mut j = w + 2;
+        while code.get(j).is_some_and(|&(_, t)| t.text != "{") {
+            j += 1;
+        }
+        let mut depth = 0usize;
+        let mut expect_variant = true;
+        while let Some(&(_, t)) = code.get(j) {
+            match t.text.as_str() {
+                "{" | "(" | "[" => {
+                    depth += 1;
+                    if depth == 1 {
+                        expect_variant = true; // first token of the body
+                    }
+                }
+                "}" | ")" | "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return out;
+                    }
+                }
+                "," if depth == 1 => expect_variant = true,
+                "#" => {} // attribute on a variant — keep expecting
+                _ => {
+                    if depth == 1 && expect_variant && t.kind == TokKind::Ident {
+                        out.push((t.text.clone(), t.line));
+                    }
+                    if depth == 1 && t.kind == TokKind::Ident {
+                        expect_variant = false;
+                    }
+                }
+            }
+            j += 1;
+        }
+        return out;
+    }
+    out
+}
+
+/// Whether `Enum::Variant` appears in the file's non-test code.
+fn has_variant_use(f: &SourceFile, enum_name: &str, variant: &str) -> bool {
+    let code: Vec<(usize, &crate::lexer::Token)> = f.code_tokens().collect();
+    (0..code.len()).any(|w| {
+        code[w].1.text == enum_name
+            && !f.is_test_token(code[w].0)
+            && code.get(w + 1).is_some_and(|&(_, t)| t.text == "::")
+            && code.get(w + 2).is_some_and(|&(_, t)| t.text == variant)
+    })
+}

@@ -1,0 +1,304 @@
+//! Per-file source model: the token stream plus the derived facts every
+//! rule needs — which token ranges are test code, where the inline
+//! suppressions sit, and how to find the justification comment that
+//! covers a given line.
+
+use crate::lexer::{lex, TokKind, Token};
+use std::cell::Cell;
+
+/// An inline suppression: `// lint: allow(<rule>) — <reason>`.
+///
+/// The reason is mandatory — un-justified suppressions are themselves
+/// findings. A suppression covers findings of its rule on its own line
+/// (trailing-comment form) or on the next line that carries code.
+#[derive(Debug)]
+pub struct Suppression {
+    pub rule: String,
+    pub reason: String,
+    /// Line the comment sits on.
+    pub line: u32,
+    /// First code-bearing line at or below `line` — what it covers.
+    pub covers_line: u32,
+    /// Set when a finding was actually suppressed; unused suppressions
+    /// are reported so the inventory never rots.
+    pub used: Cell<bool>,
+    /// A malformed suppression (empty reason / bad syntax): kept so it
+    /// can be reported instead of silently ignored.
+    pub malformed: Option<&'static str>,
+}
+
+/// One analyzed file: raw lines, tokens, test spans, suppressions.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel_path: String,
+    /// Raw text split into lines (1-based access via [`SourceFile::line_text`]).
+    pub lines: Vec<String>,
+    /// All tokens, comments included.
+    pub tokens: Vec<Token>,
+    /// Token-index ranges `[start, end)` that are `#[cfg(test)]` /
+    /// `#[test]` items.
+    pub test_spans: Vec<(usize, usize)>,
+    pub suppressions: Vec<Suppression>,
+    /// Whether the whole file is test code (under a `tests/` dir).
+    pub all_test: bool,
+}
+
+impl SourceFile {
+    pub fn parse(rel_path: String, text: &str, all_test: bool) -> SourceFile {
+        let tokens = lex(text);
+        let lines: Vec<String> = text.lines().map(|l| l.to_string()).collect();
+        let test_spans = find_test_spans(&tokens);
+        let mut f = SourceFile {
+            rel_path,
+            lines,
+            tokens,
+            test_spans,
+            suppressions: Vec::new(),
+            all_test,
+        };
+        f.suppressions = f.find_suppressions();
+        f
+    }
+
+    /// 1-based line text ("" past EOF).
+    pub fn line_text(&self, line: u32) -> &str {
+        self.lines
+            .get((line as usize).saturating_sub(1))
+            .map_or("", |s| s.as_str())
+    }
+
+    /// Whether token `i` is inside test code.
+    pub fn is_test_token(&self, i: usize) -> bool {
+        self.all_test || self.test_spans.iter().any(|&(s, e)| i >= s && i < e)
+    }
+
+    /// Iterator over (index, token) of code tokens (comments skipped).
+    pub fn code_tokens(&self) -> impl Iterator<Item = (usize, &Token)> {
+        self.tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.is_comment())
+    }
+
+    /// The first line at or below `line` that carries a code token.
+    fn next_code_line(&self, line: u32) -> u32 {
+        self.tokens
+            .iter()
+            .filter(|t| !t.is_comment() && t.line >= line)
+            .map(|t| t.line)
+            .next()
+            .unwrap_or(line)
+    }
+
+    fn find_suppressions(&self) -> Vec<Suppression> {
+        let mut out = Vec::new();
+        for t in &self.tokens {
+            if t.kind != TokKind::LineComment {
+                continue;
+            }
+            let body = t.text.trim_start_matches('/').trim();
+            let Some(rest) = body.strip_prefix("lint:") else {
+                continue;
+            };
+            let rest = rest.trim();
+            let (rule, reason, malformed) = parse_allow(rest);
+            out.push(Suppression {
+                rule,
+                reason,
+                line: t.line,
+                covers_line: self.covered_line(t.line),
+                used: Cell::new(false),
+                malformed,
+            });
+        }
+        out
+    }
+
+    /// What line a suppression comment on `line` covers: its own line if
+    /// that line has code (trailing-comment form), else the next code
+    /// line below it.
+    fn covered_line(&self, line: u32) -> u32 {
+        let own_line_has_code = self
+            .tokens
+            .iter()
+            .any(|t| !t.is_comment() && t.line == line);
+        if own_line_has_code {
+            line
+        } else {
+            self.next_code_line(line + 1)
+        }
+    }
+
+    /// Whether a justification comment containing `marker` covers `line`:
+    /// on the line itself (trailing comment), in the contiguous block of
+    /// comment/attribute lines directly above, or above the start of the
+    /// multi-line statement the line belongs to. The upward walk treats a
+    /// line ending in `;`, `{` or `}` as a statement boundary and gives
+    /// up after `max_up` lines, so a justification can't act at a
+    /// distance.
+    pub fn has_justification(&self, line: u32, marker: &str, max_up: u32) -> bool {
+        if self.line_text(line).contains(marker) {
+            return true;
+        }
+        let mut l = line.saturating_sub(1);
+        let mut walked = 0;
+        while l >= 1 && walked < max_up {
+            let text = self.line_text(l).trim().to_string();
+            if text.contains(marker) {
+                return true;
+            }
+            let is_comment = text.starts_with("//");
+            let is_attr = text.starts_with("#[") || text.ends_with("]") && text.starts_with(')');
+            // A continuation line of the same statement: code that does
+            // not end a statement or open/close a block.
+            let is_continuation = !text.is_empty()
+                && !is_comment
+                && !text.ends_with(';')
+                && !text.ends_with('{')
+                && !text.ends_with('}');
+            if !(is_comment || is_attr || is_continuation) {
+                return false;
+            }
+            l -= 1;
+            walked += 1;
+        }
+        false
+    }
+}
+
+/// Parse `allow(<rule>) <sep> <reason>`; returns (rule, reason, malformed).
+fn parse_allow(rest: &str) -> (String, String, Option<&'static str>) {
+    let Some(after) = rest.strip_prefix("allow(") else {
+        return (
+            String::new(),
+            String::new(),
+            Some("expected `allow(<rule>)`"),
+        );
+    };
+    let Some(close) = after.find(')') else {
+        return (String::new(), String::new(), Some("unclosed `allow(`"));
+    };
+    let rule = after[..close].trim().to_string();
+    let mut reason = after[close + 1..].trim();
+    // Accept an em/en dash, hyphen or colon as the reason separator.
+    for sep in ["—", "–", "-", ":"] {
+        if let Some(r) = reason.strip_prefix(sep) {
+            reason = r.trim();
+            break;
+        }
+    }
+    if rule.is_empty() {
+        return (rule, String::new(), Some("empty rule id"));
+    }
+    if reason.is_empty() {
+        return (
+            rule,
+            String::new(),
+            Some("missing reason — write `// lint: allow(rule) — why`"),
+        );
+    }
+    (rule, reason.to_string(), None)
+}
+
+/// Find `#[cfg(test)]` / `#[test]` item spans as token ranges. The span
+/// starts at the attribute and runs to the matching `}` (or `;`) of the
+/// item the attribute decorates.
+fn find_test_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans: Vec<(usize, usize)> = Vec::new();
+    let code: Vec<(usize, &Token)> = tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !t.is_comment())
+        .collect();
+    let mut i = 0;
+    while i < code.len() {
+        if code[i].1.text == "#" && matches(&code, i + 1, "[") && is_test_attr(&code, i + 1) {
+            let start_tok = code[i].0;
+            if let Some(end) = item_end(&code, i) {
+                let end_tok = code[end].0 + 1;
+                // Skip nested scanning inside the span.
+                spans.push((start_tok, end_tok));
+                while i < code.len() && code[i].0 < end_tok {
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        i += 1;
+    }
+    spans
+}
+
+fn matches(code: &[(usize, &Token)], i: usize, text: &str) -> bool {
+    code.get(i).is_some_and(|(_, t)| t.text == text)
+}
+
+/// At `code[open]` == `[` of an attribute: is it `test`-flavored?
+/// Covers `#[test]`, `#[cfg(test)]`, `#[cfg(any(test, …))]`, and
+/// harness attributes ending in `::test`.
+fn is_test_attr(code: &[(usize, &Token)], open: usize) -> bool {
+    let mut depth = 0usize;
+    for (_, t) in code.iter().skip(open) {
+        match t.text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return false;
+                }
+            }
+            "test" if t.kind == TokKind::Ident => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// From the `#` at `code[i]`, find the index (into `code`) of the token
+/// ending the decorated item: the `}` matching its first `{`, or a `;`
+/// before any brace opens. Skips any further attributes in between.
+fn item_end(code: &[(usize, &Token)], i: usize) -> Option<usize> {
+    let mut j = i;
+    // Skip the attribute group(s).
+    while matches(code, j, "#") && matches(code, j + 1, "[") {
+        let mut depth = 0usize;
+        j += 1;
+        loop {
+            match code.get(j)?.1.text.as_str() {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    // Scan the item for its body. A `,` or a closing `}` of the
+    // enclosing scope at depth 0 also ends the "item" — that's an
+    // attribute on a struct field, enum variant, or match arm.
+    let mut brace = 0usize;
+    loop {
+        let t = code.get(j)?.1;
+        match t.text.as_str() {
+            ";" | "," if brace == 0 => return Some(j),
+            "{" => brace += 1,
+            "}" => {
+                if brace == 0 {
+                    return j.checked_sub(1);
+                }
+                brace -= 1;
+                if brace == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+}

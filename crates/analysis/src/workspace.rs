@@ -1,0 +1,72 @@
+//! Workspace discovery: which files the analyzer reads and how they are
+//! classified. The scanned set is the `src/` tree of every workspace
+//! crate plus the root facade's `src/` — vendored shim crates
+//! (`crates/shims/`) are excluded (external API surface, not ours), and
+//! `tests/`, `benches/`, `examples/` directories are excluded from the
+//! scan entirely (the `#[cfg(test)]` regions *inside* `src/` files are
+//! still parsed and marked per-token).
+
+use crate::source::SourceFile;
+use std::path::{Path, PathBuf};
+
+#[derive(Debug)]
+pub struct Workspace {
+    pub root: PathBuf,
+    pub files: Vec<SourceFile>,
+}
+
+impl Workspace {
+    /// Scan `root` (a directory holding the workspace `Cargo.toml`).
+    pub fn scan(root: &Path) -> Result<Workspace, String> {
+        let mut files = Vec::new();
+        let mut dirs: Vec<PathBuf> = vec![root.join("src"), root.join("crates")];
+        while let Some(dir) = dirs.pop() {
+            let entries = match std::fs::read_dir(&dir) {
+                Ok(e) => e,
+                Err(_) => continue, // a layout without ./src is fine
+            };
+            for entry in entries {
+                let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+                let path = entry.path();
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if path.is_dir() {
+                    if name == "target" || name == "shims" {
+                        continue;
+                    }
+                    // Under crates/<name>/, descend only into src/.
+                    let is_crate_level = path.parent().is_some_and(|p| p.ends_with("crates"));
+                    if is_crate_level || name == "src" || ancestor_is_src(&path, root) {
+                        dirs.push(path);
+                    }
+                } else if name.ends_with(".rs") && ancestor_is_src(&path, root) {
+                    let text = std::fs::read_to_string(&path)
+                        .map_err(|e| format!("read {}: {e}", path.display()))?;
+                    let rel = path
+                        .strip_prefix(root)
+                        .unwrap_or(&path)
+                        .to_string_lossy()
+                        .replace('\\', "/");
+                    files.push(SourceFile::parse(rel, &text, false));
+                }
+            }
+        }
+        files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+        if files.is_empty() {
+            return Err(format!(
+                "no Rust sources found under {} — is this the workspace root?",
+                root.display()
+            ));
+        }
+        Ok(Workspace {
+            root: root.to_path_buf(),
+            files,
+        })
+    }
+}
+
+/// Whether `path` sits inside some `src/` directory below `root`.
+fn ancestor_is_src(path: &Path, root: &Path) -> bool {
+    path.strip_prefix(root)
+        .map(|rel| rel.components().any(|c| c.as_os_str() == "src"))
+        .unwrap_or(false)
+}

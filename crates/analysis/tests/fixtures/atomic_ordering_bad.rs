@@ -1,0 +1,8 @@
+// Positive fixture: an atomic ordering choice with no `// order:`
+// justification.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64) -> u64 {
+    c.fetch_add(1, Ordering::Relaxed)
+}

@@ -1,0 +1,14 @@
+// Negative fixture: a justified ordering, plus `cmp::Ordering` which
+// must never trip the atomic rule.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64) -> u64 {
+    // order: standalone statistics counter; atomicity is all we need.
+    c.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn compare(a: u32, b: u32) -> CmpOrdering {
+    a.cmp(&b)
+}

@@ -1,0 +1,12 @@
+// Positive fixture (parsed as crates/serve/src/shard.rs): acquiring a
+// shard lock while the router mutex is held inverts the declared
+// shard → router order.
+
+impl Fleet {
+    fn inverted(&self) {
+        let router = self.router.lock().unwrap();
+        let shard = self.shards[0].write().unwrap();
+        drop(shard);
+        drop(router);
+    }
+}

@@ -1,0 +1,10 @@
+// Negative fixture (parsed as crates/serve/src/shard.rs): router taken
+// while a shard write lock is held — the declared shard → router order.
+
+impl Fleet {
+    fn ordered(&self) {
+        let mut shard = self.shards[0].write().unwrap();
+        self.router.lock().unwrap().live[0] += 1;
+        shard.touch();
+    }
+}

@@ -1,0 +1,8 @@
+// Positive fixture: two panic paths on the serving surface.
+
+pub fn get(v: &[u32], i: usize) -> u32 {
+    if i >= v.len() {
+        panic!("out of range");
+    }
+    v.get(i).copied().unwrap()
+}

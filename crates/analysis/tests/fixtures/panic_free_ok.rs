@@ -1,0 +1,16 @@
+// Negative fixture: typed propagation instead of panicking, and a
+// `#[cfg(test)]` region where unwrap is allowed.
+
+pub fn get(v: &[u32], i: usize) -> Result<u32, String> {
+    v.get(i)
+        .copied()
+        .ok_or_else(|| format!("index {i} out of range"))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        super::get(&[1], 0).unwrap();
+    }
+}

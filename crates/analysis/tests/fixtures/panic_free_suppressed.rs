@@ -1,0 +1,6 @@
+// Suppression fixture: a deliberate panic carrying a justified inline
+// suppression — `analyze` must silence it and count it as suppressed.
+
+pub fn chaos() {
+    panic!("deliberate"); // lint: allow(panic-free-surface) — fixture exercises the suppression plumbing
+}

@@ -1,0 +1,16 @@
+// Positive fixture: the traced body computes `q * 3.0` where the
+// untraced computes `q * 2.0` — the pair has drifted.
+
+impl Prober {
+    fn search(&self, q: f32) -> f32 {
+        let a = q * 2.0;
+        a + 1.0
+    }
+
+    fn search_traced(&self, q: f32, trace: &mut QueryTrace) -> f32 {
+        let scan_started = Instant::now();
+        let a = q * 3.0;
+        trace.add(Stage::Verify, scan_started.elapsed().as_nanos() as u64);
+        a + 1.0
+    }
+}

@@ -1,0 +1,16 @@
+// Negative fixture: the traced body is the untraced body plus
+// insertions drawn purely from the trace vocabulary.
+
+impl Prober {
+    fn search(&self, q: f32) -> f32 {
+        let a = q * 2.0;
+        a + 1.0
+    }
+
+    fn search_traced(&self, q: f32, trace: &mut QueryTrace) -> f32 {
+        let scan_started = Instant::now();
+        let a = q * 2.0;
+        trace.add(Stage::Verify, scan_started.elapsed().as_nanos() as u64);
+        a + 1.0
+    }
+}

@@ -1,0 +1,7 @@
+// Positive fixture: a `_traced` function with no untraced sibling.
+
+impl Prober {
+    fn search_traced(&self, q: f32) -> f32 {
+        q * 2.0
+    }
+}

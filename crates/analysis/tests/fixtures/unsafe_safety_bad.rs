@@ -1,0 +1,5 @@
+// Positive fixture: an `unsafe` block with no SAFETY justification.
+
+pub fn deref(p: *const u32) -> u32 {
+    unsafe { *p }
+}

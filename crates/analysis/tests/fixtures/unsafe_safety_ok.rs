@@ -1,0 +1,13 @@
+// Negative fixture: both accepted justification forms — a `SAFETY:`
+// comment on a block, a `# Safety` doc section on an `unsafe fn`.
+
+pub fn deref(p: *const u32) -> u32 {
+    // SAFETY: the caller guarantees `p` is valid and aligned.
+    unsafe { *p }
+}
+
+/// # Safety
+/// `p` must point to a live, aligned `u32`.
+pub unsafe fn deref_raw(p: *const u32) -> u32 {
+    *p
+}

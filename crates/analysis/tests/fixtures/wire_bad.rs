@@ -1,0 +1,23 @@
+// Positive fixture (parsed as crates/net/src/proto.rs): OP_GHOST is
+// declared but neither encoded nor decoded — an unreachable wire
+// feature.
+
+pub const OP_PING: u8 = 1;
+pub const OP_GHOST: u8 = 9;
+
+pub enum Request {
+    Ping,
+}
+
+pub fn encode(r: &Request) -> u8 {
+    match r {
+        Request::Ping => OP_PING,
+    }
+}
+
+pub fn decode(op: u8) -> Option<Request> {
+    match op {
+        OP_PING => Some(Request::Ping),
+        _ => None,
+    }
+}

@@ -1,0 +1,21 @@
+// Negative fixture (parsed as crates/net/src/proto.rs): every opcode
+// has an encode arm and a decode arm.
+
+pub const OP_PING: u8 = 1;
+
+pub enum Request {
+    Ping,
+}
+
+pub fn encode(r: &Request) -> u8 {
+    match r {
+        Request::Ping => OP_PING,
+    }
+}
+
+pub fn decode(op: u8) -> Option<Request> {
+    match op {
+        OP_PING => Some(Request::Ping),
+        _ => None,
+    }
+}

@@ -273,6 +273,7 @@ impl DbLsh {
         Ok(DbLsh {
             params: params.clone(),
             hasher,
+            // lint: allow(panic-free-surface) — thread::scope joined every tree builder, so each slot was written
             trees: trees.into_iter().map(|t| t.expect("tree built")).collect(),
             store,
             data,
@@ -441,8 +442,9 @@ impl DbLsh {
         // structure: external data (ascending by id), verification rows
         // (internal order), store, and both maps.
         if let Some(rows) = &mut self.verify_rows {
-            rows.try_push(point)
-                .expect("validated point rejected by internal rows");
+            // The point was validated at the top of `insert`, so the
+            // push cannot fail — `?` spells that without a panic token.
+            rows.try_push(point)?;
         }
         // The new row is the internal tail, so its codes append in step
         // with the verification order. The grid is NOT re-learned: a
@@ -606,6 +608,7 @@ impl DbLsh {
                 });
             }
         });
+        // lint: allow(panic-free-surface) — thread::scope joined every tree builder, so each slot was written
         self.trees = trees.into_iter().map(|t| t.expect("tree built")).collect();
 
         CompactionStats {

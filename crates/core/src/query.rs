@@ -702,7 +702,12 @@ impl DbLsh {
                         drained_dry = true;
                         break;
                     }
-                    let (id, _) = streams[i].next().expect("peeked");
+                    // `best` was computed from a successful peek of
+                    // stream `i`, so `next` cannot come up empty.
+                    let Some((id, _)) = streams[i].next() else {
+                        drained_dry = true;
+                        break;
+                    };
                     stats.index_probes += 1;
                     if scratch.visited.insert(id) {
                         scratch.block.push(id);
@@ -1228,12 +1233,12 @@ impl DbLsh {
         trace: &mut QueryTrace,
     ) -> Result<SearchResult, DbLshError> {
         thread_local! {
-            static TRACED_SCRATCH: RefCell<ProberScratch> =
+            static CANONICAL_SCRATCH: RefCell<ProberScratch> =
                 const { RefCell::new(ProberScratch::new()) };
         }
         check_query(self.data.dim(), q, k)?;
         let plan = opts.resolved(self, k)?;
-        let mut res = TRACED_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        let mut res = CANONICAL_SCRATCH.with(|cell| match cell.try_borrow_mut() {
             Ok(mut scratch) => self.canonical_core_traced(q, k, &plan, &mut scratch, trace),
             Err(_) => self.canonical_core_traced(q, k, &plan, &mut ProberScratch::new(), trace),
         })?;

@@ -311,7 +311,11 @@ impl DbLsh {
         // (rank of an id among the present ids = its `data` row).
         let to_ext = |int: u32| maps.as_ref().map_or(int, |m| m.ext_of_int[int as usize]);
         let verify_rows = if has_verify {
-            let m = maps.as_ref().expect("validated above");
+            let Some(m) = maps.as_ref() else {
+                return Err(DbLshError::corrupt(
+                    "snapshot flags a verification order but carries no id maps",
+                ));
+            };
             let mut by_ext = m.ext_of_int.clone();
             by_ext.sort_unstable();
             let mut rank_of = vec![DEAD; ext_len];
@@ -378,6 +382,7 @@ impl DbLsh {
         Ok(DbLsh {
             params,
             hasher,
+            // lint: allow(panic-free-surface) — thread::scope joined every tree builder, so each slot was written
             trees: trees.into_iter().map(|t| t.expect("tree built")).collect(),
             store,
             data: Arc::new(data),

@@ -39,11 +39,11 @@ impl Dataset {
     pub fn from_flat(dim: usize, data: Vec<f32>) -> Self {
         match Dataset::try_from_flat(dim, data) {
             Ok(d) => d,
-            Err(DbLshError::NonFiniteCoordinate) => panic!("non-finite coordinate rejected"),
+            Err(DbLshError::NonFiniteCoordinate) => panic!("non-finite coordinate rejected"), // lint: allow(panic-free-surface) — the panic is this convenience form's documented contract; try_from_flat is the fallible twin
             Err(DbLshError::InvalidParameter { reason, .. }) => {
-                panic!("{reason}")
+                panic!("{reason}") // lint: allow(panic-free-surface) — documented panicking contract; try_from_flat is the fallible twin
             }
-            Err(e) => panic!("{e}"),
+            Err(e) => panic!("{e}"), // lint: allow(panic-free-surface) — documented panicking contract; try_from_flat is the fallible twin
         }
     }
 
@@ -74,11 +74,11 @@ impl Dataset {
         match Dataset::try_from_rows(rows) {
             Ok(d) => d,
             Err(DbLshError::EmptyDataset) => {
-                panic!("empty row set; use from_flat for empty")
+                panic!("empty row set; use from_flat for empty") // lint: allow(panic-free-surface) — documented panicking contract; try_from_rows is the fallible twin
             }
-            Err(DbLshError::DimensionMismatch { .. }) => panic!("ragged rows"),
-            Err(DbLshError::NonFiniteCoordinate) => panic!("non-finite coordinate rejected"),
-            Err(e) => panic!("{e}"),
+            Err(DbLshError::DimensionMismatch { .. }) => panic!("ragged rows"), // lint: allow(panic-free-surface) — documented panicking contract; try_from_rows is the fallible twin
+            Err(DbLshError::NonFiniteCoordinate) => panic!("non-finite coordinate rejected"), // lint: allow(panic-free-surface) — documented panicking contract; try_from_rows is the fallible twin
+            Err(e) => panic!("{e}"), // lint: allow(panic-free-surface) — documented panicking contract; try_from_rows is the fallible twin
         }
     }
 
@@ -135,9 +135,9 @@ impl Dataset {
     pub fn push(&mut self, point: &[f32]) {
         match self.try_push(point) {
             Ok(()) => {}
-            Err(DbLshError::DimensionMismatch { .. }) => panic!("dimensionality mismatch"),
-            Err(DbLshError::NonFiniteCoordinate) => panic!("non-finite coordinate rejected"),
-            Err(e) => panic!("{e}"),
+            Err(DbLshError::DimensionMismatch { .. }) => panic!("dimensionality mismatch"), // lint: allow(panic-free-surface) — documented panicking contract; try_push is the fallible twin
+            Err(DbLshError::NonFiniteCoordinate) => panic!("non-finite coordinate rejected"), // lint: allow(panic-free-surface) — documented panicking contract; try_push is the fallible twin
+            Err(e) => panic!("{e}"), // lint: allow(panic-free-surface) — documented panicking contract; try_push is the fallible twin
         }
     }
 

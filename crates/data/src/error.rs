@@ -52,6 +52,11 @@ pub enum DbLshError {
     /// *not* executed — returning stale work would be worse than
     /// failing fast. Retrying (with a fresh deadline) is safe.
     DeadlineExceeded,
+    /// A lock guarding mutable engine state was poisoned: a thread
+    /// panicked while holding it, so the protected state may be torn.
+    /// Mutation paths refuse to touch such state and surface this
+    /// instead of panicking the serving worker; `what` names the lock.
+    LockPoisoned { what: &'static str },
 }
 
 impl DbLshError {
@@ -77,6 +82,11 @@ impl DbLshError {
             op,
             error: error.to_string(),
         }
+    }
+
+    /// Shorthand for [`DbLshError::LockPoisoned`].
+    pub fn poisoned(what: &'static str) -> Self {
+        DbLshError::LockPoisoned { what }
     }
 }
 
@@ -107,6 +117,10 @@ impl fmt::Display for DbLshError {
             DbLshError::DeadlineExceeded => write!(
                 f,
                 "request deadline expired while queued; the request was not executed"
+            ),
+            DbLshError::LockPoisoned { what } => write!(
+                f,
+                "{what} lock poisoned by a panicking writer; refusing to touch possibly-torn state"
             ),
         }
     }

@@ -50,7 +50,9 @@ pub fn exact_knn_single(data: &Dataset, query: &[f32], k: usize) -> Vec<Neighbor
             if top.len() > k {
                 top.pop();
             }
-            worst = top.last().expect("non-empty").0;
+            // `top` just received an insert, so `last` is always Some;
+            // `map_or` keeps the scan free of panic tokens.
+            worst = top.last().map_or(worst, |&(d, _)| d);
         }
     }
     top.into_iter()

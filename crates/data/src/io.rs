@@ -664,6 +664,15 @@ impl SnapshotReader {
     }
 }
 
+/// Copy an exactly-`N`-byte slice (a `chunks_exact(N)` chunk) into a
+/// fixed array. `copy_from_slice` enforces the length; the callers'
+/// chunk iterators guarantee it.
+fn fixed<const N: usize>(b: &[u8]) -> [u8; N] {
+    let mut a = [0u8; N];
+    a.copy_from_slice(b);
+    a
+}
+
 /// Typed, bounds-checked reads over one section body. Over-reads report
 /// [`DbLshError::CorruptSnapshot`] naming the section;
 /// [`SectionCursor::finish`] asserts the body was consumed exactly.
@@ -711,11 +720,18 @@ impl SectionCursor<'_> {
         Ok(self.take(1)?[0])
     }
 
+    /// Take exactly `N` bytes as a fixed-width array. `take` already
+    /// errors on short sections, so the conversion itself cannot fail;
+    /// the error arm keeps the decode path free of panic tokens.
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], DbLshError> {
+        self.take(N)?
+            .try_into()
+            .map_err(|_| DbLshError::corrupt("short fixed-width field"))
+    }
+
     /// Read a little-endian `u16`.
     pub fn get_u16(&mut self) -> Result<u16, DbLshError> {
-        Ok(u16::from_le_bytes(
-            self.take(2)?.try_into().expect("2 bytes"),
-        ))
+        Ok(u16::from_le_bytes(self.take_array()?))
     }
 
     /// Read `n` raw bytes.
@@ -725,16 +741,12 @@ impl SectionCursor<'_> {
 
     /// Read a little-endian `u32`.
     pub fn get_u32(&mut self) -> Result<u32, DbLshError> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        Ok(u32::from_le_bytes(self.take_array()?))
     }
 
     /// Read a little-endian `u64`.
     pub fn get_u64(&mut self) -> Result<u64, DbLshError> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(u64::from_le_bytes(self.take_array()?))
     }
 
     /// Read a little-endian `u64` and convert it to `usize`.
@@ -746,16 +758,12 @@ impl SectionCursor<'_> {
 
     /// Read a little-endian IEEE-754 `f64`.
     pub fn get_f64(&mut self) -> Result<f64, DbLshError> {
-        Ok(f64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(f64::from_le_bytes(self.take_array()?))
     }
 
     /// Read a little-endian IEEE-754 `f32` (bit-exact).
     pub fn get_f32(&mut self) -> Result<f32, DbLshError> {
-        Ok(f32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        Ok(f32::from_le_bytes(self.take_array()?))
     }
 
     /// Read `n` little-endian `u32` values.
@@ -766,7 +774,7 @@ impl SectionCursor<'_> {
         )?;
         Ok(bytes
             .chunks_exact(4)
-            .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+            .map(|b| u32::from_le_bytes(fixed(b)))
             .collect())
     }
 
@@ -778,7 +786,7 @@ impl SectionCursor<'_> {
         )?;
         Ok(bytes
             .chunks_exact(8)
-            .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+            .map(|b| u64::from_le_bytes(fixed(b)))
             .collect())
     }
 
@@ -790,7 +798,7 @@ impl SectionCursor<'_> {
         )?;
         Ok(bytes
             .chunks_exact(4)
-            .map(|b| f32::from_le_bytes(b.try_into().expect("4 bytes")))
+            .map(|b| f32::from_le_bytes(fixed(b)))
             .collect())
     }
 

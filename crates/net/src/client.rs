@@ -248,7 +248,9 @@ impl DbLshClient {
         let id = self.next_id;
         self.next_id += 1;
         let body = encode_request(id, req);
-        let stream = self.stream.as_mut().expect("connected above");
+        let Some(stream) = self.stream.as_mut() else {
+            return Err(NetError::Disconnected);
+        };
         if let Err(e) = write_len_frame(stream, &body, self.config.max_frame) {
             self.drop_connection();
             return Err(decode_error(e));

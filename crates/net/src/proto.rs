@@ -363,6 +363,7 @@ const E_UNKNOWN_ID: u16 = 8;
 const E_IO: u16 = 9;
 const E_CORRUPT: u16 = 10;
 const E_DEADLINE: u16 = 11;
+const E_POISONED: u16 = 12;
 const E_PROTOCOL: u16 = 100;
 const E_VERSION: u16 = 101;
 const E_DISCONNECTED: u16 = 102;
@@ -400,6 +401,15 @@ fn static_op(name: &str) -> &'static str {
     "io"
 }
 
+fn static_lock(name: &str) -> &'static str {
+    for known in ["shard", "router", "wal", "queue", "replica", "registry"] {
+        if name == known {
+            return known;
+        }
+    }
+    "remote"
+}
+
 fn put_error(buf: &mut SectionBuf, err: &NetError) {
     let (code, aux0, aux1, msg): (u16, u64, u64, String) = match err {
         NetError::Remote(e) => match e {
@@ -418,6 +428,7 @@ fn put_error(buf: &mut SectionBuf, err: &NetError) {
             DbLshError::Io { op, error } => (E_IO, 0, 0, format!("{op}\u{1f}{error}")),
             DbLshError::CorruptSnapshot { reason } => (E_CORRUPT, 0, 0, reason.clone()),
             DbLshError::DeadlineExceeded => (E_DEADLINE, 0, 0, String::new()),
+            DbLshError::LockPoisoned { what } => (E_POISONED, 0, 0, what.to_string()),
         },
         NetError::Protocol { reason } => (E_PROTOCOL, 0, 0, reason.clone()),
         NetError::Version { got } => (E_VERSION, *got as u64, 0, String::new()),
@@ -474,6 +485,9 @@ fn get_error(c: &mut SectionCursor<'_>) -> Result<NetError, DbLshError> {
         }
         E_CORRUPT => NetError::Remote(DbLshError::CorruptSnapshot { reason: msg }),
         E_DEADLINE => NetError::Remote(DbLshError::DeadlineExceeded),
+        E_POISONED => NetError::Remote(DbLshError::LockPoisoned {
+            what: static_lock(&msg),
+        }),
         E_PROTOCOL => NetError::Protocol { reason: msg },
         E_VERSION => NetError::Version { got: aux0 as u16 },
         E_DISCONNECTED => NetError::Disconnected,
@@ -671,7 +685,13 @@ pub fn decode_frame(body: &[u8]) -> Result<(u64, Message), NetError> {
         return Err(NetError::Version { got: version });
     }
     let crc_at = body.len() - 4;
-    let sent_crc = u32::from_le_bytes(body[crc_at..].try_into().expect("4 bytes"));
+    // Both `try_into`s below are over fixed-width slices of a body whose
+    // minimum length was checked above, so the error arms are dead —
+    // spelled as protocol errors to keep the decode path panic-free.
+    let sent_crc = match body[crc_at..].try_into() {
+        Ok(bytes) => u32::from_le_bytes(bytes),
+        Err(_) => return Err(NetError::protocol("truncated frame checksum")),
+    };
     if crc32(&body[..crc_at]) != sent_crc {
         return Err(NetError::protocol(
             "frame checksum mismatch (payload corrupted in flight)",
@@ -679,7 +699,10 @@ pub fn decode_frame(body: &[u8]) -> Result<(u64, Message), NetError> {
     }
     let kind = body[6];
     let opcode = body[7];
-    let request_id = u64::from_le_bytes(body[8..16].try_into().expect("8 bytes"));
+    let request_id = match body[8..16].try_into() {
+        Ok(bytes) => u64::from_le_bytes(bytes),
+        Err(_) => return Err(NetError::protocol("truncated request id")),
+    };
     let mut c = SectionCursor::over(*b"WIRE", &body[16..crc_at]);
     let msg = match kind {
         KIND_REQUEST => Message::Request(decode_request(opcode, &mut c).map_err(decode_error)?),

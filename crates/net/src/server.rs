@@ -31,7 +31,7 @@ use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{Shutdown as SockShutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -98,6 +98,9 @@ struct SharedStats {
 impl SharedStats {
     fn snapshot(&self) -> ServerStats {
         ServerStats {
+            // order: independent monotone counters sampled for reporting;
+            // cross-counter skew of in-flight requests is inherent to a
+            // live snapshot, so relaxed loads suffice for all four.
             connections: self.connections.load(Ordering::Relaxed),
             refused: self.refused.load(Ordering::Relaxed),
             requests: self.requests.load(Ordering::Relaxed),
@@ -195,7 +198,10 @@ impl DbLshServer {
         if let Some(h) = self.acceptor.take() {
             let _ = h.join();
         }
-        let handles = std::mem::take(&mut *self.conns.lock().expect("conns mutex poisoned"));
+        // The handle list is a plain Vec, valid in every published
+        // state; recover from poisoning so teardown always joins.
+        let handles =
+            std::mem::take(&mut *self.conns.lock().unwrap_or_else(PoisonError::into_inner));
         for h in handles {
             let _ = h.join();
         }
@@ -203,6 +209,11 @@ impl DbLshServer {
     }
 
     fn begin_drain(&self) {
+        // order: the drain flag and `live_connections` coordinate
+        // admission across acceptor and connection threads; SeqCst keeps
+        // every participant in one total order so "flag set before the
+        // accept check" cannot be reordered away. Cold path — clarity
+        // over cycles.
         self.shared.draining.store(true, Ordering::SeqCst);
     }
 }
@@ -213,7 +224,8 @@ impl Drop for DbLshServer {
         if let Some(h) = self.acceptor.take() {
             let _ = h.join();
         }
-        let handles = std::mem::take(&mut *self.conns.lock().expect("conns mutex poisoned"));
+        let handles =
+            std::mem::take(&mut *self.conns.lock().unwrap_or_else(PoisonError::into_inner));
         for h in handles {
             let _ = h.join();
         }
@@ -229,31 +241,43 @@ fn acceptor_loop(
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
 ) {
     loop {
+        // order: drain flag participates in the SeqCst admission order
+        // (see `begin_drain`) so a drain is never missed once stored.
         if shared.draining.load(Ordering::SeqCst) {
             return;
         }
         match listener.accept() {
             Ok((stream, _peer)) => {
+                // order: re-check after accept, same SeqCst admission
+                // order — an accepted stream must see a set flag.
                 if shared.draining.load(Ordering::SeqCst) {
                     refuse(&shared, stream, NetError::Remote(DbLshError::Shutdown));
                     return;
                 }
+                // order: admission-limit check in the same SeqCst order
+                // as the fetch_add/fetch_sub below, so the acceptor
+                // never reads a count older than its own last update.
                 let live = shared.live_connections.load(Ordering::SeqCst);
                 if live >= shared.config.max_connections {
                     refuse(&shared, stream, NetError::Remote(DbLshError::Busy));
                     continue;
                 }
+                // order: SeqCst keeps the live count in the admission
+                // total order shared with the drain flag.
                 shared.live_connections.fetch_add(1, Ordering::SeqCst);
+                // order: standalone lifetime counter, reporting only.
                 shared.stats.connections.fetch_add(1, Ordering::Relaxed);
                 let conn_shared = Arc::clone(&shared);
                 match thread::Builder::new()
                     .name("dblsh-net-conn".into())
                     .spawn(move || {
                         connection_loop(stream, &conn_shared);
+                        // order: release the admission slot in the same
+                        // SeqCst order the acceptor's limit check uses.
                         conn_shared.live_connections.fetch_sub(1, Ordering::SeqCst);
                     }) {
                     Ok(handle) => {
-                        let mut guard = conns.lock().expect("conns mutex poisoned");
+                        let mut guard = conns.lock().unwrap_or_else(PoisonError::into_inner);
                         // Opportunistically reap finished connection
                         // threads so the handle list stays bounded by
                         // live connections, not lifetime connections.
@@ -261,6 +285,8 @@ fn acceptor_loop(
                         guard.push(handle);
                     }
                     Err(_) => {
+                        // order: roll back the reservation in the same
+                        // SeqCst admission order.
                         shared.live_connections.fetch_sub(1, Ordering::SeqCst);
                     }
                 }
@@ -274,6 +300,7 @@ fn acceptor_loop(
 /// Send a best-effort typed error frame (request id 0: connection-level,
 /// not tied to any request) and close.
 fn refuse(shared: &Shared, stream: TcpStream, err: NetError) {
+    // order: standalone lifetime counter, reporting only.
     shared.stats.refused.fetch_add(1, Ordering::Relaxed);
     let mut stream = stream;
     let _ = stream.set_nodelay(true);
@@ -417,9 +444,11 @@ fn connection_loop(mut stream: TcpStream, shared: &Shared) {
         match reader.step(&mut stream, shared.config.max_frame) {
             ReadStep::Frame(body) => {
                 last_activity = Instant::now();
+                // order: standalone lifetime counter, reporting only.
                 shared.stats.requests.fetch_add(1, Ordering::Relaxed);
                 let pending = dispatch(&body, shared);
                 if matches!(&pending, Pending::Immediate(_, Response::Error(_))) {
+                    // order: standalone lifetime counter, reporting only.
                     shared.stats.errors.fetch_add(1, Ordering::Relaxed);
                 }
                 if tx.send(pending).is_err() {
@@ -427,6 +456,8 @@ fn connection_loop(mut stream: TcpStream, shared: &Shared) {
                 }
             }
             ReadStep::IdleBoundary => {
+                // order: drain check in the SeqCst admission order so an
+                // idle connection exits promptly once drain begins.
                 if shared.draining.load(Ordering::SeqCst) {
                     break;
                 }
@@ -440,6 +471,7 @@ fn connection_loop(mut stream: TcpStream, shared: &Shared) {
                 // Partial frame buffered; even while draining we give the
                 // peer a grace window to finish it, since an accepted
                 // byte stream deserves a typed answer.
+                // order: drain check in the SeqCst admission order.
                 if shared.draining.load(Ordering::SeqCst)
                     && last_activity.elapsed() >= Duration::from_secs(1)
                 {
@@ -452,6 +484,7 @@ fn connection_loop(mut stream: TcpStream, shared: &Shared) {
                 }
             }
             ReadStep::TooLarge(len) => {
+                // order: standalone lifetime counter, reporting only.
                 shared.stats.errors.fetch_add(1, Ordering::Relaxed);
                 let err = NetError::protocol(format!(
                     "frame of {len} bytes exceeds the {}-byte limit",

@@ -14,7 +14,7 @@
 //! queue, drains the remaining requests, and joins the workers.
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
@@ -71,14 +71,26 @@ pub struct Ticket<T> {
 }
 
 impl<T> Ticket<T> {
-    /// Block until the request completes and take its result.
+    /// Block until the request completes and take its result. The slot
+    /// holds a plain `Option` whose every state is valid, so a poisoned
+    /// slot mutex (the worker panicked around a `send`) is recovered —
+    /// either the value landed before the panic, or the dropped
+    /// `Reply` already resolved it to the typed `Shutdown`.
     pub fn wait(self) -> Result<T, DbLshError> {
-        let mut value = self.slot.value.lock().expect("ticket mutex poisoned");
+        let mut value = self
+            .slot
+            .value
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(v) = value.take() {
                 return v;
             }
-            value = self.slot.ready.wait(value).expect("ticket mutex poisoned");
+            value = self
+                .slot
+                .ready
+                .wait(value)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
@@ -87,7 +99,7 @@ impl<T> Ticket<T> {
         self.slot
             .value
             .lock()
-            .expect("ticket mutex poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .take()
     }
 }
@@ -105,7 +117,7 @@ struct Reply<T> {
 impl<T> Reply<T> {
     fn send(mut self, value: Result<T, DbLshError>) {
         if let Some(slot) = self.slot.take() {
-            *slot.value.lock().expect("ticket mutex poisoned") = Some(value);
+            *slot.value.lock().unwrap_or_else(PoisonError::into_inner) = Some(value);
             slot.ready.notify_all();
         }
     }
@@ -209,9 +221,15 @@ impl Queue {
     /// with the typed [`DbLshError::Shutdown`] rather than leaving a
     /// waiter hanging.
     fn push(&self, job: Job) {
-        let mut inner = self.inner.lock().expect("queue mutex poisoned");
+        // Queue state is a `VecDeque` + flag whose every published state
+        // is valid, so poisoning (a panicking worker) is recovered here
+        // and below — the submission and worker paths must never panic.
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         while inner.jobs.len() >= self.capacity && !inner.closed {
-            inner = self.not_full.wait(inner).expect("queue mutex poisoned");
+            inner = self
+                .not_full
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
         }
         if inner.closed {
             drop(inner);
@@ -228,7 +246,7 @@ impl Queue {
     /// here (outside the lock), which resolves its [`Reply`]; the caller
     /// gets the precise refusal reason through the returned error.
     fn try_push(&self, job: Job) -> Result<(), DbLshError> {
-        let mut inner = self.inner.lock().expect("queue mutex poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         let refusal = if inner.closed {
             Some(DbLshError::Shutdown)
         } else if inner.jobs.len() >= self.capacity {
@@ -249,13 +267,17 @@ impl Queue {
 
     /// Jobs currently queued (accepted, not yet picked up by a worker).
     fn depth(&self) -> usize {
-        self.inner.lock().expect("queue mutex poisoned").jobs.len()
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .jobs
+            .len()
     }
 
     /// Dequeue, blocking while empty. `None` once the queue is closed
     /// *and* drained — workers finish every accepted request.
     fn pop(&self) -> Option<Job> {
-        let mut inner = self.inner.lock().expect("queue mutex poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(job) = inner.jobs.pop_front() {
                 drop(inner);
@@ -265,12 +287,18 @@ impl Queue {
             if inner.closed {
                 return None;
             }
-            inner = self.not_empty.wait(inner).expect("queue mutex poisoned");
+            inner = self
+                .not_empty
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     fn close(&self) {
-        self.inner.lock().expect("queue mutex poisoned").closed = true;
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
     }
@@ -621,6 +649,7 @@ impl Engine {
                 std::thread::Builder::new()
                     .name(format!("dblsh-serve-{w}"))
                     .spawn(move || worker_loop(&index, &queue, &metrics))
+                    // lint: allow(panic-free-surface) — OS thread-spawn failure at startup has no caller to degrade to
                     .expect("spawn engine worker")
             })
             .collect();
@@ -825,7 +854,7 @@ impl Engine {
         self.queue
             .inner
             .lock()
-            .expect("queue mutex poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .closed
     }
 
@@ -1057,6 +1086,7 @@ fn handle_job(index: &ShardedDbLsh, metrics: &Metrics, job: Job) {
         Job::Chaos(_reply) => {
             // `_reply` is dropped by the unwind, resolving the
             // ticket with the typed Shutdown.
+            // lint: allow(panic-free-surface) — the fault-injection hook exists to panic a worker on purpose
             panic!("injected worker panic");
         }
         #[cfg(test)]

@@ -181,6 +181,10 @@ impl Slot {
     }
 
     fn state(&self) -> u8 {
+        // order: Acquire pairs with the Release stores in the
+        // quarantine/rehydration transitions, so a reader that observes
+        // STATE_LIVE also observes the rehydrated index the readmitting
+        // thread published before the store.
         self.state.load(Ordering::Acquire)
     }
 }
@@ -330,6 +334,9 @@ impl ReplicatedShard {
         // id (`WalFile` rolled the file back).
         w.wal.append(&walrec::encode_insert(g, point))?;
         w.next_id += 1;
+        // order: write order is serialized by the write mutex held
+        // here; the counter only mints a label for it, so the ticket
+        // needs atomicity, not ordering.
         let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
         self.fan_out(seq, |idx| {
             let applied = idx.insert(point)?;
@@ -354,6 +361,8 @@ impl ReplicatedShard {
         // A replica group owns a single unsharded index: global and
         // local ids coincide.
         w.wal.append(&walrec::encode_remove(id, id))?;
+        // order: same as insert — the write mutex is the order, the
+        // counter just labels it.
         let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
         self.fan_out(seq, |idx| idx.remove(id).map(drop));
         Ok(true)
@@ -376,6 +385,8 @@ impl ReplicatedShard {
     ) -> Result<SearchResult, DbLshError> {
         check_query(self.inner.dim, q, k)?;
         let r = self.inner.slots.len();
+        // order: round-robin cursor — any interleaving of readers still
+        // spreads load; no other state rides on it.
         let start = self.inner.next_read.fetch_add(1, Ordering::Relaxed);
         for off in 0..r {
             let i = (start + off) % r;
@@ -392,6 +403,7 @@ impl ReplicatedShard {
                 Ok(res) => return res,
                 Err(_) => {
                     drop(guard);
+                    // order: standalone health counter, reporting only.
                     self.inner.read_failovers.fetch_add(1, Ordering::Relaxed);
                     self.quarantine(i);
                 }
@@ -455,6 +467,9 @@ impl ReplicatedShard {
                 .iter()
                 .filter(|s| s.state() == STATE_LIVE)
                 .count(),
+            // order: independent health counters sampled for reporting;
+            // cross-counter skew of in-flight transitions is inherent
+            // to a live snapshot.
             quarantines: self.inner.quarantines.load(Ordering::Relaxed),
             readmissions: self.inner.readmissions.load(Ordering::Relaxed),
             rehydration_failures: self.inner.rehydration_failures.load(Ordering::Relaxed),
@@ -510,6 +525,9 @@ impl ReplicatedShard {
             .compare_exchange(
                 STATE_QUARANTINED,
                 STATE_REHYDRATING,
+                // order: AcqRel — acquire the failed attempt's state,
+                // release this claim so exactly one retry wins; failure
+                // Acquire just observes the competing transition.
                 Ordering::AcqRel,
                 Ordering::Acquire,
             )
@@ -573,6 +591,7 @@ impl ReplicatedShard {
             // own state machine, not by `std`'s poison bit.
             let outcome = catch_unwind(AssertUnwindSafe(|| {
                 if action == FaultAction::Panic {
+                    // lint: allow(panic-free-surface) — the fault-injection hook exists to panic a replica on purpose
                     panic!("injected replica panic at write {seq}");
                 }
                 match guard.as_mut() {
@@ -601,6 +620,10 @@ impl ReplicatedShard {
             .compare_exchange(
                 STATE_LIVE,
                 STATE_QUARANTINED,
+                // order: AcqRel — exactly one caller wins the
+                // LIVE→QUARANTINED edge and releases it to the
+                // rehydration thread; failure Acquire observes the
+                // transition that beat us.
                 Ordering::AcqRel,
                 Ordering::Acquire,
             )
@@ -608,6 +631,7 @@ impl ReplicatedShard {
         {
             return false;
         }
+        // order: standalone health counter, reporting only.
         self.inner.quarantines.fetch_add(1, Ordering::Relaxed);
         self.spawn_rehydration(i);
         true
@@ -701,16 +725,23 @@ fn replay_into(idx: &mut DbLsh, records: &[Vec<u8>]) -> Result<(), DbLshError> {
 fn rehydrate_slot(inner: &Inner, i: usize) {
     inner.slots[i]
         .state
+        // order: Release pairs with the Acquire in `Slot::state` so
+        // status readers see the transition and what preceded it.
         .store(STATE_REHYDRATING, Ordering::Release);
     let result = try_rehydrate(inner, i);
     match result {
         Ok(()) => {
+            // order: standalone health counter, reporting only.
             inner.readmissions.fetch_add(1, Ordering::Relaxed);
         }
         Err(_) => {
             inner.slots[i]
                 .state
+                // order: Release pairs with the Acquire in
+                // `Slot::state`; the slot leaves rotation with its
+                // failed rebuild fully visible.
                 .store(STATE_QUARANTINED, Ordering::Release);
+            // order: standalone health counter, reporting only.
             inner.rehydration_failures.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -751,6 +782,9 @@ fn try_rehydrate(inner: &Inner, i: usize) -> Result<(), DbLshError> {
         .write()
         .unwrap_or_else(PoisonError::into_inner);
     *guard = Some(idx);
+    // order: Release publishes the rebuilt index written above; the
+    // Acquire in `Slot::state` makes a reader that sees STATE_LIVE see
+    // the index too.
     inner.slots[i].state.store(STATE_LIVE, Ordering::Release);
     drop(guard);
     drop(w);

@@ -48,7 +48,7 @@
 use std::cell::RefCell;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use dblsh_core::{
     CanonicalLadder, DbLsh, DbLshBuilder, DbLshParams, LadderPlan, ProberScratch, SearchOptions,
@@ -111,7 +111,7 @@ impl FleetWal {
     fn append(&self, s: usize, payload: &[u8]) -> Result<(), DbLshError> {
         self.logs[s]
             .lock()
-            .expect("wal mutex poisoned")
+            .map_err(|_| DbLshError::poisoned("wal"))?
             .append(payload)
     }
 
@@ -312,10 +312,16 @@ impl ShardedDbLsh {
         // ...topping up empty shards deterministically from the largest
         // one (HashId can leave shards empty on tiny inputs).
         while let Some(empty) = members.iter().position(Vec::is_empty) {
-            let largest = (0..shards)
-                .max_by_key(|&s| members[s].len())
-                .expect("shards >= 1");
-            let moved = members[largest].pop().expect("largest shard is non-empty");
+            // `n >= shards` was checked above, so while any shard is
+            // empty some other shard holds at least two points — the
+            // `else` arms are unreachable, spelled as loop exits so the
+            // build path stays free of panic tokens.
+            let Some(largest) = (0..shards).max_by_key(|&s| members[s].len()) else {
+                break;
+            };
+            let Some(moved) = members[largest].pop() else {
+                break;
+            };
             members[empty].push(moved);
         }
 
@@ -353,6 +359,7 @@ impl ShardedDbLsh {
         });
         let mut shard_vec = Vec::with_capacity(shards);
         for slot in built {
+            // lint: allow(panic-free-surface) — thread::scope joined every builder, so each slot was written
             shard_vec.push(RwLock::new(slot.expect("shard build ran")?));
         }
 
@@ -425,7 +432,9 @@ impl ShardedDbLsh {
     pub fn sync_wal(&self) -> Result<(), DbLshError> {
         if let Some(wal) = &self.wal {
             for log in &wal.logs {
-                log.lock().expect("wal mutex poisoned").sync()?;
+                log.lock()
+                    .map_err(|_| DbLshError::poisoned("wal"))?
+                    .sync()?;
             }
         }
         Ok(())
@@ -447,29 +456,39 @@ impl ShardedDbLsh {
 
     /// Total shard compactions performed so far (automatic and manual).
     pub fn compaction_count(&self) -> u64 {
+        // order: standalone monotone counter, reporting only.
         self.compactions.load(Ordering::Relaxed)
     }
 
     /// Compact every shard now, regardless of policy, one write lock at
-    /// a time. Returns the total number of dead rows reclaimed.
-    pub fn compact(&self) -> usize {
+    /// a time. Returns the total number of dead rows reclaimed, or
+    /// [`DbLshError::LockPoisoned`] if a writer panicked mid-mutation —
+    /// compacting possibly-torn rows would bake the tear in.
+    pub fn compact(&self) -> Result<usize, DbLshError> {
         let mut dropped = 0usize;
         for lock in &self.shards {
-            let mut shard = lock.write().expect("shard lock poisoned");
+            let mut shard = lock.write().map_err(|_| DbLshError::poisoned("shard"))?;
             let stats = shard.index.compact();
             if stats.dropped_rows > 0 {
+                // order: standalone monotone counter; the compaction
+                // itself is ordered by the shard write lock.
                 self.compactions.fetch_add(1, Ordering::Relaxed);
             }
             dropped += stats.dropped_rows;
         }
-        dropped
+        Ok(dropped)
     }
 
     /// Sum of tombstoned rows still occupying space across all shards.
     pub fn dead_rows(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.read().expect("shard lock poisoned").index.dead_rows())
+            .map(|s| {
+                s.read()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .index
+                    .dead_rows()
+            })
             .sum()
     }
 
@@ -520,12 +539,48 @@ impl ShardedDbLsh {
         self.read_shard(s as usize).index.contains(local)
     }
 
-    fn router(&self) -> std::sync::MutexGuard<'_, Router> {
-        self.router.lock().expect("router mutex poisoned")
+    /// Router guard for read-only observers (`len`, `shard_lens`,
+    /// `contains`, `memory_bytes`). Poisoning is recovered: the router's
+    /// tables are plain `Vec`s whose every published state is readable,
+    /// so an observer answering from a poisoned router reports the last
+    /// published state rather than panicking a metrics scrape. Mutation
+    /// paths use [`ShardedDbLsh::try_router`] instead and refuse.
+    fn router(&self) -> MutexGuard<'_, Router> {
+        self.router.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
+    /// Router guard for mutation paths: a poisoned router means a writer
+    /// panicked mid-publication, so mutating on top would compound the
+    /// tear — surface [`DbLshError::LockPoisoned`] instead.
+    fn try_router(&self) -> Result<MutexGuard<'_, Router>, DbLshError> {
+        self.router
+            .lock()
+            .map_err(|_| DbLshError::poisoned("router"))
+    }
+
+    /// Read guard on shard `s` for infallible observers; poisoning is
+    /// recovered on the same grounds as [`ShardedDbLsh::router`].
     fn read_shard(&self, s: usize) -> RwLockReadGuard<'_, Shard> {
-        self.shards[s].read().expect("shard lock poisoned")
+        self.shards[s]
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Read guards on every shard at once (query fan-out, snapshots):
+    /// these paths surface [`DbLshError::LockPoisoned`] rather than
+    /// answer from an index a writer panicked inside of.
+    fn read_all_shards(&self) -> Result<Vec<RwLockReadGuard<'_, Shard>>, DbLshError> {
+        self.shards
+            .iter()
+            .map(|s| s.read().map_err(|_| DbLshError::poisoned("shard")))
+            .collect()
+    }
+
+    /// Fallible write guard on shard `s` for the mutation paths.
+    fn try_write_shard(&self, s: usize) -> Result<RwLockWriteGuard<'_, Shard>, DbLshError> {
+        self.shards[s]
+            .write()
+            .map_err(|_| DbLshError::poisoned("shard"))
     }
 
     /// Insert one point, routed to the least-loaded shard (ties break to
@@ -543,7 +598,7 @@ impl ShardedDbLsh {
             return Err(DbLshError::NonFiniteCoordinate);
         }
         let s = {
-            let router = self.router();
+            let router = self.try_router()?;
             if router.assign.len() >= u32::MAX as usize {
                 return Err(DbLshError::CapacityExceeded {
                     limit: u32::MAX as usize,
@@ -551,7 +606,7 @@ impl ShardedDbLsh {
             }
             router.least_loaded()
         };
-        let mut shard = self.shards[s].write().expect("shard lock poisoned");
+        let mut shard = self.try_write_shard(s)?;
         // The local id `DbLsh::insert` will assign is its current id
         // bound (local external ids are dense), so the global mapping
         // can be logged and published *before* the apply.
@@ -564,7 +619,7 @@ impl ShardedDbLsh {
         // publishes nothing — no id is burnt, the caller sees the
         // error, and the on-disk log was rolled back by `WalFile`.
         let g = {
-            let mut router = self.router();
+            let mut router = self.try_router()?;
             if router.assign.len() >= u32::MAX as usize {
                 return Err(DbLshError::CapacityExceeded {
                     limit: u32::MAX as usize,
@@ -592,7 +647,7 @@ impl ShardedDbLsh {
                 debug_assert_eq!(applied, local);
                 shard.global_of_local.push(g);
                 debug_assert_eq!(shard.global_of_local.len(), shard.index.id_bound());
-                self.router().live[s] += 1;
+                self.try_router()?.live[s] += 1;
                 Ok(g)
             }
             Err(e) => Err(e),
@@ -605,7 +660,7 @@ impl ShardedDbLsh {
     /// the id was never handed out.
     pub fn remove(&self, id: u32) -> Result<bool, DbLshError> {
         let (s, local) = {
-            let router = self.router();
+            let router = self.try_router()?;
             match router.assign.get(id as usize) {
                 None => return Err(DbLshError::UnknownId { id }),
                 // A crash-recovery hole: the id was allocated but its
@@ -614,7 +669,7 @@ impl ShardedDbLsh {
                 Some(&(s, local)) => (s as usize, local),
             }
         };
-        let mut shard = self.shards[s].write().expect("shard lock poisoned");
+        let mut shard = self.try_write_shard(s)?;
         // Log before applying — but only removes that will actually
         // flip a live point (the outcome is stable under the write
         // lock), so replay never has to guess about no-ops.
@@ -631,7 +686,7 @@ impl ShardedDbLsh {
             // Decrement while still holding the shard lock, for the same
             // observability guarantee as `insert` (shard → router is the
             // allowed lock order).
-            self.router().live[s] -= 1;
+            self.try_router()?.live[s] -= 1;
             // Auto-compaction rides the write lock this remove already
             // holds: shard-local external ids survive compaction, so the
             // router's tables and every global id stay untouched.
@@ -639,6 +694,8 @@ impl ShardedDbLsh {
                 let index = &mut shard.index;
                 if policy.should_compact(index.dead_rows(), index.len() + index.dead_rows()) {
                     index.compact();
+                    // order: standalone monotone counter; the compaction
+                    // itself is ordered by the shard write lock.
                     self.compactions.fetch_add(1, Ordering::Relaxed);
                 }
             }
@@ -712,11 +769,7 @@ impl ShardedDbLsh {
                 .probers
                 .resize_with(self.shards.len(), ProberScratch::default);
         }
-        let guards: Vec<RwLockReadGuard<'_, Shard>> = self
-            .shards
-            .iter()
-            .map(|s| s.read().expect("shard lock poisoned"))
-            .collect();
+        let guards: Vec<RwLockReadGuard<'_, Shard>> = self.read_all_shards()?;
         let live: usize = guards.iter().map(|g| g.index.len()).sum();
         let mut probers = Vec::with_capacity(guards.len());
         for (g, sc) in guards.iter().zip(scratch.probers.iter_mut()) {
@@ -764,11 +817,7 @@ impl ShardedDbLsh {
                 .probers
                 .resize_with(self.shards.len(), ProberScratch::default);
         }
-        let guards: Vec<RwLockReadGuard<'_, Shard>> = self
-            .shards
-            .iter()
-            .map(|s| s.read().expect("shard lock poisoned"))
-            .collect();
+        let guards: Vec<RwLockReadGuard<'_, Shard>> = self.read_all_shards()?;
         let live: usize = guards.iter().map(|g| g.index.len()).sum();
         let mut probers = Vec::with_capacity(guards.len());
         for (g, sc) in guards.iter().zip(scratch.probers.iter_mut()) {
@@ -817,11 +866,7 @@ impl ShardedDbLsh {
             rounds: 1,
             ..QueryStats::default()
         };
-        let guards: Vec<RwLockReadGuard<'_, Shard>> = self
-            .shards
-            .iter()
-            .map(|s| s.read().expect("shard lock poisoned"))
-            .collect();
+        let guards: Vec<RwLockReadGuard<'_, Shard>> = self.read_all_shards()?;
         with_fan_out_scratch(|scratch| {
             if scratch.probers.len() < guards.len() {
                 scratch
@@ -900,7 +945,7 @@ impl ShardedDbLsh {
             .shards
             .iter()
             .map(|s| {
-                let g = s.read().expect("shard lock poisoned");
+                let g = s.read().unwrap_or_else(PoisonError::into_inner);
                 g.index.memory_bytes() + g.global_of_local.len() * std::mem::size_of::<u32>()
             })
             .sum();
@@ -913,10 +958,13 @@ impl ShardedDbLsh {
     /// [`DbLsh::check_invariants`]. Panics with a description on
     /// violation. Cost is a full scan of every shard.
     pub fn check_invariants(&self) {
+        // This is a panics-by-design diagnostic, so a poisoned lock is
+        // recovered and the (possibly torn) state checked anyway — the
+        // asserts below are exactly the right reporter for a tear.
         let guards: Vec<RwLockReadGuard<'_, Shard>> = self
             .shards
             .iter()
-            .map(|s| s.read().expect("shard lock poisoned"))
+            .map(|s| s.read().unwrap_or_else(PoisonError::into_inner))
             .collect();
         let router = self.router();
         assert_eq!(router.live.len(), guards.len(), "live table size");
@@ -973,11 +1021,7 @@ impl ShardedDbLsh {
     pub fn save_dir<P: AsRef<Path>>(&self, dir: P) -> Result<(), DbLshError> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir).map_err(|e| DbLshError::io("create", e))?;
-        let guards: Vec<RwLockReadGuard<'_, Shard>> = self
-            .shards
-            .iter()
-            .map(|s| s.read().expect("shard lock poisoned"))
-            .collect();
+        let guards: Vec<RwLockReadGuard<'_, Shard>> = self.read_all_shards()?;
 
         let mut w = SnapshotWriter::new(FLEET_SNAPSHOT_KIND);
         let mut meta = SectionBuf::new();
@@ -1021,7 +1065,9 @@ impl ShardedDbLsh {
         // copy, not the recovery image the logs extend.
         if let Some(wal) = self.wal.as_ref().filter(|w| w.same_dir(dir)) {
             for log in &wal.logs {
-                log.lock().expect("wal mutex poisoned").truncate()?;
+                log.lock()
+                    .map_err(|_| DbLshError::poisoned("wal"))?
+                    .truncate()?;
             }
         }
         Ok(())
@@ -1103,7 +1149,9 @@ impl ShardedDbLsh {
                 global_of_local: global_of_local.clone(),
             }));
         }
-        let params = params.expect("at least one shard");
+        let Some(params) = params else {
+            return Err(DbLshError::corrupt("manifest names zero shards"));
+        };
 
         // Crash recovery: replay each shard's WAL tail on top of its
         // snapshot. The snapshot covers global ids [0, base_total);
@@ -1120,7 +1168,7 @@ impl ShardedDbLsh {
                 let (log, replay) =
                     WalFile::open(dir.join(format!("wal-{s}.dblshwal")), FLEET_WAL_KIND)?;
                 torn_tails += u64::from(replay.torn);
-                let shard = lock.get_mut().expect("fresh lock");
+                let shard = lock.get_mut().unwrap_or_else(PoisonError::into_inner);
                 for (i, rec) in replay.records.iter().enumerate() {
                     let fail = |e: DbLshError| {
                         DbLshError::corrupt(format!("replaying WAL record {i} of shard {s}: {e}"))
@@ -1161,7 +1209,12 @@ impl ShardedDbLsh {
         // id from shard B survives — and stay permanently dead.
         let tables: Vec<Vec<u32>> = shards
             .iter_mut()
-            .map(|l| l.get_mut().expect("fresh lock").global_of_local.clone())
+            .map(|l| {
+                l.get_mut()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .global_of_local
+                    .clone()
+            })
             .collect();
         let claimed: usize = tables.iter().map(Vec::len).sum();
         let total = if wal_enabled {
@@ -1197,7 +1250,7 @@ impl ShardedDbLsh {
         }
         let live: Vec<usize> = shards
             .iter()
-            .map(|s| s.read().expect("fresh lock").index.len())
+            .map(|s| s.read().unwrap_or_else(PoisonError::into_inner).index.len())
             .collect();
 
         Ok(ShardedDbLsh {
@@ -1220,6 +1273,8 @@ impl ShardedDbLsh {
     /// torture harness asserts it goes non-zero when it tears log tails
     /// on purpose.
     pub fn wal_truncations_recovered(&self) -> u64 {
+        // order: written once during single-threaded recovery, read for
+        // reporting — no concurrent writer to order against.
         self.wal_truncations.load(Ordering::Relaxed)
     }
 }
@@ -1468,7 +1523,7 @@ mod tests {
             idx.remove(id).unwrap();
         }
         assert_eq!(idx.dead_rows(), 100);
-        let dropped = idx.compact();
+        let dropped = idx.compact().unwrap();
         assert_eq!(dropped, 100);
         assert_eq!(idx.dead_rows(), 0);
         assert!(idx.compaction_count() >= 1);

@@ -105,7 +105,7 @@ fn apply_fleet(fleet: &ShardedDbLsh, op: &Op, next_id: &mut u32, wal_dir: Option
             fleet.remove(raw % *next_id).expect("remove");
         }
         Op::Compact => {
-            fleet.compact();
+            fleet.compact().expect("compact");
         }
         Op::Checkpoint => {
             // The reference has no WAL directory: a checkpoint changes

@@ -67,7 +67,10 @@ pub fn log2_quantile_us(counts: &[u64; BUCKETS], q: f64) -> f64 {
         }
         seen += c;
     }
-    unreachable!("rank is clamped to the total count");
+    // Rank is clamped to the total count, so the loop always returns;
+    // a defensive fallback (the top bucket's lower edge) keeps the
+    // scrape path free of panic tokens.
+    bucket_lower_nanos(BUCKETS - 1) as f64 / 1e3
 }
 
 /// A log₂(nanoseconds) latency histogram: 64 buckets, where bucket `b`
@@ -121,12 +124,13 @@ impl LatencyHistogram {
 }
 
 /// The lock-free cell behind a registered [`crate::Histo`] handle:
-/// per-bucket counts plus an exact sum and count, all plain relaxed
-/// atomics so concurrent recorders never contend on a lock.
+/// per-bucket counts plus an exact observation sum, all plain relaxed
+/// atomics so concurrent recorders never contend on a lock. The total
+/// count is derived from the buckets at snapshot time, so it can never
+/// disagree with them (see [`HistoCell::snapshot`]).
 #[derive(Debug)]
 pub struct HistoCell {
     buckets: [AtomicU64; BUCKETS],
-    count: AtomicU64,
     sum_nanos: AtomicU64,
 }
 
@@ -134,7 +138,6 @@ impl Default for HistoCell {
     fn default() -> Self {
         HistoCell {
             buckets: [const { AtomicU64::new(0) }; BUCKETS],
-            count: AtomicU64::new(0),
             sum_nanos: AtomicU64::new(0),
         }
     }
@@ -143,16 +146,33 @@ impl Default for HistoCell {
 impl HistoCell {
     /// Record one observation of `nanos`.
     pub fn record(&self, nanos: u64) {
+        // order: independent monotone counters; scrapes tolerate (and
+        // snapshot() repairs) skew between them, so Relaxed suffices.
         self.buckets[bucket_of(nanos)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
+        // order: see above — no reader infers cross-counter ordering.
         self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
     }
 
     /// Point-in-time copy of the cell.
+    ///
+    /// The loads are independent, so a snapshot raced by recorders can
+    /// see bucket increments whose `count` increment has not landed yet
+    /// (or vice versa). The reported `count` is therefore *derived* from
+    /// the loaded buckets — the snapshot's count always equals the sum
+    /// of its own buckets, which is the invariant every quantile and
+    /// mean computation downstream assumes. `sum_nanos` can still lag
+    /// the buckets by in-flight recordings; that skews a racing scrape's
+    /// mean by at most the in-flight observations, never a quantile.
     pub fn snapshot(&self) -> HistoSnapshot {
+        let buckets: [u64; BUCKETS] =
+            // order: monotone counters read by a scraper; Relaxed loads
+            // are exact for quiescent cells and at most in-flight-racy
+            // otherwise, and count is derived from these loads below.
+            std::array::from_fn(|b| self.buckets[b].load(Ordering::Relaxed));
         HistoSnapshot {
-            buckets: std::array::from_fn(|b| self.buckets[b].load(Ordering::Relaxed)),
-            count: self.count.load(Ordering::Relaxed),
+            buckets,
+            count: buckets.iter().sum(),
+            // order: monotone counter; same single-scrape tolerance.
             sum_nanos: self.sum_nanos.load(Ordering::Relaxed),
         }
     }
@@ -275,5 +295,43 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.count(), 2);
         assert!(a.quantile_us(0.99) > a.quantile_us(0.01));
+    }
+
+    /// Regression: a snapshot raced by concurrent recorders used to
+    /// take its `count` from an independent relaxed load, which could
+    /// disagree with the bucket counts loaded moments apart. The count
+    /// is now derived from the snapshot's own buckets, so the invariant
+    /// `count == buckets.sum()` holds in EVERY snapshot, mid-race or
+    /// not.
+    #[test]
+    fn snapshot_count_always_equals_its_own_bucket_sum() {
+        let cell = std::sync::Arc::new(HistoCell::default());
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let recorders: Vec<_> = (0..4)
+            .map(|t| {
+                let cell = std::sync::Arc::clone(&cell);
+                let stop = std::sync::Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut n = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        cell.record(1 + (t as u64 * 7919 + n * 104_729) % 5_000_000);
+                        n += 1;
+                    }
+                    n
+                })
+            })
+            .collect();
+        for _ in 0..2_000 {
+            let snap = cell.snapshot();
+            assert_eq!(
+                snap.count,
+                snap.buckets.iter().sum::<u64>(),
+                "snapshot count disagrees with its own buckets"
+            );
+        }
+        stop.store(true, Ordering::Relaxed);
+        let recorded: u64 = recorders.into_iter().map(|h| h.join().unwrap()).sum();
+        let settled = cell.snapshot();
+        assert_eq!(settled.count, recorded, "quiescent count must be exact");
     }
 }

@@ -17,7 +17,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use crate::histogram::{HistoCell, HistoSnapshot};
 
@@ -29,18 +29,23 @@ impl Counter {
     /// Add one.
     #[inline]
     pub fn inc(&self) {
+        // order: standalone monotone count; no other memory is published
+        // through it, so atomicity of the add is all we need.
         self.0.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Add `n`.
     #[inline]
     pub fn add(&self, n: u64) {
+        // order: same standalone monotone count as `inc`.
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current value.
     #[inline]
     pub fn get(&self) -> u64 {
+        // order: scrape-time read of an independent counter; staleness
+        // of a few increments is acceptable, no ordering implied.
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -54,12 +59,15 @@ impl Gauge {
     /// Overwrite the value.
     #[inline]
     pub fn set(&self, v: u64) {
+        // order: last-write-wins sample; the gauge value stands alone
+        // and does not release any other writes.
         self.0.store(v, Ordering::Relaxed);
     }
 
     /// Current value.
     #[inline]
     pub fn get(&self) -> u64 {
+        // order: scrape-time sample of an independent gauge.
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -154,7 +162,7 @@ impl Registry {
     pub fn counter(&self, name: &str, help: &'static str, labels: &[(&str, &str)]) -> Counter {
         match self.cell_for(name, help, labels, MetricKind::Counter) {
             Cell::Counter(c) => Counter(c),
-            _ => unreachable!(),
+            _ => unreachable!(), // lint: allow(panic-free-surface) — cell_for just asserted this cell's kind
         }
     }
 
@@ -165,7 +173,7 @@ impl Registry {
     pub fn gauge(&self, name: &str, help: &'static str, labels: &[(&str, &str)]) -> Gauge {
         match self.cell_for(name, help, labels, MetricKind::Gauge) {
             Cell::Gauge(g) => Gauge(g),
-            _ => unreachable!(),
+            _ => unreachable!(), // lint: allow(panic-free-surface) — cell_for just asserted this cell's kind
         }
     }
 
@@ -176,7 +184,7 @@ impl Registry {
     pub fn histo(&self, name: &str, help: &'static str, labels: &[(&str, &str)]) -> Histo {
         match self.cell_for(name, help, labels, MetricKind::Histogram) {
             Cell::Histo(h) => Histo(h),
-            _ => unreachable!(),
+            _ => unreachable!(), // lint: allow(panic-free-surface) — cell_for just asserted this cell's kind
         }
     }
 
@@ -193,7 +201,10 @@ impl Registry {
             .collect();
         sorted.sort();
         let key = (name.to_string(), sorted);
-        let mut inner = self.inner.lock().expect("registry mutex poisoned");
+        // The registry map is valid in every published state, so a
+        // poisoned lock (a panicking scraper) is recovered — metrics
+        // registration and scraping must never take the process down.
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         let reg = inner.entry(key).or_insert_with(|| Registration {
             help,
             cell: match kind {
@@ -216,7 +227,10 @@ impl Registry {
 
     /// Number of registered series.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("registry mutex poisoned").len()
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// Whether nothing has been registered yet.
@@ -227,7 +241,7 @@ impl Registry {
     /// Deterministically ordered point-in-time samples of every
     /// registered series (name ascending, then label set ascending).
     pub fn snapshot(&self) -> Vec<MetricSample> {
-        let inner = self.inner.lock().expect("registry mutex poisoned");
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         inner
             .iter()
             .map(|((name, labels), reg)| MetricSample {
@@ -235,6 +249,10 @@ impl Registry {
                 labels: labels.clone(),
                 help: reg.help,
                 value: match &reg.cell {
+                    // order: scrape-time reads; each series is sampled
+                    // independently and cross-series skew of in-flight
+                    // updates is inherent to scraping, so no ordering
+                    // between cells is promised or needed.
                     Cell::Counter(c) => SampleValue::Counter(c.load(Ordering::Relaxed)),
                     Cell::Gauge(g) => SampleValue::Gauge(g.load(Ordering::Relaxed)),
                     Cell::Histo(h) => SampleValue::Histogram(Box::new(h.snapshot())),

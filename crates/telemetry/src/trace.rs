@@ -11,7 +11,7 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// The pipeline stages a traced query is broken into. The variants are
 /// ordered as the pipeline runs them; [`Stage::ALL`] iterates in that
@@ -166,11 +166,14 @@ impl SlowQueryLog {
 
     /// Current capture threshold, nanoseconds.
     pub fn threshold_nanos(&self) -> u64 {
+        // order: standalone tuning knob; readers only compare against it.
         self.threshold_nanos.load(Ordering::Relaxed)
     }
 
     /// Adjust the capture threshold at runtime.
     pub fn set_threshold_nanos(&self, nanos: u64) {
+        // order: standalone tuning knob; a worker seeing the old value
+        // for a few more queries is fine, nothing else is published.
         self.threshold_nanos.store(nanos, Ordering::Relaxed);
     }
 
@@ -178,10 +181,15 @@ impl SlowQueryLog {
     /// above the threshold. Returns whether it was captured. Oldest
     /// entries are evicted at capacity.
     pub fn offer(&self, entry: SlowQuery) -> bool {
+        // order: hot-path threshold check; the knob is independent of
+        // all other state, so the cheapest load is the right one.
         if entry.total_nanos < self.threshold_nanos.load(Ordering::Relaxed) {
             return false;
         }
-        let mut ring = self.ring.lock().expect("slow-query log mutex poisoned");
+        // The ring is a VecDeque valid in every published state, so a
+        // poisoned lock is recovered — slow-query capture is telemetry
+        // and must never take a worker down.
+        let mut ring = self.ring.lock().unwrap_or_else(PoisonError::into_inner);
         if ring.len() == self.capacity {
             ring.pop_front();
         }
@@ -193,7 +201,7 @@ impl SlowQueryLog {
     pub fn len(&self) -> usize {
         self.ring
             .lock()
-            .expect("slow-query log mutex poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .len()
     }
 
@@ -206,7 +214,7 @@ impl SlowQueryLog {
     pub fn snapshot(&self) -> Vec<SlowQuery> {
         self.ring
             .lock()
-            .expect("slow-query log mutex poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .iter()
             .cloned()
             .collect()
